@@ -1,0 +1,97 @@
+//! Criterion microbenchmarks of the library itself (host wall-time):
+//! simulator throughput, counter-interface call costs, allocation algorithm
+//! scaling, preset-table construction, and profil updates.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use papi_core::alloc::{greedy_first_fit, optimal_assign};
+use papi_core::{Papi, Preset, PresetTable, SimSubstrate};
+use papi_workloads::dense_fp;
+use simcpu::{all_platforms, platform, Machine};
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    for plat in all_platforms() {
+        g.bench_with_input(BenchmarkId::from_parameter(plat.name), &plat, |b, plat| {
+            b.iter(|| {
+                let mut m = Machine::new(plat.clone(), 1);
+                m.load(dense_fp(5_000, 4, 0).program);
+                m.run_to_halt();
+                black_box(m.retired())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_counter_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counter_read_call");
+    for plat in [platform::sim_x86(), platform::sim_t3e()] {
+        let mut m = Machine::new(plat.clone(), 1);
+        m.load(dense_fp(10, 1, 0).program);
+        let mut papi = Papi::init(SimSubstrate::new(m)).unwrap();
+        let set = papi.create_eventset();
+        papi.add_event(set, Preset::TotCyc.code()).unwrap();
+        papi.start(set).unwrap();
+        g.bench_function(BenchmarkId::from_parameter(plat.name), |b| {
+            b.iter(|| black_box(papi.read(set).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocation");
+    for n in [4usize, 8, 16, 24] {
+        // Worst-ish case: every event constrained to the low half.
+        let masks: Vec<u32> = (0..n)
+            .map(|i| ((1u32 << (n / 2)) - 1) | (1 << (i % n)))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("optimal", n), &masks, |b, masks| {
+            b.iter(|| black_box(optimal_assign(masks, n)))
+        });
+        g.bench_with_input(BenchmarkId::new("greedy", n), &masks, |b, masks| {
+            b.iter(|| black_box(greedy_first_fit(masks, n)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_preset_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("preset_table_build");
+    for plat in [platform::sim_x86(), platform::sim_power3()] {
+        g.bench_function(BenchmarkId::from_parameter(plat.name), |b| {
+            b.iter(|| {
+                black_box(PresetTable::build(
+                    &plat.events,
+                    plat.num_counters,
+                    &plat.groups,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_eventset_start_stop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eventset_start_stop");
+    let mut m = Machine::new(platform::sim_x86(), 1);
+    m.load(dense_fp(10, 1, 0).program);
+    let mut papi = Papi::init(SimSubstrate::new(m)).unwrap();
+    let set = papi.create_eventset();
+    papi.add_event(set, Preset::TotCyc.code()).unwrap();
+    papi.add_event(set, Preset::L1Dcm.code()).unwrap();
+    g.bench_function("start_stop_2_events", |b| {
+        b.iter(|| {
+            papi.start(set).unwrap();
+            black_box(papi.stop(set).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sim_throughput, bench_counter_read, bench_allocation, bench_preset_table, bench_eventset_start_stop
+}
+criterion_main!(benches);

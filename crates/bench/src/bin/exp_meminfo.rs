@@ -1,0 +1,67 @@
+//! E10 (§5): the planned PAPI-3 memory-utilization extensions — per-thread
+//! resident/high-water-mark page statistics, implemented and exercised.
+
+use papi_bench::{banner, papi_on};
+use papi_workloads::page_toucher;
+use simcpu::platform::sim_generic;
+use simcpu::Machine;
+
+fn main() {
+    banner(
+        "E10 / §5",
+        "memory-utilization extension: resident pages & high-water mark",
+    );
+
+    println!("\n(a) resident pages track the touched working set exactly:\n");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12}",
+        "pages touched", "resident", "peak", "KiB"
+    );
+    for pages in [8u32, 64, 512, 4096] {
+        let mut papi = papi_on(sim_generic(), page_toucher(pages).program, 1);
+        papi.run_app().unwrap();
+        let mi = papi.get_mem_info(0).unwrap();
+        println!(
+            "{:<16} {:>12} {:>12} {:>12}",
+            pages,
+            mi.resident_pages,
+            mi.peak_pages,
+            mi.resident_pages * mi.page_size / 1024
+        );
+        assert_eq!(mi.resident_pages, pages as u64);
+        assert_eq!(mi.peak_pages, pages as u64);
+    }
+
+    println!("\n(b) per-thread accounting on a shared machine:\n");
+    let mut m = Machine::new(sim_generic(), 2);
+    m.load(page_toucher(100).program);
+    m.load(page_toucher(300).program);
+    m.run_to_halt();
+    let a = m.mem_info(0).unwrap();
+    let b = m.mem_info(1).unwrap();
+    println!(
+        "{:<10} {:>12} {:>12} {:>14}",
+        "thread", "resident", "peak", "system pages"
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>14}",
+        "t0", a.resident_pages, a.peak_pages, a.system_pages
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>14}",
+        "t1", b.resident_pages, b.peak_pages, b.system_pages
+    );
+    assert_eq!(a.resident_pages, 100);
+    assert_eq!(b.resident_pages, 300);
+    assert_eq!(a.system_pages, 400);
+
+    println!("\n(c) text pages reported per process:");
+    let mut papi = papi_on(sim_generic(), page_toucher(8).program, 1);
+    papi.run_app().unwrap();
+    let mi = papi.get_mem_info(0).unwrap();
+    println!(
+        "    text pages: {} (page size {} B)",
+        mi.text_pages, mi.page_size
+    );
+    assert!(mi.text_pages >= 1);
+}

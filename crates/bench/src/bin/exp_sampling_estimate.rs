@@ -1,0 +1,109 @@
+//! E8 (§4): "aggregate event counts can be estimated from sampling data
+//! with lower overhead than direct counting" — error and overhead of
+//! sample-based count estimation as a function of sampling period, with the
+//! direct-counting cost alongside.
+//!
+//! Also reproduces the convergence claim: "event counts converge to the
+//! expected value, given a long enough run time to obtain sufficient
+//! samples".
+
+use papi_bench::{banner, baseline_cycles, papi_on, pct};
+use papi_core::{sampling, Preset};
+use papi_workloads::dense_fp;
+use simcpu::platform::sim_alpha;
+use simcpu::{EventKind, SampleConfig};
+
+/// Run the FP kernel under sampling; return (relative error of the FMA
+/// estimate, overhead vs uninstrumented run, samples collected).
+fn sampled(iters: u32, period: u64) -> (f64, f64, usize) {
+    let w = dense_fp(iters, 4, 2);
+    let truth = 4 * iters as u64;
+    let base = baseline_cycles(sim_alpha(), w.program.clone(), 6);
+    let mut papi = papi_on(sim_alpha(), w.program, 6);
+    let set = papi.create_eventset();
+    papi.add_event(set, Preset::TotCyc.code()).unwrap();
+    papi.start_sampling(SampleConfig {
+        period,
+        jitter: (period / 8) as u32,
+        buffer_capacity: 512,
+    })
+    .unwrap();
+    papi.start(set).unwrap();
+    papi.run_app().unwrap();
+    papi.stop(set).unwrap();
+    let samples = papi.stop_sampling().unwrap();
+    let est = sampling::estimate_count(&samples, period, EventKind::FpFma);
+    let err = (est as f64 - truth as f64).abs() / truth as f64;
+    let ovh = (papi.get_real_cyc() as f64 - base as f64) / base as f64;
+    (err, ovh, samples.len())
+}
+
+fn main() {
+    banner(
+        "E8 / §4",
+        "count estimation from samples: error & overhead vs period",
+    );
+
+    println!("\n(a) error/overhead vs sampling period (fixed run, 400k iterations):\n");
+    println!(
+        "{:<22} {:>12} {:>12} {:>10}",
+        "period (retired inst)", "est. error", "overhead", "samples"
+    );
+    for period in [8192u64, 4096, 2048, 1024, 512, 256] {
+        let (err, ovh, n) = sampled(400_000, period);
+        println!("{:<22} {:>12} {:>12} {:>10}", period, pct(err), pct(ovh), n);
+    }
+
+    println!("\n(b) convergence with run length (period 1024):\n");
+    println!(
+        "{:<22} {:>12} {:>10}",
+        "iterations", "est. error", "samples"
+    );
+    let mut errs = Vec::new();
+    for iters in [2_000u32, 10_000, 50_000, 250_000, 1_000_000] {
+        let (err, _, n) = sampled(iters, 1024);
+        println!("{:<22} {:>12} {:>10}", iters, pct(err), n);
+        errs.push(err);
+    }
+
+    println!("\n(c) reference: direct counting of the same kernel is exact but pays");
+    let w = dense_fp(400_000, 4, 2);
+    let base = baseline_cycles(sim_alpha(), w.program.clone(), 6);
+    let mut papi = papi_on(sim_alpha(), w.program, 6);
+    let set = papi.create_eventset();
+    papi.add_event(set, Preset::TotIns.code()).unwrap();
+    papi.start(set).unwrap();
+    // a monitor reading once per 20k cycles
+    loop {
+        match papi.run_for(20_000).unwrap() {
+            papi_core::AppExit::Halted => break,
+            _ => {
+                let _ = papi.read(set).unwrap();
+            }
+        }
+    }
+    papi.stop(set).unwrap();
+    let direct_ovh = (papi.get_real_cyc() as f64 - base as f64) / base as f64;
+    println!(
+        "    periodic direct reads (every 20k cycles): overhead {}",
+        pct(direct_ovh)
+    );
+
+    let (err_mid, ovh_mid, _) = sampled(400_000, 2048);
+    assert!(
+        err_mid < 0.05,
+        "estimates must be accurate at long runs: {err_mid}"
+    );
+    assert!(
+        ovh_mid < 0.03,
+        "sampling overhead must be a few percent: {ovh_mid}"
+    );
+    assert!(
+        direct_ovh > 3.0 * ovh_mid,
+        "direct monitoring must cost more: {direct_ovh} vs {ovh_mid}"
+    );
+    assert!(
+        errs.first().unwrap() > errs.last().unwrap(),
+        "error must shrink with run length"
+    );
+}

@@ -1,0 +1,36 @@
+//! Shared helpers for the experiment harnesses in `src/bin/`.
+//!
+//! Each binary regenerates one table/figure/claim of the paper's evaluation;
+//! see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for recorded
+//! outputs.
+
+use papi_core::{Papi, SimSubstrate};
+use simcpu::{Machine, PlatformSpec, Program};
+
+/// Build a library handle over a machine running `program` on `spec`.
+pub fn papi_on(spec: PlatformSpec, program: Program, seed: u64) -> Papi<SimSubstrate> {
+    let mut m = Machine::new(spec, seed);
+    m.load(program);
+    Papi::init(SimSubstrate::new(m)).expect("init")
+}
+
+/// Uninstrumented cycle cost of a program on a platform (the baseline for
+/// overhead experiments).
+pub fn baseline_cycles(spec: PlatformSpec, program: Program, seed: u64) -> u64 {
+    let mut m = Machine::new(spec, seed);
+    m.load(program);
+    m.run_to_halt();
+    m.cycles()
+}
+
+/// Print an experiment banner.
+pub fn banner(id: &str, claim: &str) {
+    println!("==============================================================");
+    println!("{id}: {claim}");
+    println!("==============================================================");
+}
+
+/// Format a ratio as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}

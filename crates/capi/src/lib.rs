@@ -1,0 +1,683 @@
+//! # papi-capi — the C API surface of the PAPI specification
+//!
+//! PAPI is specified as a C library; this crate exposes the specification's
+//! function names and calling conventions (`PAPI_library_init`,
+//! `PAPI_create_eventset`, `PAPI_start`, `PAPI_flops`, …) as
+//! `extern "C"` symbols over `papi-core`, using the C API's global-session
+//! model and its negative `PAPI_E*` return codes.
+//!
+//! Because the monitored "process" is a simulated machine, two `PAPIx_*`
+//! extensions (not in the C spec) stand in for process creation: selecting
+//! a platform and loading a workload. Everything else follows the spec.
+//!
+//! Safety: the C entry points take raw pointers; each documents and checks
+//! its contract (null pointers are rejected with `PAPI_EINVAL`).
+
+use papi_core::{Papi, PapiError, Preset, SimSubstrate};
+use simcpu::{platform_by_name, Machine};
+use std::ffi::{c_char, c_int, c_longlong, c_uint, CStr};
+use std::sync::Mutex;
+
+/// `PAPI_VER_CURRENT` of the version we implement (3.0.0 encoded as in the
+/// C header: major<<24 | minor<<16 | revision<<8).
+#[allow(clippy::identity_op, clippy::erasing_op)]
+pub const PAPI_VER_CURRENT: c_int = (3 << 24) | (0 << 16) | (0 << 8);
+
+// The spec's return codes.
+pub const PAPI_OK: c_int = 0;
+pub const PAPI_EINVAL: c_int = -1;
+pub const PAPI_ENOMEM: c_int = -2;
+pub const PAPI_ESYS: c_int = -3;
+pub const PAPI_ESBSTR: c_int = -4;
+pub const PAPI_ENOEVNT: c_int = -7;
+pub const PAPI_ECNFLCT: c_int = -8;
+pub const PAPI_ENOTRUN: c_int = -9;
+pub const PAPI_EISRUN: c_int = -10;
+pub const PAPI_ENOEVST: c_int = -11;
+pub const PAPI_ENOTPRESET: c_int = -12;
+pub const PAPI_ENOCNTR: c_int = -13;
+pub const PAPI_EMISC: c_int = -14;
+pub const PAPI_ENOSUPP: c_int = -19;
+pub const PAPI_ENOINIT: c_int = -22;
+
+fn errno(e: &PapiError) -> c_int {
+    match e {
+        PapiError::Inval(_) => PAPI_EINVAL,
+        PapiError::NoEvnt(_) => PAPI_ENOEVNT,
+        PapiError::NotPreset(_) => PAPI_ENOTPRESET,
+        PapiError::NoCntr => PAPI_ENOCNTR,
+        PapiError::Cnflct => PAPI_ECNFLCT,
+        PapiError::NotRun => PAPI_ENOTRUN,
+        PapiError::IsRun => PAPI_EISRUN,
+        PapiError::NoEvst(_) => PAPI_ENOEVST,
+        PapiError::NoSupp(_) => PAPI_ENOSUPP,
+        PapiError::Substrate(_) => PAPI_ESBSTR,
+    }
+}
+
+struct Session {
+    papi: Papi<SimSubstrate>,
+}
+
+static SESSION: Mutex<Option<Session>> = Mutex::new(None);
+
+fn with_session<F: FnOnce(&mut Session) -> c_int>(f: F) -> c_int {
+    let mut guard = match SESSION.lock() {
+        Ok(g) => g,
+        Err(_) => return PAPI_EMISC,
+    };
+    match guard.as_mut() {
+        Some(s) => f(s),
+        None => PAPI_ENOINIT,
+    }
+}
+
+/// `PAPI_library_init(PAPI_VER_CURRENT)`. Initializes the library on the
+/// `sim-generic` platform (use [`PAPIx_init_platform`] for another). Returns
+/// the version on success, like the C API.
+///
+/// # Safety
+/// Safe to call from any thread; the session is a process-global guarded by
+/// a mutex, as in the C library.
+#[no_mangle]
+pub extern "C" fn PAPI_library_init(version: c_int) -> c_int {
+    if version != PAPI_VER_CURRENT {
+        return PAPI_EINVAL;
+    }
+    init_platform("sim-generic")
+}
+
+fn init_platform(name: &str) -> c_int {
+    let Some(spec) = platform_by_name(name) else {
+        return PAPI_ESBSTR;
+    };
+    let machine = Machine::new(spec, 42);
+    match Papi::init(SimSubstrate::new(machine)) {
+        Ok(p) => {
+            *SESSION.lock().unwrap() = Some(Session { papi: p });
+            PAPI_VER_CURRENT
+        }
+        Err(_) => PAPI_ESBSTR,
+    }
+}
+
+/// Extension: initialize on a named simulated platform.
+///
+/// # Safety
+/// `name` must be a valid NUL-terminated C string.
+#[no_mangle]
+pub unsafe extern "C" fn PAPIx_init_platform(name: *const c_char) -> c_int {
+    if name.is_null() {
+        return PAPI_EINVAL;
+    }
+    let Ok(s) = CStr::from_ptr(name).to_str() else {
+        return PAPI_EINVAL;
+    };
+    init_platform(s)
+}
+
+/// Extension: load a named demo workload (`matmul`, `dense_fp`, `stream`,
+/// `chase`, `cg`) into the monitored machine.
+///
+/// # Safety
+/// `name` must be a valid NUL-terminated C string.
+#[no_mangle]
+pub unsafe extern "C" fn PAPIx_load_workload(name: *const c_char) -> c_int {
+    if name.is_null() {
+        return PAPI_EINVAL;
+    }
+    let Ok(s) = CStr::from_ptr(name).to_str() else {
+        return PAPI_EINVAL;
+    };
+    let program = match s {
+        "matmul" => papi_workloads::matmul(24).program,
+        "dense_fp" => papi_workloads::dense_fp(100_000, 4, 2).program,
+        "stream" => papi_workloads::stream_copy(1 << 18, 2).program,
+        "chase" => papi_workloads::pointer_chase(1 << 20, 100_000).program,
+        "cg" => papi_workloads::cg_like(256, 8, 4).program,
+        _ => return PAPI_EINVAL,
+    };
+    with_session(|s| {
+        s.papi.substrate_mut().machine_mut().load(program.clone());
+        PAPI_OK
+    })
+}
+
+/// Extension: run the monitored application to completion.
+#[no_mangle]
+pub extern "C" fn PAPIx_run_app() -> c_int {
+    with_session(|s| match s.papi.run_app() {
+        Ok(()) => PAPI_OK,
+        Err(e) => errno(&e),
+    })
+}
+
+/// `PAPI_shutdown`.
+#[no_mangle]
+pub extern "C" fn PAPI_shutdown() {
+    *SESSION.lock().unwrap() = None;
+}
+
+/// `PAPI_is_initialized`.
+#[no_mangle]
+pub extern "C" fn PAPI_is_initialized() -> c_int {
+    if SESSION.lock().map(|g| g.is_some()).unwrap_or(false) {
+        1 // PAPI_LOW_LEVEL_INITED
+    } else {
+        0 // PAPI_NOT_INITED
+    }
+}
+
+/// `PAPI_num_counters`.
+#[no_mangle]
+pub extern "C" fn PAPI_num_counters() -> c_int {
+    let mut out = PAPI_ENOINIT;
+    let _ = with_session(|s| {
+        out = s.papi.num_counters() as c_int;
+        PAPI_OK
+    });
+    out
+}
+
+/// `PAPI_create_eventset(&es)`. `*es` must be `PAPI_NULL` (-1) on entry.
+///
+/// # Safety
+/// `es` must be a valid, writable pointer.
+#[no_mangle]
+pub unsafe extern "C" fn PAPI_create_eventset(es: *mut c_int) -> c_int {
+    if es.is_null() || *es != -1 {
+        return PAPI_EINVAL;
+    }
+    with_session(|s| {
+        *es = s.papi.create_eventset() as c_int;
+        PAPI_OK
+    })
+}
+
+/// `PAPI_destroy_eventset(&es)`; resets `*es` to `PAPI_NULL` on success.
+///
+/// # Safety
+/// `es` must be a valid, writable pointer.
+#[no_mangle]
+pub unsafe extern "C" fn PAPI_destroy_eventset(es: *mut c_int) -> c_int {
+    if es.is_null() || *es < 0 {
+        return PAPI_EINVAL;
+    }
+    let id = *es as usize;
+    with_session(|s| match s.papi.destroy_eventset(id) {
+        Ok(()) => {
+            *es = -1;
+            PAPI_OK
+        }
+        Err(e) => errno(&e),
+    })
+}
+
+/// `PAPI_add_event`.
+#[no_mangle]
+pub extern "C" fn PAPI_add_event(es: c_int, code: c_uint) -> c_int {
+    if es < 0 {
+        return PAPI_ENOEVST;
+    }
+    with_session(|s| match s.papi.add_event(es as usize, code) {
+        Ok(()) => PAPI_OK,
+        Err(e) => errno(&e),
+    })
+}
+
+/// `PAPI_set_multiplex`.
+#[no_mangle]
+pub extern "C" fn PAPI_set_multiplex(es: c_int) -> c_int {
+    if es < 0 {
+        return PAPI_ENOEVST;
+    }
+    with_session(|s| match s.papi.set_multiplex(es as usize) {
+        Ok(()) => PAPI_OK,
+        Err(e) => errno(&e),
+    })
+}
+
+/// `PAPI_start`.
+#[no_mangle]
+pub extern "C" fn PAPI_start(es: c_int) -> c_int {
+    if es < 0 {
+        return PAPI_ENOEVST;
+    }
+    with_session(|s| match s.papi.start(es as usize) {
+        Ok(()) => PAPI_OK,
+        Err(e) => errno(&e),
+    })
+}
+
+unsafe fn copy_out(values: *mut c_longlong, v: &[i64]) -> c_int {
+    if values.is_null() {
+        return PAPI_EINVAL;
+    }
+    for (i, &x) in v.iter().enumerate() {
+        *values.add(i) = x;
+    }
+    PAPI_OK
+}
+
+/// `PAPI_stop(es, values)`. `values` must have room for one `long long`
+/// per event in the set.
+///
+/// # Safety
+/// `values` must point to at least `PAPI_num_events(es)` writable slots.
+#[no_mangle]
+pub unsafe extern "C" fn PAPI_stop(es: c_int, values: *mut c_longlong) -> c_int {
+    if es < 0 {
+        return PAPI_ENOEVST;
+    }
+    with_session(|s| match s.papi.stop(es as usize) {
+        Ok(v) => copy_out(values, &v),
+        Err(e) => errno(&e),
+    })
+}
+
+/// `PAPI_read(es, values)`.
+///
+/// # Safety
+/// `values` must point to at least `PAPI_num_events(es)` writable slots.
+#[no_mangle]
+pub unsafe extern "C" fn PAPI_read(es: c_int, values: *mut c_longlong) -> c_int {
+    if es < 0 {
+        return PAPI_ENOEVST;
+    }
+    with_session(|s| match s.papi.read(es as usize) {
+        Ok(v) => copy_out(values, &v),
+        Err(e) => errno(&e),
+    })
+}
+
+/// `PAPI_accum(es, values)`.
+///
+/// # Safety
+/// `values` must point to at least `PAPI_num_events(es)` readable+writable
+/// slots.
+#[no_mangle]
+pub unsafe extern "C" fn PAPI_accum(es: c_int, values: *mut c_longlong) -> c_int {
+    if es < 0 {
+        return PAPI_ENOEVST;
+    }
+    with_session(|s| {
+        let n = match s.papi.num_events(es as usize) {
+            Ok(n) => n,
+            Err(e) => return errno(&e),
+        };
+        if values.is_null() {
+            return PAPI_EINVAL;
+        }
+        let mut buf: Vec<i64> = (0..n).map(|i| *values.add(i)).collect();
+        match s.papi.accum(es as usize, &mut buf) {
+            Ok(()) => copy_out(values, &buf),
+            Err(e) => errno(&e),
+        }
+    })
+}
+
+/// `PAPI_reset`.
+#[no_mangle]
+pub extern "C" fn PAPI_reset(es: c_int) -> c_int {
+    if es < 0 {
+        return PAPI_ENOEVST;
+    }
+    with_session(|s| match s.papi.reset(es as usize) {
+        Ok(()) => PAPI_OK,
+        Err(e) => errno(&e),
+    })
+}
+
+/// `PAPI_query_event`.
+#[no_mangle]
+pub extern "C" fn PAPI_query_event(code: c_uint) -> c_int {
+    with_session(|s| {
+        if s.papi.query_event(code) {
+            PAPI_OK
+        } else {
+            PAPI_ENOEVNT
+        }
+    })
+}
+
+/// `PAPI_event_name_to_code`.
+///
+/// # Safety
+/// `name` must be a valid NUL-terminated C string; `code` must be writable.
+#[no_mangle]
+pub unsafe extern "C" fn PAPI_event_name_to_code(name: *const c_char, code: *mut c_uint) -> c_int {
+    if name.is_null() || code.is_null() {
+        return PAPI_EINVAL;
+    }
+    let Ok(n) = CStr::from_ptr(name).to_str() else {
+        return PAPI_EINVAL;
+    };
+    with_session(|s| match s.papi.event_name_to_code(n) {
+        Ok(c) => {
+            *code = c;
+            PAPI_OK
+        }
+        Err(e) => errno(&e),
+    })
+}
+
+/// `PAPI_get_real_usec`.
+#[no_mangle]
+pub extern "C" fn PAPI_get_real_usec() -> c_longlong {
+    let mut out = 0;
+    let _ = with_session(|s| {
+        out = s.papi.get_real_usec() as c_longlong;
+        PAPI_OK
+    });
+    out
+}
+
+/// `PAPI_get_real_cyc`.
+#[no_mangle]
+pub extern "C" fn PAPI_get_real_cyc() -> c_longlong {
+    let mut out = 0;
+    let _ = with_session(|s| {
+        out = s.papi.get_real_cyc() as c_longlong;
+        PAPI_OK
+    });
+    out
+}
+
+/// `PAPI_get_virt_usec` (thread 0, like the single-threaded C default).
+#[no_mangle]
+pub extern "C" fn PAPI_get_virt_usec() -> c_longlong {
+    let mut out = 0;
+    let _ = with_session(|s| {
+        out = s.papi.get_virt_usec(0).unwrap_or(0) as c_longlong;
+        PAPI_OK
+    });
+    out
+}
+
+/// `PAPI_flops(&rtime, &ptime, &flpops, &mflops)` — the spec's easy entry
+/// point: first call starts counting, later calls report.
+///
+/// # Safety
+/// All four pointers must be valid and writable.
+#[no_mangle]
+pub unsafe extern "C" fn PAPI_flops(
+    rtime: *mut f32,
+    ptime: *mut f32,
+    flpops: *mut c_longlong,
+    mflops: *mut f32,
+) -> c_int {
+    if rtime.is_null() || ptime.is_null() || flpops.is_null() || mflops.is_null() {
+        return PAPI_EINVAL;
+    }
+    with_session(|s| match s.papi.flops() {
+        Ok(f) => {
+            *rtime = (f.real_us / 1e6) as f32;
+            *ptime = (f.proc_us / 1e6) as f32;
+            *flpops = f.flpops;
+            *mflops = f.mflops as f32;
+            PAPI_OK
+        }
+        Err(e) => errno(&e),
+    })
+}
+
+/// The preset code of `PAPI_TOT_CYC` etc., exported as constants for C
+/// callers (the header would `#define` these).
+#[no_mangle]
+pub extern "C" fn PAPI_preset_code(index: c_int) -> c_uint {
+    Preset::ALL
+        .get(index as usize)
+        .map(|p| p.code())
+        .unwrap_or(0)
+}
+
+/// `PAPI_num_events(es)`.
+#[no_mangle]
+pub extern "C" fn PAPI_num_events(es: c_int) -> c_int {
+    if es < 0 {
+        return PAPI_ENOEVST;
+    }
+    let mut out = PAPI_ENOEVST;
+    let rc = with_session(|s| match s.papi.num_events(es as usize) {
+        Ok(n) => {
+            out = n as c_int;
+            PAPI_OK
+        }
+        Err(e) => errno(&e),
+    });
+    if rc == PAPI_OK {
+        out
+    } else {
+        rc
+    }
+}
+
+/// `PAPI_list_events(es, codes, &n)`: on entry `*n` is the buffer size; on
+/// exit it is the number of events written.
+///
+/// # Safety
+/// `codes` must point to at least `*n` writable `c_uint` slots; `n` must be
+/// valid and writable.
+#[no_mangle]
+pub unsafe extern "C" fn PAPI_list_events(es: c_int, codes: *mut c_uint, n: *mut c_int) -> c_int {
+    if es < 0 {
+        return PAPI_ENOEVST;
+    }
+    if codes.is_null() || n.is_null() || *n < 0 {
+        return PAPI_EINVAL;
+    }
+    let cap = *n as usize;
+    with_session(|s| match s.papi.list_events(es as usize) {
+        Ok(evts) => {
+            let k = evts.len().min(cap);
+            for (i, &c) in evts.iter().take(k).enumerate() {
+                *codes.add(i) = c;
+            }
+            *n = k as c_int;
+            PAPI_OK
+        }
+        Err(e) => errno(&e),
+    })
+}
+
+/// `PAPI_event_code_to_name(code, buf, len)`: NUL-terminated, truncating.
+///
+/// # Safety
+/// `buf` must point to at least `len` writable bytes.
+#[no_mangle]
+pub unsafe extern "C" fn PAPI_event_code_to_name(
+    code: c_uint,
+    buf: *mut c_char,
+    len: c_int,
+) -> c_int {
+    if buf.is_null() || len <= 0 {
+        return PAPI_EINVAL;
+    }
+    with_session(|s| match s.papi.event_code_to_name(code) {
+        Ok(name) => {
+            let bytes = name.as_bytes();
+            let k = bytes.len().min(len as usize - 1);
+            for (i, &b) in bytes.iter().take(k).enumerate() {
+                *buf.add(i) = b as c_char;
+            }
+            *buf.add(k) = 0;
+            PAPI_OK
+        }
+        Err(e) => errno(&e),
+    })
+}
+
+/// `PAPI_strerror(code)`: static description of an error code, or NULL for
+/// an unknown code (as in the C library).
+#[no_mangle]
+pub extern "C" fn PAPI_strerror(code: c_int) -> *const c_char {
+    let s: &'static [u8] = match code {
+        PAPI_OK => b"No error ",
+        PAPI_EINVAL => b"Invalid argument ",
+        PAPI_ENOMEM => b"Insufficient memory ",
+        PAPI_ESYS => b"A system or C library call failed ",
+        PAPI_ESBSTR => b"Substrate returned an error ",
+        PAPI_ENOEVNT => b"Event does not exist ",
+        PAPI_ECNFLCT => b"Event exists, but cannot be counted due to hardware resource limits ",
+        PAPI_ENOTRUN => b"EventSet is currently not running ",
+        PAPI_EISRUN => b"EventSet is currently counting ",
+        PAPI_ENOEVST => b"No such EventSet available ",
+        PAPI_ENOTPRESET => b"Event in argument is not a valid preset ",
+        PAPI_ENOCNTR => b"Hardware does not support performance counters ",
+        PAPI_EMISC => b"Unknown error code ",
+        PAPI_ENOSUPP => b"Not supported ",
+        PAPI_ENOINIT => b"PAPI hasn't been initialized yet ",
+        _ => return std::ptr::null(),
+    };
+    s.as_ptr() as *const c_char
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::ffi::CString;
+
+    // The global session serializes these tests.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn cstr(s: &str) -> CString {
+        CString::new(s).unwrap()
+    }
+
+    #[test]
+    fn c_api_full_flow() {
+        let _g = TEST_LOCK.lock().unwrap();
+        assert_eq!(PAPI_library_init(PAPI_VER_CURRENT), PAPI_VER_CURRENT);
+        assert_eq!(PAPI_is_initialized(), 1);
+        unsafe {
+            assert_eq!(PAPIx_load_workload(cstr("matmul").as_ptr()), PAPI_OK);
+            let mut es: c_int = -1;
+            assert_eq!(PAPI_create_eventset(&mut es), PAPI_OK);
+            assert!(es >= 0);
+            let mut code: c_uint = 0;
+            assert_eq!(
+                PAPI_event_name_to_code(cstr("PAPI_FP_OPS").as_ptr(), &mut code),
+                PAPI_OK
+            );
+            assert_eq!(PAPI_add_event(es, code), PAPI_OK);
+            assert_eq!(PAPI_start(es), PAPI_OK);
+            assert_eq!(PAPIx_run_app(), PAPI_OK);
+            let mut values: [c_longlong; 1] = [0];
+            assert_eq!(PAPI_stop(es, values.as_mut_ptr()), PAPI_OK);
+            assert_eq!(values[0], 2 * 24i64.pow(3));
+            assert_eq!(PAPI_destroy_eventset(&mut es), PAPI_OK);
+            assert_eq!(es, -1);
+        }
+        PAPI_shutdown();
+        assert_eq!(PAPI_is_initialized(), 0);
+    }
+
+    #[test]
+    fn c_api_error_codes() {
+        let _g = TEST_LOCK.lock().unwrap();
+        PAPI_shutdown();
+        // Not initialized.
+        assert_eq!(PAPI_start(0), PAPI_ENOINIT);
+        assert_eq!(PAPI_library_init(123), PAPI_EINVAL);
+        assert_eq!(PAPI_library_init(PAPI_VER_CURRENT), PAPI_VER_CURRENT);
+        unsafe {
+            // Bad eventset handles.
+            assert_eq!(PAPI_add_event(-1, 0), PAPI_ENOEVST);
+            assert_eq!(PAPI_add_event(99, PAPI_preset_code(0)), PAPI_ENOEVST);
+            let mut es: c_int = 5; // must be PAPI_NULL on entry
+            assert_eq!(PAPI_create_eventset(&mut es), PAPI_EINVAL);
+            es = -1;
+            assert_eq!(PAPI_create_eventset(&mut es), PAPI_OK);
+            // Unknown event.
+            assert_eq!(PAPI_add_event(es, 0x4abc_0000), PAPI_ENOEVNT);
+            // Stop before start.
+            let mut v: [c_longlong; 1] = [0];
+            assert_eq!(PAPI_stop(es, v.as_mut_ptr()), PAPI_ENOTRUN);
+            // Unknown workload / null pointers.
+            assert_eq!(PAPIx_load_workload(cstr("nope").as_ptr()), PAPI_EINVAL);
+            assert_eq!(PAPIx_load_workload(std::ptr::null()), PAPI_EINVAL);
+            let mut code: c_uint = 0;
+            assert_eq!(
+                PAPI_event_name_to_code(std::ptr::null(), &mut code),
+                PAPI_EINVAL
+            );
+        }
+        PAPI_shutdown();
+    }
+
+    #[test]
+    fn c_api_introspection_and_strerror() {
+        let _g = TEST_LOCK.lock().unwrap();
+        assert_eq!(PAPI_library_init(PAPI_VER_CURRENT), PAPI_VER_CURRENT);
+        unsafe {
+            let mut es: c_int = -1;
+            PAPI_create_eventset(&mut es);
+            let c0 = PAPI_preset_code(0);
+            let c1 = PAPI_preset_code(1);
+            PAPI_add_event(es, c0);
+            PAPI_add_event(es, c1);
+            assert_eq!(PAPI_num_events(es), 2);
+            let mut codes = [0u32; 8];
+            let mut n: c_int = 8;
+            assert_eq!(PAPI_list_events(es, codes.as_mut_ptr(), &mut n), PAPI_OK);
+            assert_eq!(n, 2);
+            assert_eq!(codes[0], c0);
+            let mut buf = [0i8; 32];
+            assert_eq!(PAPI_event_code_to_name(c0, buf.as_mut_ptr(), 32), PAPI_OK);
+            let name = CStr::from_ptr(buf.as_ptr()).to_str().unwrap();
+            assert_eq!(name, "PAPI_TOT_CYC");
+            // Truncation keeps NUL termination.
+            let mut tiny = [0i8; 6];
+            assert_eq!(PAPI_event_code_to_name(c0, tiny.as_mut_ptr(), 6), PAPI_OK);
+            assert_eq!(CStr::from_ptr(tiny.as_ptr()).to_str().unwrap(), "PAPI_");
+            // strerror
+            let msg = CStr::from_ptr(PAPI_strerror(PAPI_ECNFLCT))
+                .to_str()
+                .unwrap();
+            assert!(msg.contains("hardware resource"));
+            assert!(PAPI_strerror(-999).is_null());
+        }
+        PAPI_shutdown();
+    }
+
+    #[test]
+    fn c_api_flops_easy_path() {
+        let _g = TEST_LOCK.lock().unwrap();
+        assert_eq!(PAPI_library_init(PAPI_VER_CURRENT), PAPI_VER_CURRENT);
+        unsafe {
+            assert_eq!(PAPIx_load_workload(cstr("dense_fp").as_ptr()), PAPI_OK);
+            let (mut rt, mut pt, mut fl, mut mf) = (0f32, 0f32, 0i64, 0f32);
+            assert_eq!(PAPI_flops(&mut rt, &mut pt, &mut fl, &mut mf), PAPI_OK);
+            assert_eq!(fl, 0);
+            assert_eq!(PAPIx_run_app(), PAPI_OK);
+            assert_eq!(PAPI_flops(&mut rt, &mut pt, &mut fl, &mut mf), PAPI_OK);
+            assert_eq!(fl, 100_000 * 10); // 4 FMA x2 + 2 adds
+            assert!(mf > 0.0 && rt > 0.0 && pt > 0.0);
+        }
+        PAPI_shutdown();
+    }
+
+    #[test]
+    fn c_api_accum_and_reset() {
+        let _g = TEST_LOCK.lock().unwrap();
+        assert_eq!(PAPI_library_init(PAPI_VER_CURRENT), PAPI_VER_CURRENT);
+        unsafe {
+            assert_eq!(PAPIx_load_workload(cstr("dense_fp").as_ptr()), PAPI_OK);
+            let mut es: c_int = -1;
+            PAPI_create_eventset(&mut es);
+            let mut code: c_uint = 0;
+            PAPI_event_name_to_code(cstr("PAPI_FMA_INS").as_ptr(), &mut code);
+            PAPI_add_event(es, code);
+            PAPI_start(es);
+            PAPIx_run_app();
+            let mut acc: [c_longlong; 1] = [1000];
+            assert_eq!(PAPI_accum(es, acc.as_mut_ptr()), PAPI_OK);
+            assert_eq!(acc[0], 1000 + 400_000);
+            let mut v: [c_longlong; 1] = [0];
+            assert_eq!(PAPI_read(es, v.as_mut_ptr()), PAPI_OK);
+            assert_eq!(v[0], 0); // accum reset the counter
+            PAPI_stop(es, v.as_mut_ptr());
+        }
+        PAPI_shutdown();
+    }
+}

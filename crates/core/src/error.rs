@@ -1,0 +1,96 @@
+//! PAPI error codes.
+//!
+//! The variants mirror the C library's `PAPI_E*` return codes so that code
+//! written against the original specification translates directly.
+
+use simcpu::MachError;
+
+/// Errors returned by the portable layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PapiError {
+    /// `PAPI_EINVAL` — invalid argument.
+    Inval(&'static str),
+    /// `PAPI_ENOEVNT` — the event is not available on this platform (or the
+    /// preset cannot be mapped to native events).
+    NoEvnt(u32),
+    /// `PAPI_ENOTPRESET` — the code is not a preset event code.
+    NotPreset(u32),
+    /// `PAPI_ENOCNTR` — the hardware does not have enough counters.
+    NoCntr,
+    /// `PAPI_ECNFLCT` — the events conflict: no counter assignment exists
+    /// (and multiplexing is not enabled for the set).
+    Cnflct,
+    /// `PAPI_ENOTRUN` — the EventSet is not running.
+    NotRun,
+    /// `PAPI_EISRUN` — an EventSet is already running (version-3 semantics:
+    /// overlapping EventSets were removed).
+    IsRun,
+    /// `PAPI_ENOEVST` — no such EventSet.
+    NoEvst(usize),
+    /// `PAPI_ENOSUPP` — the operation is not supported on this substrate
+    /// (e.g. precise sampling without the hardware).
+    NoSupp(&'static str),
+    /// `PAPI_EBUG` / `PAPI_EMISC` — substrate-level failure.
+    Substrate(String),
+}
+
+impl std::fmt::Display for PapiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PapiError::Inval(s) => write!(f, "PAPI_EINVAL: invalid argument: {s}"),
+            PapiError::NoEvnt(c) => write!(
+                f,
+                "PAPI_ENOEVNT: event {c:#x} not available on this platform"
+            ),
+            PapiError::NotPreset(c) => {
+                write!(f, "PAPI_ENOTPRESET: {c:#x} is not a preset event code")
+            }
+            PapiError::NoCntr => write!(f, "PAPI_ENOCNTR: not enough hardware counters"),
+            PapiError::Cnflct => write!(
+                f,
+                "PAPI_ECNFLCT: events conflict and cannot be counted together"
+            ),
+            PapiError::NotRun => write!(f, "PAPI_ENOTRUN: EventSet is not running"),
+            PapiError::IsRun => write!(f, "PAPI_EISRUN: an EventSet is already running"),
+            PapiError::NoEvst(i) => write!(f, "PAPI_ENOEVST: no such EventSet {i}"),
+            PapiError::NoSupp(s) => write!(f, "PAPI_ENOSUPP: {s}"),
+            PapiError::Substrate(s) => write!(f, "PAPI_EMISC: substrate error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PapiError {}
+
+impl From<MachError> for PapiError {
+    fn from(e: MachError) -> Self {
+        match e {
+            MachError::SamplingUnsupported => PapiError::NoSupp("no precise sampling hardware"),
+            other => PapiError::Substrate(other.to_string()),
+        }
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, PapiError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_papi_code() {
+        assert!(PapiError::Cnflct.to_string().contains("ECNFLCT"));
+        assert!(PapiError::NoEvnt(0x8000_0001)
+            .to_string()
+            .contains("0x80000001"));
+        assert!(PapiError::IsRun.to_string().contains("EISRUN"));
+    }
+
+    #[test]
+    fn from_mach_error() {
+        let e: PapiError = MachError::SamplingUnsupported.into();
+        assert_eq!(e, PapiError::NoSupp("no precise sampling hardware"));
+        let e: PapiError = MachError::NoSuchCounter(3).into();
+        assert!(matches!(e, PapiError::Substrate(_)));
+    }
+}

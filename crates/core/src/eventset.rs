@@ -1,0 +1,83 @@
+//! EventSets: the low-level interface's unit of counter management.
+//!
+//! PAPI manages events in user-defined sets. A set is built while *stopped*
+//! (events added or removed, multiplexing and domain configured), then
+//! *started* — at which point the library resolves presets to native events,
+//! solves counter allocation and programs the hardware. Version-3 semantics
+//! apply: only one EventSet may run at a time (overlapping EventSets were
+//! removed "to reduce memory usage and runtime overhead").
+
+use simcpu::{Domain, ThreadId};
+
+/// Identifies an EventSet within a [`crate::Papi`] instance.
+pub type EventSetId = usize;
+
+/// Lifecycle state of an EventSet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetState {
+    Stopped,
+    Running,
+}
+
+/// Overflow registration attached to an EventSet.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OverflowReg {
+    /// PAPI event code within the set whose counter overflows.
+    pub code: u32,
+    pub threshold: u64,
+    /// Index into `Papi::handlers` (user callback) or `Papi::profils`.
+    pub route: OvfRoute,
+}
+
+/// Where an overflow interrupt is routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OvfRoute {
+    /// User callback registered via `Papi::overflow`.
+    Handler(usize),
+    /// SVR4-style profiling histogram registered via `Papi::profil`.
+    Profil(usize),
+}
+
+/// The stored (stopped-state) contents of an EventSet.
+#[derive(Debug)]
+pub(crate) struct EventSetData {
+    pub events: Vec<u32>,
+    pub domain: Domain,
+    pub multiplex: bool,
+    /// Switching period override for multiplexing, in cycles
+    /// (`None` = [`crate::multiplex::DEFAULT_MPX_PERIOD_CYCLES`]).
+    pub mpx_period: Option<u64>,
+    /// Thread this set is attached to (PAPI_attach); `None` = the whole
+    /// machine / current granularity.
+    pub attached: Option<ThreadId>,
+    pub state: SetState,
+    pub overflow: Vec<OverflowReg>,
+}
+
+impl EventSetData {
+    pub fn new() -> Self {
+        EventSetData {
+            events: Vec::new(),
+            domain: Domain::USER,
+            multiplex: false,
+            mpx_period: None,
+            attached: None,
+            state: SetState::Stopped,
+            overflow: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_set_defaults() {
+        let s = EventSetData::new();
+        assert_eq!(s.state, SetState::Stopped);
+        assert_eq!(s.domain, Domain::USER);
+        assert!(!s.multiplex);
+        assert!(s.events.is_empty());
+    }
+}

@@ -1,0 +1,406 @@
+//! The high-level interface: "the ability to start, stop, and read the
+//! counters for a specified list of events", plus the rate calls
+//! (`PAPI_flops`, and an IPC analogue) "intended for the acquisition of
+//! simple but accurate measurements by application engineers".
+//!
+//! `PAPI_flops` is where the library *normalizes* counts (§4): FMA
+//! instructions are counted as two floating-point operations, either through
+//! a native operation-weighted event (`PAPI_FP_OPS`) or, where the platform
+//! only counts FP *instructions*, by adding the FMA count in software. When
+//! neither correction is possible the result is flagged `exact: false`.
+
+use crate::error::{PapiError, Result};
+use crate::eventset::EventSetId;
+use crate::preset::Preset;
+use crate::{Papi, Substrate};
+
+/// Result of [`Papi::flops`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Flops {
+    /// Wall-clock microseconds since the first `flops` call.
+    pub real_us: f64,
+    /// Process (virtual) microseconds since the first `flops` call.
+    pub proc_us: f64,
+    /// Total floating-point operations since the first `flops` call.
+    pub flpops: i64,
+    /// MFLOP/s over the interval since the *previous* `flops` call.
+    pub mflops: f64,
+    /// False when the platform could not be corrected to true operation
+    /// counts (e.g. converts included, FMA counted once).
+    pub exact: bool,
+    /// How the count was normalized: an operation-weighted event, a
+    /// software FMA correction, or uncorrected instructions.
+    pub method: &'static str,
+}
+
+/// Result of [`Papi::ipc`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ipc {
+    pub real_us: f64,
+    pub proc_us: f64,
+    /// Total instructions since the first `ipc` call.
+    pub ins: i64,
+    /// Instructions per cycle over the interval since the previous call.
+    pub ipc: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlopMode {
+    /// A native operation-weighted event exists (`PAPI_FP_OPS`).
+    Ops,
+    /// Software normalization: `PAPI_FP_INS + PAPI_FMA_INS`.
+    InsPlusFma,
+    /// Best effort: instructions only (inexact).
+    InsOnly,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HlKind {
+    Counters,
+    Flops(FlopMode),
+    Ipc,
+}
+
+/// Internal high-level state (one high-level "mode" may be active at once).
+pub(crate) struct HlState {
+    set: EventSetId,
+    kind: HlKind,
+    start_real_ns: u64,
+    start_virt_ns: u64,
+    last_real_ns: u64,
+    last_value: i64,
+}
+
+fn method_name(mode: FlopMode) -> &'static str {
+    match mode {
+        FlopMode::Ops => "PAPI_FP_OPS",
+        FlopMode::InsPlusFma => "PAPI_FP_INS + PAPI_FMA_INS",
+        FlopMode::InsOnly => "PAPI_FP_INS (uncorrected)",
+    }
+}
+
+impl<S: Substrate> Papi<S> {
+    fn hl_begin(&mut self, events: &[u32], kind: HlKind) -> Result<()> {
+        if self.hl.is_some() {
+            return Err(PapiError::IsRun);
+        }
+        let set = self.create_eventset();
+        if let Err(e) = self.add_events(set, events).and_then(|_| self.start(set)) {
+            let _ = self.destroy_eventset(set);
+            return Err(e);
+        }
+        let real = self.get_real_ns();
+        let virt = self.get_virt_ns(0).unwrap_or(0);
+        self.hl = Some(HlState {
+            set,
+            kind,
+            start_real_ns: real,
+            start_virt_ns: virt,
+            last_real_ns: real,
+            last_value: 0,
+        });
+        Ok(())
+    }
+
+    fn hl_state(&self) -> Result<&HlState> {
+        self.hl.as_ref().ok_or(PapiError::NotRun)
+    }
+
+    /// `PAPI_start_counters`: start counting `events` with no EventSet
+    /// bookkeeping on the caller's side.
+    pub fn hl_start_counters(&mut self, events: &[u32]) -> Result<()> {
+        self.hl_begin(events, HlKind::Counters)
+    }
+
+    /// `PAPI_read_counters`: copy current counts out and reset them.
+    pub fn hl_read_counters(&mut self) -> Result<Vec<i64>> {
+        let (set, kind) = {
+            let h = self.hl_state()?;
+            (h.set, h.kind)
+        };
+        if kind != HlKind::Counters {
+            return Err(PapiError::Inval("high-level state is not in counter mode"));
+        }
+        let v = self.read(set)?;
+        self.reset(set)?;
+        Ok(v)
+    }
+
+    /// `PAPI_accum_counters`: add current counts into `values` and reset.
+    pub fn hl_accum_counters(&mut self, values: &mut [i64]) -> Result<()> {
+        let (set, kind) = {
+            let h = self.hl_state()?;
+            (h.set, h.kind)
+        };
+        if kind != HlKind::Counters {
+            return Err(PapiError::Inval("high-level state is not in counter mode"));
+        }
+        self.accum(set, values)
+    }
+
+    /// `PAPI_stop_counters`: stop and return the final counts, releasing
+    /// the high-level state (works for every high-level mode).
+    pub fn hl_stop_counters(&mut self) -> Result<Vec<i64>> {
+        let set = self.hl_state()?.set;
+        let v = self.stop(set)?;
+        let _ = self.destroy_eventset(set);
+        self.hl = None;
+        Ok(v)
+    }
+
+    /// `PAPI_flops`: the first call starts floating-point counting and
+    /// returns zeros; each later call reports totals since the first call
+    /// and the MFLOP rate since the previous call.
+    pub fn flops(&mut self) -> Result<Flops> {
+        if self.hl.is_none() {
+            // Choose the best normalization the platform allows.
+            let (events, mode) = if self.query_event(Preset::FpOps.code()) {
+                (vec![Preset::FpOps.code()], FlopMode::Ops)
+            } else if self.query_event(Preset::FpIns.code())
+                && self.query_event(Preset::FmaIns.code())
+            {
+                (
+                    vec![Preset::FpIns.code(), Preset::FmaIns.code()],
+                    FlopMode::InsPlusFma,
+                )
+            } else if self.query_event(Preset::FpIns.code()) {
+                (vec![Preset::FpIns.code()], FlopMode::InsOnly)
+            } else {
+                return Err(PapiError::NoEvnt(Preset::FpOps.code()));
+            };
+            self.hl_begin(&events, HlKind::Flops(mode))?;
+            return Ok(Flops {
+                real_us: 0.0,
+                proc_us: 0.0,
+                flpops: 0,
+                mflops: 0.0,
+                exact: mode != FlopMode::InsOnly,
+                method: method_name(mode),
+            });
+        }
+        let (set, kind) = {
+            let h = self.hl_state()?;
+            (h.set, h.kind)
+        };
+        let HlKind::Flops(mode) = kind else {
+            return Err(PapiError::Inval("high-level state is not in flops mode"));
+        };
+        let v = self.read(set)?;
+        let flpops = match mode {
+            FlopMode::Ops | FlopMode::InsOnly => v[0],
+            // FP_INS counts an FMA once; adding FMA_INS counts it twice.
+            FlopMode::InsPlusFma => v[0] + v[1],
+        };
+        let real = self.get_real_ns();
+        let virt = self.get_virt_ns(0).unwrap_or(0);
+        let exact = {
+            let fp_exact = !self
+                .preset_table()
+                .mapping(match mode {
+                    FlopMode::Ops => Preset::FpOps.code(),
+                    _ => Preset::FpIns.code(),
+                })
+                .map(|m| m.inexact)
+                .unwrap_or(true);
+            fp_exact && mode != FlopMode::InsOnly
+        };
+        let h = self.hl.as_mut().unwrap();
+        let d_flpops = flpops - h.last_value;
+        let d_real_us = (real - h.last_real_ns) as f64 / 1000.0;
+        let mflops = if d_real_us > 0.0 {
+            d_flpops as f64 / d_real_us
+        } else {
+            0.0
+        };
+        let out = Flops {
+            real_us: (real - h.start_real_ns) as f64 / 1000.0,
+            proc_us: (virt - h.start_virt_ns) as f64 / 1000.0,
+            flpops,
+            mflops,
+            exact,
+            method: method_name(mode),
+        };
+        h.last_value = flpops;
+        h.last_real_ns = real;
+        Ok(out)
+    }
+
+    /// Instructions-per-cycle rate call (the `PAPI_ipc` of later versions,
+    /// a natural companion to `PAPI_flops`).
+    pub fn ipc(&mut self) -> Result<Ipc> {
+        if self.hl.is_none() {
+            self.hl_begin(&[Preset::TotIns.code(), Preset::TotCyc.code()], HlKind::Ipc)?;
+            return Ok(Ipc {
+                real_us: 0.0,
+                proc_us: 0.0,
+                ins: 0,
+                ipc: 0.0,
+            });
+        }
+        let (set, kind) = {
+            let h = self.hl_state()?;
+            (h.set, h.kind)
+        };
+        if kind != HlKind::Ipc {
+            return Err(PapiError::Inval("high-level state is not in ipc mode"));
+        }
+        let v = self.read(set)?;
+        let (ins, cyc) = (v[0], v[1]);
+        let real = self.get_real_ns();
+        let virt = self.get_virt_ns(0).unwrap_or(0);
+        let h = self.hl.as_mut().unwrap();
+        let d_ins = ins - h.last_value;
+        let out = Ipc {
+            real_us: (real - h.start_real_ns) as f64 / 1000.0,
+            proc_us: (virt - h.start_virt_ns) as f64 / 1000.0,
+            ins,
+            ipc: if cyc > 0 {
+                d_ins as f64 / cyc as f64
+            } else {
+                0.0
+            },
+        };
+        h.last_value = ins;
+        h.last_real_ns = real;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::substrate::SimSubstrate;
+    use crate::{Papi, PapiError, Preset};
+    use simcpu::platform::{sim_alpha, sim_generic, sim_t3e, sim_x86};
+    use simcpu::{Machine, PlatformSpec, Program, ProgramBuilder};
+
+    fn fp_prog(iters: u32) -> Program {
+        let mut b = ProgramBuilder::new();
+        b.func("main", |f| {
+            f.loop_(iters, |f| {
+                f.ffma(2);
+                f.fadd(1);
+            });
+        });
+        b.build("main")
+    }
+
+    fn papi_on(spec: PlatformSpec, prog: Program) -> Papi<SimSubstrate> {
+        let mut m = Machine::new(spec, 7);
+        m.load(prog);
+        Papi::init(SimSubstrate::new(m)).unwrap()
+    }
+
+    #[test]
+    fn hl_counters_roundtrip() {
+        let mut p = papi_on(sim_generic(), fp_prog(1000));
+        p.hl_start_counters(&[Preset::FmaIns.code(), Preset::TotIns.code()])
+            .unwrap();
+        p.run_app().unwrap();
+        let v = p.hl_read_counters().unwrap();
+        assert_eq!(v[0], 2000);
+        // read_counters resets: immediately reading again gives ~0.
+        let v2 = p.hl_read_counters().unwrap();
+        assert_eq!(v2[0], 0);
+        let _ = p.hl_stop_counters().unwrap();
+        // After stop the high-level state is gone.
+        assert!(matches!(p.hl_read_counters(), Err(PapiError::NotRun)));
+    }
+
+    #[test]
+    fn hl_accum() {
+        let mut p = papi_on(sim_generic(), fp_prog(500));
+        p.hl_start_counters(&[Preset::FmaIns.code()]).unwrap();
+        p.run_app().unwrap();
+        let mut acc = vec![100i64];
+        p.hl_accum_counters(&mut acc).unwrap();
+        assert_eq!(acc[0], 100 + 1000);
+        p.hl_stop_counters().unwrap();
+    }
+
+    #[test]
+    fn flops_normalizes_fma_on_ops_platform() {
+        let mut p = papi_on(sim_generic(), fp_prog(1000));
+        let f0 = p.flops().unwrap();
+        assert_eq!(f0.flpops, 0);
+        assert!(f0.exact);
+        p.run_app().unwrap();
+        let f = p.flops().unwrap();
+        // 1000 iters x (2 FMA x 2 + 1 add) = 5000 FLOPs.
+        assert_eq!(f.flpops, 5000);
+        assert!(f.exact);
+        assert!(f.mflops > 0.0);
+        assert!(f.real_us > 0.0);
+        assert!(f.proc_us > 0.0 && f.proc_us <= f.real_us);
+    }
+
+    #[test]
+    fn flops_exact_on_x86_via_fp_ops() {
+        let mut p = papi_on(sim_x86(), fp_prog(200));
+        p.flops().unwrap();
+        p.run_app().unwrap();
+        let f = p.flops().unwrap();
+        assert_eq!(f.flpops, 1000);
+        assert!(f.exact);
+    }
+
+    #[test]
+    fn flops_inexact_on_alpha() {
+        // sim-alpha has only retinst_fp (includes converts, FMA once):
+        // FP_OPS is unavailable, FMA_INS is unavailable -> InsOnly, inexact.
+        let mut p = papi_on(sim_alpha(), fp_prog(200));
+        let f0 = p.flops().unwrap();
+        assert!(!f0.exact);
+        p.run_app().unwrap();
+        let f = p.flops().unwrap();
+        // Counts FP instructions: 200 * 3 = 600, not 1000 operations.
+        assert_eq!(f.flpops, 600);
+        assert!(!f.exact);
+    }
+
+    #[test]
+    fn flops_on_t3e_uses_ops_event() {
+        let mut p = papi_on(sim_t3e(), fp_prog(100));
+        p.flops().unwrap();
+        p.run_app().unwrap();
+        let f = p.flops().unwrap();
+        assert_eq!(f.flpops, 500);
+    }
+
+    #[test]
+    fn ipc_rates() {
+        let mut p = papi_on(sim_generic(), fp_prog(5000));
+        p.ipc().unwrap();
+        p.run_app().unwrap();
+        let r = p.ipc().unwrap();
+        assert!(r.ins > 0);
+        assert!(r.ipc > 0.0 && r.ipc <= 1.0, "ipc = {}", r.ipc);
+    }
+
+    #[test]
+    fn hl_modes_are_exclusive() {
+        let mut p = papi_on(sim_generic(), fp_prog(10));
+        p.flops().unwrap();
+        assert!(matches!(p.ipc(), Err(PapiError::Inval(_))));
+        assert!(matches!(p.hl_read_counters(), Err(PapiError::Inval(_))));
+        assert!(matches!(
+            p.hl_start_counters(&[Preset::TotCyc.code()]),
+            Err(PapiError::IsRun)
+        ));
+        // stop_counters releases any mode.
+        p.hl_stop_counters().unwrap();
+        p.ipc().unwrap();
+        p.hl_stop_counters().unwrap();
+    }
+
+    #[test]
+    fn hl_and_lowlevel_share_one_running_set() {
+        let mut p = papi_on(sim_generic(), fp_prog(10));
+        p.hl_start_counters(&[Preset::TotCyc.code()]).unwrap();
+        let set = p.create_eventset();
+        p.add_event(set, Preset::TotIns.code()).unwrap();
+        assert!(matches!(p.start(set), Err(PapiError::IsRun)));
+        p.hl_stop_counters().unwrap();
+        p.start(set).unwrap();
+        p.stop(set).unwrap();
+    }
+}

@@ -1,0 +1,273 @@
+//! Software multiplexing of hardware counters.
+//!
+//! Multiplexing time-slices the physical counters over partitions of the
+//! requested events and *estimates* full-run counts by scaling each event's
+//! raw count by the fraction of time its partition was live:
+//!
+//! ```text
+//! estimate = raw * (total_active_time / partition_active_time)
+//! ```
+//!
+//! As §2 of the paper stresses, estimates converge to true counts only when
+//! the run is long relative to the switching period and the workload is
+//! statistically stationary across slices — "naive use of multiplexing could
+//! lead to erroneous results". That is why multiplexing must be explicitly
+//! enabled per EventSet ([`crate::Papi::set_multiplex`]) and is never on by
+//! default.
+
+use crate::alloc::{allocate_in_group, optimal_assign};
+use simcpu::platform::GroupDef;
+use simcpu::NativeEventDesc;
+
+/// Default switching period, in cycles (~0.1 ms at 1 GHz — a fast OS timer;
+/// the real library used the ~10 ms SVR4 interval timer, proportionally
+/// slower hardware).
+pub const DEFAULT_MPX_PERIOD_CYCLES: u64 = 100_000;
+
+/// One time-slice partition: a subset of the set's native events that fits
+/// on the hardware simultaneously.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Indices into the running set's native list.
+    pub natives: Vec<usize>,
+    /// Counter assignment, parallel to `natives`.
+    pub counters: Vec<usize>,
+}
+
+/// Live multiplexing state for a running EventSet.
+#[derive(Debug)]
+pub struct MpxState {
+    pub partitions: Vec<Partition>,
+    pub current: usize,
+    /// Raw accumulated counts per native event.
+    pub raw: Vec<u64>,
+    /// Cycles each partition has been live.
+    pub active_cycles: Vec<u64>,
+    /// Cycle timestamp of the last switch (or flush).
+    pub switched_at: u64,
+    pub period: u64,
+}
+
+/// Partition `natives` (with per-platform constraints) into the minimum
+/// practical number of simultaneously-countable subsets, greedily.
+///
+/// Returns `None` only if some single event cannot be counted at all.
+pub fn partition_events(
+    natives: &[&NativeEventDesc],
+    num_counters: usize,
+    groups: &[GroupDef],
+) -> Option<Vec<Partition>> {
+    let mut parts: Vec<Vec<usize>> = Vec::new();
+    for idx in 0..natives.len() {
+        let mut placed = false;
+        for part in &mut parts {
+            let mut candidate: Vec<usize> = part.clone();
+            candidate.push(idx);
+            if fits(&candidate, natives, num_counters, groups) {
+                part.push(idx);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            if !fits(&[idx], natives, num_counters, groups) {
+                return None; // event not countable even alone
+            }
+            parts.push(vec![idx]);
+        }
+    }
+    // Solve the final assignment for each partition.
+    let mut out = Vec::with_capacity(parts.len());
+    for part in parts {
+        let counters = solve(&part, natives, num_counters, groups)
+            .expect("partition was validated as feasible");
+        out.push(Partition {
+            natives: part,
+            counters,
+        });
+    }
+    Some(out)
+}
+
+fn fits(
+    part: &[usize],
+    natives: &[&NativeEventDesc],
+    num_counters: usize,
+    groups: &[GroupDef],
+) -> bool {
+    solve(part, natives, num_counters, groups).is_some()
+}
+
+fn solve(
+    part: &[usize],
+    natives: &[&NativeEventDesc],
+    num_counters: usize,
+    groups: &[GroupDef],
+) -> Option<Vec<usize>> {
+    if groups.is_empty() {
+        let masks: Vec<u32> = part.iter().map(|&i| natives[i].counter_mask).collect();
+        optimal_assign(&masks, num_counters)
+    } else {
+        let codes: Vec<u32> = part.iter().map(|&i| natives[i].code).collect();
+        allocate_in_group(&codes, groups).map(|(_, assign)| assign)
+    }
+}
+
+impl MpxState {
+    pub fn new(partitions: Vec<Partition>, num_natives: usize, period: u64, now: u64) -> Self {
+        let n_parts = partitions.len();
+        MpxState {
+            partitions,
+            current: 0,
+            raw: vec![0; num_natives],
+            active_cycles: vec![0; n_parts],
+            switched_at: now,
+            period,
+        }
+    }
+
+    /// Fold counter readings of the live partition into the raw totals.
+    /// `read` maps a physical counter index to its current value.
+    pub fn flush(&mut self, now: u64, counts: &[u64]) {
+        let part = &self.partitions[self.current];
+        for (slot, &native_idx) in part.natives.iter().enumerate() {
+            self.raw[native_idx] += counts[slot];
+        }
+        self.active_cycles[self.current] += now.saturating_sub(self.switched_at);
+        self.switched_at = now;
+    }
+
+    /// Advance to the next partition (call after `flush`).
+    pub fn rotate(&mut self) {
+        self.current = (self.current + 1) % self.partitions.len();
+    }
+
+    /// Estimated full-run count per native event.
+    ///
+    /// ```
+    /// use papi_core::multiplex::{MpxState, Partition};
+    /// let parts = vec![
+    ///     Partition { natives: vec![0], counters: vec![0] },
+    ///     Partition { natives: vec![1], counters: vec![0] },
+    /// ];
+    /// let mut m = MpxState::new(parts, 2, 100, 0);
+    /// m.flush(100, &[50]); // native 0 live for 100 cycles, counted 50
+    /// m.rotate();
+    /// m.flush(200, &[10]); // native 1 live for 100 cycles, counted 10
+    /// // Each event was live half the 200-cycle run: estimates double the raw counts.
+    /// assert_eq!(m.estimates(), vec![100, 20]);
+    /// ```
+    pub fn estimates(&self) -> Vec<u64> {
+        let total: u64 = self.active_cycles.iter().sum();
+        let mut part_of = vec![0usize; self.raw.len()];
+        for (pi, p) in self.partitions.iter().enumerate() {
+            for &n in &p.natives {
+                part_of[n] = pi;
+            }
+        }
+        self.raw
+            .iter()
+            .enumerate()
+            .map(|(i, &raw)| {
+                let active = self.active_cycles[part_of[i]];
+                if active == 0 {
+                    0
+                } else {
+                    // Scale by the fraction of run time this event was live.
+                    ((raw as u128) * (total as u128) / (active as u128)) as u64
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcpu::platform::{sim_power3, sim_x86};
+
+    fn x86_natives(names: &[&str]) -> Vec<NativeEventDesc> {
+        let p = sim_x86();
+        names
+            .iter()
+            .map(|n| p.event_by_name(n).unwrap().clone())
+            .collect()
+    }
+
+    #[test]
+    fn partition_fits_everything_in_one_when_possible() {
+        let evs = x86_natives(&["CPU_CLK_UNHALTED", "INST_RETIRED", "LD_INS", "SR_INS"]);
+        let refs: Vec<&NativeEventDesc> = evs.iter().collect();
+        let parts = partition_events(&refs, 4, &[]).unwrap();
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].natives.len(), 4);
+    }
+
+    #[test]
+    fn partition_splits_conflicting_events() {
+        // Three memory events only fit counters 2-3: needs two partitions.
+        let evs = x86_natives(&["LD_INS", "SR_INS", "DCU_LINES_IN"]);
+        let refs: Vec<&NativeEventDesc> = evs.iter().collect();
+        let parts = partition_events(&refs, 4, &[]).unwrap();
+        assert_eq!(parts.len(), 2);
+        let covered: usize = parts.iter().map(|p| p.natives.len()).sum();
+        assert_eq!(covered, 3);
+    }
+
+    #[test]
+    fn partition_group_platform() {
+        let p = sim_power3();
+        // PM_LD_MISS_L1 (mem/cache groups) and PM_BR_TAKEN (branch group)
+        // cannot share a group: two partitions.
+        let evs: Vec<&NativeEventDesc> = ["PM_LD_MISS_L1", "PM_BR_TAKEN"]
+            .iter()
+            .map(|n| p.event_by_name(n).unwrap())
+            .collect();
+        let parts = partition_events(&evs, p.num_counters, &p.groups).unwrap();
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn estimates_scale_by_live_fraction() {
+        let parts = vec![
+            Partition {
+                natives: vec![0],
+                counters: vec![0],
+            },
+            Partition {
+                natives: vec![1],
+                counters: vec![0],
+            },
+        ];
+        let mut m = MpxState::new(parts, 2, 100, 0);
+        // Partition 0 live from 0..100 counting 50 events.
+        m.flush(100, &[50]);
+        m.rotate();
+        // Partition 1 live from 100..200 counting 10 events.
+        m.flush(200, &[10]);
+        m.rotate();
+        // Partition 0 live again 200..300 counting 50.
+        m.flush(300, &[50]);
+        let est = m.estimates();
+        // native 0: raw 100 over 200 active of 300 total -> 150
+        assert_eq!(est[0], 150);
+        // native 1: raw 10 over 100 active of 300 total -> 30
+        assert_eq!(est[1], 30);
+    }
+
+    #[test]
+    fn estimate_zero_when_never_live() {
+        let parts = vec![
+            Partition {
+                natives: vec![0],
+                counters: vec![0],
+            },
+            Partition {
+                natives: vec![1],
+                counters: vec![0],
+            },
+        ];
+        let m = MpxState::new(parts, 2, 100, 0);
+        assert_eq!(m.estimates(), vec![0, 0]);
+    }
+}

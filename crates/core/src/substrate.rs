@@ -1,0 +1,276 @@
+//! The substrate boundary — the machine-dependent layer of Figure 1.
+//!
+//! Everything above this trait is portable; implementing [`Substrate`] for a
+//! new platform is all that is needed to port the library, exactly as the
+//! paper describes ("the machine-dependent part of the implementation,
+//! called the substrate, is all that needs to be rewritten"). The crate
+//! ships [`SimSubstrate`], which drives a [`simcpu::Machine`]; a
+//! `perf_event`-based substrate for real Linux hosts would implement the
+//! same trait.
+
+use crate::error::Result;
+use simcpu::platform::GroupDef;
+use simcpu::{
+    Domain, Machine, MemInfo, NativeEventDesc, PlatformSpec, RunExit, SampleConfig, SampleRecord,
+    ThreadId,
+};
+
+/// Static description of the hardware, returned by [`Substrate::hw_info`]
+/// (the equivalent of `PAPI_get_hardware_info`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HwInfo {
+    pub vendor: String,
+    pub model: String,
+    pub mhz: u64,
+    pub num_counters: usize,
+    pub precise_sampling: bool,
+    pub group_based: bool,
+}
+
+/// The machine-dependent layer.
+///
+/// All mutating operations are *costed*: on a real machine they cross into
+/// the kernel; on the simulated substrate they consume simulated cycles and
+/// perturb the caches, which is what makes overhead measurable.
+pub trait Substrate {
+    /// Hardware description.
+    fn hw_info(&self) -> HwInfo;
+
+    /// Number of physical counters.
+    fn num_counters(&self) -> usize;
+
+    /// The native events this platform exposes.
+    fn native_events(&self) -> &[NativeEventDesc];
+
+    /// Counter groups, non-empty on group-allocated platforms (POWER style).
+    fn groups(&self) -> &[GroupDef];
+
+    /// Program the full counter configuration: `assign[i]` is the native
+    /// event code (and domain) for counter `i`, or `None` to clear it.
+    fn program(&mut self, assign: &[Option<(u32, Domain)>]) -> Result<()>;
+
+    /// Start the counters.
+    fn start(&mut self) -> Result<()>;
+
+    /// Stop the counters.
+    fn stop(&mut self) -> Result<()>;
+
+    /// Zero the counters.
+    fn reset(&mut self) -> Result<()>;
+
+    /// Read one counter.
+    fn read(&mut self, idx: usize) -> Result<u64>;
+
+    /// Arm (`Some(threshold)`) or disarm (`None`) overflow interrupts.
+    fn set_overflow(&mut self, idx: usize, threshold: Option<u64>) -> Result<()>;
+
+    /// Configure precise sampling, if the hardware has it.
+    fn configure_sampling(&mut self, cfg: Option<SampleConfig>) -> Result<()>;
+
+    /// Drain buffered precise samples.
+    fn drain_samples(&mut self) -> Vec<SampleRecord>;
+
+    /// Set (or clear) the programmable timer, period in cycles.
+    fn set_timer(&mut self, period_cycles: Option<u64>);
+
+    /// Counting granularity: machine-wide or virtualized per thread.
+    fn set_granularity(&mut self, g: simcpu::Granularity);
+
+    /// Let the monitored application execute until the next event requiring
+    /// software attention.
+    fn run(&mut self, budget_cycles: Option<u64>) -> RunExit;
+
+    /// Cycle clock (for `PAPI_get_real_cyc`).
+    fn real_cycles(&self) -> u64;
+
+    /// Wall-clock nanoseconds (for `PAPI_get_real_usec`).
+    fn real_ns(&self) -> u64;
+
+    /// Virtual (user-mode) nanoseconds of a thread (for
+    /// `PAPI_get_virt_usec`).
+    fn virt_ns(&self, thread: ThreadId) -> Result<u64>;
+
+    /// Memory-utilization info (the PAPI-3 extension).
+    fn mem_info(&self, thread: ThreadId) -> Result<MemInfo>;
+
+    /// Read a counter as attributed to a specific thread (requires
+    /// per-thread counter virtualization — `PAPI_attach` support).
+    /// Substrates without the capability keep the default.
+    fn read_attached(&mut self, _thread: ThreadId, _idx: usize) -> Result<u64> {
+        Err(crate::error::PapiError::NoSupp(
+            "substrate cannot read per-thread counters",
+        ))
+    }
+}
+
+/// The reference substrate: a simulated machine.
+pub struct SimSubstrate {
+    machine: Machine,
+}
+
+impl SimSubstrate {
+    /// Wrap a machine (programs should already be loaded, or load them later
+    /// through [`SimSubstrate::machine_mut`]).
+    pub fn new(machine: Machine) -> Self {
+        SimSubstrate { machine }
+    }
+
+    /// Build a machine for `spec` with a deterministic seed.
+    pub fn for_platform(spec: PlatformSpec, seed: u64) -> Self {
+        SimSubstrate {
+            machine: Machine::new(spec, seed),
+        }
+    }
+
+    /// The underlying machine (read-only).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The underlying machine (e.g. to load programs or enable ground-truth
+    /// recording).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// The platform spec.
+    pub fn spec(&self) -> &PlatformSpec {
+        self.machine.spec()
+    }
+}
+
+impl Substrate for SimSubstrate {
+    fn hw_info(&self) -> HwInfo {
+        let s = self.machine.spec();
+        HwInfo {
+            vendor: s.vendor.to_string(),
+            model: s.model.to_string(),
+            mhz: s.clock_mhz,
+            num_counters: s.num_counters,
+            precise_sampling: s.precise_sampling,
+            group_based: s.group_based(),
+        }
+    }
+
+    fn num_counters(&self) -> usize {
+        self.machine.spec().num_counters
+    }
+
+    fn native_events(&self) -> &[NativeEventDesc] {
+        &self.machine.spec().events
+    }
+
+    fn groups(&self) -> &[GroupDef] {
+        &self.machine.spec().groups
+    }
+
+    fn program(&mut self, assign: &[Option<(u32, Domain)>]) -> Result<()> {
+        self.machine.costed_program(assign)?;
+        Ok(())
+    }
+
+    fn start(&mut self) -> Result<()> {
+        self.machine.costed_start();
+        Ok(())
+    }
+
+    fn stop(&mut self) -> Result<()> {
+        self.machine.costed_stop();
+        Ok(())
+    }
+
+    fn reset(&mut self) -> Result<()> {
+        self.machine.costed_reset();
+        Ok(())
+    }
+
+    fn read(&mut self, idx: usize) -> Result<u64> {
+        Ok(self.machine.costed_read(idx)?)
+    }
+
+    fn set_overflow(&mut self, idx: usize, threshold: Option<u64>) -> Result<()> {
+        self.machine.costed_set_overflow(idx, threshold)?;
+        Ok(())
+    }
+
+    fn configure_sampling(&mut self, cfg: Option<SampleConfig>) -> Result<()> {
+        self.machine.costed_configure_sampling(cfg)?;
+        Ok(())
+    }
+
+    fn drain_samples(&mut self) -> Vec<SampleRecord> {
+        self.machine.costed_drain_samples()
+    }
+
+    fn set_timer(&mut self, period_cycles: Option<u64>) {
+        self.machine.set_timer(period_cycles);
+    }
+
+    fn set_granularity(&mut self, g: simcpu::Granularity) {
+        self.machine.set_granularity(g);
+    }
+
+    fn run(&mut self, budget_cycles: Option<u64>) -> RunExit {
+        self.machine.run(budget_cycles)
+    }
+
+    fn real_cycles(&self) -> u64 {
+        self.machine.cycles()
+    }
+
+    fn real_ns(&self) -> u64 {
+        self.machine.real_ns()
+    }
+
+    fn virt_ns(&self, thread: ThreadId) -> Result<u64> {
+        Ok(self.machine.virt_ns(thread)?)
+    }
+
+    fn mem_info(&self, thread: ThreadId) -> Result<MemInfo> {
+        Ok(self.machine.mem_info(thread)?)
+    }
+
+    fn read_attached(&mut self, thread: ThreadId, idx: usize) -> Result<u64> {
+        Ok(self.machine.costed_read_thread(thread, idx)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcpu::platform::{sim_alpha, sim_power3, sim_x86};
+
+    #[test]
+    fn hw_info_reflects_platform() {
+        let s = SimSubstrate::for_platform(sim_x86(), 1);
+        let hi = s.hw_info();
+        assert_eq!(hi.num_counters, 4);
+        assert!(!hi.precise_sampling);
+        assert!(!hi.group_based);
+        let s = SimSubstrate::for_platform(sim_power3(), 1);
+        assert!(s.hw_info().group_based);
+        let s = SimSubstrate::for_platform(sim_alpha(), 1);
+        assert!(s.hw_info().precise_sampling);
+    }
+
+    #[test]
+    fn read_costs_cycles() {
+        let mut s = SimSubstrate::for_platform(sim_x86(), 1);
+        let c0 = s.real_cycles();
+        let _ = s.read(0).unwrap();
+        assert_eq!(s.real_cycles() - c0, s.spec().costs.read_cycles);
+    }
+
+    #[test]
+    fn sampling_rejected_without_hardware() {
+        let mut s = SimSubstrate::for_platform(sim_x86(), 1);
+        assert!(s.configure_sampling(Some(SampleConfig::default())).is_err());
+    }
+
+    #[test]
+    fn program_unknown_code_fails() {
+        let mut s = SimSubstrate::for_platform(sim_x86(), 1);
+        let r = s.program(&[Some((0x4fff_ffff, Domain::USER))]);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,382 @@
+//! The "kernel patch": a syscall-shaped counter interface over the
+//! simulated machine.
+//!
+//! The paper's Linux/x86 substrate used "customized system calls
+//! implemented in a kernel patch" (the perfctr patch). This module emulates
+//! that ABI surface — a device you `open`, configure with control commands,
+//! `read`, drive with `ioctl`s, and receive overflow *signals* from — with
+//! every call charged at the platform's kernel-crossing cost. User space
+//! (the [`crate::substrate::PerfctrSubstrate`]) sees only file descriptors
+//! and errno values, exactly like PAPI's Linux substrate did.
+
+use simcpu::{Domain, Machine, RunExit};
+
+/// Userspace-visible error numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Errno {
+    /// Bad file descriptor.
+    EBADF,
+    /// Invalid argument (unknown event code, bad counter index, …).
+    EINVAL,
+    /// Device already opened exclusively.
+    EBUSY,
+    /// Operation not supported by this device.
+    ENOTSUP,
+}
+
+/// A file descriptor handle to the virtual-counter device.
+pub type Fd = i32;
+
+/// Per-counter configuration command (the `vperfctr_control` analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterConfig {
+    /// Native event code, or `None` to disable the counter.
+    pub event_code: Option<u32>,
+    pub count_user: bool,
+    pub count_kernel: bool,
+}
+
+/// ioctl commands on the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ioctl {
+    Start,
+    Stop,
+    Reset,
+    /// Arm (or with `None`, disarm) an overflow signal on a counter.
+    SetOverflow {
+        counter: usize,
+        threshold: Option<u64>,
+    },
+    /// Program the kernel interval timer, period in cycles.
+    SetTimer {
+        period: Option<u64>,
+    },
+}
+
+/// Events the kernel delivers to user space while the application runs —
+/// the signal/return-from-wait surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelEvent {
+    /// The application exited.
+    Exited,
+    /// SIGPROF-style overflow signal; `pc` is the interrupted PC (skidded).
+    SigOverflow {
+        counter: usize,
+        thread: u32,
+        pc: u64,
+    },
+    /// Interval timer signal.
+    SigAlarm,
+    /// A trap instruction (probe) in the monitored code.
+    SigTrap { id: u32, thread: u32, pc: u64 },
+    /// The time-slice budget of `sys_wait` elapsed.
+    Budget,
+    /// Unrecoverable application state (message deadlock).
+    Fatal,
+}
+
+/// The emulated kernel module. Owns the machine ("the hardware").
+pub struct PerfctrDev {
+    machine: Machine,
+    opened: bool,
+    next_fd: Fd,
+    fd: Option<Fd>,
+}
+
+impl PerfctrDev {
+    /// Install the "patch" on a machine.
+    pub fn new(machine: Machine) -> Self {
+        PerfctrDev {
+            machine,
+            opened: false,
+            next_fd: 3,
+            fd: None,
+        }
+    }
+
+    /// Access the machine for test setup (loading programs). Not part of
+    /// the user-space ABI.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// The machine, read-only.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    fn check(&self, fd: Fd) -> Result<(), Errno> {
+        if self.opened && self.fd == Some(fd) {
+            Ok(())
+        } else {
+            Err(Errno::EBADF)
+        }
+    }
+
+    /// `open("/dev/perfctr")` — exclusive.
+    pub fn sys_open(&mut self) -> Result<Fd, Errno> {
+        if self.opened {
+            return Err(Errno::EBUSY);
+        }
+        self.opened = true;
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.fd = Some(fd);
+        // Opening the device is itself a kernel crossing.
+        self.machine
+            .consume_kernel(self.machine.spec().costs.start_stop_cycles);
+        Ok(fd)
+    }
+
+    /// `close(fd)`.
+    pub fn sys_close(&mut self, fd: Fd) -> Result<(), Errno> {
+        self.check(fd)?;
+        self.opened = false;
+        self.fd = None;
+        self.machine.pmu_mut().stop();
+        Ok(())
+    }
+
+    /// Program the full counter file (one `CounterConfig` per physical
+    /// counter).
+    pub fn sys_control(&mut self, fd: Fd, configs: &[CounterConfig]) -> Result<(), Errno> {
+        self.check(fd)?;
+        if configs.len() > self.machine.spec().num_counters {
+            return Err(Errno::EINVAL);
+        }
+        let assign: Vec<Option<(u32, Domain)>> = configs
+            .iter()
+            .map(|c| {
+                c.event_code.map(|code| {
+                    (
+                        code,
+                        Domain {
+                            user: c.count_user,
+                            kernel: c.count_kernel,
+                        },
+                    )
+                })
+            })
+            .collect();
+        // Validate codes before touching hardware.
+        for cfg in configs {
+            if let Some(code) = cfg.event_code {
+                if self.machine.spec().event_by_code(code).is_none() {
+                    return Err(Errno::EINVAL);
+                }
+            }
+        }
+        self.machine
+            .costed_program(&assign)
+            .map_err(|_| Errno::EINVAL)
+    }
+
+    /// Read the counter file into `buf`; returns the number of counters
+    /// read.
+    pub fn sys_read(&mut self, fd: Fd, buf: &mut [u64]) -> Result<usize, Errno> {
+        self.check(fd)?;
+        let n = buf.len().min(self.machine.spec().num_counters);
+        for (i, slot) in buf.iter_mut().take(n).enumerate() {
+            *slot = self.machine.costed_read(i).map_err(|_| Errno::EINVAL)?;
+        }
+        Ok(n)
+    }
+
+    /// Device ioctls.
+    pub fn sys_ioctl(&mut self, fd: Fd, cmd: Ioctl) -> Result<(), Errno> {
+        self.check(fd)?;
+        match cmd {
+            Ioctl::Start => {
+                self.machine.costed_start();
+                Ok(())
+            }
+            Ioctl::Stop => {
+                self.machine.costed_stop();
+                Ok(())
+            }
+            Ioctl::Reset => {
+                self.machine.costed_reset();
+                Ok(())
+            }
+            Ioctl::SetOverflow { counter, threshold } => self
+                .machine
+                .costed_set_overflow(counter, threshold)
+                .map_err(|_| Errno::EINVAL),
+            Ioctl::SetTimer { period } => {
+                self.machine.set_timer(period);
+                Ok(())
+            }
+        }
+    }
+
+    /// Let the monitored application run until the kernel has something to
+    /// deliver (signal, exit, budget). The perfctr patch delivered
+    /// overflows as signals; this is the wait-for-signal surface.
+    pub fn sys_wait(&mut self, budget_cycles: Option<u64>) -> KernelEvent {
+        match self.machine.run(budget_cycles) {
+            RunExit::Halted => KernelEvent::Exited,
+            RunExit::Overflow {
+                counter,
+                thread,
+                pc,
+            } => KernelEvent::SigOverflow {
+                counter,
+                thread,
+                pc,
+            },
+            RunExit::Timer => KernelEvent::SigAlarm,
+            RunExit::Probe { id, thread, pc } => KernelEvent::SigTrap { id, thread, pc },
+            RunExit::CycleLimit => KernelEvent::Budget,
+            RunExit::Deadlock => KernelEvent::Fatal,
+            // The kernel-patch device has no sampling hardware path.
+            RunExit::SampleBufferFull => {
+                self.machine.costed_drain_samples();
+                KernelEvent::Budget
+            }
+        }
+    }
+
+    /// `gettimeofday` analogues (vsyscall-cheap: no kernel crossing).
+    pub fn sys_clock_ns(&self) -> u64 {
+        self.machine.real_ns()
+    }
+
+    pub fn sys_clock_cycles(&self) -> u64 {
+        self.machine.cycles()
+    }
+
+    /// Per-thread CPU clock.
+    pub fn sys_thread_ns(&self, thread: u32) -> Result<u64, Errno> {
+        self.machine.virt_ns(thread).map_err(|_| Errno::EINVAL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use papi_workloads::dense_fp;
+    use simcpu::platform::sim_x86;
+
+    fn dev_with_app() -> PerfctrDev {
+        let mut m = Machine::new(sim_x86(), 77);
+        m.load(dense_fp(10_000, 2, 1).program);
+        PerfctrDev::new(m)
+    }
+
+    #[test]
+    fn open_is_exclusive() {
+        let mut d = dev_with_app();
+        let fd = d.sys_open().unwrap();
+        assert_eq!(d.sys_open(), Err(Errno::EBUSY));
+        d.sys_close(fd).unwrap();
+        assert!(d.sys_open().is_ok());
+    }
+
+    #[test]
+    fn bad_fd_rejected_everywhere() {
+        let mut d = dev_with_app();
+        let _ = d.sys_open().unwrap();
+        assert_eq!(d.sys_read(99, &mut [0; 4]), Err(Errno::EBADF));
+        assert_eq!(d.sys_ioctl(99, Ioctl::Start), Err(Errno::EBADF));
+        assert_eq!(d.sys_control(99, &[]), Err(Errno::EBADF));
+        assert_eq!(d.sys_close(99), Err(Errno::EBADF));
+    }
+
+    #[test]
+    fn count_through_the_syscall_surface() {
+        let mut d = dev_with_app();
+        let fd = d.sys_open().unwrap();
+        let fma = d.machine().spec().event_by_name("FP_OPS_EXE").unwrap().code;
+        d.sys_control(
+            fd,
+            &[
+                CounterConfig {
+                    event_code: Some(fma),
+                    count_user: true,
+                    count_kernel: false,
+                },
+                CounterConfig {
+                    event_code: None,
+                    count_user: false,
+                    count_kernel: false,
+                },
+            ],
+        )
+        .unwrap();
+        d.sys_ioctl(fd, Ioctl::Start).unwrap();
+        assert_eq!(d.sys_wait(None), KernelEvent::Exited);
+        let mut buf = [0u64; 1];
+        d.sys_read(fd, &mut buf).unwrap();
+        // 10k iters x (2 FMA x 2 + 1 add) = 50k FLOPs
+        assert_eq!(buf[0], 50_000);
+        d.sys_close(fd).unwrap();
+    }
+
+    #[test]
+    fn invalid_event_code_einval() {
+        let mut d = dev_with_app();
+        let fd = d.sys_open().unwrap();
+        let r = d.sys_control(
+            fd,
+            &[CounterConfig {
+                event_code: Some(0x4fff_1234),
+                count_user: true,
+                count_kernel: false,
+            }],
+        );
+        assert_eq!(r, Err(Errno::EINVAL));
+    }
+
+    #[test]
+    fn overflow_delivered_as_signal() {
+        let mut d = dev_with_app();
+        let fd = d.sys_open().unwrap();
+        let ins = d
+            .machine()
+            .spec()
+            .event_by_name("INST_RETIRED")
+            .unwrap()
+            .code;
+        d.sys_control(
+            fd,
+            &[CounterConfig {
+                event_code: Some(ins),
+                count_user: true,
+                count_kernel: false,
+            }],
+        )
+        .unwrap();
+        d.sys_ioctl(
+            fd,
+            Ioctl::SetOverflow {
+                counter: 0,
+                threshold: Some(10_000),
+            },
+        )
+        .unwrap();
+        d.sys_ioctl(fd, Ioctl::Start).unwrap();
+        let mut signals = 0;
+        loop {
+            match d.sys_wait(None) {
+                KernelEvent::SigOverflow { counter: 0, .. } => signals += 1,
+                KernelEvent::Exited => break,
+                e => panic!("unexpected {e:?}"),
+            }
+        }
+        // 40002 instructions / 10000 -> 4 signals (last may be in skid).
+        assert!((3..=4).contains(&signals), "signals {signals}");
+    }
+
+    #[test]
+    fn syscalls_cost_kernel_time() {
+        let mut d = dev_with_app();
+        let fd = d.sys_open().unwrap();
+        let before = d.machine().kernel_cycles();
+        let mut buf = [0u64; 4];
+        d.sys_read(fd, &mut buf).unwrap();
+        assert!(
+            d.machine().kernel_cycles() > before,
+            "reads must cross the kernel"
+        );
+    }
+}

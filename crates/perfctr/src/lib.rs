@@ -1,0 +1,21 @@
+//! # perfctr-emu — the Linux "kernel patch" counter interface, emulated
+//!
+//! The paper's Linux/x86 substrate accessed counters through "customized
+//! system calls implemented in a kernel patch" — the perfctr patch — and
+//! §2 notes the deployment friction that caused ("the requirement for a
+//! kernel modification has met resistance from system administrators").
+//! This crate reproduces that structure:
+//!
+//! * [`kernel`] — the patch itself: an fd-based virtual-counter device with
+//!   `open`/`read`/`ioctl`/`control` syscall semantics, errno-style errors,
+//!   overflow delivery as signals, and kernel-crossing costs charged to the
+//!   machine;
+//! * [`substrate`] — a second, fully independent implementation of
+//!   [`papi_core::Substrate`] that talks *only* through that ABI, proving
+//!   the portability boundary of Figure 1 with a realistic backend shape.
+
+pub mod kernel;
+pub mod substrate;
+
+pub use kernel::{CounterConfig, Errno, Ioctl, KernelEvent, PerfctrDev};
+pub use substrate::PerfctrSubstrate;

@@ -1,0 +1,310 @@
+//! A second, independent implementation of [`papi_core::Substrate`]: the
+//! portable library talking to the hardware exclusively through the
+//! emulated kernel-patch syscall ABI of [`crate::kernel`] — the exact
+//! structure of PAPI's Linux/x86 substrate in the paper.
+
+use crate::kernel::{CounterConfig, Errno, Fd, Ioctl, KernelEvent, PerfctrDev};
+use papi_core::{HwInfo, PapiError, Result, Substrate};
+use simcpu::platform::GroupDef;
+use simcpu::{
+    Domain, Granularity, MemInfo, NativeEventDesc, RunExit, SampleConfig, SampleRecord, ThreadId,
+};
+
+fn errno(e: Errno) -> PapiError {
+    PapiError::Substrate(format!("perfctr: {e:?}"))
+}
+
+/// Substrate over the kernel-patch device.
+pub struct PerfctrSubstrate {
+    dev: PerfctrDev,
+    fd: Fd,
+}
+
+impl PerfctrSubstrate {
+    /// Open the device (errors if already opened exclusively).
+    pub fn open(mut dev: PerfctrDev) -> Result<Self> {
+        let fd = dev.sys_open().map_err(errno)?;
+        Ok(PerfctrSubstrate { dev, fd })
+    }
+
+    /// Access the device (e.g. for test inspection).
+    pub fn dev(&self) -> &PerfctrDev {
+        &self.dev
+    }
+
+    /// Mutable device access (e.g. to load programs before running).
+    pub fn dev_mut(&mut self) -> &mut PerfctrDev {
+        &mut self.dev
+    }
+}
+
+impl Substrate for PerfctrSubstrate {
+    fn hw_info(&self) -> HwInfo {
+        let s = self.dev.machine().spec();
+        HwInfo {
+            vendor: s.vendor.to_string(),
+            model: format!("{} via kernel-patch syscalls", s.model),
+            mhz: s.clock_mhz,
+            num_counters: s.num_counters,
+            precise_sampling: false, // the patch exposes no sampling path
+            group_based: s.group_based(),
+        }
+    }
+
+    fn num_counters(&self) -> usize {
+        self.dev.machine().spec().num_counters
+    }
+
+    fn native_events(&self) -> &[NativeEventDesc] {
+        &self.dev.machine().spec().events
+    }
+
+    fn groups(&self) -> &[GroupDef] {
+        &self.dev.machine().spec().groups
+    }
+
+    fn program(&mut self, assign: &[Option<(u32, Domain)>]) -> Result<()> {
+        let configs: Vec<CounterConfig> = assign
+            .iter()
+            .map(|slot| match slot {
+                Some((code, d)) => CounterConfig {
+                    event_code: Some(*code),
+                    count_user: d.user,
+                    count_kernel: d.kernel,
+                },
+                None => CounterConfig {
+                    event_code: None,
+                    count_user: false,
+                    count_kernel: false,
+                },
+            })
+            .collect();
+        self.dev.sys_control(self.fd, &configs).map_err(errno)
+    }
+
+    fn start(&mut self) -> Result<()> {
+        self.dev.sys_ioctl(self.fd, Ioctl::Start).map_err(errno)
+    }
+
+    fn stop(&mut self) -> Result<()> {
+        self.dev.sys_ioctl(self.fd, Ioctl::Stop).map_err(errno)
+    }
+
+    fn reset(&mut self) -> Result<()> {
+        self.dev.sys_ioctl(self.fd, Ioctl::Reset).map_err(errno)
+    }
+
+    fn read(&mut self, idx: usize) -> Result<u64> {
+        // The counter file is read as a block up to the needed register.
+        let mut buf = vec![0u64; idx + 1];
+        let n = self.dev.sys_read(self.fd, &mut buf).map_err(errno)?;
+        if idx >= n {
+            return Err(PapiError::Substrate("perfctr: short read".into()));
+        }
+        Ok(buf[idx])
+    }
+
+    fn set_overflow(&mut self, idx: usize, threshold: Option<u64>) -> Result<()> {
+        self.dev
+            .sys_ioctl(
+                self.fd,
+                Ioctl::SetOverflow {
+                    counter: idx,
+                    threshold,
+                },
+            )
+            .map_err(errno)
+    }
+
+    fn configure_sampling(&mut self, cfg: Option<SampleConfig>) -> Result<()> {
+        if cfg.is_some() {
+            return Err(PapiError::NoSupp(
+                "kernel-patch interface has no sampling path",
+            ));
+        }
+        Ok(())
+    }
+
+    fn drain_samples(&mut self) -> Vec<SampleRecord> {
+        Vec::new()
+    }
+
+    fn set_timer(&mut self, period_cycles: Option<u64>) {
+        let _ = self.dev.sys_ioctl(
+            self.fd,
+            Ioctl::SetTimer {
+                period: period_cycles,
+            },
+        );
+    }
+
+    fn set_granularity(&mut self, g: Granularity) {
+        self.dev.machine_mut().set_granularity(g);
+    }
+
+    fn run(&mut self, budget_cycles: Option<u64>) -> RunExit {
+        match self.dev.sys_wait(budget_cycles) {
+            KernelEvent::Exited => RunExit::Halted,
+            KernelEvent::SigOverflow {
+                counter,
+                thread,
+                pc,
+            } => RunExit::Overflow {
+                counter,
+                thread,
+                pc,
+            },
+            KernelEvent::SigAlarm => RunExit::Timer,
+            KernelEvent::SigTrap { id, thread, pc } => RunExit::Probe { id, thread, pc },
+            KernelEvent::Budget => RunExit::CycleLimit,
+            KernelEvent::Fatal => RunExit::Deadlock,
+        }
+    }
+
+    fn real_cycles(&self) -> u64 {
+        self.dev.sys_clock_cycles()
+    }
+
+    fn real_ns(&self) -> u64 {
+        self.dev.sys_clock_ns()
+    }
+
+    fn virt_ns(&self, thread: ThreadId) -> Result<u64> {
+        self.dev.sys_thread_ns(thread).map_err(errno)
+    }
+
+    fn mem_info(&self, thread: ThreadId) -> Result<MemInfo> {
+        self.dev
+            .machine()
+            .mem_info(thread)
+            .map_err(|e| PapiError::Substrate(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use papi_core::{Papi, Preset, SimSubstrate};
+    use papi_workloads::{dense_fp, matmul};
+    use simcpu::platform::sim_x86;
+    use simcpu::Machine;
+
+    fn perfctr_papi(prog: simcpu::Program, seed: u64) -> Papi<PerfctrSubstrate> {
+        let mut m = Machine::new(sim_x86(), seed);
+        m.load(prog);
+        let sub = PerfctrSubstrate::open(PerfctrDev::new(m)).unwrap();
+        Papi::init(sub).unwrap()
+    }
+
+    #[test]
+    fn full_papi_stack_over_the_syscall_substrate() {
+        let mut papi = perfctr_papi(matmul(16).program, 3);
+        assert!(papi.hw_info().model.contains("kernel-patch"));
+        let set = papi.create_eventset();
+        papi.add_event(set, Preset::FpOps.code()).unwrap();
+        papi.add_event(set, Preset::LdIns.code()).unwrap();
+        papi.start(set).unwrap();
+        papi.run_app().unwrap();
+        let v = papi.stop(set).unwrap();
+        assert_eq!(v[0], 2 * 16i64.pow(3));
+        assert_eq!(v[1], 2 * 16i64.pow(3));
+    }
+
+    #[test]
+    fn counts_agree_with_the_direct_substrate() {
+        // Same platform, program and seed: event counts through the
+        // syscall ABI equal counts through the direct substrate.
+        let run_direct = || -> Vec<i64> {
+            let mut m = Machine::new(sim_x86(), 9);
+            m.load(dense_fp(20_000, 3, 2).program);
+            let mut papi = Papi::init(SimSubstrate::new(m)).unwrap();
+            let set = papi.create_eventset();
+            papi.add_events(set, &[Preset::FpOps.code(), Preset::BrIns.code()])
+                .unwrap();
+            papi.start(set).unwrap();
+            papi.run_app().unwrap();
+            papi.stop(set).unwrap()
+        };
+        let mut papi = perfctr_papi(dense_fp(20_000, 3, 2).program, 9);
+        let set = papi.create_eventset();
+        papi.add_events(set, &[Preset::FpOps.code(), Preset::BrIns.code()])
+            .unwrap();
+        papi.start(set).unwrap();
+        papi.run_app().unwrap();
+        let via_syscalls = papi.stop(set).unwrap();
+        assert_eq!(via_syscalls, run_direct());
+    }
+
+    #[test]
+    fn overflow_and_profil_work_through_signals() {
+        use papi_core::ProfilConfig;
+        let mut papi = perfctr_papi(dense_fp(100_000, 2, 0).program, 5);
+        let set = papi.create_eventset();
+        papi.add_event(set, Preset::FmaIns.code()).unwrap();
+        let pid = papi
+            .profil(
+                set,
+                Preset::FmaIns.code(),
+                ProfilConfig {
+                    start: simcpu::TEXT_BASE,
+                    end: simcpu::Program::pc_of(16),
+                    bucket_bytes: 4,
+                    threshold: 5_000,
+                },
+            )
+            .unwrap();
+        papi.start(set).unwrap();
+        papi.run_app().unwrap();
+        papi.stop(set).unwrap();
+        let prof = papi.profil_histogram(pid).unwrap();
+        // PAPI semantics: overflow on a derived event arms the counter of
+        // its first native term — here FP_OPS_EXE (400k ops / 5k = 80).
+        assert!(
+            (78..=80).contains(&prof.total_samples()),
+            "{}",
+            prof.total_samples()
+        );
+    }
+
+    #[test]
+    fn dynaprof_runs_over_the_syscall_substrate() {
+        // The tools layer is substrate-generic: dynaprof profiles a binary
+        // whose counters are accessed through kernel-patch syscalls.
+        use papi_tools::{Dynaprof, ProbeMetric};
+        let w = papi_workloads::tight_calls(1_000, 3);
+        let mut dp = Dynaprof::load(w.program);
+        let prog = dp.instrument(&["leaf"]).unwrap();
+        let mut papi = perfctr_papi(prog, 6);
+        let rep = dp
+            .run(&mut papi, ProbeMetric::Papi(Preset::FmaIns.code()))
+            .unwrap();
+        let leaf = &rep.funcs[0];
+        assert_eq!(leaf.calls, 1_000);
+        assert_eq!(leaf.incl_value, 3_000);
+    }
+
+    #[test]
+    fn sampling_unsupported_over_the_patch() {
+        let mut papi = perfctr_papi(dense_fp(10, 1, 0).program, 1);
+        assert!(matches!(
+            papi.start_sampling(SampleConfig::default()),
+            Err(PapiError::NoSupp(_))
+        ));
+    }
+
+    #[test]
+    fn syscall_substrate_pays_more_overhead_than_direct() {
+        // Reading via the block-read syscall surface costs at least as much
+        // as the direct costed read; with the same platform both are one
+        // kernel crossing here, so assert parity-or-worse rather than shape.
+        let mut papi = perfctr_papi(dense_fp(1_000, 1, 0).program, 2);
+        let set = papi.create_eventset();
+        papi.add_event(set, Preset::TotIns.code()).unwrap();
+        papi.start(set).unwrap();
+        let c0 = papi.get_real_cyc();
+        let _ = papi.read(set).unwrap();
+        let syscall_cost = papi.get_real_cyc() - c0;
+        assert!(syscall_cost >= sim_x86().costs.read_cycles);
+        papi.stop(set).unwrap();
+    }
+}

@@ -1,0 +1,138 @@
+//! A gshare-lite branch predictor: a table of 2-bit saturating counters
+//! indexed by PC, xor-folded with a short global history.
+
+/// Two-bit saturating counter states: 0,1 predict not-taken; 2,3 taken.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    table: Vec<u8>,
+    history: u64,
+    history_bits: u32,
+    predictions: u64,
+    mispredictions: u64,
+}
+
+impl BranchPredictor {
+    /// `entries` must be a power of two.
+    pub fn new(entries: usize, history_bits: u32) -> Self {
+        assert!(entries.is_power_of_two());
+        BranchPredictor {
+            table: vec![1; entries], // weakly not-taken
+            history: 0,
+            history_bits,
+            predictions: 0,
+            mispredictions: 0,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        let h = self.history & ((1 << self.history_bits) - 1);
+        (((pc >> 2) ^ h) as usize) & (self.table.len() - 1)
+    }
+
+    /// Predict, then update with the actual `taken` outcome. Returns `true`
+    /// if the prediction was wrong (a misprediction).
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        self.predictions += 1;
+        let i = self.index(pc);
+        let predicted_taken = self.table[i] >= 2;
+        let mispredict = predicted_taken != taken;
+        if mispredict {
+            self.mispredictions += 1;
+        }
+        let c = &mut self.table[i];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.history = (self.history << 1) | taken as u64;
+        mispredict
+    }
+
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    pub fn mispredictions(&self) -> u64 {
+        self.mispredictions
+    }
+
+    pub fn reset(&mut self) {
+        self.table.fill(1);
+        self.history = 0;
+        self.predictions = 0;
+        self.mispredictions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_always_taken() {
+        let mut p = BranchPredictor::new(64, 0);
+        for _ in 0..100 {
+            p.predict_and_update(0x1000, true);
+        }
+        // After warmup (2 wrong at most) the rest must be correct.
+        assert!(
+            p.mispredictions() <= 2,
+            "mispredicts = {}",
+            p.mispredictions()
+        );
+    }
+
+    #[test]
+    fn learns_never_taken_immediately() {
+        let mut p = BranchPredictor::new(64, 0);
+        for _ in 0..50 {
+            p.predict_and_update(0x2000, false);
+        }
+        assert_eq!(p.mispredictions(), 0); // initial state predicts not-taken
+    }
+
+    #[test]
+    fn loop_backedge_one_mispredict_per_exit() {
+        let mut p = BranchPredictor::new(64, 0);
+        // 10 outer iterations of a loop taken 20x then not taken once.
+        for _ in 0..10 {
+            for _ in 0..20 {
+                p.predict_and_update(0x3000, true);
+            }
+            p.predict_and_update(0x3000, false);
+        }
+        // warmup (≤2) + one exit mispredict per outer iteration
+        assert!(
+            p.mispredictions() <= 2 + 10,
+            "mispredicts = {}",
+            p.mispredictions()
+        );
+        assert!(p.mispredictions() >= 10);
+    }
+
+    #[test]
+    fn random_branch_roughly_half_mispredicted() {
+        let mut p = BranchPredictor::new(1024, 8);
+        // LCG-driven "random" outcomes
+        let mut s: u64 = 12345;
+        let n = 10_000;
+        for _ in 0..n {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            p.predict_and_update(0x4000, (s >> 62) & 1 == 1);
+        }
+        let rate = p.mispredictions() as f64 / n as f64;
+        assert!(rate > 0.3 && rate < 0.7, "rate = {rate}");
+    }
+
+    #[test]
+    fn reset_clears_stats() {
+        let mut p = BranchPredictor::new(64, 4);
+        p.predict_and_update(0, true);
+        p.reset();
+        assert_eq!(p.predictions(), 0);
+        assert_eq!(p.mispredictions(), 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Set-associative caches with true-LRU replacement.
+//!
+//! The cache model is intentionally simple — tags only, no data — because
+//! the PMU only needs *hit/miss outcomes* and access counts. Measurement
+//! perturbation ("cache pollution" from counter-read syscalls, §4 of the
+//! paper) is modelled by [`Cache::pollute`], which evicts lines as a system
+//! call's kernel footprint would.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheCfg {
+    /// Total capacity in bytes.
+    pub size: u32,
+    /// Line size in bytes (power of two).
+    pub line: u32,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+}
+
+impl CacheCfg {
+    pub fn sets(&self) -> usize {
+        (self.size / (self.line * self.assoc)) as usize
+    }
+}
+
+/// One cache level. Tags are full addresses shifted by the line bits.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheCfg,
+    line_shift: u32,
+    /// `sets[s]` holds up to `assoc` tags, most-recently-used first.
+    sets: Vec<Vec<u64>>,
+    accesses: u64,
+    misses: u64,
+}
+
+impl Cache {
+    pub fn new(cfg: CacheCfg) -> Self {
+        assert!(
+            cfg.line.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            cfg.size.is_multiple_of(cfg.line * cfg.assoc),
+            "size must be sets*line*assoc"
+        );
+        let n = cfg.sets();
+        assert!(n.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            cfg,
+            line_shift: cfg.line.trailing_zeros(),
+            sets: vec![Vec::with_capacity(cfg.assoc as usize); n],
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    pub fn cfg(&self) -> CacheCfg {
+        self.cfg
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let tag = addr >> self.line_shift;
+        let set = (tag as usize) & (self.sets.len() - 1);
+        (set, tag)
+    }
+
+    /// Access `addr`; returns `true` on a hit. Misses allocate (both loads
+    /// and stores allocate — write-allocate policy).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        let (si, tag) = self.set_and_tag(addr);
+        let set = &mut self.sets[si];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            // move to MRU
+            let t = set.remove(pos);
+            set.insert(0, t);
+            true
+        } else {
+            self.misses += 1;
+            if set.len() == self.cfg.assoc as usize {
+                set.pop(); // evict LRU
+            }
+            set.insert(0, tag);
+            false
+        }
+    }
+
+    /// Install a line without touching access/miss statistics — the path a
+    /// hardware prefetcher uses.
+    pub fn install(&mut self, addr: u64) {
+        let (si, tag) = self.set_and_tag(addr);
+        let set = &mut self.sets[si];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            let t = set.remove(pos);
+            set.insert(0, t);
+        } else {
+            if set.len() == self.cfg.assoc as usize {
+                set.pop();
+            }
+            set.insert(0, tag);
+        }
+    }
+
+    /// Probe without updating state or statistics (used by tests/tools).
+    pub fn probe(&self, addr: u64) -> bool {
+        let (si, tag) = self.set_and_tag(addr);
+        self.sets[si].contains(&tag)
+    }
+
+    /// Evict up to `n` lines pseudo-randomly — the cache footprint of a
+    /// kernel crossing (counter-read syscall, interrupt handler).
+    pub fn pollute(&mut self, n: u32, seed: u64) {
+        let mut s = seed | 1;
+        for _ in 0..n {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let si = (s >> 33) as usize & (self.sets.len() - 1);
+            self.sets[si].pop();
+        }
+    }
+
+    /// Total accesses since construction/reset.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total misses since construction/reset.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of resident lines (for tests).
+    pub fn resident(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Drop all lines and statistics.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.accesses = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512B
+        Cache::new(CacheCfg {
+            size: 512,
+            line: 64,
+            assoc: 2,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x103f)); // same line
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.accesses(), 3);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // three lines mapping to the same set (set stride = 4 sets * 64B = 256B)
+        let a = 0x0000;
+        let b = 0x0100;
+        let d = 0x0200;
+        c.access(a);
+        c.access(b);
+        c.access(a); // a is MRU, b is LRU
+        c.access(d); // evicts b
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn working_set_within_capacity_all_hits_after_warmup() {
+        let mut c = Cache::new(CacheCfg {
+            size: 16 * 1024,
+            line: 64,
+            assoc: 4,
+        });
+        let lines = 16 * 1024 / 64;
+        for i in 0..lines {
+            c.access(i as u64 * 64);
+        }
+        let warm_misses = c.misses();
+        assert_eq!(warm_misses, lines as u64);
+        for _ in 0..3 {
+            for i in 0..lines {
+                assert!(c.access(i as u64 * 64));
+            }
+        }
+        assert_eq!(c.misses(), warm_misses);
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes() {
+        let mut c = tiny(); // 8 lines total
+                            // stream 32 distinct lines repeatedly, all mapping across sets
+        for _ in 0..4 {
+            for i in 0..32u64 {
+                c.access(i * 64);
+            }
+        }
+        // every access to a line evicted last round misses
+        assert_eq!(c.misses(), c.accesses());
+    }
+
+    #[test]
+    fn pollute_evicts() {
+        let mut c = tiny();
+        for i in 0..8u64 {
+            c.access(i * 64);
+        }
+        let before = c.resident();
+        c.pollute(4, 42);
+        assert!(c.resident() < before);
+        // pollution must not change access/miss statistics
+        assert_eq!(c.accesses(), 8);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = tiny();
+        c.access(0);
+        c.reset();
+        assert_eq!(c.accesses(), 0);
+        assert_eq!(c.misses(), 0);
+        assert_eq!(c.resident(), 0);
+        assert!(!c.probe(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_line_size_panics() {
+        Cache::new(CacheCfg {
+            size: 512,
+            line: 48,
+            assoc: 2,
+        });
+    }
+}

@@ -1,0 +1,1601 @@
+//! The simulated machine: core + memory hierarchy + PMU + a minimal OS.
+//!
+//! [`Machine::run`] executes the loaded program(s) instruction by
+//! instruction and *exits* to the caller whenever something the software
+//! stack must handle occurs: an overflow interrupt (after the platform's
+//! out-of-order skid), a programmable timer tick, a full precise-sample
+//! buffer, or an instrumentation probe. The portable counter library drives
+//! this loop the way a PAPI signal handler drives a real machine.
+//!
+//! All interaction with the counter hardware goes through the `costed_*`
+//! methods, which charge the platform's [`crate::platform::CostModel`] in
+//! simulated kernel-mode cycles and pollute the data cache — so measurement
+//! overhead and perturbation are *emergent*, not asserted.
+
+use crate::branch::BranchPredictor;
+use crate::cache::Cache;
+use crate::isa::Inst;
+use crate::platform::PlatformSpec;
+use crate::pmu::{Domain, EventKind, Pmu, PmuContext, SampleConfig, SampleRecord, NUM_EVENT_KINDS};
+use crate::program::Program;
+use crate::tlb::{Tlb, PAGE_SIZE};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Identifies a thread on the machine.
+pub type ThreadId = u32;
+
+/// Why [`Machine::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// Every thread has halted.
+    Halted,
+    /// An instrumentation probe trapped.
+    Probe { id: u32, thread: ThreadId, pc: u64 },
+    /// A counter overflow interrupt was delivered. `pc` is the program
+    /// counter *as seen by the handler* — skidded on out-of-order cores.
+    Overflow {
+        counter: usize,
+        thread: ThreadId,
+        pc: u64,
+    },
+    /// The programmable timer fired.
+    Timer,
+    /// The precise-sample buffer reached capacity.
+    SampleBufferFull,
+    /// The cycle budget given to `run` was exhausted.
+    CycleLimit,
+    /// Every non-halted thread is blocked on a message receive: the
+    /// application has deadlocked.
+    Deadlock,
+}
+
+/// Counting granularity: one set of counts for the whole machine, or
+/// virtualized per thread (saved/restored on context switch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    System,
+    Thread,
+}
+
+/// Memory-utilization snapshot (the paper's planned PAPI-3 extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemInfo {
+    pub page_size: u64,
+    /// Data pages this thread has touched and that are still counted
+    /// resident.
+    pub resident_pages: u64,
+    /// High-water mark of resident pages.
+    pub peak_pages: u64,
+    /// Pages of program text.
+    pub text_pages: u64,
+    /// Total data pages touched machine-wide.
+    pub system_pages: u64,
+}
+
+/// Errors from machine operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachError {
+    NoSuchThread(ThreadId),
+    NoSuchCounter(usize),
+    SamplingUnsupported,
+}
+
+impl std::fmt::Display for MachError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachError::NoSuchThread(t) => write!(f, "no such thread {t}"),
+            MachError::NoSuchCounter(c) => write!(f, "no such counter {c}"),
+            MachError::SamplingUnsupported => {
+                write!(f, "platform has no precise sampling hardware")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachError {}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct InstState {
+    ctr: u64,
+    cursor: u64,
+}
+
+#[derive(Debug)]
+struct Thread {
+    program: Arc<Program>,
+    pc: usize,
+    stack: Vec<usize>,
+    state: Vec<InstState>,
+    halted: bool,
+    /// Channel this thread is blocked receiving on, if any.
+    blocked_on: Option<u16>,
+    /// Cycle timestamp when the thread blocked (for MsgBlockCycles).
+    blocked_since: u64,
+    /// Cycles spent in user mode on behalf of this thread (virtual time).
+    user_cycles: u64,
+    pages: HashSet<u64>,
+    peak_pages: u64,
+    pmu_ctx: PmuContext,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingOvf {
+    counter: usize,
+    skid_left: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TimerState {
+    period: u64,
+    next: u64,
+}
+
+/// Per-PC ground-truth event histograms, for attribution experiments.
+#[derive(Debug, Default)]
+pub struct Truth {
+    maps: Vec<HashMap<u64, u64>>,
+}
+
+impl Truth {
+    fn new() -> Self {
+        Truth {
+            maps: (0..NUM_EVENT_KINDS).map(|_| HashMap::new()).collect(),
+        }
+    }
+
+    /// True per-PC counts for `kind`.
+    pub fn histogram(&self, kind: EventKind) -> &HashMap<u64, u64> {
+        &self.maps[kind as usize]
+    }
+
+    /// Total true count for `kind`.
+    pub fn total(&self, kind: EventKind) -> u64 {
+        self.maps[kind as usize].values().sum()
+    }
+}
+
+/// The simulated machine.
+pub struct Machine {
+    spec: PlatformSpec,
+    pmu: Pmu,
+    l1d: Cache,
+    l1i: Cache,
+    l2: Cache,
+    dtlb: Tlb,
+    itlb: Tlb,
+    bp: BranchPredictor,
+    threads: Vec<Thread>,
+    current: usize,
+    cycles: u64,
+    kernel_cycles: u64,
+    retired: u64,
+    /// RNG driving application behaviour (random branches/addresses).
+    /// Kept separate from `sys_rng` so that measurement activity never
+    /// changes the monitored program's execution path.
+    app_rng: SmallRng,
+    /// RNG driving measurement-side randomness (skid, jitter, pollution).
+    sys_rng: SmallRng,
+    granularity: Granularity,
+    timer: Option<TimerState>,
+    pending: Vec<PendingOvf>,
+    quantum_next: u64,
+    truth: Option<Truth>,
+    /// Inter-thread message channels: available token count per channel.
+    channels: HashMap<u16, u64>,
+}
+
+impl Machine {
+    /// Build a machine for the given platform with a deterministic seed.
+    pub fn new(spec: PlatformSpec, seed: u64) -> Self {
+        let pmu = Pmu::new(spec.num_counters);
+        let l1d = Cache::new(spec.mem.l1d);
+        let l1i = Cache::new(spec.mem.l1i);
+        let l2 = Cache::new(spec.mem.l2);
+        let dtlb = Tlb::new(spec.mem.dtlb_entries);
+        let itlb = Tlb::new(spec.mem.itlb_entries);
+        let quantum = spec.quantum_cycles;
+        Machine {
+            spec,
+            pmu,
+            l1d,
+            l1i,
+            l2,
+            dtlb,
+            itlb,
+            bp: BranchPredictor::new(1024, 8),
+            threads: Vec::new(),
+            current: 0,
+            cycles: 0,
+            kernel_cycles: 0,
+            retired: 0,
+            app_rng: SmallRng::seed_from_u64(seed),
+            sys_rng: SmallRng::seed_from_u64(seed ^ 0x5DEECE66D),
+            granularity: Granularity::System,
+            timer: None,
+            pending: Vec::new(),
+            quantum_next: quantum,
+            truth: None,
+            channels: HashMap::new(),
+        }
+    }
+
+    /// The platform this machine implements.
+    pub fn spec(&self) -> &PlatformSpec {
+        &self.spec
+    }
+
+    /// Load a program as a new thread; returns its id.
+    pub fn load(&mut self, program: Program) -> ThreadId {
+        let program = Arc::new(program);
+        let state = vec![InstState::default(); program.insts.len()];
+        let pc = program.entry;
+        self.threads.push(Thread {
+            program,
+            pc,
+            stack: Vec::new(),
+            state,
+            halted: false,
+            blocked_on: None,
+            blocked_since: 0,
+            user_cycles: 0,
+            pages: HashSet::new(),
+            peak_pages: 0,
+            pmu_ctx: PmuContext::default(),
+        });
+        (self.threads.len() - 1) as ThreadId
+    }
+
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    pub fn thread_halted(&self, t: ThreadId) -> bool {
+        self.threads.get(t as usize).is_none_or(|t| t.halted)
+    }
+
+    /// Direct PMU access (uncosted — for tests and internal use).
+    pub fn pmu(&self) -> &Pmu {
+        &self.pmu
+    }
+
+    /// Direct mutable PMU access (uncosted).
+    pub fn pmu_mut(&mut self) -> &mut Pmu {
+        &mut self.pmu
+    }
+
+    /// Counting granularity (system-wide or per-thread virtualized).
+    pub fn set_granularity(&mut self, g: Granularity) {
+        self.granularity = g;
+    }
+
+    /// Record per-PC ground-truth histograms from now on (attribution
+    /// experiments). Costs nothing on the simulated machine.
+    pub fn enable_truth(&mut self) {
+        self.truth = Some(Truth::new());
+    }
+
+    /// The ground truth recorded so far, if enabled.
+    pub fn truth(&self) -> Option<&Truth> {
+        self.truth.as_ref()
+    }
+
+    // --- clocks -----------------------------------------------------------
+
+    /// Total elapsed machine cycles (user + kernel).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Cycles spent in kernel mode (measurement + OS overhead).
+    pub fn kernel_cycles(&self) -> u64 {
+        self.kernel_cycles
+    }
+
+    /// Total retired instructions.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Wall-clock nanoseconds since machine start.
+    pub fn real_ns(&self) -> u64 {
+        self.spec.cycles_to_ns(self.cycles)
+    }
+
+    /// Virtual (user-mode) nanoseconds consumed by thread `t`.
+    pub fn virt_ns(&self, t: ThreadId) -> Result<u64, MachError> {
+        let th = self
+            .threads
+            .get(t as usize)
+            .ok_or(MachError::NoSuchThread(t))?;
+        Ok(self.spec.cycles_to_ns(th.user_cycles))
+    }
+
+    /// Consume kernel-mode cycles (measurement overhead, interrupt handling).
+    /// Advances the wall clock and feeds counters whose domain includes
+    /// kernel mode, but not any thread's virtual time.
+    pub fn consume_kernel(&mut self, cycles: u64) {
+        self.cycles += cycles;
+        self.kernel_cycles += cycles;
+        self.pmu.record(EventKind::Cycles, cycles, true);
+    }
+
+    // --- costed counter-interface operations -------------------------------
+    // These are what the portable layer calls; each charges the platform
+    // cost model and pollutes the data cache like a real kernel crossing.
+
+    fn kernel_crossing(&mut self, cycles: u64) {
+        self.consume_kernel(cycles);
+        let seed = self.sys_rng.gen();
+        self.l1d.pollute(self.spec.costs.pollute_lines, seed);
+    }
+
+    /// Read one counter through the native interface.
+    pub fn costed_read(&mut self, idx: usize) -> Result<u64, MachError> {
+        if idx >= self.pmu.num_counters() {
+            return Err(MachError::NoSuchCounter(idx));
+        }
+        self.kernel_crossing(self.spec.costs.read_cycles);
+        Ok(self.pmu.read(idx))
+    }
+
+    /// Program the full counter configuration (multiplex switch /
+    /// EventSet start). `assign[i] = Some((code, domain))` or `None`.
+    pub fn costed_program(&mut self, assign: &[Option<(u32, Domain)>]) -> Result<(), MachError> {
+        self.kernel_crossing(self.spec.costs.program_cycles);
+        for (i, slot) in assign.iter().enumerate() {
+            if i >= self.pmu.num_counters() {
+                return Err(MachError::NoSuchCounter(i));
+            }
+            match slot {
+                Some((code, domain)) => {
+                    let ev = self
+                        .spec
+                        .event_by_code(*code)
+                        .cloned()
+                        .ok_or(MachError::NoSuchCounter(i))?;
+                    self.pmu.program(i, Some((&ev, *domain)));
+                }
+                None => self.pmu.program(i, None),
+            }
+        }
+        Ok(())
+    }
+
+    /// Start counting.
+    pub fn costed_start(&mut self) {
+        self.kernel_crossing(self.spec.costs.start_stop_cycles);
+        self.pmu.start();
+    }
+
+    /// Stop counting.
+    pub fn costed_stop(&mut self) {
+        self.kernel_crossing(self.spec.costs.start_stop_cycles);
+        self.pmu.stop();
+    }
+
+    /// Zero the counters.
+    pub fn costed_reset(&mut self) {
+        self.kernel_crossing(self.spec.costs.start_stop_cycles);
+        self.pmu.reset_counts();
+    }
+
+    /// Arm/disarm overflow interrupts on a counter.
+    pub fn costed_set_overflow(
+        &mut self,
+        idx: usize,
+        threshold: Option<u64>,
+    ) -> Result<(), MachError> {
+        if idx >= self.pmu.num_counters() {
+            return Err(MachError::NoSuchCounter(idx));
+        }
+        self.kernel_crossing(self.spec.costs.program_cycles);
+        self.pmu.set_overflow(idx, threshold);
+        Ok(())
+    }
+
+    /// Configure precise sampling (errors on platforms without the
+    /// hardware).
+    pub fn costed_configure_sampling(
+        &mut self,
+        cfg: Option<SampleConfig>,
+    ) -> Result<(), MachError> {
+        if cfg.is_some() && !self.spec.precise_sampling {
+            return Err(MachError::SamplingUnsupported);
+        }
+        self.kernel_crossing(self.spec.costs.program_cycles);
+        self.pmu.configure_sampling(cfg);
+        Ok(())
+    }
+
+    /// Drain buffered precise samples, charging per-record cost.
+    pub fn costed_drain_samples(&mut self) -> Vec<SampleRecord> {
+        let recs = self.pmu.drain_samples();
+        let cost = self.spec.costs.sample_drain_per_rec * recs.len() as u64;
+        if cost > 0 {
+            self.kernel_crossing(cost);
+        }
+        recs
+    }
+
+    /// Set (or clear) the programmable timer; period in cycles.
+    pub fn set_timer(&mut self, period_cycles: Option<u64>) {
+        self.timer = period_cycles.map(|p| {
+            assert!(p > 0);
+            TimerState {
+                period: p,
+                next: self.cycles + p,
+            }
+        });
+    }
+
+    /// Counter value attributed to thread `t` under [`Granularity::Thread`]
+    /// virtualization: the live register when `t` is running, otherwise its
+    /// saved context (0 if the thread never ran with this configuration).
+    pub fn thread_count(&self, t: ThreadId, counter: usize) -> Result<u64, MachError> {
+        if counter >= self.pmu.num_counters() {
+            return Err(MachError::NoSuchCounter(counter));
+        }
+        let th = self
+            .threads
+            .get(t as usize)
+            .ok_or(MachError::NoSuchThread(t))?;
+        if t as usize == self.current {
+            Ok(self.pmu.read(counter))
+        } else {
+            Ok(th.pmu_ctx.count(counter).unwrap_or(0))
+        }
+    }
+
+    /// Costed third-party read of another thread's counter (PAPI_attach).
+    pub fn costed_read_thread(&mut self, t: ThreadId, counter: usize) -> Result<u64, MachError> {
+        let v = self.thread_count(t, counter)?;
+        self.kernel_crossing(self.spec.costs.read_cycles);
+        Ok(v)
+    }
+
+    /// Memory-utilization info for thread `t`.
+    pub fn mem_info(&self, t: ThreadId) -> Result<MemInfo, MachError> {
+        let th = self
+            .threads
+            .get(t as usize)
+            .ok_or(MachError::NoSuchThread(t))?;
+        let system: u64 = self.threads.iter().map(|t| t.pages.len() as u64).sum();
+        Ok(MemInfo {
+            page_size: PAGE_SIZE,
+            resident_pages: th.pages.len() as u64,
+            peak_pages: th.peak_pages,
+            text_pages: (th.program.insts.len() as u64 * 4).div_ceil(PAGE_SIZE),
+            system_pages: system,
+        })
+    }
+
+    // --- execution ----------------------------------------------------------
+
+    /// Run until an exit condition, or until `budget` more cycles have
+    /// elapsed (if given).
+    pub fn run(&mut self, budget: Option<u64>) -> RunExit {
+        let deadline = budget.map(|b| self.cycles.saturating_add(b));
+        loop {
+            if let Some(d) = deadline {
+                if self.cycles >= d {
+                    return RunExit::CycleLimit;
+                }
+            }
+            if let Some(exit) = self.step() {
+                return exit;
+            }
+        }
+    }
+
+    /// Convenience: run to completion, ignoring every intermediate exit
+    /// except `Halted` (drains sample buffers to nowhere, drops interrupts).
+    /// Intended for tests that don't care about the software stack.
+    /// Panics on application deadlock.
+    pub fn run_to_halt(&mut self) {
+        loop {
+            match self.run(None) {
+                RunExit::Halted => return,
+                RunExit::Deadlock => panic!("application deadlocked"),
+                RunExit::SampleBufferFull => {
+                    self.pmu.drain_samples();
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn all_halted(&self) -> bool {
+        self.threads.iter().all(|t| t.halted)
+    }
+
+    fn runnable(t: &Thread) -> bool {
+        !t.halted && t.blocked_on.is_none()
+    }
+
+    fn switch_to(&mut self, next: usize) {
+        if next == self.current {
+            return;
+        }
+        if self.spec.mem.tlb_flush_on_switch {
+            self.dtlb.flush();
+            self.itlb.flush();
+        }
+        if self.granularity == Granularity::Thread {
+            let ctx = self.pmu.save_context();
+            self.threads[self.current].pmu_ctx = ctx;
+            let next_ctx = std::mem::take(&mut self.threads[next].pmu_ctx);
+            self.pmu.restore_context(&next_ctx);
+            self.threads[next].pmu_ctx = next_ctx;
+        }
+        self.current = next;
+    }
+
+    /// Scheduler: rotate to the next runnable thread, charging the context
+    /// switch cost. Returns false if nothing is runnable.
+    fn schedule(&mut self, force_rotate: bool) -> bool {
+        let n = self.threads.len();
+        if n == 0 {
+            return false;
+        }
+        let runnable = self.threads.iter().filter(|t| Self::runnable(t)).count();
+        if runnable == 0 {
+            return false;
+        }
+        if Self::runnable(&self.threads[self.current]) && !force_rotate {
+            return true;
+        }
+        let mut next = self.current;
+        for off in 1..=n {
+            let cand = (self.current + off) % n;
+            if Self::runnable(&self.threads[cand]) {
+                next = cand;
+                break;
+            }
+        }
+        if next != self.current {
+            self.consume_kernel(self.spec.costs.ctx_switch_cycles);
+            self.switch_to(next);
+        }
+        true
+    }
+
+    /// Wake every thread blocked on `chan`; each re-executes its `Recv` and
+    /// re-checks the channel when scheduled. Blocked time is charged to the
+    /// `MsgBlockCycles` event at the blocking `Recv`'s PC.
+    fn wake_blocked(&mut self, chan: u16) {
+        let now = self.cycles;
+        let mut woken: Vec<(u64, u64)> = Vec::new(); // (recv pc, blocked cycles)
+        for t in &mut self.threads {
+            if t.blocked_on == Some(chan) {
+                t.blocked_on = None;
+                let blocked = now.saturating_sub(t.blocked_since);
+                if blocked > 0 {
+                    woken.push((Program::pc_of(t.pc), blocked));
+                }
+            }
+        }
+        for (pc, blocked) in woken {
+            self.pmu.record(EventKind::MsgBlockCycles, blocked, false);
+            self.record_truth(EventKind::MsgBlockCycles, pc, blocked);
+        }
+    }
+
+    fn record_truth(&mut self, kind: EventKind, pc: u64, n: u64) {
+        if let Some(t) = &mut self.truth {
+            *t.maps[kind as usize].entry(pc).or_insert(0) += n;
+        }
+    }
+
+    /// Execute one instruction of the current thread. Returns an exit if
+    /// one must be delivered to software.
+    fn step(&mut self) -> Option<RunExit> {
+        if self.all_halted() {
+            return Some(RunExit::Halted);
+        }
+        if !self.threads.iter().any(Self::runnable) {
+            return Some(RunExit::Deadlock);
+        }
+        // Round-robin preemption.
+        if self.cycles >= self.quantum_next {
+            self.quantum_next = self.cycles + self.spec.quantum_cycles;
+            let runnable = self.threads.iter().filter(|t| Self::runnable(t)).count();
+            self.schedule(runnable > 1);
+        } else {
+            self.schedule(false);
+        }
+
+        let tid = self.current as ThreadId;
+        let idx = self.threads[self.current].pc;
+        let program = Arc::clone(&self.threads[self.current].program);
+        debug_assert!(idx < program.insts.len(), "pc fell off program end");
+        let inst = program.insts[idx];
+        let pc = Program::pc_of(idx);
+
+        // --- probes trap before costing anything ---
+        if let Inst::Probe { id } = inst {
+            self.threads[self.current].pc = idx + 1;
+            return Some(RunExit::Probe {
+                id,
+                thread: tid,
+                pc,
+            });
+        }
+        if let Inst::Halt = inst {
+            self.threads[self.current].halted = true;
+            if self.all_halted() {
+                return Some(RunExit::Halted);
+            }
+            return None;
+        }
+        // A receive on an empty channel blocks without retiring anything;
+        // the instruction re-executes once a sender wakes the thread.
+        if let Inst::Recv { chan } = inst {
+            if self.channels.get(&chan).copied().unwrap_or(0) == 0 {
+                let t = &mut self.threads[self.current];
+                t.blocked_on = Some(chan);
+                t.blocked_since = self.cycles;
+                return None;
+            }
+        }
+
+        let mut cost: u64 = 1;
+        let mut mem_stall: u64 = 0;
+        let mut kind_mask: u32 = 0;
+        let mut daddr: Option<u64> = None;
+        let mut events: Vec<(EventKind, u64)> = Vec::with_capacity(8);
+        let mut bump = |k: EventKind, n: u64, mask: &mut u32| {
+            *mask |= k.bit();
+            events.push((k, n));
+        };
+
+        // --- fetch ---
+        if !self.itlb.access(pc) {
+            bump(EventKind::ItlbMiss, 1, &mut kind_mask);
+            mem_stall += self.spec.mem.tlb_walk as u64;
+        }
+        bump(EventKind::L1IAccess, 1, &mut kind_mask);
+        if !self.l1i.access(pc) {
+            bump(EventKind::L1IMiss, 1, &mut kind_mask);
+            bump(EventKind::L2Access, 1, &mut kind_mask);
+            if self.l2.access(pc) {
+                mem_stall += self.spec.mem.l2_lat as u64;
+            } else {
+                bump(EventKind::L2Miss, 1, &mut kind_mask);
+                mem_stall += (self.spec.mem.l2_lat + self.spec.mem.mem_lat) as u64;
+            }
+        }
+
+        // --- execute ---
+        let mut next_pc = idx + 1;
+        match inst {
+            Inst::Int => bump(EventKind::IntOps, 1, &mut kind_mask),
+            Inst::FAdd => bump(EventKind::FpAdd, 1, &mut kind_mask),
+            Inst::FMul => bump(EventKind::FpMul, 1, &mut kind_mask),
+            Inst::FFma => bump(EventKind::FpFma, 1, &mut kind_mask),
+            Inst::FDiv => {
+                bump(EventKind::FpDiv, 1, &mut kind_mask);
+                cost += self.spec.pipeline.div_latency as u64;
+            }
+            Inst::FCvt => bump(EventKind::FpCvt, 1, &mut kind_mask),
+            Inst::Load(gen) | Inst::Store(gen) => {
+                let is_load = matches!(inst, Inst::Load(_));
+                let rand_word: u64 = self.app_rng.gen();
+                let st = &mut self.threads[self.current].state[idx];
+                let addr = gen.next(&mut st.cursor, rand_word);
+                daddr = Some(addr);
+                let th = &mut self.threads[self.current];
+                if th.pages.insert(addr / PAGE_SIZE) {
+                    th.peak_pages = th.peak_pages.max(th.pages.len() as u64);
+                }
+                bump(
+                    if is_load {
+                        EventKind::Loads
+                    } else {
+                        EventKind::Stores
+                    },
+                    1,
+                    &mut kind_mask,
+                );
+                if !self.dtlb.access(addr) {
+                    bump(EventKind::DtlbMiss, 1, &mut kind_mask);
+                    mem_stall += self.spec.mem.tlb_walk as u64;
+                }
+                bump(EventKind::L1DAccess, 1, &mut kind_mask);
+                if !self.l1d.access(addr) {
+                    bump(EventKind::L1DMiss, 1, &mut kind_mask);
+                    bump(EventKind::L2Access, 1, &mut kind_mask);
+                    let l2_hit = self.l2.access(addr);
+                    let penalty = if l2_hit {
+                        self.spec.mem.l2_lat as u64
+                    } else {
+                        bump(EventKind::L2Miss, 1, &mut kind_mask);
+                        (self.spec.mem.l2_lat + self.spec.mem.mem_lat) as u64
+                    };
+                    // Stores drain through the write buffer: half the visible
+                    // penalty of a load miss.
+                    mem_stall += if is_load { penalty } else { penalty / 2 };
+                    if self.spec.mem.prefetch_next_line {
+                        // Next-line prefetch: install the successor line in
+                        // L1D (and L2) off the critical path, no stats.
+                        self.l1d.install(addr + 64);
+                        self.l2.install(addr + 64);
+                    }
+                }
+            }
+            Inst::Br { pat, target } => {
+                let rand_byte: u8 = self.app_rng.gen();
+                let st = &mut self.threads[self.current].state[idx];
+                let taken = pat.outcome(&mut st.ctr, rand_byte);
+                bump(EventKind::Branches, 1, &mut kind_mask);
+                if taken {
+                    bump(EventKind::BranchTaken, 1, &mut kind_mask);
+                    next_pc = target as usize;
+                }
+                if self.bp.predict_and_update(pc, taken) {
+                    bump(EventKind::BranchMispred, 1, &mut kind_mask);
+                    cost += self.spec.pipeline.mispredict_penalty as u64;
+                }
+            }
+            Inst::Jmp { target } => next_pc = target as usize,
+            Inst::Call { target } => {
+                self.threads[self.current].stack.push(idx + 1);
+                next_pc = target as usize;
+            }
+            Inst::Ret => match self.threads[self.current].stack.pop() {
+                Some(ra) => next_pc = ra,
+                None => {
+                    self.threads[self.current].halted = true;
+                    if self.all_halted() {
+                        return Some(RunExit::Halted);
+                    }
+                    return None;
+                }
+            },
+            Inst::Nop => {}
+            Inst::Send { chan } => {
+                *self.channels.entry(chan).or_insert(0) += 1;
+                bump(EventKind::MsgSend, 1, &mut kind_mask);
+                self.wake_blocked(chan);
+            }
+            Inst::Recv { chan } => {
+                let tokens = self
+                    .channels
+                    .get_mut(&chan)
+                    .expect("checked non-empty above");
+                *tokens -= 1;
+                bump(EventKind::MsgRecv, 1, &mut kind_mask);
+            }
+            Inst::Probe { .. } | Inst::Halt => unreachable!("handled above"),
+        }
+
+        // Out-of-order cores hide part of the memory stall.
+        let visible_stall = mem_stall * (100 - self.spec.pipeline.overlap_pct as u64) / 100;
+        if visible_stall > 0 {
+            bump(EventKind::StallCycles, visible_stall, &mut kind_mask);
+        }
+        cost += visible_stall;
+        bump(EventKind::Instructions, 1, &mut kind_mask);
+        bump(EventKind::Cycles, cost, &mut kind_mask);
+
+        // --- commit ---
+        for &(k, n) in &events {
+            self.pmu.record(k, n, false);
+            self.record_truth(k, pc, n);
+        }
+        self.threads[self.current].pc = next_pc;
+        self.threads[self.current].user_cycles += cost;
+        self.cycles += cost;
+        self.retired += 1;
+
+        // --- precise sampling ---
+        if self.pmu.sampling_enabled() {
+            let rw: u64 = self.sys_rng.gen();
+            if self
+                .pmu
+                .sample_tick(pc, tid, kind_mask, cost as u32, self.cycles, daddr, rw)
+            {
+                return Some(RunExit::SampleBufferFull);
+            }
+        }
+
+        // --- overflow interrupts (with skid) ---
+        let ovf = self.pmu.take_overflows();
+        if ovf != 0 {
+            for c in 0..self.pmu.num_counters() {
+                if ovf & (1 << c) != 0 {
+                    let (lo, hi) = (self.spec.pipeline.skid_min, self.spec.pipeline.skid_max);
+                    let skid = if hi > lo {
+                        self.sys_rng.gen_range(lo..=hi)
+                    } else {
+                        lo
+                    };
+                    self.pending.push(PendingOvf {
+                        counter: c,
+                        skid_left: skid,
+                    });
+                }
+            }
+        }
+        if !self.pending.is_empty() {
+            let mut deliver: Option<usize> = None;
+            for p in &mut self.pending {
+                if p.skid_left == 0 {
+                    continue; // queued behind another delivery this step
+                }
+                p.skid_left -= 1;
+            }
+            for (i, p) in self.pending.iter().enumerate() {
+                if p.skid_left == 0 {
+                    deliver = Some(i);
+                    break;
+                }
+            }
+            if let Some(i) = deliver {
+                let p = self.pending.remove(i);
+                self.kernel_crossing(self.spec.costs.interrupt_cycles);
+                let report_pc =
+                    Program::pc_of(self.threads[self.current].pc.min(program.insts.len() - 1));
+                return Some(RunExit::Overflow {
+                    counter: p.counter,
+                    thread: tid,
+                    pc: report_pc,
+                });
+            }
+        }
+
+        // --- programmable timer ---
+        if let Some(t) = &mut self.timer {
+            if self.cycles >= t.next {
+                t.next = self.cycles + t.period;
+                let cost = self.spec.costs.timer_cycles;
+                self.consume_kernel(cost);
+                return Some(RunExit::Timer);
+            }
+        }
+
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AddrGen, BranchPat};
+    use crate::platform::{sim_generic, sim_ia64, sim_t3e, sim_x86};
+    use crate::program::ProgramBuilder;
+
+    fn fp_program(iters: u32, fmas_per_iter: usize) -> Program {
+        let mut b = ProgramBuilder::new();
+        b.func("main", |f| {
+            f.loop_(iters, |f| {
+                f.ffma(fmas_per_iter);
+            });
+        });
+        b.build("main")
+    }
+
+    fn machine_with(prog: Program) -> Machine {
+        let mut m = Machine::new(sim_generic(), 42);
+        m.load(prog);
+        m
+    }
+
+    fn program_counter(m: &mut Machine, idx: usize, name: &str) {
+        let code = m.spec().event_by_name(name).unwrap().code;
+        let ev = m.spec().event_by_code(code).unwrap().clone();
+        m.pmu_mut().program(idx, Some((&ev, Domain::ALL)));
+    }
+
+    #[test]
+    fn runs_to_halt() {
+        let mut m = machine_with(fp_program(10, 3));
+        m.run_to_halt();
+        assert!(m.retired() > 0);
+        assert!(m.cycles() >= m.retired());
+    }
+
+    #[test]
+    fn fma_count_exact() {
+        let mut m = machine_with(fp_program(100, 5));
+        program_counter(&mut m, 0, "GEN_FMA");
+        program_counter(&mut m, 1, "GEN_INST");
+        m.pmu_mut().start();
+        m.run_to_halt();
+        assert_eq!(m.pmu().read(0), 500);
+        // loop: 5 fma + 1 br per iter, plus ret + _start call/halt
+        // instructions = 100*(5+1) + ret + call = 602
+        assert_eq!(m.pmu().read(1), 100 * 6 + 2);
+    }
+
+    #[test]
+    fn fp_ops_weights_fma_twice() {
+        let mut m = machine_with(fp_program(50, 2));
+        program_counter(&mut m, 0, "GEN_FP_OPS");
+        program_counter(&mut m, 1, "GEN_FP_INS");
+        m.pmu_mut().start();
+        m.run_to_halt();
+        assert_eq!(m.pmu().read(0), 200); // 100 FMA * 2
+        assert_eq!(m.pmu().read(1), 100);
+    }
+
+    #[test]
+    fn loads_and_cache_misses_counted() {
+        let mut b = ProgramBuilder::new();
+        // Stream 1 MiB with 64B stride: every access a new line, L1 = 16 KiB.
+        b.func("main", |f| {
+            f.loop_(16 * 1024, |f| {
+                f.load(AddrGen::Stride {
+                    base: 0x10_0000,
+                    stride: 64,
+                    len: 1 << 20,
+                });
+            });
+        });
+        let mut m = machine_with(b.build("main"));
+        program_counter(&mut m, 0, "GEN_LOADS");
+        program_counter(&mut m, 1, "GEN_L1D_MISS");
+        m.pmu_mut().start();
+        m.run_to_halt();
+        assert_eq!(m.pmu().read(0), 16 * 1024);
+        // 1 MiB / 64 B = 16384 distinct lines, touched once each: all miss.
+        assert_eq!(m.pmu().read(1), 16 * 1024);
+    }
+
+    #[test]
+    fn repeated_small_buffer_hits_after_warmup() {
+        let mut b = ProgramBuilder::new();
+        // 4 KiB working set walked 100 times, fits L1 (16 KiB).
+        b.func("main", |f| {
+            f.loop_(100 * 64, |f| {
+                f.load(AddrGen::Stride {
+                    base: 0x20_0000,
+                    stride: 64,
+                    len: 4096,
+                });
+            });
+        });
+        let mut m = machine_with(b.build("main"));
+        program_counter(&mut m, 0, "GEN_L1D_MISS");
+        m.pmu_mut().start();
+        m.run_to_halt();
+        assert_eq!(m.pmu().read(0), 64); // only the 64 cold misses
+    }
+
+    #[test]
+    fn branch_events() {
+        let mut m = machine_with(fp_program(1000, 1));
+        program_counter(&mut m, 0, "GEN_BRANCHES");
+        program_counter(&mut m, 1, "GEN_BR_TAKEN");
+        program_counter(&mut m, 2, "GEN_BR_MISP");
+        m.pmu_mut().start();
+        m.run_to_halt();
+        assert_eq!(m.pmu().read(0), 1000);
+        assert_eq!(m.pmu().read(1), 999); // not taken once at exit
+                                          // gshare warm-up mispredicts once per fresh history pattern (~8-10
+                                          // with 8 history bits), then only the loop exit mispredicts.
+        assert!(
+            m.pmu().read(2) <= 20,
+            "loop branch should be predictable, got {}",
+            m.pmu().read(2)
+        );
+    }
+
+    #[test]
+    fn probe_traps_and_resumes() {
+        let mut b = ProgramBuilder::new();
+        b.func("main", |f| {
+            f.int(2);
+            f.raw(Inst::Probe { id: 7 });
+            f.int(3);
+        });
+        let mut m = machine_with(b.build("main"));
+        match m.run(None) {
+            RunExit::Probe { id, thread, .. } => {
+                assert_eq!(id, 7);
+                assert_eq!(thread, 0);
+            }
+            e => panic!("expected probe, got {e:?}"),
+        }
+        assert_eq!(m.run(None), RunExit::Halted);
+    }
+
+    #[test]
+    fn overflow_delivered_with_skid_on_ooo() {
+        let mut m = machine_with(fp_program(10_000, 4));
+        program_counter(&mut m, 0, "GEN_FMA");
+        m.pmu_mut().set_overflow(0, Some(1000));
+        m.pmu_mut().start();
+        let mut overflows = 0;
+        loop {
+            match m.run(None) {
+                RunExit::Overflow { counter, .. } => {
+                    assert_eq!(counter, 0);
+                    overflows += 1;
+                }
+                RunExit::Halted => break,
+                e => panic!("unexpected {e:?}"),
+            }
+        }
+        // 40_000 FMAs / threshold 1000 = 40 interrupts (skid may drop the
+        // last one at halt).
+        assert!((39..=40).contains(&overflows), "got {overflows}");
+    }
+
+    #[test]
+    fn in_order_skid_is_tiny() {
+        let spec = sim_ia64();
+        assert!(spec.pipeline.skid_max <= 2);
+        let mut m = Machine::new(spec, 7);
+        m.load(fp_program(100, 10));
+        let code = m.spec().event_by_name("FP_OPS_RETIRED").unwrap().clone();
+        m.pmu_mut().program(0, Some((&code, Domain::ALL)));
+        m.pmu_mut().set_overflow(0, Some(100));
+        m.pmu_mut().start();
+        let mut pcs = Vec::new();
+        loop {
+            match m.run(None) {
+                RunExit::Overflow { pc, .. } => pcs.push(pc),
+                RunExit::Halted => break,
+                _ => {}
+            }
+        }
+        assert!(!pcs.is_empty());
+        // All overflow PCs must land inside the tiny loop body (4 insts + br).
+        for pc in pcs {
+            let idx = Program::idx_of(pc);
+            assert!(idx <= 12, "in-order skid escaped the loop: idx {idx}");
+        }
+    }
+
+    #[test]
+    fn timer_fires_periodically() {
+        let mut m = machine_with(fp_program(100_000, 2));
+        m.set_timer(Some(10_000));
+        let mut ticks = 0;
+        loop {
+            match m.run(None) {
+                RunExit::Timer => ticks += 1,
+                RunExit::Halted => break,
+                _ => {}
+            }
+        }
+        assert!(ticks >= 10, "expected many timer ticks, got {ticks}");
+    }
+
+    #[test]
+    fn costed_read_charges_cycles_and_counts_kernel_domain() {
+        let mut m = Machine::new(sim_x86(), 1);
+        m.load(fp_program(1, 1));
+        let cyc = m.spec().event_by_name("CPU_CLK_UNHALTED").unwrap().clone();
+        m.pmu_mut().program(0, Some((&cyc, Domain::ALL)));
+        m.pmu_mut().program(1, Some((&cyc, Domain::USER)));
+        m.pmu_mut().start();
+        let before = m.cycles();
+        let _ = m.costed_read(0).unwrap();
+        assert_eq!(m.cycles() - before, m.spec().costs.read_cycles);
+        // Kernel cycles visible on the ALL-domain counter only.
+        assert_eq!(m.pmu().read(0), m.spec().costs.read_cycles);
+        assert_eq!(m.pmu().read(1), 0);
+    }
+
+    #[test]
+    fn costed_read_bad_counter() {
+        let mut m = Machine::new(sim_t3e(), 1);
+        assert_eq!(m.costed_read(99), Err(MachError::NoSuchCounter(99)));
+    }
+
+    #[test]
+    fn sampling_unsupported_on_x86() {
+        let mut m = Machine::new(sim_x86(), 1);
+        assert_eq!(
+            m.costed_configure_sampling(Some(SampleConfig::default())),
+            Err(MachError::SamplingUnsupported)
+        );
+    }
+
+    #[test]
+    fn sampling_collects_exact_pcs() {
+        let mut m = Machine::new(sim_ia64(), 99);
+        m.load(fp_program(5000, 4));
+        m.costed_configure_sampling(Some(SampleConfig {
+            period: 100,
+            jitter: 10,
+            buffer_capacity: 64,
+        }))
+        .unwrap();
+        m.pmu_mut().start();
+        let mut samples = Vec::new();
+        loop {
+            match m.run(None) {
+                RunExit::SampleBufferFull => samples.extend(m.costed_drain_samples()),
+                RunExit::Halted => {
+                    samples.extend(m.costed_drain_samples());
+                    break;
+                }
+                _ => {}
+            }
+        }
+        assert!(samples.len() > 100, "got {}", samples.len());
+        // Sampled PCs must be real instruction addresses within the program.
+        for s in &samples {
+            let idx = Program::idx_of(s.pc);
+            assert!(idx < 16, "sample pc outside program: {idx}");
+        }
+        // Most samples land on the FMA body.
+        let fma = samples.iter().filter(|s| s.has(EventKind::FpFma)).count();
+        assert!(
+            fma * 2 > samples.len(),
+            "fma samples {fma}/{}",
+            samples.len()
+        );
+    }
+
+    #[test]
+    fn two_threads_round_robin_and_virtual_time() {
+        let mut m = Machine::new(sim_generic(), 5);
+        m.load(fp_program(50_000, 2));
+        m.load(fp_program(50_000, 2));
+        m.run_to_halt();
+        let v0 = m.virt_ns(0).unwrap();
+        let v1 = m.virt_ns(1).unwrap();
+        assert!(v0 > 0 && v1 > 0);
+        // Both threads got comparable CPU shares.
+        let ratio = v0 as f64 / v1 as f64;
+        assert!(ratio > 0.5 && ratio < 2.0, "ratio {ratio}");
+        // Real time covers both plus overhead.
+        assert!(m.real_ns() >= v0.max(v1));
+    }
+
+    #[test]
+    fn per_thread_counter_virtualization() {
+        let mut m = Machine::new(sim_generic(), 5);
+        m.set_granularity(Granularity::Thread);
+        let t0 = m.load(fp_program(20_000, 4)); // FP-heavy
+        let t1 = {
+            let mut b = ProgramBuilder::new();
+            b.func("main", |f| {
+                f.loop_(20_000, |f| {
+                    f.int(4);
+                });
+            });
+            m.load(b.build("main"))
+        };
+        program_counter(&mut m, 0, "GEN_FMA");
+        m.pmu_mut().start();
+        m.run_to_halt();
+        // After halt the PMU holds the last-running thread's context; sum
+        // over saved contexts must attribute FMA only to t0.
+        // Read back by switching contexts:
+        m.switch_to(t0 as usize);
+        let fma_t0 = m.pmu().read(0);
+        m.switch_to(t1 as usize);
+        let fma_t1 = m.pmu().read(0);
+        assert_eq!(fma_t0 + fma_t1, 80_000);
+        assert_eq!(fma_t1, 0, "integer thread must see zero FMAs");
+    }
+
+    #[test]
+    fn meminfo_tracks_pages() {
+        let mut b = ProgramBuilder::new();
+        b.func("main", |f| {
+            f.loop_(64, |f| {
+                f.store(AddrGen::Stride {
+                    base: 0x100_0000,
+                    stride: 4096,
+                    len: 64 * 4096,
+                });
+            });
+        });
+        let mut m = machine_with(b.build("main"));
+        m.run_to_halt();
+        let mi = m.mem_info(0).unwrap();
+        assert_eq!(mi.resident_pages, 64);
+        assert_eq!(mi.peak_pages, 64);
+        assert!(mi.text_pages >= 1);
+    }
+
+    #[test]
+    fn truth_histogram_totals_match_counters() {
+        let mut m = machine_with(fp_program(200, 3));
+        m.enable_truth();
+        program_counter(&mut m, 0, "GEN_FMA");
+        m.pmu_mut().start();
+        m.run_to_halt();
+        let truth = m.truth().unwrap();
+        assert_eq!(truth.total(EventKind::FpFma), m.pmu().read(0));
+        // All FMA truth lands on exactly 3 PCs (the 3 body instructions).
+        assert_eq!(truth.histogram(EventKind::FpFma).len(), 3);
+    }
+
+    #[test]
+    fn virt_time_excludes_kernel_overhead() {
+        let mut m = machine_with(fp_program(1000, 1));
+        m.run_to_halt();
+        let v = m.virt_ns(0).unwrap();
+        let before = m.real_ns();
+        m.consume_kernel(1_000_000);
+        assert_eq!(m.virt_ns(0).unwrap(), v);
+        assert!(m.real_ns() > before);
+    }
+
+    #[test]
+    fn cycle_limit_exit() {
+        let mut m = machine_with(fp_program(1_000_000, 4));
+        let exit = m.run(Some(1000));
+        assert_eq!(exit, RunExit::CycleLimit);
+        assert!(m.cycles() >= 1000);
+    }
+
+    #[test]
+    fn timer_and_overflow_coexist() {
+        let mut m = machine_with(fp_program(200_000, 2));
+        program_counter(&mut m, 0, "GEN_FMA");
+        m.pmu_mut().set_overflow(0, Some(20_000));
+        m.pmu_mut().start();
+        m.set_timer(Some(50_000));
+        let (mut ovf, mut tmr) = (0, 0);
+        loop {
+            match m.run(None) {
+                RunExit::Overflow { .. } => ovf += 1,
+                RunExit::Timer => tmr += 1,
+                RunExit::Halted => break,
+                e => panic!("unexpected {e:?}"),
+            }
+        }
+        // 400k FMAs / 20k threshold ~= 20 overflows; run ~1.2M+ cycles / 50k ~= 20+ timer ticks.
+        assert!((18..=20).contains(&ovf), "overflows {ovf}");
+        assert!(tmr >= 10, "timer ticks {tmr}");
+    }
+
+    #[test]
+    fn run_budget_preserved_across_many_calls() {
+        // Driving the machine in small budget slices reaches the same final
+        // state as one big run.
+        let run_sliced = |slice: u64| {
+            let mut m = machine_with(fp_program(50_000, 3));
+            loop {
+                match m.run(Some(slice)) {
+                    RunExit::Halted => break,
+                    RunExit::CycleLimit => {}
+                    e => panic!("unexpected {e:?}"),
+                }
+            }
+            (m.cycles(), m.retired())
+        };
+        let big = run_sliced(u64::MAX / 2);
+        let small = run_sliced(1_000);
+        assert_eq!(big, small);
+    }
+
+    #[test]
+    fn stall_cycles_consistent_with_total() {
+        // Cycles == Instructions + visible stalls + branch/div penalties;
+        // at minimum, cycles >= instructions + stalls.
+        let mut b = ProgramBuilder::new();
+        b.func("main", |f| {
+            f.loop_(20_000, |f| {
+                f.load(AddrGen::Chase {
+                    base: 0x50_0000,
+                    len: 1 << 21,
+                });
+            });
+        });
+        let mut m = machine_with(b.build("main"));
+        program_counter(&mut m, 0, "GEN_CYCLES");
+        program_counter(&mut m, 1, "GEN_INST");
+        program_counter(&mut m, 2, "GEN_STALLS");
+        m.pmu_mut().start();
+        m.run_to_halt();
+        let (cyc, ins, stl) = (m.pmu().read(0), m.pmu().read(1), m.pmu().read(2));
+        assert!(cyc >= ins + stl, "cyc {cyc} < ins {ins} + stalls {stl}");
+        // A 2 MiB chase must be mostly stalled.
+        assert!(stl * 2 > cyc, "chase should be memory-bound: {stl}/{cyc}");
+    }
+
+    #[test]
+    fn l2_access_only_on_l1_miss() {
+        let mut m = machine_with(fp_program(10_000, 2));
+        program_counter(&mut m, 0, "GEN_L2_ACCESS");
+        program_counter(&mut m, 1, "GEN_L1D_MISS");
+        program_counter(&mut m, 2, "GEN_L1I_MISS");
+        m.pmu_mut().start();
+        m.run_to_halt();
+        assert_eq!(m.pmu().read(0), m.pmu().read(1) + m.pmu().read(2));
+    }
+
+    #[test]
+    fn counter_domain_user_excludes_interrupt_handling() {
+        // Overflow interrupts charge kernel cycles; a USER-domain cycle
+        // counter must not see them while an ALL-domain one does.
+        let mut m = machine_with(fp_program(100_000, 2));
+        let cyc = m.spec().event_by_name("GEN_CYCLES").unwrap().clone();
+        let fma = m.spec().event_by_name("GEN_FMA").unwrap().clone();
+        m.pmu_mut().program(0, Some((&cyc, Domain::USER)));
+        m.pmu_mut().program(1, Some((&cyc, Domain::ALL)));
+        m.pmu_mut().program(2, Some((&fma, Domain::ALL)));
+        m.pmu_mut().set_overflow(2, Some(5_000));
+        m.pmu_mut().start();
+        loop {
+            match m.run(None) {
+                RunExit::Halted => break,
+                RunExit::Overflow { .. } => {}
+                e => panic!("unexpected {e:?}"),
+            }
+        }
+        let user = m.pmu().read(0);
+        let all = m.pmu().read(1);
+        // ~40 interrupts x 1500 kernel cycles
+        assert!(all > user + 30_000, "all {all} vs user {user}");
+    }
+
+    fn pingpong_programs(rounds: u32) -> (crate::Program, crate::Program) {
+        // Thread A sends on 0, receives on 1; thread B mirrors.
+        let mut a = ProgramBuilder::new();
+        a.func("main", |f| {
+            f.loop_(rounds, |f| {
+                f.ffma(3);
+                f.send(0);
+                f.recv(1);
+            });
+        });
+        let mut b = ProgramBuilder::new();
+        b.func("main", |f| {
+            f.loop_(rounds, |f| {
+                f.recv(0);
+                f.int(5);
+                f.send(1);
+            });
+        });
+        (a.build("main"), b.build("main"))
+    }
+
+    #[test]
+    fn pingpong_completes_and_counts_messages() {
+        let mut m = Machine::new(sim_generic(), 8);
+        let (pa, pb) = pingpong_programs(500);
+        m.load(pa);
+        m.load(pb);
+        program_counter(&mut m, 0, "GEN_MSG_SEND");
+        program_counter(&mut m, 1, "GEN_MSG_RECV");
+        program_counter(&mut m, 2, "GEN_MSG_BLOCK");
+        m.pmu_mut().start();
+        m.run_to_halt();
+        assert_eq!(m.pmu().read(0), 1000); // 500 each way
+        assert_eq!(m.pmu().read(1), 1000);
+        assert!(m.pmu().read(2) > 0, "someone must have waited");
+        assert!(m.thread_halted(0) && m.thread_halted(1));
+    }
+
+    #[test]
+    fn recv_without_sender_deadlocks() {
+        let mut m = Machine::new(sim_generic(), 8);
+        let mut b = ProgramBuilder::new();
+        b.func("main", |f| {
+            f.int(2);
+            f.recv(7);
+        });
+        m.load(b.build("main"));
+        let mut saw_deadlock = false;
+        for _ in 0..10 {
+            match m.run(None) {
+                RunExit::Deadlock => {
+                    saw_deadlock = true;
+                    break;
+                }
+                RunExit::Halted => panic!("must not halt"),
+                _ => {}
+            }
+        }
+        assert!(saw_deadlock);
+    }
+
+    #[test]
+    fn send_before_recv_buffers_tokens() {
+        // A sends everything first and halts; B drains afterwards: no
+        // deadlock, tokens buffered in the channel.
+        let mut m = Machine::new(sim_generic(), 8);
+        let mut a = ProgramBuilder::new();
+        a.func("main", |f| {
+            f.loop_(50, |f| {
+                f.send(3);
+            });
+        });
+        let mut b = ProgramBuilder::new();
+        b.func("main", |f| {
+            f.loop_(50, |f| {
+                f.recv(3);
+            });
+        });
+        m.load(a.build("main"));
+        m.load(b.build("main"));
+        m.run_to_halt();
+        assert!(m.thread_halted(0) && m.thread_halted(1));
+    }
+
+    #[test]
+    fn blocked_thread_accrues_no_virtual_time() {
+        let mut m = Machine::new(sim_generic(), 8);
+        // B blocks immediately; A computes a while, then sends.
+        let mut a = ProgramBuilder::new();
+        a.func("main", |f| {
+            f.loop_(30_000, |f| {
+                f.ffma(2);
+            });
+            f.send(0);
+        });
+        let mut b = ProgramBuilder::new();
+        b.func("main", |f| {
+            f.recv(0);
+            f.int(10);
+        });
+        m.load(a.build("main"));
+        m.load(b.build("main"));
+        m.run_to_halt();
+        let va = m.virt_ns(0).unwrap();
+        let vb = m.virt_ns(1).unwrap();
+        assert!(
+            vb * 20 < va,
+            "blocked thread must not accrue time: {vb} vs {va}"
+        );
+    }
+
+    #[test]
+    fn next_line_prefetch_halves_stream_misses() {
+        let stream = || {
+            let mut b = ProgramBuilder::new();
+            b.func("main", |f| {
+                f.loop_(8192, |f| {
+                    f.load(AddrGen::Stride {
+                        base: 0x40_0000,
+                        stride: 64,
+                        len: 1 << 20,
+                    });
+                });
+            });
+            b.build("main")
+        };
+        let misses_with = |prefetch: bool| {
+            let mut spec = sim_generic();
+            spec.mem.prefetch_next_line = prefetch;
+            let mut m = Machine::new(spec, 3);
+            m.enable_truth();
+            m.load(stream());
+            m.run_to_halt();
+            m.truth().unwrap().total(EventKind::L1DMiss)
+        };
+        let plain = misses_with(false);
+        let pf = misses_with(true);
+        assert_eq!(plain, 8192, "cold stream misses every line");
+        assert_eq!(pf, 4096, "next-line prefetch halves stream misses");
+        // The chase defeats the prefetcher.
+        let chase_misses = |prefetch: bool| {
+            let mut spec = sim_generic();
+            spec.mem.prefetch_next_line = prefetch;
+            let mut m = Machine::new(spec, 3);
+            m.enable_truth();
+            let mut b = ProgramBuilder::new();
+            b.func("main", |f| {
+                f.loop_(8192, |f| {
+                    f.load(AddrGen::Chase {
+                        base: 0x40_0000,
+                        len: 1 << 21,
+                    });
+                });
+            });
+            m.load(b.build("main"));
+            m.run_to_halt();
+            m.truth().unwrap().total(EventKind::L1DMiss)
+        };
+        let c_plain = chase_misses(false);
+        let c_pf = chase_misses(true);
+        assert!(
+            (c_pf as f64 - c_plain as f64).abs() / (c_plain as f64) < 0.05,
+            "prefetch should not help the chase: {c_plain} vs {c_pf}"
+        );
+    }
+
+    #[test]
+    fn tlb_flush_on_switch_inflates_misses() {
+        let misses_with = |flush: bool| {
+            let mut spec = sim_generic();
+            spec.mem.tlb_flush_on_switch = flush;
+            spec.quantum_cycles = 5_000; // switch often
+            let mut m = Machine::new(spec, 3);
+            m.enable_truth();
+            for _ in 0..2 {
+                let mut b = ProgramBuilder::new();
+                b.func("main", |f| {
+                    f.loop_(30_000, |f| {
+                        f.load(AddrGen::Stride {
+                            base: 0x40_0000,
+                            stride: 64,
+                            len: 32 * 4096,
+                        });
+                    });
+                });
+                m.load(b.build("main"));
+            }
+            m.run_to_halt();
+            m.truth().unwrap().total(EventKind::DtlbMiss)
+        };
+        let asid = misses_with(false);
+        let flush = misses_with(true);
+        assert!(
+            flush > 3 * asid,
+            "TLB flushing must hurt: {flush} vs {asid}"
+        );
+    }
+
+    #[test]
+    fn jmp_and_skip_paths() {
+        // skip_if(Always) jumps over its body; a raw Jmp skips further code.
+        let mut b = ProgramBuilder::new();
+        b.func("main", |f| {
+            f.skip_if(BranchPat::Always, |f| {
+                f.ffma(100); // must be skipped
+            });
+            f.int(1);
+            let target = f.here() + 2; // skip the next fadd
+            f.raw(Inst::Jmp {
+                target: target as u32,
+            });
+            f.raw(Inst::FAdd);
+            f.int(1);
+        });
+        let mut m = machine_with(b.build("main"));
+        m.enable_truth();
+        m.run_to_halt();
+        let t = m.truth().unwrap();
+        assert_eq!(t.total(EventKind::FpFma), 0, "skip_if body must not run");
+        assert_eq!(t.total(EventKind::FpAdd), 0, "jmp must skip the fadd");
+        assert_eq!(t.total(EventKind::IntOps), 2);
+    }
+
+    #[test]
+    fn fixed_address_stays_hot() {
+        let mut b = ProgramBuilder::new();
+        b.func("main", |f| {
+            f.loop_(10_000, |f| {
+                f.load(AddrGen::Fixed { addr: 0x70_0000 });
+            });
+        });
+        let mut m = machine_with(b.build("main"));
+        program_counter(&mut m, 0, "GEN_L1D_MISS");
+        m.pmu_mut().start();
+        m.run_to_halt();
+        assert_eq!(m.pmu().read(0), 1, "a hot lock word misses exactly once");
+    }
+
+    #[test]
+    fn empty_machine_halts_immediately() {
+        let mut m = Machine::new(sim_generic(), 0);
+        assert_eq!(m.run(None), RunExit::Halted);
+        assert_eq!(m.cycles(), 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut m = Machine::new(sim_x86(), 1234);
+            let mut b = ProgramBuilder::new();
+            b.func("main", |f| {
+                f.loop_(5000, |f| {
+                    f.load(AddrGen::Rand {
+                        base: 0x50_0000,
+                        len: 1 << 18,
+                    });
+                    f.skip_if(BranchPat::Rand { p_num: 100 }, |f| {
+                        f.ffma(2);
+                    });
+                });
+            });
+            m.load(b.build("main"));
+            m.run_to_halt();
+            (m.cycles(), m.retired())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,1529 @@
+//! Platform definitions: the simulated stand-ins for the machines the paper
+//! ran on.
+//!
+//! Each [`PlatformSpec`] bundles a pipeline/memory timing model, a *native
+//! event* list with counter constraints (or POWER-style groups), and a cost
+//! model for the native counter interface — register reads on `sim-t3e`
+//! (Cray T3E), a kernel-patch syscall on `sim-x86` (Linux/x86), a vendor
+//! library on `sim-power3` (AIX pmtoolkit), a daemon-mediated interface plus
+//! ProfileMe sampling on `sim-alpha` (Tru64 DCPI/DADD), and EAR-capable
+//! perfmon on `sim-ia64` (Itanium). `sim-generic` is an unconstrained
+//! teaching platform.
+//!
+//! The differences between these specs are what make the portable layer
+//! above them (the `papi-core` crate) non-trivial, exactly as in the paper.
+
+use crate::cache::CacheCfg;
+use crate::pmu::{EventKind, NativeEventDesc};
+use serde::{Deserialize, Serialize};
+
+/// Execution model of the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PipelineKind {
+    /// Retires in program order; interrupts are (almost) precise.
+    InOrder,
+    /// Out-of-order with the given reorder window; overflow interrupts skid.
+    OutOfOrder { window: u32 },
+}
+
+/// Pipeline timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineCfg {
+    pub kind: PipelineKind,
+    /// Cycles lost on a branch misprediction.
+    pub mispredict_penalty: u32,
+    /// Extra cycles (beyond 1) of an FP divide.
+    pub div_latency: u32,
+    /// Percent of memory-stall cycles hidden by out-of-order overlap.
+    pub overlap_pct: u32,
+    /// Overflow-interrupt skid, in retired instructions: the PC delivered to
+    /// the handler is `skid` instructions *past* the event-causing one,
+    /// drawn uniformly from `[skid_min, skid_max]` per interrupt.
+    pub skid_min: u32,
+    pub skid_max: u32,
+}
+
+/// Memory hierarchy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemCfg {
+    pub l1d: CacheCfg,
+    pub l1i: CacheCfg,
+    pub l2: CacheCfg,
+    pub dtlb_entries: usize,
+    pub itlb_entries: usize,
+    /// Extra cycles for an L1 miss that hits L2.
+    pub l2_lat: u32,
+    /// Extra cycles for an L2 miss (memory access).
+    pub mem_lat: u32,
+    /// Extra cycles for a TLB miss (page-table walk).
+    pub tlb_walk: u32,
+    /// Next-line hardware prefetch into L1D on a data miss.
+    pub prefetch_next_line: bool,
+    /// Flush the TLBs on every context switch (no ASIDs).
+    pub tlb_flush_on_switch: bool,
+}
+
+/// Cycle costs of the *native counter interface* on this platform — the
+/// source of all measurement overhead in the reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Reading one counter.
+    pub read_cycles: u64,
+    /// Starting or stopping the counters.
+    pub start_stop_cycles: u64,
+    /// Reprogramming the counter configuration (multiplex switch).
+    pub program_cycles: u64,
+    /// Delivering an overflow interrupt to a user handler.
+    pub interrupt_cycles: u64,
+    /// Draining one precise-sample record from the hardware buffer.
+    pub sample_drain_per_rec: u64,
+    /// Fielding a programmable timer tick.
+    pub timer_cycles: u64,
+    /// A thread context switch (scheduler).
+    pub ctx_switch_cycles: u64,
+    /// L1D lines evicted by each kernel crossing (cache pollution).
+    pub pollute_lines: u32,
+}
+
+/// POWER-style counter group: programming group `id` places `events[i]` on
+/// physical counter `i`. On group platforms an event selection is valid only
+/// if it fits inside a single group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupDef {
+    pub id: u32,
+    pub name: &'static str,
+    /// Native event codes, in counter order.
+    pub events: Vec<u32>,
+}
+
+/// Everything the machine and the portable layer need to know about a
+/// platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    pub name: &'static str,
+    pub vendor: &'static str,
+    pub model: &'static str,
+    pub clock_mhz: u64,
+    pub num_counters: usize,
+    pub pipeline: PipelineCfg,
+    pub mem: MemCfg,
+    pub events: Vec<NativeEventDesc>,
+    /// Non-empty on group-allocated platforms.
+    pub groups: Vec<GroupDef>,
+    pub costs: CostModel,
+    /// ProfileMe / EAR-style precise sampling hardware present.
+    pub precise_sampling: bool,
+    /// Scheduler time slice.
+    pub quantum_cycles: u64,
+}
+
+impl PlatformSpec {
+    /// Look up a native event by code.
+    pub fn event_by_code(&self, code: u32) -> Option<&NativeEventDesc> {
+        self.events.iter().find(|e| e.code == code)
+    }
+
+    /// Look up a native event by vendor mnemonic.
+    pub fn event_by_name(&self, name: &str) -> Option<&NativeEventDesc> {
+        self.events.iter().find(|e| e.name == name)
+    }
+
+    /// True if counter allocation on this platform is group-based.
+    pub fn group_based(&self) -> bool {
+        !self.groups.is_empty()
+    }
+
+    /// Nanoseconds for a cycle count at this platform's clock.
+    pub fn cycles_to_ns(&self, cycles: u64) -> u64 {
+        cycles * 1000 / self.clock_mhz
+    }
+}
+
+/// Native-event code space mirrors PAPI's `PAPI_NATIVE_MASK`.
+pub const NATIVE_MASK: u32 = 0x4000_0000;
+
+fn ne(
+    idx: u32,
+    name: &'static str,
+    descr: &'static str,
+    kinds: &[(EventKind, u32)],
+    counter_mask: u32,
+) -> NativeEventDesc {
+    NativeEventDesc {
+        code: NATIVE_MASK | idx,
+        name,
+        descr,
+        kinds: kinds.to_vec(),
+        counter_mask,
+        group: None,
+    }
+}
+
+use EventKind as K;
+
+/// All FP instruction classes, each counted once (an *instruction* counter).
+const FP_INS_KINDS: &[(EventKind, u32)] =
+    &[(K::FpAdd, 1), (K::FpMul, 1), (K::FpFma, 1), (K::FpDiv, 1)];
+/// FLOP-weighted FP event: FMA counts twice (an *operation* counter).
+const FP_OPS_KINDS: &[(EventKind, u32)] =
+    &[(K::FpAdd, 1), (K::FpMul, 1), (K::FpFma, 2), (K::FpDiv, 1)];
+
+/// Linux/x86 stand-in: 4 counters, asymmetric constraints, kernel-patch
+/// syscall costs — the paper's "customized system calls implemented in a
+/// kernel patch" substrate.
+pub fn sim_x86() -> PlatformSpec {
+    let any = 0b1111;
+    let fp = 0b0011; // FP events only on counters 0-1
+    let mem = 0b1100; // memory events only on counters 2-3
+    let events = vec![
+        ne(
+            0,
+            "CPU_CLK_UNHALTED",
+            "core clock cycles",
+            &[(K::Cycles, 1)],
+            any,
+        ),
+        ne(
+            1,
+            "INST_RETIRED",
+            "instructions retired",
+            &[(K::Instructions, 1)],
+            any,
+        ),
+        ne(
+            2,
+            "FP_INS_RETIRED",
+            "FP instructions retired (FMA counts once)",
+            FP_INS_KINDS,
+            fp,
+        ),
+        ne(
+            3,
+            "FP_OPS_EXE",
+            "FP operations executed (FMA counts twice)",
+            FP_OPS_KINDS,
+            fp,
+        ),
+        ne(4, "FML_INS", "FP multiplies retired", &[(K::FpMul, 1)], fp),
+        ne(5, "FAD_INS", "FP adds retired", &[(K::FpAdd, 1)], fp),
+        ne(6, "FDV_INS", "FP divides retired", &[(K::FpDiv, 1)], 0b0001),
+        ne(
+            7,
+            "FP_ASSIST",
+            "FP converts/assists retired",
+            &[(K::FpCvt, 1)],
+            0b0010,
+        ),
+        ne(
+            8,
+            "DATA_MEM_REFS",
+            "loads + stores retired",
+            &[(K::Loads, 1), (K::Stores, 1)],
+            mem,
+        ),
+        ne(9, "LD_INS", "loads retired", &[(K::Loads, 1)], mem),
+        ne(10, "SR_INS", "stores retired", &[(K::Stores, 1)], mem),
+        ne(
+            11,
+            "DCU_LINES_IN",
+            "L1D lines allocated (misses)",
+            &[(K::L1DMiss, 1)],
+            mem,
+        ),
+        ne(
+            12,
+            "IFU_FETCH_MISS",
+            "L1I fetch misses",
+            &[(K::L1IMiss, 1)],
+            mem,
+        ),
+        ne(13, "L2_RQSTS", "L2 requests", &[(K::L2Access, 1)], mem),
+        ne(
+            14,
+            "L2_LINES_IN",
+            "L2 lines allocated (misses)",
+            &[(K::L2Miss, 1)],
+            mem,
+        ),
+        ne(15, "DTLB_MISS", "data TLB misses", &[(K::DtlbMiss, 1)], mem),
+        ne(
+            16,
+            "ITLB_MISS",
+            "instruction TLB misses",
+            &[(K::ItlbMiss, 1)],
+            mem,
+        ),
+        ne(
+            17,
+            "BR_INST_RETIRED",
+            "conditional branches retired",
+            &[(K::Branches, 1)],
+            any,
+        ),
+        ne(
+            18,
+            "BR_MISP_RETIRED",
+            "mispredicted branches retired",
+            &[(K::BranchMispred, 1)],
+            any,
+        ),
+        ne(
+            19,
+            "BR_TAKEN_RETIRED",
+            "taken branches retired",
+            &[(K::BranchTaken, 1)],
+            any,
+        ),
+        ne(
+            20,
+            "RESOURCE_STALLS",
+            "cycles stalled on resources",
+            &[(K::StallCycles, 1)],
+            any,
+        ),
+    ];
+    PlatformSpec {
+        name: "sim-x86",
+        vendor: "SimIntel",
+        model: "Simulated P6-class (Linux kernel-patch interface)",
+        clock_mhz: 1000,
+        num_counters: 4,
+        pipeline: PipelineCfg {
+            kind: PipelineKind::OutOfOrder { window: 32 },
+            mispredict_penalty: 10,
+            div_latency: 20,
+            overlap_pct: 60,
+            skid_min: 8,
+            skid_max: 24,
+        },
+        mem: MemCfg {
+            l1d: CacheCfg {
+                size: 16 * 1024,
+                line: 64,
+                assoc: 4,
+            },
+            l1i: CacheCfg {
+                size: 16 * 1024,
+                line: 64,
+                assoc: 4,
+            },
+            l2: CacheCfg {
+                size: 256 * 1024,
+                line: 64,
+                assoc: 8,
+            },
+            dtlb_entries: 64,
+            itlb_entries: 32,
+            l2_lat: 10,
+            mem_lat: 100,
+            tlb_walk: 30,
+            prefetch_next_line: false,
+            tlb_flush_on_switch: false,
+        },
+        events,
+        groups: Vec::new(),
+        costs: CostModel {
+            read_cycles: 800,
+            start_stop_cycles: 1200,
+            program_cycles: 1500,
+            interrupt_cycles: 2500,
+            sample_drain_per_rec: 100,
+            timer_cycles: 2000,
+            ctx_switch_cycles: 2000,
+            pollute_lines: 32,
+        },
+        precise_sampling: false,
+        quantum_cycles: 100_000,
+    }
+}
+
+/// Alpha 21264 / Tru64 stand-in: only two counters, a handful of aggregate
+/// events, *very* expensive direct reads (daemon-mediated DADD) — but
+/// ProfileMe precise sampling with cheap buffered drains. This is the
+/// substrate where the paper measured 1–2 % profiling overhead.
+pub fn sim_alpha() -> PlatformSpec {
+    let events = vec![
+        ne(0, "cycles", "processor cycles", &[(K::Cycles, 1)], 0b11),
+        ne(
+            1,
+            "retinst",
+            "retired instructions",
+            &[(K::Instructions, 1)],
+            0b11,
+        ),
+        ne(
+            2,
+            "retinst_fp",
+            "retired FP instructions (incl. converts)",
+            &[
+                (K::FpAdd, 1),
+                (K::FpMul, 1),
+                (K::FpFma, 1),
+                (K::FpDiv, 1),
+                (K::FpCvt, 1),
+            ],
+            0b01,
+        ),
+        ne(
+            3,
+            "ret_cond_branch",
+            "retired conditional branches",
+            &[(K::Branches, 1)],
+            0b10,
+        ),
+        ne(
+            4,
+            "branch_mispr",
+            "mispredicted branches",
+            &[(K::BranchMispred, 1)],
+            0b10,
+        ),
+        ne(
+            5,
+            "dcache_miss",
+            "L1 D-cache misses",
+            &[(K::L1DMiss, 1)],
+            0b01,
+        ),
+        ne(
+            6,
+            "icache_miss",
+            "L1 I-cache misses",
+            &[(K::L1IMiss, 1)],
+            0b10,
+        ),
+        ne(
+            7,
+            "bcache_miss",
+            "board-level cache (L2) misses",
+            &[(K::L2Miss, 1)],
+            0b10,
+        ),
+        ne(8, "dtb_miss", "data TB misses", &[(K::DtlbMiss, 1)], 0b01),
+        ne(
+            9,
+            "itb_miss",
+            "instruction TB misses",
+            &[(K::ItlbMiss, 1)],
+            0b10,
+        ),
+    ];
+    PlatformSpec {
+        name: "sim-alpha",
+        vendor: "SimDEC",
+        model: "Simulated 21264/Tru64 (DCPI/DADD + ProfileMe)",
+        clock_mhz: 833,
+        num_counters: 2,
+        pipeline: PipelineCfg {
+            kind: PipelineKind::OutOfOrder { window: 80 },
+            mispredict_penalty: 14,
+            div_latency: 30,
+            overlap_pct: 70,
+            skid_min: 16,
+            skid_max: 48,
+        },
+        mem: MemCfg {
+            l1d: CacheCfg {
+                size: 64 * 1024,
+                line: 64,
+                assoc: 2,
+            },
+            l1i: CacheCfg {
+                size: 64 * 1024,
+                line: 64,
+                assoc: 2,
+            },
+            l2: CacheCfg {
+                size: 512 * 1024,
+                line: 64,
+                assoc: 8,
+            },
+            dtlb_entries: 128,
+            itlb_entries: 64,
+            l2_lat: 12,
+            mem_lat: 120,
+            tlb_walk: 40,
+            prefetch_next_line: false,
+            tlb_flush_on_switch: false,
+        },
+        events,
+        groups: Vec::new(),
+        costs: CostModel {
+            read_cycles: 5000,
+            start_stop_cycles: 6000,
+            program_cycles: 6000,
+            interrupt_cycles: 1800,
+            // DCPI drains its buffer in bulk; amortized per-record cost is
+            // tiny, which is what keeps ProfileMe overhead at 1-2%.
+            sample_drain_per_rec: 20,
+            timer_cycles: 2000,
+            ctx_switch_cycles: 2500,
+            pollute_lines: 64,
+        },
+        precise_sampling: true,
+        quantum_cycles: 100_000,
+    }
+}
+
+/// IBM POWER3/AIX stand-in: 8 counters allocated in fixed *groups*
+/// (pmtoolkit style), and the calibration quirk from the paper: the FP
+/// instruction event also counts converts/rounding instructions.
+pub fn sim_power3() -> PlatformSpec {
+    // Masks are filled in from the groups below.
+    let mut events = vec![
+        ne(0, "PM_CYC", "processor cycles", &[(K::Cycles, 1)], 0),
+        ne(
+            1,
+            "PM_INST_CMPL",
+            "instructions completed",
+            &[(K::Instructions, 1)],
+            0,
+        ),
+        // The POWER3 anecdote: rounding/convert instructions inflate FP counts.
+        ne(
+            2,
+            "PM_FPU_CMPL",
+            "FP instructions completed (includes converts/rounding)",
+            &[
+                (K::FpAdd, 1),
+                (K::FpMul, 1),
+                (K::FpFma, 1),
+                (K::FpDiv, 1),
+                (K::FpCvt, 1),
+            ],
+            0,
+        ),
+        ne(
+            3,
+            "PM_EXEC_FMA",
+            "fused multiply-adds executed",
+            &[(K::FpFma, 1)],
+            0,
+        ),
+        ne(4, "PM_LD_CMPL", "loads completed", &[(K::Loads, 1)], 0),
+        ne(5, "PM_ST_CMPL", "stores completed", &[(K::Stores, 1)], 0),
+        ne(
+            6,
+            "PM_LD_MISS_L1",
+            "L1 D-cache load misses",
+            &[(K::L1DMiss, 1)],
+            0,
+        ),
+        ne(7, "PM_IC_MISS", "L1 I-cache misses", &[(K::L1IMiss, 1)], 0),
+        ne(8, "PM_L2_MISS", "L2 misses", &[(K::L2Miss, 1)], 0),
+        ne(9, "PM_DTLB_MISS", "data TLB misses", &[(K::DtlbMiss, 1)], 0),
+        ne(
+            10,
+            "PM_ITLB_MISS",
+            "instruction TLB misses",
+            &[(K::ItlbMiss, 1)],
+            0,
+        ),
+        ne(
+            11,
+            "PM_BR_CMPL",
+            "branches completed",
+            &[(K::Branches, 1)],
+            0,
+        ),
+        ne(
+            12,
+            "PM_BR_MPRED",
+            "branches mispredicted",
+            &[(K::BranchMispred, 1)],
+            0,
+        ),
+        ne(
+            13,
+            "PM_CYC_STALL",
+            "stall cycles",
+            &[(K::StallCycles, 1)],
+            0,
+        ),
+        ne(
+            14,
+            "PM_FDIV_CMPL",
+            "FP divides completed",
+            &[(K::FpDiv, 1)],
+            0,
+        ),
+        ne(
+            15,
+            "PM_BR_TAKEN",
+            "branches taken",
+            &[(K::BranchTaken, 1)],
+            0,
+        ),
+    ];
+    let c = |i: u32| NATIVE_MASK | i;
+    let groups = vec![
+        GroupDef {
+            id: 0,
+            name: "pm_basic",
+            events: vec![c(0), c(1), c(4), c(5), c(11), c(12), c(2), c(3)],
+        },
+        GroupDef {
+            id: 1,
+            name: "pm_fp",
+            events: vec![c(0), c(1), c(2), c(3), c(14), c(13), c(4), c(5)],
+        },
+        GroupDef {
+            id: 2,
+            name: "pm_mem",
+            events: vec![c(0), c(1), c(6), c(8), c(9), c(4), c(5), c(13)],
+        },
+        GroupDef {
+            id: 3,
+            name: "pm_branch",
+            events: vec![c(0), c(1), c(11), c(12), c(15), c(7), c(10), c(13)],
+        },
+        GroupDef {
+            id: 4,
+            name: "pm_cache",
+            events: vec![c(0), c(1), c(6), c(7), c(8), c(9), c(10), c(13)],
+        },
+    ];
+    // Derive counter masks from group positions: an event may sit on counter
+    // i iff some group places it there.
+    for g in &groups {
+        for (pos, code) in g.events.iter().enumerate() {
+            let e = events
+                .iter_mut()
+                .find(|e| e.code == *code)
+                .expect("group references unknown event");
+            e.counter_mask |= 1 << pos;
+            e.group = Some(g.id); // last group wins; informational only
+        }
+    }
+    PlatformSpec {
+        name: "sim-power3",
+        vendor: "SimIBM",
+        model: "Simulated POWER3/AIX (pmtoolkit, group allocation)",
+        clock_mhz: 375,
+        num_counters: 8,
+        pipeline: PipelineCfg {
+            kind: PipelineKind::OutOfOrder { window: 32 },
+            mispredict_penalty: 8,
+            div_latency: 18,
+            overlap_pct: 60,
+            skid_min: 8,
+            skid_max: 16,
+        },
+        mem: MemCfg {
+            l1d: CacheCfg {
+                size: 32 * 1024,
+                line: 64,
+                assoc: 8,
+            },
+            l1i: CacheCfg {
+                size: 32 * 1024,
+                line: 64,
+                assoc: 8,
+            },
+            l2: CacheCfg {
+                size: 512 * 1024,
+                line: 64,
+                assoc: 8,
+            },
+            dtlb_entries: 128,
+            itlb_entries: 64,
+            l2_lat: 9,
+            mem_lat: 90,
+            tlb_walk: 35,
+            prefetch_next_line: false,
+            tlb_flush_on_switch: false,
+        },
+        events,
+        groups,
+        costs: CostModel {
+            read_cycles: 1000,
+            start_stop_cycles: 1500,
+            program_cycles: 2000,
+            interrupt_cycles: 2200,
+            sample_drain_per_rec: 120,
+            timer_cycles: 1800,
+            ctx_switch_cycles: 2200,
+            pollute_lines: 32,
+        },
+        precise_sampling: false,
+        quantum_cycles: 100_000,
+    }
+}
+
+/// Itanium stand-in: in-order issue (tiny skid), Event Address Registers
+/// give precise sampling.
+pub fn sim_ia64() -> PlatformSpec {
+    let any = 0b1111;
+    let events = vec![
+        ne(0, "CPU_CYCLES", "CPU cycles", &[(K::Cycles, 1)], any),
+        ne(
+            1,
+            "IA64_INST_RETIRED",
+            "instructions retired",
+            &[(K::Instructions, 1)],
+            any,
+        ),
+        ne(
+            2,
+            "FP_OPS_RETIRED",
+            "FP operations retired (FMA = 2)",
+            FP_OPS_KINDS,
+            any,
+        ),
+        ne(
+            3,
+            "FP_INST_RETIRED",
+            "FP instructions retired",
+            FP_INS_KINDS,
+            0b0011,
+        ),
+        ne(4, "LOADS_RETIRED", "loads retired", &[(K::Loads, 1)], any),
+        ne(
+            5,
+            "STORES_RETIRED",
+            "stores retired",
+            &[(K::Stores, 1)],
+            any,
+        ),
+        ne(
+            6,
+            "L1D_READ_MISSES",
+            "L1D read misses",
+            &[(K::L1DMiss, 1)],
+            0b1100,
+        ),
+        ne(7, "L1I_MISSES", "L1I misses", &[(K::L1IMiss, 1)], 0b1100),
+        ne(8, "L2_MISSES", "L2 misses", &[(K::L2Miss, 1)], 0b1100),
+        ne(
+            9,
+            "L2_REFERENCES",
+            "L2 references",
+            &[(K::L2Access, 1)],
+            0b1100,
+        ),
+        ne(
+            10,
+            "DTLB_MISSES",
+            "DTLB misses",
+            &[(K::DtlbMiss, 1)],
+            0b1100,
+        ),
+        ne(
+            11,
+            "ITLB_MISSES",
+            "ITLB misses",
+            &[(K::ItlbMiss, 1)],
+            0b1100,
+        ),
+        ne(
+            12,
+            "BRANCH_EVENT",
+            "branches retired",
+            &[(K::Branches, 1)],
+            any,
+        ),
+        ne(
+            13,
+            "BR_MISPRED_DETAIL",
+            "mispredicted branches",
+            &[(K::BranchMispred, 1)],
+            any,
+        ),
+        ne(
+            14,
+            "BE_EXE_BUBBLE",
+            "backend execution bubbles (stalls)",
+            &[(K::StallCycles, 1)],
+            any,
+        ),
+        ne(
+            15,
+            "BR_TAKEN_DETAIL",
+            "taken branches",
+            &[(K::BranchTaken, 1)],
+            any,
+        ),
+    ];
+    PlatformSpec {
+        name: "sim-ia64",
+        vendor: "SimIntel",
+        model: "Simulated Itanium (perfmon + EARs)",
+        clock_mhz: 800,
+        num_counters: 4,
+        pipeline: PipelineCfg {
+            kind: PipelineKind::InOrder,
+            mispredict_penalty: 6,
+            div_latency: 32,
+            overlap_pct: 30,
+            skid_min: 0,
+            skid_max: 2,
+        },
+        mem: MemCfg {
+            l1d: CacheCfg {
+                size: 16 * 1024,
+                line: 64,
+                assoc: 4,
+            },
+            l1i: CacheCfg {
+                size: 16 * 1024,
+                line: 64,
+                assoc: 4,
+            },
+            l2: CacheCfg {
+                size: 256 * 1024,
+                line: 64,
+                assoc: 8,
+            },
+            dtlb_entries: 96,
+            itlb_entries: 48,
+            l2_lat: 8,
+            mem_lat: 110,
+            tlb_walk: 25,
+            prefetch_next_line: false,
+            tlb_flush_on_switch: false,
+        },
+        events,
+        groups: Vec::new(),
+        costs: CostModel {
+            read_cycles: 600,
+            start_stop_cycles: 900,
+            program_cycles: 1200,
+            interrupt_cycles: 2000,
+            sample_drain_per_rec: 60,
+            timer_cycles: 1500,
+            ctx_switch_cycles: 1800,
+            pollute_lines: 24,
+        },
+        precise_sampling: true,
+        quantum_cycles: 100_000,
+    }
+}
+
+/// Cray T3E stand-in (Alpha 21164): in-order, user-mode *register-level*
+/// counter access — reads cost almost nothing — but few events, tight
+/// single-counter constraints, no TLB or L2 events, and very expensive
+/// (software-emulated) overflow interrupts.
+pub fn sim_t3e() -> PlatformSpec {
+    let events = vec![
+        ne(
+            0,
+            "CYCLES",
+            "machine cycles (fixed counter 0)",
+            &[(K::Cycles, 1)],
+            0b001,
+        ),
+        ne(
+            1,
+            "ISSUES",
+            "instructions issued",
+            &[(K::Instructions, 1)],
+            0b110,
+        ),
+        ne(
+            2,
+            "FLOPS",
+            "floating point operations (FMA = 2)",
+            FP_OPS_KINDS,
+            0b010,
+        ),
+        ne(3, "LOADS", "load instructions", &[(K::Loads, 1)], 0b110),
+        ne(4, "STORES", "store instructions", &[(K::Stores, 1)], 0b110),
+        ne(
+            5,
+            "DCACHE_MISS",
+            "D-cache misses",
+            &[(K::L1DMiss, 1)],
+            0b100,
+        ),
+        ne(
+            6,
+            "ICACHE_MISS",
+            "I-cache misses",
+            &[(K::L1IMiss, 1)],
+            0b100,
+        ),
+        ne(
+            7,
+            "BRANCHES",
+            "conditional branches",
+            &[(K::Branches, 1)],
+            0b010,
+        ),
+        ne(
+            8,
+            "BRANCH_MISPR",
+            "mispredicted branches",
+            &[(K::BranchMispred, 1)],
+            0b100,
+        ),
+    ];
+    PlatformSpec {
+        name: "sim-t3e",
+        vendor: "SimCray",
+        model: "Simulated T3E node (21164, register-level access)",
+        clock_mhz: 450,
+        num_counters: 3,
+        pipeline: PipelineCfg {
+            kind: PipelineKind::InOrder,
+            mispredict_penalty: 5,
+            div_latency: 22,
+            overlap_pct: 0,
+            skid_min: 0,
+            skid_max: 1,
+        },
+        mem: MemCfg {
+            l1d: CacheCfg {
+                size: 8 * 1024,
+                line: 64,
+                assoc: 1,
+            },
+            l1i: CacheCfg {
+                size: 8 * 1024,
+                line: 64,
+                assoc: 1,
+            },
+            l2: CacheCfg {
+                size: 96 * 1024,
+                line: 64,
+                assoc: 3,
+            },
+            dtlb_entries: 64,
+            itlb_entries: 48,
+            l2_lat: 8,
+            mem_lat: 80,
+            tlb_walk: 20,
+            prefetch_next_line: false,
+            tlb_flush_on_switch: false,
+        },
+        events,
+        groups: Vec::new(),
+        costs: CostModel {
+            read_cycles: 15,
+            start_stop_cycles: 30,
+            program_cycles: 60,
+            interrupt_cycles: 4000,
+            sample_drain_per_rec: 0,
+            timer_cycles: 1200,
+            ctx_switch_cycles: 1500,
+            pollute_lines: 2,
+        },
+        precise_sampling: false,
+        quantum_cycles: 100_000,
+    }
+}
+
+/// An unconstrained teaching platform: 4 symmetric counters, every event,
+/// moderate costs, precise sampling. Useful as a baseline and in tests.
+pub fn sim_generic() -> PlatformSpec {
+    let any = 0b1111;
+    let events = vec![
+        ne(0, "GEN_CYCLES", "cycles", &[(K::Cycles, 1)], any),
+        ne(
+            1,
+            "GEN_INST",
+            "instructions retired",
+            &[(K::Instructions, 1)],
+            any,
+        ),
+        ne(2, "GEN_INT_OPS", "integer ops", &[(K::IntOps, 1)], any),
+        ne(3, "GEN_FP_INS", "FP instructions", FP_INS_KINDS, any),
+        ne(
+            4,
+            "GEN_FP_OPS",
+            "FP operations (FMA = 2)",
+            FP_OPS_KINDS,
+            any,
+        ),
+        ne(5, "GEN_FMA", "fused multiply-adds", &[(K::FpFma, 1)], any),
+        ne(6, "GEN_FDIV", "FP divides", &[(K::FpDiv, 1)], any),
+        ne(7, "GEN_FCVT", "FP converts", &[(K::FpCvt, 1)], any),
+        ne(8, "GEN_LOADS", "loads", &[(K::Loads, 1)], any),
+        ne(9, "GEN_STORES", "stores", &[(K::Stores, 1)], any),
+        ne(
+            10,
+            "GEN_L1D_ACCESS",
+            "L1D accesses",
+            &[(K::L1DAccess, 1)],
+            any,
+        ),
+        ne(11, "GEN_L1D_MISS", "L1D misses", &[(K::L1DMiss, 1)], any),
+        ne(12, "GEN_L1I_MISS", "L1I misses", &[(K::L1IMiss, 1)], any),
+        ne(13, "GEN_L2_ACCESS", "L2 accesses", &[(K::L2Access, 1)], any),
+        ne(14, "GEN_L2_MISS", "L2 misses", &[(K::L2Miss, 1)], any),
+        ne(15, "GEN_DTLB_MISS", "DTLB misses", &[(K::DtlbMiss, 1)], any),
+        ne(16, "GEN_ITLB_MISS", "ITLB misses", &[(K::ItlbMiss, 1)], any),
+        ne(17, "GEN_BRANCHES", "branches", &[(K::Branches, 1)], any),
+        ne(
+            18,
+            "GEN_BR_TAKEN",
+            "taken branches",
+            &[(K::BranchTaken, 1)],
+            any,
+        ),
+        ne(
+            19,
+            "GEN_BR_MISP",
+            "mispredicted branches",
+            &[(K::BranchMispred, 1)],
+            any,
+        ),
+        ne(
+            20,
+            "GEN_STALLS",
+            "stall cycles",
+            &[(K::StallCycles, 1)],
+            any,
+        ),
+        ne(21, "GEN_MSG_SEND", "messages sent", &[(K::MsgSend, 1)], any),
+        ne(
+            22,
+            "GEN_MSG_RECV",
+            "messages received",
+            &[(K::MsgRecv, 1)],
+            any,
+        ),
+        ne(
+            23,
+            "GEN_MSG_BLOCK",
+            "cycles blocked on receive",
+            &[(K::MsgBlockCycles, 1)],
+            any,
+        ),
+    ];
+    PlatformSpec {
+        name: "sim-generic",
+        vendor: "SimGeneric",
+        model: "Simulated generic OoO core",
+        clock_mhz: 1000,
+        num_counters: 4,
+        pipeline: PipelineCfg {
+            kind: PipelineKind::OutOfOrder { window: 32 },
+            mispredict_penalty: 10,
+            div_latency: 20,
+            overlap_pct: 60,
+            skid_min: 4,
+            skid_max: 12,
+        },
+        mem: MemCfg {
+            l1d: CacheCfg {
+                size: 16 * 1024,
+                line: 64,
+                assoc: 4,
+            },
+            l1i: CacheCfg {
+                size: 16 * 1024,
+                line: 64,
+                assoc: 4,
+            },
+            l2: CacheCfg {
+                size: 256 * 1024,
+                line: 64,
+                assoc: 8,
+            },
+            dtlb_entries: 64,
+            itlb_entries: 32,
+            l2_lat: 10,
+            mem_lat: 100,
+            tlb_walk: 30,
+            prefetch_next_line: false,
+            tlb_flush_on_switch: false,
+        },
+        events,
+        groups: Vec::new(),
+        costs: CostModel {
+            read_cycles: 200,
+            start_stop_cycles: 300,
+            program_cycles: 400,
+            interrupt_cycles: 1500,
+            sample_drain_per_rec: 50,
+            timer_cycles: 1000,
+            ctx_switch_cycles: 1200,
+            pollute_lines: 8,
+        },
+        precise_sampling: true,
+        quantum_cycles: 100_000,
+    }
+}
+
+/// Sun UltraSPARC/Solaris stand-in: two PICs with strongly asymmetric event
+/// placement and *no* FMA-aware FP events (the FP pipes count adds and
+/// multiplies separately, folding FMAs into both) — so several FP presets
+/// simply cannot be mapped, a real portability hole of the era.
+pub fn sim_ultra() -> PlatformSpec {
+    let events = vec![
+        ne(0, "Cycle_cnt", "processor cycles", &[(K::Cycles, 1)], 0b11),
+        ne(
+            1,
+            "Instr_cnt",
+            "instructions completed",
+            &[(K::Instructions, 1)],
+            0b11,
+        ),
+        ne(
+            2,
+            "DC_rd",
+            "D-cache read references",
+            &[(K::Loads, 1)],
+            0b01,
+        ),
+        ne(
+            3,
+            "DC_wr",
+            "D-cache write references",
+            &[(K::Stores, 1)],
+            0b01,
+        ),
+        ne(4, "DC_rd_miss", "D-cache misses", &[(K::L1DMiss, 1)], 0b10),
+        ne(
+            5,
+            "IC_ref",
+            "I-cache references",
+            &[(K::L1IAccess, 1)],
+            0b01,
+        ),
+        ne(6, "IC_miss", "I-cache misses", &[(K::L1IMiss, 1)], 0b10),
+        ne(
+            7,
+            "EC_ref",
+            "external cache references",
+            &[(K::L2Access, 1)],
+            0b01,
+        ),
+        ne(
+            8,
+            "EC_misses",
+            "external cache misses",
+            &[(K::L2Miss, 1)],
+            0b10,
+        ),
+        ne(
+            9,
+            "Dispatch0_br",
+            "branches dispatched",
+            &[(K::Branches, 1)],
+            0b01,
+        ),
+        ne(
+            10,
+            "Dispatch0_mispred",
+            "branches mispredicted",
+            &[(K::BranchMispred, 1)],
+            0b10,
+        ),
+        // The FP pipes each count FMAs as their own op.
+        ne(
+            11,
+            "FA_pipe",
+            "FP adder pipe completions",
+            &[(K::FpAdd, 1), (K::FpFma, 1)],
+            0b01,
+        ),
+        ne(
+            12,
+            "FM_pipe",
+            "FP multiplier pipe completions",
+            &[(K::FpMul, 1), (K::FpFma, 1)],
+            0b10,
+        ),
+        ne(
+            13,
+            "Load_use_stall",
+            "load-use stall cycles",
+            &[(K::StallCycles, 1)],
+            0b10,
+        ),
+    ];
+    PlatformSpec {
+        name: "sim-ultra",
+        vendor: "SimSun",
+        model: "Simulated UltraSPARC-II/Solaris (libcpc)",
+        clock_mhz: 400,
+        num_counters: 2,
+        pipeline: PipelineCfg {
+            kind: PipelineKind::InOrder,
+            mispredict_penalty: 4,
+            div_latency: 22,
+            overlap_pct: 10,
+            skid_min: 0,
+            skid_max: 2,
+        },
+        mem: MemCfg {
+            l1d: CacheCfg {
+                size: 16 * 1024,
+                line: 64,
+                assoc: 1,
+            },
+            l1i: CacheCfg {
+                size: 16 * 1024,
+                line: 64,
+                assoc: 2,
+            },
+            l2: CacheCfg {
+                size: 512 * 1024,
+                line: 64,
+                assoc: 1,
+            },
+            dtlb_entries: 64,
+            itlb_entries: 64,
+            l2_lat: 10,
+            mem_lat: 95,
+            tlb_walk: 28,
+            prefetch_next_line: false,
+            tlb_flush_on_switch: false,
+        },
+        events,
+        groups: Vec::new(),
+        costs: CostModel {
+            read_cycles: 700,
+            start_stop_cycles: 1000,
+            program_cycles: 1300,
+            interrupt_cycles: 2300,
+            sample_drain_per_rec: 90,
+            timer_cycles: 1700,
+            ctx_switch_cycles: 1900,
+            pollute_lines: 24,
+        },
+        precise_sampling: false,
+        quantum_cycles: 100_000,
+    }
+}
+
+/// SGI IRIX / MIPS R10000 stand-in: two counters with a *strict partition*
+/// of the event space (each event wired to exactly one counter), and a TLB
+/// event that counts data and instruction misses together — so `TLB_TL`
+/// maps directly while `TLB_DM`/`TLB_IM` cannot.
+pub fn sim_mips() -> PlatformSpec {
+    let c0 = 0b01;
+    let c1 = 0b10;
+    let events = vec![
+        ne(0, "cycles", "machine cycles", &[(K::Cycles, 1)], c0),
+        ne(
+            1,
+            "l1_i_miss",
+            "primary I-cache misses",
+            &[(K::L1IMiss, 1)],
+            c0,
+        ),
+        ne(
+            2,
+            "branches_decoded",
+            "branches decoded",
+            &[(K::Branches, 1)],
+            c0,
+        ),
+        ne(
+            3,
+            "l2_miss",
+            "secondary cache misses",
+            &[(K::L2Miss, 1)],
+            c0,
+        ),
+        ne(
+            4,
+            "l2_ref",
+            "secondary cache references",
+            &[(K::L2Access, 1)],
+            c0,
+        ),
+        ne(
+            5,
+            "graduated_instructions",
+            "graduated instructions",
+            &[(K::Instructions, 1)],
+            c1,
+        ),
+        ne(
+            6,
+            "graduated_fp",
+            "graduated FP instructions",
+            FP_INS_KINDS,
+            c1,
+        ),
+        ne(
+            7,
+            "graduated_loads",
+            "graduated loads",
+            &[(K::Loads, 1)],
+            c1,
+        ),
+        ne(
+            8,
+            "graduated_stores",
+            "graduated stores",
+            &[(K::Stores, 1)],
+            c1,
+        ),
+        ne(
+            9,
+            "l1_d_miss",
+            "primary D-cache misses",
+            &[(K::L1DMiss, 1)],
+            c1,
+        ),
+        // R10k's TLB counter does not distinguish I from D misses.
+        ne(
+            10,
+            "tlb_misses",
+            "joint TLB misses",
+            &[(K::DtlbMiss, 1), (K::ItlbMiss, 1)],
+            c1,
+        ),
+        ne(
+            11,
+            "mispredicted_branches",
+            "mispredicted branches",
+            &[(K::BranchMispred, 1)],
+            c1,
+        ),
+    ];
+    PlatformSpec {
+        name: "sim-mips",
+        vendor: "SimSGI",
+        model: "Simulated R10000/IRIX (strict counter partition)",
+        clock_mhz: 195,
+        num_counters: 2,
+        pipeline: PipelineCfg {
+            kind: PipelineKind::OutOfOrder { window: 32 },
+            mispredict_penalty: 7,
+            div_latency: 19,
+            overlap_pct: 55,
+            skid_min: 6,
+            skid_max: 18,
+        },
+        mem: MemCfg {
+            l1d: CacheCfg {
+                size: 32 * 1024,
+                line: 64,
+                assoc: 2,
+            },
+            l1i: CacheCfg {
+                size: 32 * 1024,
+                line: 64,
+                assoc: 2,
+            },
+            l2: CacheCfg {
+                size: 1024 * 1024,
+                line: 64,
+                assoc: 2,
+            },
+            dtlb_entries: 64,
+            itlb_entries: 64,
+            l2_lat: 11,
+            mem_lat: 85,
+            tlb_walk: 32,
+            prefetch_next_line: false,
+            tlb_flush_on_switch: false,
+        },
+        events,
+        groups: Vec::new(),
+        costs: CostModel {
+            read_cycles: 900,
+            start_stop_cycles: 1100,
+            program_cycles: 1400,
+            interrupt_cycles: 2100,
+            sample_drain_per_rec: 100,
+            timer_cycles: 1600,
+            ctx_switch_cycles: 2000,
+            pollute_lines: 24,
+        },
+        precise_sampling: false,
+        quantum_cycles: 100_000,
+    }
+}
+
+/// Every platform, in a stable order.
+pub fn all_platforms() -> Vec<PlatformSpec> {
+    vec![
+        sim_x86(),
+        sim_alpha(),
+        sim_power3(),
+        sim_ia64(),
+        sim_t3e(),
+        sim_ultra(),
+        sim_mips(),
+        sim_generic(),
+    ]
+}
+
+/// Look a platform up by its `name`.
+pub fn platform_by_name(name: &str) -> Option<PlatformSpec> {
+    all_platforms().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_platforms_unique_names() {
+        let ps = all_platforms();
+        assert_eq!(ps.len(), 8);
+        let mut names: Vec<_> = ps.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn mips_counters_strictly_partitioned() {
+        let p = sim_mips();
+        for e in &p.events {
+            assert!(
+                e.counter_mask == 0b01 || e.counter_mask == 0b10,
+                "{}: R10k events live on exactly one counter",
+                e.name
+            );
+        }
+        // The joint TLB event counts both miss kinds.
+        let tlb = p.event_by_name("tlb_misses").unwrap();
+        assert_eq!(tlb.kinds.len(), 2);
+    }
+
+    #[test]
+    fn ultra_fp_pipes_fold_fma() {
+        let p = sim_ultra();
+        let fa = p.event_by_name("FA_pipe").unwrap();
+        let fm = p.event_by_name("FM_pipe").unwrap();
+        assert!(fa.kinds.contains(&(EventKind::FpFma, 1)));
+        assert!(fm.kinds.contains(&(EventKind::FpFma, 1)));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(platform_by_name("sim-x86").is_some());
+        assert!(platform_by_name("sim-power3").is_some());
+        assert!(platform_by_name("vax").is_none());
+    }
+
+    #[test]
+    fn event_codes_unique_within_platform() {
+        for p in all_platforms() {
+            let mut codes: Vec<u32> = p.events.iter().map(|e| e.code).collect();
+            let n = codes.len();
+            codes.sort_unstable();
+            codes.dedup();
+            assert_eq!(codes.len(), n, "{}: duplicate event codes", p.name);
+            let mut names: Vec<&str> = p.events.iter().map(|e| e.name).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), n, "{}: duplicate event names", p.name);
+        }
+    }
+
+    #[test]
+    fn event_codes_have_native_bit() {
+        for p in all_platforms() {
+            for e in &p.events {
+                assert_ne!(e.code & NATIVE_MASK, 0, "{}:{}", p.name, e.name);
+            }
+        }
+    }
+
+    #[test]
+    fn counter_masks_valid() {
+        for p in all_platforms() {
+            let full = (1u32 << p.num_counters) - 1;
+            for e in &p.events {
+                assert_ne!(e.counter_mask, 0, "{}:{} unplaceable", p.name, e.name);
+                assert_eq!(
+                    e.counter_mask & !full,
+                    0,
+                    "{}:{} mask beyond counters",
+                    p.name,
+                    e.name
+                );
+                assert!(!e.kinds.is_empty(), "{}:{} counts nothing", p.name, e.name);
+            }
+        }
+    }
+
+    #[test]
+    fn groups_fit_counters_and_reference_known_events() {
+        for p in all_platforms() {
+            for g in &p.groups {
+                assert!(
+                    g.events.len() <= p.num_counters,
+                    "{}: group {} too large",
+                    p.name,
+                    g.name
+                );
+                for code in &g.events {
+                    assert!(
+                        p.event_by_code(*code).is_some(),
+                        "{}: group {} references unknown code",
+                        p.name,
+                        g.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_platform_counts_cycles_and_instructions() {
+        for p in all_platforms() {
+            let has = |k: EventKind| {
+                p.events
+                    .iter()
+                    .any(|e| e.kinds.iter().any(|(kk, _)| *kk == k))
+            };
+            assert!(has(EventKind::Cycles), "{}", p.name);
+            assert!(has(EventKind::Instructions), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn power3_fp_event_includes_converts() {
+        let p = sim_power3();
+        let fpu = p.event_by_name("PM_FPU_CMPL").unwrap();
+        assert!(
+            fpu.kinds.iter().any(|(k, _)| *k == EventKind::FpCvt),
+            "the POWER3 rounding-instruction quirk must be modelled"
+        );
+    }
+
+    #[test]
+    fn alpha_and_ia64_have_precise_sampling() {
+        assert!(sim_alpha().precise_sampling);
+        assert!(sim_ia64().precise_sampling);
+        assert!(!sim_x86().precise_sampling);
+        assert!(!sim_t3e().precise_sampling);
+    }
+
+    #[test]
+    fn t3e_reads_are_cheap_alpha_reads_are_expensive() {
+        assert!(sim_t3e().costs.read_cycles < 50);
+        assert!(sim_alpha().costs.read_cycles > 1000);
+    }
+
+    #[test]
+    fn in_order_platforms_have_tiny_skid() {
+        for p in all_platforms() {
+            if matches!(p.pipeline.kind, PipelineKind::InOrder) {
+                assert!(p.pipeline.skid_max <= 2, "{}", p.name);
+            } else {
+                assert!(p.pipeline.skid_max >= 8, "{}", p.name);
+            }
+            assert!(p.pipeline.skid_min <= p.pipeline.skid_max, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn cycles_to_ns() {
+        let p = sim_x86(); // 1000 MHz -> 1 cycle = 1 ns
+        assert_eq!(p.cycles_to_ns(1234), 1234);
+        let a = sim_alpha(); // 833 MHz -> 833 cycles = exactly 1000 ns
+        assert_eq!(a.cycles_to_ns(833), 1000);
+    }
+
+    #[test]
+    fn group_masks_derived_from_positions() {
+        let p = sim_power3();
+        // PM_CYC is position 0 in every group.
+        let cyc = p.event_by_name("PM_CYC").unwrap();
+        assert_eq!(cyc.counter_mask, 0b1);
+        // PM_INST_CMPL is position 1 in every group.
+        let inst = p.event_by_name("PM_INST_CMPL").unwrap();
+        assert_eq!(inst.counter_mask, 0b10);
+    }
+}

@@ -1,0 +1,161 @@
+//! HPCView-style source annotation: correlate a profiling histogram with
+//! the program listing.
+//!
+//! §2/§3: profil-based data "can then be correlated with application source
+//! code" (VProf), and HPCView browses profiles against source. The
+//! simulated programs' "source" is their disassembly; this module renders
+//! it with per-instruction sample counts and percentages, and extracts the
+//! hottest lines.
+
+use papi_core::Profil;
+use simcpu::{Program, Symbol};
+use std::fmt::Write as _;
+
+/// One annotated instruction line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatedLine {
+    pub idx: usize,
+    pub pc: u64,
+    pub text: String,
+    pub samples: u64,
+    /// Fraction of all in-range samples.
+    pub fraction: f64,
+}
+
+/// Join a program listing with a profil histogram (bucket granularity is
+/// respected: a bucket's samples are attributed to its first instruction).
+pub fn annotate(program: &Program, profil: &Profil) -> Vec<AnnotatedLine> {
+    let mut per_idx = vec![0u64; program.len()];
+    for (b, &count) in profil.buckets().iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let idx = Program::idx_of(profil.bucket_addr(b));
+        if idx < per_idx.len() {
+            per_idx[idx] += count;
+        }
+    }
+    let total: u64 = per_idx.iter().sum::<u64>().max(1);
+    program
+        .insts
+        .iter()
+        .enumerate()
+        .map(|(idx, inst)| AnnotatedLine {
+            idx,
+            pc: Program::pc_of(idx),
+            text: format!("{inst:?}"),
+            samples: per_idx[idx],
+            fraction: per_idx[idx] as f64 / total as f64,
+        })
+        .collect()
+}
+
+/// Render the annotated listing (function headers, sample columns, heat
+/// marks for lines above 5 %).
+pub fn render(program: &Program, profil: &Profil) -> String {
+    let lines = annotate(program, profil);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:>10} {:>7}   address      instruction",
+        "samples", "%"
+    )
+    .unwrap();
+    for l in &lines {
+        if let Some(sym) = program.symbols.iter().find(|s| s.start == l.idx) {
+            writeln!(out, "{}:", sym.name).unwrap();
+        }
+        let heat = if l.fraction > 0.05 { " <<<" } else { "" };
+        writeln!(
+            out,
+            "{:>10} {:>6.1}%   {:#08x}   {}{}",
+            l.samples,
+            l.fraction * 100.0,
+            l.pc,
+            l.text,
+            heat
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// The `n` hottest functions by total samples.
+pub fn hot_functions<'p>(
+    program: &'p Program,
+    profil: &Profil,
+    n: usize,
+) -> Vec<(&'p Symbol, u64)> {
+    let lines = annotate(program, profil);
+    let mut per_fn: Vec<(&Symbol, u64)> = program
+        .symbols
+        .iter()
+        .map(|s| (s, lines[s.start..s.end].iter().map(|l| l.samples).sum()))
+        .collect();
+    per_fn.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    per_fn.truncate(n);
+    per_fn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use papi_core::{Papi, Preset, ProfilConfig, SimSubstrate};
+    use papi_workloads::phased;
+    use simcpu::platform::sim_generic;
+    use simcpu::{Machine, TEXT_BASE};
+
+    fn profiled() -> (Program, Profil) {
+        let w = phased(2, 20_000);
+        let program = w.program.clone();
+        let mut m = Machine::new(sim_generic(), 8);
+        m.load(w.program);
+        let mut papi = Papi::init(SimSubstrate::new(m)).unwrap();
+        let set = papi.create_eventset();
+        papi.add_event(set, Preset::TotCyc.code()).unwrap();
+        let pid = papi
+            .profil(
+                set,
+                Preset::TotCyc.code(),
+                ProfilConfig {
+                    start: TEXT_BASE,
+                    end: Program::pc_of(program.len()),
+                    bucket_bytes: 4,
+                    threshold: 10_000,
+                },
+            )
+            .unwrap();
+        papi.start(set).unwrap();
+        papi.run_app().unwrap();
+        papi.stop(set).unwrap();
+        let prof = papi.profil_histogram(pid).unwrap().clone();
+        (program, prof)
+    }
+
+    #[test]
+    fn annotation_conserves_samples() {
+        let (program, prof) = profiled();
+        let lines = annotate(&program, &prof);
+        let total: u64 = lines.iter().map(|l| l.samples).sum();
+        assert_eq!(total, prof.buckets().iter().sum::<u64>());
+        assert_eq!(lines.len(), program.len());
+    }
+
+    #[test]
+    fn hottest_function_is_the_memory_phase() {
+        let (program, prof) = profiled();
+        let hot = hot_functions(&program, &prof, 2);
+        // Cycle samples concentrate in the pointer-chasing phase.
+        assert_eq!(hot[0].0.name, "mem_phase", "{hot:?}");
+        assert!(hot[0].1 > 0);
+    }
+
+    #[test]
+    fn render_marks_hot_lines() {
+        let (program, prof) = profiled();
+        let txt = render(&program, &prof);
+        assert!(txt.contains("mem_phase:"));
+        assert!(txt.contains("<<<"), "some line must be hot");
+        assert!(txt.contains("samples"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # papi-toolkit — the third-party-tool integration layer (§3)
+//!
+//! The paper's §3 argues that PAPI's value to tool builders is letting them
+//! "focus their efforts on high-level tool design" instead of re-building
+//! counter access per platform. This crate is that high-level layer,
+//! modelled on the tools §3 surveys:
+//!
+//! * [`funcprof`] — TAU-style automatic function profiling with multiple
+//!   hardware metrics per run (or one metric per deterministic run, merged),
+//!   inclusive/exclusive, per entity, with an implicit wallclock column;
+//! * [`regions`] — SvPablo-style interactive region instrumentation with
+//!   nested inclusive/exclusive statistics;
+//! * [`profile_data`] — the profile artifact: multi-metric rows, hotspot
+//!   ranking, metric correlation, ratios, before/after diffs, JSON export;
+//! * [`metrics`] — derived event ratios (IPC, miss rates, MPKI, stall
+//!   fraction, …) with availability-aware planning per platform;
+//! * [`traceformat`] — a compact binary trace encoding plus a
+//!   Paraver-flavoured ASCII export (§3's ALOG/SDDF/Paraver conversion);
+//! * [`mod@annotate`] — HPCView/VProf-style correlation of profiling histograms
+//!   with the program listing.
+//!
+//! Everything here sits strictly *above* `papi-core`'s public API — the
+//! crate never touches the substrate — which is exactly the layering the
+//! paper prescribes for third-party tools.
+
+pub mod annotate;
+pub mod funcprof;
+pub mod metrics;
+pub mod profile_data;
+pub mod regions;
+pub mod traceformat;
+
+pub use annotate::{annotate, hot_functions, render as render_annotated, AnnotatedLine};
+pub use funcprof::{profile_functions, profile_functions_per_run, TIME_METRIC};
+pub use metrics::{measure, required_presets, supported, DerivedMetric, ALL_DERIVED};
+pub use profile_data::{Profile, RegionRow};
+pub use regions::Regions;
+pub use traceformat::{decode as decode_trace, encode as encode_trace, to_paraver_ascii};

@@ -1,0 +1,226 @@
+//! Derived metrics: event-based ratios.
+//!
+//! §3: "Correlations between profiles based on different events, as well as
+//! event-based ratios, provide derived information that helps to quickly
+//! identify and diagnose performance problems." This module defines the
+//! standard ratios, plans which presets a requested set of ratios needs
+//! (availability-aware, per platform), and computes them from measured
+//! counts or from a [`Profile`](crate::profile_data::Profile) column pair.
+
+use papi_core::{Papi, PapiError, Preset, Result, Substrate};
+use std::collections::BTreeSet;
+
+/// A named event ratio `scale * num / den`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DerivedMetric {
+    pub name: &'static str,
+    pub descr: &'static str,
+    pub num: Preset,
+    pub den: Preset,
+    pub scale: f64,
+}
+
+/// Instructions per cycle.
+pub const IPC: DerivedMetric = DerivedMetric {
+    name: "IPC",
+    descr: "instructions per cycle",
+    num: Preset::TotIns,
+    den: Preset::TotCyc,
+    scale: 1.0,
+};
+
+/// L1 data misses per load.
+pub const L1D_MISS_RATE: DerivedMetric = DerivedMetric {
+    name: "L1D_MISS_RATE",
+    descr: "L1 data misses per load",
+    num: Preset::L1Dcm,
+    den: Preset::LdIns,
+    scale: 1.0,
+};
+
+/// L1 data misses per kilo-instruction (MPKI).
+pub const L1D_MPKI: DerivedMetric = DerivedMetric {
+    name: "L1D_MPKI",
+    descr: "L1 data misses per 1000 instructions",
+    num: Preset::L1Dcm,
+    den: Preset::TotIns,
+    scale: 1000.0,
+};
+
+/// Branch misprediction rate.
+pub const BR_MISS_RATE: DerivedMetric = DerivedMetric {
+    name: "BR_MISS_RATE",
+    descr: "mispredictions per conditional branch",
+    num: Preset::BrMsp,
+    den: Preset::BrIns,
+    scale: 1.0,
+};
+
+/// FLOPs per cycle.
+pub const FLOPS_PER_CYCLE: DerivedMetric = DerivedMetric {
+    name: "FLOPS_PER_CYCLE",
+    descr: "floating point operations per cycle",
+    num: Preset::FpOps,
+    den: Preset::TotCyc,
+    scale: 1.0,
+};
+
+/// Stall fraction.
+pub const STALL_FRACTION: DerivedMetric = DerivedMetric {
+    name: "STALL_FRACTION",
+    descr: "fraction of cycles stalled",
+    num: Preset::ResStl,
+    den: Preset::TotCyc,
+    scale: 1.0,
+};
+
+/// The standard derived-metric catalogue.
+pub const ALL_DERIVED: &[DerivedMetric] = &[
+    IPC,
+    L1D_MISS_RATE,
+    L1D_MPKI,
+    BR_MISS_RATE,
+    FLOPS_PER_CYCLE,
+    STALL_FRACTION,
+];
+
+impl DerivedMetric {
+    /// Compute from a numerator and denominator count.
+    pub fn compute(&self, num: i64, den: i64) -> f64 {
+        if den == 0 {
+            0.0
+        } else {
+            self.scale * num as f64 / den as f64
+        }
+    }
+}
+
+/// The unique presets a set of derived metrics needs, in a stable order.
+pub fn required_presets(metrics: &[DerivedMetric]) -> Vec<Preset> {
+    let mut set = BTreeSet::new();
+    for m in metrics {
+        set.insert(m.num);
+        set.insert(m.den);
+    }
+    set.into_iter().collect()
+}
+
+/// The subset of `metrics` whose presets this platform can count.
+pub fn supported<S: Substrate>(papi: &Papi<S>, metrics: &[DerivedMetric]) -> Vec<DerivedMetric> {
+    metrics
+        .iter()
+        .copied()
+        .filter(|m| papi.query_event(m.num.code()) && papi.query_event(m.den.code()))
+        .collect()
+}
+
+/// Measure the requested derived metrics over a full application run:
+/// plans the preset set, counts (multiplexing on conflict), runs the app
+/// to completion and returns `(metric, value)` pairs.
+pub fn measure<S: Substrate>(
+    papi: &mut Papi<S>,
+    metrics: &[DerivedMetric],
+) -> Result<Vec<(DerivedMetric, f64)>> {
+    let usable = supported(papi, metrics);
+    if usable.is_empty() {
+        return Err(PapiError::NoEvnt(0));
+    }
+    let presets = required_presets(&usable);
+    let codes: Vec<u32> = presets.iter().map(|p| p.code()).collect();
+    let set = papi.create_eventset();
+    papi.add_events(set, &codes)?;
+    match papi.start(set) {
+        Ok(()) => {}
+        Err(PapiError::Cnflct) => {
+            papi.set_multiplex(set)?;
+            papi.start(set)?;
+        }
+        Err(e) => return Err(e),
+    }
+    papi.run_app()?;
+    let counts = papi.stop(set)?;
+    let _ = papi.destroy_eventset(set);
+    let value_of = |p: Preset| -> i64 {
+        let i = presets.iter().position(|&x| x == p).unwrap();
+        counts[i]
+    };
+    Ok(usable
+        .into_iter()
+        .map(|m| {
+            let v = m.compute(value_of(m.num), value_of(m.den));
+            (m, v)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use papi_core::SimSubstrate;
+    use papi_workloads::{matmul, pointer_chase};
+    use simcpu::platform::{sim_generic, sim_t3e};
+    use simcpu::Machine;
+
+    fn papi_on(spec: simcpu::PlatformSpec, prog: simcpu::Program) -> Papi<SimSubstrate> {
+        let mut m = Machine::new(spec, 6);
+        m.load(prog);
+        Papi::init(SimSubstrate::new(m)).unwrap()
+    }
+
+    #[test]
+    fn required_presets_deduplicated() {
+        let r = required_presets(&[IPC, STALL_FRACTION, FLOPS_PER_CYCLE]);
+        // TOT_CYC shared by all three
+        assert_eq!(r.iter().filter(|&&p| p == Preset::TotCyc).count(), 1);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn compute_handles_zero_denominator() {
+        assert_eq!(IPC.compute(100, 0), 0.0);
+        assert!((L1D_MPKI.compute(5, 1000) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn supported_filters_by_platform() {
+        let p = papi_on(sim_t3e(), matmul(8).program);
+        let s = supported(&p, ALL_DERIVED);
+        // t3e has no TLB/L2/stall events but does have branches and FP ops.
+        assert!(s.iter().any(|m| m.name == "IPC"));
+        assert!(s.iter().any(|m| m.name == "FLOPS_PER_CYCLE"));
+        assert!(!s.iter().any(|m| m.name == "STALL_FRACTION"));
+    }
+
+    #[test]
+    fn measure_matmul_metrics_sane() {
+        let mut p = papi_on(sim_generic(), matmul(24).program);
+        let vals = measure(&mut p, ALL_DERIVED).unwrap();
+        let get = |n: &str| {
+            vals.iter()
+                .find(|(m, _)| m.name == n)
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        let ipc = get("IPC");
+        assert!(ipc > 0.0 && ipc <= 1.0, "ipc {ipc}");
+        let fpc = get("FLOPS_PER_CYCLE");
+        assert!(fpc > 0.0 && fpc < 2.0);
+        let br = get("BR_MISS_RATE");
+        assert!(br < 0.05, "matmul branches are predictable: {br}");
+    }
+
+    #[test]
+    fn chase_shows_memory_bound_signature() {
+        let mut p = papi_on(sim_generic(), pointer_chase(4 << 20, 100_000).program);
+        let vals = measure(&mut p, &[IPC, L1D_MISS_RATE, STALL_FRACTION]).unwrap();
+        let get = |n: &str| {
+            vals.iter()
+                .find(|(m, _)| m.name == n)
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        assert!(get("L1D_MISS_RATE") > 0.9);
+        assert!(get("STALL_FRACTION") > 0.5);
+        assert!(get("IPC") < 0.3);
+    }
+}

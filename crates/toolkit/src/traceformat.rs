@@ -1,0 +1,248 @@
+//! A compact binary trace-file format for counter timelines.
+//!
+//! §3: TAU's traces "can be merged and converted to ALOG, SDDF, Paraver, or
+//! Vampir trace formats". This module is the conversion target for this
+//! repository's [`papi_tools::Timeline`]s: a little-endian, versioned,
+//! self-describing binary encoding (`PTRC`), suitable for writing to disk
+//! and re-reading by downstream analysis tools, plus a Paraver-flavoured
+//! ASCII export.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic   u32   0x43525450 ("PTRC")
+//! version u16   1
+//! nmetric u16
+//! nmetric × { len u16, utf-8 bytes }          metric names
+//! nrec    u32
+//! nrec × { t_start_us f64, t_end_us f64, nmetric × delta i64 }
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use papi_tools::tracer::{IntervalRecord, Timeline};
+
+/// `"PTRC"` little-endian.
+pub const MAGIC: u32 = 0x4352_5450;
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceFormatError {
+    BadMagic(u32),
+    UnsupportedVersion(u16),
+    Truncated,
+    BadString,
+}
+
+impl std::fmt::Display for TraceFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceFormatError::BadMagic(m) => write!(f, "bad magic {m:#010x}"),
+            TraceFormatError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            TraceFormatError::Truncated => write!(f, "truncated trace file"),
+            TraceFormatError::BadString => write!(f, "invalid utf-8 in metric name"),
+        }
+    }
+}
+
+impl std::error::Error for TraceFormatError {}
+
+/// Encode a timeline to the binary format.
+pub fn encode(tl: &Timeline) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        16 + tl.events.iter().map(|e| 2 + e.len()).sum::<usize>()
+            + tl.intervals.len() * (16 + 8 * tl.events.len()),
+    );
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(tl.events.len() as u16);
+    for name in &tl.events {
+        buf.put_u16_le(name.len() as u16);
+        buf.put_slice(name.as_bytes());
+    }
+    buf.put_u32_le(tl.intervals.len() as u32);
+    for iv in &tl.intervals {
+        buf.put_f64_le(iv.t_start_us);
+        buf.put_f64_le(iv.t_end_us);
+        for &d in &iv.deltas {
+            buf.put_i64_le(d);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a binary trace back into a timeline.
+pub fn decode(mut data: &[u8]) -> Result<Timeline, TraceFormatError> {
+    use TraceFormatError as E;
+    if data.remaining() < 8 {
+        return Err(E::Truncated);
+    }
+    let magic = data.get_u32_le();
+    if magic != MAGIC {
+        return Err(E::BadMagic(magic));
+    }
+    let version = data.get_u16_le();
+    if version != VERSION {
+        return Err(E::UnsupportedVersion(version));
+    }
+    let nmetric = data.get_u16_le() as usize;
+    let mut events = Vec::with_capacity(nmetric);
+    for _ in 0..nmetric {
+        if data.remaining() < 2 {
+            return Err(E::Truncated);
+        }
+        let len = data.get_u16_le() as usize;
+        if data.remaining() < len {
+            return Err(E::Truncated);
+        }
+        let s = std::str::from_utf8(&data[..len])
+            .map_err(|_| E::BadString)?
+            .to_string();
+        data.advance(len);
+        events.push(s);
+    }
+    if data.remaining() < 4 {
+        return Err(E::Truncated);
+    }
+    let nrec = data.get_u32_le() as usize;
+    let mut intervals = Vec::with_capacity(nrec);
+    for _ in 0..nrec {
+        if data.remaining() < 16 + 8 * nmetric {
+            return Err(E::Truncated);
+        }
+        let t_start_us = data.get_f64_le();
+        let t_end_us = data.get_f64_le();
+        let deltas = (0..nmetric).map(|_| data.get_i64_le()).collect();
+        intervals.push(IntervalRecord {
+            t_start_us,
+            t_end_us,
+            deltas,
+        });
+    }
+    Ok(Timeline { events, intervals })
+}
+
+/// Paraver-flavoured ASCII export: one `state` line per interval per metric
+/// with a nonzero delta (`metric_index:t_start:t_end:delta`).
+pub fn to_paraver_ascii(tl: &Timeline) -> String {
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    writeln!(
+        out,
+        "#Paraver-like trace, {} metrics, {} intervals",
+        tl.events.len(),
+        tl.intervals.len()
+    )
+    .unwrap();
+    for (i, name) in tl.events.iter().enumerate() {
+        writeln!(out, "#metric {i} {name}").unwrap();
+    }
+    for iv in &tl.intervals {
+        for (i, &d) in iv.deltas.iter().enumerate() {
+            if d != 0 {
+                writeln!(out, "{}:{:.3}:{:.3}:{}", i, iv.t_start_us, iv.t_end_us, d).unwrap();
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tl() -> Timeline {
+        Timeline {
+            events: vec!["PAPI_FP_OPS".into(), "GEN_MSG_SEND".into()],
+            intervals: vec![
+                IntervalRecord {
+                    t_start_us: 0.0,
+                    t_end_us: 10.5,
+                    deltas: vec![100, 0],
+                },
+                IntervalRecord {
+                    t_start_us: 10.5,
+                    t_end_us: 21.0,
+                    deltas: vec![0, 7],
+                },
+                IntervalRecord {
+                    t_start_us: 21.0,
+                    t_end_us: 30.0,
+                    deltas: vec![-3, 2],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = tl();
+        let bin = encode(&t);
+        let back = decode(&bin).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn empty_timeline_roundtrips() {
+        let t = Timeline {
+            events: vec![],
+            intervals: vec![],
+        };
+        assert_eq!(decode(&encode(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut bin = encode(&tl()).to_vec();
+        bin[0] ^= 0xFF;
+        assert!(matches!(decode(&bin), Err(TraceFormatError::BadMagic(_))));
+    }
+
+    #[test]
+    fn unsupported_version_detected() {
+        let mut bin = encode(&tl()).to_vec();
+        bin[4] = 99;
+        assert!(matches!(
+            decode(&bin),
+            Err(TraceFormatError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncation_detected_at_every_prefix() {
+        let bin = encode(&tl());
+        for cut in 0..bin.len() {
+            let r = decode(&bin[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes decoded successfully");
+        }
+    }
+
+    #[test]
+    fn paraver_export_lists_nonzero_states() {
+        let txt = to_paraver_ascii(&tl());
+        assert!(txt.contains("#metric 0 PAPI_FP_OPS"));
+        assert!(txt.contains("0:0.000:10.500:100"));
+        assert!(txt.contains("1:10.500:21.000:7"));
+        // zero deltas are omitted
+        assert!(!txt.contains("1:0.000:10.500"));
+    }
+
+    #[test]
+    fn binary_smaller_than_json() {
+        // The point of a binary trace format.
+        let t = Timeline {
+            events: vec!["A".into(), "B".into(), "C".into()],
+            intervals: (0..500)
+                .map(|i| IntervalRecord {
+                    t_start_us: i as f64,
+                    t_end_us: i as f64 + 1.0,
+                    deltas: vec![i, i * 2, i * 3],
+                })
+                .collect(),
+        };
+        let bin = encode(&t).len();
+        let json = t.to_json().len();
+        assert!(bin * 2 < json, "binary {bin} vs json {json}");
+    }
+}

@@ -1,0 +1,120 @@
+//! `papi_avail` — list preset event availability and mapping details for a
+//! platform (the PAPI distribution's classic `papi_avail` utility).
+//!
+//! ```text
+//! papi_avail [--platform NAME]
+//! papi_avail --matrix        # availability matrix across all platforms
+//! ```
+
+use papi_core::{Papi, Preset, PresetTable, SimSubstrate};
+use simcpu::{all_platforms, platform_by_name, Machine};
+
+fn one_platform(name: &str) {
+    let Some(spec) = platform_by_name(name) else {
+        eprintln!("papi_avail: unknown platform {name}");
+        std::process::exit(2);
+    };
+    let papi = Papi::init(SimSubstrate::new(Machine::new(spec, 0))).unwrap();
+    let hw = papi.hw_info();
+    println!(
+        "Platform: {} ({} MHz, {} counters{}{})",
+        hw.model,
+        hw.mhz,
+        hw.num_counters,
+        if hw.group_based {
+            ", group-allocated"
+        } else {
+            ""
+        },
+        if hw.precise_sampling {
+            ", precise sampling"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "\n{:<14} {:<6} {:<13} {:<40} mapping",
+        "preset", "avail", "kind", "description"
+    );
+    for &p in Preset::ALL {
+        match papi.preset_table().mapping(p.code()) {
+            None => println!(
+                "{:<14} {:<6} {:<13} {:<40} -",
+                p.name(),
+                "no",
+                "-",
+                p.descr()
+            ),
+            Some(m) => {
+                let terms: Vec<String> = m
+                    .terms
+                    .iter()
+                    .map(|&(c, k)| {
+                        let n = papi.event_code_to_name(c).unwrap_or_default();
+                        if k == 1 {
+                            n
+                        } else if k == -1 {
+                            format!("-{n}")
+                        } else {
+                            format!("{k}*{n}")
+                        }
+                    })
+                    .collect();
+                println!(
+                    "{:<14} {:<6} {:<13} {:<40} {}",
+                    p.name(),
+                    "yes",
+                    m.kind(),
+                    p.descr(),
+                    terms.join(" + ")
+                );
+            }
+        }
+    }
+    println!("\nNative events:");
+    for e in papi.native_events() {
+        println!(
+            "  {:<24} counters {:#06b}  {}",
+            e.name, e.counter_mask, e.descr
+        );
+    }
+}
+
+fn matrix() {
+    let platforms = all_platforms();
+    print!("{:<14}", "preset");
+    for p in &platforms {
+        print!(" {:>8}", p.name.trim_start_matches("sim-"));
+    }
+    println!();
+    let tables: Vec<PresetTable> = platforms
+        .iter()
+        .map(|p| PresetTable::build(&p.events, p.num_counters, &p.groups))
+        .collect();
+    for &pr in Preset::ALL {
+        print!("{:<14}", pr.name());
+        for t in &tables {
+            let c = match t.mapping(pr.code()) {
+                None => '.',
+                Some(m) if m.inexact => 'i',
+                Some(m) if m.terms.len() == 1 => 'D',
+                Some(_) => '+',
+            };
+            print!(" {c:>8}");
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("--matrix") => matrix(),
+        Some("--platform") => one_platform(args.get(1).map(|s| s.as_str()).unwrap_or("")),
+        None => one_platform("sim-generic"),
+        _ => {
+            eprintln!("usage: papi_avail [--platform NAME | --matrix]");
+            std::process::exit(2);
+        }
+    }
+}

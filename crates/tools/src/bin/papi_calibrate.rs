@@ -1,0 +1,46 @@
+//! `papi_calibrate` — run the calibration suite and print expected vs
+//! measured counts (the utility behind the paper's §4 accuracy runs).
+//!
+//! ```text
+//! papi_calibrate [--platform NAME] [--seed N]
+//! ```
+
+use papi_tools::calibrate::{calibrate_all_parallel, render_report};
+use papi_workloads::calibration_suite;
+use simcpu::{all_platforms, platform_by_name};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut platforms = all_platforms();
+    let mut seed = 7u64;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--platform" => {
+                let name = it.next().unwrap_or_default();
+                match platform_by_name(&name) {
+                    Some(p) => platforms = vec![p],
+                    None => {
+                        eprintln!("papi_calibrate: unknown platform {name}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--seed" => seed = it.next().and_then(|s| s.parse().ok()).unwrap_or(7),
+            _ => {
+                eprintln!("usage: papi_calibrate [--platform NAME] [--seed N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let rows = calibrate_all_parallel(&platforms, &calibration_suite(), seed);
+    print!("{}", render_report(&rows));
+    let bad = rows
+        .iter()
+        .filter(|r| !r.pass() && !r.inexact_mapping)
+        .count();
+    if bad > 0 {
+        eprintln!("papi_calibrate: {bad} UNFLAGGED mismatches — substrate bug");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,110 @@
+//! `papi_cost` — measure the cost of the basic PAPI operations on a
+//! platform (the PAPI distribution's `papi_cost` utility; §4's overhead
+//! numbers start from exactly these micro-costs).
+//!
+//! ```text
+//! papi_cost [--platform NAME]        # one platform
+//! papi_cost --all                    # table across every platform
+//! ```
+
+use papi_core::{Papi, Preset, SimSubstrate};
+use simcpu::{all_platforms, platform_by_name, Machine, PlatformSpec};
+
+struct Costs {
+    read: f64,
+    start_stop: f64,
+    reset: f64,
+    timer: f64,
+}
+
+fn measure(spec: PlatformSpec) -> Costs {
+    let mut m = Machine::new(spec, 1);
+    m.load(papi_workloads::dense_fp(10, 1, 0).program);
+    let mut papi = Papi::init(SimSubstrate::new(m)).unwrap();
+    let set = papi.create_eventset();
+    papi.add_event(set, Preset::TotCyc.code()).unwrap();
+
+    let n = 200u64;
+
+    papi.start(set).unwrap();
+    let c0 = papi.get_real_cyc();
+    for _ in 0..n {
+        let _ = papi.read(set).unwrap();
+    }
+    let read = (papi.get_real_cyc() - c0) as f64 / n as f64;
+    papi.stop(set).unwrap();
+
+    let c0 = papi.get_real_cyc();
+    for _ in 0..n {
+        papi.start(set).unwrap();
+        papi.stop(set).unwrap();
+    }
+    let start_stop = (papi.get_real_cyc() - c0) as f64 / n as f64;
+
+    papi.start(set).unwrap();
+    let c0 = papi.get_real_cyc();
+    for _ in 0..n {
+        papi.reset(set).unwrap();
+    }
+    let reset = (papi.get_real_cyc() - c0) as f64 / n as f64;
+    papi.stop(set).unwrap();
+
+    let c0 = papi.get_real_cyc();
+    for _ in 0..n {
+        let _ = papi.get_real_usec();
+    }
+    let timer = (papi.get_real_cyc() - c0) as f64 / n as f64;
+
+    Costs {
+        read,
+        start_stop,
+        reset,
+        timer,
+    }
+}
+
+fn row(spec: PlatformSpec) {
+    let name = spec.name;
+    let mhz = spec.clock_mhz;
+    let c = measure(spec);
+    println!(
+        "{:<12} {:>12.0} {:>14.0} {:>12.0} {:>12.0} {:>12.2}",
+        name,
+        c.read,
+        c.start_stop,
+        c.reset,
+        c.timer,
+        c.read * 1000.0 / mhz as f64
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    println!(
+        "{:<12} {:>12} {:>14} {:>12} {:>12} {:>12}",
+        "platform", "read cyc", "start+stop cyc", "reset cyc", "timer cyc", "read ns"
+    );
+    match args.first().map(|s| s.as_str()) {
+        Some("--all") | None => {
+            for p in all_platforms() {
+                row(p);
+            }
+        }
+        Some("--platform") => {
+            let name = args.get(1).map(|s| s.as_str()).unwrap_or("");
+            match platform_by_name(name) {
+                Some(p) => row(p),
+                None => {
+                    eprintln!("papi_cost: unknown platform {name}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: papi_cost [--platform NAME | --all]");
+            std::process::exit(2);
+        }
+    }
+    println!("\n(timer reads are vsyscall-class: no kernel crossing — \"the lowest overhead");
+    println!(" … timers available on a given platform\", §3)");
+}

@@ -1,0 +1,125 @@
+//! `papirun` — the command-line utility §5 announces: "execute a program
+//! and easily collect basic timing and hardware counter data".
+//!
+//! ```text
+//! papirun [--platform NAME] [--workload NAME] [--seed N] EVENT...
+//! papirun --list
+//! ```
+
+use papi_tools::papirun::papirun;
+use papi_workloads as workloads;
+use simcpu::{all_platforms, platform_by_name};
+
+fn usage() -> ! {
+    eprintln!("usage: papirun [--platform NAME] [--workload NAME | --workload-file PROG.json] [--seed N] EVENT...");
+    eprintln!("       papirun --list");
+    eprintln!();
+    eprintln!(
+        "platforms: {}",
+        all_platforms()
+            .iter()
+            .map(|p| p.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    eprintln!(
+        "workloads: matmul, stream, chase, branchy, dense_fp, tight_calls, convert_mix, phased"
+    );
+    eprintln!("events   : PAPI_* preset names or platform-native mnemonics");
+    std::process::exit(2);
+}
+
+fn workload_by_name(name: &str) -> Option<workloads::Workload> {
+    Some(match name {
+        "matmul" => workloads::matmul(32),
+        "stream" => workloads::stream_copy(1 << 20, 4),
+        "chase" => workloads::pointer_chase(1 << 22, 200_000),
+        "branchy" => workloads::branchy(200_000, 128),
+        "dense_fp" => workloads::dense_fp(200_000, 4, 2),
+        "tight_calls" => workloads::tight_calls(100_000, 4),
+        "convert_mix" => workloads::convert_mix(100_000, 3, 1),
+        "phased" => workloads::phased(2, 50_000),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut platform = "sim-generic".to_string();
+    let mut workload = "matmul".to_string();
+    let mut workload_file: Option<String> = None;
+    let mut seed = 42u64;
+    let mut events: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--platform" => platform = it.next().unwrap_or_else(|| usage()),
+            "--workload" => workload = it.next().unwrap_or_else(|| usage()),
+            "--workload-file" => workload_file = Some(it.next().unwrap_or_else(|| usage())),
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--list" => {
+                for p in all_platforms() {
+                    println!("{:<12} {} ({} counters)", p.name, p.model, p.num_counters);
+                    for e in &p.events {
+                        println!("    {:<24} {}", e.name, e.descr);
+                    }
+                }
+                return;
+            }
+            "--help" | "-h" => usage(),
+            ev => events.push(ev.to_string()),
+        }
+    }
+    if events.is_empty() {
+        events = vec!["PAPI_TOT_CYC".into(), "PAPI_TOT_INS".into()];
+    }
+    let Some(spec) = platform_by_name(&platform) else {
+        eprintln!("papirun: unknown platform {platform}");
+        usage();
+    };
+    let w = match workload_file {
+        Some(path) => {
+            // A serialized Program (see simcpu::Program / serde_json) — the
+            // "run an arbitrary executable" path.
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("papirun: cannot read {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let program: simcpu::Program = match serde_json::from_str(&text) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("papirun: {path} is not a valid program: {e}");
+                    std::process::exit(1);
+                }
+            };
+            workloads::Workload {
+                name: "file",
+                program,
+                expected: Default::default(),
+            }
+        }
+        None => match workload_by_name(&workload) {
+            Some(w) => w,
+            None => {
+                eprintln!("papirun: unknown workload {workload}");
+                usage();
+            }
+        },
+    };
+    let names: Vec<&str> = events.iter().map(|s| s.as_str()).collect();
+    match papirun(&spec, &w, &names, seed) {
+        Ok(rep) => print!("{}", rep.render()),
+        Err(e) => {
+            eprintln!("papirun: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! The `calibrate` utility: run micro-benchmarks with analytically known
+//! event counts and compare measured values against the expectation.
+//!
+//! §4: "test programs may need to be written to determine exactly what
+//! events are being counted … in the form of micro-benchmarks for which the
+//! expected counts are known." Calibration is where platform semantics
+//! differences surface — e.g. the POWER3-style FP-instruction event that
+//! also counts converts, which this tool reports as a discrepancy together
+//! with the library's own `inexact` mapping flag.
+
+use papi_core::{Papi, Preset, SimSubstrate};
+use papi_workloads::Workload;
+use simcpu::{Machine, PlatformSpec};
+use std::fmt::Write as _;
+
+/// One calibration measurement.
+#[derive(Debug, Clone)]
+pub struct CalRow {
+    pub platform: &'static str,
+    pub workload: &'static str,
+    pub preset: Preset,
+    pub expected: i64,
+    pub measured: i64,
+    /// The library flagged the mapping as semantically inexact.
+    pub inexact_mapping: bool,
+}
+
+impl CalRow {
+    /// Relative error of the measurement.
+    pub fn rel_error(&self) -> f64 {
+        if self.expected == 0 {
+            if self.measured == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.measured - self.expected) as f64 / self.expected as f64
+        }
+    }
+
+    /// A measurement "passes" calibration when it matches exactly.
+    pub fn pass(&self) -> bool {
+        self.measured == self.expected
+    }
+}
+
+/// The presets the calibrate utility exercises.
+pub const CALIBRATION_PRESETS: &[Preset] = &[
+    Preset::FpOps,
+    Preset::FpIns,
+    Preset::FmaIns,
+    Preset::LdIns,
+    Preset::SrIns,
+    Preset::BrIns,
+    Preset::TotIns,
+];
+
+/// Expected value of `preset` on `workload` from its analytic oracle, or
+/// `None` when the oracle does not cover every signal in the formula.
+pub fn expected_preset_value(w: &Workload, preset: Preset) -> Option<i64> {
+    let mut total: i64 = 0;
+    for &(kind, coeff) in preset.formula() {
+        if !w.expected.covers(kind) {
+            return None;
+        }
+        total += coeff * w.expected.get_exact(kind)? as i64;
+    }
+    Some(total)
+}
+
+/// Calibrate one workload on one platform: measure each covered calibration
+/// preset (one at a time, so allocation never interferes) and compare.
+pub fn calibrate_workload(spec: &PlatformSpec, w: &Workload, seed: u64) -> Vec<CalRow> {
+    let mut rows = Vec::new();
+    for &preset in CALIBRATION_PRESETS {
+        let Some(expected) = expected_preset_value(w, preset) else {
+            continue;
+        };
+        let mut machine = Machine::new(spec.clone(), seed);
+        machine.load(w.program.clone());
+        let mut papi = match Papi::init(SimSubstrate::new(machine)) {
+            Ok(p) => p,
+            Err(_) => continue,
+        };
+        if !papi.query_event(preset.code()) {
+            continue; // preset unavailable on this platform
+        }
+        let inexact = papi
+            .preset_table()
+            .mapping(preset.code())
+            .map(|m| m.inexact)
+            .unwrap_or(false);
+        let set = papi.create_eventset();
+        if papi.add_event(set, preset.code()).is_err() || papi.start(set).is_err() {
+            continue;
+        }
+        if papi.run_app().is_err() {
+            continue;
+        }
+        let Ok(v) = papi.stop(set) else { continue };
+        rows.push(CalRow {
+            platform: spec.name,
+            workload: w.name,
+            preset,
+            expected,
+            measured: v[0],
+            inexact_mapping: inexact,
+        });
+    }
+    rows
+}
+
+/// Calibrate a suite of workloads across a set of platforms.
+pub fn calibrate_all(specs: &[PlatformSpec], suite: &[Workload], seed: u64) -> Vec<CalRow> {
+    let mut rows = Vec::new();
+    for spec in specs {
+        for w in suite {
+            rows.extend(calibrate_workload(spec, w, seed));
+        }
+    }
+    rows
+}
+
+/// [`calibrate_all`] with one OS thread per platform (each platform's
+/// simulations are independent and deterministic, so the result is
+/// identical to the sequential run, in the same order).
+pub fn calibrate_all_parallel(
+    specs: &[PlatformSpec],
+    suite: &[Workload],
+    seed: u64,
+) -> Vec<CalRow> {
+    let mut per_platform: Vec<Vec<CalRow>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|spec| {
+                scope.spawn(move |_| {
+                    let mut rows = Vec::new();
+                    for w in suite {
+                        rows.extend(calibrate_workload(spec, w, seed));
+                    }
+                    rows
+                })
+            })
+            .collect();
+        per_platform = handles
+            .into_iter()
+            .map(|h| h.join().expect("calibration thread"))
+            .collect();
+    })
+    .expect("calibration scope");
+    per_platform.into_iter().flatten().collect()
+}
+
+/// Render calibration rows as the table the utility prints.
+pub fn render_report(rows: &[CalRow]) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<12} {:<14} {:<14} {:>14} {:>14} {:>9}  notes",
+        "platform", "workload", "preset", "expected", "measured", "err%"
+    )
+    .unwrap();
+    for r in rows {
+        let note = if r.pass() {
+            "ok"
+        } else if r.inexact_mapping {
+            "MISMATCH (mapping flagged inexact)"
+        } else {
+            "MISMATCH"
+        };
+        writeln!(
+            out,
+            "{:<12} {:<14} {:<14} {:>14} {:>14} {:>8.2}%  {}",
+            r.platform,
+            r.workload,
+            r.preset.name(),
+            r.expected,
+            r.measured,
+            r.rel_error() * 100.0,
+            note
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use papi_workloads::{convert_mix, dense_fp, matmul};
+    use simcpu::platform::{sim_generic, sim_power3, sim_x86};
+
+    #[test]
+    fn generic_platform_calibrates_exactly() {
+        let rows = calibrate_workload(&sim_generic(), &dense_fp(2000, 3, 1), 1);
+        assert!(rows.len() >= 5);
+        for r in &rows {
+            assert!(
+                r.pass(),
+                "{:?} measured {} expected {}",
+                r.preset,
+                r.measured,
+                r.expected
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_calibrates_on_x86() {
+        let rows = calibrate_workload(&sim_x86(), &matmul(10), 1);
+        let fp = rows.iter().find(|r| r.preset == Preset::FpOps).unwrap();
+        assert_eq!(fp.measured, 2000); // 2 * 10^3
+        assert!(fp.pass());
+        let ld = rows.iter().find(|r| r.preset == Preset::LdIns).unwrap();
+        assert!(ld.pass());
+    }
+
+    #[test]
+    fn power3_quirk_detected_as_flagged_mismatch() {
+        let rows = calibrate_workload(&sim_power3(), &convert_mix(1000, 2, 1), 1);
+        let fp = rows
+            .iter()
+            .find(|r| r.preset == Preset::FpIns)
+            .expect("FP_INS row");
+        assert!(
+            !fp.pass(),
+            "the convert quirk must surface as a discrepancy"
+        );
+        assert!(
+            fp.inexact_mapping,
+            "and the library must have flagged the mapping"
+        );
+        assert_eq!(fp.measured - fp.expected, 1000); // exactly the converts
+    }
+
+    #[test]
+    fn parallel_calibration_matches_sequential() {
+        let specs = simcpu::all_platforms();
+        let suite = vec![dense_fp(500, 2, 1), matmul(6)];
+        let seq = calibrate_all(&specs, &suite, 3);
+        let par = calibrate_all_parallel(&specs, &suite, 3);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(
+                (a.platform, a.workload, a.preset, a.expected, a.measured),
+                (b.platform, b.workload, b.preset, b.expected, b.measured)
+            );
+        }
+    }
+
+    #[test]
+    fn expected_preset_value_skips_uncovered() {
+        let w = papi_workloads::pointer_chase(1 << 16, 100);
+        // chase oracle has no FP coverage
+        assert_eq!(expected_preset_value(&w, Preset::FpOps), None);
+        assert_eq!(expected_preset_value(&w, Preset::LdIns), Some(100));
+    }
+
+    #[test]
+    fn report_renders_rows() {
+        let rows = calibrate_workload(&sim_generic(), &dense_fp(100, 1, 1), 1);
+        let rep = render_report(&rows);
+        assert!(rep.contains("PAPI_FP_OPS"));
+        assert!(rep.contains("ok"));
+    }
+}

@@ -1,0 +1,413 @@
+//! dynaprof: dynamic instrumentation of running programs.
+//!
+//! The real tool used DyninstAPI/DPCL to patch probes into an executable's
+//! functions; here probes are [`simcpu::Inst::Probe`] instructions inserted
+//! into the program image with every control-flow target remapped — the same
+//! operation binary patching performs. Provided probes mirror the paper's:
+//! a **PAPI probe** (per-function inclusive counts of one hardware metric)
+//! and a **wallclock probe** (per-function inclusive elapsed time), both
+//! per-thread.
+//!
+//! Probe handlers execute through the costed counter interface, so
+//! instrumentation overhead is real and measurable — the subject of the
+//! paper's overhead discussion and of experiment E3.
+
+use papi_core::{AppExit, Papi, PapiError, Result, Substrate};
+use simcpu::{Program, Symbol, ThreadId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// What a probe measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeMetric {
+    /// Read a PAPI event (preset or native code) at entry/exit.
+    Papi(u32),
+    /// Only elapsed wallclock time.
+    WallclockOnly,
+}
+
+/// Per-function profile: inclusive and exclusive totals, like the
+/// "inclusive/exclusive wall-clock time" profiles of §3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncProfile {
+    pub name: String,
+    pub calls: u64,
+    /// Inclusive metric total (0 in wallclock-only mode).
+    pub incl_value: i64,
+    /// Exclusive metric total: inclusive minus instrumented children.
+    pub excl_value: i64,
+    /// Inclusive wallclock nanoseconds.
+    pub incl_ns: u64,
+    /// Exclusive wallclock nanoseconds.
+    pub excl_ns: u64,
+}
+
+/// The result of a dynaprof run.
+#[derive(Debug, Clone)]
+pub struct DynaprofReport {
+    /// Aggregated across threads.
+    pub funcs: Vec<FuncProfile>,
+    /// Per-thread breakdown ("a PAPI probe … both on a per-thread basis").
+    pub per_thread: Vec<(ThreadId, Vec<FuncProfile>)>,
+    pub metric: ProbeMetric,
+    /// Total wallclock of the run, ns.
+    pub total_ns: u64,
+}
+
+impl DynaprofReport {
+    /// Render the per-function table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "{:<20} {:>10} {:>14} {:>14} {:>12} {:>12}",
+            "function", "calls", "incl. metric", "excl. metric", "incl. us", "excl. us"
+        )
+        .unwrap();
+        for f in &self.funcs {
+            writeln!(
+                out,
+                "{:<20} {:>10} {:>14} {:>14} {:>12.1} {:>12.1}",
+                f.name,
+                f.calls,
+                f.incl_value,
+                f.excl_value,
+                f.incl_ns as f64 / 1000.0,
+                f.excl_ns as f64 / 1000.0
+            )
+            .unwrap();
+        }
+        if self.per_thread.len() > 1 {
+            for (tid, funcs) in &self.per_thread {
+                writeln!(out, "thread {tid}:").unwrap();
+                for f in funcs {
+                    if f.calls > 0 {
+                        writeln!(
+                            out,
+                            "  {:<18} {:>10} {:>14} {:>12.1}",
+                            f.name,
+                            f.calls,
+                            f.incl_value,
+                            f.incl_ns as f64 / 1000.0
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+        }
+        writeln!(
+            out,
+            "total wallclock: {:.1} us",
+            self.total_ns as f64 / 1000.0
+        )
+        .unwrap();
+        out
+    }
+}
+
+/// The dynaprof tool: load → list → instrument → run.
+pub struct Dynaprof {
+    program: Program,
+    /// Functions selected for instrumentation, in probe-id order.
+    targets: Vec<Symbol>,
+}
+
+impl Dynaprof {
+    /// "Load an executable": wrap a program for instrumentation.
+    pub fn load(program: Program) -> Self {
+        Dynaprof {
+            program,
+            targets: Vec::new(),
+        }
+    }
+
+    /// "List the internal structure of the application": the functions
+    /// available as instrumentation points.
+    pub fn list(&self) -> Vec<&Symbol> {
+        self.program
+            .symbols
+            .iter()
+            .filter(|s| s.name != "_start")
+            .collect()
+    }
+
+    /// Full disassembly listing.
+    pub fn listing(&self) -> String {
+        self.program.disassemble()
+    }
+
+    /// Select functions and produce the instrumented program image
+    /// (entry probe at the first instruction, exit probe before every
+    /// `Ret`). Returns the patched program to load into the machine.
+    pub fn instrument(&mut self, funcs: &[&str]) -> Result<Program> {
+        self.targets.clear();
+        let mut points: Vec<(usize, u32)> = Vec::new();
+        for name in funcs {
+            let sym = self
+                .program
+                .symbol(name)
+                .ok_or(PapiError::Inval("no such function"))?
+                .clone();
+            let fid = self.targets.len() as u32;
+            points.push((sym.start, fid * 2)); // entry
+            for idx in sym.start..sym.end {
+                if matches!(
+                    self.program.insts[idx],
+                    simcpu::Inst::Ret | simcpu::Inst::Halt
+                ) {
+                    points.push((idx, fid * 2 + 1)); // exit
+                }
+            }
+            self.targets.push(sym);
+        }
+        Ok(self.program.instrument(&points))
+    }
+
+    /// Drive the instrumented application (already loaded into the
+    /// machine behind `papi`) to completion, collecting per-function
+    /// inclusive profiles.
+    ///
+    /// For [`ProbeMetric::Papi`] the metric is counted in a dedicated
+    /// EventSet created and started here; each probe firing performs a real
+    /// (costed) counter read.
+    pub fn run<S: Substrate>(
+        &self,
+        papi: &mut Papi<S>,
+        metric: ProbeMetric,
+    ) -> Result<DynaprofReport> {
+        let set = match metric {
+            ProbeMetric::Papi(code) => {
+                let set = papi.create_eventset();
+                papi.add_event(set, code)?;
+                papi.start(set)?;
+                Some(set)
+            }
+            ProbeMetric::WallclockOnly => None,
+        };
+
+        let fresh = || -> Vec<FuncProfile> {
+            self.targets
+                .iter()
+                .map(|s| FuncProfile {
+                    name: s.name.clone(),
+                    calls: 0,
+                    incl_value: 0,
+                    excl_value: 0,
+                    incl_ns: 0,
+                    excl_ns: 0,
+                })
+                .collect()
+        };
+        let mut per_thread: HashMap<ThreadId, Vec<FuncProfile>> = HashMap::new();
+        // Per-thread stack of frames:
+        // (fid, metric at entry, wallclock at entry,
+        //  instrumented-children metric, instrumented-children ns).
+        type Frame = (usize, i64, u64, i64, u64);
+        let mut stacks: HashMap<ThreadId, Vec<Frame>> = HashMap::new();
+        let t0 = papi.get_real_ns();
+
+        loop {
+            match papi.next_event()? {
+                AppExit::Halted => break,
+                AppExit::Paused => unreachable!("no budget in use"),
+                AppExit::Probe { id, thread, .. } => {
+                    let fid = (id / 2) as usize;
+                    let is_entry = id % 2 == 0;
+                    if fid >= self.targets.len() {
+                        continue; // foreign probe
+                    }
+                    let value = match set {
+                        Some(s) => papi.read(s)?[0],
+                        None => 0,
+                    };
+                    let now = papi.get_real_ns();
+                    let stats = per_thread.entry(thread).or_insert_with(fresh);
+                    let stack = stacks.entry(thread).or_default();
+                    if is_entry {
+                        stack.push((fid, value, now, 0, 0));
+                    } else {
+                        // Unwind to the matching entry (tolerates missed
+                        // frames from tail positions).
+                        while let Some((efid, ev, ens, child_v, child_ns)) = stack.pop() {
+                            if efid == fid {
+                                let incl_v = value - ev;
+                                let incl_t = now - ens;
+                                stats[fid].calls += 1;
+                                stats[fid].incl_value += incl_v;
+                                stats[fid].incl_ns += incl_t;
+                                stats[fid].excl_value += incl_v - child_v;
+                                stats[fid].excl_ns += incl_t.saturating_sub(child_ns);
+                                // Credit this frame to the parent's children.
+                                if let Some(parent) = stack.last_mut() {
+                                    parent.3 += incl_v;
+                                    parent.4 += incl_t;
+                                }
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if let Some(s) = set {
+            papi.stop(s)?;
+            let _ = papi.destroy_eventset(s);
+        }
+        // Aggregate across threads.
+        let mut funcs = fresh();
+        for per in per_thread.values() {
+            for (agg, f) in funcs.iter_mut().zip(per) {
+                agg.calls += f.calls;
+                agg.incl_value += f.incl_value;
+                agg.excl_value += f.excl_value;
+                agg.incl_ns += f.incl_ns;
+                agg.excl_ns += f.excl_ns;
+            }
+        }
+        let mut per_thread: Vec<(ThreadId, Vec<FuncProfile>)> = per_thread.into_iter().collect();
+        per_thread.sort_by_key(|&(t, _)| t);
+        Ok(DynaprofReport {
+            funcs,
+            per_thread,
+            metric,
+            total_ns: papi.get_real_ns() - t0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use papi_core::Preset;
+    use papi_workloads::tight_calls;
+    use simcpu::platform::{sim_generic, sim_t3e};
+    use simcpu::{Machine, PlatformSpec, Program};
+
+    use papi_core::SimSubstrate;
+
+    fn papi_with(spec: PlatformSpec, prog: Program) -> Papi<SimSubstrate> {
+        let mut m = Machine::new(spec, 11);
+        m.load(prog);
+        Papi::init(SimSubstrate::new(m)).unwrap()
+    }
+
+    #[test]
+    fn list_shows_functions() {
+        let w = tight_calls(10, 1);
+        let dp = Dynaprof::load(w.program);
+        let names: Vec<&str> = dp.list().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["leaf", "driver"]);
+        assert!(dp.listing().contains("driver:"));
+    }
+
+    #[test]
+    fn profiles_calls_and_metric() {
+        let w = tight_calls(500, 2);
+        let mut dp = Dynaprof::load(w.program);
+        let prog = dp.instrument(&["leaf", "driver"]).unwrap();
+        let mut papi = papi_with(sim_generic(), prog);
+        let rep = dp
+            .run(&mut papi, ProbeMetric::Papi(Preset::FmaIns.code()))
+            .unwrap();
+        let leaf = rep.funcs.iter().find(|f| f.name == "leaf").unwrap();
+        assert_eq!(leaf.calls, 500);
+        assert_eq!(leaf.incl_value, 1000); // 2 FMAs per call, inclusive
+        let driver = rep.funcs.iter().find(|f| f.name == "driver").unwrap();
+        assert_eq!(driver.calls, 1);
+        // driver's inclusive FMA count covers all leaf calls it made.
+        assert_eq!(driver.incl_value, 1000);
+        assert!(leaf.incl_ns > 0 && driver.incl_ns >= leaf.incl_ns);
+        assert!(rep.render().contains("leaf"));
+    }
+
+    #[test]
+    fn exclusive_excludes_instrumented_children() {
+        let w = tight_calls(200, 3);
+        let mut dp = Dynaprof::load(w.program);
+        let prog = dp.instrument(&["leaf", "driver"]).unwrap();
+        let mut papi = papi_with(sim_generic(), prog);
+        let rep = dp
+            .run(&mut papi, ProbeMetric::Papi(Preset::FmaIns.code()))
+            .unwrap();
+        let leaf = rep.funcs.iter().find(|f| f.name == "leaf").unwrap();
+        let driver = rep.funcs.iter().find(|f| f.name == "driver").unwrap();
+        // All FMAs happen in the leaf: driver's exclusive count is zero,
+        // while its inclusive count covers everything.
+        assert_eq!(leaf.incl_value, 600);
+        assert_eq!(leaf.excl_value, 600);
+        assert_eq!(driver.incl_value, 600);
+        assert_eq!(driver.excl_value, 0);
+        // Exclusive time of the driver is only its own loop/call overhead.
+        assert!(driver.excl_ns < driver.incl_ns);
+        assert!(rep.render().contains("excl. metric"));
+    }
+
+    #[test]
+    fn wallclock_only_probe() {
+        let w = tight_calls(100, 1);
+        let mut dp = Dynaprof::load(w.program);
+        let prog = dp.instrument(&["leaf"]).unwrap();
+        let mut papi = papi_with(sim_generic(), prog);
+        let rep = dp.run(&mut papi, ProbeMetric::WallclockOnly).unwrap();
+        let leaf = &rep.funcs[0];
+        assert_eq!(leaf.calls, 100);
+        assert_eq!(leaf.incl_value, 0);
+        assert!(leaf.incl_ns > 0);
+    }
+
+    #[test]
+    fn per_thread_profiles_separate_threads() {
+        // Two threads run the same instrumented binary; the report must
+        // attribute calls per thread and aggregate to the total.
+        let w = tight_calls(300, 1);
+        let mut dp = Dynaprof::load(w.program);
+        let prog = dp.instrument(&["leaf"]).unwrap();
+        let mut m = Machine::new(sim_generic(), 13);
+        m.load(prog.clone());
+        m.load(prog);
+        let mut papi = Papi::init(SimSubstrate::new(m)).unwrap();
+        let rep = dp.run(&mut papi, ProbeMetric::WallclockOnly).unwrap();
+        assert_eq!(rep.per_thread.len(), 2);
+        let calls: Vec<u64> = rep.per_thread.iter().map(|(_, f)| f[0].calls).collect();
+        assert_eq!(calls, vec![300, 300]);
+        assert_eq!(rep.funcs[0].calls, 600);
+        for (_, f) in &rep.per_thread {
+            assert!(f[0].incl_ns > 0);
+        }
+        assert!(rep.render().contains("thread 1:"));
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let w = tight_calls(10, 1);
+        let mut dp = Dynaprof::load(w.program);
+        assert!(dp.instrument(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn instrumentation_overhead_is_real_and_larger_on_expensive_substrates() {
+        // The same instrumented run costs more cycles than the plain run,
+        // and (relatively) more where counter reads are expensive.
+        let overhead_on = |spec: PlatformSpec| -> f64 {
+            let w = tight_calls(2000, 2);
+            // Baseline.
+            let mut base = Machine::new(spec.clone(), 3);
+            base.load(w.program.clone());
+            base.run_to_halt();
+            let base_cycles = base.cycles();
+            // Instrumented.
+            let mut dp = Dynaprof::load(w.program.clone());
+            let prog = dp.instrument(&["leaf"]).unwrap();
+            let mut papi = papi_with(spec, prog);
+            let code = papi.event_name_to_code("PAPI_TOT_INS").unwrap();
+            dp.run(&mut papi, ProbeMetric::Papi(code)).unwrap();
+            let instr_cycles = papi.get_real_cyc();
+            (instr_cycles as f64 - base_cycles as f64) / base_cycles as f64
+        };
+        let cheap = overhead_on(sim_t3e()); // register-level reads
+        let costly = overhead_on(sim_generic());
+        assert!(cheap >= 0.0);
+        assert!(costly > cheap, "generic {costly} should exceed t3e {cheap}");
+    }
+}

@@ -1,0 +1,33 @@
+//! # papi-tools — end-user tools built on the portable counter library
+//!
+//! The paper describes two tools developed within the PAPI project and one
+//! planned utility; all three are reproduced here, plus the calibration
+//! utility its §4 leans on:
+//!
+//! * [`dynaprof`] — dynamic instrumentation: list a program's structure,
+//!   patch entry/exit probes into selected functions, collect per-function
+//!   PAPI and wallclock profiles per thread.
+//! * [`perfometer`] — real-time monitoring: a runtime trace of a selected
+//!   metric (switchable mid-run), with an ASCII display and a saveable
+//!   trace file for off-line analysis (Figure 2).
+//! * [`papirun`] — run a program and collect basic timing + counter data,
+//!   falling back to explicit multiplexing when events conflict.
+//! * [`calibrate`] — compare measured counts against analytic expectations,
+//!   surfacing per-platform event-semantics differences.
+//! * [`tracer`] — interval event timelines for Vampir/TAU-style trace
+//!   correlation (§3), with JSON export and timeline merging.
+
+pub mod calibrate;
+pub mod dynaprof;
+pub mod papirun;
+pub mod perfometer;
+pub mod tracer;
+
+pub use calibrate::{
+    calibrate_all, calibrate_all_parallel, calibrate_workload, render_report, CalRow,
+};
+pub use dynaprof::{Dynaprof, DynaprofReport, FuncProfile, ProbeMetric};
+pub use papirun::papirun as run_papirun;
+pub use papirun::RunReport;
+pub use perfometer::{Perfometer, TracePoint};
+pub use tracer::{IntervalRecord, Timeline, Tracer};

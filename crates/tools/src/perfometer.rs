@@ -1,0 +1,223 @@
+//! perfometer: real-time performance monitoring (Figure 2).
+//!
+//! The original tool connected a Java front-end to a backend process linked
+//! with PAPI, displaying a runtime trace of a user-selected metric (e.g.
+//! FLOPS) so a developer could see *where in time* a bottleneck lives. This
+//! reproduction keeps the backend architecture: the monitored application is
+//! advanced in fixed wall-clock slices, the selected metric is read each
+//! slice, and the (time, rate) trace is recorded; an ASCII renderer stands
+//! in for the Java display, and the trace can be saved for off-line analysis
+//! exactly as the paper describes.
+//!
+//! Metric switching mid-run (the "Select Metric" button) is supported via
+//! [`Perfometer::monitor_sequence`].
+
+use papi_core::{AppExit, Papi, Result, Substrate};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One point of the runtime trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Wall-clock time of the sample, microseconds since monitoring began.
+    pub t_us: f64,
+    /// Metric delta during this slice.
+    pub delta: i64,
+    /// Metric rate over the slice, events per second.
+    pub rate_per_s: f64,
+    /// The metric's event name (changes after a metric switch).
+    pub metric: String,
+}
+
+/// The perfometer backend.
+#[derive(Debug, Clone)]
+pub struct Perfometer {
+    /// Sampling interval in machine cycles.
+    pub interval_cycles: u64,
+    trace: Vec<TracePoint>,
+}
+
+impl Perfometer {
+    pub fn new(interval_cycles: u64) -> Self {
+        assert!(interval_cycles > 0);
+        Perfometer {
+            interval_cycles,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Monitor one metric until the application halts.
+    pub fn monitor<S: Substrate>(&mut self, papi: &mut Papi<S>, metric: u32) -> Result<()> {
+        self.monitor_sequence(papi, &[metric], usize::MAX)
+    }
+
+    /// Monitor, switching to the next metric in `metrics` every
+    /// `switch_every` samples (wrapping around) — the Select Metric button.
+    pub fn monitor_sequence<S: Substrate>(
+        &mut self,
+        papi: &mut Papi<S>,
+        metrics: &[u32],
+        switch_every: usize,
+    ) -> Result<()> {
+        assert!(!metrics.is_empty());
+        let t0 = papi.get_real_ns();
+        let mut mi = 0;
+        let mut set = papi.create_eventset();
+        papi.add_event(set, metrics[mi])?;
+        papi.start(set)?;
+        let mut name = papi.event_code_to_name(metrics[mi])?;
+        let mut last_ns = t0;
+        let mut last_v = 0i64;
+        let mut samples_on_metric = 0usize;
+        loop {
+            let exit = papi.run_for(self.interval_cycles)?;
+            let v = papi.read(set)?[0];
+            let now = papi.get_real_ns();
+            let dt_ns = now.saturating_sub(last_ns).max(1);
+            let delta = v - last_v;
+            self.trace.push(TracePoint {
+                t_us: (now - t0) as f64 / 1000.0,
+                delta,
+                rate_per_s: delta as f64 * 1e9 / dt_ns as f64,
+                metric: name.clone(),
+            });
+            last_ns = now;
+            last_v = v;
+            samples_on_metric += 1;
+            match exit {
+                AppExit::Halted => break,
+                AppExit::Paused | AppExit::Probe { .. } => {}
+            }
+            if samples_on_metric >= switch_every && metrics.len() > 1 {
+                // Switch metric: tear the set down and start the next one.
+                papi.stop(set)?;
+                let _ = papi.destroy_eventset(set);
+                mi = (mi + 1) % metrics.len();
+                set = papi.create_eventset();
+                papi.add_event(set, metrics[mi])?;
+                papi.start(set)?;
+                name = papi.event_code_to_name(metrics[mi])?;
+                last_v = 0;
+                last_ns = papi.get_real_ns();
+                samples_on_metric = 0;
+            }
+        }
+        papi.stop(set)?;
+        let _ = papi.destroy_eventset(set);
+        Ok(())
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &[TracePoint] {
+        &self.trace
+    }
+
+    /// Save the trace for later off-line analysis.
+    pub fn save_json(&self) -> String {
+        serde_json::to_string_pretty(&self.trace).expect("trace serializes")
+    }
+
+    /// Load a previously saved trace.
+    pub fn load_json(s: &str) -> std::result::Result<Vec<TracePoint>, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Render the trace as an ASCII strip chart, one row per sample.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let max = self.trace.iter().map(|p| p.rate_per_s).fold(0.0, f64::max);
+        let mut out = String::new();
+        writeln!(
+            out,
+            "{:>10}  {:<14} {:>14}  trace (max {:.0}/s)",
+            "t(us)", "metric", "rate/s", max
+        )
+        .unwrap();
+        for p in &self.trace {
+            let bar = if max > 0.0 {
+                ((p.rate_per_s / max) * width as f64).round() as usize
+            } else {
+                0
+            };
+            writeln!(
+                out,
+                "{:>10.1}  {:<14} {:>14.0}  {}",
+                p.t_us,
+                p.metric,
+                p.rate_per_s,
+                "#".repeat(bar.min(width))
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use papi_core::Preset;
+    use papi_core::SimSubstrate;
+    use papi_workloads::phased;
+    use simcpu::platform::sim_generic;
+    use simcpu::Machine;
+
+    fn papi_with_phased() -> Papi<SimSubstrate> {
+        let mut m = Machine::new(sim_generic(), 21);
+        m.load(phased(2, 4000).program);
+        Papi::init(SimSubstrate::new(m)).unwrap()
+    }
+
+    #[test]
+    fn trace_captures_phases() {
+        let mut papi = papi_with_phased();
+        let mut pm = Perfometer::new(20_000);
+        pm.monitor(&mut papi, Preset::FpOps.code()).unwrap();
+        let trace = pm.trace();
+        assert!(trace.len() > 10, "only {} samples", trace.len());
+        // FP phase slices show high FLOP rate; memory/branch phases near 0.
+        let max = trace.iter().map(|p| p.rate_per_s).fold(0.0, f64::max);
+        let zeros = trace.iter().filter(|p| p.rate_per_s < max * 0.05).count();
+        assert!(max > 0.0);
+        assert!(
+            zeros > trace.len() / 4,
+            "expected quiet phases, got {zeros}/{}",
+            trace.len()
+        );
+        // Time increases monotonically.
+        for w in trace.windows(2) {
+            assert!(w[1].t_us >= w[0].t_us);
+        }
+    }
+
+    #[test]
+    fn metric_switching_changes_labels() {
+        let mut papi = papi_with_phased();
+        let mut pm = Perfometer::new(20_000);
+        pm.monitor_sequence(&mut papi, &[Preset::FpOps.code(), Preset::LdIns.code()], 5)
+            .unwrap();
+        let names: std::collections::HashSet<&str> =
+            pm.trace().iter().map(|p| p.metric.as_str()).collect();
+        assert!(names.contains("PAPI_FP_OPS"));
+        assert!(names.contains("PAPI_LD_INS"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut papi = papi_with_phased();
+        let mut pm = Perfometer::new(50_000);
+        pm.monitor(&mut papi, Preset::TotIns.code()).unwrap();
+        let json = pm.save_json();
+        let loaded = Perfometer::load_json(&json).unwrap();
+        assert_eq!(loaded, pm.trace());
+    }
+
+    #[test]
+    fn ascii_render_has_bars() {
+        let mut papi = papi_with_phased();
+        let mut pm = Perfometer::new(40_000);
+        pm.monitor(&mut papi, Preset::FpOps.code()).unwrap();
+        let art = pm.render_ascii(40);
+        assert!(art.contains('#'));
+        assert!(art.contains("PAPI_FP_OPS"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Expected-count oracles attached to workloads.
+//!
+//! Calibration (the paper's `calibrate` utility) needs workloads whose true
+//! event counts are known analytically. Each workload carries a list of
+//! exact expectations and a list of approximate ones (hardware-structure
+//! dependent counts like cache misses, with a tolerance).
+
+use simcpu::EventKind;
+
+/// Expected event counts for one workload.
+#[derive(Debug, Clone, Default)]
+pub struct Expected {
+    /// Counts that must match exactly.
+    pub exact: Vec<(EventKind, u64)>,
+    /// Counts with a relative tolerance (`|measured - expected| <= tol *
+    /// expected`).
+    pub approx: Vec<(EventKind, u64, f64)>,
+}
+
+impl Expected {
+    pub fn exact(mut self, kind: EventKind, count: u64) -> Self {
+        self.exact.push((kind, count));
+        self
+    }
+
+    pub fn approx(mut self, kind: EventKind, count: u64, tol: f64) -> Self {
+        self.approx.push((kind, count, tol));
+        self
+    }
+
+    /// The exact expectation for `kind`, if recorded.
+    pub fn get_exact(&self, kind: EventKind) -> Option<u64> {
+        self.exact.iter().find(|(k, _)| *k == kind).map(|&(_, c)| c)
+    }
+
+    /// True if the oracle has any expectation (exact or approximate) for
+    /// `kind`.
+    pub fn covers(&self, kind: EventKind) -> bool {
+        self.exact.iter().any(|(k, _)| *k == kind) || self.approx.iter().any(|(k, _, _)| *k == kind)
+    }
+
+    /// Check a measured count against the oracle. Returns `None` if the
+    /// oracle has no expectation for `kind`, else whether it matched.
+    pub fn check(&self, kind: EventKind, measured: u64) -> Option<bool> {
+        if let Some(want) = self.get_exact(kind) {
+            return Some(measured == want);
+        }
+        if let Some(&(_, want, tol)) = self.approx.iter().find(|(k, _, _)| *k == kind) {
+            let err = (measured as f64 - want as f64).abs();
+            return Some(err <= tol * want as f64);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_check() {
+        let e = Expected::default().exact(EventKind::FpFma, 100);
+        assert_eq!(e.check(EventKind::FpFma, 100), Some(true));
+        assert_eq!(e.check(EventKind::FpFma, 99), Some(false));
+        assert_eq!(e.check(EventKind::Loads, 5), None);
+        assert_eq!(e.get_exact(EventKind::FpFma), Some(100));
+    }
+
+    #[test]
+    fn approx_check() {
+        let e = Expected::default().approx(EventKind::L1DMiss, 1000, 0.05);
+        assert_eq!(e.check(EventKind::L1DMiss, 1049), Some(true));
+        assert_eq!(e.check(EventKind::L1DMiss, 1051), Some(false));
+        assert_eq!(e.check(EventKind::L1DMiss, 951), Some(true));
+    }
+}

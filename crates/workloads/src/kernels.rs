@@ -1,0 +1,638 @@
+//! The named workload kernels.
+//!
+//! Each constructor returns a [`Workload`]: a program plus its analytic
+//! expected counts. Address-space layout: every kernel keeps its data above
+//! `DATA_BASE` so text (at [`simcpu::TEXT_BASE`]) and data never collide.
+
+use crate::expected::Expected;
+use simcpu::{AddrGen, BranchPat, EventKind, Program, ProgramBuilder};
+
+/// Base address of workload data regions.
+pub const DATA_BASE: u64 = 0x10_0000;
+
+/// A program bundled with its expected-count oracle.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    pub name: &'static str,
+    pub program: Program,
+    pub expected: Expected,
+}
+
+/// Dense matrix-multiply shape: the classic PAPI demo kernel.
+///
+/// Triple loop; the inner body is `load a; load b; fma`, with a store of the
+/// accumulator per `(i, j)`. Exact counts: `n^3` FMAs (= `2 n^3` FLOPs),
+/// `2 n^3` loads, `n^2` stores.
+pub fn matmul(n: u32) -> Workload {
+    assert!(n >= 2);
+    let n64 = n as u64;
+    let a_base = DATA_BASE;
+    let b_base = DATA_BASE + 8 * n64 * n64;
+    let c_base = b_base + 8 * n64 * n64;
+    let mut bld = ProgramBuilder::new();
+    bld.func("matmul", |f| {
+        f.loop_(n, |f| {
+            // i loop
+            f.loop_(n, |f| {
+                // j loop
+                f.loop_(n, |f| {
+                    // k loop: c[i][j] += a[i][k] * b[k][j]
+                    f.load(AddrGen::Stride {
+                        base: a_base,
+                        stride: 8,
+                        len: 8 * n64 * n64,
+                    });
+                    f.load(AddrGen::Stride {
+                        base: b_base,
+                        stride: 8 * n64,
+                        len: 8 * n64 * n64,
+                    });
+                    f.ffma(1);
+                });
+                f.store(AddrGen::Stride {
+                    base: c_base,
+                    stride: 8,
+                    len: 8 * n64 * n64,
+                });
+            });
+        });
+    });
+    let n3 = n64 * n64 * n64;
+    let n2 = n64 * n64;
+    let expected = Expected::default()
+        .exact(EventKind::FpFma, n3)
+        .exact(EventKind::FpAdd, 0)
+        .exact(EventKind::FpMul, 0)
+        .exact(EventKind::FpDiv, 0)
+        .exact(EventKind::FpCvt, 0)
+        .exact(EventKind::Loads, 2 * n3)
+        .exact(EventKind::Stores, n2)
+        .exact(EventKind::Branches, n3 + n2 + n64)
+        .exact(EventKind::BranchTaken, n3 - 1)
+        // 4 insts per k-iter, store+br per j-iter, br per i-iter, ret+call
+        .exact(EventKind::Instructions, 4 * n3 + 2 * n2 + n64 + 2);
+    Workload {
+        name: "matmul",
+        program: bld.build("matmul"),
+        expected,
+    }
+}
+
+/// Cache-blocked matrix multiply: identical FLOP count to [`matmul`] but
+/// the inner loops touch only `block x block` tiles, so the data working
+/// set fits L1 — the textbook tuning transformation whose effect PAPI's
+/// cache-miss counters are used to verify.
+pub fn blocked_matmul(n: u32, block: u32) -> Workload {
+    assert!(block >= 2 && n.is_multiple_of(block));
+    let n64 = n as u64;
+    let b64 = block as u64;
+    let tile_bytes = 8 * b64 * b64;
+    let bm = n / block; // blocks per dimension
+    let a_tile = DATA_BASE;
+    let b_tile = DATA_BASE + tile_bytes;
+    let c_tile = b_tile + tile_bytes;
+    let mut bld = ProgramBuilder::new();
+    bld.func("block_mul", |f| {
+        f.loop_(block, |f| {
+            f.loop_(block, |f| {
+                f.loop_(block, |f| {
+                    f.load(AddrGen::Stride {
+                        base: a_tile,
+                        stride: 8,
+                        len: tile_bytes,
+                    });
+                    f.load(AddrGen::Stride {
+                        base: b_tile,
+                        stride: 8 * b64,
+                        len: tile_bytes,
+                    });
+                    f.ffma(1);
+                });
+                f.store(AddrGen::Stride {
+                    base: c_tile,
+                    stride: 8,
+                    len: tile_bytes,
+                });
+            });
+        });
+    });
+    bld.func("blocked_matmul", |f| {
+        f.loop_(bm * bm * bm, |f| {
+            f.call("block_mul");
+        });
+    });
+    let n3 = n64 * n64 * n64;
+    let bm3 = (bm as u64).pow(3);
+    let expected = Expected::default()
+        .exact(EventKind::FpFma, n3)
+        .exact(EventKind::Loads, 2 * n3)
+        .exact(EventKind::Stores, b64 * b64 * bm3)
+        // The tiles fit L1: after warm-up essentially no data misses.
+        .approx(EventKind::L1DMiss, (3 * tile_bytes / 64).max(1), 1.0);
+    Workload {
+        name: "blocked_matmul",
+        program: bld.build("blocked_matmul"),
+        expected,
+    }
+}
+
+/// STREAM-style copy: `passes` sweeps over two `bytes`-sized arrays with one
+/// load + one store per 64-byte line.
+pub fn stream_copy(bytes: u64, passes: u32) -> Workload {
+    assert!(bytes.is_multiple_of(64) && bytes > 0);
+    let lines = bytes / 64;
+    let iters = lines * passes as u64;
+    assert!(iters <= u32::MAX as u64);
+    let src = DATA_BASE;
+    let dst = DATA_BASE + bytes;
+    let mut bld = ProgramBuilder::new();
+    bld.func("stream_copy", |f| {
+        f.loop_(iters as u32, |f| {
+            f.load(AddrGen::Stride {
+                base: src,
+                stride: 64,
+                len: bytes,
+            });
+            f.store(AddrGen::Stride {
+                base: dst,
+                stride: 64,
+                len: bytes,
+            });
+        });
+    });
+    let expected = Expected::default()
+        .exact(EventKind::FpAdd, 0)
+        .exact(EventKind::FpMul, 0)
+        .exact(EventKind::FpFma, 0)
+        .exact(EventKind::FpDiv, 0)
+        .exact(EventKind::FpCvt, 0)
+        .exact(EventKind::Loads, iters)
+        .exact(EventKind::Stores, iters)
+        .exact(EventKind::Branches, iters)
+        .exact(EventKind::Instructions, 3 * iters + 2)
+        // When the arrays dwarf the caches every new line misses.
+        .approx(EventKind::L1DMiss, 2 * iters, 0.05);
+    Workload {
+        name: "stream_copy",
+        program: bld.build("stream_copy"),
+        expected,
+    }
+}
+
+/// Pointer chase over a `bytes`-sized region: dependent, line-granular,
+/// locality-free loads — a TLB and cache antagonist.
+pub fn pointer_chase(bytes: u64, steps: u32) -> Workload {
+    assert!(bytes >= 4096);
+    let mut bld = ProgramBuilder::new();
+    bld.func("chase", |f| {
+        f.loop_(steps, |f| {
+            f.load(AddrGen::Chase {
+                base: DATA_BASE,
+                len: bytes,
+            });
+            f.int(1);
+        });
+    });
+    let expected = Expected::default()
+        .exact(EventKind::Loads, steps as u64)
+        .exact(EventKind::IntOps, steps as u64)
+        .exact(EventKind::Instructions, 3 * steps as u64 + 2);
+    Workload {
+        name: "pointer_chase",
+        program: bld.build("chase"),
+        expected,
+    }
+}
+
+/// Branch-heavy kernel: an unpredictable branch (taken with probability
+/// `p_num/256`) guarding a small FP body, inside a predictable loop.
+pub fn branchy(iters: u32, p_num: u8) -> Workload {
+    let mut bld = ProgramBuilder::new();
+    bld.func("branchy", |f| {
+        f.loop_(iters, |f| {
+            f.skip_if(BranchPat::Rand { p_num }, |f| {
+                f.fadd(1);
+            });
+            f.int(1);
+        });
+    });
+    let expected = Expected::default()
+        // the random branch + the loop back-edge
+        .exact(EventKind::Branches, 2 * iters as u64)
+        .exact(EventKind::IntOps, iters as u64);
+    Workload {
+        name: "branchy",
+        program: bld.build("branchy"),
+        expected,
+    }
+}
+
+/// Pure FP kernel: `iters × (fmas FMA + adds ADD)`, no memory traffic beyond
+/// instruction fetch. The calibration workhorse.
+pub fn dense_fp(iters: u32, fmas: usize, adds: usize) -> Workload {
+    let mut bld = ProgramBuilder::new();
+    bld.func("dense_fp", |f| {
+        f.loop_(iters, |f| {
+            f.ffma(fmas);
+            f.fadd(adds);
+        });
+    });
+    let it = iters as u64;
+    let expected = Expected::default()
+        .exact(EventKind::FpFma, it * fmas as u64)
+        .exact(EventKind::FpAdd, it * adds as u64)
+        .exact(EventKind::FpMul, 0)
+        .exact(EventKind::FpDiv, 0)
+        .exact(EventKind::FpCvt, 0)
+        .exact(EventKind::Loads, 0)
+        .exact(EventKind::Stores, 0)
+        .exact(
+            EventKind::Instructions,
+            it * (fmas as u64 + adds as u64 + 1) + 2,
+        )
+        .exact(EventKind::Branches, it);
+    Workload {
+        name: "dense_fp",
+        program: bld.build("dense_fp"),
+        expected,
+    }
+}
+
+/// FP kernel with converts mixed in — exposes the POWER3-style
+/// FP-instruction counting quirk during calibration.
+pub fn convert_mix(iters: u32, adds: usize, cvts: usize) -> Workload {
+    let mut bld = ProgramBuilder::new();
+    bld.func("convert_mix", |f| {
+        f.loop_(iters, |f| {
+            f.fadd(adds);
+            f.fcvt(cvts);
+        });
+    });
+    let it = iters as u64;
+    let expected = Expected::default()
+        .exact(EventKind::FpAdd, it * adds as u64)
+        .exact(EventKind::FpCvt, it * cvts as u64)
+        .exact(EventKind::FpMul, 0)
+        .exact(EventKind::FpFma, 0)
+        .exact(EventKind::FpDiv, 0)
+        .exact(EventKind::Loads, 0)
+        .exact(EventKind::Stores, 0)
+        .exact(
+            EventKind::Instructions,
+            it * (adds as u64 + cvts as u64 + 1) + 2,
+        )
+        .exact(EventKind::Branches, it);
+    Workload {
+        name: "convert_mix",
+        program: bld.build("convert_mix"),
+        expected,
+    }
+}
+
+/// A conjugate-gradient-iteration shape: sparse matrix-vector product with
+/// irregular column accesses, two dot products and three AXPYs per
+/// iteration — the memory-access mix of the implicit solvers PAPI's HPC
+/// users tuned. Exact FMA/load/store oracle.
+pub fn cg_like(n: u32, nnz_per_row: u32, iterations: u32) -> Workload {
+    assert!(n >= 8 && nnz_per_row >= 1 && iterations >= 1);
+    let n64 = n as u64;
+    let nnz = nnz_per_row as u64;
+    let a_vals = DATA_BASE; // matrix values, sequential
+    let x_vec = DATA_BASE + 8 * n64 * nnz; // gathered vector
+    let p_vec = x_vec + 8 * n64;
+    let q_vec = p_vec + 8 * n64;
+    let mut bld = ProgramBuilder::new();
+    bld.func("spmv", |f| {
+        f.loop_(n, |f| {
+            f.loop_(nnz_per_row, |f| {
+                f.load(AddrGen::Stride {
+                    base: a_vals,
+                    stride: 8,
+                    len: 8 * n64 * nnz,
+                });
+                f.load(AddrGen::Rand {
+                    base: x_vec,
+                    len: 8 * n64,
+                }); // gather
+                f.ffma(1);
+            });
+        });
+    });
+    bld.func("dot", |f| {
+        f.loop_(n, |f| {
+            f.load(AddrGen::Stride {
+                base: p_vec,
+                stride: 8,
+                len: 8 * n64,
+            });
+            f.load(AddrGen::Stride {
+                base: q_vec,
+                stride: 8,
+                len: 8 * n64,
+            });
+            f.ffma(1);
+        });
+    });
+    bld.func("axpy", |f| {
+        f.loop_(n, |f| {
+            f.load(AddrGen::Stride {
+                base: p_vec,
+                stride: 8,
+                len: 8 * n64,
+            });
+            f.load(AddrGen::Stride {
+                base: q_vec,
+                stride: 8,
+                len: 8 * n64,
+            });
+            f.ffma(1);
+            f.store(AddrGen::Stride {
+                base: q_vec,
+                stride: 8,
+                len: 8 * n64,
+            });
+        });
+    });
+    bld.func("cg_iter", |f| {
+        f.call("spmv");
+        f.call("dot");
+        f.call("dot");
+        f.call("axpy");
+        f.call("axpy");
+        f.call("axpy");
+    });
+    bld.func("main", |f| {
+        f.loop_(iterations, |f| {
+            f.call("cg_iter");
+        });
+    });
+    let it = iterations as u64;
+    let expected = Expected::default()
+        .exact(EventKind::FpFma, it * (n64 * nnz + 5 * n64))
+        .exact(EventKind::FpAdd, 0)
+        .exact(EventKind::FpMul, 0)
+        .exact(EventKind::FpDiv, 0)
+        .exact(EventKind::FpCvt, 0)
+        .exact(EventKind::Loads, it * (2 * n64 * nnz + 10 * n64))
+        .exact(EventKind::Stores, it * 3 * n64);
+    Workload {
+        name: "cg_like",
+        program: bld.build("main"),
+        expected,
+    }
+}
+
+/// A tight loop calling a tiny leaf function — the worst case for
+/// entry/exit instrumentation overhead (§4: "on entry and exit of a small
+/// subroutine … within a tight loop").
+pub fn tight_calls(calls: u32, leaf_fmas: usize) -> Workload {
+    let mut bld = ProgramBuilder::new();
+    bld.func("leaf", |f| {
+        f.ffma(leaf_fmas);
+    });
+    bld.func("driver", |f| {
+        f.loop_(calls, |f| {
+            f.call("leaf");
+        });
+    });
+    let c = calls as u64;
+    let expected = Expected::default()
+        .exact(EventKind::FpFma, c * leaf_fmas as u64)
+        .exact(EventKind::FpAdd, 0)
+        .exact(EventKind::FpMul, 0)
+        .exact(EventKind::FpDiv, 0)
+        .exact(EventKind::FpCvt, 0)
+        .exact(EventKind::Loads, 0)
+        .exact(EventKind::Stores, 0)
+        .exact(EventKind::Branches, c)
+        // call + leaf body + ret + loop branch, plus driver ret + start call
+        .exact(EventKind::Instructions, c * (leaf_fmas as u64 + 3) + 2);
+    Workload {
+        name: "tight_calls",
+        program: bld.build("driver"),
+        expected,
+    }
+}
+
+/// A program with distinct execution phases, for real-time monitoring
+/// (perfometer, Figure 2): an FP-dense phase, a memory-bound phase and a
+/// branchy phase, executed in sequence `rounds` times.
+pub fn phased(rounds: u32, phase_iters: u32) -> Workload {
+    let mut bld = ProgramBuilder::new();
+    bld.func("fp_phase", |f| {
+        f.loop_(phase_iters, |f| {
+            f.ffma(4);
+        });
+    });
+    bld.func("mem_phase", |f| {
+        f.loop_(phase_iters, |f| {
+            f.load(AddrGen::Chase {
+                base: DATA_BASE,
+                len: 1 << 22,
+            });
+        });
+    });
+    bld.func("branch_phase", |f| {
+        f.loop_(phase_iters, |f| {
+            f.skip_if(BranchPat::Rand { p_num: 128 }, |f| {
+                f.int(1);
+            });
+        });
+    });
+    bld.func("main", |f| {
+        f.loop_(rounds, |f| {
+            f.call("fp_phase");
+            f.call("mem_phase");
+            f.call("branch_phase");
+        });
+    });
+    let expected = Expected::default()
+        .exact(EventKind::FpFma, 4 * rounds as u64 * phase_iters as u64)
+        .exact(EventKind::Loads, rounds as u64 * phase_iters as u64);
+    Workload {
+        name: "phased",
+        program: bld.build("main"),
+        expected,
+    }
+}
+
+/// Page-walking store kernel for the memory-utilization extension: touches
+/// exactly `pages` distinct data pages.
+pub fn page_toucher(pages: u32) -> Workload {
+    let mut bld = ProgramBuilder::new();
+    bld.func("touch", |f| {
+        f.loop_(pages, |f| {
+            f.store(AddrGen::Stride {
+                base: DATA_BASE,
+                stride: 4096,
+                len: pages as u64 * 4096,
+            });
+        });
+    });
+    let expected = Expected::default().exact(EventKind::Stores, pages as u64);
+    Workload {
+        name: "page_toucher",
+        program: bld.build("touch"),
+        expected,
+    }
+}
+
+/// All named calibration workloads at a small default size.
+pub fn calibration_suite() -> Vec<Workload> {
+    vec![
+        dense_fp(10_000, 4, 2),
+        matmul(24),
+        stream_copy(1 << 20, 2),
+        tight_calls(20_000, 2),
+        convert_mix(5_000, 3, 1),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcpu::platform::sim_generic;
+    use simcpu::{Machine, Truth};
+
+    fn run_truth(w: &Workload) -> (Machine, u64) {
+        let mut m = Machine::new(sim_generic(), 99);
+        m.enable_truth();
+        m.load(w.program.clone());
+        m.run_to_halt();
+        let retired = m.retired();
+        (m, retired)
+    }
+
+    fn check_all(w: &Workload) {
+        let (m, _) = run_truth(w);
+        let truth: &Truth = m.truth().unwrap();
+        for &(kind, want) in &w.expected.exact {
+            assert_eq!(truth.total(kind), want, "{}: {:?}", w.name, kind);
+        }
+        for &(kind, want, tol) in &w.expected.approx {
+            let got = truth.total(kind);
+            let err = (got as f64 - want as f64).abs() / want as f64;
+            assert!(
+                err <= tol,
+                "{}: {:?} got {got} want {want} (err {err})",
+                w.name,
+                kind
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_oracle_matches_simulation() {
+        check_all(&matmul(8));
+        check_all(&matmul(12));
+    }
+
+    #[test]
+    fn blocked_matmul_oracle_matches() {
+        check_all(&blocked_matmul(16, 4));
+        check_all(&blocked_matmul(24, 8));
+    }
+
+    #[test]
+    fn blocking_cuts_misses_at_equal_flops() {
+        // Same FLOPs; the blocked version must miss far less once n*n
+        // matrices exceed L1 (16 KiB = 2048 doubles; n=64 -> 32 KiB/matrix).
+        let naive = matmul(64);
+        let blocked = blocked_matmul(64, 16);
+        let run_misses = |w: &Workload| {
+            let mut m = Machine::new(sim_generic(), 9);
+            m.enable_truth();
+            m.load(w.program.clone());
+            m.run_to_halt();
+            let t = m.truth().unwrap();
+            (t.total(EventKind::FpFma), t.total(EventKind::L1DMiss))
+        };
+        let (f1, m1) = run_misses(&naive);
+        let (f2, m2) = run_misses(&blocked);
+        assert_eq!(f1, f2, "identical FLOP counts");
+        assert!(
+            m2 * 10 < m1,
+            "blocking should cut misses 10x+: naive {m1}, blocked {m2}"
+        );
+    }
+
+    #[test]
+    fn stream_oracle_matches() {
+        check_all(&stream_copy(1 << 18, 2));
+    }
+
+    #[test]
+    fn chase_oracle_matches() {
+        check_all(&pointer_chase(1 << 16, 5000));
+    }
+
+    #[test]
+    fn branchy_oracle_matches() {
+        check_all(&branchy(2000, 100));
+    }
+
+    #[test]
+    fn dense_fp_oracle_matches() {
+        check_all(&dense_fp(1000, 3, 2));
+    }
+
+    #[test]
+    fn convert_mix_oracle_matches() {
+        check_all(&convert_mix(500, 2, 1));
+    }
+
+    #[test]
+    fn tight_calls_oracle_matches() {
+        check_all(&tight_calls(1000, 2));
+    }
+
+    #[test]
+    fn cg_like_oracle_matches() {
+        check_all(&cg_like(64, 7, 3));
+        check_all(&cg_like(32, 3, 5));
+    }
+
+    #[test]
+    fn cg_like_is_memory_dominated_at_scale() {
+        // The SpMV gather defeats the caches: stalls dominate cycles.
+        let w = cg_like(4096, 16, 2);
+        let (m, _) = run_truth(&w);
+        let t = m.truth().unwrap();
+        let cyc = t.total(EventKind::Cycles);
+        let stalls = t.total(EventKind::StallCycles);
+        assert!(stalls * 3 > cyc, "CG should stall heavily: {stalls}/{cyc}");
+    }
+
+    #[test]
+    fn phased_oracle_matches() {
+        check_all(&phased(2, 300));
+    }
+
+    #[test]
+    fn page_toucher_touches_pages() {
+        let w = page_toucher(16);
+        let mut m = Machine::new(sim_generic(), 1);
+        m.load(w.program.clone());
+        m.run_to_halt();
+        assert_eq!(m.mem_info(0).unwrap().resident_pages, 16);
+    }
+
+    #[test]
+    fn calibration_suite_nonempty_named() {
+        let suite = calibration_suite();
+        assert!(suite.len() >= 5);
+        for w in &suite {
+            assert!(!w.expected.exact.is_empty(), "{} has no oracle", w.name);
+        }
+    }
+
+    #[test]
+    fn chase_misses_dominate_on_large_region() {
+        // 4 MiB region vs 16 KiB L1: essentially every chase load misses.
+        let w = pointer_chase(1 << 22, 20_000);
+        let (m, _) = run_truth(&w);
+        let truth = m.truth().unwrap();
+        let misses = truth.total(EventKind::L1DMiss);
+        assert!(misses as f64 > 0.95 * 20_000.0, "only {misses} misses");
+    }
+}

@@ -1,0 +1,31 @@
+//! # papi-workloads — synthetic workloads with known event counts
+//!
+//! The paper's accuracy experiments need workloads whose true hardware event
+//! counts are known analytically ("test programs … can take the form of
+//! micro-benchmarks for which the expected counts are known", §4). This
+//! crate provides them:
+//!
+//! * [`kernels::matmul`] — the dense FP kernel of every PAPI demo,
+//! * [`kernels::stream_copy`], [`kernels::pointer_chase`] — memory-bound,
+//! * [`kernels::branchy`] — branch-predictor antagonist,
+//! * [`kernels::dense_fp`], [`kernels::convert_mix`] — calibration kernels
+//!   (the latter exposes the POWER3 rounding-instruction quirk),
+//! * [`kernels::tight_calls`] — the instrumentation-overhead worst case,
+//! * [`kernels::phased`] — multi-phase program for real-time monitoring,
+//! * [`kernels::page_toucher`] — memory-utilization extension exerciser,
+//! * [`random::random_program`] — seeded random programs for stress tests,
+//! * [`parallel`] — message-passing workloads (pingpong, master/worker,
+//!   BSP ring) for the §3 parallel-tools scenarios.
+
+pub mod expected;
+pub mod kernels;
+pub mod parallel;
+pub mod random;
+
+pub use expected::Expected;
+pub use kernels::{
+    blocked_matmul, branchy, calibration_suite, cg_like, convert_mix, dense_fp, matmul,
+    page_toucher, phased, pointer_chase, stream_copy, tight_calls, Workload, DATA_BASE,
+};
+pub use parallel::{bsp_ring, master_worker, pingpong, ParallelWorkload};
+pub use random::{random_program, RandomCfg};

@@ -1,0 +1,170 @@
+//! Message-passing workloads: multi-program (multi-thread) kernels in the
+//! shapes MPI tools care about (§3 of the paper — Vampir, TAU's MPI
+//! wrapper, dynaprof's planned "instrumentation and control of parallel
+//! message-passing programs").
+
+use simcpu::{Program, ProgramBuilder};
+
+/// A parallel workload: one program per thread, loaded together.
+#[derive(Debug, Clone)]
+pub struct ParallelWorkload {
+    pub name: &'static str,
+    pub programs: Vec<Program>,
+}
+
+impl ParallelWorkload {
+    /// Load every rank onto `machine`, returning the thread ids.
+    pub fn load_into(&self, machine: &mut simcpu::Machine) -> Vec<simcpu::ThreadId> {
+        self.programs
+            .iter()
+            .map(|p| machine.load(p.clone()))
+            .collect()
+    }
+}
+
+/// Two ranks exchanging a token `rounds` times; rank 0 computes FP work
+/// before each send, rank 1 integer work after each receive.
+pub fn pingpong(rounds: u32, work: usize) -> ParallelWorkload {
+    let mut a = ProgramBuilder::new();
+    a.func("main", |f| {
+        f.loop_(rounds, |f| {
+            f.ffma(work);
+            f.send(0);
+            f.recv(1);
+        });
+    });
+    let mut b = ProgramBuilder::new();
+    b.func("main", |f| {
+        f.loop_(rounds, |f| {
+            f.recv(0);
+            f.int(work);
+            f.send(1);
+        });
+    });
+    ParallelWorkload {
+        name: "pingpong",
+        programs: vec![a.build("main"), b.build("main")],
+    }
+}
+
+/// A master farming `items` work units to `workers` ranks round-robin over
+/// per-worker request channels, collecting results on channel 0.
+///
+/// Channel layout: `0` = results to master, `1 + w` = work for worker `w`.
+pub fn master_worker(workers: u16, items_per_worker: u32, work: usize) -> ParallelWorkload {
+    assert!(workers >= 1);
+    let mut programs = Vec::new();
+    let mut m = ProgramBuilder::new();
+    m.func("main", |f| {
+        // Send every worker its items, then collect all results.
+        for w in 0..workers {
+            f.loop_(items_per_worker, |f| {
+                f.send(1 + w);
+            });
+        }
+        f.loop_(items_per_worker * workers as u32, |f| {
+            f.recv(0);
+        });
+    });
+    programs.push(m.build("main"));
+    for w in 0..workers {
+        let mut p = ProgramBuilder::new();
+        p.func("main", |f| {
+            f.loop_(items_per_worker, |f| {
+                f.recv(1 + w);
+                f.ffma(work);
+                f.send(0);
+            });
+        });
+        programs.push(p.build("main"));
+    }
+    ParallelWorkload {
+        name: "master_worker",
+        programs,
+    }
+}
+
+/// Bulk-synchronous phases: every rank computes, then exchanges a token
+/// with its ring neighbour — the alternating compute/communicate pattern a
+/// Vampir timeline shows.
+pub fn bsp_ring(ranks: u16, supersteps: u32, work: usize) -> ParallelWorkload {
+    assert!(ranks >= 2);
+    let mut programs = Vec::new();
+    for r in 0..ranks {
+        let next = (r + 1) % ranks;
+        let mut p = ProgramBuilder::new();
+        p.func("main", |f| {
+            f.loop_(supersteps, |f| {
+                f.ffma(work);
+                f.send(next); // channel id = receiving rank
+                f.recv(r);
+            });
+        });
+        programs.push(p.build("main"));
+    }
+    ParallelWorkload {
+        name: "bsp_ring",
+        programs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcpu::platform::sim_generic;
+    use simcpu::{EventKind, Machine};
+
+    fn run_counting(w: &ParallelWorkload) -> Machine {
+        let mut m = Machine::new(sim_generic(), 5);
+        m.enable_truth();
+        w.load_into(&mut m);
+        m.run_to_halt();
+        m
+    }
+
+    #[test]
+    fn pingpong_message_totals() {
+        let m = run_counting(&pingpong(200, 3));
+        let t = m.truth().unwrap();
+        assert_eq!(t.total(EventKind::MsgSend), 400);
+        assert_eq!(t.total(EventKind::MsgRecv), 400);
+        assert_eq!(t.total(EventKind::FpFma), 600);
+        assert_eq!(t.total(EventKind::IntOps), 600);
+    }
+
+    #[test]
+    fn master_worker_completes_and_balances() {
+        let w = master_worker(3, 100, 4);
+        let mut m = Machine::new(sim_generic(), 5);
+        let tids = w.load_into(&mut m);
+        assert_eq!(tids.len(), 4);
+        m.enable_truth();
+        m.run_to_halt();
+        let t = m.truth().unwrap();
+        // 300 work sends + 300 result sends
+        assert_eq!(t.total(EventKind::MsgSend), 600);
+        assert_eq!(t.total(EventKind::FpFma), 300 * 4);
+        for tid in tids {
+            assert!(m.thread_halted(tid));
+        }
+    }
+
+    #[test]
+    fn bsp_ring_all_ranks_advance() {
+        let m = run_counting(&bsp_ring(4, 50, 2));
+        let t = m.truth().unwrap();
+        assert_eq!(t.total(EventKind::MsgSend), 4 * 50);
+        assert_eq!(t.total(EventKind::MsgRecv), 4 * 50);
+        assert_eq!(t.total(EventKind::FpFma), 4 * 50 * 2);
+    }
+
+    #[test]
+    fn ring_with_more_ranks_blocks_more() {
+        // More ranks per core => more blocked waiting overall.
+        let m2 = run_counting(&bsp_ring(2, 100, 50));
+        let m6 = run_counting(&bsp_ring(6, 100, 50));
+        let b2 = m2.truth().unwrap().total(EventKind::MsgBlockCycles);
+        let b6 = m6.truth().unwrap().total(EventKind::MsgBlockCycles);
+        assert!(b6 > b2, "6-rank ring should wait more: {b6} vs {b2}");
+    }
+}

@@ -1,0 +1,93 @@
+//! Survey many events in a single run via software multiplexing — and see
+//! why the paper insists multiplexing be *explicitly* enabled: on short
+//! runs the estimates are visibly wrong.
+//!
+//! Run with: `cargo run --example multiplex_survey`
+
+use papi_suite::papi::{Papi, PapiError, Preset, SimSubstrate};
+use simcpu::{platform, AddrGen, Machine, ProgramBuilder};
+
+fn survey(iters: u32) -> Vec<(Preset, i64, i64)> {
+    type TrueFn = fn(i64) -> i64;
+    let presets: [(Preset, TrueFn); 7] = [
+        (Preset::TotIns, |it| it * 9 + 2),
+        (Preset::FpOps, |it| it * 10), // 4 FMA x2 + 2 adds
+        (Preset::FmaIns, |it| it * 4),
+        (Preset::FdvIns, |_| 0),
+        (Preset::BrIns, |it| it),
+        (Preset::LdIns, |it| it),
+        (Preset::SrIns, |it| it),
+    ];
+    // A mixed FP + memory body so that *every* multiplex partition counts
+    // something nonzero.
+    let mut b = ProgramBuilder::new();
+    b.func("main", |f| {
+        f.loop_(iters, |f| {
+            f.ffma(4);
+            f.fadd(2);
+            f.load(AddrGen::Stride {
+                base: 0x10_0000,
+                stride: 64,
+                len: 1 << 16,
+            });
+            f.store(AddrGen::Stride {
+                base: 0x20_0000,
+                stride: 64,
+                len: 1 << 16,
+            });
+        });
+    });
+    let mut machine = Machine::new(platform::sim_x86(), 5);
+    machine.load(b.build("main"));
+    let mut papi = Papi::init(SimSubstrate::new(machine)).unwrap();
+    let set = papi.create_eventset();
+    for (p, _) in &presets {
+        papi.add_event(set, p.code()).unwrap();
+    }
+    // Seven events on four constrained counters: direct counting refuses.
+    assert!(matches!(papi.start(set), Err(PapiError::Cnflct)));
+    // Multiplexing must be opted into.
+    papi.set_multiplex(set).unwrap();
+    papi.start(set).unwrap();
+    papi.run_app().unwrap();
+    let v = papi.stop(set).unwrap();
+    presets
+        .iter()
+        .zip(v)
+        .map(|(&(p, f), got)| (p, f(iters as i64), got))
+        .collect()
+}
+
+fn main() {
+    for &(iters, label) in &[
+        (3_000u32, "SHORT run — estimates unreliable"),
+        (500_000, "LONG run — estimates converge"),
+    ] {
+        println!("{label} ({iters} iterations):");
+        println!(
+            "  {:<14} {:>12} {:>12} {:>8}",
+            "preset", "true", "estimated", "err%"
+        );
+        let mut worst: f64 = 0.0;
+        for (p, want, got) in survey(iters) {
+            let err = if want == 0 {
+                0.0
+            } else {
+                (got - want) as f64 * 100.0 / want as f64
+            };
+            worst = worst.max(err.abs());
+            println!("  {:<14} {:>12} {:>12} {:>7.1}%", p.name(), want, got, err);
+        }
+        println!("  worst error: {worst:.1}%\n");
+        if iters > 100_000 {
+            assert!(worst < 15.0, "long-run multiplex estimates must converge");
+        } else {
+            assert!(
+                worst > 50.0,
+                "the short run should demonstrate estimation failure"
+            );
+        }
+    }
+    println!("lesson (paper §2): multiplexed counts are estimates; runtime must be");
+    println!("long relative to the switching period before you may trust them.");
+}

@@ -1,0 +1,59 @@
+//! Quickstart: count hardware events for a kernel in two ways —
+//! the high-level interface (`PAPI_flops`-style) and the low-level
+//! EventSet interface.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use papi_suite::papi::{Papi, Preset, SimSubstrate};
+use papi_suite::workloads::matmul;
+use simcpu::{platform, Machine};
+
+fn main() {
+    // 1. Pick a platform and load a workload. On real hardware this would
+    //    be your process; here it is a simulated machine running a program.
+    let n = 48;
+    let workload = matmul(n);
+    let mut machine = Machine::new(platform::sim_x86(), 42);
+    machine.load(workload.program.clone());
+
+    // 2. Initialize the library (PAPI_library_init).
+    let mut papi = Papi::init(SimSubstrate::new(machine)).expect("init");
+    let hw = papi.hw_info();
+    println!(
+        "platform : {} ({} counters, {} MHz)",
+        hw.model, hw.num_counters, hw.mhz
+    );
+
+    // 3. High-level: PAPI_flops. First call starts counting...
+    papi.flops().unwrap();
+    // ...the application runs...
+    papi.run_app().unwrap();
+    // ...and the second call reports totals and the MFLOP rate.
+    let f = papi.flops().unwrap();
+    println!(
+        "flops    : {} FLOPs in {:.1} us real / {:.1} us virtual -> {:.1} MFLOP/s (exact: {})",
+        f.flpops, f.real_us, f.proc_us, f.mflops, f.exact
+    );
+    let expected = 2 * (n as i64).pow(3);
+    assert_eq!(f.flpops, expected, "matmul performs 2n^3 FLOPs");
+    papi.hl_stop_counters().unwrap();
+
+    // 4. Low-level: an EventSet over cache events for the same kernel.
+    let mut machine = Machine::new(platform::sim_x86(), 42);
+    machine.load(workload.program);
+    let mut papi = Papi::init(SimSubstrate::new(machine)).expect("init");
+    let set = papi.create_eventset();
+    papi.add_event(set, Preset::L1Dcm.code()).unwrap();
+    papi.add_event(set, Preset::L2Tcm.code()).unwrap();
+    papi.add_event(set, Preset::TotCyc.code()).unwrap();
+    papi.start(set).unwrap();
+    papi.run_app().unwrap();
+    let v = papi.stop(set).unwrap();
+    println!("L1 data cache misses : {}", v[0]);
+    println!("L2 total misses      : {}", v[1]);
+    println!("total cycles         : {}", v[2]);
+    println!(
+        "miss rate            : {:.2} L1 misses per 1k cycles",
+        v[0] as f64 * 1000.0 / v[2] as f64
+    );
+}

@@ -1,0 +1,82 @@
+//! A TAU-style performance-observation session (§3 of the paper):
+//! multi-metric function profiles, time-vs-counter correlation, derived
+//! ratios, and a before/after diff validating a tuning step.
+//!
+//! Run with: `cargo run --example tau_style_profile`
+
+use papi_suite::papi::Preset;
+use papi_suite::toolkit::{measure, profile_functions, ALL_DERIVED, TIME_METRIC};
+use papi_suite::workloads::{blocked_matmul, matmul, phased};
+use simcpu::{platform, Machine};
+
+fn main() {
+    // --- 1. multi-metric function profile of a phased application ---
+    let w = phased(2, 20_000);
+    let prof = profile_functions(
+        platform::sim_generic(),
+        11,
+        &w.program,
+        &["fp_phase", "mem_phase", "branch_phase", "main"],
+        &[
+            Preset::TotCyc.code(),
+            Preset::FpOps.code(),
+            Preset::L1Dcm.code(),
+            Preset::BrMsp.code(),
+        ],
+    )
+    .unwrap();
+    println!("multi-metric function profile (4 hardware metrics + wallclock):\n");
+    print!("{}", prof.render());
+
+    // --- 2. what explains time? (§3: compare profiles for correlations) ---
+    println!("\ncorrelation of exclusive TIME with each counter across functions:");
+    for m in ["PAPI_TOT_CYC", "PAPI_FP_OPS", "PAPI_L1_DCM", "PAPI_BR_MSP"] {
+        if let Some(r) = prof.metric_correlation(TIME_METRIC, m) {
+            println!("  {m:<14} r = {r:+.3}");
+        }
+    }
+    let r_cyc = prof
+        .metric_correlation(TIME_METRIC, "PAPI_TOT_CYC")
+        .unwrap();
+    assert!(r_cyc > 0.99, "time must track cycles, r={r_cyc}");
+
+    // --- 3. derived whole-run metrics ---
+    let mut machine = Machine::new(platform::sim_generic(), 11);
+    machine.load(matmul(48).program);
+    let mut papi =
+        papi_suite::papi::Papi::init(papi_suite::papi::SimSubstrate::new(machine)).unwrap();
+    let vals = measure(&mut papi, ALL_DERIVED).unwrap();
+    println!("\nderived metrics, naive matmul(48):");
+    for (m, v) in &vals {
+        println!("  {:<16} {:>10.4}   ({})", m.name, v, m.descr);
+    }
+
+    // --- 4. before/after: does blocking pay off, per function? ---
+    let before = profile_functions(
+        platform::sim_generic(),
+        11,
+        &matmul(64).program,
+        &["matmul"],
+        &[Preset::TotCyc.code(), Preset::L1Dcm.code()],
+    )
+    .unwrap();
+    let after = profile_functions(
+        platform::sim_generic(),
+        11,
+        &blocked_matmul(64, 16).program,
+        &["blocked_matmul"],
+        &[Preset::TotCyc.code(), Preset::L1Dcm.code()],
+    )
+    .unwrap();
+    // Rename so the diff can align the rows.
+    let mut after = after;
+    after.rows[0].name = "matmul".into();
+    let d = before.diff(&after, "PAPI_TOT_CYC").unwrap();
+    let (_, cyc_before, cyc_after, rel) = &d[0];
+    println!(
+        "\ntuning diff (naive -> blocked matmul): cycles {cyc_before} -> {cyc_after} ({:+.1}%)",
+        rel * 100.0
+    );
+    assert!(*rel < -0.15, "blocking must save cycles, got {rel}");
+    println!("profile JSON bytes: {}", prof.to_json().len());
+}

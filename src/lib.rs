@@ -1,0 +1,18 @@
+//! Umbrella crate for the PAPI reproduction workspace.
+//!
+//! Re-exports the public crates so that examples and integration tests can
+//! use a single dependency. See the individual crates for the real APIs:
+//!
+//! * [`simcpu`] — the simulated processor substrate.
+//! * [`papi`] (crate `papi-core`) — the portable counter interface.
+//! * [`tools`] (crate `papi-tools`) — dynaprof, perfometer, papirun, calibrate, tracer.
+//! * [`toolkit`] (crate `papi-toolkit`) — TAU/SvPablo-style multi-metric profiling.
+//! * [`perfctr`] (crate `perfctr-emu`) — the Linux kernel-patch counter ABI.
+//! * [`workloads`] (crate `papi-workloads`) — synthetic workload generators.
+
+pub use papi_core as papi;
+pub use papi_toolkit as toolkit;
+pub use papi_tools as tools;
+pub use papi_workloads as workloads;
+pub use perfctr_emu as perfctr;
+pub use simcpu;

@@ -1,0 +1,93 @@
+//! Cross-substrate equivalence: the same portable measurements through the
+//! direct substrate and through the kernel-patch syscall substrate.
+//!
+//! This is the strongest operational form of the paper's Figure-1 claim:
+//! not only does the portable layer *compile* against both machine-dependent
+//! layers — it produces identical event counts, identical calibration
+//! verdicts, and working tool stacks on each.
+
+use papi_core::{Papi, Preset, SimSubstrate, Substrate};
+use papi_suite::workloads::{calibration_suite, phased};
+use papi_tools::{Perfometer, Tracer};
+use perfctr_emu::{PerfctrDev, PerfctrSubstrate};
+use simcpu::platform::sim_x86;
+use simcpu::Machine;
+
+fn measure<S: Substrate>(papi: &mut Papi<S>, codes: &[u32]) -> Vec<i64> {
+    let set = papi.create_eventset();
+    papi.add_events(set, codes).unwrap();
+    papi.start(set).unwrap();
+    papi.run_app().unwrap();
+    papi.stop(set).unwrap()
+}
+
+#[test]
+fn calibration_suite_identical_on_both_substrates() {
+    for w in calibration_suite() {
+        for preset in [Preset::FpOps, Preset::LdIns, Preset::BrIns, Preset::TotIns] {
+            let codes = [preset.code()];
+            // Direct.
+            let mut m = Machine::new(sim_x86(), 11);
+            m.load(w.program.clone());
+            let mut direct = Papi::init(SimSubstrate::new(m)).unwrap();
+            if !direct.query_event(preset.code()) {
+                continue;
+            }
+            let via_direct = measure(&mut direct, &codes);
+            // Through the syscall ABI.
+            let mut m = Machine::new(sim_x86(), 11);
+            m.load(w.program.clone());
+            let mut sysc = Papi::init(PerfctrSubstrate::open(PerfctrDev::new(m)).unwrap()).unwrap();
+            let via_syscalls = measure(&mut sysc, &codes);
+            assert_eq!(
+                via_direct,
+                via_syscalls,
+                "{}/{}: substrates disagree",
+                w.name,
+                preset.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn perfometer_and_tracer_run_over_syscall_substrate() {
+    let mut m = Machine::new(sim_x86(), 4);
+    m.load(phased(1, 20_000).program);
+    let mut papi = Papi::init(PerfctrSubstrate::open(PerfctrDev::new(m)).unwrap()).unwrap();
+    let mut pm = Perfometer::new(100_000);
+    pm.monitor(&mut papi, Preset::FpOps.code()).unwrap();
+    assert!(pm.trace().len() > 3);
+
+    let mut m = Machine::new(sim_x86(), 4);
+    m.load(phased(1, 20_000).program);
+    let mut papi = Papi::init(PerfctrSubstrate::open(PerfctrDev::new(m)).unwrap()).unwrap();
+    let tl = Tracer::new(100_000)
+        .trace(&mut papi, &[Preset::FpOps.code(), Preset::LdIns.code()])
+        .unwrap();
+    assert_eq!(tl.totals()[0], 20_000 * 4 * 2);
+}
+
+#[test]
+fn multiplexing_works_through_the_kernel_timer() {
+    // The multiplex rotation runs off the kernel's interval timer through
+    // the syscall ABI (SIGALRM path).
+    let mut m = Machine::new(sim_x86(), 6);
+    m.load(papi_suite::workloads::dense_fp(400_000, 3, 1).program);
+    let mut papi = Papi::init(PerfctrSubstrate::open(PerfctrDev::new(m)).unwrap()).unwrap();
+    let set = papi.create_eventset();
+    for p in [
+        Preset::FpOps,
+        Preset::FmaIns,
+        Preset::FdvIns,
+        Preset::TotIns,
+    ] {
+        papi.add_event(set, p.code()).unwrap();
+    }
+    papi.set_multiplex(set).unwrap();
+    papi.start(set).unwrap();
+    papi.run_app().unwrap();
+    let v = papi.stop(set).unwrap();
+    let err = (v[1] - 1_200_000).abs() as f64 / 1_200_000.0;
+    assert!(err < 0.1, "mpx estimate through signals off by {err}");
+}

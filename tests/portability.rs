@@ -1,0 +1,136 @@
+//! E1 integration: the same measurement code runs unchanged on every
+//! platform substrate — the layered-architecture claim of Figure 1.
+
+use papi_suite::papi::{Papi, Preset, SimSubstrate};
+use papi_suite::workloads::{dense_fp, matmul};
+use simcpu::{all_platforms, Machine};
+
+/// Count FP operations for the same kernel on a platform, using identical
+/// portable code.
+fn count_fp_ops(plat: simcpu::PlatformSpec) -> Option<i64> {
+    let w = dense_fp(5_000, 3, 2);
+    let mut m = Machine::new(plat, 17);
+    m.load(w.program);
+    let mut papi = Papi::init(SimSubstrate::new(m)).ok()?;
+    if !papi.query_event(Preset::FpOps.code()) {
+        return None;
+    }
+    let set = papi.create_eventset();
+    papi.add_event(set, Preset::FpOps.code()).ok()?;
+    papi.start(set).ok()?;
+    papi.run_app().ok()?;
+    Some(papi.stop(set).ok()?[0])
+}
+
+#[test]
+fn identical_code_identical_answers_across_platforms() {
+    let truth = 5_000 * (3 * 2 + 2); // 3 FMA x 2 + 2 adds per iter
+    let mut measured_on = 0;
+    for plat in all_platforms() {
+        let name = plat.name;
+        if let Some(v) = count_fp_ops(plat) {
+            assert_eq!(v, truth, "FP_OPS wrong on {name}");
+            measured_on += 1;
+        }
+    }
+    // FP_OPS maps exactly on at least four of the six platforms.
+    assert!(
+        measured_on >= 4,
+        "only {measured_on} platforms mapped FP_OPS"
+    );
+}
+
+#[test]
+fn every_platform_times_and_counts_cycles() {
+    for plat in all_platforms() {
+        let name = plat.name;
+        let w = matmul(8);
+        let mut m = Machine::new(plat, 3);
+        m.load(w.program);
+        let mut papi = Papi::init(SimSubstrate::new(m)).unwrap();
+        let set = papi.create_eventset();
+        papi.add_event(set, Preset::TotCyc.code())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        papi.add_event(set, Preset::TotIns.code()).unwrap();
+        papi.start(set).unwrap();
+        papi.run_app().unwrap();
+        let v = papi.stop(set).unwrap();
+        assert!(
+            v[0] >= v[1],
+            "{name}: cycles {} < instructions {}",
+            v[0],
+            v[1]
+        );
+        assert!(papi.get_real_usec() > 0, "{name}: wallclock timer dead");
+        assert!(
+            papi.get_virt_usec(0).unwrap() <= papi.get_real_usec(),
+            "{name}: virtual > real"
+        );
+    }
+}
+
+#[test]
+fn preset_availability_differs_but_core_is_universal() {
+    let mut availability = Vec::new();
+    for plat in all_platforms() {
+        let m = Machine::new(plat, 1);
+        let papi = Papi::init(SimSubstrate::new(m)).unwrap();
+        let avail = papi.preset_table().available_presets().len();
+        availability.push((papi.hw_info().model, avail));
+        // Only a small core is truly universal; FP presets, for instance,
+        // are unmappable on sim-ultra (its FP pipes fold FMAs in).
+        for p in [Preset::TotCyc, Preset::TotIns, Preset::BrIns] {
+            assert!(
+                papi.query_event(p.code()),
+                "{}: missing {}",
+                papi.hw_info().model,
+                p.name()
+            );
+        }
+    }
+    // Portability is not uniformity: the counts of available presets differ.
+    let counts: std::collections::HashSet<usize> = availability.iter().map(|&(_, c)| c).collect();
+    assert!(
+        counts.len() >= 3,
+        "platforms should differ in preset coverage: {availability:?}"
+    );
+}
+
+#[test]
+fn native_namespaces_are_platform_specific() {
+    // The same portable preset maps to differently-named native events.
+    let mut names = std::collections::HashSet::new();
+    for plat in all_platforms() {
+        let m = Machine::new(plat, 1);
+        let papi = Papi::init(SimSubstrate::new(m)).unwrap();
+        if let Some(mapping) = papi.preset_table().mapping(Preset::TotIns.code()) {
+            names.insert(papi.event_code_to_name(mapping.terms[0].0).unwrap());
+        }
+    }
+    assert!(
+        names.len() >= 5,
+        "expected distinct native names, got {names:?}"
+    );
+}
+
+#[test]
+fn per_thread_counting_is_portable() {
+    use simcpu::Granularity;
+    for plat in all_platforms() {
+        let name = plat.name;
+        let mut m = Machine::new(plat, 5);
+        m.load(dense_fp(20_000, 2, 0).program);
+        m.load(papi_suite::workloads::branchy(20_000, 128).program);
+        m.set_granularity(Granularity::Thread);
+        let mut papi = Papi::init(SimSubstrate::new(m)).unwrap();
+        let set = papi.create_eventset();
+        papi.add_event(set, Preset::TotCyc.code()).unwrap();
+        papi.start(set).unwrap();
+        papi.run_app().unwrap();
+        papi.stop(set).unwrap();
+        // Virtual clocks of both threads advanced independently.
+        let v0 = papi.get_virt_usec(0).unwrap();
+        let v1 = papi.get_virt_usec(1).unwrap();
+        assert!(v0 > 0 && v1 > 0, "{name}: thread virtual time missing");
+    }
+}

@@ -1,0 +1,122 @@
+//! Programmatic checks of the invariants SPEC.md documents.
+
+use papi_core::{is_preset_code, Papi, PapiError, Preset, SimSubstrate, PRESET_MASK};
+use papi_suite::workloads::dense_fp;
+use simcpu::platform::{sim_generic, NATIVE_MASK};
+use simcpu::Machine;
+
+#[test]
+fn code_spaces_follow_the_c_conventions() {
+    // Presets carry bit 31, natives bit 30, and the spaces are disjoint.
+    assert_eq!(PRESET_MASK, 0x8000_0000);
+    assert_eq!(NATIVE_MASK, 0x4000_0000);
+    for &p in Preset::ALL {
+        assert!(is_preset_code(p.code()));
+        assert_eq!(p.code() & NATIVE_MASK, 0);
+    }
+    for plat in simcpu::all_platforms() {
+        for e in &plat.events {
+            assert!(!is_preset_code(e.code), "{}", e.name);
+        }
+    }
+}
+
+#[test]
+fn the_25_standard_presets_match_the_spec() {
+    let expected = [
+        "PAPI_TOT_CYC",
+        "PAPI_TOT_INS",
+        "PAPI_INT_INS",
+        "PAPI_FP_INS",
+        "PAPI_FP_OPS",
+        "PAPI_FMA_INS",
+        "PAPI_FDV_INS",
+        "PAPI_LD_INS",
+        "PAPI_SR_INS",
+        "PAPI_LST_INS",
+        "PAPI_L1_DCA",
+        "PAPI_L1_DCM",
+        "PAPI_L1_ICM",
+        "PAPI_L1_TCM",
+        "PAPI_L2_TCA",
+        "PAPI_L2_TCM",
+        "PAPI_TLB_DM",
+        "PAPI_TLB_IM",
+        "PAPI_TLB_TL",
+        "PAPI_BR_INS",
+        "PAPI_BR_TKN",
+        "PAPI_BR_NTK",
+        "PAPI_BR_MSP",
+        "PAPI_BR_PRC",
+        "PAPI_RES_STL",
+    ];
+    assert_eq!(Preset::ALL.len(), expected.len());
+    for (p, name) in Preset::ALL.iter().zip(expected) {
+        assert_eq!(p.name(), name);
+        // Every formula is nonempty and names at least one signal.
+        assert!(!p.formula().is_empty());
+        assert!(!p.descr().is_empty());
+    }
+}
+
+#[test]
+fn v3_single_running_set_is_global() {
+    // The one-running-set rule holds across high-level + low-level + tools.
+    let mut m = Machine::new(sim_generic(), 1);
+    m.load(dense_fp(100, 1, 1).program);
+    let mut papi = Papi::init(SimSubstrate::new(m)).unwrap();
+    papi.flops().unwrap(); // high-level starts an internal set
+    let set = papi.create_eventset();
+    papi.add_event(set, Preset::TotCyc.code()).unwrap();
+    assert!(matches!(papi.start(set), Err(PapiError::IsRun)));
+    papi.hl_stop_counters().unwrap();
+    papi.start(set).unwrap();
+    // And a second flops() while a low-level set runs is refused too.
+    assert!(matches!(papi.flops(), Err(PapiError::IsRun)));
+    papi.stop(set).unwrap();
+}
+
+#[test]
+fn hl_read_counters_resets_per_spec() {
+    let mut m = Machine::new(sim_generic(), 1);
+    m.load(dense_fp(1_000, 2, 0).program);
+    let mut papi = Papi::init(SimSubstrate::new(m)).unwrap();
+    papi.hl_start_counters(&[Preset::FmaIns.code()]).unwrap();
+    papi.run_app().unwrap();
+    let first = papi.hl_read_counters().unwrap();
+    assert_eq!(first[0], 2_000);
+    let second = papi.hl_read_counters().unwrap();
+    assert_eq!(second[0], 0, "PAPI_read_counters copies then resets");
+}
+
+#[test]
+fn query_event_means_startable() {
+    // SPEC: presets resolve only if mappable *and allocatable* — so every
+    // query_event() == true must survive an actual start().
+    for plat in simcpu::all_platforms() {
+        let name = plat.name;
+        let mut m = Machine::new(plat, 2);
+        m.load(dense_fp(50, 1, 1).program);
+        let mut papi = Papi::init(SimSubstrate::new(m)).unwrap();
+        for &p in Preset::ALL {
+            if !papi.query_event(p.code()) {
+                continue;
+            }
+            let set = papi.create_eventset();
+            papi.add_event(set, p.code())
+                .unwrap_or_else(|e| panic!("{name}/{}: {e}", p.name()));
+            papi.start(set)
+                .unwrap_or_else(|e| panic!("{name}/{}: {e}", p.name()));
+            papi.stop(set).unwrap();
+            papi.destroy_eventset(set).unwrap();
+        }
+    }
+}
+
+#[test]
+fn overflow_handler_signature_is_send() {
+    // SPEC: handlers are Send (signal-handler semantics / C global session).
+    fn assert_send<T: Send>(_: T) {}
+    let h: Box<dyn FnMut(papi_core::OverflowInfo) + Send> = Box::new(|_| {});
+    assert_send(h);
+}

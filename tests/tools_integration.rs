@@ -1,0 +1,98 @@
+//! End-to-end tool scenarios spanning papi-tools, papi-core, workloads and
+//! the simulator.
+
+use papi_suite::papi::{Papi, Preset, SimSubstrate};
+use papi_suite::tools::papirun::papirun;
+use papi_suite::tools::{calibrate_all, render_report, Dynaprof, Perfometer, ProbeMetric};
+use papi_suite::workloads::{calibration_suite, matmul, phased, tight_calls};
+use simcpu::platform::{sim_generic, sim_power3, sim_t3e, sim_x86};
+use simcpu::Machine;
+
+#[test]
+fn calibrate_all_platforms_report() {
+    let rows = calibrate_all(&simcpu::all_platforms(), &calibration_suite(), 7);
+    assert!(
+        rows.len() > 60,
+        "expected a dense calibration matrix, got {}",
+        rows.len()
+    );
+    // Every platform contributed.
+    let plats: std::collections::HashSet<&str> = rows.iter().map(|r| r.platform).collect();
+    assert_eq!(plats.len(), 8);
+    // The rendered report contains both verdicts.
+    let rep = render_report(&rows);
+    assert!(rep.contains("ok"));
+    assert!(rep.contains("MISMATCH (mapping flagged inexact)"));
+    // And no *unflagged* mismatches anywhere.
+    assert!(rows.iter().all(|r| r.pass() || r.inexact_mapping));
+}
+
+#[test]
+fn papirun_matrix_on_three_platforms() {
+    for spec in [sim_x86(), sim_t3e(), sim_power3()] {
+        let name = spec.name;
+        let rep = papirun(&spec, &matmul(12), &["PAPI_TOT_CYC", "PAPI_TOT_INS"], 4)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let ins = rep.rows[1].1;
+        assert_eq!(ins as u64, 4 * 12u64.pow(3) + 2 * 144 + 12 + 2, "{name}");
+        assert!(rep.real_us > 0);
+    }
+}
+
+#[test]
+fn dynaprof_then_perfometer_same_session_style() {
+    // Instrument, profile per function, then monitor the same binary live —
+    // the dynaprof+perfometer combination the paper describes ("a running
+    // application can be attached to and monitored in real-time").
+    let w = phased(2, 8_000);
+    let mut dp = Dynaprof::load(w.program.clone());
+    let prog = dp.instrument(&["fp_phase", "mem_phase"]).unwrap();
+
+    let mut m = Machine::new(sim_generic(), 6);
+    m.load(prog);
+    let mut papi = Papi::init(SimSubstrate::new(m)).unwrap();
+    let rep = dp
+        .run(&mut papi, ProbeMetric::Papi(Preset::TotCyc.code()))
+        .unwrap();
+    let mem = rep.funcs.iter().find(|f| f.name == "mem_phase").unwrap();
+    let fp = rep.funcs.iter().find(|f| f.name == "fp_phase").unwrap();
+    assert!(mem.incl_value > fp.incl_value);
+
+    // Fresh machine, same binary, live trace.
+    let mut m = Machine::new(sim_generic(), 6);
+    m.load(w.program);
+    let mut papi = Papi::init(SimSubstrate::new(m)).unwrap();
+    let mut pm = Perfometer::new(50_000);
+    pm.monitor(&mut papi, Preset::FpOps.code()).unwrap();
+    assert!(pm.trace().len() > 5);
+}
+
+#[test]
+fn probe_overhead_scales_with_call_granularity() {
+    // The finer the instrumentation granularity, the higher the overhead —
+    // the reason tool developers moved to statistical sampling (§4).
+    let overhead = |calls: u32, body: usize| -> f64 {
+        let w = tight_calls(calls, body);
+        let mut base = Machine::new(sim_x86(), 8);
+        base.load(w.program.clone());
+        base.run_to_halt();
+        let base_cycles = base.cycles();
+        let mut dp = Dynaprof::load(w.program);
+        let prog = dp.instrument(&["leaf"]).unwrap();
+        let mut m = Machine::new(sim_x86(), 8);
+        m.load(prog);
+        let mut papi = Papi::init(SimSubstrate::new(m)).unwrap();
+        dp.run(&mut papi, ProbeMetric::Papi(Preset::TotIns.code()))
+            .unwrap();
+        (papi.get_real_cyc() as f64 - base_cycles as f64) / base_cycles as f64
+    };
+    // Same total FMA work, different function sizes: a tiny leaf means a
+    // counter-read syscall per handful of cycles — crushing overhead.
+    let fine = overhead(20_000, 2);
+    let coarse = overhead(100, 8_000);
+    assert!(fine > 5.0 * coarse, "fine {fine} vs coarse {coarse}");
+    assert!(
+        coarse < 0.3,
+        "coarse-grain instrumentation should be modest: {coarse}"
+    );
+}
