@@ -23,10 +23,28 @@
 
 use simcpu::platform::GroupDef;
 
+/// Search-effort statistics for one allocation solve, reported to the
+/// self-instrumentation layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Augmenting-path probe calls (each call examines one event vertex).
+    pub augment_steps: u64,
+    /// Events displaced from a counter and re-placed along an alternating
+    /// path — the matcher's backtracking effort.
+    pub backtracks: u64,
+}
+
 /// Try to extend the matching with an augmenting path from event `ev`.
 ///
 /// `owner[c]` is the event currently holding counter `c` (or `usize::MAX`).
-fn augment(masks: &[u32], ev: usize, owner: &mut [usize], visited: &mut [bool]) -> bool {
+fn augment(
+    masks: &[u32],
+    ev: usize,
+    owner: &mut [usize],
+    visited: &mut [bool],
+    stats: &mut AllocStats,
+) -> bool {
+    stats.augment_steps += 1;
     for c in 0..owner.len() {
         if masks[ev] & (1 << c) == 0 || visited[c] {
             continue;
@@ -38,7 +56,8 @@ fn augment(masks: &[u32], ev: usize, owner: &mut [usize], visited: &mut [bool]) 
         }
         let displaced = owner[c];
         // Try to re-place the current holder along an alternating path.
-        if augment(masks, displaced, owner, visited) {
+        if augment(masks, displaced, owner, visited, stats) {
+            stats.backtracks += 1;
             owner[c] = ev;
             return true;
         }
@@ -69,13 +88,23 @@ fn owners_to_assign(owner: &[usize], n_events: usize) -> Vec<Option<usize>> {
 /// assert_eq!(optimal_assign(&masks, 2), Some(vec![1, 0])); // the matcher re-routes
 /// ```
 pub fn optimal_assign(masks: &[u32], num_counters: usize) -> Option<Vec<usize>> {
+    optimal_assign_stats(masks, num_counters, &mut AllocStats::default())
+}
+
+/// [`optimal_assign`] with search-effort accounting: augmenting-path probes
+/// and displacements are accumulated into `stats` regardless of outcome.
+pub fn optimal_assign_stats(
+    masks: &[u32],
+    num_counters: usize,
+    stats: &mut AllocStats,
+) -> Option<Vec<usize>> {
     if masks.len() > num_counters {
         return None;
     }
     let mut owner = vec![usize::MAX; num_counters];
     for ev in 0..masks.len() {
         let mut visited = vec![false; num_counters];
-        if !augment(masks, ev, &mut owner, &mut visited) {
+        if !augment(masks, ev, &mut owner, &mut visited, stats) {
             return None;
         }
     }
@@ -90,10 +119,11 @@ pub fn optimal_assign(masks: &[u32], num_counters: usize) -> Option<Vec<usize>> 
 /// Assign as many events as possible; unmatched events get `None`.
 /// The number of `Some`s is the maximum cardinality matching.
 pub fn max_cardinality_assign(masks: &[u32], num_counters: usize) -> Vec<Option<usize>> {
+    let mut stats = AllocStats::default();
     let mut owner = vec![usize::MAX; num_counters];
     for ev in 0..masks.len() {
         let mut visited = vec![false; num_counters];
-        augment(masks, ev, &mut owner, &mut visited);
+        augment(masks, ev, &mut owner, &mut visited, &mut stats);
     }
     owners_to_assign(&owner, masks.len())
 }
@@ -110,10 +140,11 @@ pub fn max_weight_assign(
     assert_eq!(masks.len(), weights.len());
     let mut order: Vec<usize> = (0..masks.len()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
+    let mut stats = AllocStats::default();
     let mut owner = vec![usize::MAX; num_counters];
     for &ev in &order {
         let mut visited = vec![false; num_counters];
-        augment(masks, ev, &mut owner, &mut visited);
+        augment(masks, ev, &mut owner, &mut visited, &mut stats);
     }
     owners_to_assign(&owner, masks.len())
 }
@@ -257,6 +288,24 @@ mod tests {
         assert_eq!(assign, vec![1, 0]);
         assert!(allocate_in_group(&[11, 13], &groups).is_none()); // spans groups
         assert!(allocate_in_group(&[99], &groups).is_none());
+    }
+
+    #[test]
+    fn stats_count_probes_and_backtracks() {
+        // Crossing constraints: placing event 1 must displace event 0.
+        let masks = vec![0b011, 0b001];
+        let mut stats = AllocStats::default();
+        let a = optimal_assign_stats(&masks, 3, &mut stats).unwrap();
+        assert_eq!(a, vec![1, 0]);
+        // Probe for event 0, probe for event 1, recursive re-place of event 0.
+        assert_eq!(stats.augment_steps, 3);
+        assert_eq!(stats.backtracks, 1);
+
+        // Non-crossing instance needs no backtracking.
+        let mut easy = AllocStats::default();
+        optimal_assign_stats(&[0b01, 0b10], 2, &mut easy).unwrap();
+        assert_eq!(easy.augment_steps, 2);
+        assert_eq!(easy.backtracks, 0);
     }
 
     #[test]

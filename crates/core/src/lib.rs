@@ -56,6 +56,7 @@ pub use substrate::{HwInfo, SimSubstrate, Substrate};
 
 use eventset::{EventSetData, OverflowReg, OvfRoute};
 use multiplex::{partition_events, MpxState, DEFAULT_MPX_PERIOD_CYCLES};
+use papi_obs::{Counter as ObsCounter, JournalEvent as ObsEvent};
 use simcpu::{Domain, Granularity, NativeEventDesc, RunExit, SampleConfig, SampleRecord, ThreadId};
 
 /// Identifies a profiling histogram registered with [`Papi::profil`].
@@ -125,6 +126,9 @@ pub struct Papi<S: Substrate = SimSubstrate> {
     sampling_cfg: Option<SampleConfig>,
     sampling_buf: Vec<SampleRecord>,
     pub(crate) hl: Option<highlevel::HlState>,
+    /// Self-instrumentation sink. `None` (the default) disables the layer:
+    /// every hook is a cheap `Option` check and no state is kept.
+    obs: Option<papi_obs::ObsHandle>,
 }
 
 impl<S: Substrate> Papi<S> {
@@ -142,7 +146,28 @@ impl<S: Substrate> Papi<S> {
             sampling_cfg: None,
             sampling_buf: Vec::new(),
             hl: None,
+            obs: None,
         })
+    }
+
+    /// Attach a self-instrumentation context: from here on, API traffic,
+    /// multiplex rotations, overflow dispatches and allocator effort are
+    /// accounted into `obs`'s registry (and journal, when enabled).
+    ///
+    /// The instrumentation performs no costed substrate operations, so
+    /// attaching it never perturbs virtual-time measurements.
+    pub fn attach_obs(&mut self, obs: papi_obs::ObsHandle) {
+        self.obs = Some(obs);
+    }
+
+    /// Detach and return the self-instrumentation context, if any.
+    pub fn detach_obs(&mut self) -> Option<papi_obs::ObsHandle> {
+        self.obs.take()
+    }
+
+    /// The attached self-instrumentation context, if any.
+    pub fn obs(&self) -> Option<&papi_obs::ObsHandle> {
+        self.obs.as_ref()
     }
 
     /// The substrate (read-only).
@@ -217,7 +242,14 @@ impl<S: Substrate> Papi<S> {
     /// `PAPI_create_eventset`.
     pub fn create_eventset(&mut self) -> EventSetId {
         self.sets.push(Some(EventSetData::new()));
-        self.sets.len() - 1
+        let id = self.sets.len() - 1;
+        if let Some(obs) = &self.obs {
+            obs.inc(ObsCounter::EventsetCreated);
+            obs.record(self.sub.real_cycles(), || ObsEvent::EventsetCreated {
+                set: id,
+            });
+        }
+        id
     }
 
     /// `PAPI_destroy_eventset` (must be stopped).
@@ -227,6 +259,12 @@ impl<S: Substrate> Papi<S> {
             return Err(PapiError::IsRun);
         }
         self.sets[id] = None;
+        if let Some(obs) = &self.obs {
+            obs.inc(ObsCounter::EventsetDestroyed);
+            obs.record(self.sub.real_cycles(), || ObsEvent::EventsetDestroyed {
+                set: id,
+            });
+        }
         Ok(())
     }
 
@@ -476,7 +514,8 @@ impl<S: Substrate> Papi<S> {
     /// Solve counter allocation for `natives` on this platform.
     fn allocate(&self, natives: &[u32]) -> Option<Vec<usize>> {
         let groups = self.sub.groups();
-        if groups.is_empty() {
+        let mut stats = alloc::AllocStats::default();
+        let assign = if groups.is_empty() {
             let masks: Vec<u32> = natives
                 .iter()
                 .map(|&c| {
@@ -488,16 +527,62 @@ impl<S: Substrate> Papi<S> {
                         .unwrap_or(0)
                 })
                 .collect();
-            alloc::optimal_assign(&masks, self.sub.num_counters())
+            alloc::optimal_assign_stats(&masks, self.sub.num_counters(), &mut stats)
         } else {
             alloc::allocate_in_group(natives, groups).map(|(_, a)| a)
+        };
+        if let Some(obs) = &self.obs {
+            obs.inc(ObsCounter::AllocAttempts);
+            obs.inc(if assign.is_some() {
+                ObsCounter::AllocSuccesses
+            } else {
+                ObsCounter::AllocFailures
+            });
+            obs.add(ObsCounter::AllocAugmentSteps, stats.augment_steps);
+            obs.add(ObsCounter::AllocBacktracks, stats.backtracks);
+            obs.record(self.sub.real_cycles(), || ObsEvent::AllocAttempt {
+                events: natives.len(),
+                success: assign.is_some(),
+                augment_steps: stats.augment_steps,
+                backtracks: stats.backtracks,
+            });
         }
+        assign
     }
 
     // --- start / stop / read ---------------------------------------------------
 
     /// `PAPI_start`: resolve, allocate, program and start the counters.
     pub fn start(&mut self, id: EventSetId) -> Result<()> {
+        let begin_cycles = self.sub.real_cycles();
+        let r = self.start_inner(id);
+        if let Some(obs) = &self.obs {
+            match &r {
+                Ok(()) => {
+                    obs.inc(ObsCounter::Starts);
+                    let now = self.sub.real_cycles();
+                    obs.add(
+                        ObsCounter::CyclesInStartStop,
+                        now.saturating_sub(begin_cycles),
+                    );
+                    let (natives, multiplexed) = self
+                        .running
+                        .as_ref()
+                        .map(|run| (run.natives.len(), matches!(run.mode, RunMode::Mpx(_))))
+                        .unwrap_or((0, false));
+                    obs.record(now, || ObsEvent::Start {
+                        set: id,
+                        natives,
+                        multiplexed,
+                    });
+                }
+                Err(_) => obs.inc(ObsCounter::StartErrors),
+            }
+        }
+        r
+    }
+
+    fn start_inner(&mut self, id: EventSetId) -> Result<()> {
         if self.running.is_some() {
             return Err(PapiError::IsRun);
         }
@@ -603,12 +688,16 @@ impl<S: Substrate> Papi<S> {
 
     /// Read the live values of the running set's natives.
     fn read_native_counts(&mut self) -> Result<Vec<u64>> {
+        let obs = self.obs.clone();
         let run = self.running.as_mut().ok_or(PapiError::NotRun)?;
         match &mut run.mode {
             RunMode::Direct { assign } => {
                 let assign = assign.clone();
                 let attached = run.attached;
                 let mut counts = Vec::with_capacity(assign.len());
+                if let Some(obs) = &obs {
+                    obs.add(ObsCounter::CounterReads, assign.len() as u64);
+                }
                 for ctr in assign {
                     let v = match attached {
                         Some(t) => self.sub.read_attached(t, ctr)?,
@@ -621,17 +710,29 @@ impl<S: Substrate> Papi<S> {
             RunMode::Mpx(_) => {
                 // Flush the live partition, then return estimates.
                 let now = self.sub.real_cycles();
-                let counters = {
+                let (counters, current, switched_at) = {
                     let RunMode::Mpx(m) = &run.mode else {
                         unreachable!()
                     };
-                    m.partitions[m.current].counters.clone()
+                    (
+                        m.partitions[m.current].counters.clone(),
+                        m.current,
+                        m.switched_at,
+                    )
                 };
                 let mut live = Vec::with_capacity(counters.len());
                 for &c in &counters {
                     live.push(self.sub.read(c)?);
                 }
                 self.sub.reset()?; // avoid double counting on the next flush
+                if let Some(obs) = &obs {
+                    obs.add(ObsCounter::CounterReads, counters.len() as u64);
+                    obs.inc(ObsCounter::MpxFlushes);
+                    obs.record(now, || ObsEvent::MpxFlush {
+                        partition: current,
+                        live_cycles: now.saturating_sub(switched_at),
+                    });
+                }
                 let run = self.running.as_mut().ok_or(PapiError::NotRun)?;
                 let RunMode::Mpx(m) = &mut run.mode else {
                     unreachable!()
@@ -657,8 +758,20 @@ impl<S: Substrate> Papi<S> {
             Some(r) if r.set == id => {}
             _ => return Err(PapiError::NotRun),
         }
+        let begin_cycles = self.sub.real_cycles();
         let counts = self.read_native_counts()?;
-        self.values_from_counts(&counts)
+        let values = self.values_from_counts(&counts)?;
+        if let Some(obs) = &self.obs {
+            let now = self.sub.real_cycles();
+            let cost_cycles = now.saturating_sub(begin_cycles);
+            obs.inc(ObsCounter::Reads);
+            obs.add(ObsCounter::CyclesInRead, cost_cycles);
+            obs.record(now, || ObsEvent::Read {
+                set: id,
+                cost_cycles,
+            });
+        }
+        Ok(values)
     }
 
     /// `PAPI_accum`: add current values into `values` and reset the
@@ -671,7 +784,14 @@ impl<S: Substrate> Papi<S> {
         for (acc, x) in values.iter_mut().zip(&v) {
             *acc += x;
         }
-        self.reset(id)
+        let r = self.reset(id);
+        if r.is_ok() {
+            if let Some(obs) = &self.obs {
+                obs.inc(ObsCounter::Accums);
+                obs.record(self.sub.real_cycles(), || ObsEvent::Accum { set: id });
+            }
+        }
+        r
     }
 
     /// `PAPI_reset`: zero the running counters (and multiplex accumulators).
@@ -687,7 +807,14 @@ impl<S: Substrate> Papi<S> {
             }
             _ => return Err(PapiError::NotRun),
         }
-        self.sub.reset()
+        let r = self.sub.reset();
+        if r.is_ok() {
+            if let Some(obs) = &self.obs {
+                obs.inc(ObsCounter::Resets);
+                obs.record(self.sub.real_cycles(), || ObsEvent::Reset { set: id });
+            }
+        }
+        r
     }
 
     /// `PAPI_stop`: stop counting and return the final values.
@@ -696,6 +823,7 @@ impl<S: Substrate> Papi<S> {
             Some(r) if r.set == id => {}
             _ => return Err(PapiError::NotRun),
         }
+        let begin_cycles = self.sub.real_cycles();
         let counts = self.read_native_counts()?;
         let values = self.values_from_counts(&counts)?;
         // Disarm machinery.
@@ -716,6 +844,15 @@ impl<S: Substrate> Papi<S> {
         self.sub.stop()?;
         self.running = None;
         self.set_mut(id)?.state = SetState::Stopped;
+        if let Some(obs) = &self.obs {
+            let now = self.sub.real_cycles();
+            obs.inc(ObsCounter::Stops);
+            obs.add(
+                ObsCounter::CyclesInStartStop,
+                now.saturating_sub(begin_cycles),
+            );
+            obs.record(now, || ObsEvent::Stop { set: id });
+        }
         Ok(values)
     }
 
@@ -885,14 +1022,28 @@ impl<S: Substrate> Papi<S> {
             .filter(|(c, _, _)| *c == counter)
             .map(|(_, code, r)| (*code, *r))
             .collect();
+        if let Some(obs) = &self.obs {
+            obs.inc(ObsCounter::OverflowInterrupts);
+        }
+        let mut profil_hits = 0u64;
         for (code, route) in hits {
             match route {
                 OvfRoute::Profil(p) => {
                     if let Some(prof) = self.profils.get_mut(p) {
                         prof.hit(pc);
+                        profil_hits += 1;
                     }
                 }
                 OvfRoute::Handler(h) => {
+                    if let Some(obs) = &self.obs {
+                        obs.inc(ObsCounter::OverflowHandlerDispatches);
+                        obs.record(self.sub.real_cycles(), || ObsEvent::OverflowFired {
+                            counter,
+                            code,
+                            pc,
+                            to_handler: true,
+                        });
+                    }
                     let info = OverflowInfo {
                         set,
                         code,
@@ -903,6 +1054,15 @@ impl<S: Substrate> Papi<S> {
                         cb(info);
                     }
                 }
+            }
+        }
+        if profil_hits > 0 {
+            if let Some(obs) = &self.obs {
+                obs.add(ObsCounter::ProfilHits, profil_hits);
+                obs.record(self.sub.real_cycles(), || ObsEvent::ProfilHitBatch {
+                    hits: profil_hits,
+                    pc,
+                });
             }
         }
     }
@@ -917,13 +1077,16 @@ impl<S: Substrate> Papi<S> {
             return Ok(());
         };
         let counters = m.partitions[m.current].counters.clone();
-        let now = self.sub.real_cycles();
+        let from_partition = m.current;
+        let switched_at = m.switched_at;
+        let begin_cycles = self.sub.real_cycles();
+        let now = begin_cycles;
         let mut live = Vec::with_capacity(counters.len());
         for &c in &counters {
             live.push(self.sub.read(c)?);
         }
         // Fold and advance.
-        let (natives, domain, next_part) = {
+        let (natives, domain, next_part, to_partition) = {
             let run = self.running.as_mut().unwrap();
             let set = run.set;
             let RunMode::Mpx(m) = &mut run.mode else {
@@ -933,7 +1096,7 @@ impl<S: Substrate> Papi<S> {
             m.rotate();
             let part = m.partitions[m.current].clone();
             let domain = self.sets[set].as_ref().unwrap().domain;
-            (run.natives.clone(), domain, part)
+            (run.natives.clone(), domain, part, m.current)
         };
         self.program_partition(&natives, domain, &next_part)?;
         // Counting restarts now; don't charge programming time to the slice.
@@ -942,6 +1105,24 @@ impl<S: Substrate> Papi<S> {
             unreachable!()
         };
         m.switched_at = self.sub.real_cycles();
+        if let Some(obs) = &self.obs {
+            let end_cycles = self.sub.real_cycles();
+            let cost_cycles = end_cycles.saturating_sub(begin_cycles);
+            obs.inc(ObsCounter::MpxRotations);
+            obs.inc(ObsCounter::MpxFlushes);
+            obs.inc(ObsCounter::MpxProgramOps);
+            obs.add(ObsCounter::CounterReads, counters.len() as u64);
+            obs.add(ObsCounter::CyclesInMpxRotate, cost_cycles);
+            obs.record(now, || ObsEvent::MpxFlush {
+                partition: from_partition,
+                live_cycles: now.saturating_sub(switched_at),
+            });
+            obs.record(end_cycles, || ObsEvent::MpxRotate {
+                from_partition,
+                to_partition,
+                cost_cycles,
+            });
+        }
         Ok(())
     }
 
@@ -1611,5 +1792,172 @@ mod tests {
         let user = count_with(Domain::USER);
         let all = count_with(Domain::ALL);
         assert!(all > user, "ALL {all} must exceed USER {user}");
+    }
+
+    #[test]
+    fn obs_counts_api_traffic_and_journal() {
+        let mut p = papi_on(sim_generic(), fma_loop(10_000, 4));
+        let obs = papi_obs::Obs::new();
+        obs.enable_journal(1024);
+        p.attach_obs(obs.clone());
+
+        let set = p.create_eventset();
+        p.add_event(set, Preset::FmaIns.code()).unwrap();
+        p.overflow(set, Preset::FmaIns.code(), 1000, Box::new(|_| {}))
+            .unwrap();
+        p.start(set).unwrap();
+        let mut acc = vec![0i64];
+        while !matches!(p.run_for(50_000).unwrap(), AppExit::Halted) {
+            let _ = p.read(set).unwrap();
+        }
+        p.accum(set, &mut acc).unwrap();
+        p.stop(set).unwrap();
+        p.destroy_eventset(set).unwrap();
+
+        use papi_obs::Counter as C;
+        assert_eq!(obs.get(C::EventsetCreated), 1);
+        assert_eq!(obs.get(C::EventsetDestroyed), 1);
+        assert_eq!(obs.get(C::Starts), 1);
+        assert_eq!(obs.get(C::Stops), 1);
+        assert!(obs.get(C::Reads) >= 2); // explicit reads + accum's read
+        assert!(obs.get(C::CounterReads) >= obs.get(C::Reads));
+        assert_eq!(obs.get(C::Accums), 1);
+        assert_eq!(obs.get(C::Resets), 1); // accum's reset
+        assert_eq!(obs.get(C::AllocAttempts), 1);
+        assert_eq!(obs.get(C::AllocSuccesses), 1);
+        assert!(obs.get(C::AllocAugmentSteps) >= 1);
+        assert!(
+            obs.get(C::OverflowInterrupts) >= 30,
+            "interrupts {}",
+            obs.get(C::OverflowInterrupts)
+        );
+        assert_eq!(
+            obs.get(C::OverflowHandlerDispatches),
+            obs.get(C::OverflowInterrupts)
+        );
+        // Reads cost kernel cycles; the span accounting must have seen them.
+        assert!(obs.get(C::CyclesInRead) > 0);
+        assert!(obs.get(C::CyclesInStartStop) > 0);
+
+        // The journal saw the lifecycle in virtual-time order.
+        let recs = obs.journal_records();
+        assert!(!recs.is_empty());
+        assert!(recs.windows(2).all(|w| w[0].cycles <= w[1].cycles));
+        assert!(recs.windows(2).all(|w| w[0].seq < w[1].seq));
+        let kinds: Vec<&str> = recs.iter().map(|r| r.event.kind()).collect();
+        for expected in [
+            "obs.eventset_created",
+            "obs.alloc",
+            "obs.start",
+            "obs.read",
+            "obs.overflow",
+            "obs.accum",
+            "obs.reset",
+            "obs.stop",
+            "obs.eventset_destroyed",
+        ] {
+            assert!(kinds.contains(&expected), "missing {expected} in {kinds:?}");
+        }
+        assert_eq!(obs.get(C::JournalRecords), recs.len() as u64);
+    }
+
+    #[test]
+    fn obs_counts_mpx_rotations_and_profil_hits() {
+        let mut p = papi_on(sim_x86(), fma_loop(200_000, 4));
+        let obs = papi_obs::Obs::new();
+        p.attach_obs(obs.clone());
+        let set = p.create_eventset();
+        p.add_event(set, Preset::FdvIns.code()).unwrap();
+        p.add_event(set, Preset::FmaIns.code()).unwrap();
+        p.add_event(set, Preset::FpOps.code()).unwrap();
+        p.add_event(set, Preset::TotIns.code()).unwrap();
+        p.set_multiplex(set).unwrap();
+        p.start(set).unwrap();
+        p.run_app().unwrap();
+        p.stop(set).unwrap();
+
+        use papi_obs::Counter as C;
+        assert!(
+            obs.get(C::MpxRotations) >= 5,
+            "rotations {}",
+            obs.get(C::MpxRotations)
+        );
+        // Every rotation flushes; the final stop() flushes once more.
+        assert!(obs.get(C::MpxFlushes) > obs.get(C::MpxRotations));
+        assert_eq!(obs.get(C::MpxProgramOps), obs.get(C::MpxRotations));
+        assert!(obs.get(C::CyclesInMpxRotate) > 0);
+        // One failed direct allocation attempt preceded the mpx fallback.
+        assert_eq!(obs.get(C::AllocAttempts), 1);
+        assert_eq!(obs.get(C::AllocFailures), 1);
+
+        // Profil hits route through the same dispatcher.
+        let mut p = papi_on(sim_generic(), fma_loop(50_000, 4));
+        let obs = papi_obs::Obs::new();
+        p.attach_obs(obs.clone());
+        let set = p.create_eventset();
+        p.add_event(set, Preset::TotCyc.code()).unwrap();
+        p.profil(
+            set,
+            Preset::TotCyc.code(),
+            ProfilConfig {
+                start: simcpu::TEXT_BASE,
+                end: Program::pc_of(64),
+                bucket_bytes: 4,
+                threshold: 5000,
+            },
+        )
+        .unwrap();
+        p.start(set).unwrap();
+        p.run_app().unwrap();
+        p.stop(set).unwrap();
+        assert!(obs.get(C::ProfilHits) > 20);
+        assert_eq!(obs.get(C::ProfilHits), obs.get(C::OverflowInterrupts));
+        assert_eq!(obs.get(C::OverflowHandlerDispatches), 0);
+    }
+
+    #[test]
+    fn obs_never_perturbs_measurements() {
+        // Identical runs with and without the observer (journal on) must
+        // produce identical counts and identical virtual end times: the
+        // instrumentation issues no costed substrate operations.
+        let run = |with_obs: bool| -> (Vec<i64>, u64) {
+            let mut p = papi_on(sim_x86(), fma_loop(30_000, 2));
+            if with_obs {
+                let obs = papi_obs::Obs::new();
+                obs.enable_journal(256);
+                p.attach_obs(obs);
+            }
+            let set = p.create_eventset();
+            p.add_event(set, Preset::FpOps.code()).unwrap();
+            p.add_event(set, Preset::TotCyc.code()).unwrap();
+            p.start(set).unwrap();
+            while !matches!(p.run_for(25_000).unwrap(), AppExit::Halted) {
+                let _ = p.read(set).unwrap();
+            }
+            let v = p.stop(set).unwrap();
+            (v, p.get_real_cyc())
+        };
+        let (vals_plain, cyc_plain) = run(false);
+        let (vals_obs, cyc_obs) = run(true);
+        assert_eq!(vals_plain, vals_obs);
+        assert_eq!(cyc_plain, cyc_obs);
+    }
+
+    #[test]
+    fn obs_detach_and_reuse() {
+        let mut p = papi_on(sim_generic(), fma_loop(100, 1));
+        let obs = papi_obs::Obs::new();
+        p.attach_obs(obs.clone());
+        assert!(p.obs().is_some());
+        let set = p.create_eventset();
+        p.add_event(set, Preset::TotCyc.code()).unwrap();
+        let detached = p.detach_obs().unwrap();
+        assert!(p.obs().is_none());
+        // Detached: no further accounting.
+        p.start(set).unwrap();
+        p.run_app().unwrap();
+        p.stop(set).unwrap();
+        assert_eq!(detached.get(papi_obs::Counter::Starts), 0);
+        assert_eq!(detached.get(papi_obs::Counter::EventsetCreated), 1);
     }
 }

@@ -1,0 +1,211 @@
+//! Snapshot and export formats for the internal registry.
+//!
+//! A [`Snapshot`] is an immutable copy of every registry counter at one
+//! instant.  Snapshots subtract ([`Snapshot::delta`]) so tools can report
+//! per-interval internal activity, and export as flat JSON (stable key
+//! order, hand-rendered so it has no serialization dependencies) or as
+//! Prometheus-style text exposition.
+
+use crate::registry::{Registry, COUNTERS};
+use serde::{Deserialize, Serialize};
+
+/// One exported counter value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Subsystem group (`eventset`, `mpx`, `overflow`, `alloc`, `journal`,
+    /// `cycles`).
+    pub subsystem: String,
+    /// Counter name within the subsystem.
+    pub name: String,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// Immutable copy of the registry at one instant, in stable slot order.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Sampled counters, one per registry slot, in slot order.
+    pub counters: Vec<CounterSample>,
+}
+
+impl Snapshot {
+    /// Capture the current registry values.
+    pub fn capture(registry: &Registry) -> Self {
+        Snapshot {
+            counters: COUNTERS
+                .iter()
+                .map(|&c| CounterSample {
+                    subsystem: c.subsystem().to_string(),
+                    name: c.name().to_string(),
+                    value: registry.get(c),
+                })
+                .collect(),
+        }
+    }
+
+    /// Value of `subsystem.name`, or `None` if absent.
+    pub fn get(&self, subsystem: &str, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|s| s.subsystem == subsystem && s.name == name)
+            .map(|s| s.value)
+    }
+
+    /// Counter-wise saturating difference `self - earlier`.
+    ///
+    /// Counters present in only one snapshot are carried through unchanged
+    /// (from `self`), so deltas stay meaningful across versions that add
+    /// counters.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|s| CounterSample {
+                    subsystem: s.subsystem.clone(),
+                    name: s.name.clone(),
+                    value: s
+                        .value
+                        .saturating_sub(earlier.get(&s.subsystem, &s.name).unwrap_or(0)),
+                })
+                .collect(),
+        }
+    }
+
+    /// Pairs of `("subsystem.name", value)` for every nonzero counter.
+    pub fn nonzero(&self) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .filter(|s| s.value != 0)
+            .map(|s| (format!("{}.{}", s.subsystem, s.name), s.value))
+            .collect()
+    }
+
+    /// Flat JSON object `{"subsystem.name": value, ...}` in stable slot
+    /// order.  Hand-rendered: keys contain only `[a-z_.]`, values are
+    /// unsigned integers, so no escaping is required.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, s) in self.counters.iter().enumerate() {
+            let sep = if i + 1 == self.counters.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!(
+                "  \"{}.{}\": {}{}\n",
+                s.subsystem, s.name, s.value, sep
+            ));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Prometheus-style text exposition: one `# HELP`-less gauge line per
+    /// counter, named `papi_obs_<subsystem>_<name>`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for s in &self.counters {
+            out.push_str(&format!(
+                "papi_obs_{}_{} {}\n",
+                s.subsystem, s.name, s.value
+            ));
+        }
+        out
+    }
+
+    /// Human-readable table grouped by subsystem; zero-valued counters are
+    /// omitted unless `show_zeros` is set.
+    pub fn render(&self, show_zeros: bool) -> String {
+        let mut out = String::new();
+        let mut last_subsystem = "";
+        for s in &self.counters {
+            if s.value == 0 && !show_zeros {
+                continue;
+            }
+            if s.subsystem != last_subsystem {
+                out.push_str(&format!("  {}:\n", s.subsystem));
+            }
+            out.push_str(&format!("    {:<24} {:>12}\n", s.name, s.value));
+            last_subsystem = s.subsystem.as_str();
+        }
+        if out.is_empty() {
+            out.push_str("  (all counters zero)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Counter;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.add(Counter::Reads, 7);
+        r.add(Counter::MpxRotations, 3);
+        r.add(Counter::CyclesInRead, 4200);
+        r
+    }
+
+    #[test]
+    fn capture_get_and_delta() {
+        let r = sample_registry();
+        let a = Snapshot::capture(&r);
+        assert_eq!(a.get("eventset", "reads"), Some(7));
+        assert_eq!(a.get("mpx", "rotations"), Some(3));
+        assert_eq!(a.get("nope", "reads"), None);
+
+        r.add(Counter::Reads, 5);
+        let b = Snapshot::capture(&r);
+        let d = b.delta(&a);
+        assert_eq!(d.get("eventset", "reads"), Some(5));
+        assert_eq!(d.get("mpx", "rotations"), Some(0));
+        assert_eq!(d.nonzero(), vec![("eventset.reads".to_string(), 5)]);
+    }
+
+    #[test]
+    fn json_is_flat_and_stable() {
+        let r = sample_registry();
+        let snap = Snapshot::capture(&r);
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"eventset.reads\": 7"));
+        assert!(json.contains("\"mpx.rotations\": 3"));
+        assert!(json.contains("\"cycles.in_read\": 4200"));
+        // Every registry slot appears exactly once.
+        assert_eq!(json.matches(':').count(), crate::registry::NUM_COUNTERS);
+        // No trailing comma before the closing brace.
+        assert!(!json.replace(['\n', ' '], "").contains(",}"));
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let r = sample_registry();
+        let text = Snapshot::capture(&r).to_prometheus();
+        assert!(text.contains("papi_obs_eventset_reads 7\n"));
+        assert!(text.contains("papi_obs_mpx_rotations 3\n"));
+        assert_eq!(text.lines().count(), crate::registry::NUM_COUNTERS);
+        for line in text.lines() {
+            let mut parts = line.split_whitespace();
+            let name = parts.next().unwrap();
+            assert!(name.starts_with("papi_obs_"));
+            parts.next().unwrap().parse::<u64>().unwrap();
+            assert!(parts.next().is_none());
+        }
+    }
+
+    #[test]
+    fn render_hides_zeros_by_default() {
+        let r = sample_registry();
+        let snap = Snapshot::capture(&r);
+        let text = snap.render(false);
+        assert!(text.contains("reads"));
+        assert!(!text.contains("start_errors"));
+        let full = snap.render(true);
+        assert!(full.contains("start_errors"));
+        let empty = Snapshot::capture(&Registry::new()).render(false);
+        assert!(empty.contains("all counters zero"));
+    }
+}

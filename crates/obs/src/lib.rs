@@ -1,0 +1,224 @@
+//! # papi-obs — self-instrumentation for the PAPI reproduction
+//!
+//! The original PAPI papers spend much of their length on a question the
+//! library itself could not answer at the time: *how much does the
+//! measurement infrastructure cost, and what is it doing internally?*
+//! Overheads of the multiplexing timer, the per-read substrate traffic, and
+//! the statistical-sampling substrate (§4 of the IPPS paper, bounded at
+//! "less than 1–2%") were all established with external experiments.
+//!
+//! `papi-obs` turns that measurement inward.  It provides:
+//!
+//! * a **lock-free counter registry** ([`registry::Registry`]) of named
+//!   internal counters grouped by subsystem — event-set traffic, multiplex
+//!   rotations, overflow dispatches, allocator search effort;
+//! * **cycle-resolution span timing** ([`registry::Span`]) using the
+//!   substrate's virtual clock, so the library self-accounts the cycles it
+//!   spends inside its own hot paths;
+//! * a **bounded structured event journal** ([`journal::Journal`]) of typed,
+//!   serializable records for offline correlation with application traces;
+//! * **snapshot/export** ([`export::Snapshot`]) as flat JSON and
+//!   Prometheus-style text exposition.
+//!
+//! The whole layer hangs off an `Option<ObsHandle>` inside the core `Papi`
+//! context: when no handle is attached (the default), every instrumentation
+//! site is a `None` check and the layer costs nothing; when attached, counter
+//! updates are single relaxed atomic adds and journaling is gated behind its
+//! own atomic flag.  Crucially, the layer performs **no costed substrate
+//! operations**, so it never perturbs the virtual-time measurements it
+//! reports on — the observer is invisible to the observed clock.  The
+//! `exp_selfobs` experiment quantifies the residual host-side cost.
+
+#![deny(missing_docs)]
+
+pub mod export;
+pub mod journal;
+pub mod registry;
+
+pub use export::{CounterSample, Snapshot};
+pub use journal::{Journal, JournalEvent, JournalRecord, DEFAULT_JOURNAL_CAPACITY};
+pub use registry::{Counter, Registry, Span, COUNTERS, NUM_COUNTERS};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shared, cloneable handle to one observability context.
+///
+/// Cloning is an `Arc` refcount bump; all clones feed the same registry and
+/// journal.
+pub type ObsHandle = Arc<Obs>;
+
+/// One observability context: a counter registry plus an optional journal.
+pub struct Obs {
+    registry: Registry,
+    journal_on: AtomicBool,
+    journal: Mutex<Journal>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("journal_on", &self.journal_enabled())
+            .field("journal_len", &self.journal.lock().unwrap().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs {
+            registry: Registry::new(),
+            journal_on: AtomicBool::new(false),
+            journal: Mutex::new(Journal::new(DEFAULT_JOURNAL_CAPACITY)),
+        }
+    }
+}
+
+impl Obs {
+    /// A fresh context with all counters zero and the journal disabled.
+    pub fn new() -> ObsHandle {
+        Arc::new(Obs::default())
+    }
+
+    /// The counter registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Increment counter `c` by one.
+    #[inline]
+    pub fn inc(&self, c: Counter) {
+        self.registry.inc(c);
+    }
+
+    /// Add `v` to counter `c`.
+    #[inline]
+    pub fn add(&self, c: Counter, v: u64) {
+        self.registry.add(c, v);
+    }
+
+    /// Current value of counter `c`.
+    #[inline]
+    pub fn get(&self, c: Counter) -> u64 {
+        self.registry.get(c)
+    }
+
+    /// Enable journaling with the given ring capacity, replacing any
+    /// previously held records.
+    pub fn enable_journal(&self, capacity: usize) {
+        let mut j = self.journal.lock().unwrap();
+        *j = Journal::new(capacity);
+        drop(j);
+        self.journal_on.store(true, Ordering::Release);
+    }
+
+    /// Disable journaling.  Held records remain readable.
+    pub fn disable_journal(&self) {
+        self.journal_on.store(false, Ordering::Release);
+    }
+
+    /// Whether journaling is currently enabled.
+    #[inline]
+    pub fn journal_enabled(&self) -> bool {
+        self.journal_on.load(Ordering::Acquire)
+    }
+
+    /// Append a journal record at virtual time `cycles` if journaling is
+    /// enabled.  The event is built lazily by `make` so disabled journaling
+    /// pays only the atomic-flag load.
+    #[inline]
+    pub fn record(&self, cycles: u64, make: impl FnOnce() -> JournalEvent) {
+        if self.journal_enabled() {
+            let mut j = self.journal.lock().unwrap();
+            j.push(cycles, make());
+            let dropped = j.dropped();
+            drop(j);
+            self.registry.inc(Counter::JournalRecords);
+            // Keep the registry's dropped count in sync with the ring's.
+            let seen = self.registry.get(Counter::JournalDropped);
+            if dropped > seen {
+                self.registry.add(Counter::JournalDropped, dropped - seen);
+            }
+        }
+    }
+
+    /// Copy of the journal's records, oldest first.
+    pub fn journal_records(&self) -> Vec<JournalRecord> {
+        self.journal.lock().unwrap().records()
+    }
+
+    /// Number of journal records evicted due to the capacity bound.
+    pub fn journal_dropped(&self) -> u64 {
+        self.journal.lock().unwrap().dropped()
+    }
+
+    /// Snapshot the registry.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::capture(&self.registry)
+    }
+
+    /// Open a cycle span charging `target` at virtual time `now`.
+    #[inline]
+    pub fn span(&self, target: Counter, now: u64) -> Span {
+        Span::begin(target, now)
+    }
+
+    /// Close `span` at virtual time `now`.
+    #[inline]
+    pub fn end_span(&self, span: Span, now: u64) {
+        span.end(&self.registry, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_gating() {
+        let obs = Obs::new();
+        // Disabled: the closure must not run, nothing is recorded.
+        obs.record(5, || panic!("journal closure ran while disabled"));
+        assert!(obs.journal_records().is_empty());
+
+        obs.enable_journal(16);
+        obs.record(10, || JournalEvent::Stop { set: 3 });
+        assert!(obs.journal_enabled());
+        let recs = obs.journal_records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].cycles, 10);
+        assert_eq!(obs.get(Counter::JournalRecords), 1);
+
+        obs.disable_journal();
+        obs.record(20, || panic!("journal closure ran after disable"));
+        assert_eq!(obs.journal_records().len(), 1);
+    }
+
+    #[test]
+    fn dropped_records_mirrored_into_registry() {
+        let obs = Obs::new();
+        obs.enable_journal(2);
+        for i in 0..5 {
+            obs.record(i, || JournalEvent::Reset { set: 0 });
+        }
+        assert_eq!(obs.journal_dropped(), 3);
+        assert_eq!(obs.get(Counter::JournalDropped), 3);
+        assert_eq!(obs.get(Counter::JournalRecords), 5);
+    }
+
+    #[test]
+    fn span_roundtrip_through_handle() {
+        let obs = Obs::new();
+        let s = obs.span(Counter::CyclesInMpxRotate, 1000);
+        obs.end_span(s, 1750);
+        assert_eq!(obs.get(Counter::CyclesInMpxRotate), 750);
+    }
+
+    #[test]
+    fn handle_clones_share_state() {
+        let obs = Obs::new();
+        let other = obs.clone();
+        other.inc(Counter::Starts);
+        assert_eq!(obs.get(Counter::Starts), 1);
+    }
+}

@@ -16,6 +16,9 @@
 //!   fraction, …) with availability-aware planning per platform;
 //! * [`traceformat`] — a compact binary trace encoding plus a
 //!   Paraver-flavoured ASCII export (§3's ALOG/SDDF/Paraver conversion);
+//! * [`obs_trace`] — papi-obs journal records bucketed onto the same
+//!   timeline representation, so internal library events can be correlated
+//!   with application events;
 //! * [`mod@annotate`] — HPCView/VProf-style correlation of profiling histograms
 //!   with the program listing.
 //!
@@ -26,13 +29,18 @@
 pub mod annotate;
 pub mod funcprof;
 pub mod metrics;
+pub mod obs_trace;
 pub mod profile_data;
 pub mod regions;
 pub mod traceformat;
 
 pub use annotate::{annotate, hot_functions, render as render_annotated, AnnotatedLine};
 pub use funcprof::{profile_functions, profile_functions_per_run, TIME_METRIC};
-pub use metrics::{measure, required_presets, supported, DerivedMetric, ALL_DERIVED};
+pub use metrics::{
+    measure, required_presets, supported, DerivedMetric, SelfMetric, SelfMetricContext,
+    ALL_DERIVED, ALL_SELF, MPX_ROTATIONS_PER_MS, OVERHEAD_CYCLES_RATIO,
+};
+pub use obs_trace::journal_to_timeline;
 pub use profile_data::{Profile, RegionRow};
 pub use regions::Regions;
 pub use traceformat::{decode as decode_trace, encode as encode_trace, to_paraver_ascii};

@@ -95,6 +95,74 @@ impl DerivedMetric {
     }
 }
 
+// --- self-metrics over the papi-obs registry --------------------------------
+
+/// Run context needed to normalize registry counters into rates and ratios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelfMetricContext {
+    /// Total virtual cycles the run spanned.
+    pub total_cycles: u64,
+    /// Platform clock, MHz (cycles per microsecond).
+    pub clock_mhz: u64,
+}
+
+/// A derived metric computed from the library's own [`papi_obs::Snapshot`]
+/// rather than from hardware counters — meta-observability over the
+/// measurement infrastructure itself.  (No `PartialEq`: the compute member
+/// is a function pointer, and pointer identity is not a meaningful notion
+/// of metric equality — compare `name`s instead.)
+#[derive(Debug, Clone, Copy)]
+pub struct SelfMetric {
+    pub name: &'static str,
+    pub descr: &'static str,
+    compute: fn(&papi_obs::Snapshot, &SelfMetricContext) -> f64,
+}
+
+impl SelfMetric {
+    /// Compute the metric from a registry snapshot and run context.
+    pub fn compute(&self, snap: &papi_obs::Snapshot, ctx: &SelfMetricContext) -> f64 {
+        (self.compute)(snap, ctx)
+    }
+}
+
+/// Multiplex partition rotations per millisecond of run time.  With the
+/// default 100k-cycle switching period this sits near
+/// `clock_mhz * 1000 / period` for any run long enough to amortize startup.
+pub const MPX_ROTATIONS_PER_MS: SelfMetric = SelfMetric {
+    name: "MPX_ROTATIONS_PER_MS",
+    descr: "multiplex partition rotations per millisecond",
+    compute: |snap, ctx| {
+        let rotations = snap.get("mpx", "rotations").unwrap_or(0);
+        let ms = ctx.total_cycles as f64 / (ctx.clock_mhz as f64 * 1000.0);
+        if ms <= 0.0 {
+            0.0
+        } else {
+            rotations as f64 / ms
+        }
+    },
+};
+
+/// Fraction of all run cycles the library charged to itself (read spans,
+/// start/stop spans, multiplex rotation spans) — the paper's §4 overhead
+/// question answered from the inside.
+pub const OVERHEAD_CYCLES_RATIO: SelfMetric = SelfMetric {
+    name: "OVERHEAD_CYCLES_RATIO",
+    descr: "fraction of run cycles spent inside the library",
+    compute: |snap, ctx| {
+        let own = snap.get("cycles", "in_read").unwrap_or(0)
+            + snap.get("cycles", "in_start_stop").unwrap_or(0)
+            + snap.get("cycles", "in_mpx_rotate").unwrap_or(0);
+        if ctx.total_cycles == 0 {
+            0.0
+        } else {
+            own as f64 / ctx.total_cycles as f64
+        }
+    },
+};
+
+/// The self-metric catalogue.
+pub const ALL_SELF: &[SelfMetric] = &[MPX_ROTATIONS_PER_MS, OVERHEAD_CYCLES_RATIO];
+
 /// The unique presets a set of derived metrics needs, in a stable order.
 pub fn required_presets(metrics: &[DerivedMetric]) -> Vec<Preset> {
     let mut set = BTreeSet::new();
@@ -207,6 +275,80 @@ mod tests {
         assert!(fpc > 0.0 && fpc < 2.0);
         let br = get("BR_MISS_RATE");
         assert!(br < 0.05, "matmul branches are predictable: {br}");
+    }
+
+    #[test]
+    fn self_metric_mpx_rotation_rate_matches_period() {
+        use papi_core::substrate::Substrate as _;
+        // sim-x86 at 1000 MHz with the default 100k-cycle period rotates
+        // every 100 us => ~10 rotations per millisecond.
+        let spec = simcpu::platform::sim_x86();
+        let clock_mhz = spec.clock_mhz as u64;
+        let mut p = papi_on(spec, papi_workloads::dense_fp(300_000, 4, 1).program);
+        let obs = papi_obs::Obs::new();
+        p.attach_obs(obs.clone());
+        let set = p.create_eventset();
+        for ev in [
+            Preset::FdvIns,
+            Preset::FmaIns,
+            Preset::FpOps,
+            Preset::TotIns,
+        ] {
+            p.add_event(set, ev.code()).unwrap();
+        }
+        p.set_multiplex(set).unwrap();
+        p.start(set).unwrap();
+        p.run_app().unwrap();
+        p.stop(set).unwrap();
+        let ctx = SelfMetricContext {
+            total_cycles: p.substrate().real_cycles(),
+            clock_mhz,
+        };
+        let rate = MPX_ROTATIONS_PER_MS.compute(&obs.snapshot(), &ctx);
+        assert!(
+            (6.0..=14.0).contains(&rate),
+            "expected ~10 rotations/ms, got {rate:.2}"
+        );
+    }
+
+    #[test]
+    fn self_metric_overhead_ratio_matches_external_measurement() {
+        use papi_core::substrate::Substrate as _;
+        use papi_core::AppExit;
+        // Baseline: the same program uninstrumented.
+        let prog = matmul(24).program;
+        let baseline = {
+            let mut m = Machine::new(sim_generic(), 6);
+            m.load(prog.clone());
+            m.run_to_halt();
+            m.cycles()
+        };
+        // Instrumented: periodic reads generate measurable overhead.
+        let mut p = papi_on(sim_generic(), prog);
+        let obs = papi_obs::Obs::new();
+        p.attach_obs(obs.clone());
+        let set = p.create_eventset();
+        p.add_event(set, Preset::TotCyc.code()).unwrap();
+        p.start(set).unwrap();
+        while !matches!(p.run_for(10_000).unwrap(), AppExit::Halted) {
+            let _ = p.read(set).unwrap();
+        }
+        p.stop(set).unwrap();
+        let total = p.substrate().real_cycles();
+        let ctx = SelfMetricContext {
+            total_cycles: total,
+            clock_mhz: 1000,
+        };
+        let ratio = OVERHEAD_CYCLES_RATIO.compute(&obs.snapshot(), &ctx);
+        assert!(ratio > 0.0 && ratio < 0.5, "ratio {ratio}");
+        // The self-accounted overhead must explain the externally observed
+        // cycle inflation over the uninstrumented baseline.
+        let external = (total - baseline) as f64 / total as f64;
+        let dev = (ratio - external).abs() / external;
+        assert!(
+            dev < 0.10,
+            "self-accounted {ratio:.4} vs external {external:.4} (dev {dev:.2})"
+        );
     }
 
     #[test]

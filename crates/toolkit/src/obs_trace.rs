@@ -1,0 +1,176 @@
+//! Convert papi-obs journal records onto the application-trace timeline.
+//!
+//! §3's point about Vampir integration is that counter data becomes most
+//! useful when it sits on the *same timeline* as the application's own
+//! events.  The same holds for the library's internal events: a multiplex
+//! rotation or an overflow burst only explains a perturbation if it can be
+//! lined up against the application intervals it perturbed.  This module
+//! buckets a [`papi_obs::Journal`]'s records into the fixed-interval
+//! [`Timeline`] representation used by the tracer, so internal activity can
+//! be merged column-by-column with an application trace (and from there fed
+//! through [`crate::traceformat`] like any other timeline).
+
+use papi_obs::JournalRecord;
+use papi_tools::tracer::{IntervalRecord, Timeline};
+
+/// Bucket `records` into a [`Timeline`] with `interval_us`-wide intervals.
+///
+/// * Event columns are the distinct record kinds (`obs.read`,
+///   `obs.mpx_rotate`, …) present in `records`, in sorted order; each
+///   interval's delta is the number of records of that kind in the interval.
+/// * `clock_mhz` converts record cycle stamps to microseconds.
+/// * `span_us` fixes the timeline extent (intervals covering
+///   `[0, span_us)`); pass the run's duration so the grid lines up with an
+///   application trace of the same run, or `None` to end at the last
+///   record.
+pub fn journal_to_timeline(
+    records: &[JournalRecord],
+    clock_mhz: u64,
+    interval_us: f64,
+    span_us: Option<f64>,
+) -> Timeline {
+    assert!(clock_mhz > 0, "clock_mhz must be positive");
+    assert!(interval_us > 0.0, "interval_us must be positive");
+    let mut kinds: Vec<&'static str> = Vec::new();
+    for r in records {
+        let k = r.event.kind();
+        if !kinds.contains(&k) {
+            kinds.push(k);
+        }
+    }
+    kinds.sort_unstable();
+
+    let t_of = |cycles: u64| cycles as f64 / clock_mhz as f64;
+    let end_us = span_us
+        .unwrap_or_else(|| records.last().map(|r| t_of(r.cycles)).unwrap_or(0.0))
+        .max(interval_us);
+    let n_intervals = (end_us / interval_us).ceil() as usize;
+
+    let mut intervals: Vec<IntervalRecord> = (0..n_intervals)
+        .map(|i| IntervalRecord {
+            t_start_us: i as f64 * interval_us,
+            t_end_us: (i + 1) as f64 * interval_us,
+            deltas: vec![0i64; kinds.len()],
+        })
+        .collect();
+    for r in records {
+        let t = t_of(r.cycles);
+        // Clamp the tail: a record exactly at the end lands in the last bin.
+        let bin = ((t / interval_us) as usize).min(n_intervals.saturating_sub(1));
+        let col = kinds.iter().position(|&k| k == r.event.kind()).unwrap();
+        intervals[bin].deltas[col] += 1;
+    }
+    Timeline {
+        events: kinds.into_iter().map(String::from).collect(),
+        intervals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use papi_obs::{Journal, JournalEvent};
+
+    fn sample_journal() -> Vec<JournalRecord> {
+        let mut j = Journal::new(64);
+        // 1000 MHz: 1000 cycles per microsecond.
+        j.push(
+            500,
+            JournalEvent::Start {
+                set: 0,
+                natives: 2,
+                multiplexed: true,
+            },
+        );
+        j.push(
+            1_500,
+            JournalEvent::Read {
+                set: 0,
+                cost_cycles: 40,
+            },
+        );
+        j.push(
+            2_500,
+            JournalEvent::MpxRotate {
+                from_partition: 0,
+                to_partition: 1,
+                cost_cycles: 60,
+            },
+        );
+        j.push(
+            2_600,
+            JournalEvent::Read {
+                set: 0,
+                cost_cycles: 40,
+            },
+        );
+        j.push(9_900, JournalEvent::Stop { set: 0 });
+        j.records()
+    }
+
+    #[test]
+    fn buckets_by_kind_and_interval() {
+        // 2 us intervals at 1000 MHz => bins of 2000 cycles.
+        let tl = journal_to_timeline(&sample_journal(), 1000, 2.0, None);
+        assert_eq!(
+            tl.events,
+            vec!["obs.mpx_rotate", "obs.read", "obs.start", "obs.stop"]
+        );
+        assert_eq!(tl.intervals.len(), 5); // last record at 9.9 us => ceil(9.9/2)
+        let col = |k: &str| tl.events.iter().position(|e| e == k).unwrap();
+        // Bin 0 [0,2): start + first read.
+        assert_eq!(tl.intervals[0].deltas[col("obs.start")], 1);
+        assert_eq!(tl.intervals[0].deltas[col("obs.read")], 1);
+        // Bin 1 [2,4): rotation + second read.
+        assert_eq!(tl.intervals[1].deltas[col("obs.mpx_rotate")], 1);
+        assert_eq!(tl.intervals[1].deltas[col("obs.read")], 1);
+        // Totals match record counts per kind.
+        let totals = tl.totals();
+        assert_eq!(totals[col("obs.read")], 2);
+        assert_eq!(totals[col("obs.stop")], 1);
+        assert_eq!(totals.iter().sum::<i64>(), 5);
+    }
+
+    #[test]
+    fn merges_with_application_timeline_on_shared_grid() {
+        // Force a 10 us span => 5 bins of 2 us, matching the app trace.
+        let obs_tl = journal_to_timeline(&sample_journal(), 1000, 2.0, Some(10.0));
+        let app_tl = Timeline {
+            events: vec!["PAPI_FP_OPS".to_string()],
+            intervals: (0..5)
+                .map(|i| IntervalRecord {
+                    t_start_us: i as f64 * 2.0,
+                    t_end_us: (i + 1) as f64 * 2.0,
+                    deltas: vec![100 * i as i64],
+                })
+                .collect(),
+        };
+        let merged = app_tl.merge(&obs_tl).expect("same grid");
+        assert_eq!(merged.events.len(), 1 + obs_tl.events.len());
+        assert!(merged.events.iter().any(|e| e == "obs.mpx_rotate"));
+        // Internal and app columns share interval boundaries.
+        assert_eq!(merged.intervals[1].deltas[0], 100);
+        let rot_col = merged
+            .events
+            .iter()
+            .position(|e| e == "obs.mpx_rotate")
+            .unwrap();
+        assert_eq!(merged.intervals[1].deltas[rot_col], 1);
+    }
+
+    #[test]
+    fn empty_journal_yields_empty_columns() {
+        let tl = journal_to_timeline(&[], 1000, 5.0, None);
+        assert!(tl.events.is_empty());
+        assert_eq!(tl.intervals.len(), 1);
+        assert!(tl.intervals[0].deltas.is_empty());
+    }
+
+    #[test]
+    fn encodes_through_traceformat() {
+        let tl = journal_to_timeline(&sample_journal(), 1000, 2.0, None);
+        let bytes = crate::traceformat::encode(&tl);
+        let back = crate::traceformat::decode(&bytes).expect("decodes");
+        assert_eq!(back, tl);
+    }
+}

@@ -5,7 +5,14 @@
 //! ```text
 //! papi_cost [--platform NAME]        # one platform
 //! papi_cost --all                    # table across every platform
+//! papi_cost --self-check [NAME]      # cross-check vs papi-obs self-accounting
 //! ```
+//!
+//! `--self-check` runs the same micro-cost loops with a papi-obs context
+//! attached and compares the externally measured per-call cycles against the
+//! cycles the library charged itself via span accounting.  The two must
+//! agree: a divergence means the self-accounting spans do not cover (or
+//! over-cover) the real hot paths.
 
 use papi_core::{Papi, Preset, SimSubstrate};
 use simcpu::{all_platforms, platform_by_name, Machine, PlatformSpec};
@@ -78,8 +85,83 @@ fn row(spec: PlatformSpec) {
     );
 }
 
+/// Re-run the read and start+stop loops with papi-obs attached; report the
+/// externally measured averages next to the registry's self-accounted ones.
+fn self_check(spec: PlatformSpec) -> bool {
+    let name = spec.name;
+    let mut m = Machine::new(spec, 1);
+    m.load(papi_workloads::dense_fp(10, 1, 0).program);
+    let mut papi = Papi::init(SimSubstrate::new(m)).unwrap();
+    let obs = papi_obs::Obs::new();
+    papi.attach_obs(obs.clone());
+    let set = papi.create_eventset();
+    papi.add_event(set, Preset::TotCyc.code()).unwrap();
+
+    let n = 200u64;
+
+    papi.start(set).unwrap();
+    let c0 = papi.get_real_cyc();
+    for _ in 0..n {
+        let _ = papi.read(set).unwrap();
+    }
+    let read_measured = (papi.get_real_cyc() - c0) as f64 / n as f64;
+    papi.stop(set).unwrap();
+
+    use papi_obs::Counter as C;
+    let read_accounted = obs.get(C::CyclesInRead) as f64 / obs.get(C::Reads) as f64;
+
+    let c0 = papi.get_real_cyc();
+    for _ in 0..n {
+        papi.start(set).unwrap();
+        papi.stop(set).unwrap();
+    }
+    let ss_measured = (papi.get_real_cyc() - c0) as f64 / n as f64;
+    // Subtract the priming start/stop pair that preceded the timed loop.
+    let pairs = obs.get(C::Starts) - 1;
+    let prime = obs.get(C::CyclesInStartStop) as f64 * 1.0 / obs.get(C::Starts) as f64;
+    let ss_accounted = (obs.get(C::CyclesInStartStop) as f64 - prime) / pairs as f64;
+
+    let pct = |a: f64, b: f64| (a - b).abs() / b.max(1.0) * 100.0;
+    let read_dev = pct(read_accounted, read_measured);
+    let ss_dev = pct(ss_accounted, ss_measured);
+    println!(
+        "{:<12} {:>12.1} {:>12.1} {:>7.2}% {:>14.1} {:>14.1} {:>7.2}%",
+        name, read_measured, read_accounted, read_dev, ss_measured, ss_accounted, ss_dev
+    );
+    // Loop bookkeeping outside the spans is uncosted in the simulator, so
+    // agreement should be essentially exact; 5% leaves margin for the
+    // amortized priming correction.
+    read_dev < 5.0 && ss_dev < 5.0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(|s| s.as_str()) == Some("--self-check") {
+        println!(
+            "{:<12} {:>12} {:>12} {:>8} {:>14} {:>14} {:>8}",
+            "platform", "read meas", "read acct", "dev", "ss meas", "ss acct", "dev"
+        );
+        let specs: Vec<PlatformSpec> = match args.get(1) {
+            Some(name) => match platform_by_name(name) {
+                Some(p) => vec![p],
+                None => {
+                    eprintln!("papi_cost: unknown platform {name}");
+                    std::process::exit(2);
+                }
+            },
+            None => all_platforms(),
+        };
+        let mut ok = true;
+        for p in specs {
+            ok &= self_check(p);
+        }
+        if !ok {
+            eprintln!("papi_cost: self-accounting diverges from measured costs");
+            std::process::exit(1);
+        }
+        println!("\nself-accounted cycles agree with measured micro-costs");
+        return;
+    }
     println!(
         "{:<12} {:>12} {:>14} {:>12} {:>12} {:>12}",
         "platform", "read cyc", "start+stop cyc", "reset cyc", "timer cyc", "read ns"

@@ -2,17 +2,27 @@
 //! and easily collect basic timing and hardware counter data".
 //!
 //! ```text
-//! papirun [--platform NAME] [--workload NAME] [--seed N] EVENT...
+//! papirun [--platform NAME] [--workload NAME] [--seed N]
+//!         [--self-stats] [--self-stats-json] [--overflow EVENT=N] EVENT...
 //! papirun --list
 //! ```
 
-use papi_tools::papirun::papirun;
+use papi_tools::papirun::{papirun_with, RunOptions};
 use papi_workloads as workloads;
 use simcpu::{all_platforms, platform_by_name};
 
 fn usage() -> ! {
-    eprintln!("usage: papirun [--platform NAME] [--workload NAME | --workload-file PROG.json] [--seed N] EVENT...");
+    eprintln!(
+        "usage: papirun [--platform NAME] [--workload NAME | --workload-file PROG.json] [--seed N]"
+    );
+    eprintln!(
+        "               [--self-stats] [--self-stats-json] [--overflow EVENT=THRESHOLD] EVENT..."
+    );
     eprintln!("       papirun --list");
+    eprintln!();
+    eprintln!("  --self-stats       append the library's internal papi-obs counters to the report");
+    eprintln!("  --self-stats-json  print the internal counters as a flat JSON object instead");
+    eprintln!("  --overflow E=N     install a counting overflow handler on event E every N counts");
     eprintln!();
     eprintln!(
         "platforms: {}",
@@ -49,6 +59,9 @@ fn main() {
     let mut workload = "matmul".to_string();
     let mut workload_file: Option<String> = None;
     let mut seed = 42u64;
+    let mut self_stats = false;
+    let mut self_stats_json = false;
+    let mut overflow: Option<(String, u64)> = None;
     let mut events: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -61,6 +74,23 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage())
+            }
+            "--self-stats" => self_stats = true,
+            "--self-stats-json" => {
+                self_stats = true;
+                self_stats_json = true;
+            }
+            "--overflow" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                let Some((ev, thresh)) = spec.split_once('=') else {
+                    eprintln!("papirun: --overflow wants EVENT=THRESHOLD, got {spec}");
+                    usage();
+                };
+                let Ok(thresh) = thresh.parse::<u64>() else {
+                    eprintln!("papirun: bad overflow threshold {thresh}");
+                    usage();
+                };
+                overflow = Some((ev.to_string(), thresh));
             }
             "--list" => {
                 for p in all_platforms() {
@@ -115,8 +145,20 @@ fn main() {
         },
     };
     let names: Vec<&str> = events.iter().map(|s| s.as_str()).collect();
-    match papirun(&spec, &w, &names, seed) {
-        Ok(rep) => print!("{}", rep.render()),
+    let opts = RunOptions {
+        seed,
+        self_stats: self_stats || overflow.is_some(),
+        overflow,
+    };
+    match papirun_with(&spec, &w, &names, &opts) {
+        Ok(rep) => {
+            if self_stats_json {
+                let snap = rep.self_stats.as_ref().expect("self-stats requested");
+                println!("{}", snap.to_json());
+            } else {
+                print!("{}", rep.render());
+            }
+        }
         Err(e) => {
             eprintln!("papirun: {e}");
             std::process::exit(1);

@@ -28,6 +28,6 @@ pub use calibrate::{
 };
 pub use dynaprof::{Dynaprof, DynaprofReport, FuncProfile, ProbeMetric};
 pub use papirun::papirun as run_papirun;
-pub use papirun::RunReport;
+pub use papirun::{papirun_with, RunOptions, RunReport};
 pub use perfometer::{Perfometer, TracePoint};
 pub use tracer::{IntervalRecord, Timeline, Tracer};

@@ -4,12 +4,26 @@
 //!
 //! Give it a platform, a workload and a list of event names; it sets up the
 //! EventSet (falling back to multiplexing when the events conflict), runs
-//! the program and reports counts plus the portable timers.
+//! the program and reports counts plus the portable timers.  With
+//! [`RunOptions::self_stats`] the library's own internal activity (papi-obs
+//! registry) is captured alongside and appended to the report.
 
 use papi_core::{Papi, PapiError, Result, SimSubstrate};
 use papi_workloads::Workload;
 use simcpu::{Machine, PlatformSpec};
 use std::fmt::Write as _;
+
+/// Knobs for [`papirun_with`].
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Machine seed.
+    pub seed: u64,
+    /// Attach a papi-obs context and capture an internal-stats snapshot.
+    pub self_stats: bool,
+    /// Install a (counting) overflow handler: `(event name, threshold)`.
+    /// Implies the run cannot fall back to multiplexing.
+    pub overflow: Option<(String, u64)>,
+}
 
 /// The collected run data.
 #[derive(Debug, Clone)]
@@ -22,6 +36,9 @@ pub struct RunReport {
     /// True when the events did not fit the counters and multiplexing was
     /// used (values are estimates).
     pub multiplexed: bool,
+    /// Internal-stats snapshot, present when requested via
+    /// [`RunOptions::self_stats`].
+    pub self_stats: Option<papi_obs::Snapshot>,
 }
 
 impl RunReport {
@@ -44,6 +61,10 @@ impl RunReport {
         }
         writeln!(out, "  {:<16} {:>16}", "real time us", self.real_us).unwrap();
         writeln!(out, "  {:<16} {:>16}", "virtual time us", self.virt_us).unwrap();
+        if let Some(snap) = &self.self_stats {
+            writeln!(out, "internal counters (papi-obs):").unwrap();
+            out.push_str(&snap.render(false));
+        }
         out
     }
 }
@@ -55,15 +76,44 @@ pub fn papirun(
     event_names: &[&str],
     seed: u64,
 ) -> Result<RunReport> {
-    let mut machine = Machine::new(spec.clone(), seed);
+    papirun_with(
+        spec,
+        workload,
+        event_names,
+        &RunOptions {
+            seed,
+            ..RunOptions::default()
+        },
+    )
+}
+
+/// [`papirun`] with explicit [`RunOptions`].
+pub fn papirun_with(
+    spec: &PlatformSpec,
+    workload: &Workload,
+    event_names: &[&str],
+    opts: &RunOptions,
+) -> Result<RunReport> {
+    let mut machine = Machine::new(spec.clone(), opts.seed);
     machine.load(workload.program.clone());
     let mut papi = Papi::init(SimSubstrate::new(machine))?;
+    let obs = if opts.self_stats {
+        let obs = papi_obs::Obs::new();
+        papi.attach_obs(obs.clone());
+        Some(obs)
+    } else {
+        None
+    };
     let codes: Vec<u32> = event_names
         .iter()
         .map(|n| papi.event_name_to_code(n))
         .collect::<Result<_>>()?;
     let set = papi.create_eventset();
     papi.add_events(set, &codes)?;
+    if let Some((ov_name, threshold)) = &opts.overflow {
+        let code = papi.event_name_to_code(ov_name)?;
+        papi.overflow(set, code, *threshold, Box::new(|_| {}))?;
+    }
     // Try direct counting; on conflict fall back to (explicit) multiplexing.
     let mut multiplexed = false;
     match papi.start(set) {
@@ -88,6 +138,7 @@ pub fn papirun(
         real_us: papi.get_real_usec(),
         virt_us: papi.get_virt_usec(0)?,
         multiplexed,
+        self_stats: obs.map(|o| o.snapshot()),
     })
 }
 
@@ -111,6 +162,9 @@ mod tests {
         assert_eq!(rep.rows[1], ("PAPI_LD_INS".to_string(), 2000));
         assert!(rep.real_us >= rep.virt_us);
         assert!(rep.render().contains("PAPI_FP_OPS"));
+        // Without --self-stats there is no internal section.
+        assert!(rep.self_stats.is_none());
+        assert!(!rep.render().contains("internal counters"));
     }
 
     #[test]
@@ -161,5 +215,63 @@ mod tests {
         )
         .unwrap();
         assert_eq!(rep.rows[0].1, 100);
+    }
+
+    #[test]
+    fn self_stats_on_multiplexed_run() {
+        let rep = papirun_with(
+            &sim_x86(),
+            &dense_fp(200_000, 2, 1),
+            &[
+                "PAPI_FP_OPS",
+                "PAPI_FMA_INS",
+                "PAPI_FDV_INS",
+                "PAPI_TOT_INS",
+            ],
+            &RunOptions {
+                seed: 1,
+                self_stats: true,
+                overflow: None,
+            },
+        )
+        .unwrap();
+        assert!(rep.multiplexed);
+        let snap = rep.self_stats.as_ref().unwrap();
+        assert!(snap.get("mpx", "rotations").unwrap() > 0);
+        assert!(snap.get("eventset", "counter_reads").unwrap() > 0);
+        assert_eq!(snap.get("eventset", "starts"), Some(1));
+        assert_eq!(snap.get("eventset", "stops"), Some(1));
+        // The rendered report carries the same figures.
+        let text = rep.render();
+        assert!(text.contains("internal counters (papi-obs):"));
+        assert!(text.contains("rotations"));
+        // And the JSON snapshot exposes them to scripts.
+        let json = snap.to_json();
+        assert!(json.contains("\"mpx.rotations\":"));
+        assert!(!json.contains("\"mpx.rotations\": 0"));
+    }
+
+    #[test]
+    fn self_stats_with_overflow_handler() {
+        let rep = papirun_with(
+            &sim_generic(),
+            &dense_fp(50_000, 2, 0),
+            &["PAPI_FMA_INS"],
+            &RunOptions {
+                seed: 1,
+                self_stats: true,
+                overflow: Some(("PAPI_FMA_INS".to_string(), 5_000)),
+            },
+        )
+        .unwrap();
+        let snap = rep.self_stats.as_ref().unwrap();
+        assert!(
+            snap.get("overflow", "handler_dispatches").unwrap() > 0,
+            "no overflow dispatches recorded"
+        );
+        assert_eq!(
+            snap.get("overflow", "interrupts"),
+            snap.get("overflow", "handler_dispatches")
+        );
     }
 }

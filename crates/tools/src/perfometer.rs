@@ -27,6 +27,12 @@ pub struct TracePoint {
     pub rate_per_s: f64,
     /// The metric's event name (changes after a metric switch).
     pub metric: String,
+    /// Internal papi-obs counter deltas over this slice (`"subsystem.name"`
+    /// keys, nonzero values only), when the perfometer was given an obs
+    /// context.  Defaults to `None` so traces saved before this field
+    /// existed still load.
+    #[serde(default)]
+    pub self_counters: Option<Vec<(String, u64)>>,
 }
 
 /// The perfometer backend.
@@ -35,6 +41,7 @@ pub struct Perfometer {
     /// Sampling interval in machine cycles.
     pub interval_cycles: u64,
     trace: Vec<TracePoint>,
+    obs: Option<papi_obs::ObsHandle>,
 }
 
 impl Perfometer {
@@ -43,7 +50,16 @@ impl Perfometer {
         Perfometer {
             interval_cycles,
             trace: Vec::new(),
+            obs: None,
         }
+    }
+
+    /// Snapshot `obs` registry deltas alongside each trace point.  Attach
+    /// the same handle to the monitored [`Papi`] context so the deltas
+    /// describe the library activity within each slice.
+    pub fn with_obs(mut self, obs: papi_obs::ObsHandle) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Monitor one metric until the application halts.
@@ -69,17 +85,25 @@ impl Perfometer {
         let mut last_ns = t0;
         let mut last_v = 0i64;
         let mut samples_on_metric = 0usize;
+        let mut last_snap = self.obs.as_ref().map(|o| o.snapshot());
         loop {
             let exit = papi.run_for(self.interval_cycles)?;
             let v = papi.read(set)?[0];
             let now = papi.get_real_ns();
             let dt_ns = now.saturating_sub(last_ns).max(1);
             let delta = v - last_v;
+            let self_counters = self.obs.as_ref().map(|o| {
+                let snap = o.snapshot();
+                let d = snap.delta(last_snap.as_ref().expect("snapshot taken"));
+                last_snap = Some(snap);
+                d.nonzero()
+            });
             self.trace.push(TracePoint {
                 t_us: (now - t0) as f64 / 1000.0,
                 delta,
                 rate_per_s: delta as f64 * 1e9 / dt_ns as f64,
                 metric: name.clone(),
+                self_counters,
             });
             last_ns = now;
             last_v = v;
@@ -209,6 +233,32 @@ mod tests {
         let json = pm.save_json();
         let loaded = Perfometer::load_json(&json).unwrap();
         assert_eq!(loaded, pm.trace());
+    }
+
+    #[test]
+    fn obs_deltas_recorded_per_slice() {
+        let mut papi = papi_with_phased();
+        let obs = papi_obs::Obs::new();
+        papi.attach_obs(obs.clone());
+        let mut pm = Perfometer::new(20_000).with_obs(obs);
+        pm.monitor(&mut papi, Preset::FpOps.code()).unwrap();
+        let trace = pm.trace();
+        assert!(trace.len() > 2);
+        // Every slice carries deltas, and every slice saw its own read.
+        for p in trace {
+            let sc = p.self_counters.as_ref().expect("obs attached");
+            let reads = sc
+                .iter()
+                .find(|(k, _)| k == "eventset.reads")
+                .map(|(_, v)| *v)
+                .unwrap_or(0);
+            assert_eq!(reads, 1, "slice at {} us: {sc:?}", p.t_us);
+        }
+        // Without an obs context the field stays None.
+        let mut papi = papi_with_phased();
+        let mut pm = Perfometer::new(20_000);
+        pm.monitor(&mut papi, Preset::FpOps.code()).unwrap();
+        assert!(pm.trace().iter().all(|p| p.self_counters.is_none()));
     }
 
     #[test]

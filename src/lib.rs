@@ -7,10 +7,13 @@
 //! * [`papi`] (crate `papi-core`) — the portable counter interface.
 //! * [`tools`] (crate `papi-tools`) — dynaprof, perfometer, papirun, calibrate, tracer.
 //! * [`toolkit`] (crate `papi-toolkit`) — TAU/SvPablo-style multi-metric profiling.
+//! * [`obs`] (crate `papi-obs`) — self-instrumentation: internal metrics
+//!   registry, structured event journal, overhead self-accounting.
 //! * [`perfctr`] (crate `perfctr-emu`) — the Linux kernel-patch counter ABI.
 //! * [`workloads`] (crate `papi-workloads`) — synthetic workload generators.
 
 pub use papi_core as papi;
+pub use papi_obs as obs;
 pub use papi_toolkit as toolkit;
 pub use papi_tools as tools;
 pub use papi_workloads as workloads;

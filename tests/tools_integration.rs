@@ -2,9 +2,10 @@
 //! the simulator.
 
 use papi_suite::papi::{Papi, Preset, SimSubstrate};
-use papi_suite::tools::papirun::papirun;
+use papi_suite::tools::papirun::{papirun, papirun_with, RunOptions};
+use papi_suite::tools::tracer::{Timeline, Tracer};
 use papi_suite::tools::{calibrate_all, render_report, Dynaprof, Perfometer, ProbeMetric};
-use papi_suite::workloads::{calibration_suite, matmul, phased, tight_calls};
+use papi_suite::workloads::{calibration_suite, dense_fp, matmul, phased, tight_calls};
 use simcpu::platform::{sim_generic, sim_power3, sim_t3e, sim_x86};
 use simcpu::Machine;
 
@@ -95,4 +96,105 @@ fn probe_overhead_scales_with_call_granularity() {
         coarse < 0.3,
         "coarse-grain instrumentation should be modest: {coarse}"
     );
+}
+
+#[test]
+fn perfometer_json_roundtrip_with_and_without_self_counters() {
+    // With an obs context attached: every slice carries self_counters, and
+    // the full trace (including those deltas) survives the save/load cycle
+    // the paper's "saved for off-line analysis" path implies.
+    let mut m = Machine::new(sim_generic(), 9);
+    m.load(phased(2, 4_000).program);
+    let mut papi = Papi::init(SimSubstrate::new(m)).unwrap();
+    let obs = papi_suite::obs::Obs::new();
+    papi.attach_obs(obs.clone());
+    let mut pm = Perfometer::new(25_000).with_obs(obs);
+    pm.monitor(&mut papi, Preset::FpOps.code()).unwrap();
+    assert!(pm.trace().len() > 3);
+    assert!(pm.trace().iter().all(|p| p.self_counters.is_some()));
+    let loaded = Perfometer::load_json(&pm.save_json()).unwrap();
+    assert_eq!(loaded, pm.trace());
+
+    // Without obs the field is None, and that also roundtrips.
+    let mut m = Machine::new(sim_generic(), 9);
+    m.load(phased(2, 4_000).program);
+    let mut papi = Papi::init(SimSubstrate::new(m)).unwrap();
+    let mut pm = Perfometer::new(25_000);
+    pm.monitor(&mut papi, Preset::FpOps.code()).unwrap();
+    let loaded = Perfometer::load_json(&pm.save_json()).unwrap();
+    assert_eq!(loaded, pm.trace());
+    assert!(loaded.iter().all(|p| p.self_counters.is_none()));
+
+    // Traces saved before the self_counters field existed still load.
+    let legacy = r#"[{"t_us": 10.0, "delta": 5, "rate_per_s": 500000.0,
+                     "metric": "PAPI_FP_OPS"}]"#;
+    let loaded = Perfometer::load_json(legacy).unwrap();
+    assert_eq!(loaded.len(), 1);
+    assert!(loaded[0].self_counters.is_none());
+}
+
+#[test]
+fn tracer_timeline_json_roundtrip_and_obs_merge() {
+    let mut m = Machine::new(sim_x86(), 3);
+    m.load(dense_fp(60_000, 4, 0).program);
+    let mut papi = Papi::init(SimSubstrate::new(m)).unwrap();
+    let obs = papi_suite::obs::Obs::new();
+    obs.enable_journal(2_048);
+    papi.attach_obs(obs.clone());
+    let tl = Tracer::new(10_000)
+        .trace(&mut papi, &[Preset::FpOps.code(), Preset::TotIns.code()])
+        .unwrap();
+
+    // The obs journal converts onto the same grid and merges column-wise
+    // with the application timeline (the §3 Vampir-correlation shape).
+    let span_us = tl.intervals.last().unwrap().t_end_us;
+    let n = tl.intervals.len();
+    let obs_tl = papi_suite::toolkit::journal_to_timeline(
+        &obs.journal_records(),
+        1000, // sim-x86 runs at 1000 MHz
+        span_us / n as f64,
+        Some(span_us),
+    );
+    let merged = tl.merge(&obs_tl).expect("same interval grid");
+    assert_eq!(merged.intervals.len(), n);
+    let reads_col = merged.events.iter().position(|e| e == "obs.read").unwrap();
+    let total_reads: i64 = merged.intervals.iter().map(|iv| iv.deltas[reads_col]).sum();
+    assert_eq!(total_reads as u64, obs.get(papi_suite::obs::Counter::Reads));
+
+    // JSON export/import reproduces both timelines exactly.
+    assert_eq!(Timeline::from_json(&tl.to_json()).unwrap(), tl);
+    assert_eq!(Timeline::from_json(&merged.to_json()).unwrap(), merged);
+}
+
+#[test]
+fn papirun_self_stats_multiplexed_snapshot() {
+    // Five events on two counters forces multiplexing; --self-stats must
+    // surface nonzero reads and rotation counts, both in the rendered report
+    // and in the JSON snapshot export.
+    let rep = papirun_with(
+        &sim_x86(),
+        &dense_fp(150_000, 4, 1),
+        &[
+            "PAPI_FP_OPS",
+            "PAPI_TOT_INS",
+            "PAPI_LD_INS",
+            "PAPI_SR_INS",
+            "PAPI_BR_INS",
+        ],
+        &RunOptions {
+            seed: 5,
+            self_stats: true,
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(rep.multiplexed);
+    let snap = rep.self_stats.as_ref().expect("self-stats requested");
+    assert!(snap.get("mpx", "rotations").unwrap() > 0);
+    assert!(snap.get("eventset", "counter_reads").unwrap() > 0);
+    assert_eq!(snap.get("eventset", "starts"), Some(1));
+    assert!(rep.render().contains("internal counters (papi-obs):"));
+    let json = snap.to_json();
+    let rotations = snap.get("mpx", "rotations").unwrap();
+    assert!(json.contains(&format!("\"mpx.rotations\": {rotations}")));
 }
