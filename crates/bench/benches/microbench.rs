@@ -72,6 +72,43 @@ fn bench_preset_table(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_dispatch(c: &mut Criterion) {
+    // Static monomorphized session vs the registry's boxed `dyn Substrate`
+    // session on the read/accum hot path (acceptance: boxed read within 5%).
+    let mut g = c.benchmark_group("dispatch");
+    let mut m = Machine::new(platform::sim_x86(), 1);
+    m.load(dense_fp(10, 1, 0).program);
+    let mut stat = Papi::init(SimSubstrate::new(m)).unwrap();
+    let set_s = stat.create_eventset();
+    stat.add_event(set_s, Preset::TotCyc.code()).unwrap();
+    stat.start(set_s).unwrap();
+    let mut boxed = papi_bench::papi_named("sim:x86", dense_fp(10, 1, 0).program, 1);
+    let set_b = boxed.create_eventset();
+    boxed.add_event(set_b, Preset::TotCyc.code()).unwrap();
+    boxed.start(set_b).unwrap();
+    g.bench_function("read_static", |b| {
+        b.iter(|| black_box(stat.read(set_s).unwrap()))
+    });
+    g.bench_function("read_boxed", |b| {
+        b.iter(|| black_box(boxed.read(set_b).unwrap()))
+    });
+    let mut acc_s = [0i64; 1];
+    g.bench_function("accum_static", |b| {
+        b.iter(|| {
+            stat.accum(set_s, &mut acc_s).unwrap();
+            black_box(acc_s[0])
+        })
+    });
+    let mut acc_b = [0i64; 1];
+    g.bench_function("accum_boxed", |b| {
+        b.iter(|| {
+            boxed.accum(set_b, &mut acc_b).unwrap();
+            black_box(acc_b[0])
+        })
+    });
+    g.finish();
+}
+
 fn bench_eventset_start_stop(c: &mut Criterion) {
     let mut g = c.benchmark_group("eventset_start_stop");
     let mut m = Machine::new(platform::sim_x86(), 1);
@@ -92,6 +129,6 @@ fn bench_eventset_start_stop(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_sim_throughput, bench_counter_read, bench_allocation, bench_preset_table, bench_eventset_start_stop
+    targets = bench_sim_throughput, bench_counter_read, bench_allocation, bench_preset_table, bench_dispatch, bench_eventset_start_stop
 }
 criterion_main!(benches);

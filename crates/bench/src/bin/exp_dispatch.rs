@@ -1,0 +1,112 @@
+//! E-dispatch: cost of dynamic substrate dispatch on the hot path.
+//!
+//! The registry refactor lets tools hold their backend behind
+//! `Box<dyn Substrate>` (selected by `--substrate NAME`); sessions embedded
+//! in user code keep static dispatch. This harness measures what the boxed
+//! indirection costs on the two hottest calls, `read` and `accum`, by
+//! timing identical loops over a monomorphized `Papi<SimSubstrate>` and a
+//! registry-created `Papi<BoxSubstrate>` on the same platform.
+//!
+//! Acceptance (ISSUE 2): boxed `read` within 5% of static.
+//!
+//! ```text
+//! exp_dispatch [--iters N] [--substrate NAME]
+//! ```
+//!
+//! `--iters 1` is the CI smoke mode: it exercises both paths end-to-end
+//! without asserting on timing noise.
+
+use papi_bench::{banner, papi_named, papi_on};
+use papi_core::{Papi, Preset, Substrate};
+use papi_workloads::dense_fp;
+use simcpu::platform::sim_x86;
+use std::time::Instant;
+
+fn time_read<S: Substrate>(papi: &mut Papi<S>, set: usize, iters: u64) -> f64 {
+    let t0 = Instant::now();
+    let mut sink = 0i64;
+    for _ in 0..iters {
+        sink = sink.wrapping_add(papi.read(set).unwrap()[0]);
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    std::hint::black_box(sink);
+    ns
+}
+
+fn time_accum<S: Substrate>(papi: &mut Papi<S>, set: usize, iters: u64) -> f64 {
+    let mut acc = [0i64; 1];
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        papi.accum(set, &mut acc).unwrap();
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    std::hint::black_box(acc[0]);
+    ns
+}
+
+fn prepared<S: Substrate>(papi: &mut Papi<S>) -> usize {
+    let set = papi.create_eventset();
+    papi.add_event(set, Preset::TotCyc.code()).unwrap();
+    papi.start(set).unwrap();
+    set
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iters = 1_000_000u64;
+    let mut substrate = "sim:x86".to_string();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--iters" => iters = it.next().and_then(|s| s.parse().ok()).expect("--iters N"),
+            "--substrate" => substrate = it.next().expect("--substrate NAME"),
+            _ => {
+                eprintln!("usage: exp_dispatch [--iters N] [--substrate NAME]");
+                std::process::exit(2);
+            }
+        }
+    }
+    banner(
+        "E-dispatch",
+        "static Papi<SimSubstrate> vs registry Box<dyn Substrate>: read/accum call cost",
+    );
+
+    let mut stat = papi_on(sim_x86(), dense_fp(10, 1, 0).program, 1);
+    let set_s = prepared(&mut stat);
+    let mut boxed = papi_named(&substrate, dense_fp(10, 1, 0).program, 1);
+    let set_b = prepared(&mut boxed);
+
+    // Warm both paths before timing (page-in, branch predictors).
+    let warm = (iters / 10).max(1);
+    time_read(&mut stat, set_s, warm);
+    time_read(&mut boxed, set_b, warm);
+
+    let read_s = time_read(&mut stat, set_s, iters);
+    let read_b = time_read(&mut boxed, set_b, iters);
+    let accum_s = time_accum(&mut stat, set_s, iters);
+    let accum_b = time_accum(&mut boxed, set_b, iters);
+
+    let delta = |s: f64, b: f64| (b - s) / s * 100.0;
+    println!("iters per loop : {iters}");
+    println!("dyn substrate  : {substrate}");
+    println!(
+        "read   static {read_s:>8.1} ns   boxed {read_b:>8.1} ns   delta {:>+6.2}%",
+        delta(read_s, read_b)
+    );
+    println!(
+        "accum  static {accum_s:>8.1} ns   boxed {accum_b:>8.1} ns   delta {:>+6.2}%",
+        delta(accum_s, accum_b)
+    );
+    if iters > 1 {
+        println!(
+            "\nacceptance (<5% on read): {}",
+            if delta(read_s, read_b) < 5.0 {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+        );
+    } else {
+        println!("\n(smoke mode: both dispatch paths exercised, timing not meaningful)");
+    }
+}

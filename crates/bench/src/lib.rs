@@ -4,7 +4,7 @@
 //! see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for recorded
 //! outputs.
 
-use papi_core::{Papi, SimSubstrate};
+use papi_core::{BoxSubstrate, Papi, SimSubstrate, Substrate};
 use simcpu::{Machine, PlatformSpec, Program};
 
 /// Build a library handle over a machine running `program` on `spec`.
@@ -12,6 +12,16 @@ pub fn papi_on(spec: PlatformSpec, program: Program, seed: u64) -> Papi<SimSubst
     let mut m = Machine::new(spec, seed);
     m.load(program);
     Papi::init(SimSubstrate::new(m)).expect("init")
+}
+
+/// The by-name counterpart of [`papi_on`]: open a session on a
+/// registry-selected substrate (`sim:x86`, `perfctr`, ...) with `program`
+/// loaded. The session holds the backend behind `dyn Substrate`.
+pub fn papi_named(substrate: &str, program: Program, seed: u64) -> Papi<BoxSubstrate> {
+    let reg = papi_tools::full_registry();
+    let mut papi = Papi::init_from_registry(&reg, substrate, seed).expect("substrate");
+    papi.substrate_mut().load_program(program).expect("load");
+    papi
 }
 
 /// Uninstrumented cycle cost of a program on a platform (the baseline for

@@ -13,8 +13,7 @@
 //! Safety: the C entry points take raw pointers; each documents and checks
 //! its contract (null pointers are rejected with `PAPI_EINVAL`).
 
-use papi_core::{Papi, PapiError, Preset, SimSubstrate};
-use simcpu::{platform_by_name, Machine};
+use papi_core::{BoxSubstrate, Papi, PapiError, Preset, Substrate, SubstrateRegistry};
 use std::ffi::{c_char, c_int, c_longlong, c_uint, CStr};
 use std::sync::Mutex;
 
@@ -55,8 +54,10 @@ fn errno(e: &PapiError) -> c_int {
     }
 }
 
+// The C library's global session holds its substrate behind dynamic
+// dispatch: `PAPIx_init_platform` picks any registry backend by name.
 struct Session {
-    papi: Papi<SimSubstrate>,
+    papi: Papi<BoxSubstrate>,
 }
 
 static SESSION: Mutex<Option<Session>> = Mutex::new(None);
@@ -88,11 +89,9 @@ pub extern "C" fn PAPI_library_init(version: c_int) -> c_int {
 }
 
 fn init_platform(name: &str) -> c_int {
-    let Some(spec) = platform_by_name(name) else {
-        return PAPI_ESBSTR;
-    };
-    let machine = Machine::new(spec, 42);
-    match Papi::init(SimSubstrate::new(machine)) {
+    let mut reg = SubstrateRegistry::with_builtin();
+    perfctr_emu::register_substrates(&mut reg);
+    match Papi::init_from_registry(&reg, name, 42) {
         Ok(p) => {
             *SESSION.lock().unwrap() = Some(Session { papi: p });
             PAPI_VER_CURRENT
@@ -101,7 +100,9 @@ fn init_platform(name: &str) -> c_int {
     }
 }
 
-/// Extension: initialize on a named simulated platform.
+/// Extension: initialize on a named substrate — any simulated platform
+/// (`sim:x86`, or the legacy `sim-x86` spelling) or the `perfctr`
+/// kernel-patch emulation.
 ///
 /// # Safety
 /// `name` must be a valid NUL-terminated C string.
@@ -137,9 +138,9 @@ pub unsafe extern "C" fn PAPIx_load_workload(name: *const c_char) -> c_int {
         "cg" => papi_workloads::cg_like(256, 8, 4).program,
         _ => return PAPI_EINVAL,
     };
-    with_session(|s| {
-        s.papi.substrate_mut().machine_mut().load(program.clone());
-        PAPI_OK
+    with_session(|s| match s.papi.substrate_mut().load_program(program.clone()) {
+        Ok(()) => PAPI_OK,
+        Err(e) => errno(&e),
     })
 }
 
@@ -570,6 +571,40 @@ mod tests {
         }
         PAPI_shutdown();
         assert_eq!(PAPI_is_initialized(), 0);
+    }
+
+    #[test]
+    fn c_api_init_on_named_substrates() {
+        let _g = TEST_LOCK.lock().unwrap();
+        unsafe {
+            // Registry spelling, legacy spelling, and the perfctr backend
+            // all initialize; unknown names map to PAPI_ESBSTR.
+            for name in ["sim:power3", "sim-power3", "perfctr"] {
+                assert_eq!(
+                    PAPIx_init_platform(cstr(name).as_ptr()),
+                    PAPI_VER_CURRENT,
+                    "{name}"
+                );
+            }
+            assert_eq!(PAPIx_init_platform(cstr("sim-vax").as_ptr()), PAPI_ESBSTR);
+            // The perfctr session counts like any other.
+            assert_eq!(PAPIx_init_platform(cstr("perfctr").as_ptr()), PAPI_VER_CURRENT);
+            assert_eq!(PAPIx_load_workload(cstr("matmul").as_ptr()), PAPI_OK);
+            let mut es: c_int = -1;
+            assert_eq!(PAPI_create_eventset(&mut es), PAPI_OK);
+            let mut code: c_uint = 0;
+            assert_eq!(
+                PAPI_event_name_to_code(cstr("PAPI_FP_OPS").as_ptr(), &mut code),
+                PAPI_OK
+            );
+            assert_eq!(PAPI_add_event(es, code), PAPI_OK);
+            assert_eq!(PAPI_start(es), PAPI_OK);
+            assert_eq!(PAPIx_run_app(), PAPI_OK);
+            let mut values: [c_longlong; 1] = [0];
+            assert_eq!(PAPI_stop(es, values.as_mut_ptr()), PAPI_OK);
+            assert_eq!(values[0], 2 * 24i64.pow(3));
+        }
+        PAPI_shutdown();
     }
 
     #[test]

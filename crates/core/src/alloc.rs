@@ -1,177 +1,178 @@
-//! Counter allocation — the bipartite graph matching problem of §5.
+//! Counter allocation — the PAPI-3 split of §5.
 //!
-//! "The counter allocation problem may be cast in terms of the bipartite
-//! graph matching problem": event vertices on one side, physical counters on
-//! the other, an edge where the event's constraint mask allows that counter.
+//! Following the paper's PAPI-3 design, allocation is split into two halves:
 //!
-//! Following the paper's PAPI-3 design, the solver here is
-//! hardware-independent — it sees only bitmasks — and the hardware-dependent
-//! part (translating a platform's constraint scheme into masks, or handling
-//! POWER-style groups) lives with the platform description.
+//! * a **hardware-independent solver** ([`solver`]) — bipartite matching
+//!   over abstract constraint rows (bitmasks), knowing nothing about the
+//!   platform, and
+//! * a **hardware-dependent translation** ([`AllocTranslation`]) — each
+//!   substrate describes how its constraint scheme (per-event counter masks,
+//!   or POWER-style fixed groups) maps onto solver rows via
+//!   [`crate::Substrate::alloc_model`].
 //!
-//! Provided algorithms:
-//! * [`optimal_assign`] — complete matching via augmenting paths (optimal:
-//!   finds an assignment whenever one exists; this is the "optimal matching
-//!   algorithm … included in version 2.3 of PAPI"),
-//! * [`max_cardinality_assign`] — maximum-cardinality variant for "map as
-//!   many as possible",
-//! * [`max_weight_assign`] — maximum-weight variant for prioritized events
-//!   (greedy over a transversal matroid, which is exact),
-//! * [`greedy_first_fit`] — the naive baseline the paper's algorithm
-//!   replaced, kept for the ablation experiment,
-//! * [`allocate_in_group`] — group-constrained allocation.
+//! The portable layer never special-cases group platforms: it asks the
+//! substrate for candidate [`ConstraintSet`]s and hands each to the solver
+//! until one admits a complete matching. Group semantics (all events must
+//! co-reside in one group; the assignment is the event's slot within it) are
+//! encoded entirely by [`GroupModel`]'s translation into single-bit rows.
 
 use simcpu::platform::GroupDef;
+use simcpu::NativeEventDesc;
 
-/// Search-effort statistics for one allocation solve, reported to the
-/// self-instrumentation layer.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct AllocStats {
-    /// Augmenting-path probe calls (each call examines one event vertex).
-    pub augment_steps: u64,
-    /// Events displaced from a counter and re-placed along an alternating
-    /// path — the matcher's backtracking effort.
-    pub backtracks: u64,
+pub mod solver;
+
+pub use solver::{
+    greedy_first_fit, max_cardinality_assign, max_weight_assign, optimal_assign,
+    optimal_assign_stats, AllocStats,
+};
+
+/// One candidate allocation instance in the solver's abstract vocabulary:
+/// `rows[i]` is the bitmask of counters event `i` may occupy among
+/// `num_counters` slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstraintSet {
+    /// Per-event allowed-counter bitmask, parallel to the requested codes.
+    pub rows: Vec<u32>,
+    /// Number of counter slots in this candidate.
+    pub num_counters: usize,
+    /// Hardware tag for the candidate (the group id on group platforms).
+    pub tag: Option<u32>,
 }
 
-/// Try to extend the matching with an augmenting path from event `ev`.
+/// The hardware-dependent half of the PAPI-3 allocation split: translate a
+/// request for native event codes into solver instances.
 ///
-/// `owner[c]` is the event currently holding counter `c` (or `usize::MAX`).
-fn augment(
-    masks: &[u32],
-    ev: usize,
-    owner: &mut [usize],
-    visited: &mut [bool],
-    stats: &mut AllocStats,
-) -> bool {
-    stats.augment_steps += 1;
-    for c in 0..owner.len() {
-        if masks[ev] & (1 << c) == 0 || visited[c] {
-            continue;
+/// Candidates are tried in order; the first one the solver can satisfy
+/// wins. Mask platforms produce exactly one candidate; group platforms
+/// produce one per group containing every requested event.
+pub trait AllocTranslation {
+    fn translate(&self, codes: &[u32], natives: &[NativeEventDesc]) -> Vec<ConstraintSet>;
+}
+
+/// Translation for platforms with per-event counter masks (x86 style).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskModel {
+    pub num_counters: usize,
+}
+
+impl AllocTranslation for MaskModel {
+    fn translate(&self, codes: &[u32], natives: &[NativeEventDesc]) -> Vec<ConstraintSet> {
+        let rows = codes
+            .iter()
+            .map(|&c| {
+                natives
+                    .iter()
+                    .find(|e| e.code == c)
+                    .map(|e| e.counter_mask)
+                    .unwrap_or(0)
+            })
+            .collect();
+        vec![ConstraintSet {
+            rows,
+            num_counters: self.num_counters,
+            tag: None,
+        }]
+    }
+}
+
+/// Translation for group-allocated platforms (POWER style): the requested
+/// events must all appear in a single group, and each event's only legal
+/// "counter" is its slot within that group — a single-bit solver row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupModel {
+    pub groups: Vec<GroupDef>,
+}
+
+impl AllocTranslation for GroupModel {
+    fn translate(&self, codes: &[u32], _natives: &[NativeEventDesc]) -> Vec<ConstraintSet> {
+        let mut out = Vec::new();
+        'groups: for g in &self.groups {
+            if g.events.len() > 32 {
+                continue; // slots beyond a u32 row cannot be expressed
+            }
+            let mut rows = Vec::with_capacity(codes.len());
+            for code in codes {
+                match g.events.iter().position(|e| e == code) {
+                    Some(pos) => rows.push(1u32 << pos),
+                    None => continue 'groups,
+                }
+            }
+            out.push(ConstraintSet {
+                rows,
+                num_counters: g.events.len(),
+                tag: Some(g.id),
+            });
         }
-        visited[c] = true;
-        if owner[c] == usize::MAX {
-            owner[c] = ev;
-            return true;
-        }
-        let displaced = owner[c];
-        // Try to re-place the current holder along an alternating path.
-        if augment(masks, displaced, owner, visited, stats) {
-            stats.backtracks += 1;
-            owner[c] = ev;
-            return true;
+        out
+    }
+}
+
+/// The two built-in translation schemes, constructible straight from a
+/// platform description. Substrates with exotic constraint languages can
+/// implement [`AllocTranslation`] directly instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocModel {
+    Masks(MaskModel),
+    Groups(GroupModel),
+}
+
+impl AllocModel {
+    /// Mask-based when `groups` is empty, group-based otherwise — the same
+    /// dichotomy `PlatformSpec` expresses.
+    pub fn for_platform(num_counters: usize, groups: &[GroupDef]) -> AllocModel {
+        if groups.is_empty() {
+            AllocModel::Masks(MaskModel { num_counters })
+        } else {
+            AllocModel::Groups(GroupModel {
+                groups: groups.to_vec(),
+            })
         }
     }
-    false
 }
 
-fn owners_to_assign(owner: &[usize], n_events: usize) -> Vec<Option<usize>> {
-    let mut assign = vec![None; n_events];
-    for (c, &e) in owner.iter().enumerate() {
-        if e != usize::MAX {
-            assign[e] = Some(c);
+impl AllocTranslation for AllocModel {
+    fn translate(&self, codes: &[u32], natives: &[NativeEventDesc]) -> Vec<ConstraintSet> {
+        match self {
+            AllocModel::Masks(m) => m.translate(codes, natives),
+            AllocModel::Groups(g) => g.translate(codes, natives),
         }
     }
-    assign
 }
 
-/// Find a *complete* assignment of every event to a distinct allowed
-/// counter, or `None` if no such assignment exists. Optimal in the sense
-/// that it fails only when the constraint graph admits no perfect matching
-/// on the event side (Hall's condition violated).
-///
-/// ```
-/// use papi_core::alloc::{optimal_assign, greedy_first_fit};
-/// // Event 0 may go on counters {0,1}; event 1 only on {0}.
-/// let masks = [0b11, 0b01];
-/// assert_eq!(greedy_first_fit(&masks, 2), None);        // first-fit strands event 1
-/// assert_eq!(optimal_assign(&masks, 2), Some(vec![1, 0])); // the matcher re-routes
-/// ```
-pub fn optimal_assign(masks: &[u32], num_counters: usize) -> Option<Vec<usize>> {
-    optimal_assign_stats(masks, num_counters, &mut AllocStats::default())
-}
-
-/// [`optimal_assign`] with search-effort accounting: augmenting-path probes
-/// and displacements are accumulated into `stats` regardless of outcome.
-pub fn optimal_assign_stats(
-    masks: &[u32],
-    num_counters: usize,
+/// The machine-independent allocation driver: translate, then solve each
+/// candidate in order until one matches. Search effort across all candidates
+/// accumulates into `stats`.
+pub fn allocate_with(
+    model: &dyn AllocTranslation,
+    codes: &[u32],
+    natives: &[NativeEventDesc],
     stats: &mut AllocStats,
 ) -> Option<Vec<usize>> {
-    if masks.len() > num_counters {
-        return None;
-    }
-    let mut owner = vec![usize::MAX; num_counters];
-    for ev in 0..masks.len() {
-        let mut visited = vec![false; num_counters];
-        if !augment(masks, ev, &mut owner, &mut visited, stats) {
-            return None;
+    for cand in model.translate(codes, natives) {
+        if let Some(assign) = solver::optimal_assign_stats(&cand.rows, cand.num_counters, stats) {
+            return Some(assign);
         }
     }
-    Some(
-        owners_to_assign(&owner, masks.len())
-            .into_iter()
-            .map(|o| o.unwrap())
-            .collect(),
-    )
+    None
 }
 
-/// Assign as many events as possible; unmatched events get `None`.
-/// The number of `Some`s is the maximum cardinality matching.
-pub fn max_cardinality_assign(masks: &[u32], num_counters: usize) -> Vec<Option<usize>> {
-    let mut stats = AllocStats::default();
-    let mut owner = vec![usize::MAX; num_counters];
-    for ev in 0..masks.len() {
-        let mut visited = vec![false; num_counters];
-        augment(masks, ev, &mut owner, &mut visited, &mut stats);
-    }
-    owners_to_assign(&owner, masks.len())
-}
-
-/// Maximum-weight matching: higher-weight events win when not all fit.
-///
-/// Greedy insertion in descending weight order with augmenting paths is
-/// exact for matchable sets (they form a transversal matroid).
-pub fn max_weight_assign(
-    masks: &[u32],
-    weights: &[u64],
-    num_counters: usize,
-) -> Vec<Option<usize>> {
-    assert_eq!(masks.len(), weights.len());
-    let mut order: Vec<usize> = (0..masks.len()).collect();
-    order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
-    let mut stats = AllocStats::default();
-    let mut owner = vec![usize::MAX; num_counters];
-    for &ev in &order {
-        let mut visited = vec![false; num_counters];
-        augment(masks, ev, &mut owner, &mut visited, &mut stats);
-    }
-    owners_to_assign(&owner, masks.len())
-}
-
-/// The naive baseline: place each event on its lowest-numbered free allowed
-/// counter, never revisiting earlier placements. Fails on instances the
-/// optimal algorithm solves (the motivation for PAPI 2.3's matcher).
-pub fn greedy_first_fit(masks: &[u32], num_counters: usize) -> Option<Vec<usize>> {
-    let mut used = vec![false; num_counters];
-    let mut assign = Vec::with_capacity(masks.len());
-    for &m in masks {
-        let mut placed = None;
-        for (c, slot) in used.iter_mut().enumerate() {
-            if m & (1 << c) != 0 && !*slot {
-                *slot = true;
-                placed = Some(c);
-                break;
-            }
-        }
-        assign.push(placed?);
-    }
-    Some(assign)
+/// Is `codes` allocatable under `model` at all? (Used by preset-table
+/// construction and multiplex partitioning, which probe many candidates.)
+pub fn is_allocatable(
+    model: &dyn AllocTranslation,
+    codes: &[u32],
+    natives: &[NativeEventDesc],
+) -> bool {
+    allocate_with(model, codes, natives, &mut AllocStats::default()).is_some()
 }
 
 /// Group-constrained allocation (POWER style): the requested native codes
 /// must all appear in a single group; the assignment is the event's position
 /// within that group. Returns `(group id, counter per requested code)`.
+///
+/// This is the pre-split reference implementation; the live path goes
+/// through [`GroupModel`] + the solver. Kept public for the equivalence
+/// property tests and the ablation experiments.
 pub fn allocate_in_group(codes: &[u32], groups: &[GroupDef]) -> Option<(u32, Vec<usize>)> {
     'groups: for g in groups {
         let mut assign = Vec::with_capacity(codes.len());
@@ -189,89 +190,10 @@ pub fn allocate_in_group(codes: &[u32], groups: &[GroupDef]) -> Option<(u32, Vec
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simcpu::platform::{sim_power3, sim_x86};
 
-    #[test]
-    fn trivial_full_assignment() {
-        let masks = vec![0b1111, 0b1111, 0b1111, 0b1111];
-        let a = optimal_assign(&masks, 4).unwrap();
-        let mut s = a.clone();
-        s.sort_unstable();
-        assert_eq!(s, vec![0, 1, 2, 3]);
-    }
-
-    #[test]
-    fn too_many_events_fails() {
-        assert!(optimal_assign(&[0b11, 0b11, 0b11], 2).is_none());
-    }
-
-    #[test]
-    fn optimal_beats_greedy_on_crossing_constraints() {
-        // Event 0 may use counters {0,1}; event 1 only {0}.
-        // Greedy places 0 on counter 0 and then fails on event 1;
-        // optimal re-routes event 0 to counter 1.
-        let masks = vec![0b011, 0b001];
-        assert!(greedy_first_fit(&masks, 3).is_none());
-        let a = optimal_assign(&masks, 3).unwrap();
-        assert_eq!(a, vec![1, 0]);
-    }
-
-    #[test]
-    fn respects_masks() {
-        let masks = vec![0b100, 0b010, 0b001];
-        let a = optimal_assign(&masks, 3).unwrap();
-        assert_eq!(a, vec![2, 1, 0]);
-    }
-
-    #[test]
-    fn infeasible_by_hall_violation() {
-        // Three events all constrained to the same two counters.
-        let masks = vec![0b011, 0b011, 0b011];
-        assert!(optimal_assign(&masks, 3).is_none());
-        let mc = max_cardinality_assign(&masks, 3);
-        assert_eq!(mc.iter().filter(|o| o.is_some()).count(), 2);
-    }
-
-    #[test]
-    fn max_cardinality_on_feasible_matches_all() {
-        let masks = vec![0b011, 0b001, 0b110];
-        let mc = max_cardinality_assign(&masks, 3);
-        assert!(mc.iter().all(|o| o.is_some()));
-        // Distinct counters.
-        let mut cs: Vec<usize> = mc.iter().map(|o| o.unwrap()).collect();
-        cs.sort_unstable();
-        cs.dedup();
-        assert_eq!(cs.len(), 3);
-    }
-
-    #[test]
-    fn max_weight_prefers_heavy_events() {
-        // Two events want the only counter; the heavy one must win.
-        let masks = vec![0b001, 0b001];
-        let w = vec![1, 100];
-        let a = max_weight_assign(&masks, &w, 1);
-        assert_eq!(a[0], None);
-        assert_eq!(a[1], Some(0));
-    }
-
-    #[test]
-    fn max_weight_reroutes_to_keep_both() {
-        // Heavy event is flexible; light event is constrained. Both fit.
-        let masks = vec![0b011, 0b001];
-        let w = vec![100, 1];
-        let a = max_weight_assign(&masks, &w, 2);
-        assert_eq!(a[0], Some(1));
-        assert_eq!(a[1], Some(0));
-    }
-
-    #[test]
-    fn greedy_succeeds_on_easy_instance() {
-        let masks = vec![0b01, 0b10];
-        assert_eq!(greedy_first_fit(&masks, 2), Some(vec![0, 1]));
-    }
-
-    #[test]
-    fn group_allocation_finds_containing_group() {
-        let groups = vec![
+    fn groups_fixture() -> Vec<GroupDef> {
+        vec![
             GroupDef {
                 id: 0,
                 name: "g0",
@@ -282,7 +204,12 @@ mod tests {
                 name: "g1",
                 events: vec![10, 13, 14, 15],
             },
-        ];
+        ]
+    }
+
+    #[test]
+    fn group_allocation_finds_containing_group() {
+        let groups = groups_fixture();
         let (g, assign) = allocate_in_group(&[13, 10], &groups).unwrap();
         assert_eq!(g, 1);
         assert_eq!(assign, vec![1, 0]);
@@ -291,69 +218,110 @@ mod tests {
     }
 
     #[test]
-    fn stats_count_probes_and_backtracks() {
-        // Crossing constraints: placing event 1 must displace event 0.
-        let masks = vec![0b011, 0b001];
+    fn group_model_translation_matches_reference_impl() {
+        let groups = groups_fixture();
+        let model = GroupModel {
+            groups: groups.clone(),
+        };
+        for codes in [
+            vec![13u32, 10],
+            vec![10, 11, 12],
+            vec![11, 13],
+            vec![99],
+            vec![15, 14, 13, 10],
+        ] {
+            let reference = allocate_in_group(&codes, &groups).map(|(_, a)| a);
+            let split = allocate_with(&model, &codes, &[], &mut AllocStats::default());
+            assert_eq!(split, reference, "codes {codes:?}");
+        }
+    }
+
+    #[test]
+    fn group_model_candidates_carry_group_tags_in_order() {
+        let model = GroupModel {
+            groups: groups_fixture(),
+        };
+        let cands = model.translate(&[10], &[]);
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands[0].tag, Some(0));
+        assert_eq!(cands[1].tag, Some(1));
+        // Single-bit rows: slot position in the group.
+        assert_eq!(cands[0].rows, vec![0b001]);
+        assert_eq!(cands[0].num_counters, 3);
+        assert_eq!(cands[1].num_counters, 4);
+    }
+
+    #[test]
+    fn mask_model_matches_direct_solver_call() {
+        let spec = sim_x86();
+        let model = MaskModel {
+            num_counters: spec.num_counters,
+        };
+        let codes: Vec<u32> = spec.events.iter().take(3).map(|e| e.code).collect();
+        let masks: Vec<u32> = spec.events.iter().take(3).map(|e| e.counter_mask).collect();
+        let direct = optimal_assign(&masks, spec.num_counters);
+        let via_model = allocate_with(&model, &codes, &spec.events, &mut AllocStats::default());
+        assert_eq!(via_model, direct);
+    }
+
+    #[test]
+    fn unknown_code_yields_empty_mask_row_and_fails() {
+        let spec = sim_x86();
+        let model = MaskModel {
+            num_counters: spec.num_counters,
+        };
+        assert!(allocate_with(
+            &model,
+            &[0x4fff_ffff],
+            &spec.events,
+            &mut AllocStats::default()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn for_platform_picks_scheme_from_groups() {
+        let x86 = sim_x86();
+        assert!(matches!(
+            AllocModel::for_platform(x86.num_counters, &x86.groups),
+            AllocModel::Masks(_)
+        ));
+        let p3 = sim_power3();
+        assert!(matches!(
+            AllocModel::for_platform(p3.num_counters, &p3.groups),
+            AllocModel::Groups(_)
+        ));
+    }
+
+    #[test]
+    fn power3_real_groups_equivalence() {
+        // On the real POWER3 description, the split path and the reference
+        // group matcher agree for every pair of native events.
+        let spec = sim_power3();
+        let model = AllocModel::for_platform(spec.num_counters, &spec.groups);
+        for a in &spec.events {
+            for b in &spec.events {
+                if a.code == b.code {
+                    continue;
+                }
+                let codes = [a.code, b.code];
+                let reference = allocate_in_group(&codes, &spec.groups).map(|(_, x)| x);
+                let split = allocate_with(&model, &codes, &spec.events, &mut AllocStats::default());
+                assert_eq!(split, reference, "{} + {}", a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn group_stats_record_solver_effort() {
+        let model = GroupModel {
+            groups: groups_fixture(),
+        };
         let mut stats = AllocStats::default();
-        let a = optimal_assign_stats(&masks, 3, &mut stats).unwrap();
-        assert_eq!(a, vec![1, 0]);
-        // Probe for event 0, probe for event 1, recursive re-place of event 0.
-        assert_eq!(stats.augment_steps, 3);
-        assert_eq!(stats.backtracks, 1);
-
-        // Non-crossing instance needs no backtracking.
-        let mut easy = AllocStats::default();
-        optimal_assign_stats(&[0b01, 0b10], 2, &mut easy).unwrap();
-        assert_eq!(easy.augment_steps, 2);
-        assert_eq!(easy.backtracks, 0);
-    }
-
-    #[test]
-    fn empty_event_list_is_trivially_assignable() {
-        assert_eq!(optimal_assign(&[], 4), Some(vec![]));
-        assert_eq!(greedy_first_fit(&[], 4), Some(vec![]));
-    }
-
-    #[test]
-    fn exhaustive_agreement_with_bruteforce_on_small_instances() {
-        // For every 3-event/3-counter mask combination, optimal_assign must
-        // succeed exactly when a brute-force perfect matching exists, and
-        // max_cardinality must equal the brute-force maximum.
-        fn brute_max(masks: &[u32]) -> usize {
-            let mut best = 0;
-            // all injective partial maps events->counters
-            fn rec(masks: &[u32], i: usize, used: u32, size: usize, best: &mut usize) {
-                if i == masks.len() {
-                    *best = (*best).max(size);
-                    return;
-                }
-                rec(masks, i + 1, used, size, best); // skip event i
-                for c in 0..3 {
-                    if masks[i] & (1 << c) != 0 && used & (1 << c) == 0 {
-                        rec(masks, i + 1, used | (1 << c), size + 1, best);
-                    }
-                }
-            }
-            rec(masks, 0, 0, 0, &mut best);
-            best
-        }
-        for m0 in 1..8u32 {
-            for m1 in 1..8u32 {
-                for m2 in 1..8u32 {
-                    let masks = vec![m0, m1, m2];
-                    let bf = brute_max(&masks);
-                    let mc = max_cardinality_assign(&masks, 3)
-                        .iter()
-                        .filter(|o| o.is_some())
-                        .count();
-                    assert_eq!(mc, bf, "masks {masks:?}");
-                    assert_eq!(
-                        optimal_assign(&masks, 3).is_some(),
-                        bf == 3,
-                        "masks {masks:?}"
-                    );
-                }
-            }
-        }
+        allocate_with(&model, &[13, 10], &[], &mut stats).unwrap();
+        // Group 0 lacks code 13, so only group 1 reaches the solver: one
+        // probe per event, no displacement (rows are single-bit, disjoint).
+        assert_eq!(stats.augment_steps, 2);
+        assert_eq!(stats.backtracks, 0);
     }
 }

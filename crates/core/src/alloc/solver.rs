@@ -1,0 +1,317 @@
+//! The hardware-independent allocation solver.
+//!
+//! "The counter allocation problem may be cast in terms of the bipartite
+//! graph matching problem": event vertices on one side, physical counters on
+//! the other, an edge where the event's constraint row allows that counter.
+//! The solver sees nothing but bitmask rows — no event codes, no groups, no
+//! platform names. Translating a platform's constraint scheme into rows is
+//! the hardware-dependent half of the split and lives in
+//! [`crate::alloc::AllocTranslation`].
+//!
+//! Provided algorithms:
+//! * [`optimal_assign`] — complete matching via augmenting paths (optimal:
+//!   finds an assignment whenever one exists; this is the "optimal matching
+//!   algorithm … included in version 2.3 of PAPI"),
+//! * [`max_cardinality_assign`] — maximum-cardinality variant for "map as
+//!   many as possible",
+//! * [`max_weight_assign`] — maximum-weight variant for prioritized events
+//!   (greedy over a transversal matroid, which is exact),
+//! * [`greedy_first_fit`] — the naive baseline the paper's algorithm
+//!   replaced, kept for the ablation experiment.
+
+/// Search-effort statistics for one allocation solve, reported to the
+/// self-instrumentation layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Augmenting-path probe calls (each call examines one event vertex).
+    pub augment_steps: u64,
+    /// Events displaced from a counter and re-placed along an alternating
+    /// path — the matcher's backtracking effort.
+    pub backtracks: u64,
+}
+
+/// Try to extend the matching with an augmenting path from event `ev`.
+///
+/// `owner[c]` is the event currently holding counter `c` (or `usize::MAX`).
+fn augment(
+    masks: &[u32],
+    ev: usize,
+    owner: &mut [usize],
+    visited: &mut [bool],
+    stats: &mut AllocStats,
+) -> bool {
+    stats.augment_steps += 1;
+    for c in 0..owner.len() {
+        if masks[ev] & (1 << c) == 0 || visited[c] {
+            continue;
+        }
+        visited[c] = true;
+        if owner[c] == usize::MAX {
+            owner[c] = ev;
+            return true;
+        }
+        let displaced = owner[c];
+        // Try to re-place the current holder along an alternating path.
+        if augment(masks, displaced, owner, visited, stats) {
+            stats.backtracks += 1;
+            owner[c] = ev;
+            return true;
+        }
+    }
+    false
+}
+
+fn owners_to_assign(owner: &[usize], n_events: usize) -> Vec<Option<usize>> {
+    let mut assign = vec![None; n_events];
+    for (c, &e) in owner.iter().enumerate() {
+        if e != usize::MAX {
+            assign[e] = Some(c);
+        }
+    }
+    assign
+}
+
+/// Find a *complete* assignment of every event to a distinct allowed
+/// counter, or `None` if no such assignment exists. Optimal in the sense
+/// that it fails only when the constraint graph admits no perfect matching
+/// on the event side (Hall's condition violated).
+///
+/// ```
+/// use papi_core::alloc::{optimal_assign, greedy_first_fit};
+/// // Event 0 may go on counters {0,1}; event 1 only on {0}.
+/// let masks = [0b11, 0b01];
+/// assert_eq!(greedy_first_fit(&masks, 2), None);        // first-fit strands event 1
+/// assert_eq!(optimal_assign(&masks, 2), Some(vec![1, 0])); // the matcher re-routes
+/// ```
+pub fn optimal_assign(masks: &[u32], num_counters: usize) -> Option<Vec<usize>> {
+    optimal_assign_stats(masks, num_counters, &mut AllocStats::default())
+}
+
+/// [`optimal_assign`] with search-effort accounting: augmenting-path probes
+/// and displacements are accumulated into `stats` regardless of outcome.
+pub fn optimal_assign_stats(
+    masks: &[u32],
+    num_counters: usize,
+    stats: &mut AllocStats,
+) -> Option<Vec<usize>> {
+    if masks.len() > num_counters {
+        return None;
+    }
+    let mut owner = vec![usize::MAX; num_counters];
+    for ev in 0..masks.len() {
+        let mut visited = vec![false; num_counters];
+        if !augment(masks, ev, &mut owner, &mut visited, stats) {
+            return None;
+        }
+    }
+    Some(
+        owners_to_assign(&owner, masks.len())
+            .into_iter()
+            .map(|o| o.unwrap())
+            .collect(),
+    )
+}
+
+/// Assign as many events as possible; unmatched events get `None`.
+/// The number of `Some`s is the maximum cardinality matching.
+pub fn max_cardinality_assign(masks: &[u32], num_counters: usize) -> Vec<Option<usize>> {
+    let mut stats = AllocStats::default();
+    let mut owner = vec![usize::MAX; num_counters];
+    for ev in 0..masks.len() {
+        let mut visited = vec![false; num_counters];
+        augment(masks, ev, &mut owner, &mut visited, &mut stats);
+    }
+    owners_to_assign(&owner, masks.len())
+}
+
+/// Maximum-weight matching: higher-weight events win when not all fit.
+///
+/// Greedy insertion in descending weight order with augmenting paths is
+/// exact for matchable sets (they form a transversal matroid).
+pub fn max_weight_assign(
+    masks: &[u32],
+    weights: &[u64],
+    num_counters: usize,
+) -> Vec<Option<usize>> {
+    assert_eq!(masks.len(), weights.len());
+    let mut order: Vec<usize> = (0..masks.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
+    let mut stats = AllocStats::default();
+    let mut owner = vec![usize::MAX; num_counters];
+    for &ev in &order {
+        let mut visited = vec![false; num_counters];
+        augment(masks, ev, &mut owner, &mut visited, &mut stats);
+    }
+    owners_to_assign(&owner, masks.len())
+}
+
+/// The naive baseline: place each event on its lowest-numbered free allowed
+/// counter, never revisiting earlier placements. Fails on instances the
+/// optimal algorithm solves (the motivation for PAPI 2.3's matcher).
+pub fn greedy_first_fit(masks: &[u32], num_counters: usize) -> Option<Vec<usize>> {
+    let mut used = vec![false; num_counters];
+    let mut assign = Vec::with_capacity(masks.len());
+    for &m in masks {
+        let mut placed = None;
+        for (c, slot) in used.iter_mut().enumerate() {
+            if m & (1 << c) != 0 && !*slot {
+                *slot = true;
+                placed = Some(c);
+                break;
+            }
+        }
+        assign.push(placed?);
+    }
+    Some(assign)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_full_assignment() {
+        let masks = vec![0b1111, 0b1111, 0b1111, 0b1111];
+        let a = optimal_assign(&masks, 4).unwrap();
+        let mut s = a.clone();
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn too_many_events_fails() {
+        assert!(optimal_assign(&[0b11, 0b11, 0b11], 2).is_none());
+    }
+
+    #[test]
+    fn optimal_beats_greedy_on_crossing_constraints() {
+        // Event 0 may use counters {0,1}; event 1 only {0}.
+        // Greedy places 0 on counter 0 and then fails on event 1;
+        // optimal re-routes event 0 to counter 1.
+        let masks = vec![0b011, 0b001];
+        assert!(greedy_first_fit(&masks, 3).is_none());
+        let a = optimal_assign(&masks, 3).unwrap();
+        assert_eq!(a, vec![1, 0]);
+    }
+
+    #[test]
+    fn respects_masks() {
+        let masks = vec![0b100, 0b010, 0b001];
+        let a = optimal_assign(&masks, 3).unwrap();
+        assert_eq!(a, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn infeasible_by_hall_violation() {
+        // Three events all constrained to the same two counters.
+        let masks = vec![0b011, 0b011, 0b011];
+        assert!(optimal_assign(&masks, 3).is_none());
+        let mc = max_cardinality_assign(&masks, 3);
+        assert_eq!(mc.iter().filter(|o| o.is_some()).count(), 2);
+    }
+
+    #[test]
+    fn max_cardinality_on_feasible_matches_all() {
+        let masks = vec![0b011, 0b001, 0b110];
+        let mc = max_cardinality_assign(&masks, 3);
+        assert!(mc.iter().all(|o| o.is_some()));
+        // Distinct counters.
+        let mut cs: Vec<usize> = mc.iter().map(|o| o.unwrap()).collect();
+        cs.sort_unstable();
+        cs.dedup();
+        assert_eq!(cs.len(), 3);
+    }
+
+    #[test]
+    fn max_weight_prefers_heavy_events() {
+        // Two events want the only counter; the heavy one must win.
+        let masks = vec![0b001, 0b001];
+        let w = vec![1, 100];
+        let a = max_weight_assign(&masks, &w, 1);
+        assert_eq!(a[0], None);
+        assert_eq!(a[1], Some(0));
+    }
+
+    #[test]
+    fn max_weight_reroutes_to_keep_both() {
+        // Heavy event is flexible; light event is constrained. Both fit.
+        let masks = vec![0b011, 0b001];
+        let w = vec![100, 1];
+        let a = max_weight_assign(&masks, &w, 2);
+        assert_eq!(a[0], Some(1));
+        assert_eq!(a[1], Some(0));
+    }
+
+    #[test]
+    fn greedy_succeeds_on_easy_instance() {
+        let masks = vec![0b01, 0b10];
+        assert_eq!(greedy_first_fit(&masks, 2), Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn stats_count_probes_and_backtracks() {
+        // Crossing constraints: placing event 1 must displace event 0.
+        let masks = vec![0b011, 0b001];
+        let mut stats = AllocStats::default();
+        let a = optimal_assign_stats(&masks, 3, &mut stats).unwrap();
+        assert_eq!(a, vec![1, 0]);
+        // Probe for event 0, probe for event 1, recursive re-place of event 0.
+        assert_eq!(stats.augment_steps, 3);
+        assert_eq!(stats.backtracks, 1);
+
+        // Non-crossing instance needs no backtracking.
+        let mut easy = AllocStats::default();
+        optimal_assign_stats(&[0b01, 0b10], 2, &mut easy).unwrap();
+        assert_eq!(easy.augment_steps, 2);
+        assert_eq!(easy.backtracks, 0);
+    }
+
+    #[test]
+    fn empty_event_list_is_trivially_assignable() {
+        assert_eq!(optimal_assign(&[], 4), Some(vec![]));
+        assert_eq!(greedy_first_fit(&[], 4), Some(vec![]));
+    }
+
+    #[test]
+    fn exhaustive_agreement_with_bruteforce_on_small_instances() {
+        // For every 3-event/3-counter mask combination, optimal_assign must
+        // succeed exactly when a brute-force perfect matching exists, and
+        // max_cardinality must equal the brute-force maximum.
+        fn brute_max(masks: &[u32]) -> usize {
+            let mut best = 0;
+            // all injective partial maps events->counters
+            fn rec(masks: &[u32], i: usize, used: u32, size: usize, best: &mut usize) {
+                if i == masks.len() {
+                    *best = (*best).max(size);
+                    return;
+                }
+                rec(masks, i + 1, used, size, best); // skip event i
+                for c in 0..3 {
+                    if masks[i] & (1 << c) != 0 && used & (1 << c) == 0 {
+                        rec(masks, i + 1, used | (1 << c), size + 1, best);
+                    }
+                }
+            }
+            rec(masks, 0, 0, 0, &mut best);
+            best
+        }
+        for m0 in 1..8u32 {
+            for m1 in 1..8u32 {
+                for m2 in 1..8u32 {
+                    let masks = vec![m0, m1, m2];
+                    let bf = brute_max(&masks);
+                    let mc = max_cardinality_assign(&masks, 3)
+                        .iter()
+                        .filter(|o| o.is_some())
+                        .count();
+                    assert_eq!(mc, bf, "masks {masks:?}");
+                    assert_eq!(
+                        optimal_assign(&masks, 3).is_some(),
+                        bf == 3,
+                        "masks {masks:?}"
+                    );
+                }
+            }
+        }
+    }
+}

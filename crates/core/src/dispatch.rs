@@ -1,0 +1,687 @@
+//! Counting machinery: start/stop/read/accum/reset, counter allocation,
+//! overflow and profil arming, multiplex rotation, and the application run
+//! loop that services substrate events.
+
+use crate::alloc;
+use crate::error::{PapiError, Result};
+use crate::eventset::{EventSetId, OvfRoute, SetState};
+use crate::multiplex::{self, partition_events_with, MpxState, DEFAULT_MPX_PERIOD_CYCLES};
+use crate::profile::{Profil, ProfilConfig};
+use crate::session::Papi;
+use crate::substrate::Substrate;
+use papi_obs::{Counter as ObsCounter, JournalEvent as ObsEvent};
+use simcpu::{Domain, NativeEventDesc, RunExit, ThreadId};
+
+/// Identifies a profiling histogram registered with [`Papi::profil`].
+pub type ProfilId = usize;
+
+/// Information delivered to a user overflow callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverflowInfo {
+    /// The EventSet whose event overflowed.
+    pub set: EventSetId,
+    /// PAPI event code that overflowed.
+    pub code: u32,
+    /// Program counter delivered with the interrupt (skidded on OoO cores).
+    pub pc: u64,
+    /// Thread that was running.
+    pub thread: ThreadId,
+}
+
+/// Why [`Papi::next_event`] returned control to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppExit {
+    /// The monitored application finished.
+    Halted,
+    /// An instrumentation probe trapped (dynaprof-style tools handle it and
+    /// resume).
+    Probe { id: u32, thread: ThreadId, pc: u64 },
+    /// The cycle budget passed to [`Papi::run_for`] elapsed (the
+    /// application is still runnable).
+    Paused,
+}
+
+/// How the running set's natives are being counted.
+pub(crate) enum RunMode {
+    /// `assign[i]` is the physical counter holding native `i`.
+    Direct { assign: Vec<usize> },
+    /// Time-sliced multiplexing.
+    Mpx(MpxState),
+}
+
+/// Resolution + allocation state of the running EventSet.
+pub(crate) struct Running {
+    pub(crate) set: EventSetId,
+    /// Thread this run is attached to (PAPI_attach).
+    pub(crate) attached: Option<ThreadId>,
+    /// Unique native codes in use.
+    pub(crate) natives: Vec<u32>,
+    /// Per PAPI event: `(index into natives, coefficient)` terms.
+    pub(crate) terms: Vec<Vec<(usize, i64)>>,
+    pub(crate) mode: RunMode,
+    /// Armed overflow routes: `(physical counter, papi code, route)`.
+    pub(crate) routes: Vec<(usize, u32, OvfRoute)>,
+}
+
+/// Overflow callbacks must be `Send`: like the C library's signal-based
+/// handlers, they may run on whichever thread drives the event loop, and a
+/// global session (the C API) moves across threads.
+pub type OvfHandler = Box<dyn FnMut(OverflowInfo) + Send>;
+
+impl<S: Substrate> Papi<S> {
+    // --- overflow & profil registration -------------------------------------
+
+    /// `PAPI_overflow`: call `handler` every `threshold` occurrences of
+    /// `code` while the set runs. The handler receives the (possibly
+    /// skidded) interrupt PC.
+    pub fn overflow(
+        &mut self,
+        id: EventSetId,
+        code: u32,
+        threshold: u64,
+        handler: OvfHandler,
+    ) -> Result<()> {
+        if threshold == 0 {
+            return Err(PapiError::Inval("zero overflow threshold"));
+        }
+        let route = OvfRoute::Handler(self.handlers.len());
+        self.arm_overflow_route(id, code, threshold, route)?;
+        self.handlers.push(handler);
+        Ok(())
+    }
+
+    /// `PAPI_profil`: statistical profiling of `code` over a text range.
+    /// Returns a handle to retrieve the histogram with
+    /// [`Papi::profil_histogram`].
+    pub fn profil(&mut self, id: EventSetId, code: u32, cfg: ProfilConfig) -> Result<ProfilId> {
+        let pid = self.profils.len();
+        let route = OvfRoute::Profil(pid);
+        self.arm_overflow_route(id, code, cfg.threshold, route)?;
+        self.profils.push(Profil::new(cfg));
+        Ok(pid)
+    }
+
+    /// Shared validation for [`Papi::overflow`] and [`Papi::profil`]
+    /// registrations.
+    fn arm_overflow_route(
+        &mut self,
+        id: EventSetId,
+        code: u32,
+        threshold: u64,
+        route: OvfRoute,
+    ) -> Result<()> {
+        let s = self.set_mut(id)?;
+        if s.state == SetState::Running {
+            return Err(PapiError::IsRun);
+        }
+        if s.multiplex {
+            return Err(PapiError::Cnflct);
+        }
+        if !s.events.contains(&code) {
+            return Err(PapiError::NoEvnt(code));
+        }
+        if s.overflow.iter().any(|o| o.code == code) {
+            return Err(PapiError::Cnflct);
+        }
+        s.overflow.push(crate::eventset::OverflowReg {
+            code,
+            threshold,
+            route,
+        });
+        Ok(())
+    }
+
+    /// The histogram collected by a [`Papi::profil`] registration.
+    pub fn profil_histogram(&self, pid: ProfilId) -> Option<&Profil> {
+        self.profils.get(pid)
+    }
+
+    // --- resolution & allocation --------------------------------------------
+
+    /// Resolve the set's PAPI events to unique natives + per-event terms.
+    #[allow(clippy::type_complexity)]
+    fn resolve_set(&self, id: EventSetId) -> Result<(Vec<u32>, Vec<Vec<(usize, i64)>>)> {
+        let s = self.set_ref(id)?;
+        if s.events.is_empty() {
+            return Err(PapiError::Inval("EventSet is empty"));
+        }
+        let mut natives: Vec<u32> = Vec::new();
+        let mut terms: Vec<Vec<(usize, i64)>> = Vec::with_capacity(s.events.len());
+        for &code in &s.events {
+            let m = self.presets.resolve(code, self.sub.native_events())?;
+            let mut t = Vec::with_capacity(m.terms.len());
+            for (ncode, coeff) in m.terms {
+                let idx = match natives.iter().position(|&n| n == ncode) {
+                    Some(i) => i,
+                    None => {
+                        natives.push(ncode);
+                        natives.len() - 1
+                    }
+                };
+                t.push((idx, coeff));
+            }
+            terms.push(t);
+        }
+        Ok((natives, terms))
+    }
+
+    /// Solve counter allocation for `natives` through the PAPI-3 split: the
+    /// substrate translates its constraint scheme into solver instances
+    /// ([`Substrate::alloc_model`]); the hardware-independent matcher does
+    /// the rest. No group special-casing here.
+    fn allocate(&self, natives: &[u32]) -> Option<Vec<usize>> {
+        let mut stats = alloc::AllocStats::default();
+        let model = self.sub.alloc_model();
+        let assign = alloc::allocate_with(&model, natives, self.sub.native_events(), &mut stats);
+        if let Some(obs) = &self.obs {
+            obs.inc(ObsCounter::AllocAttempts);
+            obs.inc(if assign.is_some() {
+                ObsCounter::AllocSuccesses
+            } else {
+                ObsCounter::AllocFailures
+            });
+            obs.add(ObsCounter::AllocAugmentSteps, stats.augment_steps);
+            obs.add(ObsCounter::AllocBacktracks, stats.backtracks);
+            obs.record(self.sub.real_cycles(), || ObsEvent::AllocAttempt {
+                events: natives.len(),
+                success: assign.is_some(),
+                augment_steps: stats.augment_steps,
+                backtracks: stats.backtracks,
+            });
+        }
+        assign
+    }
+
+    // --- start / stop / read ------------------------------------------------
+
+    /// `PAPI_start`: resolve, allocate, program and start the counters.
+    pub fn start(&mut self, id: EventSetId) -> Result<()> {
+        let begin_cycles = self.sub.real_cycles();
+        let r = self.start_inner(id);
+        if let Some(obs) = &self.obs {
+            match &r {
+                Ok(()) => {
+                    obs.inc(ObsCounter::Starts);
+                    let now = self.sub.real_cycles();
+                    obs.add(
+                        ObsCounter::CyclesInStartStop,
+                        now.saturating_sub(begin_cycles),
+                    );
+                    let (natives, multiplexed) = self
+                        .running
+                        .as_ref()
+                        .map(|run| (run.natives.len(), matches!(run.mode, RunMode::Mpx(_))))
+                        .unwrap_or((0, false));
+                    obs.record(now, || ObsEvent::Start {
+                        set: id,
+                        natives,
+                        multiplexed,
+                    });
+                }
+                Err(_) => obs.inc(ObsCounter::StartErrors),
+            }
+        }
+        r
+    }
+
+    fn start_inner(&mut self, id: EventSetId) -> Result<()> {
+        if self.running.is_some() {
+            return Err(PapiError::IsRun);
+        }
+        let (natives, terms) = self.resolve_set(id)?;
+        let (domain, multiplex, mpx_period, attached, overflow) = {
+            let s = self.set_ref(id)?;
+            (
+                s.domain,
+                s.multiplex,
+                s.mpx_period,
+                s.attached,
+                s.overflow.clone(),
+            )
+        };
+        if attached.is_some() && multiplex {
+            return Err(PapiError::Cnflct);
+        }
+
+        let mode = match self.allocate(&natives) {
+            Some(assign) => RunMode::Direct { assign },
+            None if multiplex => {
+                let descs: Vec<&NativeEventDesc> = natives
+                    .iter()
+                    .map(|&c| {
+                        self.sub
+                            .native_events()
+                            .iter()
+                            .find(|e| e.code == c)
+                            .unwrap()
+                    })
+                    .collect();
+                let parts = partition_events_with(&descs, &self.sub.alloc_model())
+                    .ok_or(PapiError::Cnflct)?;
+                let now = self.sub.real_cycles();
+                let period = mpx_period.unwrap_or(DEFAULT_MPX_PERIOD_CYCLES);
+                RunMode::Mpx(MpxState::new(parts, natives.len(), period, now))
+            }
+            None => return Err(PapiError::Cnflct),
+        };
+
+        // Program the hardware for the initial configuration.
+        let mut routes = Vec::new();
+        match &mode {
+            RunMode::Direct { assign } => {
+                let mut prog: Vec<Option<(u32, Domain)>> = vec![None; self.sub.num_counters()];
+                for (i, &ctr) in assign.iter().enumerate() {
+                    prog[ctr] = Some((natives[i], domain));
+                }
+                self.sub.program(&prog)?;
+                // Arm overflow registrations on the counter of each event's
+                // first native term.
+                for reg in &overflow {
+                    let ev_pos = {
+                        let s = self.set_ref(id)?;
+                        s.events
+                            .iter()
+                            .position(|&e| e == reg.code)
+                            .ok_or(PapiError::NoEvnt(reg.code))?
+                    };
+                    let (nidx, _) = terms[ev_pos][0];
+                    let ctr = assign[nidx];
+                    self.sub.set_overflow(ctr, Some(reg.threshold))?;
+                    routes.push((ctr, reg.code, reg.route));
+                }
+            }
+            RunMode::Mpx(mpx) => {
+                self.program_partition(&natives, domain, &mpx.partitions[0])?;
+                self.sub.set_timer(Some(mpx.period));
+            }
+        }
+
+        // Re-anchor the mpx clock after programming costs.
+        let mut mode = mode;
+        if let RunMode::Mpx(m) = &mut mode {
+            m.switched_at = self.sub.real_cycles();
+        }
+
+        self.running = Some(Running {
+            set: id,
+            attached,
+            natives,
+            terms,
+            mode,
+            routes,
+        });
+        self.set_mut(id)?.state = SetState::Running;
+        self.sub.start()?;
+        Ok(())
+    }
+
+    fn program_partition(
+        &mut self,
+        natives: &[u32],
+        domain: Domain,
+        part: &multiplex::Partition,
+    ) -> Result<()> {
+        let mut prog: Vec<Option<(u32, Domain)>> = vec![None; self.sub.num_counters()];
+        for (slot, &nidx) in part.natives.iter().enumerate() {
+            prog[part.counters[slot]] = Some((natives[nidx], domain));
+        }
+        self.sub.program(&prog)
+    }
+
+    /// Read the live values of the running set's natives.
+    fn read_native_counts(&mut self) -> Result<Vec<u64>> {
+        let obs = self.obs.clone();
+        let run = self.running.as_mut().ok_or(PapiError::NotRun)?;
+        match &mut run.mode {
+            RunMode::Direct { assign } => {
+                let assign = assign.clone();
+                let attached = run.attached;
+                let mut counts = Vec::with_capacity(assign.len());
+                if let Some(obs) = &obs {
+                    obs.add(ObsCounter::CounterReads, assign.len() as u64);
+                }
+                for ctr in assign {
+                    let v = match attached {
+                        Some(t) => self.sub.read_attached(t, ctr)?,
+                        None => self.sub.read(ctr)?,
+                    };
+                    counts.push(v);
+                }
+                Ok(counts)
+            }
+            RunMode::Mpx(_) => {
+                // Flush the live partition, then return estimates.
+                let now = self.sub.real_cycles();
+                let (counters, current, switched_at) = {
+                    let RunMode::Mpx(m) = &run.mode else {
+                        unreachable!()
+                    };
+                    (
+                        m.partitions[m.current].counters.clone(),
+                        m.current,
+                        m.switched_at,
+                    )
+                };
+                let mut live = Vec::with_capacity(counters.len());
+                for &c in &counters {
+                    live.push(self.sub.read(c)?);
+                }
+                self.sub.reset()?; // avoid double counting on the next flush
+                if let Some(obs) = &obs {
+                    obs.add(ObsCounter::CounterReads, counters.len() as u64);
+                    obs.inc(ObsCounter::MpxFlushes);
+                    obs.record(now, || ObsEvent::MpxFlush {
+                        partition: current,
+                        live_cycles: now.saturating_sub(switched_at),
+                    });
+                }
+                let run = self.running.as_mut().ok_or(PapiError::NotRun)?;
+                let RunMode::Mpx(m) = &mut run.mode else {
+                    unreachable!()
+                };
+                m.flush(now, &live);
+                Ok(m.estimates())
+            }
+        }
+    }
+
+    fn values_from_counts(&self, counts: &[u64]) -> Result<Vec<i64>> {
+        let run = self.running.as_ref().ok_or(PapiError::NotRun)?;
+        Ok(run
+            .terms
+            .iter()
+            .map(|t| t.iter().map(|&(i, c)| c * counts[i] as i64).sum())
+            .collect())
+    }
+
+    /// `PAPI_read`: current values (the set keeps running).
+    pub fn read(&mut self, id: EventSetId) -> Result<Vec<i64>> {
+        match &self.running {
+            Some(r) if r.set == id => {}
+            _ => return Err(PapiError::NotRun),
+        }
+        let begin_cycles = self.sub.real_cycles();
+        let counts = self.read_native_counts()?;
+        let values = self.values_from_counts(&counts)?;
+        if let Some(obs) = &self.obs {
+            let now = self.sub.real_cycles();
+            let cost_cycles = now.saturating_sub(begin_cycles);
+            obs.inc(ObsCounter::Reads);
+            obs.add(ObsCounter::CyclesInRead, cost_cycles);
+            obs.record(now, || ObsEvent::Read {
+                set: id,
+                cost_cycles,
+            });
+        }
+        Ok(values)
+    }
+
+    /// `PAPI_accum`: add current values into `values` and reset the
+    /// counters.
+    pub fn accum(&mut self, id: EventSetId, values: &mut [i64]) -> Result<()> {
+        let v = self.read(id)?;
+        if values.len() != v.len() {
+            return Err(PapiError::Inval("accum buffer length mismatch"));
+        }
+        for (acc, x) in values.iter_mut().zip(&v) {
+            *acc += x;
+        }
+        let r = self.reset(id);
+        if r.is_ok() {
+            if let Some(obs) = &self.obs {
+                obs.inc(ObsCounter::Accums);
+                obs.record(self.sub.real_cycles(), || ObsEvent::Accum { set: id });
+            }
+        }
+        r
+    }
+
+    /// `PAPI_reset`: zero the running counters (and multiplex accumulators).
+    pub fn reset(&mut self, id: EventSetId) -> Result<()> {
+        let now = self.sub.real_cycles();
+        match &mut self.running {
+            Some(r) if r.set == id => {
+                if let RunMode::Mpx(m) = &mut r.mode {
+                    m.raw.iter_mut().for_each(|r| *r = 0);
+                    m.active_cycles.iter_mut().for_each(|a| *a = 0);
+                    m.switched_at = now;
+                }
+            }
+            _ => return Err(PapiError::NotRun),
+        }
+        let r = self.sub.reset();
+        if r.is_ok() {
+            if let Some(obs) = &self.obs {
+                obs.inc(ObsCounter::Resets);
+                obs.record(self.sub.real_cycles(), || ObsEvent::Reset { set: id });
+            }
+        }
+        r
+    }
+
+    /// `PAPI_stop`: stop counting and return the final values.
+    pub fn stop(&mut self, id: EventSetId) -> Result<Vec<i64>> {
+        match &self.running {
+            Some(r) if r.set == id => {}
+            _ => return Err(PapiError::NotRun),
+        }
+        let begin_cycles = self.sub.real_cycles();
+        let counts = self.read_native_counts()?;
+        let values = self.values_from_counts(&counts)?;
+        // Disarm machinery.
+        let routes = self
+            .running
+            .as_ref()
+            .map(|r| r.routes.clone())
+            .unwrap_or_default();
+        for (ctr, _, _) in routes {
+            self.sub.set_overflow(ctr, None)?;
+        }
+        if matches!(
+            self.running.as_ref().map(|r| &r.mode),
+            Some(RunMode::Mpx(_))
+        ) {
+            self.sub.set_timer(None);
+        }
+        self.sub.stop()?;
+        self.running = None;
+        self.set_mut(id)?.state = SetState::Stopped;
+        if let Some(obs) = &self.obs {
+            let now = self.sub.real_cycles();
+            obs.inc(ObsCounter::Stops);
+            obs.add(
+                ObsCounter::CyclesInStartStop,
+                now.saturating_sub(begin_cycles),
+            );
+            obs.record(now, || ObsEvent::Stop { set: id });
+        }
+        Ok(values)
+    }
+
+    // --- the application run loop -------------------------------------------
+
+    /// Let the monitored application execute until it halts or hits an
+    /// instrumentation probe, servicing overflow interrupts (user handlers
+    /// and profil histograms), multiplex rotation and sample-buffer drains
+    /// along the way.
+    pub fn next_event(&mut self) -> Result<AppExit> {
+        self.next_event_until(None)
+    }
+
+    /// Like [`Papi::next_event`] but stops after `budget` cycles if nothing
+    /// else happened first, returning [`AppExit::Paused`]. The perfometer
+    /// tool samples metrics on this boundary.
+    pub fn run_for(&mut self, budget: u64) -> Result<AppExit> {
+        let deadline = self.sub.real_cycles().saturating_add(budget);
+        self.next_event_until(Some(deadline))
+    }
+
+    fn next_event_until(&mut self, deadline: Option<u64>) -> Result<AppExit> {
+        loop {
+            let budget = match deadline {
+                Some(d) => {
+                    let now = self.sub.real_cycles();
+                    if now >= d {
+                        return Ok(AppExit::Paused);
+                    }
+                    Some(d - now)
+                }
+                None => None,
+            };
+            match self.sub.run(budget) {
+                RunExit::Halted => {
+                    if self.sampling_cfg.is_some() {
+                        let tail = self.sub.drain_samples();
+                        self.sampling_buf.extend(tail);
+                    }
+                    return Ok(AppExit::Halted);
+                }
+                RunExit::Probe { id, thread, pc } => {
+                    return Ok(AppExit::Probe { id, thread, pc });
+                }
+                RunExit::Overflow {
+                    counter,
+                    thread,
+                    pc,
+                } => {
+                    self.dispatch_overflow(counter, thread, pc);
+                }
+                RunExit::Timer => {
+                    self.rotate_mpx()?;
+                }
+                RunExit::SampleBufferFull => {
+                    let recs = self.sub.drain_samples();
+                    self.sampling_buf.extend(recs);
+                }
+                RunExit::CycleLimit => return Ok(AppExit::Paused),
+                RunExit::Deadlock => {
+                    return Err(PapiError::Substrate(
+                        "application deadlocked on message receive".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Run the application to completion, ignoring probes.
+    pub fn run_app(&mut self) -> Result<()> {
+        loop {
+            if let AppExit::Halted = self.next_event()? {
+                return Ok(());
+            }
+        }
+    }
+
+    fn dispatch_overflow(&mut self, counter: usize, thread: ThreadId, pc: u64) {
+        let Some(run) = &self.running else { return };
+        let set = run.set;
+        let hits: Vec<(u32, OvfRoute)> = run
+            .routes
+            .iter()
+            .filter(|(c, _, _)| *c == counter)
+            .map(|(_, code, r)| (*code, *r))
+            .collect();
+        if let Some(obs) = &self.obs {
+            obs.inc(ObsCounter::OverflowInterrupts);
+        }
+        let mut profil_hits = 0u64;
+        for (code, route) in hits {
+            match route {
+                OvfRoute::Profil(p) => {
+                    if let Some(prof) = self.profils.get_mut(p) {
+                        prof.hit(pc);
+                        profil_hits += 1;
+                    }
+                }
+                OvfRoute::Handler(h) => {
+                    if let Some(obs) = &self.obs {
+                        obs.inc(ObsCounter::OverflowHandlerDispatches);
+                        obs.record(self.sub.real_cycles(), || ObsEvent::OverflowFired {
+                            counter,
+                            code,
+                            pc,
+                            to_handler: true,
+                        });
+                    }
+                    let info = OverflowInfo {
+                        set,
+                        code,
+                        pc,
+                        thread,
+                    };
+                    if let Some(cb) = self.handlers.get_mut(h) {
+                        cb(info);
+                    }
+                }
+            }
+        }
+        if profil_hits > 0 {
+            if let Some(obs) = &self.obs {
+                obs.add(ObsCounter::ProfilHits, profil_hits);
+                obs.record(self.sub.real_cycles(), || ObsEvent::ProfilHitBatch {
+                    hits: profil_hits,
+                    pc,
+                });
+            }
+        }
+    }
+
+    /// Multiplex rotation on a timer tick: fold the live partition's counts
+    /// into the accumulators and program the next partition.
+    fn rotate_mpx(&mut self) -> Result<()> {
+        let Some(run) = &self.running else {
+            return Ok(());
+        };
+        let RunMode::Mpx(m) = &run.mode else {
+            return Ok(());
+        };
+        let counters = m.partitions[m.current].counters.clone();
+        let from_partition = m.current;
+        let switched_at = m.switched_at;
+        let begin_cycles = self.sub.real_cycles();
+        let now = begin_cycles;
+        let mut live = Vec::with_capacity(counters.len());
+        for &c in &counters {
+            live.push(self.sub.read(c)?);
+        }
+        // Fold and advance.
+        let (natives, domain, next_part, to_partition) = {
+            let run = self.running.as_mut().unwrap();
+            let set = run.set;
+            let RunMode::Mpx(m) = &mut run.mode else {
+                unreachable!()
+            };
+            m.flush(now, &live);
+            m.rotate();
+            let part = m.partitions[m.current].clone();
+            let domain = self.sets[set].as_ref().unwrap().domain;
+            (run.natives.clone(), domain, part, m.current)
+        };
+        self.program_partition(&natives, domain, &next_part)?;
+        // Counting restarts now; don't charge programming time to the slice.
+        let run = self.running.as_mut().unwrap();
+        let RunMode::Mpx(m) = &mut run.mode else {
+            unreachable!()
+        };
+        m.switched_at = self.sub.real_cycles();
+        if let Some(obs) = &self.obs {
+            let end_cycles = self.sub.real_cycles();
+            let cost_cycles = end_cycles.saturating_sub(begin_cycles);
+            obs.inc(ObsCounter::MpxRotations);
+            obs.inc(ObsCounter::MpxFlushes);
+            obs.inc(ObsCounter::MpxProgramOps);
+            obs.add(ObsCounter::CounterReads, counters.len() as u64);
+            obs.add(ObsCounter::CyclesInMpxRotate, cost_cycles);
+            obs.record(now, || ObsEvent::MpxFlush {
+                partition: from_partition,
+                live_cycles: now.saturating_sub(switched_at),
+            });
+            obs.record(end_cycles, || ObsEvent::MpxRotate {
+                from_partition,
+                to_partition,
+                cost_cycles,
+            });
+        }
+        Ok(())
+    }
+}

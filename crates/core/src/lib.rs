@@ -2,17 +2,36 @@
 //!
 //! Rust reproduction of the system described in *"Experiences and Lessons
 //! Learned with a Portable Interface to Hardware Performance Counters"*
-//! (Dongarra et al., IPPS 2003): the PAPI library.
-//!
-//! The implementation is layered exactly as the paper's Figure 1:
+//! (Dongarra et al., IPPS 2003): the PAPI library, in its PAPI-3 layered
+//! shape.
 //!
 //! ```text
-//!   high-level interface   (start/stop/read counters, PAPI_flops)   highlevel
-//!   low-level interface    (EventSets, overflow, profil, multiplex) Papi
-//!   portable machinery     (presets, allocation, estimation)        preset/alloc/…
-//!   ─────────── Substrate trait (machine-dependent layer) ───────────
-//!   platform substrate     (SimSubstrate over simcpu::Machine)      substrate
+//!   high-level interface   (start/stop/read counters, PAPI_flops)    highlevel
+//!   low-level interface    (EventSets, overflow, profil, multiplex)  Papi
+//!     · session lifecycle, timers, sampling                          session
+//!     · start/stop/read/accum, overflow & mpx dispatch               dispatch
+//!     · event queries + EventSet bookkeeping                         events
+//!   portable machinery     (presets, estimation)                     preset/…
+//!   allocation solver      (bipartite matching over abstract rows)   alloc::solver
+//!   ───────────────── Substrate trait (machine-dependent) ─────────────────
+//!   allocation translation (masks / POWER groups → solver rows)      alloc model
+//!   platform substrates    (8 simulated machines, perfctr emulation) registry
 //! ```
+//!
+//! Two axes of the architecture are split along the machine-(in)dependent
+//! boundary, exactly as PAPI 3 did:
+//!
+//! * **Allocation** — the hardware-independent solver
+//!   ([`alloc::solver`]) matches abstract constraint rows; each substrate
+//!   supplies the hardware-dependent translation
+//!   ([`Substrate::alloc_model`]) from its constraint scheme (per-event
+//!   counter masks, or POWER-style fixed groups) into those rows. The
+//!   portable layer contains no group special cases.
+//! * **Substrate selection** — [`Papi`] is generic over [`Substrate`] for
+//!   static dispatch, and the trait is object-safe: a
+//!   [`registry::SubstrateRegistry`] maps names (`sim:x86`, `perfctr`) to
+//!   boxed substrate factories so tools pick their backend at runtime
+//!   ([`Papi::init_named`] / `--substrate NAME`).
 //!
 //! ## Quick start
 //!
@@ -36,6 +55,16 @@
 //! let counts = papi.stop(set).unwrap();
 //! assert_eq!(counts[0], 8000); // 4000 FMAs x 2 FLOPs
 //! ```
+//!
+//! Or select the platform by name through the registry (dynamic dispatch —
+//! the session holds a [`BoxSubstrate`]):
+//!
+//! ```
+//! use papi_core::{Papi, Preset};
+//!
+//! let mut papi = Papi::init_named("sim:generic").unwrap();
+//! assert!(papi.query_event(Preset::TotCyc.code()));
+//! ```
 
 pub mod alloc;
 pub mod error;
@@ -44,1920 +73,23 @@ pub mod highlevel;
 pub mod multiplex;
 pub mod preset;
 pub mod profile;
+pub mod registry;
 pub mod sampling;
 pub mod substrate;
 pub mod testutil;
 
+mod dispatch;
+mod events;
+mod session;
+
+#[cfg(test)]
+mod core_tests;
+
+pub use dispatch::{AppExit, OverflowInfo, OvfHandler, ProfilId};
 pub use error::{PapiError, Result};
 pub use eventset::{EventSetId, SetState};
 pub use preset::{is_preset_code, Mapping, Preset, PresetTable, PRESET_MASK};
 pub use profile::{Profil, ProfilConfig};
-pub use substrate::{HwInfo, SimSubstrate, Substrate};
-
-use eventset::{EventSetData, OverflowReg, OvfRoute};
-use multiplex::{partition_events, MpxState, DEFAULT_MPX_PERIOD_CYCLES};
-use papi_obs::{Counter as ObsCounter, JournalEvent as ObsEvent};
-use simcpu::{Domain, Granularity, NativeEventDesc, RunExit, SampleConfig, SampleRecord, ThreadId};
-
-/// Identifies a profiling histogram registered with [`Papi::profil`].
-pub type ProfilId = usize;
-
-/// Information delivered to a user overflow callback.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct OverflowInfo {
-    /// The EventSet whose event overflowed.
-    pub set: EventSetId,
-    /// PAPI event code that overflowed.
-    pub code: u32,
-    /// Program counter delivered with the interrupt (skidded on OoO cores).
-    pub pc: u64,
-    /// Thread that was running.
-    pub thread: ThreadId,
-}
-
-/// Why [`Papi::next_event`] returned control to the caller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AppExit {
-    /// The monitored application finished.
-    Halted,
-    /// An instrumentation probe trapped (dynaprof-style tools handle it and
-    /// resume).
-    Probe { id: u32, thread: ThreadId, pc: u64 },
-    /// The cycle budget passed to [`Papi::run_for`] elapsed (the
-    /// application is still runnable).
-    Paused,
-}
-
-/// How the running set's natives are being counted.
-enum RunMode {
-    /// `assign[i]` is the physical counter holding native `i`.
-    Direct { assign: Vec<usize> },
-    /// Time-sliced multiplexing.
-    Mpx(MpxState),
-}
-
-/// Resolution + allocation state of the running EventSet.
-struct Running {
-    set: EventSetId,
-    /// Thread this run is attached to (PAPI_attach).
-    attached: Option<ThreadId>,
-    /// Unique native codes in use.
-    natives: Vec<u32>,
-    /// Per PAPI event: `(index into natives, coefficient)` terms.
-    terms: Vec<Vec<(usize, i64)>>,
-    mode: RunMode,
-    /// Armed overflow routes: `(physical counter, papi code, route)`.
-    routes: Vec<(usize, u32, OvfRoute)>,
-}
-
-/// Overflow callbacks must be `Send`: like the C library's signal-based
-/// handlers, they may run on whichever thread drives the event loop, and a
-/// global session (the C API) moves across threads.
-type OvfHandler = Box<dyn FnMut(OverflowInfo) + Send>;
-
-/// The library handle: one per monitored machine, like `PAPI_library_init`.
-pub struct Papi<S: Substrate = SimSubstrate> {
-    sub: S,
-    presets: PresetTable,
-    sets: Vec<Option<EventSetData>>,
-    running: Option<Running>,
-    handlers: Vec<OvfHandler>,
-    profils: Vec<Profil>,
-    sampling_cfg: Option<SampleConfig>,
-    sampling_buf: Vec<SampleRecord>,
-    pub(crate) hl: Option<highlevel::HlState>,
-    /// Self-instrumentation sink. `None` (the default) disables the layer:
-    /// every hook is a cheap `Option` check and no state is kept.
-    obs: Option<papi_obs::ObsHandle>,
-}
-
-impl<S: Substrate> Papi<S> {
-    /// Initialize the library on a substrate: builds the preset table by
-    /// mapping every standard event onto this platform's native events.
-    pub fn init(sub: S) -> Result<Self> {
-        let presets = PresetTable::build(sub.native_events(), sub.num_counters(), sub.groups());
-        Ok(Papi {
-            sub,
-            presets,
-            sets: Vec::new(),
-            running: None,
-            handlers: Vec::new(),
-            profils: Vec::new(),
-            sampling_cfg: None,
-            sampling_buf: Vec::new(),
-            hl: None,
-            obs: None,
-        })
-    }
-
-    /// Attach a self-instrumentation context: from here on, API traffic,
-    /// multiplex rotations, overflow dispatches and allocator effort are
-    /// accounted into `obs`'s registry (and journal, when enabled).
-    ///
-    /// The instrumentation performs no costed substrate operations, so
-    /// attaching it never perturbs virtual-time measurements.
-    pub fn attach_obs(&mut self, obs: papi_obs::ObsHandle) {
-        self.obs = Some(obs);
-    }
-
-    /// Detach and return the self-instrumentation context, if any.
-    pub fn detach_obs(&mut self) -> Option<papi_obs::ObsHandle> {
-        self.obs.take()
-    }
-
-    /// The attached self-instrumentation context, if any.
-    pub fn obs(&self) -> Option<&papi_obs::ObsHandle> {
-        self.obs.as_ref()
-    }
-
-    /// The substrate (read-only).
-    pub fn substrate(&self) -> &S {
-        &self.sub
-    }
-
-    /// The substrate (e.g. to load programs on a [`SimSubstrate`]).
-    pub fn substrate_mut(&mut self) -> &mut S {
-        &mut self.sub
-    }
-
-    /// `PAPI_get_hardware_info`.
-    pub fn hw_info(&self) -> HwInfo {
-        self.sub.hw_info()
-    }
-
-    /// `PAPI_num_counters`.
-    pub fn num_counters(&self) -> usize {
-        self.sub.num_counters()
-    }
-
-    /// The preset table built for this platform.
-    pub fn preset_table(&self) -> &PresetTable {
-        &self.presets
-    }
-
-    // --- event queries ------------------------------------------------------
-
-    /// `PAPI_query_event`: can this event (preset or native) be counted?
-    pub fn query_event(&self, code: u32) -> bool {
-        self.presets.resolve(code, self.sub.native_events()).is_ok()
-    }
-
-    /// Translate an event name (either `PAPI_*` or a native mnemonic) to a
-    /// code.
-    pub fn event_name_to_code(&self, name: &str) -> Result<u32> {
-        if let Some(p) = Preset::from_name(name) {
-            return Ok(p.code());
-        }
-        self.sub
-            .native_events()
-            .iter()
-            .find(|e| e.name == name)
-            .map(|e| e.code)
-            .ok_or(PapiError::Inval("unknown event name"))
-    }
-
-    /// Translate an event code to its name.
-    pub fn event_code_to_name(&self, code: u32) -> Result<String> {
-        if is_preset_code(code) {
-            return Preset::from_code(code)
-                .map(|p| p.name().to_string())
-                .ok_or(PapiError::NotPreset(code));
-        }
-        self.sub
-            .native_events()
-            .iter()
-            .find(|e| e.code == code)
-            .map(|e| e.name.to_string())
-            .ok_or(PapiError::NoEvnt(code))
-    }
-
-    /// The native events this platform exposes (`PAPI_enum_event` over the
-    /// native space).
-    pub fn native_events(&self) -> &[NativeEventDesc] {
-        self.sub.native_events()
-    }
-
-    // --- EventSet lifecycle -------------------------------------------------
-
-    /// `PAPI_create_eventset`.
-    pub fn create_eventset(&mut self) -> EventSetId {
-        self.sets.push(Some(EventSetData::new()));
-        let id = self.sets.len() - 1;
-        if let Some(obs) = &self.obs {
-            obs.inc(ObsCounter::EventsetCreated);
-            obs.record(self.sub.real_cycles(), || ObsEvent::EventsetCreated {
-                set: id,
-            });
-        }
-        id
-    }
-
-    /// `PAPI_destroy_eventset` (must be stopped).
-    pub fn destroy_eventset(&mut self, id: EventSetId) -> Result<()> {
-        let s = self.set_ref(id)?;
-        if s.state == SetState::Running {
-            return Err(PapiError::IsRun);
-        }
-        self.sets[id] = None;
-        if let Some(obs) = &self.obs {
-            obs.inc(ObsCounter::EventsetDestroyed);
-            obs.record(self.sub.real_cycles(), || ObsEvent::EventsetDestroyed {
-                set: id,
-            });
-        }
-        Ok(())
-    }
-
-    fn set_ref(&self, id: EventSetId) -> Result<&EventSetData> {
-        self.sets
-            .get(id)
-            .and_then(|s| s.as_ref())
-            .ok_or(PapiError::NoEvst(id))
-    }
-
-    fn set_mut(&mut self, id: EventSetId) -> Result<&mut EventSetData> {
-        self.sets
-            .get_mut(id)
-            .and_then(|s| s.as_mut())
-            .ok_or(PapiError::NoEvst(id))
-    }
-
-    /// `PAPI_add_event`: add a preset or native event to a stopped set.
-    pub fn add_event(&mut self, id: EventSetId, code: u32) -> Result<()> {
-        // Validate availability first (immutable borrows).
-        self.presets.resolve(code, self.sub.native_events())?;
-        let s = self.set_mut(id)?;
-        if s.state == SetState::Running {
-            return Err(PapiError::IsRun);
-        }
-        if s.events.contains(&code) {
-            return Err(PapiError::Inval("event already in set"));
-        }
-        s.events.push(code);
-        Ok(())
-    }
-
-    /// Add several events at once.
-    pub fn add_events(&mut self, id: EventSetId, codes: &[u32]) -> Result<()> {
-        for &c in codes {
-            self.add_event(id, c)?;
-        }
-        Ok(())
-    }
-
-    /// `PAPI_remove_event`.
-    pub fn remove_event(&mut self, id: EventSetId, code: u32) -> Result<()> {
-        let s = self.set_mut(id)?;
-        if s.state == SetState::Running {
-            return Err(PapiError::IsRun);
-        }
-        let pos = s
-            .events
-            .iter()
-            .position(|&e| e == code)
-            .ok_or(PapiError::NoEvnt(code))?;
-        s.events.remove(pos);
-        s.overflow.retain(|o| o.code != code);
-        Ok(())
-    }
-
-    /// `PAPI_list_events`.
-    pub fn list_events(&self, id: EventSetId) -> Result<Vec<u32>> {
-        Ok(self.set_ref(id)?.events.clone())
-    }
-
-    /// `PAPI_num_events`.
-    pub fn num_events(&self, id: EventSetId) -> Result<usize> {
-        Ok(self.set_ref(id)?.events.len())
-    }
-
-    /// `PAPI_state`.
-    pub fn state(&self, id: EventSetId) -> Result<SetState> {
-        Ok(self.set_ref(id)?.state)
-    }
-
-    /// `PAPI_set_multiplex`: opt this set into software multiplexing.
-    /// Deliberately *not* the default — see the module docs of
-    /// [`multiplex`].
-    pub fn set_multiplex(&mut self, id: EventSetId) -> Result<()> {
-        let s = self.set_mut(id)?;
-        if s.state == SetState::Running {
-            return Err(PapiError::IsRun);
-        }
-        if !s.overflow.is_empty() {
-            return Err(PapiError::Cnflct);
-        }
-        s.multiplex = true;
-        Ok(())
-    }
-
-    /// Override the multiplex switching period for a set (cycles). Shorter
-    /// periods converge faster but cost more reprogramming overhead — the
-    /// trade-off the E5 ablation sweeps.
-    pub fn set_multiplex_period(&mut self, id: EventSetId, cycles: u64) -> Result<()> {
-        if cycles == 0 {
-            return Err(PapiError::Inval("zero multiplex period"));
-        }
-        let s = self.set_mut(id)?;
-        if s.state == SetState::Running {
-            return Err(PapiError::IsRun);
-        }
-        s.mpx_period = Some(cycles);
-        Ok(())
-    }
-
-    /// `PAPI_set_domain` for a set.
-    pub fn set_domain(&mut self, id: EventSetId, domain: Domain) -> Result<()> {
-        let s = self.set_mut(id)?;
-        if s.state == SetState::Running {
-            return Err(PapiError::IsRun);
-        }
-        s.domain = domain;
-        Ok(())
-    }
-
-    /// `PAPI_set_granularity` (machine-wide or per-thread counting).
-    pub fn set_granularity(&mut self, g: Granularity) {
-        self.sub.set_granularity(g);
-    }
-
-    /// `PAPI_attach`: bind a stopped EventSet to a specific thread; reads
-    /// and stop() then return counts attributed to that thread only.
-    /// Requires per-thread counter virtualization
-    /// ([`Granularity::Thread`]); incompatible with multiplexing.
-    pub fn attach(&mut self, id: EventSetId, thread: ThreadId) -> Result<()> {
-        let s = self.set_mut(id)?;
-        if s.state == SetState::Running {
-            return Err(PapiError::IsRun);
-        }
-        if s.multiplex {
-            return Err(PapiError::Cnflct);
-        }
-        s.attached = Some(thread);
-        Ok(())
-    }
-
-    /// `PAPI_detach`.
-    pub fn detach(&mut self, id: EventSetId) -> Result<()> {
-        let s = self.set_mut(id)?;
-        if s.state == SetState::Running {
-            return Err(PapiError::IsRun);
-        }
-        s.attached = None;
-        Ok(())
-    }
-
-    // --- overflow & profil registration --------------------------------------
-
-    /// `PAPI_overflow`: call `handler` every `threshold` occurrences of
-    /// `code` while the set runs. The handler receives the (possibly
-    /// skidded) interrupt PC.
-    pub fn overflow(
-        &mut self,
-        id: EventSetId,
-        code: u32,
-        threshold: u64,
-        handler: OvfHandler,
-    ) -> Result<()> {
-        if threshold == 0 {
-            return Err(PapiError::Inval("zero overflow threshold"));
-        }
-        let route = OvfRoute::Handler(self.handlers.len());
-        {
-            let s = self.set_mut(id)?;
-            if s.state == SetState::Running {
-                return Err(PapiError::IsRun);
-            }
-            if s.multiplex {
-                return Err(PapiError::Cnflct);
-            }
-            if !s.events.contains(&code) {
-                return Err(PapiError::NoEvnt(code));
-            }
-            if s.overflow.iter().any(|o| o.code == code) {
-                return Err(PapiError::Cnflct);
-            }
-            s.overflow.push(OverflowReg {
-                code,
-                threshold,
-                route,
-            });
-        }
-        self.handlers.push(handler);
-        Ok(())
-    }
-
-    /// `PAPI_profil`: statistical profiling of `code` over a text range.
-    /// Returns a handle to retrieve the histogram with
-    /// [`Papi::profil_histogram`].
-    pub fn profil(&mut self, id: EventSetId, code: u32, cfg: ProfilConfig) -> Result<ProfilId> {
-        let pid = self.profils.len();
-        let route = OvfRoute::Profil(pid);
-        {
-            let s = self.set_mut(id)?;
-            if s.state == SetState::Running {
-                return Err(PapiError::IsRun);
-            }
-            if s.multiplex {
-                return Err(PapiError::Cnflct);
-            }
-            if !s.events.contains(&code) {
-                return Err(PapiError::NoEvnt(code));
-            }
-            if s.overflow.iter().any(|o| o.code == code) {
-                return Err(PapiError::Cnflct);
-            }
-            s.overflow.push(OverflowReg {
-                code,
-                threshold: cfg.threshold,
-                route,
-            });
-        }
-        self.profils.push(Profil::new(cfg));
-        Ok(pid)
-    }
-
-    /// The histogram collected by a [`Papi::profil`] registration.
-    pub fn profil_histogram(&self, pid: ProfilId) -> Option<&Profil> {
-        self.profils.get(pid)
-    }
-
-    // --- resolution & allocation ---------------------------------------------
-
-    /// Resolve the set's PAPI events to unique natives + per-event terms.
-    #[allow(clippy::type_complexity)]
-    fn resolve_set(&self, id: EventSetId) -> Result<(Vec<u32>, Vec<Vec<(usize, i64)>>)> {
-        let s = self.set_ref(id)?;
-        if s.events.is_empty() {
-            return Err(PapiError::Inval("EventSet is empty"));
-        }
-        let mut natives: Vec<u32> = Vec::new();
-        let mut terms: Vec<Vec<(usize, i64)>> = Vec::with_capacity(s.events.len());
-        for &code in &s.events {
-            let m = self.presets.resolve(code, self.sub.native_events())?;
-            let mut t = Vec::with_capacity(m.terms.len());
-            for (ncode, coeff) in m.terms {
-                let idx = match natives.iter().position(|&n| n == ncode) {
-                    Some(i) => i,
-                    None => {
-                        natives.push(ncode);
-                        natives.len() - 1
-                    }
-                };
-                t.push((idx, coeff));
-            }
-            terms.push(t);
-        }
-        Ok((natives, terms))
-    }
-
-    /// Solve counter allocation for `natives` on this platform.
-    fn allocate(&self, natives: &[u32]) -> Option<Vec<usize>> {
-        let groups = self.sub.groups();
-        let mut stats = alloc::AllocStats::default();
-        let assign = if groups.is_empty() {
-            let masks: Vec<u32> = natives
-                .iter()
-                .map(|&c| {
-                    self.sub
-                        .native_events()
-                        .iter()
-                        .find(|e| e.code == c)
-                        .map(|e| e.counter_mask)
-                        .unwrap_or(0)
-                })
-                .collect();
-            alloc::optimal_assign_stats(&masks, self.sub.num_counters(), &mut stats)
-        } else {
-            alloc::allocate_in_group(natives, groups).map(|(_, a)| a)
-        };
-        if let Some(obs) = &self.obs {
-            obs.inc(ObsCounter::AllocAttempts);
-            obs.inc(if assign.is_some() {
-                ObsCounter::AllocSuccesses
-            } else {
-                ObsCounter::AllocFailures
-            });
-            obs.add(ObsCounter::AllocAugmentSteps, stats.augment_steps);
-            obs.add(ObsCounter::AllocBacktracks, stats.backtracks);
-            obs.record(self.sub.real_cycles(), || ObsEvent::AllocAttempt {
-                events: natives.len(),
-                success: assign.is_some(),
-                augment_steps: stats.augment_steps,
-                backtracks: stats.backtracks,
-            });
-        }
-        assign
-    }
-
-    // --- start / stop / read ---------------------------------------------------
-
-    /// `PAPI_start`: resolve, allocate, program and start the counters.
-    pub fn start(&mut self, id: EventSetId) -> Result<()> {
-        let begin_cycles = self.sub.real_cycles();
-        let r = self.start_inner(id);
-        if let Some(obs) = &self.obs {
-            match &r {
-                Ok(()) => {
-                    obs.inc(ObsCounter::Starts);
-                    let now = self.sub.real_cycles();
-                    obs.add(
-                        ObsCounter::CyclesInStartStop,
-                        now.saturating_sub(begin_cycles),
-                    );
-                    let (natives, multiplexed) = self
-                        .running
-                        .as_ref()
-                        .map(|run| (run.natives.len(), matches!(run.mode, RunMode::Mpx(_))))
-                        .unwrap_or((0, false));
-                    obs.record(now, || ObsEvent::Start {
-                        set: id,
-                        natives,
-                        multiplexed,
-                    });
-                }
-                Err(_) => obs.inc(ObsCounter::StartErrors),
-            }
-        }
-        r
-    }
-
-    fn start_inner(&mut self, id: EventSetId) -> Result<()> {
-        if self.running.is_some() {
-            return Err(PapiError::IsRun);
-        }
-        let (natives, terms) = self.resolve_set(id)?;
-        let (domain, multiplex, mpx_period, attached, overflow) = {
-            let s = self.set_ref(id)?;
-            (
-                s.domain,
-                s.multiplex,
-                s.mpx_period,
-                s.attached,
-                s.overflow.clone(),
-            )
-        };
-        if attached.is_some() && multiplex {
-            return Err(PapiError::Cnflct);
-        }
-
-        let mode = match self.allocate(&natives) {
-            Some(assign) => RunMode::Direct { assign },
-            None if multiplex => {
-                let descs: Vec<&NativeEventDesc> = natives
-                    .iter()
-                    .map(|&c| {
-                        self.sub
-                            .native_events()
-                            .iter()
-                            .find(|e| e.code == c)
-                            .unwrap()
-                    })
-                    .collect();
-                let parts = partition_events(&descs, self.sub.num_counters(), self.sub.groups())
-                    .ok_or(PapiError::Cnflct)?;
-                let now = self.sub.real_cycles();
-                let period = mpx_period.unwrap_or(DEFAULT_MPX_PERIOD_CYCLES);
-                RunMode::Mpx(MpxState::new(parts, natives.len(), period, now))
-            }
-            None => return Err(PapiError::Cnflct),
-        };
-
-        // Program the hardware for the initial configuration.
-        let mut routes = Vec::new();
-        match &mode {
-            RunMode::Direct { assign } => {
-                let mut prog: Vec<Option<(u32, Domain)>> = vec![None; self.sub.num_counters()];
-                for (i, &ctr) in assign.iter().enumerate() {
-                    prog[ctr] = Some((natives[i], domain));
-                }
-                self.sub.program(&prog)?;
-                // Arm overflow registrations on the counter of each event's
-                // first native term.
-                for reg in &overflow {
-                    let ev_pos = {
-                        let s = self.set_ref(id)?;
-                        s.events
-                            .iter()
-                            .position(|&e| e == reg.code)
-                            .ok_or(PapiError::NoEvnt(reg.code))?
-                    };
-                    let (nidx, _) = terms[ev_pos][0];
-                    let ctr = assign[nidx];
-                    self.sub.set_overflow(ctr, Some(reg.threshold))?;
-                    routes.push((ctr, reg.code, reg.route));
-                }
-            }
-            RunMode::Mpx(mpx) => {
-                self.program_partition(&natives, domain, &mpx.partitions[0])?;
-                self.sub.set_timer(Some(mpx.period));
-            }
-        }
-
-        // Re-anchor the mpx clock after programming costs.
-        let mut mode = mode;
-        if let RunMode::Mpx(m) = &mut mode {
-            m.switched_at = self.sub.real_cycles();
-        }
-
-        self.running = Some(Running {
-            set: id,
-            attached,
-            natives,
-            terms,
-            mode,
-            routes,
-        });
-        self.set_mut(id)?.state = SetState::Running;
-        self.sub.start()?;
-        Ok(())
-    }
-
-    fn program_partition(
-        &mut self,
-        natives: &[u32],
-        domain: Domain,
-        part: &multiplex::Partition,
-    ) -> Result<()> {
-        let mut prog: Vec<Option<(u32, Domain)>> = vec![None; self.sub.num_counters()];
-        for (slot, &nidx) in part.natives.iter().enumerate() {
-            prog[part.counters[slot]] = Some((natives[nidx], domain));
-        }
-        self.sub.program(&prog)
-    }
-
-    /// Read the live values of the running set's natives.
-    fn read_native_counts(&mut self) -> Result<Vec<u64>> {
-        let obs = self.obs.clone();
-        let run = self.running.as_mut().ok_or(PapiError::NotRun)?;
-        match &mut run.mode {
-            RunMode::Direct { assign } => {
-                let assign = assign.clone();
-                let attached = run.attached;
-                let mut counts = Vec::with_capacity(assign.len());
-                if let Some(obs) = &obs {
-                    obs.add(ObsCounter::CounterReads, assign.len() as u64);
-                }
-                for ctr in assign {
-                    let v = match attached {
-                        Some(t) => self.sub.read_attached(t, ctr)?,
-                        None => self.sub.read(ctr)?,
-                    };
-                    counts.push(v);
-                }
-                Ok(counts)
-            }
-            RunMode::Mpx(_) => {
-                // Flush the live partition, then return estimates.
-                let now = self.sub.real_cycles();
-                let (counters, current, switched_at) = {
-                    let RunMode::Mpx(m) = &run.mode else {
-                        unreachable!()
-                    };
-                    (
-                        m.partitions[m.current].counters.clone(),
-                        m.current,
-                        m.switched_at,
-                    )
-                };
-                let mut live = Vec::with_capacity(counters.len());
-                for &c in &counters {
-                    live.push(self.sub.read(c)?);
-                }
-                self.sub.reset()?; // avoid double counting on the next flush
-                if let Some(obs) = &obs {
-                    obs.add(ObsCounter::CounterReads, counters.len() as u64);
-                    obs.inc(ObsCounter::MpxFlushes);
-                    obs.record(now, || ObsEvent::MpxFlush {
-                        partition: current,
-                        live_cycles: now.saturating_sub(switched_at),
-                    });
-                }
-                let run = self.running.as_mut().ok_or(PapiError::NotRun)?;
-                let RunMode::Mpx(m) = &mut run.mode else {
-                    unreachable!()
-                };
-                m.flush(now, &live);
-                Ok(m.estimates())
-            }
-        }
-    }
-
-    fn values_from_counts(&self, counts: &[u64]) -> Result<Vec<i64>> {
-        let run = self.running.as_ref().ok_or(PapiError::NotRun)?;
-        Ok(run
-            .terms
-            .iter()
-            .map(|t| t.iter().map(|&(i, c)| c * counts[i] as i64).sum())
-            .collect())
-    }
-
-    /// `PAPI_read`: current values (the set keeps running).
-    pub fn read(&mut self, id: EventSetId) -> Result<Vec<i64>> {
-        match &self.running {
-            Some(r) if r.set == id => {}
-            _ => return Err(PapiError::NotRun),
-        }
-        let begin_cycles = self.sub.real_cycles();
-        let counts = self.read_native_counts()?;
-        let values = self.values_from_counts(&counts)?;
-        if let Some(obs) = &self.obs {
-            let now = self.sub.real_cycles();
-            let cost_cycles = now.saturating_sub(begin_cycles);
-            obs.inc(ObsCounter::Reads);
-            obs.add(ObsCounter::CyclesInRead, cost_cycles);
-            obs.record(now, || ObsEvent::Read {
-                set: id,
-                cost_cycles,
-            });
-        }
-        Ok(values)
-    }
-
-    /// `PAPI_accum`: add current values into `values` and reset the
-    /// counters.
-    pub fn accum(&mut self, id: EventSetId, values: &mut [i64]) -> Result<()> {
-        let v = self.read(id)?;
-        if values.len() != v.len() {
-            return Err(PapiError::Inval("accum buffer length mismatch"));
-        }
-        for (acc, x) in values.iter_mut().zip(&v) {
-            *acc += x;
-        }
-        let r = self.reset(id);
-        if r.is_ok() {
-            if let Some(obs) = &self.obs {
-                obs.inc(ObsCounter::Accums);
-                obs.record(self.sub.real_cycles(), || ObsEvent::Accum { set: id });
-            }
-        }
-        r
-    }
-
-    /// `PAPI_reset`: zero the running counters (and multiplex accumulators).
-    pub fn reset(&mut self, id: EventSetId) -> Result<()> {
-        let now = self.sub.real_cycles();
-        match &mut self.running {
-            Some(r) if r.set == id => {
-                if let RunMode::Mpx(m) = &mut r.mode {
-                    m.raw.iter_mut().for_each(|r| *r = 0);
-                    m.active_cycles.iter_mut().for_each(|a| *a = 0);
-                    m.switched_at = now;
-                }
-            }
-            _ => return Err(PapiError::NotRun),
-        }
-        let r = self.sub.reset();
-        if r.is_ok() {
-            if let Some(obs) = &self.obs {
-                obs.inc(ObsCounter::Resets);
-                obs.record(self.sub.real_cycles(), || ObsEvent::Reset { set: id });
-            }
-        }
-        r
-    }
-
-    /// `PAPI_stop`: stop counting and return the final values.
-    pub fn stop(&mut self, id: EventSetId) -> Result<Vec<i64>> {
-        match &self.running {
-            Some(r) if r.set == id => {}
-            _ => return Err(PapiError::NotRun),
-        }
-        let begin_cycles = self.sub.real_cycles();
-        let counts = self.read_native_counts()?;
-        let values = self.values_from_counts(&counts)?;
-        // Disarm machinery.
-        let routes = self
-            .running
-            .as_ref()
-            .map(|r| r.routes.clone())
-            .unwrap_or_default();
-        for (ctr, _, _) in routes {
-            self.sub.set_overflow(ctr, None)?;
-        }
-        if matches!(
-            self.running.as_ref().map(|r| &r.mode),
-            Some(RunMode::Mpx(_))
-        ) {
-            self.sub.set_timer(None);
-        }
-        self.sub.stop()?;
-        self.running = None;
-        self.set_mut(id)?.state = SetState::Stopped;
-        if let Some(obs) = &self.obs {
-            let now = self.sub.real_cycles();
-            obs.inc(ObsCounter::Stops);
-            obs.add(
-                ObsCounter::CyclesInStartStop,
-                now.saturating_sub(begin_cycles),
-            );
-            obs.record(now, || ObsEvent::Stop { set: id });
-        }
-        Ok(values)
-    }
-
-    // --- precise sampling -------------------------------------------------------
-
-    /// Enable hardware precise sampling (ProfileMe/EAR). Samples accumulate
-    /// while the application runs under [`Papi::run_app`]/[`Papi::next_event`];
-    /// collect them with [`Papi::take_samples`] or [`Papi::stop_sampling`].
-    ///
-    /// Sampling hardware observes retirement only while the PMU is running,
-    /// i.e. while an EventSet is started.
-    pub fn start_sampling(&mut self, cfg: SampleConfig) -> Result<()> {
-        self.sub.configure_sampling(Some(cfg))?;
-        self.sampling_cfg = Some(cfg);
-        self.sampling_buf.clear();
-        Ok(())
-    }
-
-    /// Disable sampling and return every sample collected since
-    /// [`Papi::start_sampling`].
-    pub fn stop_sampling(&mut self) -> Result<Vec<SampleRecord>> {
-        if self.sampling_cfg.is_none() {
-            return Err(PapiError::NotRun);
-        }
-        let tail = self.sub.drain_samples();
-        self.sampling_buf.extend(tail);
-        self.sub.configure_sampling(None)?;
-        self.sampling_cfg = None;
-        Ok(std::mem::take(&mut self.sampling_buf))
-    }
-
-    /// Drain the samples collected so far (sampling stays enabled).
-    pub fn take_samples(&mut self) -> Vec<SampleRecord> {
-        let tail = self.sub.drain_samples();
-        self.sampling_buf.extend(tail);
-        std::mem::take(&mut self.sampling_buf)
-    }
-
-    /// The configured sampling period, if sampling is active.
-    pub fn sampling_period(&self) -> Option<u64> {
-        self.sampling_cfg.map(|c| c.period)
-    }
-
-    /// Pull hardware-buffered samples into the session buffer without
-    /// consuming them.
-    fn sync_samples(&mut self) {
-        let tail = self.sub.drain_samples();
-        self.sampling_buf.extend(tail);
-    }
-
-    /// PAPI-3 "hardware assisted profiling": build a profiling histogram for
-    /// `kind` from the precise samples collected so far (the samples stay in
-    /// the session). Attribution is exact — no skid.
-    pub fn sampled_histogram(
-        &mut self,
-        kind: simcpu::EventKind,
-        cfg: ProfilConfig,
-    ) -> Result<Profil> {
-        if self.sampling_cfg.is_none() {
-            return Err(PapiError::NotRun);
-        }
-        self.sync_samples();
-        Ok(sampling::profile_from_samples(
-            &self.sampling_buf,
-            kind,
-            cfg,
-        ))
-    }
-
-    /// PAPI-3 "option for estimating counts from samples": aggregate-count
-    /// estimates for `kinds` from the samples collected so far.
-    pub fn estimate_counts_from_samples(
-        &mut self,
-        kinds: &[simcpu::EventKind],
-    ) -> Result<Vec<u64>> {
-        let Some(cfg) = self.sampling_cfg else {
-            return Err(PapiError::NotRun);
-        };
-        self.sync_samples();
-        Ok(sampling::estimate_counts(
-            &self.sampling_buf,
-            cfg.period,
-            kinds,
-        ))
-    }
-
-    // --- the application run loop --------------------------------------------
-
-    /// Let the monitored application execute until it halts or hits an
-    /// instrumentation probe, servicing overflow interrupts (user handlers
-    /// and profil histograms), multiplex rotation and sample-buffer drains
-    /// along the way.
-    pub fn next_event(&mut self) -> Result<AppExit> {
-        self.next_event_until(None)
-    }
-
-    /// Like [`Papi::next_event`] but stops after `budget` cycles if nothing
-    /// else happened first, returning [`AppExit::Paused`]. The perfometer
-    /// tool samples metrics on this boundary.
-    pub fn run_for(&mut self, budget: u64) -> Result<AppExit> {
-        let deadline = self.sub.real_cycles().saturating_add(budget);
-        self.next_event_until(Some(deadline))
-    }
-
-    fn next_event_until(&mut self, deadline: Option<u64>) -> Result<AppExit> {
-        loop {
-            let budget = match deadline {
-                Some(d) => {
-                    let now = self.sub.real_cycles();
-                    if now >= d {
-                        return Ok(AppExit::Paused);
-                    }
-                    Some(d - now)
-                }
-                None => None,
-            };
-            match self.sub.run(budget) {
-                RunExit::Halted => {
-                    if self.sampling_cfg.is_some() {
-                        let tail = self.sub.drain_samples();
-                        self.sampling_buf.extend(tail);
-                    }
-                    return Ok(AppExit::Halted);
-                }
-                RunExit::Probe { id, thread, pc } => {
-                    return Ok(AppExit::Probe { id, thread, pc });
-                }
-                RunExit::Overflow {
-                    counter,
-                    thread,
-                    pc,
-                } => {
-                    self.dispatch_overflow(counter, thread, pc);
-                }
-                RunExit::Timer => {
-                    self.rotate_mpx()?;
-                }
-                RunExit::SampleBufferFull => {
-                    let recs = self.sub.drain_samples();
-                    self.sampling_buf.extend(recs);
-                }
-                RunExit::CycleLimit => return Ok(AppExit::Paused),
-                RunExit::Deadlock => {
-                    return Err(PapiError::Substrate(
-                        "application deadlocked on message receive".into(),
-                    ))
-                }
-            }
-        }
-    }
-
-    /// Run the application to completion, ignoring probes.
-    pub fn run_app(&mut self) -> Result<()> {
-        loop {
-            if let AppExit::Halted = self.next_event()? {
-                return Ok(());
-            }
-        }
-    }
-
-    fn dispatch_overflow(&mut self, counter: usize, thread: ThreadId, pc: u64) {
-        let Some(run) = &self.running else { return };
-        let set = run.set;
-        let hits: Vec<(u32, OvfRoute)> = run
-            .routes
-            .iter()
-            .filter(|(c, _, _)| *c == counter)
-            .map(|(_, code, r)| (*code, *r))
-            .collect();
-        if let Some(obs) = &self.obs {
-            obs.inc(ObsCounter::OverflowInterrupts);
-        }
-        let mut profil_hits = 0u64;
-        for (code, route) in hits {
-            match route {
-                OvfRoute::Profil(p) => {
-                    if let Some(prof) = self.profils.get_mut(p) {
-                        prof.hit(pc);
-                        profil_hits += 1;
-                    }
-                }
-                OvfRoute::Handler(h) => {
-                    if let Some(obs) = &self.obs {
-                        obs.inc(ObsCounter::OverflowHandlerDispatches);
-                        obs.record(self.sub.real_cycles(), || ObsEvent::OverflowFired {
-                            counter,
-                            code,
-                            pc,
-                            to_handler: true,
-                        });
-                    }
-                    let info = OverflowInfo {
-                        set,
-                        code,
-                        pc,
-                        thread,
-                    };
-                    if let Some(cb) = self.handlers.get_mut(h) {
-                        cb(info);
-                    }
-                }
-            }
-        }
-        if profil_hits > 0 {
-            if let Some(obs) = &self.obs {
-                obs.add(ObsCounter::ProfilHits, profil_hits);
-                obs.record(self.sub.real_cycles(), || ObsEvent::ProfilHitBatch {
-                    hits: profil_hits,
-                    pc,
-                });
-            }
-        }
-    }
-
-    /// Multiplex rotation on a timer tick: fold the live partition's counts
-    /// into the accumulators and program the next partition.
-    fn rotate_mpx(&mut self) -> Result<()> {
-        let Some(run) = &self.running else {
-            return Ok(());
-        };
-        let RunMode::Mpx(m) = &run.mode else {
-            return Ok(());
-        };
-        let counters = m.partitions[m.current].counters.clone();
-        let from_partition = m.current;
-        let switched_at = m.switched_at;
-        let begin_cycles = self.sub.real_cycles();
-        let now = begin_cycles;
-        let mut live = Vec::with_capacity(counters.len());
-        for &c in &counters {
-            live.push(self.sub.read(c)?);
-        }
-        // Fold and advance.
-        let (natives, domain, next_part, to_partition) = {
-            let run = self.running.as_mut().unwrap();
-            let set = run.set;
-            let RunMode::Mpx(m) = &mut run.mode else {
-                unreachable!()
-            };
-            m.flush(now, &live);
-            m.rotate();
-            let part = m.partitions[m.current].clone();
-            let domain = self.sets[set].as_ref().unwrap().domain;
-            (run.natives.clone(), domain, part, m.current)
-        };
-        self.program_partition(&natives, domain, &next_part)?;
-        // Counting restarts now; don't charge programming time to the slice.
-        let run = self.running.as_mut().unwrap();
-        let RunMode::Mpx(m) = &mut run.mode else {
-            unreachable!()
-        };
-        m.switched_at = self.sub.real_cycles();
-        if let Some(obs) = &self.obs {
-            let end_cycles = self.sub.real_cycles();
-            let cost_cycles = end_cycles.saturating_sub(begin_cycles);
-            obs.inc(ObsCounter::MpxRotations);
-            obs.inc(ObsCounter::MpxFlushes);
-            obs.inc(ObsCounter::MpxProgramOps);
-            obs.add(ObsCounter::CounterReads, counters.len() as u64);
-            obs.add(ObsCounter::CyclesInMpxRotate, cost_cycles);
-            obs.record(now, || ObsEvent::MpxFlush {
-                partition: from_partition,
-                live_cycles: now.saturating_sub(switched_at),
-            });
-            obs.record(end_cycles, || ObsEvent::MpxRotate {
-                from_partition,
-                to_partition,
-                cost_cycles,
-            });
-        }
-        Ok(())
-    }
-
-    // --- timers (the "most popular feature") ------------------------------------
-
-    /// `PAPI_get_real_cyc`.
-    pub fn get_real_cyc(&self) -> u64 {
-        self.sub.real_cycles()
-    }
-
-    /// `PAPI_get_real_usec`.
-    pub fn get_real_usec(&self) -> u64 {
-        self.sub.real_ns() / 1000
-    }
-
-    /// Wall-clock nanoseconds (finer than the C API offered).
-    pub fn get_real_ns(&self) -> u64 {
-        self.sub.real_ns()
-    }
-
-    /// `PAPI_get_virt_usec`: user-mode time of a thread.
-    pub fn get_virt_usec(&self, thread: ThreadId) -> Result<u64> {
-        Ok(self.sub.virt_ns(thread)? / 1000)
-    }
-
-    /// Virtual nanoseconds.
-    pub fn get_virt_ns(&self, thread: ThreadId) -> Result<u64> {
-        self.sub.virt_ns(thread)
-    }
-
-    /// `PAPI_get_mem_info`-style memory utilization (PAPI-3 extension).
-    pub fn get_mem_info(&self, thread: ThreadId) -> Result<simcpu::MemInfo> {
-        self.sub.mem_info(thread)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use simcpu::platform::{sim_alpha, sim_generic, sim_power3, sim_t3e, sim_x86};
-    use simcpu::{AddrGen, Machine, PlatformSpec, Program, ProgramBuilder};
-    use std::sync::{Arc, Mutex};
-
-    fn fma_loop(iters: u32, fmas: usize) -> Program {
-        let mut b = ProgramBuilder::new();
-        b.func("main", |f| {
-            f.loop_(iters, |f| {
-                f.ffma(fmas);
-            });
-        });
-        b.build("main")
-    }
-
-    fn papi_on(spec: PlatformSpec, prog: Program) -> Papi<SimSubstrate> {
-        let mut m = Machine::new(spec, 42);
-        m.load(prog);
-        Papi::init(SimSubstrate::new(m)).unwrap()
-    }
-
-    #[test]
-    fn lowlevel_count_fp_ops() {
-        let mut p = papi_on(sim_generic(), fma_loop(1000, 4));
-        let set = p.create_eventset();
-        p.add_event(set, Preset::FpOps.code()).unwrap();
-        p.add_event(set, Preset::TotIns.code()).unwrap();
-        p.start(set).unwrap();
-        p.run_app().unwrap();
-        let v = p.stop(set).unwrap();
-        assert_eq!(v[0], 8000);
-        assert_eq!(v[1] as u64, 1000 * 5 + 2);
-    }
-
-    #[test]
-    fn derived_sub_preset_values() {
-        let mut p = papi_on(sim_x86(), fma_loop(500, 1));
-        let set = p.create_eventset();
-        p.add_event(set, Preset::BrNtk.code()).unwrap();
-        p.add_event(set, Preset::BrIns.code()).unwrap();
-        p.start(set).unwrap();
-        p.run_app().unwrap();
-        let v = p.stop(set).unwrap();
-        assert_eq!(v[1], 500); // branches
-        assert_eq!(v[0], 1); // not taken once (loop exit)
-    }
-
-    #[test]
-    fn eventset_state_machine_errors() {
-        let mut p = papi_on(sim_generic(), fma_loop(10, 1));
-        let set = p.create_eventset();
-        assert!(matches!(p.start(set), Err(PapiError::Inval(_)))); // empty
-        p.add_event(set, Preset::TotCyc.code()).unwrap();
-        assert!(matches!(p.read(set), Err(PapiError::NotRun)));
-        assert!(matches!(p.stop(set), Err(PapiError::NotRun)));
-        p.start(set).unwrap();
-        assert_eq!(p.state(set).unwrap(), SetState::Running);
-        assert!(matches!(
-            p.add_event(set, Preset::TotIns.code()),
-            Err(PapiError::IsRun)
-        ));
-        // v3 semantics: a second running set is refused.
-        let set2 = p.create_eventset();
-        p.add_event(set2, Preset::TotIns.code()).unwrap();
-        assert!(matches!(p.start(set2), Err(PapiError::IsRun)));
-        p.stop(set).unwrap();
-        p.start(set2).unwrap();
-        p.stop(set2).unwrap();
-    }
-
-    #[test]
-    fn duplicate_and_unknown_events_rejected() {
-        let mut p = papi_on(sim_generic(), fma_loop(10, 1));
-        let set = p.create_eventset();
-        p.add_event(set, Preset::TotCyc.code()).unwrap();
-        assert!(matches!(
-            p.add_event(set, Preset::TotCyc.code()),
-            Err(PapiError::Inval(_))
-        ));
-        assert!(matches!(
-            p.add_event(set, 0x4abc_0000),
-            Err(PapiError::NoEvnt(_))
-        ));
-        assert!(matches!(
-            p.add_event(99, Preset::TotCyc.code()),
-            Err(PapiError::NoEvst(99))
-        ));
-    }
-
-    #[test]
-    fn unavailable_preset_rejected_at_add() {
-        // sim-t3e has no TLB events.
-        let mut p = papi_on(sim_t3e(), fma_loop(10, 1));
-        let set = p.create_eventset();
-        assert!(matches!(
-            p.add_event(set, Preset::TlbDm.code()),
-            Err(PapiError::NoEvnt(_))
-        ));
-    }
-
-    #[test]
-    fn conflicting_events_cnflct_without_multiplex() {
-        // sim-x86: four FP-class events exceed the two FP-capable counters.
-        let mut p = papi_on(sim_x86(), fma_loop(10, 1));
-        let set = p.create_eventset();
-        p.add_event(set, Preset::FdvIns.code()).unwrap();
-        p.add_event(set, Preset::FmaIns.code()).unwrap();
-        p.add_event(set, Preset::FpOps.code()).unwrap();
-        assert!(matches!(p.start(set), Err(PapiError::Cnflct)));
-        // The set is still usable after the failed start.
-        assert_eq!(p.state(set).unwrap(), SetState::Stopped);
-    }
-
-    #[test]
-    fn multiplex_counts_many_events() {
-        let mut p = papi_on(sim_x86(), fma_loop(200_000, 4));
-        let set = p.create_eventset();
-        p.add_event(set, Preset::FdvIns.code()).unwrap();
-        p.add_event(set, Preset::FmaIns.code()).unwrap();
-        p.add_event(set, Preset::FpOps.code()).unwrap();
-        p.add_event(set, Preset::TotIns.code()).unwrap();
-        p.set_multiplex(set).unwrap();
-        p.start(set).unwrap();
-        p.run_app().unwrap();
-        let v = p.stop(set).unwrap();
-        // True counts: fdv 0, fma 800k, fp_ops 1.6M, ins 1M+2.
-        assert_eq!(v[0], 0);
-        let fma_err = (v[1] - 800_000).abs() as f64 / 800_000.0;
-        assert!(fma_err < 0.15, "fma estimate off by {fma_err}: {}", v[1]);
-        let ops_err = (v[2] - 1_600_000).abs() as f64 / 1_600_000.0;
-        assert!(ops_err < 0.15, "fp_ops estimate off by {ops_err}: {}", v[2]);
-    }
-
-    #[test]
-    fn accum_and_reset() {
-        let mut p = papi_on(sim_generic(), fma_loop(100, 2));
-        let set = p.create_eventset();
-        p.add_event(set, Preset::FmaIns.code()).unwrap();
-        p.start(set).unwrap();
-        p.run_app().unwrap();
-        let mut acc = vec![0i64];
-        p.accum(set, &mut acc).unwrap();
-        assert_eq!(acc[0], 200);
-        // After accum the live counter is reset.
-        let v = p.read(set).unwrap();
-        assert_eq!(v[0], 0);
-        p.stop(set).unwrap();
-    }
-
-    #[test]
-    fn overflow_callback_fires() {
-        let mut p = papi_on(sim_generic(), fma_loop(10_000, 4));
-        let set = p.create_eventset();
-        p.add_event(set, Preset::FmaIns.code()).unwrap();
-        let hits = Arc::new(Mutex::new(Vec::new()));
-        let h2 = Arc::clone(&hits);
-        p.overflow(
-            set,
-            Preset::FmaIns.code(),
-            1000,
-            Box::new(move |info| h2.lock().unwrap().push(info)),
-        )
-        .unwrap();
-        p.start(set).unwrap();
-        p.run_app().unwrap();
-        p.stop(set).unwrap();
-        let hits = hits.lock().unwrap();
-        assert!(
-            (38..=40).contains(&hits.len()),
-            "got {} overflows",
-            hits.len()
-        );
-        assert!(hits.iter().all(|i| i.code == Preset::FmaIns.code()));
-    }
-
-    #[test]
-    fn overflow_on_multiplexed_set_rejected() {
-        let mut p = papi_on(sim_generic(), fma_loop(10, 1));
-        let set = p.create_eventset();
-        p.add_event(set, Preset::FmaIns.code()).unwrap();
-        p.set_multiplex(set).unwrap();
-        assert!(matches!(
-            p.overflow(set, Preset::FmaIns.code(), 100, Box::new(|_| {})),
-            Err(PapiError::Cnflct)
-        ));
-    }
-
-    #[test]
-    fn profil_histogram_collects() {
-        let mut p = papi_on(sim_generic(), fma_loop(50_000, 4));
-        let set = p.create_eventset();
-        p.add_event(set, Preset::TotCyc.code()).unwrap();
-        let text_end = Program::pc_of(64);
-        let pid = p
-            .profil(
-                set,
-                Preset::TotCyc.code(),
-                ProfilConfig {
-                    start: simcpu::TEXT_BASE,
-                    end: text_end,
-                    bucket_bytes: 4,
-                    threshold: 5000,
-                },
-            )
-            .unwrap();
-        p.start(set).unwrap();
-        p.run_app().unwrap();
-        p.stop(set).unwrap();
-        let prof = p.profil_histogram(pid).unwrap();
-        assert!(prof.total_samples() > 20, "got {}", prof.total_samples());
-        assert!(prof.buckets().iter().sum::<u64>() > 0);
-    }
-
-    #[test]
-    fn two_profils_on_different_events_simultaneously() {
-        // §2: "SVR4-compatible code profiling based on any hardware counter
-        // metric" — two metrics profiled in the same run.
-        let mut b = ProgramBuilder::new();
-        b.func("main", |f| {
-            f.loop_(40_000, |f| {
-                f.ffma(2);
-                f.load(AddrGen::Chase {
-                    base: 0x40_0000,
-                    len: 1 << 21,
-                });
-            });
-        });
-        let mut p = papi_on(sim_generic(), b.build("main"));
-        let set = p.create_eventset();
-        p.add_event(set, Preset::FmaIns.code()).unwrap();
-        p.add_event(set, Preset::L1Dcm.code()).unwrap();
-        let cfg = ProfilConfig {
-            start: simcpu::TEXT_BASE,
-            end: Program::pc_of(16),
-            bucket_bytes: 4,
-            threshold: 2_000,
-        };
-        let pid_fma = p.profil(set, Preset::FmaIns.code(), cfg).unwrap();
-        let pid_mis = p.profil(set, Preset::L1Dcm.code(), cfg).unwrap();
-        p.start(set).unwrap();
-        p.run_app().unwrap();
-        p.stop(set).unwrap();
-        let fma = p.profil_histogram(pid_fma).unwrap();
-        let mis = p.profil_histogram(pid_mis).unwrap();
-        assert!(
-            fma.total_samples() > 20,
-            "fma samples {}",
-            fma.total_samples()
-        );
-        assert!(
-            mis.total_samples() > 10,
-            "miss samples {}",
-            mis.total_samples()
-        );
-        // ~80k FMAs vs ~40k misses at the same threshold: the FMA profile
-        // must have roughly twice the samples.
-        let ratio = fma.total_samples() as f64 / mis.total_samples() as f64;
-        assert!(ratio > 1.4 && ratio < 2.6, "ratio {ratio}");
-    }
-
-    #[test]
-    fn duplicate_profil_on_same_event_rejected() {
-        let mut p = papi_on(sim_generic(), fma_loop(100, 1));
-        let set = p.create_eventset();
-        p.add_event(set, Preset::FmaIns.code()).unwrap();
-        let cfg = ProfilConfig {
-            start: simcpu::TEXT_BASE,
-            end: Program::pc_of(8),
-            bucket_bytes: 4,
-            threshold: 10,
-        };
-        p.profil(set, Preset::FmaIns.code(), cfg).unwrap();
-        assert!(matches!(
-            p.profil(set, Preset::FmaIns.code(), cfg),
-            Err(PapiError::Cnflct)
-        ));
-        assert!(matches!(
-            p.overflow(set, Preset::FmaIns.code(), 5, Box::new(|_| {})),
-            Err(PapiError::Cnflct)
-        ));
-    }
-
-    #[test]
-    fn multiplex_on_group_platform() {
-        // Group platforms multiplex across groups: branch-group and
-        // mem-group events in one (explicitly multiplexed) set.
-        let mut b = ProgramBuilder::new();
-        b.func("main", |f| {
-            f.loop_(400_000, |f| {
-                f.load(AddrGen::Stride {
-                    base: 0x30_0000,
-                    stride: 64,
-                    len: 1 << 19,
-                });
-                f.int(1);
-            });
-        });
-        let mut p = papi_on(sim_power3(), b.build("main"));
-        let tkn = p.event_name_to_code("PM_BR_TAKEN").unwrap();
-        let ldm = p.event_name_to_code("PM_LD_MISS_L1").unwrap();
-        let set = p.create_eventset();
-        p.add_event(set, tkn).unwrap();
-        p.add_event(set, ldm).unwrap();
-        assert!(matches!(p.start(set), Err(PapiError::Cnflct)));
-        p.set_multiplex(set).unwrap();
-        p.start(set).unwrap();
-        p.run_app().unwrap();
-        let v = p.stop(set).unwrap();
-        // Taken branches ~= 400k - 1; every load misses (512 KiB stream,
-        // 8192 lines, 400k accesses wrap ~48 times... all within cache? No:
-        // 1<<19 = 512 KiB > 16 KiB L1, streaming -> miss per line visit).
-        let tkn_err = (v[0] - 399_999).abs() as f64 / 399_999.0;
-        assert!(tkn_err < 0.1, "taken estimate off: {} ({tkn_err})", v[0]);
-        assert!(v[1] > 300_000, "expected streaming misses, got {}", v[1]);
-    }
-
-    #[test]
-    fn timers_move_forward() {
-        let mut p = papi_on(sim_generic(), fma_loop(100_000, 1));
-        let c0 = p.get_real_cyc();
-        let set = p.create_eventset();
-        p.add_event(set, Preset::TotCyc.code()).unwrap();
-        p.start(set).unwrap();
-        p.run_app().unwrap();
-        p.stop(set).unwrap();
-        assert!(p.get_real_cyc() > c0);
-        assert!(p.get_real_usec() > 0);
-        assert!(p.get_virt_usec(0).unwrap() > 0);
-        assert!(p.get_virt_usec(0).unwrap() <= p.get_real_usec());
-    }
-
-    #[test]
-    fn event_name_lookups() {
-        let p = papi_on(sim_x86(), fma_loop(1, 1));
-        assert_eq!(
-            p.event_name_to_code("PAPI_TOT_CYC").unwrap(),
-            Preset::TotCyc.code()
-        );
-        let c = p.event_name_to_code("INST_RETIRED").unwrap();
-        assert_eq!(p.event_code_to_name(c).unwrap(), "INST_RETIRED");
-        assert!(p.event_name_to_code("NOPE").is_err());
-        assert_eq!(
-            p.event_code_to_name(Preset::FpOps.code()).unwrap(),
-            "PAPI_FP_OPS"
-        );
-    }
-
-    #[test]
-    fn native_event_counting() {
-        let mut p = papi_on(sim_x86(), fma_loop(100, 3));
-        let fml = p.event_name_to_code("FML_INS").unwrap();
-        let set = p.create_eventset();
-        p.add_event(set, fml).unwrap();
-        p.start(set).unwrap();
-        p.run_app().unwrap();
-        let v = p.stop(set).unwrap();
-        assert_eq!(v[0], 0); // FMAs are not plain multiplies on sim-x86
-    }
-
-    #[test]
-    fn group_platform_allocation_and_conflict() {
-        let mut p = papi_on(sim_power3(), fma_loop(100, 2));
-        // PM_CYC + PM_INST_CMPL live in every group: fine.
-        let set = p.create_eventset();
-        let cyc = p.event_name_to_code("PM_CYC").unwrap();
-        let inst = p.event_name_to_code("PM_INST_CMPL").unwrap();
-        p.add_event(set, cyc).unwrap();
-        p.add_event(set, inst).unwrap();
-        p.start(set).unwrap();
-        p.run_app().unwrap();
-        let v = p.stop(set).unwrap();
-        assert!(v[0] > 0 && v[1] > 0);
-        // PM_BR_TAKEN (branch group) + PM_LD_MISS_L1 (mem/cache groups)
-        // span groups: conflict.
-        let set2 = p.create_eventset();
-        let tkn = p.event_name_to_code("PM_BR_TAKEN").unwrap();
-        let ldm = p.event_name_to_code("PM_LD_MISS_L1").unwrap();
-        p.add_event(set2, tkn).unwrap();
-        p.add_event(set2, ldm).unwrap();
-        assert!(matches!(p.start(set2), Err(PapiError::Cnflct)));
-    }
-
-    #[test]
-    fn power3_rounding_quirk_shows_in_counts() {
-        // A workload with converts: FP_INS over-counts on sim-power3.
-        let mut b = ProgramBuilder::new();
-        b.func("main", |f| {
-            f.loop_(1000, |f| {
-                f.fadd(2);
-                f.fcvt(1);
-            });
-        });
-        let mut p = papi_on(sim_power3(), b.build("main"));
-        let set = p.create_eventset();
-        p.add_event(set, Preset::FpIns.code()).unwrap();
-        p.start(set).unwrap();
-        p.run_app().unwrap();
-        let v = p.stop(set).unwrap();
-        // Analytic FP instructions = 2000; PM_FPU_CMPL also counts the 1000
-        // converts — the paper's calibration discrepancy.
-        assert_eq!(v[0], 3000);
-        let m = p.preset_table().mapping(Preset::FpIns.code()).unwrap();
-        assert!(m.inexact);
-    }
-
-    #[test]
-    fn sampling_through_papi() {
-        let mut p = papi_on(sim_alpha(), fma_loop(20_000, 4));
-        let set = p.create_eventset();
-        p.add_event(set, Preset::TotCyc.code()).unwrap();
-        p.start_sampling(SampleConfig {
-            period: 200,
-            jitter: 20,
-            buffer_capacity: 128,
-        })
-        .unwrap();
-        p.start(set).unwrap();
-        p.run_app().unwrap();
-        p.stop(set).unwrap();
-        let samples = p.stop_sampling().unwrap();
-        assert!(samples.len() > 100, "got {}", samples.len());
-        // Estimation from samples tracks the FMA-heavy mix.
-        let est = sampling::estimate_count(&samples, 200, simcpu::EventKind::FpFma);
-        let err = (est as f64 - 80_000.0).abs() / 80_000.0;
-        assert!(err < 0.2, "estimate {est} off by {err}");
-    }
-
-    #[test]
-    fn mpx_period_configurable_and_validated() {
-        let mut p = papi_on(sim_x86(), fma_loop(300_000, 4));
-        let set = p.create_eventset();
-        for pr in [Preset::FdvIns, Preset::FmaIns, Preset::FpOps] {
-            p.add_event(set, pr.code()).unwrap();
-        }
-        p.set_multiplex(set).unwrap();
-        assert!(matches!(
-            p.set_multiplex_period(set, 0),
-            Err(PapiError::Inval(_))
-        ));
-        p.set_multiplex_period(set, 20_000).unwrap(); // 5x faster switching
-        p.start(set).unwrap();
-        assert!(matches!(
-            p.set_multiplex_period(set, 1),
-            Err(PapiError::IsRun)
-        ));
-        p.run_app().unwrap();
-        let v = p.stop(set).unwrap();
-        let err = (v[1] - 1_200_000).abs() as f64 / 1_200_000.0;
-        assert!(err < 0.1, "fast-switching mpx should converge, err {err}");
-    }
-
-    #[test]
-    fn sampled_histogram_and_estimates() {
-        let mut p = papi_on(sim_alpha(), fma_loop(30_000, 4));
-        // Not running a sampling session -> NotRun.
-        assert!(matches!(
-            p.sampled_histogram(
-                simcpu::EventKind::FpFma,
-                ProfilConfig {
-                    start: simcpu::TEXT_BASE,
-                    end: Program::pc_of(16),
-                    bucket_bytes: 4,
-                    threshold: 1
-                }
-            ),
-            Err(PapiError::NotRun)
-        ));
-        let set = p.create_eventset();
-        p.add_event(set, Preset::TotCyc.code()).unwrap();
-        p.start_sampling(SampleConfig {
-            period: 300,
-            jitter: 30,
-            buffer_capacity: 128,
-        })
-        .unwrap();
-        p.start(set).unwrap();
-        p.run_app().unwrap();
-        p.stop(set).unwrap();
-        let hist = p
-            .sampled_histogram(
-                simcpu::EventKind::FpFma,
-                ProfilConfig {
-                    start: simcpu::TEXT_BASE,
-                    end: Program::pc_of(16),
-                    bucket_bytes: 4,
-                    threshold: 1,
-                },
-            )
-            .unwrap();
-        // FMA samples land exactly on the 4 FMA instruction buckets.
-        let nonzero: Vec<usize> = hist
-            .buckets()
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(i, _)| i)
-            .collect();
-        assert!(
-            !nonzero.is_empty() && nonzero.iter().all(|&i| i < 4),
-            "buckets {nonzero:?}"
-        );
-        let est = p
-            .estimate_counts_from_samples(&[simcpu::EventKind::FpFma])
-            .unwrap();
-        let err = (est[0] as f64 - 120_000.0).abs() / 120_000.0;
-        assert!(err < 0.15, "estimate {} off by {err}", est[0]);
-        // The session still owns its samples afterwards.
-        let all = p.stop_sampling().unwrap();
-        assert!(!all.is_empty());
-    }
-
-    #[test]
-    fn sampling_unsupported_on_x86() {
-        let mut p = papi_on(sim_x86(), fma_loop(10, 1));
-        assert!(matches!(
-            p.start_sampling(SampleConfig::default()),
-            Err(PapiError::NoSupp(_))
-        ));
-    }
-
-    #[test]
-    fn meminfo_through_papi() {
-        let mut b = ProgramBuilder::new();
-        b.func("main", |f| {
-            f.loop_(32, |f| {
-                f.store(AddrGen::Stride {
-                    base: 0x200_0000,
-                    stride: 4096,
-                    len: 32 * 4096,
-                });
-            });
-        });
-        let mut p = papi_on(sim_generic(), b.build("main"));
-        p.run_app().unwrap();
-        let mi = p.get_mem_info(0).unwrap();
-        assert_eq!(mi.resident_pages, 32);
-    }
-
-    #[test]
-    fn destroy_eventset_lifecycle() {
-        let mut p = papi_on(sim_generic(), fma_loop(10, 1));
-        let set = p.create_eventset();
-        p.add_event(set, Preset::TotCyc.code()).unwrap();
-        p.start(set).unwrap();
-        assert!(matches!(p.destroy_eventset(set), Err(PapiError::IsRun)));
-        p.stop(set).unwrap();
-        p.destroy_eventset(set).unwrap();
-        assert!(matches!(p.state(set), Err(PapiError::NoEvst(_))));
-    }
-
-    #[test]
-    fn remove_event_updates_set() {
-        let mut p = papi_on(sim_generic(), fma_loop(10, 1));
-        let set = p.create_eventset();
-        p.add_events(set, &[Preset::TotCyc.code(), Preset::TotIns.code()])
-            .unwrap();
-        assert_eq!(p.num_events(set).unwrap(), 2);
-        p.remove_event(set, Preset::TotCyc.code()).unwrap();
-        assert_eq!(p.list_events(set).unwrap(), vec![Preset::TotIns.code()]);
-        assert!(matches!(
-            p.remove_event(set, Preset::TotCyc.code()),
-            Err(PapiError::NoEvnt(_))
-        ));
-    }
-
-    #[test]
-    fn attach_reads_one_threads_counts() {
-        // Two threads with disjoint work; an attached set sees only its
-        // thread's share (PAPI_attach over per-thread virtualization).
-        let build = || {
-            let mut m = Machine::new(sim_generic(), 14);
-            m.load(fma_loop(30_000, 4)); // t0: FP
-            let mut b = ProgramBuilder::new();
-            b.func("main", |f| {
-                f.loop_(30_000, |f| {
-                    f.int(4);
-                });
-            });
-            m.load(b.build("main")); // t1: integer
-            m.set_granularity(simcpu::Granularity::Thread);
-            Papi::init(SimSubstrate::new(m)).unwrap()
-        };
-        let measure_thread = |tid: u32| -> i64 {
-            let mut p = build();
-            let set = p.create_eventset();
-            p.add_event(set, Preset::FmaIns.code()).unwrap();
-            p.attach(set, tid).unwrap();
-            p.start(set).unwrap();
-            p.run_app().unwrap();
-            p.stop(set).unwrap()[0]
-        };
-        assert_eq!(measure_thread(0), 120_000, "t0 owns all FMAs");
-        assert_eq!(measure_thread(1), 0, "integer thread has no FMAs");
-    }
-
-    #[test]
-    fn attach_state_machine_rules() {
-        let mut p = papi_on(sim_generic(), fma_loop(10, 1));
-        let set = p.create_eventset();
-        p.add_event(set, Preset::FmaIns.code()).unwrap();
-        p.attach(set, 0).unwrap();
-        p.detach(set).unwrap();
-        p.set_multiplex(set).unwrap();
-        assert!(matches!(p.attach(set, 0), Err(PapiError::Cnflct)));
-        let set2 = p.create_eventset();
-        p.add_event(set2, Preset::TotCyc.code()).unwrap();
-        p.start(set2).unwrap();
-        assert!(matches!(p.attach(set2, 0), Err(PapiError::IsRun)));
-        p.stop(set2).unwrap();
-    }
-
-    #[test]
-    fn domain_filters_kernel_overhead() {
-        // USER-domain cycles exclude measurement overhead; ALL includes it.
-        let prog = fma_loop(10_000, 2);
-        let count_with = |domain: Domain| -> i64 {
-            let mut p = papi_on(sim_x86(), prog.clone());
-            let set = p.create_eventset();
-            p.add_event(set, Preset::TotCyc.code()).unwrap();
-            p.set_domain(set, domain).unwrap();
-            p.start(set).unwrap();
-            // Extra reads generate kernel-mode cycles mid-run.
-            for _ in 0..50 {
-                let _ = p.read(set).unwrap();
-            }
-            p.run_app().unwrap();
-            p.stop(set).unwrap()[0]
-        };
-        let user = count_with(Domain::USER);
-        let all = count_with(Domain::ALL);
-        assert!(all > user, "ALL {all} must exceed USER {user}");
-    }
-
-    #[test]
-    fn obs_counts_api_traffic_and_journal() {
-        let mut p = papi_on(sim_generic(), fma_loop(10_000, 4));
-        let obs = papi_obs::Obs::new();
-        obs.enable_journal(1024);
-        p.attach_obs(obs.clone());
-
-        let set = p.create_eventset();
-        p.add_event(set, Preset::FmaIns.code()).unwrap();
-        p.overflow(set, Preset::FmaIns.code(), 1000, Box::new(|_| {}))
-            .unwrap();
-        p.start(set).unwrap();
-        let mut acc = vec![0i64];
-        while !matches!(p.run_for(50_000).unwrap(), AppExit::Halted) {
-            let _ = p.read(set).unwrap();
-        }
-        p.accum(set, &mut acc).unwrap();
-        p.stop(set).unwrap();
-        p.destroy_eventset(set).unwrap();
-
-        use papi_obs::Counter as C;
-        assert_eq!(obs.get(C::EventsetCreated), 1);
-        assert_eq!(obs.get(C::EventsetDestroyed), 1);
-        assert_eq!(obs.get(C::Starts), 1);
-        assert_eq!(obs.get(C::Stops), 1);
-        assert!(obs.get(C::Reads) >= 2); // explicit reads + accum's read
-        assert!(obs.get(C::CounterReads) >= obs.get(C::Reads));
-        assert_eq!(obs.get(C::Accums), 1);
-        assert_eq!(obs.get(C::Resets), 1); // accum's reset
-        assert_eq!(obs.get(C::AllocAttempts), 1);
-        assert_eq!(obs.get(C::AllocSuccesses), 1);
-        assert!(obs.get(C::AllocAugmentSteps) >= 1);
-        assert!(
-            obs.get(C::OverflowInterrupts) >= 30,
-            "interrupts {}",
-            obs.get(C::OverflowInterrupts)
-        );
-        assert_eq!(
-            obs.get(C::OverflowHandlerDispatches),
-            obs.get(C::OverflowInterrupts)
-        );
-        // Reads cost kernel cycles; the span accounting must have seen them.
-        assert!(obs.get(C::CyclesInRead) > 0);
-        assert!(obs.get(C::CyclesInStartStop) > 0);
-
-        // The journal saw the lifecycle in virtual-time order.
-        let recs = obs.journal_records();
-        assert!(!recs.is_empty());
-        assert!(recs.windows(2).all(|w| w[0].cycles <= w[1].cycles));
-        assert!(recs.windows(2).all(|w| w[0].seq < w[1].seq));
-        let kinds: Vec<&str> = recs.iter().map(|r| r.event.kind()).collect();
-        for expected in [
-            "obs.eventset_created",
-            "obs.alloc",
-            "obs.start",
-            "obs.read",
-            "obs.overflow",
-            "obs.accum",
-            "obs.reset",
-            "obs.stop",
-            "obs.eventset_destroyed",
-        ] {
-            assert!(kinds.contains(&expected), "missing {expected} in {kinds:?}");
-        }
-        assert_eq!(obs.get(C::JournalRecords), recs.len() as u64);
-    }
-
-    #[test]
-    fn obs_counts_mpx_rotations_and_profil_hits() {
-        let mut p = papi_on(sim_x86(), fma_loop(200_000, 4));
-        let obs = papi_obs::Obs::new();
-        p.attach_obs(obs.clone());
-        let set = p.create_eventset();
-        p.add_event(set, Preset::FdvIns.code()).unwrap();
-        p.add_event(set, Preset::FmaIns.code()).unwrap();
-        p.add_event(set, Preset::FpOps.code()).unwrap();
-        p.add_event(set, Preset::TotIns.code()).unwrap();
-        p.set_multiplex(set).unwrap();
-        p.start(set).unwrap();
-        p.run_app().unwrap();
-        p.stop(set).unwrap();
-
-        use papi_obs::Counter as C;
-        assert!(
-            obs.get(C::MpxRotations) >= 5,
-            "rotations {}",
-            obs.get(C::MpxRotations)
-        );
-        // Every rotation flushes; the final stop() flushes once more.
-        assert!(obs.get(C::MpxFlushes) > obs.get(C::MpxRotations));
-        assert_eq!(obs.get(C::MpxProgramOps), obs.get(C::MpxRotations));
-        assert!(obs.get(C::CyclesInMpxRotate) > 0);
-        // One failed direct allocation attempt preceded the mpx fallback.
-        assert_eq!(obs.get(C::AllocAttempts), 1);
-        assert_eq!(obs.get(C::AllocFailures), 1);
-
-        // Profil hits route through the same dispatcher.
-        let mut p = papi_on(sim_generic(), fma_loop(50_000, 4));
-        let obs = papi_obs::Obs::new();
-        p.attach_obs(obs.clone());
-        let set = p.create_eventset();
-        p.add_event(set, Preset::TotCyc.code()).unwrap();
-        p.profil(
-            set,
-            Preset::TotCyc.code(),
-            ProfilConfig {
-                start: simcpu::TEXT_BASE,
-                end: Program::pc_of(64),
-                bucket_bytes: 4,
-                threshold: 5000,
-            },
-        )
-        .unwrap();
-        p.start(set).unwrap();
-        p.run_app().unwrap();
-        p.stop(set).unwrap();
-        assert!(obs.get(C::ProfilHits) > 20);
-        assert_eq!(obs.get(C::ProfilHits), obs.get(C::OverflowInterrupts));
-        assert_eq!(obs.get(C::OverflowHandlerDispatches), 0);
-    }
-
-    #[test]
-    fn obs_never_perturbs_measurements() {
-        // Identical runs with and without the observer (journal on) must
-        // produce identical counts and identical virtual end times: the
-        // instrumentation issues no costed substrate operations.
-        let run = |with_obs: bool| -> (Vec<i64>, u64) {
-            let mut p = papi_on(sim_x86(), fma_loop(30_000, 2));
-            if with_obs {
-                let obs = papi_obs::Obs::new();
-                obs.enable_journal(256);
-                p.attach_obs(obs);
-            }
-            let set = p.create_eventset();
-            p.add_event(set, Preset::FpOps.code()).unwrap();
-            p.add_event(set, Preset::TotCyc.code()).unwrap();
-            p.start(set).unwrap();
-            while !matches!(p.run_for(25_000).unwrap(), AppExit::Halted) {
-                let _ = p.read(set).unwrap();
-            }
-            let v = p.stop(set).unwrap();
-            (v, p.get_real_cyc())
-        };
-        let (vals_plain, cyc_plain) = run(false);
-        let (vals_obs, cyc_obs) = run(true);
-        assert_eq!(vals_plain, vals_obs);
-        assert_eq!(cyc_plain, cyc_obs);
-    }
-
-    #[test]
-    fn obs_detach_and_reuse() {
-        let mut p = papi_on(sim_generic(), fma_loop(100, 1));
-        let obs = papi_obs::Obs::new();
-        p.attach_obs(obs.clone());
-        assert!(p.obs().is_some());
-        let set = p.create_eventset();
-        p.add_event(set, Preset::TotCyc.code()).unwrap();
-        let detached = p.detach_obs().unwrap();
-        assert!(p.obs().is_none());
-        // Detached: no further accounting.
-        p.start(set).unwrap();
-        p.run_app().unwrap();
-        p.stop(set).unwrap();
-        assert_eq!(detached.get(papi_obs::Counter::Starts), 0);
-        assert_eq!(detached.get(papi_obs::Counter::EventsetCreated), 1);
-    }
-}
+pub use registry::{SubstrateFactory, SubstrateInfo, SubstrateRegistry};
+pub use session::Papi;
+pub use substrate::{BoxSubstrate, HwInfo, SimSubstrate, Substrate};

@@ -15,7 +15,7 @@
 //! enabled per EventSet ([`crate::Papi::set_multiplex`]) and is never on by
 //! default.
 
-use crate::alloc::{allocate_in_group, optimal_assign};
+use crate::alloc::{allocate_with, AllocModel, AllocStats, AllocTranslation};
 use simcpu::platform::GroupDef;
 use simcpu::NativeEventDesc;
 
@@ -57,30 +57,40 @@ pub fn partition_events(
     num_counters: usize,
     groups: &[GroupDef],
 ) -> Option<Vec<Partition>> {
+    partition_events_with(natives, &AllocModel::for_platform(num_counters, groups))
+}
+
+/// [`partition_events`] against an explicit allocation-translation model
+/// (the PAPI-3 split: the partitioner probes feasibility through the
+/// substrate's model + the abstract solver, never inspecting masks or
+/// groups itself).
+pub fn partition_events_with(
+    natives: &[&NativeEventDesc],
+    model: &dyn AllocTranslation,
+) -> Option<Vec<Partition>> {
     let mut parts: Vec<Vec<usize>> = Vec::new();
     for idx in 0..natives.len() {
         let mut placed = false;
         for part in &mut parts {
             let mut candidate: Vec<usize> = part.clone();
             candidate.push(idx);
-            if fits(&candidate, natives, num_counters, groups) {
+            if solve(&candidate, natives, model).is_some() {
                 part.push(idx);
                 placed = true;
                 break;
             }
         }
         if !placed {
-            if !fits(&[idx], natives, num_counters, groups) {
-                return None; // event not countable even alone
-            }
+            // None: event not countable even alone.
+            solve(&[idx], natives, model)?;
             parts.push(vec![idx]);
         }
     }
     // Solve the final assignment for each partition.
     let mut out = Vec::with_capacity(parts.len());
     for part in parts {
-        let counters = solve(&part, natives, num_counters, groups)
-            .expect("partition was validated as feasible");
+        let counters =
+            solve(&part, natives, model).expect("partition was validated as feasible");
         out.push(Partition {
             natives: part,
             counters,
@@ -89,28 +99,14 @@ pub fn partition_events(
     Some(out)
 }
 
-fn fits(
-    part: &[usize],
-    natives: &[&NativeEventDesc],
-    num_counters: usize,
-    groups: &[GroupDef],
-) -> bool {
-    solve(part, natives, num_counters, groups).is_some()
-}
-
 fn solve(
     part: &[usize],
     natives: &[&NativeEventDesc],
-    num_counters: usize,
-    groups: &[GroupDef],
+    model: &dyn AllocTranslation,
 ) -> Option<Vec<usize>> {
-    if groups.is_empty() {
-        let masks: Vec<u32> = part.iter().map(|&i| natives[i].counter_mask).collect();
-        optimal_assign(&masks, num_counters)
-    } else {
-        let codes: Vec<u32> = part.iter().map(|&i| natives[i].code).collect();
-        allocate_in_group(&codes, groups).map(|(_, assign)| assign)
-    }
+    let codes: Vec<u32> = part.iter().map(|&i| natives[i].code).collect();
+    let descs: Vec<NativeEventDesc> = part.iter().map(|&i| natives[i].clone()).collect();
+    allocate_with(model, &codes, &descs, &mut AllocStats::default())
 }
 
 impl MpxState {

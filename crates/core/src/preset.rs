@@ -17,7 +17,7 @@
 //! counts convert/rounding instructions, so measured counts exceed the
 //! analytic expectation exactly as the paper's users observed.
 
-use crate::alloc::{allocate_in_group, optimal_assign};
+use crate::alloc::{is_allocatable, AllocModel, AllocTranslation};
 use crate::error::{PapiError, Result};
 use simcpu::platform::GroupDef;
 use simcpu::{EventKind, NativeEventDesc};
@@ -193,15 +193,17 @@ impl PresetTable {
         num_counters: usize,
         groups: &[GroupDef],
     ) -> PresetTable {
+        Self::build_with(events, &AllocModel::for_platform(num_counters, groups))
+    }
+
+    /// [`PresetTable::build`] against an explicit allocation-translation
+    /// model (the PAPI-3 split: the table never inspects masks or groups
+    /// itself).
+    pub fn build_with(events: &[NativeEventDesc], model: &dyn AllocTranslation) -> PresetTable {
         let vecs: Vec<KindVec> = events.iter().map(kind_vec_of).collect();
         let feasible = |idxs: &[usize]| -> bool {
-            if groups.is_empty() {
-                let masks: Vec<u32> = idxs.iter().map(|&i| events[i].counter_mask).collect();
-                optimal_assign(&masks, num_counters).is_some()
-            } else {
-                let codes: Vec<u32> = idxs.iter().map(|&i| events[i].code).collect();
-                allocate_in_group(&codes, groups).is_some()
-            }
+            let codes: Vec<u32> = idxs.iter().map(|&i| events[i].code).collect();
+            is_allocatable(model, &codes, events)
         };
         let mut map = BTreeMap::new();
         for &p in Preset::ALL {

@@ -1,0 +1,242 @@
+//! Runtime substrate selection — the component layer.
+//!
+//! Later PAPI work generalized substrates into runtime-selectable components
+//! so one binary can serve heterogeneous platforms. This module is that
+//! mechanism for the reproduction: a [`SubstrateRegistry`] maps names like
+//! `sim:x86` or `perfctr` to factories producing boxed [`Substrate`]s, and
+//! tools select a backend with `--substrate NAME` instead of being
+//! monomorphized over one at compile time.
+//!
+//! The registry ships with the eight simulated platforms pre-registered
+//! under `sim:<suffix>` (each aliased to its `sim-<suffix>` platform name);
+//! other crates add their backends via [`SubstrateRegistry::register`] — the
+//! perfctr emulation crate does exactly that.
+
+use crate::error::{PapiError, Result};
+use crate::substrate::{BoxSubstrate, SimSubstrate, Substrate};
+
+/// One row of `papirun --list-substrates`: the registry's description of a
+/// backend, probed from a throwaway instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubstrateInfo {
+    /// Canonical registry name (`sim:x86`, `perfctr`, …).
+    pub name: String,
+    /// Alternate names accepted by [`SubstrateRegistry::create`].
+    pub aliases: Vec<String>,
+    /// Human description (vendor/model).
+    pub description: String,
+    /// Physical counters.
+    pub counters: usize,
+    /// Counter groups (0 on mask-allocated platforms).
+    pub groups: usize,
+    /// Precise-sampling hardware present.
+    pub sampling: bool,
+}
+
+/// Builds one substrate instance from a deterministic seed.
+pub type SubstrateFactory = Box<dyn Fn(u64) -> Result<BoxSubstrate> + Send + Sync>;
+
+struct Entry {
+    name: String,
+    aliases: Vec<String>,
+    description: String,
+    factory: SubstrateFactory,
+}
+
+/// Name → substrate factory table.
+pub struct SubstrateRegistry {
+    entries: Vec<Entry>,
+}
+
+impl SubstrateRegistry {
+    /// An empty registry (no backends).
+    pub fn new() -> SubstrateRegistry {
+        SubstrateRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// A registry with the eight simulated platforms pre-registered.
+    pub fn with_builtin() -> SubstrateRegistry {
+        let mut reg = SubstrateRegistry::new();
+        for spec in simcpu::platform::all_platforms() {
+            let canonical = spec
+                .name
+                .strip_prefix("sim-")
+                .map(|s| format!("sim:{s}"))
+                .unwrap_or_else(|| spec.name.to_string());
+            let description = format!("{} {} (simulated)", spec.vendor, spec.model);
+            let aliases = vec![spec.name.to_string()];
+            let spec_for_factory = spec.clone();
+            reg.register_with_aliases(
+                &canonical,
+                &aliases,
+                &description,
+                Box::new(move |seed| {
+                    Ok(Box::new(SimSubstrate::for_platform(
+                        spec_for_factory.clone(),
+                        seed,
+                    )) as BoxSubstrate)
+                }),
+            );
+        }
+        reg
+    }
+
+    /// Register a backend under `name`.
+    pub fn register(&mut self, name: &str, description: &str, factory: SubstrateFactory) {
+        self.register_with_aliases(name, &[], description, factory);
+    }
+
+    /// Register a backend reachable by `name` or any of `aliases`.
+    pub fn register_with_aliases(
+        &mut self,
+        name: &str,
+        aliases: &[String],
+        description: &str,
+        factory: SubstrateFactory,
+    ) {
+        // Last registration of a name wins, like component overrides.
+        self.entries.retain(|e| e.name != name);
+        self.entries.push(Entry {
+            name: name.to_string(),
+            aliases: aliases.to_vec(),
+            description: description.to_string(),
+            factory,
+        });
+    }
+
+    fn entry(&self, name: &str) -> Result<&Entry> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name || e.aliases.iter().any(|a| a == name))
+            .ok_or_else(|| PapiError::Substrate(format!("unknown substrate '{name}'")))
+    }
+
+    /// Instantiate the backend registered under `name` (canonical or alias)
+    /// with a deterministic `seed`.
+    pub fn create(&self, name: &str, seed: u64) -> Result<BoxSubstrate> {
+        (self.entry(name)?.factory)(seed)
+    }
+
+    /// Canonical names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// Is `name` (canonical or alias) registered?
+    pub fn contains(&self, name: &str) -> bool {
+        self.entry(name).is_ok()
+    }
+
+    /// Describe every backend by probing a throwaway instance of each.
+    /// Backends whose factory fails are skipped.
+    pub fn list(&self) -> Vec<SubstrateInfo> {
+        self.entries
+            .iter()
+            .filter_map(|e| {
+                let sub = (e.factory)(0).ok()?;
+                let hw = sub.hw_info();
+                Some(SubstrateInfo {
+                    name: e.name.clone(),
+                    aliases: e.aliases.clone(),
+                    description: e.description.clone(),
+                    counters: hw.num_counters,
+                    groups: sub.groups().len(),
+                    sampling: hw.precise_sampling,
+                })
+            })
+            .collect()
+    }
+}
+
+impl Default for SubstrateRegistry {
+    fn default() -> Self {
+        SubstrateRegistry::with_builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_covers_every_sim_platform_by_both_names() {
+        let reg = SubstrateRegistry::with_builtin();
+        assert_eq!(reg.names().len(), 8);
+        for spec in simcpu::platform::all_platforms() {
+            let suffix = spec.name.strip_prefix("sim-").unwrap();
+            for name in [format!("sim:{suffix}"), spec.name.to_string()] {
+                let sub = reg.create(&name, 7).unwrap();
+                assert_eq!(sub.hw_info().model, spec.model, "{name}");
+                assert_eq!(sub.num_counters(), spec.num_counters);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_an_error() {
+        let reg = SubstrateRegistry::with_builtin();
+        assert!(matches!(
+            reg.create("sim:pdp11", 0),
+            Err(PapiError::Substrate(_))
+        ));
+        assert!(!reg.contains("sim:pdp11"));
+        assert!(reg.contains("sim:power3"));
+        assert!(reg.contains("sim-power3"));
+    }
+
+    #[test]
+    fn list_reports_counters_groups_and_sampling() {
+        let infos = SubstrateRegistry::with_builtin().list();
+        assert_eq!(infos.len(), 8);
+        let p3 = infos.iter().find(|i| i.name == "sim:power3").unwrap();
+        assert!(p3.groups > 0, "POWER3 is group-allocated");
+        let alpha = infos.iter().find(|i| i.name == "sim:alpha").unwrap();
+        assert!(alpha.sampling, "Alpha has ProfileMe sampling");
+        let x86 = infos.iter().find(|i| i.name == "sim:x86").unwrap();
+        assert_eq!(x86.groups, 0);
+        assert!(!x86.sampling);
+    }
+
+    #[test]
+    fn custom_registration_and_override() {
+        let mut reg = SubstrateRegistry::new();
+        reg.register(
+            "mine",
+            "custom backend",
+            Box::new(|seed| {
+                Ok(Box::new(SimSubstrate::for_platform(
+                    simcpu::platform::sim_generic(),
+                    seed,
+                )) as BoxSubstrate)
+            }),
+        );
+        assert_eq!(reg.names(), vec!["mine"]);
+        let sub = reg.create("mine", 1).unwrap();
+        assert!(sub.groups().is_empty());
+        // Re-registering the same name replaces the entry.
+        reg.register(
+            "mine",
+            "replacement",
+            Box::new(|seed| {
+                Ok(Box::new(SimSubstrate::for_platform(
+                    simcpu::platform::sim_power3(),
+                    seed,
+                )) as BoxSubstrate)
+            }),
+        );
+        assert_eq!(reg.names().len(), 1);
+        assert!(!reg.create("mine", 1).unwrap().groups().is_empty());
+    }
+
+    #[test]
+    fn boxed_substrate_preserves_alloc_model() {
+        use crate::alloc::AllocModel;
+        let reg = SubstrateRegistry::with_builtin();
+        let boxed = reg.create("sim:power3", 3).unwrap();
+        assert!(matches!(boxed.alloc_model(), AllocModel::Groups(_)));
+        let boxed = reg.create("sim:x86", 3).unwrap();
+        assert!(matches!(boxed.alloc_model(), AllocModel::Masks(_)));
+    }
+}

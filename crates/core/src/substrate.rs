@@ -8,11 +8,12 @@
 //! `perf_event`-based substrate for real Linux hosts would implement the
 //! same trait.
 
+use crate::alloc::AllocModel;
 use crate::error::Result;
 use simcpu::platform::GroupDef;
 use simcpu::{
-    Domain, Machine, MemInfo, NativeEventDesc, PlatformSpec, RunExit, SampleConfig, SampleRecord,
-    ThreadId,
+    Domain, Machine, MemInfo, NativeEventDesc, PlatformSpec, Program, RunExit, SampleConfig,
+    SampleRecord, ThreadId,
 };
 
 /// Static description of the hardware, returned by [`Substrate::hw_info`]
@@ -44,6 +45,25 @@ pub trait Substrate {
 
     /// Counter groups, non-empty on group-allocated platforms (POWER style).
     fn groups(&self) -> &[GroupDef];
+
+    /// The hardware-dependent half of the PAPI-3 allocation split: how this
+    /// platform's counter constraints translate into instances for the
+    /// hardware-independent solver. The default derives a mask- or
+    /// group-based model from `num_counters`/`groups`; substrates with a
+    /// different constraint language override this.
+    fn alloc_model(&self) -> AllocModel {
+        AllocModel::for_platform(self.num_counters(), self.groups())
+    }
+
+    /// Load a program onto the monitored "application" carrier, for
+    /// substrates that own one (the simulated machines do; a real
+    /// `perf_event` substrate monitors an existing process and would keep
+    /// the default).
+    fn load_program(&mut self, _program: Program) -> Result<()> {
+        Err(crate::error::PapiError::NoSupp(
+            "substrate cannot load programs",
+        ))
+    }
 
     /// Program the full counter configuration: `assign[i]` is the native
     /// event code (and domain) for counter `i`, or `None` to clear it.
@@ -100,6 +120,83 @@ pub trait Substrate {
         Err(crate::error::PapiError::NoSupp(
             "substrate cannot read per-thread counters",
         ))
+    }
+}
+
+/// A substrate selected at runtime (e.g. through
+/// [`crate::registry::SubstrateRegistry`]). `Send` so a global session (the
+/// C API) can move across threads.
+pub type BoxSubstrate = Box<dyn Substrate + Send>;
+
+/// Boxed substrates are substrates: every call delegates to the inner
+/// implementation (including the methods with defaults, so a box never
+/// masks an override).
+impl<T: Substrate + ?Sized> Substrate for Box<T> {
+    fn hw_info(&self) -> HwInfo {
+        (**self).hw_info()
+    }
+    fn num_counters(&self) -> usize {
+        (**self).num_counters()
+    }
+    fn native_events(&self) -> &[NativeEventDesc] {
+        (**self).native_events()
+    }
+    fn groups(&self) -> &[GroupDef] {
+        (**self).groups()
+    }
+    fn alloc_model(&self) -> crate::alloc::AllocModel {
+        (**self).alloc_model()
+    }
+    fn load_program(&mut self, program: Program) -> Result<()> {
+        (**self).load_program(program)
+    }
+    fn program(&mut self, assign: &[Option<(u32, Domain)>]) -> Result<()> {
+        (**self).program(assign)
+    }
+    fn start(&mut self) -> Result<()> {
+        (**self).start()
+    }
+    fn stop(&mut self) -> Result<()> {
+        (**self).stop()
+    }
+    fn reset(&mut self) -> Result<()> {
+        (**self).reset()
+    }
+    fn read(&mut self, idx: usize) -> Result<u64> {
+        (**self).read(idx)
+    }
+    fn set_overflow(&mut self, idx: usize, threshold: Option<u64>) -> Result<()> {
+        (**self).set_overflow(idx, threshold)
+    }
+    fn configure_sampling(&mut self, cfg: Option<SampleConfig>) -> Result<()> {
+        (**self).configure_sampling(cfg)
+    }
+    fn drain_samples(&mut self) -> Vec<SampleRecord> {
+        (**self).drain_samples()
+    }
+    fn set_timer(&mut self, period_cycles: Option<u64>) {
+        (**self).set_timer(period_cycles)
+    }
+    fn set_granularity(&mut self, g: simcpu::Granularity) {
+        (**self).set_granularity(g)
+    }
+    fn run(&mut self, budget_cycles: Option<u64>) -> RunExit {
+        (**self).run(budget_cycles)
+    }
+    fn real_cycles(&self) -> u64 {
+        (**self).real_cycles()
+    }
+    fn real_ns(&self) -> u64 {
+        (**self).real_ns()
+    }
+    fn virt_ns(&self, thread: ThreadId) -> Result<u64> {
+        (**self).virt_ns(thread)
+    }
+    fn mem_info(&self, thread: ThreadId) -> Result<MemInfo> {
+        (**self).mem_info(thread)
+    }
+    fn read_attached(&mut self, thread: ThreadId, idx: usize) -> Result<u64> {
+        (**self).read_attached(thread, idx)
     }
 }
 
@@ -162,6 +259,11 @@ impl Substrate for SimSubstrate {
 
     fn groups(&self) -> &[GroupDef] {
         &self.machine.spec().groups
+    }
+
+    fn load_program(&mut self, program: Program) -> Result<()> {
+        self.machine.load(program);
+        Ok(())
     }
 
     fn program(&mut self, assign: &[Option<(u32, Domain)>]) -> Result<()> {

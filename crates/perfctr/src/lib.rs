@@ -19,3 +19,48 @@ pub mod substrate;
 
 pub use kernel::{CounterConfig, Errno, Ioctl, KernelEvent, PerfctrDev};
 pub use substrate::PerfctrSubstrate;
+
+use papi_core::registry::SubstrateRegistry;
+use papi_core::substrate::BoxSubstrate;
+
+/// Add this crate's backend to a [`SubstrateRegistry`] under the name
+/// `perfctr`: the x86 simulated machine reached exclusively through the
+/// kernel-patch syscall ABI. Tools that build their registry via
+/// `papi_tools::full_registry()` get it automatically.
+pub fn register_substrates(reg: &mut SubstrateRegistry) {
+    reg.register(
+        "perfctr",
+        "Linux kernel-patch syscall interface over the simulated x86 (emulated)",
+        Box::new(|seed| {
+            let machine = simcpu::Machine::new(simcpu::platform::sim_x86(), seed);
+            let sub = PerfctrSubstrate::open(PerfctrDev::new(machine))?;
+            Ok(Box::new(sub) as BoxSubstrate)
+        }),
+    );
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+    use papi_core::{Papi, Substrate};
+
+    #[test]
+    fn perfctr_constructible_by_name_through_the_registry() {
+        let mut reg = SubstrateRegistry::with_builtin();
+        register_substrates(&mut reg);
+        assert!(reg.contains("perfctr"));
+        let mut papi = Papi::init_from_registry(&reg, "perfctr", 11).unwrap();
+        assert!(papi.hw_info().model.contains("kernel-patch"));
+        // The boxed session is fully usable: load a program through the
+        // object-safe trait and count on it.
+        let w = papi_workloads::dense_fp(1_000, 2, 0);
+        papi.substrate_mut().load_program(w.program).unwrap();
+        let set = papi.create_eventset();
+        papi.add_event(set, papi_core::Preset::FpOps.code()).unwrap();
+        papi.start(set).unwrap();
+        papi.run_app().unwrap();
+        let v = papi.stop(set).unwrap();
+        assert_eq!(v[0], 4_000);
+    }
+}
+

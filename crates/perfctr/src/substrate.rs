@@ -63,6 +63,20 @@ impl Substrate for PerfctrSubstrate {
         &self.dev.machine().spec().groups
     }
 
+    // The hardware-dependent half of the PAPI-3 allocation split, stated
+    // explicitly rather than inherited: this substrate's constraint
+    // language is the platform's (masks on x86, groups on POWER), exactly
+    // what the spec-derived model encodes.
+    fn alloc_model(&self) -> papi_core::alloc::AllocModel {
+        let s = self.dev.machine().spec();
+        papi_core::alloc::AllocModel::for_platform(s.num_counters, &s.groups)
+    }
+
+    fn load_program(&mut self, program: simcpu::Program) -> Result<()> {
+        self.dev.machine_mut().load(program);
+        Ok(())
+    }
+
     fn program(&mut self, assign: &[Option<(u32, Domain)>]) -> Result<()> {
         let configs: Vec<CounterConfig> = assign
             .iter()

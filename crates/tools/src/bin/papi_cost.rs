@@ -3,7 +3,8 @@
 //! numbers start from exactly these micro-costs).
 //!
 //! ```text
-//! papi_cost [--platform NAME]        # one platform
+//! papi_cost [--platform NAME]        # one platform (static dispatch)
+//! papi_cost --substrate NAME         # any registry backend (sim:x86, perfctr, ...)
 //! papi_cost --all                    # table across every platform
 //! papi_cost --self-check [NAME]      # cross-check vs papi-obs self-accounting
 //! ```
@@ -14,7 +15,7 @@
 //! agree: a divergence means the self-accounting spans do not cover (or
 //! over-cover) the real hot paths.
 
-use papi_core::{Papi, Preset, SimSubstrate};
+use papi_core::{Papi, Preset, SimSubstrate, Substrate};
 use simcpu::{all_platforms, platform_by_name, Machine, PlatformSpec};
 
 struct Costs {
@@ -28,6 +29,13 @@ fn measure(spec: PlatformSpec) -> Costs {
     let mut m = Machine::new(spec, 1);
     m.load(papi_workloads::dense_fp(10, 1, 0).program);
     let mut papi = Papi::init(SimSubstrate::new(m)).unwrap();
+    measure_session(&mut papi)
+}
+
+// The cost loops themselves are substrate-generic: the same code measures
+// a statically dispatched simulated session and a boxed registry-created
+// one (`--substrate NAME`).
+fn measure_session<S: Substrate>(papi: &mut Papi<S>) -> Costs {
     let set = papi.create_eventset();
     papi.add_event(set, Preset::TotCyc.code()).unwrap();
 
@@ -74,6 +82,27 @@ fn row(spec: PlatformSpec) {
     let name = spec.name;
     let mhz = spec.clock_mhz;
     let c = measure(spec);
+    print_row(name, mhz, &c);
+}
+
+fn row_named(name: &str) {
+    let reg = papi_tools::full_registry();
+    let mut papi = match Papi::init_from_registry(&reg, name, 1) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("papi_cost: {e}");
+            std::process::exit(2);
+        }
+    };
+    papi.substrate_mut()
+        .load_program(papi_workloads::dense_fp(10, 1, 0).program)
+        .unwrap();
+    let mhz = papi.hw_info().mhz;
+    let c = measure_session(&mut papi);
+    print_row(name, mhz, &c);
+}
+
+fn print_row(name: &str, mhz: u64, c: &Costs) {
     println!(
         "{:<12} {:>12.0} {:>14.0} {:>12.0} {:>12.0} {:>12.2}",
         name,
@@ -182,8 +211,12 @@ fn main() {
                 }
             }
         }
+        Some("--substrate") => {
+            let name = args.get(1).map(|s| s.as_str()).unwrap_or("");
+            row_named(name);
+        }
         _ => {
-            eprintln!("usage: papi_cost [--platform NAME | --all]");
+            eprintln!("usage: papi_cost [--platform NAME | --substrate NAME | --all]");
             std::process::exit(2);
         }
     }

@@ -2,24 +2,27 @@
 //! and easily collect basic timing and hardware counter data".
 //!
 //! ```text
-//! papirun [--platform NAME] [--workload NAME] [--seed N]
+//! papirun [--platform NAME | --substrate NAME] [--workload NAME] [--seed N]
 //!         [--self-stats] [--self-stats-json] [--overflow EVENT=N] EVENT...
 //! papirun --list
+//! papirun --list-substrates
 //! ```
 
-use papi_tools::papirun::{papirun_with, RunOptions};
+use papi_tools::papirun::{papirun_named, papirun_with, RunOptions};
 use papi_workloads as workloads;
 use simcpu::{all_platforms, platform_by_name};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: papirun [--platform NAME] [--workload NAME | --workload-file PROG.json] [--seed N]"
+        "usage: papirun [--platform NAME | --substrate NAME] [--workload NAME | --workload-file PROG.json]"
     );
     eprintln!(
-        "               [--self-stats] [--self-stats-json] [--overflow EVENT=THRESHOLD] EVENT..."
+        "               [--seed N] [--self-stats] [--self-stats-json] [--overflow EVENT=THRESHOLD] EVENT..."
     );
     eprintln!("       papirun --list");
+    eprintln!("       papirun --list-substrates");
     eprintln!();
+    eprintln!("  --substrate NAME   pick the backend by registry name (sim:x86, perfctr, ...)");
     eprintln!("  --self-stats       append the library's internal papi-obs counters to the report");
     eprintln!("  --self-stats-json  print the internal counters as a flat JSON object instead");
     eprintln!("  --overflow E=N     install a counting overflow handler on event E every N counts");
@@ -56,6 +59,7 @@ fn workload_by_name(name: &str) -> Option<workloads::Workload> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut platform = "sim-generic".to_string();
+    let mut substrate: Option<String> = None;
     let mut workload = "matmul".to_string();
     let mut workload_file: Option<String> = None;
     let mut seed = 42u64;
@@ -67,6 +71,7 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--platform" => platform = it.next().unwrap_or_else(|| usage()),
+            "--substrate" => substrate = Some(it.next().unwrap_or_else(|| usage())),
             "--workload" => workload = it.next().unwrap_or_else(|| usage()),
             "--workload-file" => workload_file = Some(it.next().unwrap_or_else(|| usage())),
             "--seed" => {
@@ -101,6 +106,13 @@ fn main() {
                 }
                 return;
             }
+            "--list-substrates" => {
+                print!(
+                    "{}",
+                    papi_tools::render_substrate_list(&papi_tools::full_registry())
+                );
+                return;
+            }
             "--help" | "-h" => usage(),
             ev => events.push(ev.to_string()),
         }
@@ -108,10 +120,6 @@ fn main() {
     if events.is_empty() {
         events = vec!["PAPI_TOT_CYC".into(), "PAPI_TOT_INS".into()];
     }
-    let Some(spec) = platform_by_name(&platform) else {
-        eprintln!("papirun: unknown platform {platform}");
-        usage();
-    };
     let w = match workload_file {
         Some(path) => {
             // A serialized Program (see simcpu::Program / serde_json) — the
@@ -150,7 +158,17 @@ fn main() {
         self_stats: self_stats || overflow.is_some(),
         overflow,
     };
-    match papirun_with(&spec, &w, &names, &opts) {
+    let result = match &substrate {
+        Some(name) => papirun_named(name, &w, &names, &opts),
+        None => {
+            let Some(spec) = platform_by_name(&platform) else {
+                eprintln!("papirun: unknown platform {platform}");
+                usage();
+            };
+            papirun_with(&spec, &w, &names, &opts)
+        }
+    };
+    match result {
         Ok(rep) => {
             if self_stats_json {
                 let snap = rep.self_stats.as_ref().expect("self-stats requested");

@@ -28,6 +28,46 @@ pub use calibrate::{
 };
 pub use dynaprof::{Dynaprof, DynaprofReport, FuncProfile, ProbeMetric};
 pub use papirun::papirun as run_papirun;
-pub use papirun::{papirun_with, RunOptions, RunReport};
+pub use papirun::{papirun_named, papirun_with, RunOptions, RunReport};
 pub use perfometer::{Perfometer, TracePoint};
 pub use tracer::{IntervalRecord, Timeline, Tracer};
+
+use papi_core::SubstrateRegistry;
+
+/// Every backend the tools know how to open: the built-in simulated
+/// platforms (`sim:x86` ... `sim:generic`) plus the perfctr kernel-patch
+/// emulation. This is the registry behind every `--substrate NAME` flag.
+pub fn full_registry() -> SubstrateRegistry {
+    let mut reg = SubstrateRegistry::with_builtin();
+    perfctr_emu::register_substrates(&mut reg);
+    reg
+}
+
+/// The table `papirun --list-substrates` prints: one row per registered
+/// backend with its counter count, group count and sampling support.
+pub fn render_substrate_list(reg: &SubstrateRegistry) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<14} {:>8} {:>7} {:>9}  description",
+        "name", "counters", "groups", "sampling"
+    )
+    .unwrap();
+    for info in reg.list() {
+        writeln!(
+            out,
+            "{:<14} {:>8} {:>7} {:>9}  {}",
+            info.name,
+            info.counters,
+            info.groups,
+            if info.sampling { "yes" } else { "no" },
+            info.description,
+        )
+        .unwrap();
+        for alias in &info.aliases {
+            writeln!(out, "  (alias {alias})").unwrap();
+        }
+    }
+    out
+}

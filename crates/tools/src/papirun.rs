@@ -8,7 +8,7 @@
 //! [`RunOptions::self_stats`] the library's own internal activity (papi-obs
 //! registry) is captured alongside and appended to the report.
 
-use papi_core::{Papi, PapiError, Result, SimSubstrate};
+use papi_core::{Papi, PapiError, Result, SimSubstrate, Substrate};
 use papi_workloads::Workload;
 use simcpu::{Machine, PlatformSpec};
 use std::fmt::Write as _;
@@ -87,7 +87,8 @@ pub fn papirun(
     )
 }
 
-/// [`papirun`] with explicit [`RunOptions`].
+/// [`papirun`] with explicit [`RunOptions`] (static dispatch over the
+/// direct simulated substrate).
 pub fn papirun_with(
     spec: &PlatformSpec,
     workload: &Workload,
@@ -97,6 +98,39 @@ pub fn papirun_with(
     let mut machine = Machine::new(spec.clone(), opts.seed);
     machine.load(workload.program.clone());
     let mut papi = Papi::init(SimSubstrate::new(machine))?;
+    run_loaded(&mut papi, spec.name.to_string(), workload, event_names, opts)
+}
+
+/// [`papirun`] against a substrate selected by registry name (`sim:x86`,
+/// `perfctr`, ...): the session holds a boxed substrate, so the same run
+/// loop executes over whichever backend the name resolves to.
+pub fn papirun_named(
+    substrate: &str,
+    workload: &Workload,
+    event_names: &[&str],
+    opts: &RunOptions,
+) -> Result<RunReport> {
+    let reg = crate::full_registry();
+    let mut papi = Papi::init_from_registry(&reg, substrate, opts.seed)?;
+    papi.substrate_mut().load_program(workload.program.clone())?;
+    run_loaded(
+        &mut papi,
+        substrate.to_string(),
+        workload,
+        event_names,
+        opts,
+    )
+}
+
+/// The substrate-generic run loop shared by the static and by-name paths:
+/// the program is already loaded, the session already open.
+fn run_loaded<S: Substrate>(
+    papi: &mut Papi<S>,
+    platform: String,
+    workload: &Workload,
+    event_names: &[&str],
+    opts: &RunOptions,
+) -> Result<RunReport> {
     let obs = if opts.self_stats {
         let obs = papi_obs::Obs::new();
         papi.attach_obs(obs.clone());
@@ -128,7 +162,7 @@ pub fn papirun_with(
     papi.run_app()?;
     let values = papi.stop(set)?;
     Ok(RunReport {
-        platform: spec.name.to_string(),
+        platform,
         workload: workload.name.to_string(),
         rows: event_names
             .iter()
@@ -249,6 +283,30 @@ mod tests {
         let json = snap.to_json();
         assert!(json.contains("\"mpx.rotations\":"));
         assert!(!json.contains("\"mpx.rotations\": 0"));
+    }
+
+    #[test]
+    fn named_substrate_runs_match_static_runs() {
+        // The by-name (boxed) path reports the same counts as the static
+        // path on the same platform/seed — and reaches perfctr too.
+        let w = matmul(10);
+        let names = ["PAPI_FP_OPS", "PAPI_LD_INS"];
+        let opts = RunOptions {
+            seed: 1,
+            ..RunOptions::default()
+        };
+        let stat = papirun_with(&sim_x86(), &w, &names, &opts).unwrap();
+        let dynam = papirun_named("sim:x86", &w, &names, &opts).unwrap();
+        assert_eq!(stat.rows, dynam.rows);
+        assert_eq!(dynam.platform, "sim:x86");
+        let via_patch = papirun_named("perfctr", &w, &names, &opts).unwrap();
+        assert_eq!(via_patch.rows, stat.rows);
+    }
+
+    #[test]
+    fn named_substrate_unknown_name_errors() {
+        let opts = RunOptions::default();
+        assert!(papirun_named("sim:vax", &matmul(4), &["PAPI_TOT_INS"], &opts).is_err());
     }
 
     #[test]
