@@ -109,6 +109,39 @@ fn bench_dispatch(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_hotpath(c: &mut Criterion) {
+    // The zero-allocation path vs the allocating convenience wrapper on a
+    // 4-event set (ISSUE 3 acceptance: read_into >= 25% faster than the
+    // PR-2 boxed read; `exp_hotpath` records the trajectory).
+    let mut g = c.benchmark_group("hotpath");
+    let mut m = Machine::new(platform::sim_x86(), 1);
+    m.load(dense_fp(10, 1, 0).program);
+    let mut papi = Papi::init(SimSubstrate::new(m)).unwrap();
+    let set = papi.create_eventset();
+    for ev in [Preset::TotCyc, Preset::TotIns, Preset::LdIns, Preset::SrIns] {
+        papi.add_event(set, ev.code()).unwrap();
+    }
+    papi.start(set).unwrap();
+    g.bench_function("read_vec_4ev", |b| {
+        b.iter(|| black_box(papi.read(set).unwrap()))
+    });
+    let mut out = [0i64; 4];
+    g.bench_function("read_into_4ev", |b| {
+        b.iter(|| {
+            papi.read_into(set, &mut out).unwrap();
+            black_box(out[0])
+        })
+    });
+    let mut acc = [0i64; 4];
+    g.bench_function("accum_4ev", |b| {
+        b.iter(|| {
+            papi.accum(set, &mut acc).unwrap();
+            black_box(acc[0])
+        })
+    });
+    g.finish();
+}
+
 fn bench_eventset_start_stop(c: &mut Criterion) {
     let mut g = c.benchmark_group("eventset_start_stop");
     let mut m = Machine::new(platform::sim_x86(), 1);
@@ -129,6 +162,6 @@ fn bench_eventset_start_stop(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_sim_throughput, bench_counter_read, bench_allocation, bench_preset_table, bench_dispatch, bench_eventset_start_stop
+    targets = bench_sim_throughput, bench_counter_read, bench_allocation, bench_preset_table, bench_dispatch, bench_hotpath, bench_eventset_start_stop
 }
 criterion_main!(benches);

@@ -16,32 +16,37 @@
 //! `--iters 1` is the CI smoke mode: it exercises both paths end-to-end
 //! without asserting on timing noise.
 
+use papi_bench::bench_json::{merge_into, BenchRecord};
 use papi_bench::{banner, papi_named, papi_on};
 use papi_core::{Papi, Preset, Substrate};
 use papi_workloads::dense_fp;
 use simcpu::platform::sim_x86;
 use std::time::Instant;
 
-fn time_read<S: Substrate>(papi: &mut Papi<S>, set: usize, iters: u64) -> f64 {
-    let t0 = Instant::now();
+fn time_read<S: Substrate>(papi: &mut Papi<S>, set: usize, iters: u64) -> (f64, f64) {
     let mut sink = 0i64;
-    for _ in 0..iters {
-        sink = sink.wrapping_add(papi.read(set).unwrap()[0]);
-    }
+    let t0 = Instant::now();
+    let ((), allocs) = papi_obs::alloc_track::count_in(|| {
+        for _ in 0..iters {
+            sink = sink.wrapping_add(papi.read(set).unwrap()[0]);
+        }
+    });
     let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
     std::hint::black_box(sink);
-    ns
+    (ns, allocs as f64 / iters as f64)
 }
 
-fn time_accum<S: Substrate>(papi: &mut Papi<S>, set: usize, iters: u64) -> f64 {
+fn time_accum<S: Substrate>(papi: &mut Papi<S>, set: usize, iters: u64) -> (f64, f64) {
     let mut acc = [0i64; 1];
     let t0 = Instant::now();
-    for _ in 0..iters {
-        papi.accum(set, &mut acc).unwrap();
-    }
+    let ((), allocs) = papi_obs::alloc_track::count_in(|| {
+        for _ in 0..iters {
+            papi.accum(set, &mut acc).unwrap();
+        }
+    });
     let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
     std::hint::black_box(acc[0]);
-    ns
+    (ns, allocs as f64 / iters as f64)
 }
 
 fn prepared<S: Substrate>(papi: &mut Papi<S>) -> usize {
@@ -81,10 +86,10 @@ fn main() {
     time_read(&mut stat, set_s, warm);
     time_read(&mut boxed, set_b, warm);
 
-    let read_s = time_read(&mut stat, set_s, iters);
-    let read_b = time_read(&mut boxed, set_b, iters);
-    let accum_s = time_accum(&mut stat, set_s, iters);
-    let accum_b = time_accum(&mut boxed, set_b, iters);
+    let (read_s, read_s_allocs) = time_read(&mut stat, set_s, iters);
+    let (read_b, read_b_allocs) = time_read(&mut boxed, set_b, iters);
+    let (accum_s, accum_s_allocs) = time_accum(&mut stat, set_s, iters);
+    let (accum_b, accum_b_allocs) = time_accum(&mut boxed, set_b, iters);
 
     let delta = |s: f64, b: f64| (b - s) / s * 100.0;
     println!("iters per loop : {iters}");
@@ -106,6 +111,25 @@ fn main() {
                 "FAIL"
             }
         );
+        // Feed the shared perf trajectory (1-event counterparts of the
+        // records exp_hotpath region writes for 4-event sets).
+        let rec = |bench: &str, flavor: &str, ns: f64, allocs: f64| BenchRecord {
+            bench: bench.to_string(),
+            substrate: flavor.to_string(),
+            iters,
+            ns_per_op: ns,
+            allocs_per_op: allocs,
+        };
+        let boxed_flavor = format!("{substrate}/boxed");
+        let records = [
+            rec("read_1ev", "sim:x86/static", read_s, read_s_allocs),
+            rec("read_1ev", &boxed_flavor, read_b, read_b_allocs),
+            rec("accum_1ev", "sim:x86/static", accum_s, accum_s_allocs),
+            rec("accum_1ev", &boxed_flavor, accum_b, accum_b_allocs),
+        ];
+        let path = papi_bench::bench_json::default_path();
+        merge_into(&path, &records).expect("write BENCH_hotpath.json");
+        println!("recorded {} records -> {}", records.len(), path.display());
     } else {
         println!("\n(smoke mode: both dispatch paths exercised, timing not meaningful)");
     }

@@ -7,6 +7,12 @@
 use papi_core::{BoxSubstrate, Papi, SimSubstrate, Substrate};
 use simcpu::{Machine, PlatformSpec, Program};
 
+/// Every papi-bench binary, test and criterion bench counts heap traffic, so
+/// the zero-allocation hot-path guarantee is asserted (not assumed) wherever
+/// it is measured.
+#[global_allocator]
+static ALLOC: papi_obs::alloc_track::CountingAlloc = papi_obs::alloc_track::CountingAlloc;
+
 /// Build a library handle over a machine running `program` on `spec`.
 pub fn papi_on(spec: PlatformSpec, program: Program, seed: u64) -> Papi<SimSubstrate> {
     let mut m = Machine::new(spec, seed);
@@ -43,4 +49,127 @@ pub fn banner(id: &str, claim: &str) {
 /// Format a ratio as a percentage string.
 pub fn pct(x: f64) -> String {
     format!("{:.2}%", x * 100.0)
+}
+
+/// The machine-readable perf trajectory: experiment binaries append their
+/// measurements to `BENCH_hotpath.json` at the repo root, merging by
+/// `(bench, substrate)` so re-runs update records in place and the committed
+/// file tracks ns/op and allocs/op across PRs.
+///
+/// Hand-rolled one-record-per-line JSON (the vendored serde_json stub cannot
+/// serialize); the format is stable enough to diff and to parse line-wise.
+pub mod bench_json {
+    use std::fs;
+    use std::path::{Path, PathBuf};
+
+    /// One benchmark measurement.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct BenchRecord {
+        /// Benchmark name, e.g. `read_into_4ev`.
+        pub bench: String,
+        /// Substrate plus dispatch flavor, e.g. `sim:x86/static`.
+        pub substrate: String,
+        /// Iterations timed.
+        pub iters: u64,
+        /// Mean wall nanoseconds per operation.
+        pub ns_per_op: f64,
+        /// Mean heap allocations per operation (counting allocator).
+        pub allocs_per_op: f64,
+    }
+
+    impl BenchRecord {
+        fn to_json(&self) -> String {
+            format!(
+                "{{\"bench\": \"{}\", \"substrate\": \"{}\", \"iters\": {}, \
+                 \"ns_per_op\": {:.1}, \"allocs_per_op\": {:.2}}}",
+                self.bench, self.substrate, self.iters, self.ns_per_op, self.allocs_per_op
+            )
+        }
+    }
+
+    fn string_field(line: &str, name: &str) -> Option<String> {
+        let pat = format!("\"{name}\": \"");
+        let start = line.find(&pat)? + pat.len();
+        let end = line[start..].find('"')? + start;
+        Some(line[start..end].to_string())
+    }
+
+    fn key_of_line(line: &str) -> Option<(String, String)> {
+        Some((
+            string_field(line, "bench")?,
+            string_field(line, "substrate")?,
+        ))
+    }
+
+    /// Default trajectory file at the repo root.
+    pub fn default_path() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hotpath.json")
+    }
+
+    /// Merge `records` into the JSON array at `path`: existing records with
+    /// the same `(bench, substrate)` are replaced, everything else is kept,
+    /// new records are appended.
+    pub fn merge_into(path: &Path, records: &[BenchRecord]) -> std::io::Result<()> {
+        let mut lines: Vec<String> = Vec::new();
+        if let Ok(existing) = fs::read_to_string(path) {
+            for line in existing.lines() {
+                let t = line.trim().trim_end_matches(',');
+                if t.is_empty() || t == "[" || t == "]" {
+                    continue;
+                }
+                lines.push(t.to_string());
+            }
+        }
+        for r in records {
+            let key = Some((r.bench.clone(), r.substrate.clone()));
+            lines.retain(|l| key_of_line(l) != key);
+            lines.push(r.to_json());
+        }
+        let mut out = String::from("[\n");
+        for (i, l) in lines.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(l);
+            if i + 1 < lines.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        fs::write(path, out)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn rec(bench: &str, sub: &str, ns: f64) -> BenchRecord {
+            BenchRecord {
+                bench: bench.into(),
+                substrate: sub.into(),
+                iters: 100,
+                ns_per_op: ns,
+                allocs_per_op: 0.0,
+            }
+        }
+
+        #[test]
+        fn merge_replaces_by_key_and_keeps_others() {
+            let dir = std::env::temp_dir().join("papi_bench_json_test");
+            fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("merge.json");
+            let _ = fs::remove_file(&path);
+
+            merge_into(&path, &[rec("read", "a", 10.0), rec("read", "b", 20.0)]).unwrap();
+            merge_into(&path, &[rec("read", "a", 11.0), rec("accum", "a", 30.0)]).unwrap();
+
+            let body = fs::read_to_string(&path).unwrap();
+            assert!(body.starts_with("[\n") && body.ends_with("]\n"));
+            assert_eq!(body.matches("\"bench\": \"read\"").count(), 2);
+            assert!(body.contains("\"ns_per_op\": 11.0"));
+            assert!(!body.contains("\"ns_per_op\": 10.0"));
+            assert!(body.contains("\"ns_per_op\": 20.0"));
+            assert!(body.contains("\"bench\": \"accum\""));
+            let _ = fs::remove_file(&path);
+        }
+    }
 }

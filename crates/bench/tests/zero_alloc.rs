@@ -1,0 +1,115 @@
+//! The zero-allocation hot-path guarantee, asserted with the counting
+//! global allocator that `papi_bench` installs for every binary that links
+//! it (including this test).
+//!
+//! Steady state = the EventSet is started and the session's scratch buffers
+//! have been through at least one call (they reach capacity immediately).
+//! From then on `read_into` and `accum` must not touch the heap at all, on
+//! both the statically dispatched and the registry-boxed session, with or
+//! without a papi-obs context attached (journal off — journaling buys
+//! records with allocations by design).
+
+use papi_bench::{papi_named, papi_on};
+use papi_core::{Papi, Preset, Substrate};
+use papi_obs::alloc_track::count_in;
+use papi_workloads::dense_fp;
+use simcpu::platform::sim_x86;
+
+const EVENTS: [Preset; 4] = [Preset::TotCyc, Preset::TotIns, Preset::LdIns, Preset::SrIns];
+
+fn started_4ev<S: Substrate>(papi: &mut Papi<S>) -> usize {
+    let set = papi.create_eventset();
+    for ev in EVENTS {
+        papi.add_event(set, ev.code()).unwrap();
+    }
+    papi.start(set).unwrap();
+    set
+}
+
+fn assert_steady_state_alloc_free<S: Substrate>(papi: &mut Papi<S>, label: &str) {
+    let set = started_4ev(papi);
+    let mut out = [0i64; 4];
+    let mut acc = [0i64; 4];
+    // Warm-up: first calls may grow the scratch buffers to capacity.
+    for _ in 0..10 {
+        papi.read_into(set, &mut out).unwrap();
+        papi.accum(set, &mut acc).unwrap();
+    }
+
+    let ((), read_allocs) = count_in(|| {
+        for _ in 0..100 {
+            papi.read_into(set, &mut out).unwrap();
+        }
+    });
+    assert_eq!(
+        read_allocs, 0,
+        "{label}: read_into allocated in steady state"
+    );
+
+    let ((), accum_allocs) = count_in(|| {
+        for _ in 0..100 {
+            papi.accum(set, &mut acc).unwrap();
+        }
+    });
+    assert_eq!(accum_allocs, 0, "{label}: accum allocated in steady state");
+
+    std::hint::black_box((out[0], acc[0]));
+    papi.stop(set).unwrap();
+}
+
+#[test]
+fn read_into_and_accum_are_allocation_free_static() {
+    let mut papi = papi_on(sim_x86(), dense_fp(10, 1, 0).program, 1);
+    assert_steady_state_alloc_free(&mut papi, "static");
+}
+
+#[test]
+fn read_into_and_accum_are_allocation_free_boxed() {
+    let mut papi = papi_named("sim:x86", dense_fp(10, 1, 0).program, 1);
+    assert_steady_state_alloc_free(&mut papi, "boxed");
+}
+
+#[test]
+fn read_into_stays_allocation_free_with_obs_attached() {
+    // Counter updates are relaxed atomic adds; with the journal disabled the
+    // record closures never run, so the instrumented path is heap-silent too.
+    let mut papi = papi_on(sim_x86(), dense_fp(10, 1, 0).program, 1);
+    let obs = papi_obs::Obs::new();
+    papi.attach_obs(obs.clone());
+    assert_steady_state_alloc_free(&mut papi, "static+obs");
+    assert!(obs.get(papi_obs::Counter::Reads) > 0);
+}
+
+#[test]
+fn rotate_and_mpx_read_are_allocation_free_in_steady_state() {
+    // Multiplexed sets share the guarantee once the partitions have cycled:
+    // rotation programs through the prog scratch and flushes through the
+    // live scratch.
+    let mut papi = papi_on(sim_x86(), dense_fp(400, 1, 0).program, 1);
+    let set = papi.create_eventset();
+    // LdIns, SrIns and L1 cache misses compete for counters 2-3 on sim-x86:
+    // forces two partitions.
+    for ev in [Preset::LdIns, Preset::SrIns, Preset::L1Dcm] {
+        papi.add_event(set, ev.code()).unwrap();
+    }
+    papi.set_multiplex(set).unwrap();
+    papi.start(set).unwrap();
+    let mut out = [0i64; 3];
+    // Let the timer rotate through both partitions a few times, then warm
+    // the read path.
+    for _ in 0..6 {
+        papi.run_for(200_000).unwrap();
+        papi.read_into(set, &mut out).unwrap();
+    }
+    let ((), allocs) = count_in(|| {
+        for _ in 0..20 {
+            papi.run_for(200_000).unwrap();
+            papi.read_into(set, &mut out).unwrap();
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "multiplexed rotate+read allocated in steady state"
+    );
+    std::hint::black_box(out[0]);
+}

@@ -138,10 +138,12 @@ pub unsafe extern "C" fn PAPIx_load_workload(name: *const c_char) -> c_int {
         "cg" => papi_workloads::cg_like(256, 8, 4).program,
         _ => return PAPI_EINVAL,
     };
-    with_session(|s| match s.papi.substrate_mut().load_program(program.clone()) {
-        Ok(()) => PAPI_OK,
-        Err(e) => errno(&e),
-    })
+    with_session(
+        |s| match s.papi.substrate_mut().load_program(program.clone()) {
+            Ok(()) => PAPI_OK,
+            Err(e) => errno(&e),
+        },
+    )
 }
 
 /// Extension: run the monitored application to completion.
@@ -278,6 +280,10 @@ pub unsafe extern "C" fn PAPI_stop(es: c_int, values: *mut c_longlong) -> c_int 
 
 /// `PAPI_read(es, values)`.
 ///
+/// Delegates to the zero-allocation `read_into` path: the caller's buffer is
+/// filled in place, with no intermediate vector on this side of the FFI
+/// boundary either.
+///
 /// # Safety
 /// `values` must point to at least `PAPI_num_events(es)` writable slots.
 #[no_mangle]
@@ -285,9 +291,19 @@ pub unsafe extern "C" fn PAPI_read(es: c_int, values: *mut c_longlong) -> c_int 
     if es < 0 {
         return PAPI_ENOEVST;
     }
-    with_session(|s| match s.papi.read(es as usize) {
-        Ok(v) => copy_out(values, &v),
-        Err(e) => errno(&e),
+    with_session(|s| {
+        let n = match s.papi.num_events(es as usize) {
+            Ok(n) => n,
+            Err(e) => return errno(&e),
+        };
+        if values.is_null() {
+            return PAPI_EINVAL;
+        }
+        let out = std::slice::from_raw_parts_mut(values, n);
+        match s.papi.read_into(es as usize, out) {
+            Ok(()) => PAPI_OK,
+            Err(e) => errno(&e),
+        }
     })
 }
 
@@ -309,9 +325,11 @@ pub unsafe extern "C" fn PAPI_accum(es: c_int, values: *mut c_longlong) -> c_int
         if values.is_null() {
             return PAPI_EINVAL;
         }
-        let mut buf: Vec<i64> = (0..n).map(|i| *values.add(i)).collect();
-        match s.papi.accum(es as usize, &mut buf) {
-            Ok(()) => copy_out(values, &buf),
+        // Accumulate straight into the caller's buffer: `accum` stages its
+        // read in per-session scratch, so no allocation happens here either.
+        let acc = std::slice::from_raw_parts_mut(values, n);
+        match s.papi.accum(es as usize, acc) {
+            Ok(()) => PAPI_OK,
             Err(e) => errno(&e),
         }
     })
@@ -588,7 +606,10 @@ mod tests {
             }
             assert_eq!(PAPIx_init_platform(cstr("sim-vax").as_ptr()), PAPI_ESBSTR);
             // The perfctr session counts like any other.
-            assert_eq!(PAPIx_init_platform(cstr("perfctr").as_ptr()), PAPI_VER_CURRENT);
+            assert_eq!(
+                PAPIx_init_platform(cstr("perfctr").as_ptr()),
+                PAPI_VER_CURRENT
+            );
             assert_eq!(PAPIx_load_workload(cstr("matmul").as_ptr()), PAPI_OK);
             let mut es: c_int = -1;
             assert_eq!(PAPI_create_eventset(&mut es), PAPI_OK);

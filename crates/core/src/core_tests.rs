@@ -3,9 +3,9 @@
 //! as external callers do).
 
 use crate::{sampling, AppExit, Papi, PapiError, Preset, ProfilConfig, SetState, SimSubstrate};
-use simcpu::{Domain, SampleConfig};
 use simcpu::platform::{sim_alpha, sim_generic, sim_power3, sim_t3e, sim_x86};
 use simcpu::{AddrGen, Machine, PlatformSpec, Program, ProgramBuilder};
+use simcpu::{Domain, SampleConfig};
 use std::sync::{Arc, Mutex};
 
 fn fma_loop(iters: u32, fmas: usize) -> Program {

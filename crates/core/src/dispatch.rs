@@ -49,18 +49,59 @@ pub(crate) enum RunMode {
     Mpx(MpxState),
 }
 
+/// The precomputed read route of a started EventSet: resolved native codes
+/// and the derived-event term table, flattened into two contiguous arrays.
+///
+/// Built once by `start()` and owned by the runtime for the set's whole run,
+/// so the steady-state read path walks cache-friendly slices and never
+/// clones or rebuilds per call (the paper's §4: the cost of counting must
+/// stay near the hardware floor for per-call instrumentation to be viable).
+pub(crate) struct ReadPlan {
+    /// Unique native codes in use.
+    pub(crate) natives: Vec<u32>,
+    /// Flattened `(native index, coefficient)` terms for all events.
+    term_data: Vec<(u32, i64)>,
+    /// Event `i`'s terms are `term_data[term_bounds[i]..term_bounds[i+1]]`.
+    term_bounds: Vec<u32>,
+}
+
+impl ReadPlan {
+    /// Number of PAPI events the plan covers.
+    pub(crate) fn n_events(&self) -> usize {
+        self.term_bounds.len() - 1
+    }
+
+    /// Event `ev`'s `(native index, coefficient)` terms.
+    pub(crate) fn terms(&self, ev: usize) -> &[(u32, i64)] {
+        &self.term_data[self.term_bounds[ev] as usize..self.term_bounds[ev + 1] as usize]
+    }
+}
+
 /// Resolution + allocation state of the running EventSet.
 pub(crate) struct Running {
     pub(crate) set: EventSetId,
     /// Thread this run is attached to (PAPI_attach).
     pub(crate) attached: Option<ThreadId>,
-    /// Unique native codes in use.
-    pub(crate) natives: Vec<u32>,
-    /// Per PAPI event: `(index into natives, coefficient)` terms.
-    pub(crate) terms: Vec<Vec<(usize, i64)>>,
+    /// Cached read route: natives + derived-event term table.
+    pub(crate) plan: ReadPlan,
     pub(crate) mode: RunMode,
     /// Armed overflow routes: `(physical counter, papi code, route)`.
     pub(crate) routes: Vec<(usize, u32, OvfRoute)>,
+}
+
+/// Per-session reusable buffers for the hot read/accum/rotate paths.  Sized
+/// on first use, then reused forever: the steady state performs no heap
+/// allocation.
+#[derive(Default)]
+pub(crate) struct ReadScratch {
+    /// Per-native counts (direct readouts, or multiplex estimates).
+    counts: Vec<u64>,
+    /// Live-partition counter readouts during a multiplex flush.
+    live: Vec<u64>,
+    /// Derived values staging area for `accum`.
+    values: Vec<i64>,
+    /// Hardware programming image for multiplex partition switches.
+    prog: Vec<Option<(u32, Domain)>>,
 }
 
 /// Overflow callbacks must be `Send`: like the C library's signal-based
@@ -138,18 +179,19 @@ impl<S: Substrate> Papi<S> {
 
     // --- resolution & allocation --------------------------------------------
 
-    /// Resolve the set's PAPI events to unique natives + per-event terms.
-    #[allow(clippy::type_complexity)]
-    fn resolve_set(&self, id: EventSetId) -> Result<(Vec<u32>, Vec<Vec<(usize, i64)>>)> {
+    /// Resolve the set's PAPI events into a [`ReadPlan`]: unique natives +
+    /// the flattened per-event term table.
+    fn resolve_set(&self, id: EventSetId) -> Result<ReadPlan> {
         let s = self.set_ref(id)?;
         if s.events.is_empty() {
             return Err(PapiError::Inval("EventSet is empty"));
         }
         let mut natives: Vec<u32> = Vec::new();
-        let mut terms: Vec<Vec<(usize, i64)>> = Vec::with_capacity(s.events.len());
+        let mut term_data: Vec<(u32, i64)> = Vec::new();
+        let mut term_bounds: Vec<u32> = Vec::with_capacity(s.events.len() + 1);
+        term_bounds.push(0);
         for &code in &s.events {
             let m = self.presets.resolve(code, self.sub.native_events())?;
-            let mut t = Vec::with_capacity(m.terms.len());
             for (ncode, coeff) in m.terms {
                 let idx = match natives.iter().position(|&n| n == ncode) {
                     Some(i) => i,
@@ -158,27 +200,41 @@ impl<S: Substrate> Papi<S> {
                         natives.len() - 1
                     }
                 };
-                t.push((idx, coeff));
+                term_data.push((idx as u32, coeff));
             }
-            terms.push(t);
+            term_bounds.push(term_data.len() as u32);
         }
-        Ok((natives, terms))
+        Ok(ReadPlan {
+            natives,
+            term_data,
+            term_bounds,
+        })
     }
 
     /// Solve counter allocation for `natives` through the PAPI-3 split: the
     /// substrate translates its constraint scheme into solver instances
     /// ([`Substrate::alloc_model`]); the hardware-independent matcher does
-    /// the rest. No group special-casing here.
-    fn allocate(&self, natives: &[u32]) -> Option<Vec<usize>> {
+    /// the rest. No group special-casing here.  Solutions are memoized by
+    /// sorted-signature, so re-`start` of an unchanged set skips the search.
+    fn allocate(&mut self, natives: &[u32]) -> Option<Vec<usize>> {
         let mut stats = alloc::AllocStats::default();
-        let model = self.sub.alloc_model();
-        let assign = alloc::allocate_with(&model, natives, self.sub.native_events(), &mut stats);
+        let (assign, memo_hit) = self.alloc_memo.allocate(
+            &self.alloc_model,
+            natives,
+            self.sub.native_events(),
+            &mut stats,
+        );
         if let Some(obs) = &self.obs {
             obs.inc(ObsCounter::AllocAttempts);
             obs.inc(if assign.is_some() {
                 ObsCounter::AllocSuccesses
             } else {
                 ObsCounter::AllocFailures
+            });
+            obs.inc(if memo_hit {
+                ObsCounter::AllocMemoHits
+            } else {
+                ObsCounter::AllocMemoMisses
             });
             obs.add(ObsCounter::AllocAugmentSteps, stats.augment_steps);
             obs.add(ObsCounter::AllocBacktracks, stats.backtracks);
@@ -210,7 +266,7 @@ impl<S: Substrate> Papi<S> {
                     let (natives, multiplexed) = self
                         .running
                         .as_ref()
-                        .map(|run| (run.natives.len(), matches!(run.mode, RunMode::Mpx(_))))
+                        .map(|run| (run.plan.natives.len(), matches!(run.mode, RunMode::Mpx(_))))
                         .unwrap_or((0, false));
                     obs.record(now, || ObsEvent::Start {
                         set: id,
@@ -228,7 +284,7 @@ impl<S: Substrate> Papi<S> {
         if self.running.is_some() {
             return Err(PapiError::IsRun);
         }
-        let (natives, terms) = self.resolve_set(id)?;
+        let plan = self.resolve_set(id)?;
         let (domain, multiplex, mpx_period, attached, overflow) = {
             let s = self.set_ref(id)?;
             (
@@ -243,10 +299,11 @@ impl<S: Substrate> Papi<S> {
             return Err(PapiError::Cnflct);
         }
 
-        let mode = match self.allocate(&natives) {
+        let mode = match self.allocate(&plan.natives) {
             Some(assign) => RunMode::Direct { assign },
             None if multiplex => {
-                let descs: Vec<&NativeEventDesc> = natives
+                let descs: Vec<&NativeEventDesc> = plan
+                    .natives
                     .iter()
                     .map(|&c| {
                         self.sub
@@ -256,11 +313,11 @@ impl<S: Substrate> Papi<S> {
                             .unwrap()
                     })
                     .collect();
-                let parts = partition_events_with(&descs, &self.sub.alloc_model())
-                    .ok_or(PapiError::Cnflct)?;
+                let parts =
+                    partition_events_with(&descs, &self.alloc_model).ok_or(PapiError::Cnflct)?;
                 let now = self.sub.real_cycles();
                 let period = mpx_period.unwrap_or(DEFAULT_MPX_PERIOD_CYCLES);
-                RunMode::Mpx(MpxState::new(parts, natives.len(), period, now))
+                RunMode::Mpx(MpxState::new(parts, plan.natives.len(), period, now))
             }
             None => return Err(PapiError::Cnflct),
         };
@@ -271,7 +328,7 @@ impl<S: Substrate> Papi<S> {
             RunMode::Direct { assign } => {
                 let mut prog: Vec<Option<(u32, Domain)>> = vec![None; self.sub.num_counters()];
                 for (i, &ctr) in assign.iter().enumerate() {
-                    prog[ctr] = Some((natives[i], domain));
+                    prog[ctr] = Some((plan.natives[i], domain));
                 }
                 self.sub.program(&prog)?;
                 // Arm overflow registrations on the counter of each event's
@@ -284,14 +341,14 @@ impl<S: Substrate> Papi<S> {
                             .position(|&e| e == reg.code)
                             .ok_or(PapiError::NoEvnt(reg.code))?
                     };
-                    let (nidx, _) = terms[ev_pos][0];
-                    let ctr = assign[nidx];
+                    let (nidx, _) = plan.terms(ev_pos)[0];
+                    let ctr = assign[nidx as usize];
                     self.sub.set_overflow(ctr, Some(reg.threshold))?;
                     routes.push((ctr, reg.code, reg.route));
                 }
             }
             RunMode::Mpx(mpx) => {
-                self.program_partition(&natives, domain, &mpx.partitions[0])?;
+                self.program_partition(&plan.natives, domain, &mpx.partitions[0])?;
                 self.sub.set_timer(Some(mpx.period));
             }
         }
@@ -305,8 +362,7 @@ impl<S: Substrate> Papi<S> {
         self.running = Some(Running {
             set: id,
             attached,
-            natives,
-            terms,
+            plan,
             mode,
             routes,
         });
@@ -328,81 +384,87 @@ impl<S: Substrate> Papi<S> {
         self.sub.program(&prog)
     }
 
-    /// Read the live values of the running set's natives.
-    fn read_native_counts(&mut self) -> Result<Vec<u64>> {
-        let obs = self.obs.clone();
+    /// Read the running set's native counts into `self.scratch.counts`.
+    ///
+    /// Allocation-free in steady state: the scratch buffers reach capacity
+    /// on the first call and are reused thereafter, and the cached
+    /// [`ReadPlan`]/assignment are borrowed in place (disjoint fields), never
+    /// cloned per call.
+    fn read_native_counts_into(&mut self) -> Result<()> {
         let run = self.running.as_mut().ok_or(PapiError::NotRun)?;
         match &mut run.mode {
             RunMode::Direct { assign } => {
-                let assign = assign.clone();
-                let attached = run.attached;
-                let mut counts = Vec::with_capacity(assign.len());
-                if let Some(obs) = &obs {
+                if let Some(obs) = &self.obs {
                     obs.add(ObsCounter::CounterReads, assign.len() as u64);
                 }
-                for ctr in assign {
-                    let v = match attached {
-                        Some(t) => self.sub.read_attached(t, ctr)?,
-                        None => self.sub.read(ctr)?,
-                    };
-                    counts.push(v);
+                self.scratch.counts.clear();
+                match run.attached {
+                    Some(t) => {
+                        for &ctr in assign.iter() {
+                            let v = self.sub.read_attached(t, ctr)?;
+                            self.scratch.counts.push(v);
+                        }
+                    }
+                    // One kernel crossing for the whole counter state.
+                    None => self.sub.read_batch(assign, &mut self.scratch.counts)?,
                 }
-                Ok(counts)
             }
-            RunMode::Mpx(_) => {
-                // Flush the live partition, then return estimates.
+            RunMode::Mpx(m) => {
+                // Flush the live partition, then leave estimates in scratch.
                 let now = self.sub.real_cycles();
-                let (counters, current, switched_at) = {
-                    let RunMode::Mpx(m) = &run.mode else {
-                        unreachable!()
-                    };
-                    (
-                        m.partitions[m.current].counters.clone(),
-                        m.current,
-                        m.switched_at,
-                    )
-                };
-                let mut live = Vec::with_capacity(counters.len());
-                for &c in &counters {
-                    live.push(self.sub.read(c)?);
-                }
+                self.scratch.live.clear();
+                self.sub
+                    .read_batch(&m.partitions[m.current].counters, &mut self.scratch.live)?;
                 self.sub.reset()?; // avoid double counting on the next flush
-                if let Some(obs) = &obs {
-                    obs.add(ObsCounter::CounterReads, counters.len() as u64);
+                if let Some(obs) = &self.obs {
+                    obs.add(ObsCounter::CounterReads, self.scratch.live.len() as u64);
                     obs.inc(ObsCounter::MpxFlushes);
+                    let partition = m.current;
+                    let live_cycles = now.saturating_sub(m.switched_at);
                     obs.record(now, || ObsEvent::MpxFlush {
-                        partition: current,
-                        live_cycles: now.saturating_sub(switched_at),
+                        partition,
+                        live_cycles,
                     });
                 }
-                let run = self.running.as_mut().ok_or(PapiError::NotRun)?;
-                let RunMode::Mpx(m) = &mut run.mode else {
-                    unreachable!()
-                };
-                m.flush(now, &live);
-                Ok(m.estimates())
+                m.flush(now, &self.scratch.live);
+                m.estimates_into(&mut self.scratch.counts);
             }
         }
+        Ok(())
     }
 
-    fn values_from_counts(&self, counts: &[u64]) -> Result<Vec<i64>> {
+    /// Fold `self.scratch.counts` through the plan's term table into `out`.
+    fn values_into(&self, out: &mut [i64]) -> Result<()> {
         let run = self.running.as_ref().ok_or(PapiError::NotRun)?;
-        Ok(run
-            .terms
-            .iter()
-            .map(|t| t.iter().map(|&(i, c)| c * counts[i] as i64).sum())
-            .collect())
+        if out.len() != run.plan.n_events() {
+            return Err(PapiError::Inval("value buffer length mismatch"));
+        }
+        let counts = &self.scratch.counts;
+        for (ev, slot) in out.iter_mut().enumerate() {
+            *slot = run
+                .plan
+                .terms(ev)
+                .iter()
+                .map(|&(i, c)| c * counts[i as usize] as i64)
+                .sum();
+        }
+        Ok(())
     }
 
-    /// `PAPI_read`: current values (the set keeps running).
-    pub fn read(&mut self, id: EventSetId) -> Result<Vec<i64>> {
+    /// `PAPI_read` into a caller-owned buffer: current values (the set keeps
+    /// running).  `out.len()` must equal the set's event count.
+    ///
+    /// This is the allocation-free form of [`Papi::read`] — on a started,
+    /// non-multiplexed set the steady-state call performs **zero heap
+    /// allocations** (asserted by papi-bench's counting-allocator test).
+    pub fn read_into(&mut self, id: EventSetId, out: &mut [i64]) -> Result<()> {
         match &self.running {
             Some(r) if r.set == id => {}
             _ => return Err(PapiError::NotRun),
         }
         let begin_cycles = self.sub.real_cycles();
-        let counts = self.read_native_counts()?;
-        let values = self.values_from_counts(&counts)?;
+        self.read_native_counts_into()?;
+        self.values_into(out)?;
         if let Some(obs) = &self.obs {
             let now = self.sub.real_cycles();
             let cost_cycles = now.saturating_sub(begin_cycles);
@@ -413,19 +475,44 @@ impl<S: Substrate> Papi<S> {
                 cost_cycles,
             });
         }
-        Ok(values)
+        Ok(())
+    }
+
+    /// `PAPI_read`: current values (the set keeps running).  Allocates only
+    /// the returned vector; use [`Papi::read_into`] to avoid even that.
+    pub fn read(&mut self, id: EventSetId) -> Result<Vec<i64>> {
+        let n = match &self.running {
+            Some(r) if r.set == id => r.plan.n_events(),
+            _ => return Err(PapiError::NotRun),
+        };
+        let mut out = vec![0i64; n];
+        self.read_into(id, &mut out)?;
+        Ok(out)
     }
 
     /// `PAPI_accum`: add current values into `values` and reset the
-    /// counters.
+    /// counters.  Allocation-free in steady state (delegates to
+    /// [`Papi::read_into`] through a per-session staging buffer).
     pub fn accum(&mut self, id: EventSetId, values: &mut [i64]) -> Result<()> {
-        let v = self.read(id)?;
-        if values.len() != v.len() {
+        let n = match &self.running {
+            Some(r) if r.set == id => r.plan.n_events(),
+            _ => return Err(PapiError::NotRun),
+        };
+        if values.len() != n {
             return Err(PapiError::Inval("accum buffer length mismatch"));
         }
-        for (acc, x) in values.iter_mut().zip(&v) {
-            *acc += x;
+        // Stage the read in the session scratch (taken to appease the
+        // borrow checker; putting it back preserves its capacity).
+        let mut staged = std::mem::take(&mut self.scratch.values);
+        staged.resize(n, 0);
+        let read_r = self.read_into(id, &mut staged);
+        if let Ok(()) = read_r {
+            for (acc, x) in values.iter_mut().zip(staged.iter()) {
+                *acc += x;
+            }
         }
+        self.scratch.values = staged;
+        read_r?;
         let r = self.reset(id);
         if r.is_ok() {
             if let Some(obs) = &self.obs {
@@ -466,21 +553,27 @@ impl<S: Substrate> Papi<S> {
             _ => return Err(PapiError::NotRun),
         }
         let begin_cycles = self.sub.real_cycles();
-        let counts = self.read_native_counts()?;
-        let values = self.values_from_counts(&counts)?;
-        // Disarm machinery.
-        let routes = self
+        self.read_native_counts_into()?;
+        let n = self
             .running
             .as_ref()
-            .map(|r| r.routes.clone())
-            .unwrap_or_default();
+            .map(|r| r.plan.n_events())
+            .unwrap_or(0);
+        let mut values = vec![0i64; n];
+        self.values_into(&mut values)?;
+        // Disarm machinery.  Stop is off the hot path, so taking the route
+        // table out of the dying Running is free (it is discarded below).
+        let (routes, was_mpx) = {
+            let run = self.running.as_mut().ok_or(PapiError::NotRun)?;
+            (
+                std::mem::take(&mut run.routes),
+                matches!(run.mode, RunMode::Mpx(_)),
+            )
+        };
         for (ctr, _, _) in routes {
             self.sub.set_overflow(ctr, None)?;
         }
-        if matches!(
-            self.running.as_ref().map(|r| &r.mode),
-            Some(RunMode::Mpx(_))
-        ) {
+        if was_mpx {
             self.sub.set_timer(None);
         }
         self.sub.stop()?;
@@ -628,41 +721,45 @@ impl<S: Substrate> Papi<S> {
 
     /// Multiplex rotation on a timer tick: fold the live partition's counts
     /// into the accumulators and program the next partition.
+    ///
+    /// Like the read path, this borrows the cached plan and the session
+    /// scratch buffers in place: a steady-state rotation clones nothing and
+    /// allocates nothing.
     fn rotate_mpx(&mut self) -> Result<()> {
-        let Some(run) = &self.running else {
-            return Ok(());
-        };
-        let RunMode::Mpx(m) = &run.mode else {
-            return Ok(());
-        };
-        let counters = m.partitions[m.current].counters.clone();
-        let from_partition = m.current;
-        let switched_at = m.switched_at;
         let begin_cycles = self.sub.real_cycles();
         let now = begin_cycles;
-        let mut live = Vec::with_capacity(counters.len());
-        for &c in &counters {
-            live.push(self.sub.read(c)?);
-        }
+        let Some(run) = self.running.as_mut() else {
+            return Ok(());
+        };
+        // Disjoint borrows of the Running record so the plan, mode and
+        // scratch can be used simultaneously with substrate calls.
+        let Running {
+            set, plan, mode, ..
+        } = run;
+        let set = *set;
+        let RunMode::Mpx(m) = mode else {
+            return Ok(());
+        };
+        let from_partition = m.current;
+        let switched_at = m.switched_at;
+        self.scratch.live.clear();
+        self.sub
+            .read_batch(&m.partitions[m.current].counters, &mut self.scratch.live)?;
         // Fold and advance.
-        let (natives, domain, next_part, to_partition) = {
-            let run = self.running.as_mut().unwrap();
-            let set = run.set;
-            let RunMode::Mpx(m) = &mut run.mode else {
-                unreachable!()
-            };
-            m.flush(now, &live);
-            m.rotate();
-            let part = m.partitions[m.current].clone();
-            let domain = self.sets[set].as_ref().unwrap().domain;
-            (run.natives.clone(), domain, part, m.current)
-        };
-        self.program_partition(&natives, domain, &next_part)?;
+        m.flush(now, &self.scratch.live);
+        m.rotate();
+        let to_partition = m.current;
+        let domain = self.sets[set].as_ref().unwrap().domain;
+        // Program the next partition through the prog scratch (the
+        // allocation-free unrolling of `program_partition`).
+        let part = &m.partitions[m.current];
+        self.scratch.prog.clear();
+        self.scratch.prog.resize(self.sub.num_counters(), None);
+        for (slot, &nidx) in part.natives.iter().enumerate() {
+            self.scratch.prog[part.counters[slot]] = Some((plan.natives[nidx], domain));
+        }
+        self.sub.program(&self.scratch.prog)?;
         // Counting restarts now; don't charge programming time to the slice.
-        let run = self.running.as_mut().unwrap();
-        let RunMode::Mpx(m) = &mut run.mode else {
-            unreachable!()
-        };
         m.switched_at = self.sub.real_cycles();
         if let Some(obs) = &self.obs {
             let end_cycles = self.sub.real_cycles();
@@ -670,7 +767,7 @@ impl<S: Substrate> Papi<S> {
             obs.inc(ObsCounter::MpxRotations);
             obs.inc(ObsCounter::MpxFlushes);
             obs.inc(ObsCounter::MpxProgramOps);
-            obs.add(ObsCounter::CounterReads, counters.len() as u64);
+            obs.add(ObsCounter::CounterReads, self.scratch.live.len() as u64);
             obs.add(ObsCounter::CyclesInMpxRotate, cost_cycles);
             obs.record(now, || ObsEvent::MpxFlush {
                 partition: from_partition,

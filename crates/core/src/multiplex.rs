@@ -46,6 +46,9 @@ pub struct MpxState {
     /// Cycle timestamp of the last switch (or flush).
     pub switched_at: u64,
     pub period: u64,
+    /// `part_of[native] = partition index` — precomputed at construction so
+    /// estimate computation never rebuilds it per read.
+    part_of: Vec<usize>,
 }
 
 /// Partition `natives` (with per-platform constraints) into the minimum
@@ -89,8 +92,7 @@ pub fn partition_events_with(
     // Solve the final assignment for each partition.
     let mut out = Vec::with_capacity(parts.len());
     for part in parts {
-        let counters =
-            solve(&part, natives, model).expect("partition was validated as feasible");
+        let counters = solve(&part, natives, model).expect("partition was validated as feasible");
         out.push(Partition {
             natives: part,
             counters,
@@ -112,6 +114,12 @@ fn solve(
 impl MpxState {
     pub fn new(partitions: Vec<Partition>, num_natives: usize, period: u64, now: u64) -> Self {
         let n_parts = partitions.len();
+        let mut part_of = vec![0usize; num_natives];
+        for (pi, p) in partitions.iter().enumerate() {
+            for &n in &p.natives {
+                part_of[n] = pi;
+            }
+        }
         MpxState {
             partitions,
             current: 0,
@@ -119,6 +127,7 @@ impl MpxState {
             active_cycles: vec![0; n_parts],
             switched_at: now,
             period,
+            part_of,
         }
     }
 
@@ -154,26 +163,26 @@ impl MpxState {
     /// assert_eq!(m.estimates(), vec![100, 20]);
     /// ```
     pub fn estimates(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.raw.len());
+        self.estimates_into(&mut out);
+        out
+    }
+
+    /// [`MpxState::estimates`] into a caller-owned buffer, which is cleared
+    /// and refilled — the allocation-free form the steady-state read path
+    /// uses with a per-session scratch vector.
+    pub fn estimates_into(&self, out: &mut Vec<u64>) {
         let total: u64 = self.active_cycles.iter().sum();
-        let mut part_of = vec![0usize; self.raw.len()];
-        for (pi, p) in self.partitions.iter().enumerate() {
-            for &n in &p.natives {
-                part_of[n] = pi;
-            }
+        out.clear();
+        for (i, &raw) in self.raw.iter().enumerate() {
+            let active = self.active_cycles[self.part_of[i]];
+            out.push(if active == 0 {
+                0
+            } else {
+                // Scale by the fraction of run time this event was live.
+                ((raw as u128) * (total as u128) / (active as u128)) as u64
+            });
         }
-        self.raw
-            .iter()
-            .enumerate()
-            .map(|(i, &raw)| {
-                let active = self.active_cycles[part_of[i]];
-                if active == 0 {
-                    0
-                } else {
-                    // Scale by the fraction of run time this event was live.
-                    ((raw as u128) * (total as u128) / (active as u128)) as u64
-                }
-            })
-            .collect()
     }
 }
 

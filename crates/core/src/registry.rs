@@ -73,10 +73,10 @@ impl SubstrateRegistry {
                 &aliases,
                 &description,
                 Box::new(move |seed| {
-                    Ok(Box::new(SimSubstrate::for_platform(
-                        spec_for_factory.clone(),
-                        seed,
-                    )) as BoxSubstrate)
+                    Ok(
+                        Box::new(SimSubstrate::for_platform(spec_for_factory.clone(), seed))
+                            as BoxSubstrate,
+                    )
                 }),
             );
         }

@@ -5,7 +5,8 @@
 //! [`crate::dispatch`] and its event/EventSet bookkeeping in
 //! [`crate::events`].
 
-use crate::dispatch::{OvfHandler, Running};
+use crate::alloc::{AllocCache, AllocModel};
+use crate::dispatch::{OvfHandler, ReadScratch, Running};
 use crate::error::Result;
 use crate::eventset::EventSetData;
 use crate::highlevel;
@@ -35,6 +36,14 @@ pub struct Papi<S: Substrate = SimSubstrate> {
     /// Self-instrumentation sink. `None` (the default) disables the layer:
     /// every hook is a cheap `Option` check and no state is kept.
     pub(crate) obs: Option<papi_obs::ObsHandle>,
+    /// The substrate's allocation-translation model, materialized once at
+    /// init so start/partition paths never rebuild it per call.
+    pub(crate) alloc_model: AllocModel,
+    /// Memoized allocator solutions keyed by native-code signature.
+    pub(crate) alloc_memo: AllocCache,
+    /// Reusable hot-path buffers (native counts, multiplex estimates,
+    /// staged values, programming table): the zero-allocation read path.
+    pub(crate) scratch: ReadScratch,
 }
 
 impl Papi<BoxSubstrate> {
@@ -69,7 +78,8 @@ impl<S: Substrate> Papi<S> {
     /// mapping every standard event onto this platform's native events,
     /// using the substrate's allocation model for feasibility checks.
     pub fn init(sub: S) -> Result<Self> {
-        let presets = PresetTable::build_with(sub.native_events(), &sub.alloc_model());
+        let alloc_model = sub.alloc_model();
+        let presets = PresetTable::build_with(sub.native_events(), &alloc_model);
         Ok(Papi {
             sub,
             presets,
@@ -81,6 +91,9 @@ impl<S: Substrate> Papi<S> {
             sampling_buf: Vec::new(),
             hl: None,
             obs: None,
+            alloc_model,
+            alloc_memo: AllocCache::new(),
+            scratch: ReadScratch::default(),
         })
     }
 

@@ -81,6 +81,22 @@ pub trait Substrate {
     /// Read one counter.
     fn read(&mut self, idx: usize) -> Result<u64>;
 
+    /// Read several counters in one substrate call, appending their values
+    /// to `out` in `ctrs` order.
+    ///
+    /// Real counter interfaces return the full counter state per kernel
+    /// crossing (one ioctl/syscall), so the portable layer's `read` of an
+    /// n-event set should cost one crossing, not n.  Substrates with a
+    /// batched native interface override this; the default falls back to
+    /// per-counter [`Substrate::read`].
+    fn read_batch(&mut self, ctrs: &[usize], out: &mut Vec<u64>) -> Result<()> {
+        for &c in ctrs {
+            let v = self.read(c)?;
+            out.push(v);
+        }
+        Ok(())
+    }
+
     /// Arm (`Some(threshold)`) or disarm (`None`) overflow interrupts.
     fn set_overflow(&mut self, idx: usize, threshold: Option<u64>) -> Result<()>;
 
@@ -164,6 +180,9 @@ impl<T: Substrate + ?Sized> Substrate for Box<T> {
     }
     fn read(&mut self, idx: usize) -> Result<u64> {
         (**self).read(idx)
+    }
+    fn read_batch(&mut self, ctrs: &[usize], out: &mut Vec<u64>) -> Result<()> {
+        (**self).read_batch(ctrs, out)
     }
     fn set_overflow(&mut self, idx: usize, threshold: Option<u64>) -> Result<()> {
         (**self).set_overflow(idx, threshold)
@@ -288,6 +307,11 @@ impl Substrate for SimSubstrate {
 
     fn read(&mut self, idx: usize) -> Result<u64> {
         Ok(self.machine.costed_read(idx)?)
+    }
+
+    fn read_batch(&mut self, ctrs: &[usize], out: &mut Vec<u64>) -> Result<()> {
+        self.machine.costed_read_batch(ctrs, out)?;
+        Ok(())
     }
 
     fn set_overflow(&mut self, idx: usize, threshold: Option<u64>) -> Result<()> {

@@ -31,6 +31,7 @@
 
 #![deny(missing_docs)]
 
+pub mod alloc_track;
 pub mod export;
 pub mod journal;
 pub mod registry;

@@ -59,6 +59,10 @@ pub enum Counter {
     /// Events displaced and re-placed during augmenting-path search
     /// (backtracking effort).
     AllocBacktracks,
+    /// Allocation requests answered from the memo cache (no solver search).
+    AllocMemoHits,
+    /// Allocation requests that had to run the solver (and seeded the memo).
+    AllocMemoMisses,
     /// Records appended to the event journal.
     JournalRecords,
     /// Records dropped because the journal ring was full.
@@ -93,6 +97,8 @@ pub const COUNTERS: &[Counter] = &[
     Counter::AllocFailures,
     Counter::AllocAugmentSteps,
     Counter::AllocBacktracks,
+    Counter::AllocMemoHits,
+    Counter::AllocMemoMisses,
     Counter::JournalRecords,
     Counter::JournalDropped,
     Counter::CyclesInRead,
@@ -113,7 +119,7 @@ impl Counter {
             MpxRotations | MpxFlushes | MpxProgramOps => "mpx",
             OverflowInterrupts | OverflowHandlerDispatches | ProfilHits => "overflow",
             AllocAttempts | AllocSuccesses | AllocFailures | AllocAugmentSteps
-            | AllocBacktracks => "alloc",
+            | AllocBacktracks | AllocMemoHits | AllocMemoMisses => "alloc",
             JournalRecords | JournalDropped => "journal",
             CyclesInRead | CyclesInStartStop | CyclesInMpxRotate => "cycles",
         }
@@ -143,6 +149,8 @@ impl Counter {
             AllocFailures => "failures",
             AllocAugmentSteps => "augment_steps",
             AllocBacktracks => "backtracks",
+            AllocMemoHits => "memo_hits",
+            AllocMemoMisses => "memo_misses",
             JournalRecords => "records",
             JournalDropped => "dropped",
             CyclesInRead => "in_read",

@@ -56,11 +56,11 @@ mod registry_tests {
         let w = papi_workloads::dense_fp(1_000, 2, 0);
         papi.substrate_mut().load_program(w.program).unwrap();
         let set = papi.create_eventset();
-        papi.add_event(set, papi_core::Preset::FpOps.code()).unwrap();
+        papi.add_event(set, papi_core::Preset::FpOps.code())
+            .unwrap();
         papi.start(set).unwrap();
         papi.run_app().unwrap();
         let v = papi.stop(set).unwrap();
         assert_eq!(v[0], 4_000);
     }
 }
-

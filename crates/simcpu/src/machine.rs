@@ -341,6 +341,26 @@ impl Machine {
         Ok(self.pmu.read(idx))
     }
 
+    /// Read several counters in ONE kernel crossing, appending to `out`.
+    /// Real counter interfaces return the whole counter state per syscall,
+    /// so a multi-counter read costs one crossing, not one per counter.
+    pub fn costed_read_batch(
+        &mut self,
+        ctrs: &[usize],
+        out: &mut Vec<u64>,
+    ) -> Result<(), MachError> {
+        for &c in ctrs {
+            if c >= self.pmu.num_counters() {
+                return Err(MachError::NoSuchCounter(c));
+            }
+        }
+        self.kernel_crossing(self.spec.costs.read_cycles);
+        for &c in ctrs {
+            out.push(self.pmu.read(c));
+        }
+        Ok(())
+    }
+
     /// Program the full counter configuration (multiplex switch /
     /// EventSet start). `assign[i] = Some((code, domain))` or `None`.
     pub fn costed_program(&mut self, assign: &[Option<(u32, Domain)>]) -> Result<(), MachError> {

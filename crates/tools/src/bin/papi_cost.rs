@@ -18,6 +18,11 @@
 use papi_core::{Papi, Preset, SimSubstrate, Substrate};
 use simcpu::{all_platforms, platform_by_name, Machine, PlatformSpec};
 
+// Count host heap traffic so `--self-check` can report allocations per
+// steady-state read alongside the cycle cross-check.
+#[global_allocator]
+static ALLOC: papi_obs::alloc_track::CountingAlloc = papi_obs::alloc_track::CountingAlloc;
+
 struct Costs {
     read: f64,
     start_stop: f64,
@@ -150,25 +155,65 @@ fn self_check(spec: PlatformSpec) -> bool {
     let prime = obs.get(C::CyclesInStartStop) as f64 * 1.0 / obs.get(C::Starts) as f64;
     let ss_accounted = (obs.get(C::CyclesInStartStop) as f64 - prime) / pairs as f64;
 
+    // Allocation probe: steady-state reads through the zero-allocation
+    // `read_into` path, after a short warm-up that grows the scratch
+    // buffers to capacity.
+    papi.start(set).unwrap();
+    let mut out = [0i64; 1];
+    for _ in 0..16 {
+        papi.read_into(set, &mut out).unwrap();
+    }
+    let ((), allocs) = papi_obs::alloc_track::count_in(|| {
+        for _ in 0..n {
+            papi.read_into(set, &mut out).unwrap();
+        }
+    });
+    papi.stop(set).unwrap();
+    let allocs_per_read = allocs as f64 / n as f64;
+
+    // Allocator-memo effectiveness over the repeated start/stop loop: the
+    // first solve is the only miss, every re-start replays the cached
+    // assignment.
+    let memo_hits = obs.get(C::AllocMemoHits);
+    let memo_misses = obs.get(C::AllocMemoMisses);
+    let memo_rate = memo_hits as f64 / (memo_hits + memo_misses).max(1) as f64 * 100.0;
+
     let pct = |a: f64, b: f64| (a - b).abs() / b.max(1.0) * 100.0;
     let read_dev = pct(read_accounted, read_measured);
     let ss_dev = pct(ss_accounted, ss_measured);
     println!(
-        "{:<12} {:>12.1} {:>12.1} {:>7.2}% {:>14.1} {:>14.1} {:>7.2}%",
-        name, read_measured, read_accounted, read_dev, ss_measured, ss_accounted, ss_dev
+        "{:<12} {:>12.1} {:>12.1} {:>7.2}% {:>14.1} {:>14.1} {:>7.2}% {:>9.2} {:>8.1}%",
+        name,
+        read_measured,
+        read_accounted,
+        read_dev,
+        ss_measured,
+        ss_accounted,
+        ss_dev,
+        allocs_per_read,
+        memo_rate
     );
     // Loop bookkeeping outside the spans is uncosted in the simulator, so
     // agreement should be essentially exact; 5% leaves margin for the
-    // amortized priming correction.
-    read_dev < 5.0 && ss_dev < 5.0
+    // amortized priming correction.  The steady-state read path must not
+    // touch the heap at all.
+    read_dev < 5.0 && ss_dev < 5.0 && allocs == 0
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(|s| s.as_str()) == Some("--self-check") {
         println!(
-            "{:<12} {:>12} {:>12} {:>8} {:>14} {:>14} {:>8}",
-            "platform", "read meas", "read acct", "dev", "ss meas", "ss acct", "dev"
+            "{:<12} {:>12} {:>12} {:>8} {:>14} {:>14} {:>8} {:>9} {:>9}",
+            "platform",
+            "read meas",
+            "read acct",
+            "dev",
+            "ss meas",
+            "ss acct",
+            "dev",
+            "allocs/rd",
+            "memo hit"
         );
         let specs: Vec<PlatformSpec> = match args.get(1) {
             Some(name) => match platform_by_name(name) {
@@ -188,7 +233,8 @@ fn main() {
             eprintln!("papi_cost: self-accounting diverges from measured costs");
             std::process::exit(1);
         }
-        println!("\nself-accounted cycles agree with measured micro-costs");
+        println!("\nself-accounted cycles agree with measured micro-costs;");
+        println!("steady-state reads are allocation-free");
         return;
     }
     println!(

@@ -98,7 +98,13 @@ pub fn papirun_with(
     let mut machine = Machine::new(spec.clone(), opts.seed);
     machine.load(workload.program.clone());
     let mut papi = Papi::init(SimSubstrate::new(machine))?;
-    run_loaded(&mut papi, spec.name.to_string(), workload, event_names, opts)
+    run_loaded(
+        &mut papi,
+        spec.name.to_string(),
+        workload,
+        event_names,
+        opts,
+    )
 }
 
 /// [`papirun`] against a substrate selected by registry name (`sim:x86`,
@@ -112,7 +118,8 @@ pub fn papirun_named(
 ) -> Result<RunReport> {
     let reg = crate::full_registry();
     let mut papi = Papi::init_from_registry(&reg, substrate, opts.seed)?;
-    papi.substrate_mut().load_program(workload.program.clone())?;
+    papi.substrate_mut()
+        .load_program(workload.program.clone())?;
     run_loaded(
         &mut papi,
         substrate.to_string(),

@@ -88,7 +88,11 @@ impl Perfometer {
         let mut last_snap = self.obs.as_ref().map(|o| o.snapshot());
         loop {
             let exit = papi.run_for(self.interval_cycles)?;
-            let v = papi.read(set)?[0];
+            // One-event sets by construction: sample through the
+            // allocation-free read path with a stack buffer.
+            let mut sample = [0i64; 1];
+            papi.read_into(set, &mut sample)?;
+            let v = sample[0];
             let now = papi.get_real_ns();
             let dt_ns = now.saturating_sub(last_ns).max(1);
             let delta = v - last_v;

@@ -226,7 +226,9 @@ mod tests {
             let back = Timeline::from_json(&json).unwrap();
             assert_eq!(back, tl1);
         } else {
-            eprintln!("json_roundtrip_and_merge: offline serde_json stub detected, skipping JSON leg");
+            eprintln!(
+                "json_roundtrip_and_merge: offline serde_json stub detected, skipping JSON leg"
+            );
         }
         // Merge with itself: column count doubles, grid preserved.
         let merged = tl1.merge(&tl1).unwrap();

@@ -215,7 +215,8 @@ fn group_model_allocation_equivalent_to_reference() {
         let split = allocate_with(&model, &codes, &[], &mut stats);
         let reference = allocate_in_group(&codes, &groups).map(|(_, assign)| assign);
         assert_eq!(
-            split, reference,
+            split,
+            reference,
             "codes {codes:?} over groups {:?} diverged",
             groups.iter().map(|g| &g.events).collect::<Vec<_>>()
         );
@@ -503,7 +504,9 @@ fn lru_inclusion_property() {
     let mut rng = SmallRng::seed_from_u64(0x100B);
     for _case in 0..32 {
         let n_addrs = rng.gen_range(1usize..400);
-        let addrs: Vec<u64> = (0..n_addrs).map(|_| rng.gen_range(0u64..(1 << 16))).collect();
+        let addrs: Vec<u64> = (0..n_addrs)
+            .map(|_| rng.gen_range(0u64..(1 << 16)))
+            .collect();
         let mut misses = Vec::new();
         for size in [1024u32, 2048, 4096] {
             // fully associative: one set
@@ -640,16 +643,150 @@ fn trace_roundtrip_arbitrary() {
                 })
                 .collect(),
         };
-        let back =
-            papi_suite::toolkit::traceformat::decode(&papi_suite::toolkit::traceformat::encode(
-                &tl,
-            ))
-            .unwrap();
+        let back = papi_suite::toolkit::traceformat::decode(
+            &papi_suite::toolkit::traceformat::encode(&tl),
+        )
+        .unwrap();
         assert_eq!(back, tl);
     }
 }
 
 /// The whole stack is deterministic: same seed, same counts, same time.
+/// Build a session on `spec` with a seeded random program and a random
+/// 1–4 event set drawn from `candidates` (events the platform rejects are
+/// skipped). Returns `None` when the drawn set cannot start (e.g. counter
+/// conflicts without multiplexing) — callers skip those cases.
+fn random_started_session(
+    spec: simcpu::PlatformSpec,
+    prog_seed: u64,
+    rng: &mut SmallRng,
+    mpx: bool,
+) -> Option<(Papi<SimSubstrate>, usize, usize)> {
+    const CANDIDATES: [Preset; 6] = [
+        Preset::TotCyc,
+        Preset::TotIns,
+        Preset::LdIns,
+        Preset::SrIns,
+        Preset::L1Dcm,
+        Preset::BrIns,
+    ];
+    let mut m = Machine::new(spec, prog_seed);
+    m.load(random_program(
+        prog_seed,
+        RandomCfg {
+            funcs: 2,
+            ..Default::default()
+        },
+    ));
+    let mut papi = Papi::init(SimSubstrate::new(m)).unwrap();
+    let set = papi.create_eventset();
+    let want = rng.gen_range(1usize..=4);
+    let mut added = 0usize;
+    for _ in 0..8 {
+        let ev = CANDIDATES[rng.gen_range(0..CANDIDATES.len())];
+        if papi.add_event(set, ev.code()).is_ok() {
+            added += 1;
+            if added == want {
+                break;
+            }
+        }
+    }
+    if added == 0 {
+        papi.add_event(set, Preset::TotCyc.code()).ok()?;
+        added = 1;
+    }
+    if mpx {
+        papi.set_multiplex(set).ok()?;
+    }
+    papi.start(set).ok()?;
+    Some((papi, set, added))
+}
+
+/// `read_into` is the same observable operation as `read`: over random
+/// programs, event sets, platforms (mask- and group-allocated) and
+/// multiplex on/off, two identical sessions sampled through the two entry
+/// points report identical values at every step.
+#[test]
+fn read_into_equals_read_under_replay() {
+    let mut rng = SmallRng::seed_from_u64(0x1011);
+    for case in 0..36 {
+        let spec = match case % 3 {
+            0 => simcpu::platform::sim_x86(),
+            1 => simcpu::platform::sim_generic(),
+            _ => simcpu::platform::sim_power3(),
+        };
+        let mpx = rng.gen_bool(0.5);
+        let prog_seed = rng.gen_range(0u64..2000);
+        let set_seed: u64 = rng.gen();
+        let mk = |spec: simcpu::PlatformSpec| {
+            let mut set_rng = SmallRng::seed_from_u64(set_seed);
+            random_started_session(spec, prog_seed, &mut set_rng, mpx)
+        };
+        let (Some((mut a, set_a, n)), Some((mut b, set_b, _))) = (mk(spec.clone()), mk(spec))
+        else {
+            continue;
+        };
+        let steps = rng.gen_range(2usize..6);
+        let mut buf = vec![0i64; n];
+        for step in 0..steps {
+            let budget = rng.gen_range(1_000u64..50_000);
+            a.run_for(budget).unwrap();
+            b.run_for(budget).unwrap();
+            let via_read = a.read(set_a).unwrap();
+            b.read_into(set_b, &mut buf).unwrap();
+            assert_eq!(
+                via_read, buf,
+                "case {case} step {step} (mpx={mpx}, prog_seed={prog_seed})"
+            );
+        }
+    }
+}
+
+/// `accum` is exactly "read_into + add + reset": an identical session
+/// replaying that manual sequence accumulates the same totals at every
+/// step, because the two perform the same costed substrate operations.
+#[test]
+fn accum_equals_read_into_plus_reset_under_replay() {
+    let mut rng = SmallRng::seed_from_u64(0x1012);
+    for case in 0..36 {
+        let spec = match case % 3 {
+            0 => simcpu::platform::sim_x86(),
+            1 => simcpu::platform::sim_generic(),
+            _ => simcpu::platform::sim_power3(),
+        };
+        let mpx = rng.gen_bool(0.5);
+        let prog_seed = rng.gen_range(0u64..2000);
+        let set_seed: u64 = rng.gen();
+        let mk = |spec: simcpu::PlatformSpec| {
+            let mut set_rng = SmallRng::seed_from_u64(set_seed);
+            random_started_session(spec, prog_seed, &mut set_rng, mpx)
+        };
+        let (Some((mut a, set_a, n)), Some((mut b, set_b, _))) = (mk(spec.clone()), mk(spec))
+        else {
+            continue;
+        };
+        let steps = rng.gen_range(2usize..6);
+        let mut acc = vec![0i64; n];
+        let mut manual = vec![0i64; n];
+        let mut delta = vec![0i64; n];
+        for step in 0..steps {
+            let budget = rng.gen_range(1_000u64..50_000);
+            a.run_for(budget).unwrap();
+            b.run_for(budget).unwrap();
+            a.accum(set_a, &mut acc).unwrap();
+            b.read_into(set_b, &mut delta).unwrap();
+            for (m, d) in manual.iter_mut().zip(&delta) {
+                *m += d;
+            }
+            b.reset(set_b).unwrap();
+            assert_eq!(
+                acc, manual,
+                "case {case} step {step} (mpx={mpx}, prog_seed={prog_seed})"
+            );
+        }
+    }
+}
+
 #[test]
 fn end_to_end_determinism() {
     let mut rng = SmallRng::seed_from_u64(0x1010);

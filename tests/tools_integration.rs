@@ -173,7 +173,9 @@ fn tracer_timeline_json_roundtrip_and_obs_merge() {
         assert_eq!(Timeline::from_json(&tl.to_json()).unwrap(), tl);
         assert_eq!(Timeline::from_json(&merged.to_json()).unwrap(), merged);
     } else {
-        eprintln!("tracer_timeline_json_roundtrip: offline serde_json stub detected, skipping JSON leg");
+        eprintln!(
+            "tracer_timeline_json_roundtrip: offline serde_json stub detected, skipping JSON leg"
+        );
     }
 }
 
@@ -202,9 +204,15 @@ fn papirun_list_substrates_prints_full_registry() {
     assert!(listing.contains("(alias sim-power3)"));
     // Column spot-checks: POWER3 is the group-based 8-counter machine,
     // alpha is the sampling one.
-    let power3 = listing.lines().find(|l| l.starts_with("sim:power3")).unwrap();
+    let power3 = listing
+        .lines()
+        .find(|l| l.starts_with("sim:power3"))
+        .unwrap();
     assert!(power3.contains(" 8 "), "{power3}");
-    let alpha = listing.lines().find(|l| l.starts_with("sim:alpha")).unwrap();
+    let alpha = listing
+        .lines()
+        .find(|l| l.starts_with("sim:alpha"))
+        .unwrap();
     assert!(alpha.contains("yes"), "{alpha}");
     assert!(listing.lines().next().unwrap().contains("sampling"));
 }
