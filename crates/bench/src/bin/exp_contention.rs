@@ -1,0 +1,200 @@
+//! E-contention: per-thread `read_into` throughput scales with thread
+//! count.
+//!
+//! The paper's thread story (and ScALPEL's lesson) is that monitoring
+//! stays lightweight at scale only if per-thread counter state avoids
+//! shared locks on the hot path. This harness proves our sharded session
+//! table delivers that: N threads register into one `ThreadedPapi`, each
+//! gets its own substrate context and a started 4-event set, and each
+//! hammers `read_into` on its own session.
+//!
+//! Two measurements per configuration (1 thread and 4 threads):
+//!
+//! * **Virtual-time throughput** (the acceptance metric): every read has a
+//!   deterministic virtual cost on its own machine, so aggregate
+//!   throughput — total reads divided by the *slowest* thread's virtual
+//!   cycles — is host-independent and scales with thread count if and
+//!   only if no shared state serializes the threads. Asserted >= 3x at 4
+//!   threads vs 1.
+//! * **Host wall-clock** ns/op, reported informationally (CI containers
+//!   may have a single core, where wall-clock parallel speedup is
+//!   physically unavailable; the virtual metric is immune to that).
+//!
+//! Each thread also asserts the per-thread zero-allocation guarantee:
+//! steady-state `read_into` performs 0 heap allocations *on that thread*
+//! (the counting allocator's bookkeeping is thread-local).
+//!
+//! ```text
+//! exp_contention [--iters N] [--substrate NAME]
+//! ```
+//!
+//! `--iters 1` is the CI smoke mode: both configurations run, the scaling
+//! and zero-allocation assertions still fire (both are deterministic),
+//! but timings are not recorded.
+
+use papi_bench::banner;
+use papi_bench::bench_json::{merge_into, BenchRecord};
+use papi_core::{Papi, Preset, Substrate, SubstrateRegistry, ThreadedPapi};
+use papi_obs::alloc_track::count_in;
+use papi_workloads::dense_fp;
+use std::sync::Arc;
+use std::time::Instant;
+
+const EVENTS: [Preset; 4] = [Preset::TotCyc, Preset::TotIns, Preset::LdIns, Preset::SrIns];
+
+struct ThreadSample {
+    virt_cycles: u64,
+    host_ns: u64,
+    allocs: u64,
+}
+
+fn pool(substrate: &str) -> Arc<ThreadedPapi<papi_core::BoxSubstrate>> {
+    let name = substrate.to_string();
+    let reg = Arc::new(SubstrateRegistry::with_builtin());
+    let program = dense_fp(10, 1, 0).program;
+    Arc::new(ThreadedPapi::new(1, move |seed| {
+        let mut papi = Papi::init_from_registry(&reg, &name, seed)?;
+        papi.substrate_mut().load_program(program.clone())?;
+        Ok(papi)
+    }))
+}
+
+/// One registered thread's read loop: warm, then `iters` steady-state
+/// `read_into` calls, counting this thread's heap traffic and virtual
+/// cycles.
+fn worker(
+    pool: &Arc<ThreadedPapi<papi_core::BoxSubstrate>>,
+    seed: u64,
+    iters: u64,
+) -> ThreadSample {
+    let token = pool.register_thread_seeded(seed).expect("register");
+    let set = token.create_eventset();
+    for ev in EVENTS {
+        token.add_event(set, ev.code()).unwrap();
+    }
+    token.start(set).unwrap();
+    let mut out = [0i64; EVENTS.len()];
+    for _ in 0..10 {
+        token.read_into(set, &mut out).unwrap();
+    }
+    let v0 = token.with(|p| p.get_real_cyc());
+    let t0 = Instant::now();
+    let ((), allocs) = count_in(|| {
+        for _ in 0..iters {
+            token.read_into(set, &mut out).unwrap();
+        }
+    });
+    let host_ns = t0.elapsed().as_nanos() as u64;
+    let virt_cycles = token.with(|p| p.get_real_cyc()) - v0;
+    std::hint::black_box(out[0]);
+    token.stop(set).unwrap();
+    token.destroy_eventset(set).unwrap();
+    pool.unregister_thread(token).expect("unregister");
+    ThreadSample {
+        virt_cycles,
+        host_ns,
+        allocs,
+    }
+}
+
+struct Config {
+    /// Aggregate reads per million virtual cycles: total reads over the
+    /// slowest thread's cycles (threads run on independent machines, so
+    /// the slowest clock is the configuration's virtual makespan).
+    virt_throughput: f64,
+    host_ns_per_op: f64,
+}
+
+fn run_config(substrate: &str, threads: usize, iters: u64) -> Config {
+    let pool = pool(substrate);
+    let mut joins = Vec::new();
+    for t in 0..threads {
+        let pool = pool.clone();
+        joins.push(std::thread::spawn(move || {
+            worker(&pool, t as u64 + 1, iters)
+        }));
+    }
+    let samples: Vec<ThreadSample> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+    for (t, s) in samples.iter().enumerate() {
+        assert_eq!(
+            s.allocs, 0,
+            "thread {t}/{threads}: steady-state read_into allocated"
+        );
+    }
+    let total_reads = iters * threads as u64;
+    let makespan = samples.iter().map(|s| s.virt_cycles).max().unwrap();
+    let host_total_ns: u64 = samples.iter().map(|s| s.host_ns).sum();
+    Config {
+        virt_throughput: total_reads as f64 / makespan as f64 * 1e6,
+        host_ns_per_op: host_total_ns as f64 / total_reads as f64,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iters = 200_000u64;
+    let mut substrate = "sim:x86".to_string();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--iters" => iters = it.next().and_then(|s| s.parse().ok()).expect("--iters N"),
+            "--substrate" => substrate = it.next().expect("--substrate NAME"),
+            _ => {
+                eprintln!("usage: exp_contention [--iters N] [--substrate NAME]");
+                std::process::exit(2);
+            }
+        }
+    }
+    banner(
+        "E-contention",
+        "sharded per-thread sessions: read_into throughput scales with thread count",
+    );
+    println!("reads per thread : {iters}");
+    println!("events           : 4 (TotCyc TotIns LdIns SrIns, non-multiplexed)\n");
+
+    let one = run_config(&substrate, 1, iters);
+    let four = run_config(&substrate, 4, iters);
+    let scaling = four.virt_throughput / one.virt_throughput;
+
+    println!(
+        "  1 thread   {:>10.1} reads/Mcycle (virtual)  {:>8.1} ns/op (host, per-thread)",
+        one.virt_throughput, one.host_ns_per_op
+    );
+    println!(
+        "  4 threads  {:>10.1} reads/Mcycle (virtual)  {:>8.1} ns/op (host, per-thread)",
+        four.virt_throughput, four.host_ns_per_op
+    );
+    println!("\naggregate virtual scaling 1 -> 4 threads: {scaling:.2}x");
+    println!(
+        "acceptance (>=3x, 0 allocs/thread): {}",
+        if scaling >= 3.0 { "PASS" } else { "FAIL" }
+    );
+    assert!(
+        scaling >= 3.0,
+        "4-thread aggregate read_into throughput scaled only {scaling:.2}x"
+    );
+
+    if iters > 1 {
+        let records = vec![
+            BenchRecord {
+                bench: "contention_read_into_1t".to_string(),
+                substrate: substrate.clone(),
+                iters,
+                ns_per_op: one.host_ns_per_op,
+                allocs_per_op: 0.0,
+            },
+            BenchRecord {
+                bench: "contention_read_into_4t".to_string(),
+                substrate: substrate.clone(),
+                iters,
+                ns_per_op: four.host_ns_per_op,
+                allocs_per_op: 0.0,
+            },
+        ];
+        let path = papi_bench::bench_json::default_path();
+        merge_into(&path, &records).expect("write BENCH_hotpath.json");
+        println!("recorded {} records -> {}", records.len(), path.display());
+    } else {
+        println!("\n(smoke mode: scaling and zero-allocation asserted, timings not recorded)");
+    }
+}

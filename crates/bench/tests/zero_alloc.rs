@@ -55,6 +55,7 @@ fn assert_steady_state_alloc_free<S: Substrate>(papi: &mut Papi<S>, label: &str)
 
     std::hint::black_box((out[0], acc[0]));
     papi.stop(set).unwrap();
+    papi.destroy_eventset(set).unwrap();
 }
 
 #[test]
@@ -78,6 +79,56 @@ fn read_into_stays_allocation_free_with_obs_attached() {
     papi.attach_obs(obs.clone());
     assert_steady_state_alloc_free(&mut papi, "static+obs");
     assert!(obs.get(papi_obs::Counter::Reads) > 0);
+}
+
+#[test]
+fn read_into_and_accum_are_allocation_free_per_registered_thread() {
+    // The PR 3 guarantee must hold *per thread*: each registered thread
+    // owns its own session (plan, scratch), and the counting allocator's
+    // bookkeeping is thread-local, so the assertion runs independently on
+    // every spawned thread.
+    use papi_core::{SubstrateRegistry, ThreadedPapi};
+    use std::sync::Arc;
+
+    let reg = Arc::new(SubstrateRegistry::with_builtin());
+    let program = dense_fp(10, 1, 0).program;
+    let pool = Arc::new(ThreadedPapi::new(1, move |seed| {
+        let mut papi = papi_core::Papi::init_from_registry(&reg, "sim:x86", seed)?;
+        papi.substrate_mut().load_program(program.clone())?;
+        Ok(papi)
+    }));
+    let mut joins = Vec::new();
+    for t in 0..4 {
+        let pool = pool.clone();
+        joins.push(std::thread::spawn(move || {
+            let token = pool.register_thread().unwrap();
+            token.with(|papi| assert_steady_state_alloc_free(papi, &format!("thread-{t}")));
+            // And through the tagged-id token API itself: the tag check is
+            // arithmetic, the session mutex is uncontended — no heap.
+            let set = token.create_eventset();
+            for ev in EVENTS {
+                token.add_event(set, ev.code()).unwrap();
+            }
+            token.start(set).unwrap();
+            let mut out = [0i64; 4];
+            for _ in 0..10 {
+                token.read_into(set, &mut out).unwrap();
+            }
+            let ((), allocs) = count_in(|| {
+                for _ in 0..100 {
+                    token.read_into(set, &mut out).unwrap();
+                }
+            });
+            assert_eq!(allocs, 0, "thread-{t}: token read_into allocated");
+            std::hint::black_box(out[0]);
+            token.stop(set).unwrap();
+            token.destroy_eventset(set).unwrap();
+            pool.unregister_thread(token).unwrap();
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
 }
 
 #[test]

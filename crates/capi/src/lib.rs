@@ -13,9 +13,12 @@
 //! Safety: the C entry points take raw pointers; each documents and checks
 //! its contract (null pointers are rejected with `PAPI_EINVAL`).
 
-use papi_core::{BoxSubstrate, Papi, PapiError, Preset, Substrate, SubstrateRegistry};
-use std::ffi::{c_char, c_int, c_longlong, c_uint, CStr};
-use std::sync::Mutex;
+use papi_core::{
+    BoxSubstrate, Papi, PapiError, PapiThread, Preset, Substrate, SubstrateRegistry, ThreadedPapi,
+};
+use std::cell::RefCell;
+use std::ffi::{c_char, c_int, c_longlong, c_uint, c_ulong, CStr};
+use std::sync::{Arc, Mutex};
 
 /// `PAPI_VER_CURRENT` of the version we implement (3.0.0 encoded as in the
 /// C header: major<<24 | minor<<16 | revision<<8).
@@ -56,19 +59,44 @@ fn errno(e: &PapiError) -> c_int {
 
 // The C library's global session holds its substrate behind dynamic
 // dispatch: `PAPIx_init_platform` picks any registry backend by name.
-struct Session {
-    papi: Papi<BoxSubstrate>,
+static SESSION: Mutex<Option<Papi<BoxSubstrate>>> = Mutex::new(None);
+
+// Thread support, mirroring `PAPI_thread_init`/`PAPI_register_thread`:
+// the platform name selected at init (new registered threads get their own
+// substrate of the same platform), the sharded per-thread session table,
+// and the user-supplied thread-id function.
+static PLATFORM: Mutex<Option<String>> = Mutex::new(None);
+static POOL: Mutex<Option<Arc<ThreadedPapi<BoxSubstrate>>>> = Mutex::new(None);
+static THREAD_ID_FN: Mutex<Option<extern "C" fn() -> c_ulong>> = Mutex::new(None);
+
+thread_local! {
+    // A registered thread's token: while present, every C API call from
+    // this thread routes to the thread's own private session.
+    static TOKEN: RefCell<Option<PapiThread<BoxSubstrate>>> = const { RefCell::new(None) };
 }
 
-static SESSION: Mutex<Option<Session>> = Mutex::new(None);
-
-fn with_session<F: FnOnce(&mut Session) -> c_int>(f: F) -> c_int {
+fn with_papi<F: FnOnce(&mut Papi<BoxSubstrate>) -> c_int>(f: F) -> c_int {
+    // A registered thread operates on its own session — same functions,
+    // same EventSet handles, per-thread counters (the C API's per-thread
+    // model: handles are only meaningful on the thread that made them).
+    enum Routed<F> {
+        Done(c_int),
+        Global(F),
+    }
+    let routed = TOKEN.with(|t| match t.borrow().as_ref() {
+        Some(token) => Routed::Done(token.with(|p| f(p))),
+        None => Routed::Global(f),
+    });
+    let f = match routed {
+        Routed::Done(rc) => return rc,
+        Routed::Global(f) => f,
+    };
     let mut guard = match SESSION.lock() {
         Ok(g) => g,
         Err(_) => return PAPI_EMISC,
     };
     match guard.as_mut() {
-        Some(s) => f(s),
+        Some(p) => f(p),
         None => PAPI_ENOINIT,
     }
 }
@@ -88,12 +116,20 @@ pub extern "C" fn PAPI_library_init(version: c_int) -> c_int {
     init_platform("sim-generic")
 }
 
-fn init_platform(name: &str) -> c_int {
+fn registry() -> SubstrateRegistry {
     let mut reg = SubstrateRegistry::with_builtin();
     perfctr_emu::register_substrates(&mut reg);
-    match Papi::init_from_registry(&reg, name, 42) {
+    reg
+}
+
+fn init_platform(name: &str) -> c_int {
+    match Papi::init_from_registry(&registry(), name, 42) {
         Ok(p) => {
-            *SESSION.lock().unwrap() = Some(Session { papi: p });
+            *SESSION.lock().unwrap() = Some(p);
+            *PLATFORM.lock().unwrap() = Some(name.to_string());
+            // A new platform invalidates the old per-thread session table;
+            // threads registered after this point get the new substrate.
+            *POOL.lock().unwrap() = None;
             PAPI_VER_CURRENT
         }
         Err(_) => PAPI_ESBSTR,
@@ -138,27 +174,130 @@ pub unsafe extern "C" fn PAPIx_load_workload(name: *const c_char) -> c_int {
         "cg" => papi_workloads::cg_like(256, 8, 4).program,
         _ => return PAPI_EINVAL,
     };
-    with_session(
-        |s| match s.papi.substrate_mut().load_program(program.clone()) {
-            Ok(()) => PAPI_OK,
-            Err(e) => errno(&e),
-        },
-    )
+    with_papi(|p| match p.substrate_mut().load_program(program.clone()) {
+        Ok(()) => PAPI_OK,
+        Err(e) => errno(&e),
+    })
 }
 
 /// Extension: run the monitored application to completion.
 #[no_mangle]
 pub extern "C" fn PAPIx_run_app() -> c_int {
-    with_session(|s| match s.papi.run_app() {
+    with_papi(|p| match p.run_app() {
         Ok(()) => PAPI_OK,
         Err(e) => errno(&e),
     })
 }
 
 /// `PAPI_shutdown`.
+///
+/// Clears the global session, the per-thread session table, and the
+/// calling thread's registration. Tokens held by *other* still-registered
+/// threads keep their private sessions alive until those threads exit (or
+/// call [`PAPI_unregister_thread`]); they can no longer be unregistered
+/// through the retired table.
 #[no_mangle]
 pub extern "C" fn PAPI_shutdown() {
     *SESSION.lock().unwrap() = None;
+    *POOL.lock().unwrap() = None;
+    *THREAD_ID_FN.lock().unwrap() = None;
+    TOKEN.with(|t| t.borrow_mut().take());
+}
+
+/// `PAPI_thread_init(id_fn)`: enable thread support, supplying the
+/// function that names the calling OS thread (`pthread_self` in C).
+/// Must follow `PAPI_library_init`; required before
+/// [`PAPI_register_thread`].
+///
+/// # Safety
+/// `id_fn` must be callable for the lifetime of the library (it is a plain
+/// function pointer; a NULL pointer on the C side arrives as `None` and is
+/// rejected with `PAPI_EINVAL`).
+#[no_mangle]
+pub extern "C" fn PAPI_thread_init(id_fn: Option<extern "C" fn() -> c_ulong>) -> c_int {
+    let Some(id_fn) = id_fn else {
+        return PAPI_EINVAL;
+    };
+    if SESSION.lock().map(|g| g.is_none()).unwrap_or(true) {
+        return PAPI_ENOINIT;
+    }
+    *THREAD_ID_FN.lock().unwrap() = Some(id_fn);
+    PAPI_OK
+}
+
+/// `PAPI_thread_id()`: the calling thread's id as reported by the
+/// function given to [`PAPI_thread_init`], or `(unsigned long)-1` when
+/// thread support is not initialized.
+#[no_mangle]
+pub extern "C" fn PAPI_thread_id() -> c_ulong {
+    match *THREAD_ID_FN.lock().unwrap() {
+        Some(f) => f(),
+        None => c_ulong::MAX,
+    }
+}
+
+/// `PAPI_register_thread()`: give the calling OS thread its own counter
+/// context. From this call until [`PAPI_unregister_thread`], every PAPI
+/// call from this thread operates on the thread's private session (its
+/// own substrate, its own EventSet handles — handles are per-thread, as
+/// in the C library).
+///
+/// Errors: `PAPI_ENOINIT` before `PAPI_library_init`, `PAPI_EMISC` before
+/// [`PAPI_thread_init`], `PAPI_ECNFLCT` if the thread is already
+/// registered.
+#[no_mangle]
+pub extern "C" fn PAPI_register_thread() -> c_int {
+    if THREAD_ID_FN.lock().unwrap().is_none() {
+        return PAPI_EMISC;
+    }
+    let Some(platform) = PLATFORM.lock().unwrap().clone() else {
+        return PAPI_ENOINIT;
+    };
+    let pool = {
+        let mut pool = POOL.lock().unwrap();
+        pool.get_or_insert_with(|| {
+            Arc::new(ThreadedPapi::from_registry(
+                Arc::new(registry()),
+                &platform,
+                // Per-thread machines get seeds distinct from the global
+                // session's fixed seed 42.
+                1000,
+            ))
+        })
+        .clone()
+    };
+    match pool.register_thread() {
+        Ok(token) => {
+            TOKEN.with(|t| *t.borrow_mut() = Some(token));
+            PAPI_OK
+        }
+        Err(e) => errno(&e),
+    }
+}
+
+/// `PAPI_unregister_thread()`: retire the calling thread's private
+/// session and route its future PAPI calls back to the global session.
+///
+/// Fails with `PAPI_EINVAL` if the thread is not registered or still owns
+/// live EventSets (destroy them first — real PAPI makes the same demand).
+#[no_mangle]
+pub extern "C" fn PAPI_unregister_thread() -> c_int {
+    let Some(token) = TOKEN.with(|t| t.borrow_mut().take()) else {
+        return PAPI_EINVAL;
+    };
+    let Some(pool) = POOL.lock().unwrap().clone() else {
+        // The table was torn down (shutdown/platform change) while this
+        // thread was registered; dropping the token frees its session.
+        return PAPI_OK;
+    };
+    match pool.unregister_thread(token) {
+        Ok(_session) => PAPI_OK,
+        Err((token, e)) => {
+            // Registration stands; the thread keeps its session.
+            TOKEN.with(|t| *t.borrow_mut() = Some(token));
+            errno(&e)
+        }
+    }
 }
 
 /// `PAPI_is_initialized`.
@@ -175,8 +314,8 @@ pub extern "C" fn PAPI_is_initialized() -> c_int {
 #[no_mangle]
 pub extern "C" fn PAPI_num_counters() -> c_int {
     let mut out = PAPI_ENOINIT;
-    let _ = with_session(|s| {
-        out = s.papi.num_counters() as c_int;
+    let _ = with_papi(|p| {
+        out = p.num_counters() as c_int;
         PAPI_OK
     });
     out
@@ -191,8 +330,8 @@ pub unsafe extern "C" fn PAPI_create_eventset(es: *mut c_int) -> c_int {
     if es.is_null() || *es != -1 {
         return PAPI_EINVAL;
     }
-    with_session(|s| {
-        *es = s.papi.create_eventset() as c_int;
+    with_papi(|p| {
+        *es = p.create_eventset() as c_int;
         PAPI_OK
     })
 }
@@ -207,7 +346,7 @@ pub unsafe extern "C" fn PAPI_destroy_eventset(es: *mut c_int) -> c_int {
         return PAPI_EINVAL;
     }
     let id = *es as usize;
-    with_session(|s| match s.papi.destroy_eventset(id) {
+    with_papi(|p| match p.destroy_eventset(id) {
         Ok(()) => {
             *es = -1;
             PAPI_OK
@@ -222,7 +361,7 @@ pub extern "C" fn PAPI_add_event(es: c_int, code: c_uint) -> c_int {
     if es < 0 {
         return PAPI_ENOEVST;
     }
-    with_session(|s| match s.papi.add_event(es as usize, code) {
+    with_papi(|p| match p.add_event(es as usize, code) {
         Ok(()) => PAPI_OK,
         Err(e) => errno(&e),
     })
@@ -234,7 +373,7 @@ pub extern "C" fn PAPI_set_multiplex(es: c_int) -> c_int {
     if es < 0 {
         return PAPI_ENOEVST;
     }
-    with_session(|s| match s.papi.set_multiplex(es as usize) {
+    with_papi(|p| match p.set_multiplex(es as usize) {
         Ok(()) => PAPI_OK,
         Err(e) => errno(&e),
     })
@@ -246,7 +385,7 @@ pub extern "C" fn PAPI_start(es: c_int) -> c_int {
     if es < 0 {
         return PAPI_ENOEVST;
     }
-    with_session(|s| match s.papi.start(es as usize) {
+    with_papi(|p| match p.start(es as usize) {
         Ok(()) => PAPI_OK,
         Err(e) => errno(&e),
     })
@@ -272,7 +411,7 @@ pub unsafe extern "C" fn PAPI_stop(es: c_int, values: *mut c_longlong) -> c_int 
     if es < 0 {
         return PAPI_ENOEVST;
     }
-    with_session(|s| match s.papi.stop(es as usize) {
+    with_papi(|p| match p.stop(es as usize) {
         Ok(v) => copy_out(values, &v),
         Err(e) => errno(&e),
     })
@@ -291,8 +430,8 @@ pub unsafe extern "C" fn PAPI_read(es: c_int, values: *mut c_longlong) -> c_int 
     if es < 0 {
         return PAPI_ENOEVST;
     }
-    with_session(|s| {
-        let n = match s.papi.num_events(es as usize) {
+    with_papi(|p| {
+        let n = match p.num_events(es as usize) {
             Ok(n) => n,
             Err(e) => return errno(&e),
         };
@@ -300,7 +439,7 @@ pub unsafe extern "C" fn PAPI_read(es: c_int, values: *mut c_longlong) -> c_int 
             return PAPI_EINVAL;
         }
         let out = std::slice::from_raw_parts_mut(values, n);
-        match s.papi.read_into(es as usize, out) {
+        match p.read_into(es as usize, out) {
             Ok(()) => PAPI_OK,
             Err(e) => errno(&e),
         }
@@ -317,8 +456,8 @@ pub unsafe extern "C" fn PAPI_accum(es: c_int, values: *mut c_longlong) -> c_int
     if es < 0 {
         return PAPI_ENOEVST;
     }
-    with_session(|s| {
-        let n = match s.papi.num_events(es as usize) {
+    with_papi(|p| {
+        let n = match p.num_events(es as usize) {
             Ok(n) => n,
             Err(e) => return errno(&e),
         };
@@ -328,7 +467,7 @@ pub unsafe extern "C" fn PAPI_accum(es: c_int, values: *mut c_longlong) -> c_int
         // Accumulate straight into the caller's buffer: `accum` stages its
         // read in per-session scratch, so no allocation happens here either.
         let acc = std::slice::from_raw_parts_mut(values, n);
-        match s.papi.accum(es as usize, acc) {
+        match p.accum(es as usize, acc) {
             Ok(()) => PAPI_OK,
             Err(e) => errno(&e),
         }
@@ -341,7 +480,7 @@ pub extern "C" fn PAPI_reset(es: c_int) -> c_int {
     if es < 0 {
         return PAPI_ENOEVST;
     }
-    with_session(|s| match s.papi.reset(es as usize) {
+    with_papi(|p| match p.reset(es as usize) {
         Ok(()) => PAPI_OK,
         Err(e) => errno(&e),
     })
@@ -350,8 +489,8 @@ pub extern "C" fn PAPI_reset(es: c_int) -> c_int {
 /// `PAPI_query_event`.
 #[no_mangle]
 pub extern "C" fn PAPI_query_event(code: c_uint) -> c_int {
-    with_session(|s| {
-        if s.papi.query_event(code) {
+    with_papi(|p| {
+        if p.query_event(code) {
             PAPI_OK
         } else {
             PAPI_ENOEVNT
@@ -371,7 +510,7 @@ pub unsafe extern "C" fn PAPI_event_name_to_code(name: *const c_char, code: *mut
     let Ok(n) = CStr::from_ptr(name).to_str() else {
         return PAPI_EINVAL;
     };
-    with_session(|s| match s.papi.event_name_to_code(n) {
+    with_papi(|p| match p.event_name_to_code(n) {
         Ok(c) => {
             *code = c;
             PAPI_OK
@@ -384,8 +523,8 @@ pub unsafe extern "C" fn PAPI_event_name_to_code(name: *const c_char, code: *mut
 #[no_mangle]
 pub extern "C" fn PAPI_get_real_usec() -> c_longlong {
     let mut out = 0;
-    let _ = with_session(|s| {
-        out = s.papi.get_real_usec() as c_longlong;
+    let _ = with_papi(|p| {
+        out = p.get_real_usec() as c_longlong;
         PAPI_OK
     });
     out
@@ -395,8 +534,8 @@ pub extern "C" fn PAPI_get_real_usec() -> c_longlong {
 #[no_mangle]
 pub extern "C" fn PAPI_get_real_cyc() -> c_longlong {
     let mut out = 0;
-    let _ = with_session(|s| {
-        out = s.papi.get_real_cyc() as c_longlong;
+    let _ = with_papi(|p| {
+        out = p.get_real_cyc() as c_longlong;
         PAPI_OK
     });
     out
@@ -406,8 +545,8 @@ pub extern "C" fn PAPI_get_real_cyc() -> c_longlong {
 #[no_mangle]
 pub extern "C" fn PAPI_get_virt_usec() -> c_longlong {
     let mut out = 0;
-    let _ = with_session(|s| {
-        out = s.papi.get_virt_usec(0).unwrap_or(0) as c_longlong;
+    let _ = with_papi(|p| {
+        out = p.get_virt_usec(0).unwrap_or(0) as c_longlong;
         PAPI_OK
     });
     out
@@ -428,7 +567,7 @@ pub unsafe extern "C" fn PAPI_flops(
     if rtime.is_null() || ptime.is_null() || flpops.is_null() || mflops.is_null() {
         return PAPI_EINVAL;
     }
-    with_session(|s| match s.papi.flops() {
+    with_papi(|p| match p.flops() {
         Ok(f) => {
             *rtime = (f.real_us / 1e6) as f32;
             *ptime = (f.proc_us / 1e6) as f32;
@@ -457,7 +596,7 @@ pub extern "C" fn PAPI_num_events(es: c_int) -> c_int {
         return PAPI_ENOEVST;
     }
     let mut out = PAPI_ENOEVST;
-    let rc = with_session(|s| match s.papi.num_events(es as usize) {
+    let rc = with_papi(|p| match p.num_events(es as usize) {
         Ok(n) => {
             out = n as c_int;
             PAPI_OK
@@ -486,7 +625,7 @@ pub unsafe extern "C" fn PAPI_list_events(es: c_int, codes: *mut c_uint, n: *mut
         return PAPI_EINVAL;
     }
     let cap = *n as usize;
-    with_session(|s| match s.papi.list_events(es as usize) {
+    with_papi(|p| match p.list_events(es as usize) {
         Ok(evts) => {
             let k = evts.len().min(cap);
             for (i, &c) in evts.iter().take(k).enumerate() {
@@ -512,7 +651,7 @@ pub unsafe extern "C" fn PAPI_event_code_to_name(
     if buf.is_null() || len <= 0 {
         return PAPI_EINVAL;
     }
-    with_session(|s| match s.papi.event_code_to_name(code) {
+    with_papi(|p| match p.event_code_to_name(code) {
         Ok(name) => {
             let bytes = name.as_bytes();
             let k = bytes.len().min(len as usize - 1);
@@ -709,6 +848,100 @@ mod tests {
             assert_eq!(PAPI_flops(&mut rt, &mut pt, &mut fl, &mut mf), PAPI_OK);
             assert_eq!(fl, 100_000 * 10); // 4 FMA x2 + 2 adds
             assert!(mf > 0.0 && rt > 0.0 && pt > 0.0);
+        }
+        PAPI_shutdown();
+    }
+
+    extern "C" fn fake_tid() -> c_ulong {
+        7
+    }
+
+    #[test]
+    fn c_api_thread_registration_flow() {
+        let _g = TEST_LOCK.lock().unwrap();
+        assert_eq!(PAPI_library_init(PAPI_VER_CURRENT), PAPI_VER_CURRENT);
+        // Thread support is opt-in, as in the C library.
+        assert_eq!(PAPI_thread_id(), c_ulong::MAX);
+        assert_eq!(PAPI_register_thread(), PAPI_EMISC);
+        assert_eq!(PAPI_thread_init(None), PAPI_EINVAL);
+        assert_eq!(PAPI_thread_init(Some(fake_tid)), PAPI_OK);
+        assert_eq!(PAPI_thread_id(), 7);
+        // Unregistering a never-registered thread is an error, not a panic.
+        assert_eq!(PAPI_unregister_thread(), PAPI_EINVAL);
+
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            joins.push(std::thread::spawn(|| unsafe {
+                assert_eq!(PAPI_register_thread(), PAPI_OK);
+                // Double registration of the same OS thread conflicts.
+                assert_eq!(PAPI_register_thread(), PAPI_ECNFLCT);
+                // From here, every call operates on this thread's private
+                // session: its own machine, workload, and EventSet handles.
+                assert_eq!(PAPIx_load_workload(cstr("matmul").as_ptr()), PAPI_OK);
+                let mut es: c_int = -1;
+                assert_eq!(PAPI_create_eventset(&mut es), PAPI_OK);
+                let mut code: c_uint = 0;
+                assert_eq!(
+                    PAPI_event_name_to_code(cstr("PAPI_FP_OPS").as_ptr(), &mut code),
+                    PAPI_OK
+                );
+                assert_eq!(PAPI_add_event(es, code), PAPI_OK);
+                assert_eq!(PAPI_start(es), PAPI_OK);
+                assert_eq!(PAPIx_run_app(), PAPI_OK);
+                let mut v: [c_longlong; 1] = [0];
+                assert_eq!(PAPI_stop(es, v.as_mut_ptr()), PAPI_OK);
+                // Unregistering with a live EventSet is rejected; the
+                // registration (and the handle) survive for cleanup.
+                assert_eq!(PAPI_unregister_thread(), PAPI_EINVAL);
+                assert_eq!(PAPI_destroy_eventset(&mut es), PAPI_OK);
+                assert_eq!(PAPI_unregister_thread(), PAPI_OK);
+                v[0]
+            }));
+        }
+        let counts: Vec<c_longlong> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        // Four private machines ran four private matmuls: identical, exact.
+        assert!(counts.iter().all(|&c| c == 2 * 24i64.pow(3)), "{counts:?}");
+        PAPI_shutdown();
+        assert_eq!(PAPI_thread_id(), c_ulong::MAX);
+    }
+
+    #[test]
+    fn c_api_registered_thread_does_not_disturb_global_session() {
+        let _g = TEST_LOCK.lock().unwrap();
+        assert_eq!(PAPI_library_init(PAPI_VER_CURRENT), PAPI_VER_CURRENT);
+        assert_eq!(PAPI_thread_init(Some(fake_tid)), PAPI_OK);
+        unsafe {
+            // Global session counts matmul on the main thread...
+            assert_eq!(PAPIx_load_workload(cstr("matmul").as_ptr()), PAPI_OK);
+            let mut es: c_int = -1;
+            assert_eq!(PAPI_create_eventset(&mut es), PAPI_OK);
+            let mut code: c_uint = 0;
+            PAPI_event_name_to_code(cstr("PAPI_FP_OPS").as_ptr(), &mut code);
+            assert_eq!(PAPI_add_event(es, code), PAPI_OK);
+            assert_eq!(PAPI_start(es), PAPI_OK);
+            // ...while a registered thread counts a different workload on
+            // its own machine, concurrently.
+            let t = std::thread::spawn(move || {
+                assert_eq!(PAPI_register_thread(), PAPI_OK);
+                assert_eq!(PAPIx_load_workload(cstr("dense_fp").as_ptr()), PAPI_OK);
+                let mut es: c_int = -1;
+                assert_eq!(PAPI_create_eventset(&mut es), PAPI_OK);
+                assert_eq!(PAPI_add_event(es, code), PAPI_OK);
+                assert_eq!(PAPI_start(es), PAPI_OK);
+                assert_eq!(PAPIx_run_app(), PAPI_OK);
+                let mut v: [c_longlong; 1] = [0];
+                assert_eq!(PAPI_stop(es, v.as_mut_ptr()), PAPI_OK);
+                assert_eq!(PAPI_destroy_eventset(&mut es), PAPI_OK);
+                assert_eq!(PAPI_unregister_thread(), PAPI_OK);
+                v[0]
+            });
+            let thread_flops = t.join().unwrap();
+            assert_eq!(thread_flops, 100_000 * 10);
+            // The global session's count is untouched by the thread's run.
+            assert_eq!(PAPIx_run_app(), PAPI_OK);
+            let mut v: [c_longlong; 1] = [0];
+            assert_eq!(PAPI_stop(es, v.as_mut_ptr()), PAPI_OK);
+            assert_eq!(v[0], 2 * 24i64.pow(3));
         }
         PAPI_shutdown();
     }

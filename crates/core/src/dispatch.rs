@@ -1,6 +1,13 @@
 //! Counting machinery: start/stop/read/accum/reset, counter allocation,
 //! overflow and profil arming, multiplex rotation, and the application run
 //! loop that services substrate events.
+//!
+//! Thread safety: everything here takes `&mut Papi`, so a single session is
+//! never entered concurrently — concurrency lives one layer up, in
+//! [`crate::threads`], which gives every registered thread its *own*
+//! session (and thus its own overflow routes, multiplex timers and scratch
+//! buffers). Overflow dispatch in particular never crosses threads: a
+//! callback fires on the thread driving its session's run loop.
 
 use crate::alloc;
 use crate::error::{PapiError, Result};

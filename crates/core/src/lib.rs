@@ -77,6 +77,7 @@ pub mod registry;
 pub mod sampling;
 pub mod substrate;
 pub mod testutil;
+pub mod threads;
 
 mod dispatch;
 mod events;
@@ -93,3 +94,4 @@ pub use profile::{Profil, ProfilConfig};
 pub use registry::{SubstrateFactory, SubstrateInfo, SubstrateRegistry};
 pub use session::Papi;
 pub use substrate::{BoxSubstrate, HwInfo, SimSubstrate, Substrate};
+pub use threads::{PapiThread, TaggedSetId, ThreadedPapi, NUM_SHARDS};

@@ -14,6 +14,11 @@
 //! lead to erroneous results". That is why multiplexing must be explicitly
 //! enabled per EventSet ([`crate::Papi::set_multiplex`]) and is never on by
 //! default.
+//!
+//! The rotation timer and accumulators live inside the owning session's
+//! running state, so under [`crate::threads::ThreadedPapi`] each registered
+//! thread multiplexes on its own virtual clock — one thread's rotations
+//! never perturb another's estimates.
 
 use crate::alloc::{allocate_with, AllocModel, AllocStats, AllocTranslation};
 use simcpu::platform::GroupDef;

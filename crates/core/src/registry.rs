@@ -11,6 +11,11 @@
 //! under `sim:<suffix>` (each aliased to its `sim-<suffix>` platform name);
 //! other crates add their backends via [`SubstrateRegistry::register`] — the
 //! perfctr emulation crate does exactly that.
+//!
+//! Factories must be `Send + Sync`: a registry behind an `Arc` is the
+//! natural way for [`crate::threads::ThreadedPapi`] to mint an independent
+//! substrate per registered thread, so registry lookups may happen from
+//! any thread.
 
 use crate::error::{PapiError, Result};
 use crate::substrate::{BoxSubstrate, SimSubstrate, Substrate};
@@ -171,6 +176,25 @@ mod tests {
                 assert_eq!(sub.hw_info().model, spec.model, "{name}");
                 assert_eq!(sub.num_counters(), spec.num_counters);
             }
+        }
+    }
+
+    #[test]
+    fn registry_is_send_and_sync() {
+        // The thread layer shares one registry behind an Arc and creates a
+        // substrate per registered thread from arbitrary threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SubstrateRegistry>();
+
+        let reg = std::sync::Arc::new(SubstrateRegistry::with_builtin());
+        let joins: Vec<_> = (0..4)
+            .map(|t| {
+                let reg = reg.clone();
+                std::thread::spawn(move || reg.create("sim:x86", t).unwrap().num_counters())
+            })
+            .collect();
+        for j in joins {
+            assert_eq!(j.join().unwrap(), 4);
         }
     }
 

@@ -46,6 +46,15 @@ pub struct Papi<S: Substrate = SimSubstrate> {
     pub(crate) scratch: ReadScratch,
 }
 
+impl<S: Substrate> std::fmt::Debug for Papi<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Papi")
+            .field("sets", &self.sets.iter().filter(|s| s.is_some()).count())
+            .field("running", &self.running.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Papi<BoxSubstrate> {
     /// Initialize the library on a substrate selected by registry name
     /// (e.g. `"sim:x86"`, `"sim-power3"`, `"perfctr"` once registered),

@@ -1,0 +1,694 @@
+//! Thread-scalable counting: a sharded session table with per-thread
+//! EventSets.
+//!
+//! The paper's low-level interface is explicitly built for threaded
+//! runtimes: "PAPI supports measurements per-thread" via
+//! `PAPI_thread_init`, with each thread owning its own counter context so
+//! the substrate virtualizes the hardware per thread of execution. This
+//! module is that model's portable-layer half:
+//!
+//! * [`ThreadedPapi`] is the shareable library handle (`Arc<ThreadedPapi>`
+//!   is usable from N threads). It holds a fixed array of [`NUM_SHARDS`]
+//!   shards; each shard owns a slot table of registered per-thread
+//!   sessions, so id lookups touch only the owning shard and registration
+//!   traffic on one shard never contends with another.
+//! * [`ThreadedPapi::register_thread`] mirrors `PAPI_register_thread`:
+//!   the calling OS thread receives a [`PapiThread`] token wrapping a
+//!   complete private [`Papi`] session — its **own substrate context** —
+//!   so two threads' counts cannot bleed by construction.
+//! * EventSet ids handed out through a token are [`TaggedSetId`]s carrying
+//!   the owning `(shard, slot)` tag; using another thread's id is detected
+//!   arithmetically and rejected with [`PapiError::Inval`] (counted as
+//!   `threads.cross_thread_denied` when observability is attached), never
+//!   a panic or a silent read of foreign counters.
+//!
+//! ## Hot path
+//!
+//! A [`PapiThread`] caches the `Arc` of its own session cell, so
+//! `start`/`read_into`/`accum`/`stop` take exactly one uncontended
+//! per-thread mutex — no shared table lock, no allocation (the PR 3
+//! zero-allocation read path is preserved per thread). The shared
+//! structures ([`ThreadedPapi::by_thread`] map, shard slot tables) are
+//! touched only by cold registration/unregistration and by explicit
+//! cross-shard lookups.
+//!
+//! Overflow dispatch is safe under concurrency for the same reason: each
+//! session's handlers and `profil` histograms live inside that session's
+//! mutex, so a handler only ever runs on the thread driving its own
+//! session.
+
+use crate::error::{PapiError, Result};
+use crate::eventset::{EventSetId, SetState};
+use crate::registry::SubstrateRegistry;
+use crate::session::Papi;
+use crate::substrate::{BoxSubstrate, Substrate};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::ThreadId as OsThreadId;
+
+/// Number of shards in the session table. Fixed so shard indices fit the
+/// [`TaggedSetId`] tag and lookups are a mask away.
+pub const NUM_SHARDS: usize = 16;
+
+const LOCAL_BITS: u32 = 32;
+const SLOT_BITS: u32 = 24;
+const SHARD_SHIFT: u32 = LOCAL_BITS + SLOT_BITS;
+const SLOT_MASK: u64 = (1 << SLOT_BITS) - 1;
+const LOCAL_MASK: u64 = (1 << LOCAL_BITS) - 1;
+
+/// A thread-tagged EventSet id: `shard (8 bits) | slot (24 bits) |
+/// session-local id (32 bits)`.
+///
+/// The tag routes the id to the one shard slot whose session owns it, and
+/// lets any API entry point prove cheaply that an id belongs to the
+/// calling thread's session before touching counter state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaggedSetId(u64);
+
+impl TaggedSetId {
+    /// Pack a `(shard, slot, local)` triple into a tagged id.
+    ///
+    /// Panics if a component exceeds its field width (shards are bounded
+    /// by [`NUM_SHARDS`]; 2^24 registrations per shard and 2^32 sets per
+    /// session are far beyond any real session table).
+    pub fn new(shard: usize, slot: usize, local: EventSetId) -> Self {
+        assert!(shard < NUM_SHARDS, "shard {shard} out of range");
+        assert!((slot as u64) <= SLOT_MASK, "slot {slot} out of range");
+        assert!(
+            (local as u64) <= LOCAL_MASK,
+            "local id {local} out of range"
+        );
+        TaggedSetId(
+            ((shard as u64) << SHARD_SHIFT) | ((slot as u64) << LOCAL_BITS) | (local as u64),
+        )
+    }
+
+    /// Shard component of the tag.
+    pub fn shard(self) -> usize {
+        (self.0 >> SHARD_SHIFT) as usize
+    }
+
+    /// Slot component of the tag.
+    pub fn slot(self) -> usize {
+        ((self.0 >> LOCAL_BITS) & SLOT_MASK) as usize
+    }
+
+    /// Session-local [`EventSetId`].
+    pub fn local(self) -> EventSetId {
+        (self.0 & LOCAL_MASK) as EventSetId
+    }
+
+    /// Raw packed representation (e.g. for FFI transport).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from a raw packed representation.
+    pub fn from_raw(raw: u64) -> Self {
+        TaggedSetId(raw)
+    }
+}
+
+/// One registered thread's session cell. The mutex is per-thread and
+/// therefore uncontended in correct use; it exists so the owning token is
+/// `Send` and so cross-shard lookups stay memory-safe even under misuse.
+struct ThreadCell<S: Substrate + Send> {
+    session: Mutex<Papi<S>>,
+}
+
+struct Shard<S: Substrate + Send> {
+    slots: Mutex<Vec<Option<Arc<ThreadCell<S>>>>>,
+}
+
+type SessionFactory<S> = Box<dyn Fn(u64) -> Result<Papi<S>> + Send + Sync>;
+
+/// The thread-shareable library handle: a sharded table of per-thread
+/// [`Papi`] sessions plus the factory that builds each registered
+/// thread's private substrate context.
+///
+/// `ThreadedPapi` is `Send + Sync`; wrap it in an `Arc` and clone the
+/// handle into every thread that should count.
+pub struct ThreadedPapi<S: Substrate + Send = BoxSubstrate> {
+    shards: [Shard<S>; NUM_SHARDS],
+    /// OS-thread → (shard, slot) of its registered session. Cold-path
+    /// only: consulted at register/unregister time to reject double
+    /// registration, never on the counting hot path.
+    by_thread: Mutex<HashMap<OsThreadId, (usize, usize)>>,
+    factory: SessionFactory<S>,
+    next_seed: AtomicU64,
+    obs: Option<papi_obs::ObsHandle>,
+}
+
+impl<S: Substrate + Send> ThreadedPapi<S> {
+    /// A session table whose registered threads get sessions built by
+    /// `factory`, seeded `base_seed`, `base_seed + 1`, ... in registration
+    /// order. Factory errors surface from [`ThreadedPapi::register_thread`].
+    pub fn new(
+        base_seed: u64,
+        factory: impl Fn(u64) -> Result<Papi<S>> + Send + Sync + 'static,
+    ) -> Self {
+        ThreadedPapi {
+            shards: std::array::from_fn(|_| Shard {
+                slots: Mutex::new(Vec::new()),
+            }),
+            by_thread: Mutex::new(HashMap::new()),
+            factory: Box::new(factory),
+            next_seed: AtomicU64::new(base_seed),
+            obs: None,
+        }
+    }
+
+    /// Attach a shared self-instrumentation context. Sessions registered
+    /// from here on feed the same registry and journal (both are safe
+    /// under concurrent writers). Call before sharing the table.
+    pub fn attach_obs(&mut self, obs: papi_obs::ObsHandle) {
+        self.obs = Some(obs);
+    }
+
+    /// The attached self-instrumentation context, if any.
+    pub fn obs(&self) -> Option<&papi_obs::ObsHandle> {
+        self.obs.as_ref()
+    }
+
+    /// Number of currently registered threads.
+    pub fn registered_threads(&self) -> usize {
+        self.by_thread.lock().unwrap().len()
+    }
+
+    /// Whether the calling OS thread is currently registered.
+    pub fn is_registered(&self) -> bool {
+        self.by_thread
+            .lock()
+            .unwrap()
+            .contains_key(&std::thread::current().id())
+    }
+
+    fn shard_of(tid: OsThreadId) -> usize {
+        let mut h = DefaultHasher::new();
+        tid.hash(&mut h);
+        (h.finish() as usize) % NUM_SHARDS
+    }
+
+    /// `PAPI_register_thread`: give the calling OS thread its own private
+    /// session (fresh substrate context) and return the token that owns
+    /// it. The session seed is drawn from the table's counter.
+    pub fn register_thread(self: &Arc<Self>) -> Result<PapiThread<S>> {
+        let seed = self.next_seed.fetch_add(1, Ordering::Relaxed);
+        self.register_thread_seeded(seed)
+    }
+
+    /// [`ThreadedPapi::register_thread`] with an explicit substrate seed,
+    /// for deterministic tests that replay a thread's workload
+    /// single-threadedly.
+    ///
+    /// Registering a thread that is already registered fails with
+    /// [`PapiError::Cnflct`] without building a session.
+    pub fn register_thread_seeded(self: &Arc<Self>, seed: u64) -> Result<PapiThread<S>> {
+        let tid = std::thread::current().id();
+        // Hold the thread map for the whole (cold) registration so
+        // check-then-insert is atomic.
+        let mut map = self.by_thread.lock().unwrap();
+        if map.contains_key(&tid) {
+            return Err(PapiError::Cnflct);
+        }
+        let mut session = (self.factory)(seed)?;
+        if let Some(obs) = &self.obs {
+            session.attach_obs(obs.clone());
+        }
+        let now = session.get_real_cyc();
+        let shard_i = Self::shard_of(tid);
+        let cell = Arc::new(ThreadCell {
+            session: Mutex::new(session),
+        });
+        let mut slots = self.shards[shard_i].slots.lock().unwrap();
+        let slot_i = match slots.iter().position(Option::is_none) {
+            Some(i) => {
+                slots[i] = Some(cell.clone());
+                i
+            }
+            None => {
+                slots.push(Some(cell.clone()));
+                slots.len() - 1
+            }
+        };
+        drop(slots);
+        map.insert(tid, (shard_i, slot_i));
+        drop(map);
+        if let Some(obs) = &self.obs {
+            obs.inc(papi_obs::Counter::ThreadsRegistered);
+            obs.record(now, || papi_obs::JournalEvent::ThreadRegistered {
+                shard: shard_i,
+                slot: slot_i,
+            });
+        }
+        Ok(PapiThread {
+            cell,
+            shard: shard_i,
+            slot: slot_i,
+            tid,
+            obs: self.obs.clone(),
+        })
+    }
+
+    /// `PAPI_unregister_thread`: retire `token`'s session slot and hand
+    /// the private [`Papi`] session back to the caller.
+    ///
+    /// Rejected (returning the token so the thread can clean up and
+    /// retry) when the session still owns live EventSets — mirroring real
+    /// PAPI, which refuses to unregister a thread with active counting
+    /// state — or when the token belongs to a different session table.
+    #[allow(clippy::result_large_err)]
+    pub fn unregister_thread(
+        &self,
+        token: PapiThread<S>,
+    ) -> std::result::Result<Papi<S>, (PapiThread<S>, PapiError)> {
+        let live = {
+            let session = token.cell.session.lock().unwrap();
+            session.sets.iter().any(Option::is_some)
+        };
+        if live {
+            return Err((
+                token,
+                PapiError::Inval("thread still owns live EventSets; destroy them first"),
+            ));
+        }
+        let mut slots = self.shards[token.shard].slots.lock().unwrap();
+        match slots.get(token.slot) {
+            Some(Some(cell)) if Arc::ptr_eq(cell, &token.cell) => {}
+            _ => {
+                return Err((
+                    token,
+                    PapiError::Inval("token does not belong to this session table"),
+                ));
+            }
+        }
+        let cell = slots[token.slot].take().expect("slot checked occupied");
+        drop(slots);
+        self.by_thread.lock().unwrap().remove(&token.tid);
+        let obs = token.obs.clone();
+        let (shard_i, slot_i) = (token.shard, token.slot);
+        drop(token);
+        let session = Arc::try_unwrap(cell)
+            .ok()
+            .expect("token and slot held the only references")
+            .session
+            .into_inner()
+            .unwrap();
+        if let Some(obs) = &obs {
+            obs.inc(papi_obs::Counter::ThreadsUnregistered);
+            let now = session.get_real_cyc();
+            obs.record(now, || papi_obs::JournalEvent::ThreadUnregistered {
+                shard: shard_i,
+                slot: slot_i,
+            });
+        }
+        Ok(session)
+    }
+
+    /// Run `f` against the session owning `id`, from any thread. The
+    /// lookup locks only `id`'s shard (and then the session itself);
+    /// other shards are untouched. Fails with [`PapiError::NoEvst`] when
+    /// the slot is vacant.
+    ///
+    /// This is the cross-shard escape hatch (inspection, third-party
+    /// reads); threads counting on their own session should go through
+    /// their [`PapiThread`] token, which skips the shard lookup entirely.
+    pub fn with_session_of<R>(
+        &self,
+        id: TaggedSetId,
+        f: impl FnOnce(&mut Papi<S>) -> R,
+    ) -> Result<R> {
+        if id.shard() >= NUM_SHARDS {
+            return Err(PapiError::Inval("tagged id has an out-of-range shard"));
+        }
+        let slots = self.shards[id.shard()].slots.lock().unwrap();
+        let cell = slots
+            .get(id.slot())
+            .and_then(Option::as_ref)
+            .ok_or(PapiError::NoEvst(id.local()))?
+            .clone();
+        drop(slots);
+        let mut session = cell.session.lock().unwrap();
+        Ok(f(&mut session))
+    }
+}
+
+/// A registered thread's handle to its own private session.
+///
+/// Obtained from [`ThreadedPapi::register_thread`]; the token caches the
+/// session cell, so every operation is tag-check + one uncontended mutex.
+/// All EventSet ids it hands out are [`TaggedSetId`]s; passing an id
+/// minted by another thread's token is rejected with
+/// [`PapiError::Inval`].
+pub struct PapiThread<S: Substrate + Send> {
+    cell: Arc<ThreadCell<S>>,
+    shard: usize,
+    slot: usize,
+    tid: OsThreadId,
+    obs: Option<papi_obs::ObsHandle>,
+}
+
+impl<S: Substrate + Send> std::fmt::Debug for PapiThread<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PapiThread")
+            .field("shard", &self.shard)
+            .field("slot", &self.slot)
+            .field("tid", &self.tid)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: Substrate + Send> std::fmt::Debug for ThreadedPapi<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedPapi")
+            .field("registered_threads", &self.registered_threads())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: Substrate + Send> PapiThread<S> {
+    /// Shard this thread's session slot lives in.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Slot index within the shard.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// Tag a session-local id with this thread's `(shard, slot)`.
+    fn tag(&self, local: EventSetId) -> TaggedSetId {
+        TaggedSetId::new(self.shard, self.slot, local)
+    }
+
+    /// Untag `id`, proving it belongs to this thread's session.
+    fn check(&self, id: TaggedSetId) -> Result<EventSetId> {
+        if id.shard() == self.shard && id.slot() == self.slot {
+            Ok(id.local())
+        } else {
+            if let Some(obs) = &self.obs {
+                obs.inc(papi_obs::Counter::CrossThreadDenied);
+            }
+            Err(PapiError::Inval(
+                "EventSet id is tagged for a different thread's session",
+            ))
+        }
+    }
+
+    /// Full access to the underlying session, for the parts of the API
+    /// not mirrored here (sampling, profil, timers, substrate access).
+    /// EventSet ids inside the closure are session-local.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Papi<S>) -> R) -> R {
+        f(&mut self.cell.session.lock().unwrap())
+    }
+
+    /// `PAPI_create_eventset`, returning a thread-tagged id.
+    pub fn create_eventset(&self) -> TaggedSetId {
+        self.tag(self.cell.session.lock().unwrap().create_eventset())
+    }
+
+    /// `PAPI_destroy_eventset`.
+    pub fn destroy_eventset(&self, id: TaggedSetId) -> Result<()> {
+        let local = self.check(id)?;
+        self.cell.session.lock().unwrap().destroy_eventset(local)
+    }
+
+    /// `PAPI_add_event`.
+    pub fn add_event(&self, id: TaggedSetId, code: u32) -> Result<()> {
+        let local = self.check(id)?;
+        self.cell.session.lock().unwrap().add_event(local, code)
+    }
+
+    /// `PAPI_add_events`.
+    pub fn add_events(&self, id: TaggedSetId, codes: &[u32]) -> Result<()> {
+        let local = self.check(id)?;
+        self.cell.session.lock().unwrap().add_events(local, codes)
+    }
+
+    /// `PAPI_remove_event`.
+    pub fn remove_event(&self, id: TaggedSetId, code: u32) -> Result<()> {
+        let local = self.check(id)?;
+        self.cell.session.lock().unwrap().remove_event(local, code)
+    }
+
+    /// `PAPI_num_events`.
+    pub fn num_events(&self, id: TaggedSetId) -> Result<usize> {
+        let local = self.check(id)?;
+        self.cell.session.lock().unwrap().num_events(local)
+    }
+
+    /// `PAPI_state`.
+    pub fn state(&self, id: TaggedSetId) -> Result<SetState> {
+        let local = self.check(id)?;
+        self.cell.session.lock().unwrap().state(local)
+    }
+
+    /// `PAPI_set_multiplex` (the multiplex timer is per-session, hence
+    /// per-thread: one thread's rotations never touch another's
+    /// hardware).
+    pub fn set_multiplex(&self, id: TaggedSetId) -> Result<()> {
+        let local = self.check(id)?;
+        self.cell.session.lock().unwrap().set_multiplex(local)
+    }
+
+    /// `PAPI_start`.
+    pub fn start(&self, id: TaggedSetId) -> Result<()> {
+        let local = self.check(id)?;
+        self.cell.session.lock().unwrap().start(local)
+    }
+
+    /// `PAPI_read` into a caller buffer — the per-thread zero-allocation
+    /// hot path: tag check (arithmetic), one uncontended mutex, then the
+    /// cached read plan.
+    pub fn read_into(&self, id: TaggedSetId, out: &mut [i64]) -> Result<()> {
+        let local = self.check(id)?;
+        self.cell.session.lock().unwrap().read_into(local, out)
+    }
+
+    /// `PAPI_read`, allocating the result vector.
+    pub fn read(&self, id: TaggedSetId) -> Result<Vec<i64>> {
+        let local = self.check(id)?;
+        self.cell.session.lock().unwrap().read(local)
+    }
+
+    /// `PAPI_accum`.
+    pub fn accum(&self, id: TaggedSetId, values: &mut [i64]) -> Result<()> {
+        let local = self.check(id)?;
+        self.cell.session.lock().unwrap().accum(local, values)
+    }
+
+    /// `PAPI_reset`.
+    pub fn reset(&self, id: TaggedSetId) -> Result<()> {
+        let local = self.check(id)?;
+        self.cell.session.lock().unwrap().reset(local)
+    }
+
+    /// `PAPI_stop`.
+    pub fn stop(&self, id: TaggedSetId) -> Result<Vec<i64>> {
+        let local = self.check(id)?;
+        self.cell.session.lock().unwrap().stop(local)
+    }
+
+    /// Run this thread's application to completion (see
+    /// [`Papi::run_app`]).
+    pub fn run_app(&self) -> Result<()> {
+        self.cell.session.lock().unwrap().run_app()
+    }
+
+    /// Run this thread's application for `budget` cycles (see
+    /// [`Papi::run_for`]).
+    pub fn run_for(&self, budget: u64) -> Result<crate::dispatch::AppExit> {
+        self.cell.session.lock().unwrap().run_for(budget)
+    }
+}
+
+impl ThreadedPapi<BoxSubstrate> {
+    /// A session table whose threads get registry-selected substrates
+    /// (e.g. `"sim:x86"`), seeded from `base_seed`.
+    pub fn named(name: &str, base_seed: u64) -> Self {
+        Self::from_registry(Arc::new(SubstrateRegistry::with_builtin()), name, base_seed)
+    }
+
+    /// [`ThreadedPapi::named`] against a caller-supplied registry (one
+    /// that other crates have added their backends to). Unknown names
+    /// surface as errors from [`ThreadedPapi::register_thread`].
+    pub fn from_registry(reg: Arc<SubstrateRegistry>, name: &str, base_seed: u64) -> Self {
+        let name = name.to_string();
+        Self::new(base_seed, move |seed| {
+            Papi::init_from_registry(&reg, &name, seed)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::substrate::SimSubstrate;
+    use crate::Preset;
+    use simcpu::{platform, Machine, ProgramBuilder};
+
+    fn pool() -> Arc<ThreadedPapi<SimSubstrate>> {
+        Arc::new(ThreadedPapi::new(100, |seed| {
+            let mut m = Machine::new(platform::sim_generic(), seed);
+            let mut b = ProgramBuilder::new();
+            b.func("main", |f| {
+                f.loop_(1000, |f| {
+                    f.ffma(4);
+                });
+            });
+            m.load(b.build("main"));
+            Papi::init(SimSubstrate::new(m))
+        }))
+    }
+
+    #[test]
+    fn tagged_id_roundtrip() {
+        for &(shard, slot, local) in &[
+            (0usize, 0usize, 0usize),
+            (NUM_SHARDS - 1, (SLOT_MASK as usize), LOCAL_MASK as usize),
+            (3, 7, 11),
+        ] {
+            let id = TaggedSetId::new(shard, slot, local);
+            assert_eq!(id.shard(), shard);
+            assert_eq!(id.slot(), slot);
+            assert_eq!(id.local(), local);
+            assert_eq!(TaggedSetId::from_raw(id.raw()), id);
+        }
+    }
+
+    #[test]
+    fn threaded_papi_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ThreadedPapi<SimSubstrate>>();
+        assert_send_sync::<ThreadedPapi<BoxSubstrate>>();
+        fn assert_send<T: Send>() {}
+        assert_send::<PapiThread<SimSubstrate>>();
+        assert_send::<Papi<BoxSubstrate>>();
+    }
+
+    #[test]
+    fn register_count_and_unregister() {
+        let pool = pool();
+        let token = pool.register_thread().unwrap();
+        assert!(pool.is_registered());
+        assert_eq!(pool.registered_threads(), 1);
+
+        let set = token.create_eventset();
+        token.add_event(set, Preset::FpOps.code()).unwrap();
+        token.start(set).unwrap();
+        token.run_app().unwrap();
+        let counts = token.stop(set).unwrap();
+        assert_eq!(counts[0], 8000);
+
+        token.destroy_eventset(set).unwrap();
+        let session = pool.unregister_thread(token).expect("no live sets");
+        assert!(session.get_real_cyc() > 0);
+        assert!(!pool.is_registered());
+        assert_eq!(pool.registered_threads(), 0);
+    }
+
+    #[test]
+    fn double_register_rejected() {
+        let pool = pool();
+        let token = pool.register_thread().unwrap();
+        assert!(matches!(pool.register_thread(), Err(PapiError::Cnflct)));
+        // After unregistering, the same thread may register again.
+        let session = pool.unregister_thread(token).unwrap();
+        drop(session);
+        let token2 = pool.register_thread().unwrap();
+        drop(token2);
+    }
+
+    #[test]
+    fn unregister_with_live_eventsets_rejected_and_returns_token() {
+        let pool = pool();
+        let token = pool.register_thread().unwrap();
+        let set = token.create_eventset();
+        token.add_event(set, Preset::TotCyc.code()).unwrap();
+        let (token, err) = pool.unregister_thread(token).unwrap_err();
+        assert!(matches!(err, PapiError::Inval(_)));
+        // The token still works; cleanup and retry succeeds.
+        token.destroy_eventset(set).unwrap();
+        pool.unregister_thread(token).expect("retry after cleanup");
+    }
+
+    #[test]
+    fn cross_thread_id_rejected_not_panicking() {
+        let pool = pool();
+        let token = pool.register_thread().unwrap();
+        let set = token.create_eventset();
+        // Forge an id tagged for a different slot in a different shard.
+        let foreign = TaggedSetId::new((set.shard() + 1) % NUM_SHARDS, set.slot() + 1, set.local());
+        for err in [
+            token.start(foreign).unwrap_err(),
+            token.read_into(foreign, &mut [0i64; 4]).unwrap_err(),
+            token.destroy_eventset(foreign).unwrap_err(),
+        ] {
+            assert!(matches!(err, PapiError::Inval(_)));
+        }
+        // The legitimate id still works.
+        token.add_event(set, Preset::TotCyc.code()).unwrap();
+    }
+
+    #[test]
+    fn cross_thread_denials_are_counted() {
+        let pool = {
+            let mut p = ThreadedPapi::new(7, |seed| {
+                let m = Machine::new(platform::sim_generic(), seed);
+                Papi::init(SimSubstrate::new(m))
+            });
+            p.attach_obs(papi_obs::Obs::new());
+            Arc::new(p)
+        };
+        let token = pool.register_thread().unwrap();
+        let set = token.create_eventset();
+        let foreign = TaggedSetId::new((set.shard() + 1) % NUM_SHARDS, set.slot(), set.local());
+        assert!(token.start(foreign).is_err());
+        let obs = pool.obs().unwrap();
+        assert_eq!(obs.get(papi_obs::Counter::CrossThreadDenied), 1);
+        assert_eq!(obs.get(papi_obs::Counter::ThreadsRegistered), 1);
+    }
+
+    #[test]
+    fn registration_from_many_threads_lands_in_shards() {
+        let pool = pool();
+        let mut joins = Vec::new();
+        for _ in 0..8 {
+            let pool = pool.clone();
+            joins.push(std::thread::spawn(move || {
+                let token = pool.register_thread().unwrap();
+                let set = token.create_eventset();
+                token.add_event(set, Preset::TotIns.code()).unwrap();
+                token.start(set).unwrap();
+                token.run_app().unwrap();
+                let counts = token.stop(set).unwrap();
+                token.destroy_eventset(set).unwrap();
+                pool.unregister_thread(token).unwrap();
+                counts[0]
+            }));
+        }
+        let counts: Vec<i64> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        // Every thread ran its own identical program on its own machine.
+        assert!(counts.iter().all(|&c| c == counts[0] && c > 0));
+        assert_eq!(pool.registered_threads(), 0);
+    }
+
+    #[test]
+    fn with_session_of_routes_by_tag() {
+        let pool = pool();
+        let token = pool.register_thread().unwrap();
+        let set = token.create_eventset();
+        token.add_event(set, Preset::TotCyc.code()).unwrap();
+        let n = pool
+            .with_session_of(set, |papi| papi.num_events(set.local()).unwrap())
+            .unwrap();
+        assert_eq!(n, 1);
+        // A vacant slot is a NoEvst error, not a panic.
+        let vacant = TaggedSetId::new(set.shard(), set.slot() + 1, 0);
+        assert!(pool.with_session_of(vacant, |_| ()).is_err());
+    }
+}

@@ -107,6 +107,21 @@ pub enum JournalEvent {
         /// Events displaced and re-placed during the search.
         backtracks: u64,
     },
+    /// An OS thread registered into a sharded session table and received
+    /// its own substrate context.
+    ThreadRegistered {
+        /// Shard the thread's session slot lives in.
+        shard: usize,
+        /// Slot index within the shard.
+        slot: usize,
+    },
+    /// An OS thread unregistered; its session slot was retired.
+    ThreadUnregistered {
+        /// Shard the thread's session slot lived in.
+        shard: usize,
+        /// Slot index within the shard.
+        slot: usize,
+    },
 }
 
 impl JournalEvent {
@@ -126,6 +141,8 @@ impl JournalEvent {
             JournalEvent::MpxRotate { .. } => "obs.mpx_rotate",
             JournalEvent::MpxFlush { .. } => "obs.mpx_flush",
             JournalEvent::AllocAttempt { .. } => "obs.alloc",
+            JournalEvent::ThreadRegistered { .. } => "obs.thread_registered",
+            JournalEvent::ThreadUnregistered { .. } => "obs.thread_unregistered",
         }
     }
 }
@@ -312,6 +329,8 @@ mod tests {
                 augment_steps: 0,
                 backtracks: 0,
             },
+            JournalEvent::ThreadRegistered { shard: 0, slot: 0 },
+            JournalEvent::ThreadUnregistered { shard: 0, slot: 0 },
         ];
         let mut kinds: Vec<&str> = evs.iter().map(|e| e.kind()).collect();
         assert!(kinds.iter().all(|k| k.starts_with("obs.")));

@@ -73,6 +73,14 @@ pub enum Counter {
     CyclesInStartStop,
     /// Virtual cycles spent inside multiplex rotation (self-accounted).
     CyclesInMpxRotate,
+    /// OS threads registered into a sharded session table
+    /// (`register_thread`).
+    ThreadsRegistered,
+    /// OS threads unregistered from a sharded session table.
+    ThreadsUnregistered,
+    /// Operations rejected because an EventSet id was tagged for a
+    /// different thread's session (cross-thread misuse).
+    CrossThreadDenied,
 }
 
 /// All counters, in slot order.  `COUNTERS[c as usize] == c` for every `c`.
@@ -104,6 +112,9 @@ pub const COUNTERS: &[Counter] = &[
     Counter::CyclesInRead,
     Counter::CyclesInStartStop,
     Counter::CyclesInMpxRotate,
+    Counter::ThreadsRegistered,
+    Counter::ThreadsUnregistered,
+    Counter::CrossThreadDenied,
 ];
 
 /// Number of registry slots.
@@ -122,6 +133,7 @@ impl Counter {
             | AllocBacktracks | AllocMemoHits | AllocMemoMisses => "alloc",
             JournalRecords | JournalDropped => "journal",
             CyclesInRead | CyclesInStartStop | CyclesInMpxRotate => "cycles",
+            ThreadsRegistered | ThreadsUnregistered | CrossThreadDenied => "threads",
         }
     }
 
@@ -156,6 +168,9 @@ impl Counter {
             CyclesInRead => "in_read",
             CyclesInStartStop => "in_start_stop",
             CyclesInMpxRotate => "in_mpx_rotate",
+            ThreadsRegistered => "registered",
+            ThreadsUnregistered => "unregistered",
+            CrossThreadDenied => "cross_thread_denied",
         }
     }
 

@@ -1198,6 +1198,31 @@ mod tests {
     }
 
     #[test]
+    fn reprogram_invalidates_saved_thread_contexts() {
+        let mut m = Machine::new(sim_generic(), 7);
+        m.set_granularity(Granularity::Thread);
+        let t0 = m.load(fp_program(10, 1)) as usize;
+        let t1 = m.load(fp_program(10, 1)) as usize;
+        program_counter(&mut m, 0, "GEN_FMA");
+        m.pmu_mut().start();
+        m.switch_to(t0);
+        m.pmu_mut().record(EventKind::FpFma, 42, false);
+        assert_eq!(m.pmu().read(0), 42);
+        // Switch t0 out (its 42 FMAs are saved in its context), then
+        // reprogram counter 0 to a different event while t0 is off-CPU —
+        // exactly what happens when one registered thread's session
+        // reconfigures between another thread's quanta.
+        m.switch_to(t1);
+        program_counter(&mut m, 0, "GEN_INST");
+        m.switch_to(t0);
+        assert_eq!(
+            m.pmu().read(0),
+            0,
+            "stale FMA count bled into the reprogrammed instruction counter"
+        );
+    }
+
+    #[test]
     fn meminfo_tracks_pages() {
         let mut b = ProgramBuilder::new();
         b.func("main", |f| {

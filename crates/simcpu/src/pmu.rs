@@ -222,12 +222,21 @@ impl SampleRecord {
 pub struct PmuContext {
     counts: Vec<u64>,
     next_ovf: Vec<Option<u64>>,
+    /// Programming epoch the counts were saved under; a restore against a
+    /// different epoch means the counters were reprogrammed while this
+    /// thread was off-CPU and the saved counts belong to *other events*.
+    epoch: u64,
 }
 
 impl PmuContext {
     /// Saved value of counter `idx`, if this context has been populated.
     pub fn count(&self, idx: usize) -> Option<u64> {
         self.counts.get(idx).copied()
+    }
+
+    /// Programming epoch this context was saved under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 }
 
@@ -247,6 +256,10 @@ pub struct Pmu {
     running: bool,
     pending_overflow: u32,
     sampling: Option<SamplingState>,
+    /// Bumped on every `program()` call; saved contexts are only restored
+    /// against the epoch they were captured under (see
+    /// [`Pmu::restore_context`]).
+    epoch: u64,
 }
 
 impl Pmu {
@@ -259,6 +272,7 @@ impl Pmu {
             running: false,
             pending_overflow: 0,
             sampling: None,
+            epoch: 0,
         }
     }
 
@@ -282,6 +296,13 @@ impl Pmu {
         if let Some(o) = &mut self.overflow[idx] {
             o.next = o.threshold;
         }
+        // Any saved per-thread context now describes different events.
+        self.epoch += 1;
+    }
+
+    /// Current programming epoch (bumped by every [`Pmu::program`] call).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Code programmed on counter `idx`, if any.
@@ -446,6 +467,7 @@ impl Pmu {
                 .iter()
                 .map(|o| o.as_ref().map(|o| o.next))
                 .collect(),
+            epoch: self.epoch,
         };
         for c in &mut self.counts {
             *c = 0;
@@ -457,8 +479,15 @@ impl Pmu {
     }
 
     /// Restore a previously saved context.
+    ///
+    /// A context is only meaningful for the programming epoch it was saved
+    /// under: if the counters were reprogrammed since (the epoch advanced),
+    /// the saved counts belong to events that are no longer on the hardware,
+    /// and restoring them would bleed one configuration's counts into
+    /// another thread's view of the new one. Such stale contexts reset the
+    /// registers instead.
     pub fn restore_context(&mut self, ctx: &PmuContext) {
-        if ctx.counts.len() == self.counts.len() {
+        if ctx.counts.len() == self.counts.len() && ctx.epoch == self.epoch {
             self.counts.copy_from_slice(&ctx.counts);
             for (o, n) in self.overflow.iter_mut().zip(&ctx.next_ovf) {
                 if let (Some(o), Some(n)) = (o.as_mut(), n) {
@@ -466,7 +495,8 @@ impl Pmu {
                 }
             }
         } else {
-            // Fresh context (e.g. counters reprogrammed since save).
+            // Fresh or stale context (never populated, or the counters were
+            // reprogrammed since it was saved).
             self.reset_counts();
         }
     }
@@ -665,5 +695,44 @@ mod tests {
         let ctx = PmuContext::default(); // stale/empty context
         p.restore_context(&ctx);
         assert_eq!(p.read(0), 0);
+    }
+
+    #[test]
+    fn stale_epoch_context_does_not_bleed_into_new_programming() {
+        // A context saved under one programming must not restore its counts
+        // into counters that have since been reprogrammed to other events:
+        // the counter *count* is unchanged, so only the epoch distinguishes
+        // the configurations.
+        let mut p = Pmu::new(2);
+        p.program(
+            0,
+            Some((&ev(vec![(EventKind::Instructions, 1)]), Domain::ALL)),
+        );
+        p.start();
+        p.record(EventKind::Instructions, 42, false);
+        let ctx = p.save_context();
+        assert_eq!(ctx.epoch(), p.epoch());
+
+        // Reprogram counter 0 to a different event between save and restore.
+        p.program(0, Some((&ev(vec![(EventKind::Loads, 1)]), Domain::ALL)));
+        p.restore_context(&ctx);
+        assert_eq!(p.read(0), 0, "stale instruction count bled into loads");
+
+        // A context saved under the *current* programming still round-trips.
+        p.record(EventKind::Loads, 9, false);
+        let ctx2 = p.save_context();
+        p.restore_context(&ctx2);
+        assert_eq!(p.read(0), 9);
+    }
+
+    #[test]
+    fn program_advances_epoch() {
+        let mut p = Pmu::new(2);
+        let e0 = p.epoch();
+        p.program(0, Some((&ev(vec![(EventKind::Cycles, 1)]), Domain::ALL)));
+        assert!(p.epoch() > e0);
+        let e1 = p.epoch();
+        p.program(0, None); // deprogramming counts too
+        assert!(p.epoch() > e1);
     }
 }

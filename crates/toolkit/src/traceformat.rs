@@ -231,7 +231,7 @@ mod tests {
     #[test]
     fn binary_smaller_than_json() {
         // Skip against the offline stub serde_json (real crate round-trips).
-        if serde_json::to_string(&42u32).is_err() {
+        if papi_core::testutil::stub_json() {
             eprintln!("binary_smaller_than_json: offline serde_json stub detected, skipping");
             return;
         }

@@ -232,7 +232,7 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         // Skip against the offline stub serde_json (real crate round-trips).
-        if serde_json::to_string(&42u32).is_err() {
+        if papi_core::testutil::stub_json() {
             eprintln!("json_roundtrip: offline serde_json stub detected, skipping");
             return;
         }

@@ -1,0 +1,260 @@
+//! Concurrency stress suite for the sharded per-thread session table.
+//!
+//! Röhl et al.'s event-validation lesson is that concurrent counting is
+//! where silent miscounts hide, so these tests don't just check "nothing
+//! panicked": every thread's counts are checked for *exact* equality
+//! against a single-threaded replay of the same seeded workload
+//! (deterministic `SmallRng` drive loops, like tests/props.rs — failures
+//! reproduce from the seed in the assert message).
+
+use papi_suite::papi::threads::{PapiThread, TaggedSetId, ThreadedPapi, NUM_SHARDS};
+use papi_suite::papi::{Papi, PapiError, Preset, SimSubstrate};
+use papi_suite::workloads::{random_program, RandomCfg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use simcpu::{platform, Machine};
+use std::sync::Arc;
+
+/// A pool whose registered threads each get a private generic machine
+/// running the seed-determined random program.
+fn sim_pool() -> Arc<ThreadedPapi<SimSubstrate>> {
+    Arc::new(ThreadedPapi::new(0, |seed| {
+        let mut m = Machine::new(platform::sim_generic(), seed);
+        m.load(random_program(seed, RandomCfg::default()));
+        Papi::init(SimSubstrate::new(m))
+    }))
+}
+
+/// The seeded per-thread workload: interleaved run/read_into/accum/reset
+/// traffic on one EventSet, returning the total counts it observed. Fully
+/// deterministic in (`seed`, the session's machine) — the replay oracle.
+fn drive(token: &PapiThread<SimSubstrate>, seed: u64) -> Vec<i64> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1CE);
+    let set = token.create_eventset();
+    token
+        .add_events(set, &[Preset::TotIns.code(), Preset::LdIns.code()])
+        .unwrap();
+    token.start(set).unwrap();
+    let mut totals = vec![0i64; 2];
+    let mut out = [0i64; 2];
+    for _ in 0..25 {
+        token.run_for(rng.gen_range(1_000..20_000)).unwrap();
+        token.read_into(set, &mut out).unwrap();
+        if rng.gen_bool(0.4) {
+            // accum reads-and-resets: fold the epoch into the totals.
+            let mut acc = [0i64; 2];
+            token.accum(set, &mut acc).unwrap();
+            for (t, a) in totals.iter_mut().zip(acc) {
+                *t += a;
+            }
+        }
+    }
+    let tail = token.stop(set).unwrap();
+    for (t, v) in totals.iter_mut().zip(tail) {
+        *t += v;
+    }
+    token.destroy_eventset(set).unwrap();
+    totals
+}
+
+#[test]
+fn per_thread_totals_match_single_threaded_replay() {
+    let mut rng = SmallRng::seed_from_u64(0x2001);
+    let seeds: Vec<u64> = (0..4).map(|_| rng.gen_range(0u64..5000)).collect();
+
+    // Concurrent run: 4 registered threads drive their workloads at once.
+    let pool = sim_pool();
+    let mut joins = Vec::new();
+    for &seed in &seeds {
+        let pool = pool.clone();
+        joins.push(std::thread::spawn(move || {
+            let token = pool.register_thread_seeded(seed).unwrap();
+            let totals = drive(&token, seed);
+            pool.unregister_thread(token).unwrap();
+            totals
+        }));
+    }
+    let concurrent: Vec<Vec<i64>> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+    assert_eq!(pool.registered_threads(), 0);
+
+    // Replay: same seeds, same factory, one thread, one session at a time.
+    let replay_pool = sim_pool();
+    for (i, &seed) in seeds.iter().enumerate() {
+        let token = replay_pool.register_thread_seeded(seed).unwrap();
+        let totals = drive(&token, seed);
+        replay_pool.unregister_thread(token).unwrap();
+        assert!(totals.iter().any(|&t| t > 0), "seed {seed} counted nothing");
+        assert_eq!(
+            totals, concurrent[i],
+            "seed {seed}: concurrent counts diverged from single-threaded replay"
+        );
+    }
+}
+
+#[test]
+fn stress_register_count_unregister_cycles() {
+    // 8 threads x 5 register/count/unregister cycles each, hammering the
+    // shard tables from all sides while sessions come and go.
+    let pool = sim_pool();
+    let mut joins = Vec::new();
+    for t in 0..8u64 {
+        let pool = pool.clone();
+        joins.push(std::thread::spawn(move || {
+            for round in 0..5u64 {
+                let seed = t * 100 + round;
+                let token = pool.register_thread_seeded(seed).unwrap();
+                let totals = drive(&token, seed);
+                assert!(totals[0] >= 0, "seed {seed}");
+                pool.unregister_thread(token).unwrap();
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    assert_eq!(pool.registered_threads(), 0);
+}
+
+#[test]
+fn another_threads_eventset_id_is_rejected_not_panicking() {
+    let pool = sim_pool();
+    let (send_id, recv_id) = std::sync::mpsc::channel::<TaggedSetId>();
+    let (send_done, recv_done) = std::sync::mpsc::channel::<()>();
+
+    let owner = {
+        let pool = pool.clone();
+        std::thread::spawn(move || {
+            let token = pool.register_thread_seeded(1).unwrap();
+            let set = token.create_eventset();
+            token.add_event(set, Preset::TotIns.code()).unwrap();
+            token.start(set).unwrap();
+            send_id.send(set).unwrap();
+            // Keep the session alive until the other thread has poked it.
+            recv_done.recv().unwrap();
+            token.stop(set).unwrap();
+            token.destroy_eventset(set).unwrap();
+            pool.unregister_thread(token).unwrap();
+        })
+    };
+
+    let intruder = {
+        let pool = pool.clone();
+        std::thread::spawn(move || {
+            let token = pool.register_thread_seeded(2).unwrap();
+            let foreign = recv_id.recv().unwrap();
+            // Every token entry point refuses the foreign id with the
+            // PAPI_EINVAL-style error, and the intruder's own session is
+            // untouched by the attempts.
+            let mut out = [0i64; 1];
+            assert!(matches!(
+                token.read_into(foreign, &mut out),
+                Err(PapiError::Inval(_))
+            ));
+            assert!(matches!(token.start(foreign), Err(PapiError::Inval(_))));
+            assert!(matches!(token.stop(foreign), Err(PapiError::Inval(_))));
+            assert!(matches!(
+                token.destroy_eventset(foreign),
+                Err(PapiError::Inval(_))
+            ));
+            let own = token.create_eventset();
+            token.add_event(own, Preset::TotCyc.code()).unwrap();
+            token.start(own).unwrap();
+            token.read_into(own, &mut out).unwrap();
+            token.stop(own).unwrap();
+            token.destroy_eventset(own).unwrap();
+            send_done.send(()).unwrap();
+            pool.unregister_thread(token).unwrap();
+        })
+    };
+
+    owner.join().unwrap();
+    intruder.join().unwrap();
+    assert_eq!(pool.registered_threads(), 0);
+}
+
+#[test]
+fn double_register_and_live_set_unregister_are_rejected() {
+    let pool = sim_pool();
+    let token = pool.register_thread_seeded(3).unwrap();
+    // Same OS thread, second registration: conflict.
+    assert!(matches!(
+        pool.register_thread_seeded(4),
+        Err(PapiError::Cnflct)
+    ));
+    // Unregister with a live EventSet: rejected, token handed back.
+    let set = token.create_eventset();
+    token.add_event(set, Preset::TotIns.code()).unwrap();
+    let (token, err) = pool.unregister_thread(token).unwrap_err();
+    assert!(matches!(err, PapiError::Inval(_)));
+    token.destroy_eventset(set).unwrap();
+    pool.unregister_thread(token).unwrap();
+    // Clean again: registration works anew.
+    let token = pool.register_thread_seeded(5).unwrap();
+    pool.unregister_thread(token).unwrap();
+}
+
+#[test]
+fn shared_obs_stays_consistent_under_concurrent_sessions() {
+    let pool = {
+        let mut p = ThreadedPapi::new(0, |seed| {
+            let mut m = Machine::new(platform::sim_generic(), seed);
+            m.load(random_program(seed, RandomCfg::default()));
+            Papi::init(SimSubstrate::new(m))
+        });
+        let obs = papi_suite::obs::Obs::new();
+        obs.enable_journal(1 << 14);
+        p.attach_obs(obs);
+        Arc::new(p)
+    };
+    let mut joins = Vec::new();
+    for t in 0..4u64 {
+        let pool = pool.clone();
+        joins.push(std::thread::spawn(move || {
+            let token = pool.register_thread_seeded(t).unwrap();
+            drive(&token, t);
+            pool.unregister_thread(token).unwrap();
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    let obs = pool.obs().unwrap();
+    use papi_suite::obs::Counter;
+    assert_eq!(obs.get(Counter::ThreadsRegistered), 4);
+    assert_eq!(obs.get(Counter::ThreadsUnregistered), 4);
+    // Each drive() makes 25 explicit read_into calls (accum stages more
+    // reads internally, so >= is the exact lower bound).
+    assert!(obs.get(Counter::Reads) >= 4 * 25);
+    assert_eq!(obs.get(Counter::Starts), 4);
+    assert_eq!(obs.get(Counter::Stops), 4);
+    // Journal sequence numbers are unique across all concurrent writers,
+    // and the generous capacity means nothing was dropped.
+    assert_eq!(obs.journal_dropped(), 0);
+    let recs = obs.journal_records();
+    let mut seqs: Vec<u64> = recs.iter().map(|r| r.seq).collect();
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(seqs.len(), recs.len(), "duplicate journal seq numbers");
+    let registered = recs
+        .iter()
+        .filter(|r| r.event.kind() == "obs.thread_registered")
+        .count();
+    assert_eq!(registered, 4);
+}
+
+#[test]
+fn tagged_ids_expose_their_shard_and_stay_in_range() {
+    let pool = sim_pool();
+    let token = pool.register_thread_seeded(9).unwrap();
+    let set = token.create_eventset();
+    assert!(set.shard() < NUM_SHARDS);
+    assert_eq!(set.shard(), token.shard());
+    assert_eq!(set.slot(), token.slot());
+    // The cross-shard lookup routes by the tag alone.
+    let n = pool
+        .with_session_of(set, |papi| papi.num_events(set.local()).unwrap())
+        .unwrap();
+    assert_eq!(n, 0);
+    token.destroy_eventset(set).unwrap();
+    pool.unregister_thread(token).unwrap();
+}
