@@ -164,3 +164,23 @@ fn rotate_and_mpx_read_are_allocation_free_in_steady_state() {
     );
     std::hint::black_box(out[0]);
 }
+
+#[test]
+fn read_into_and_accum_are_allocation_free_through_quiet_fault_decorator() {
+    // The fault-injection decorator with an empty plan (no failures,
+    // full-width counters) must be a zero-cost pass-through on the hot
+    // path: no widening state engages, the retry loop is a plain success
+    // path, and no heap allocation appears.
+    let mut papi = papi_named("fault:sim:x86", dense_fp(10, 1, 0).program, 1);
+    assert_steady_state_alloc_free(&mut papi, "fault(quiet):sim:x86");
+}
+
+#[test]
+fn read_into_and_accum_stay_allocation_free_while_widening_wrapped_counters() {
+    // Narrow (32-bit) wrapped counters engage the widening layer. Its
+    // baseline/accumulator buffers are sized at start, so steady-state
+    // reads stay allocation-free even while every read is masked, delta'd
+    // and widened.
+    let mut papi = papi_named("fault[bits=32]:sim:x86", dense_fp(10, 1, 0).program, 1);
+    assert_steady_state_alloc_free(&mut papi, "fault(32-bit):sim:x86");
+}

@@ -54,6 +54,10 @@ fn errno(e: &PapiError) -> c_int {
         PapiError::NoEvst(_) => PAPI_ENOEVST,
         PapiError::NoSupp(_) => PAPI_ENOSUPP,
         PapiError::Substrate(_) => PAPI_ESBSTR,
+        // Transient substrate faults that survived the portable layer's
+        // retry budget: distinguishable from permanent ESBSTR so C callers
+        // can implement their own backoff.
+        PapiError::SubstrateTransient(_) => PAPI_EMISC,
     }
 }
 

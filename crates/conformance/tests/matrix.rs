@@ -1,0 +1,77 @@
+//! The conformance matrix: every SPEC check × every registered substrate ×
+//! every fault schedule, plus the harness self-test (a deliberately broken
+//! substrate must be caught with a named check failure).
+
+use papi_conformance::{
+    checks, fault_schedules, register_broken, run_clean_invariants, run_matrix,
+};
+use papi_tools::full_registry;
+
+fn fail_report(divs: &[papi_conformance::Divergence]) -> String {
+    divs.iter()
+        .map(|d| format!("  {d}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn matrix_is_green_seed_1() {
+    let reg = full_registry();
+    let divs = run_matrix(&reg, &[0xC0FF_EE01]);
+    assert!(divs.is_empty(), "divergences:\n{}", fail_report(&divs));
+}
+
+#[test]
+fn matrix_is_green_seed_2() {
+    let reg = full_registry();
+    let divs = run_matrix(&reg, &[0xC0FF_EE02]);
+    assert!(divs.is_empty(), "divergences:\n{}", fail_report(&divs));
+}
+
+#[test]
+fn matrix_is_green_seed_3() {
+    let reg = full_registry();
+    let divs = run_matrix(&reg, &[0xC0FF_EE03]);
+    assert!(divs.is_empty(), "divergences:\n{}", fail_report(&divs));
+}
+
+#[test]
+fn matrix_covers_every_substrate_and_schedule() {
+    let reg = full_registry();
+    // The suite's reach: at least the eight simulated platforms plus the
+    // perfctr emulation, three fault schedules, and all table checks.
+    assert!(reg.names().len() >= 9, "registry shrank: {:?}", reg.names());
+    assert_eq!(fault_schedules().len(), 3);
+    assert!(checks().len() >= 6);
+    for s in fault_schedules() {
+        let wrapped = format!("{s}sim:generic");
+        assert!(
+            reg.create(&wrapped, 7).is_ok(),
+            "schedule prefix {s} does not resolve through the registry"
+        );
+    }
+}
+
+/// Harness self-test: a substrate whose reads glitch must be caught by the
+/// monotonicity check *by name* — a suite that cannot catch a planted
+/// defect proves nothing about the substrates it passes.
+#[test]
+fn broken_substrate_is_caught_with_named_check_failure() {
+    let mut reg = full_registry();
+    register_broken(&mut reg);
+    let divs = run_clean_invariants(&reg, "broken", 0xBAD);
+    assert!(
+        !divs.is_empty(),
+        "the deliberately broken substrate sailed through the conformance checks"
+    );
+    assert!(
+        divs.iter()
+            .any(|d| d.check == "read-monotone-stop-consistent"),
+        "expected 'read-monotone-stop-consistent' to name the defect, got:\n{}",
+        fail_report(&divs)
+    );
+    for d in &divs {
+        assert_eq!(d.substrate, "broken");
+        assert_eq!(d.schedule, "clean");
+    }
+}

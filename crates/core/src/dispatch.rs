@@ -94,6 +94,132 @@ pub(crate) struct Running {
     pub(crate) mode: RunMode,
     /// Armed overflow routes: `(physical counter, papi code, route)`.
     pub(crate) routes: Vec<(usize, u32, OvfRoute)>,
+    /// Wraparound-widening state, engaged when the substrate's counters are
+    /// narrower than 64 bits ([`Substrate::counter_width`]); `None` on
+    /// full-width substrates, where raw readings are used verbatim.
+    pub(crate) widen: Option<WidenState>,
+}
+
+/// Wraparound widening for substrates with counters narrower than 64 bits.
+///
+/// Raw readings are values modulo `2^width` with an arbitrary bias (real
+/// registers are rarely zeroed; the fault substrate deliberately preloads
+/// them near saturation). The portable layer therefore never interprets a
+/// raw reading directly: it baselines every counter when counting (re)starts
+/// and accumulates `(raw - last) mod 2^width` deltas into full 64-bit
+/// counts, so API-visible values never go backwards across a hardware wrap.
+///
+/// All buffers are sized once at `start`; the steady-state widening path
+/// allocates nothing.
+pub(crate) struct WidenState {
+    /// `2^width - 1`.
+    mask: u64,
+    /// Last raw reading per physical counter.
+    last: Vec<u64>,
+    /// Widened cumulative count per physical counter (direct mode).
+    acc: Vec<u64>,
+    /// Every physical counter index, for baseline batch reads.
+    all: Vec<usize>,
+    /// Baseline-read staging buffer.
+    tmp: Vec<u64>,
+    /// Wraps observed since the last [`WidenState::take_wraps`].
+    wraps: u64,
+}
+
+impl WidenState {
+    pub(crate) fn new(width: u32, num_counters: usize) -> Self {
+        debug_assert!(width < 64);
+        WidenState {
+            mask: (1u64 << width) - 1,
+            last: vec![0; num_counters],
+            acc: vec![0; num_counters],
+            all: (0..num_counters).collect(),
+            tmp: Vec::with_capacity(num_counters),
+            wraps: 0,
+        }
+    }
+
+    /// Re-read every counter's raw value as the new delta baseline (after
+    /// counting starts, after a reset, or after reprogramming — anything
+    /// that rebases the hardware registers).
+    pub(crate) fn rebaseline<S: Substrate>(&mut self, sub: &mut S) -> Result<()> {
+        self.tmp.clear();
+        sub.read_batch(&self.all, &mut self.tmp)?;
+        self.last.copy_from_slice(&self.tmp);
+        Ok(())
+    }
+
+    /// Zero the accumulated counts (the baseline is re-read separately).
+    pub(crate) fn reset_acc(&mut self) {
+        self.acc.iter_mut().for_each(|a| *a = 0);
+    }
+
+    /// Width-aware delta of counter `ctr` since its last reading.
+    pub(crate) fn delta(&mut self, ctr: usize, raw: u64) -> u64 {
+        if raw < self.last[ctr] {
+            self.wraps += 1;
+        }
+        let d = raw.wrapping_sub(self.last[ctr]) & self.mask;
+        self.last[ctr] = raw;
+        d
+    }
+
+    /// Fold a raw reading into counter `ctr`'s widened cumulative count.
+    pub(crate) fn widen(&mut self, ctr: usize, raw: u64) -> u64 {
+        let d = self.delta(ctr, raw);
+        self.acc[ctr] += d;
+        self.acc[ctr]
+    }
+
+    /// Drain the wrap counter (for `fault.wraps` accounting).
+    pub(crate) fn take_wraps(&mut self) -> u64 {
+        std::mem::take(&mut self.wraps)
+    }
+}
+
+/// Reissue `f` while it fails transiently, up to `budget` retries; count
+/// and journal each retry and the final give-up through `obs`.
+///
+/// A free function over disjoint borrows (the obs handle is never captured
+/// by `f`), so call sites can retry substrate operations that mutably
+/// borrow other session fields. `now` is the virtual time when the
+/// operation began — retries are journaled against it, since the substrate
+/// clock is unreachable while `f` borrows the substrate.
+///
+/// Allocation-free: injected transient errors carry `&'static str`
+/// payloads, and the journal closure only runs when journaling is enabled.
+pub(crate) fn retry_transient<T>(
+    obs: &Option<papi_obs::ObsHandle>,
+    now: u64,
+    budget: u32,
+    op: &'static str,
+    mut f: impl FnMut() -> Result<T>,
+) -> Result<T> {
+    let mut attempt: u32 = 0;
+    loop {
+        match f() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() => {
+                if attempt < budget {
+                    attempt += 1;
+                    if let Some(obs) = obs {
+                        obs.inc(ObsCounter::FaultRetries);
+                        obs.record(now, || ObsEvent::TransientRetried { op, attempt });
+                    }
+                } else {
+                    if let Some(obs) = obs {
+                        obs.inc(ObsCounter::FaultGaveUp);
+                        obs.record(now, || ObsEvent::TransientGaveUp {
+                            op,
+                            attempts: attempt + 1,
+                        });
+                    }
+                    return Err(e);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// Per-session reusable buffers for the hot read/accum/rotate paths.  Sized
@@ -366,15 +492,54 @@ impl<S: Substrate> Papi<S> {
             m.switched_at = self.sub.real_cycles();
         }
 
+        let width = self.sub.counter_width();
+        let widen = (width < 64).then(|| WidenState::new(width, self.sub.num_counters()));
         self.running = Some(Running {
             set: id,
             attached,
             plan,
             mode,
             routes,
+            widen,
         });
         self.set_mut(id)?.state = SetState::Running;
-        self.sub.start()?;
+        let now = self.sub.real_cycles();
+        let budget = self.retry_budget;
+        if let Err(e) = retry_transient(&self.obs, now, budget, "start", || self.sub.start()) {
+            // A failed start must leave the session stopped, not
+            // half-running: disarm what was programmed and restore state.
+            self.rollback_failed_start(id)?;
+            return Err(e);
+        }
+        // Baseline for wraparound widening: the raw register values at the
+        // instant counting begins carry the hardware's arbitrary bias, so
+        // they are recorded now and only deltas are trusted from here on.
+        if let Some(run) = self.running.as_mut() {
+            if let Some(w) = run.widen.as_mut() {
+                let r = retry_transient(&self.obs, now, budget, "read", || {
+                    w.rebaseline(&mut self.sub)
+                });
+                if let Err(e) = r {
+                    let _ = self.sub.stop();
+                    self.rollback_failed_start(id)?;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Undo the side effects of a partially performed `start`.
+    fn rollback_failed_start(&mut self, id: EventSetId) -> Result<()> {
+        if let Some(run) = self.running.take() {
+            for (ctr, _, _) in run.routes {
+                let _ = self.sub.set_overflow(ctr, None);
+            }
+            if matches!(run.mode, RunMode::Mpx(_)) {
+                self.sub.set_timer(None);
+            }
+        }
+        self.set_mut(id)?.state = SetState::Stopped;
         Ok(())
     }
 
@@ -398,31 +563,71 @@ impl<S: Substrate> Papi<S> {
     /// [`ReadPlan`]/assignment are borrowed in place (disjoint fields), never
     /// cloned per call.
     fn read_native_counts_into(&mut self) -> Result<()> {
+        let budget = self.retry_budget;
+        let now = self.sub.real_cycles();
         let run = self.running.as_mut().ok_or(PapiError::NotRun)?;
-        match &mut run.mode {
+        let Running {
+            attached,
+            mode,
+            widen,
+            ..
+        } = run;
+        match mode {
             RunMode::Direct { assign } => {
                 if let Some(obs) = &self.obs {
                     obs.add(ObsCounter::CounterReads, assign.len() as u64);
                 }
-                self.scratch.counts.clear();
-                match run.attached {
+                match *attached {
                     Some(t) => {
+                        self.scratch.counts.clear();
                         for &ctr in assign.iter() {
-                            let v = self.sub.read_attached(t, ctr)?;
+                            let v = retry_transient(&self.obs, now, budget, "read", || {
+                                self.sub.read_attached(t, ctr)
+                            })?;
                             self.scratch.counts.push(v);
                         }
                     }
-                    // One kernel crossing for the whole counter state.
-                    None => self.sub.read_batch(assign, &mut self.scratch.counts)?,
+                    // One kernel crossing for the whole counter state. The
+                    // buffer is cleared inside the closure so a retried
+                    // crossing never leaves partial values behind.
+                    None => {
+                        retry_transient(&self.obs, now, budget, "read", || {
+                            self.scratch.counts.clear();
+                            self.sub.read_batch(assign, &mut self.scratch.counts)
+                        })?;
+                        if let Some(w) = widen.as_mut() {
+                            for (i, &ctr) in assign.iter().enumerate() {
+                                self.scratch.counts[i] = w.widen(ctr, self.scratch.counts[i]);
+                            }
+                            if let Some(obs) = &self.obs {
+                                obs.add(ObsCounter::FaultWraps, w.take_wraps());
+                            }
+                        }
+                    }
                 }
             }
             RunMode::Mpx(m) => {
                 // Flush the live partition, then leave estimates in scratch.
-                let now = self.sub.real_cycles();
-                self.scratch.live.clear();
-                self.sub
-                    .read_batch(&m.partitions[m.current].counters, &mut self.scratch.live)?;
-                self.sub.reset()?; // avoid double counting on the next flush
+                retry_transient(&self.obs, now, budget, "read", || {
+                    self.scratch.live.clear();
+                    self.sub
+                        .read_batch(&m.partitions[m.current].counters, &mut self.scratch.live)
+                })?;
+                if let Some(w) = widen.as_mut() {
+                    for (slot, &ctr) in m.partitions[m.current].counters.iter().enumerate() {
+                        self.scratch.live[slot] = w.delta(ctr, self.scratch.live[slot]);
+                    }
+                    if let Some(obs) = &self.obs {
+                        obs.add(ObsCounter::FaultWraps, w.take_wraps());
+                    }
+                }
+                // Avoid double counting on the next flush.
+                retry_transient(&self.obs, now, budget, "reset", || self.sub.reset())?;
+                if let Some(w) = widen.as_mut() {
+                    retry_transient(&self.obs, now, budget, "read", || {
+                        w.rebaseline(&mut self.sub)
+                    })?;
+                }
                 if let Some(obs) = &self.obs {
                     obs.add(ObsCounter::CounterReads, self.scratch.live.len() as u64);
                     obs.inc(ObsCounter::MpxFlushes);
@@ -543,8 +748,19 @@ impl<S: Substrate> Papi<S> {
             }
             _ => return Err(PapiError::NotRun),
         }
-        let r = self.sub.reset();
+        let budget = self.retry_budget;
+        let r = retry_transient(&self.obs, now, budget, "reset", || self.sub.reset());
         if r.is_ok() {
+            // The hardware registers were rebased: re-read the widening
+            // baseline and zero the accumulated counts.
+            if let Some(run) = self.running.as_mut() {
+                if let Some(w) = run.widen.as_mut() {
+                    w.reset_acc();
+                    retry_transient(&self.obs, now, budget, "read", || {
+                        w.rebaseline(&mut self.sub)
+                    })?;
+                }
+            }
             if let Some(obs) = &self.obs {
                 obs.inc(ObsCounter::Resets);
                 obs.record(self.sub.real_cycles(), || ObsEvent::Reset { set: id });
@@ -583,7 +799,8 @@ impl<S: Substrate> Papi<S> {
         if was_mpx {
             self.sub.set_timer(None);
         }
-        self.sub.stop()?;
+        let budget = self.retry_budget;
+        retry_transient(&self.obs, begin_cycles, budget, "stop", || self.sub.stop())?;
         self.running = None;
         self.set_mut(id)?.state = SetState::Stopped;
         if let Some(obs) = &self.obs {
@@ -735,13 +952,18 @@ impl<S: Substrate> Papi<S> {
     fn rotate_mpx(&mut self) -> Result<()> {
         let begin_cycles = self.sub.real_cycles();
         let now = begin_cycles;
+        let budget = self.retry_budget;
         let Some(run) = self.running.as_mut() else {
             return Ok(());
         };
         // Disjoint borrows of the Running record so the plan, mode and
         // scratch can be used simultaneously with substrate calls.
         let Running {
-            set, plan, mode, ..
+            set,
+            plan,
+            mode,
+            widen,
+            ..
         } = run;
         let set = *set;
         let RunMode::Mpx(m) = mode else {
@@ -749,9 +971,19 @@ impl<S: Substrate> Papi<S> {
         };
         let from_partition = m.current;
         let switched_at = m.switched_at;
-        self.scratch.live.clear();
-        self.sub
-            .read_batch(&m.partitions[m.current].counters, &mut self.scratch.live)?;
+        retry_transient(&self.obs, now, budget, "read", || {
+            self.scratch.live.clear();
+            self.sub
+                .read_batch(&m.partitions[m.current].counters, &mut self.scratch.live)
+        })?;
+        if let Some(w) = widen.as_mut() {
+            for (slot, &ctr) in m.partitions[m.current].counters.iter().enumerate() {
+                self.scratch.live[slot] = w.delta(ctr, self.scratch.live[slot]);
+            }
+            if let Some(obs) = &self.obs {
+                obs.add(ObsCounter::FaultWraps, w.take_wraps());
+            }
+        }
         // Fold and advance.
         m.flush(now, &self.scratch.live);
         m.rotate();
@@ -766,6 +998,12 @@ impl<S: Substrate> Papi<S> {
             self.scratch.prog[part.counters[slot]] = Some((plan.natives[nidx], domain));
         }
         self.sub.program(&self.scratch.prog)?;
+        // Programming rebased the registers; re-read the widening baseline.
+        if let Some(w) = widen.as_mut() {
+            retry_transient(&self.obs, now, budget, "read", || {
+                w.rebaseline(&mut self.sub)
+            })?;
+        }
         // Counting restarts now; don't charge programming time to the slice.
         m.switched_at = self.sub.real_cycles();
         if let Some(obs) = &self.obs {

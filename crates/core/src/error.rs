@@ -30,8 +30,21 @@ pub enum PapiError {
     /// `PAPI_ENOSUPP` — the operation is not supported on this substrate
     /// (e.g. precise sampling without the hardware).
     NoSupp(&'static str),
-    /// `PAPI_EBUG` / `PAPI_EMISC` — substrate-level failure.
+    /// `PAPI_ESBSTR` — permanent machine-dependent-layer failure.  The
+    /// condition will not clear by retrying (unknown backend name, lost
+    /// kernel context, malformed counter state).
     Substrate(String),
+    /// `PAPI_EMISC` — *transient* substrate failure: the same operation may
+    /// succeed if reissued (an `EINTR`-style interrupted syscall, a
+    /// momentarily busy counter interface).  The portable layer retries
+    /// these on the counting paths with a bounded budget before giving up
+    /// (see `Papi::set_transient_retry_budget`).
+    ///
+    /// Carries a `&'static str` rather than a `String` deliberately: these
+    /// errors are minted on the hot read path, potentially once per retry
+    /// attempt, and must not allocate (the zero-allocation guarantee covers
+    /// the retry loop).
+    SubstrateTransient(&'static str),
 }
 
 impl std::fmt::Display for PapiError {
@@ -54,8 +67,20 @@ impl std::fmt::Display for PapiError {
             PapiError::IsRun => write!(f, "PAPI_EISRUN: an EventSet is already running"),
             PapiError::NoEvst(i) => write!(f, "PAPI_ENOEVST: no such EventSet {i}"),
             PapiError::NoSupp(s) => write!(f, "PAPI_ENOSUPP: {s}"),
-            PapiError::Substrate(s) => write!(f, "PAPI_EMISC: substrate error: {s}"),
+            PapiError::Substrate(s) => write!(f, "PAPI_ESBSTR: substrate error: {s}"),
+            PapiError::SubstrateTransient(s) => {
+                write!(f, "PAPI_EMISC: transient substrate error: {s}")
+            }
         }
+    }
+}
+
+impl PapiError {
+    /// True for errors that may clear on retry.  The dispatch layer's
+    /// bounded retry loop keys off this; everything else is permanent and
+    /// surfaces immediately.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, PapiError::SubstrateTransient(_))
     }
 }
 
@@ -92,5 +117,16 @@ mod tests {
         assert_eq!(e, PapiError::NoSupp("no precise sampling hardware"));
         let e: PapiError = MachError::NoSuchCounter(3).into();
         assert!(matches!(e, PapiError::Substrate(_)));
+    }
+
+    #[test]
+    fn transient_vs_permanent_split() {
+        assert!(PapiError::SubstrateTransient("busy").is_transient());
+        assert!(!PapiError::Substrate("gone".into()).is_transient());
+        assert!(!PapiError::Cnflct.is_transient());
+        let t = PapiError::SubstrateTransient("busy").to_string();
+        assert!(t.contains("EMISC"), "{t}");
+        let p = PapiError::Substrate("gone".into()).to_string();
+        assert!(p.contains("ESBSTR"), "{p}");
     }
 }

@@ -69,6 +69,7 @@
 pub mod alloc;
 pub mod error;
 pub mod eventset;
+pub mod fault;
 pub mod highlevel;
 pub mod multiplex;
 pub mod preset;
@@ -89,9 +90,10 @@ mod core_tests;
 pub use dispatch::{AppExit, OverflowInfo, OvfHandler, ProfilId};
 pub use error::{PapiError, Result};
 pub use eventset::{EventSetId, SetState};
+pub use fault::{FaultPlan, FaultSubstrate};
 pub use preset::{is_preset_code, Mapping, Preset, PresetTable, PRESET_MASK};
 pub use profile::{Profil, ProfilConfig};
 pub use registry::{SubstrateFactory, SubstrateInfo, SubstrateRegistry};
-pub use session::Papi;
+pub use session::{Papi, DEFAULT_TRANSIENT_RETRY_BUDGET};
 pub use substrate::{BoxSubstrate, HwInfo, SimSubstrate, Substrate};
 pub use threads::{PapiThread, TaggedSetId, ThreadedPapi, NUM_SHARDS};

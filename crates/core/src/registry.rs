@@ -120,8 +120,41 @@ impl SubstrateRegistry {
 
     /// Instantiate the backend registered under `name` (canonical or alias)
     /// with a deterministic `seed`.
+    ///
+    /// Names may carry a fault-injection prefix wrapping any registered
+    /// backend in a [`crate::fault::FaultSubstrate`]:
+    ///
+    /// * `fault:<inner>` — empty (pass-through) plan;
+    /// * `fault[<spec>]:<inner>` — plan parsed by
+    ///   [`crate::fault::FaultPlan::parse`] (e.g.
+    ///   `fault[read=5,bits=32]:sim:x86`, `fault[chaos]:perfctr`), with
+    ///   `seed` as the plan's default seed.
     pub fn create(&self, name: &str, seed: u64) -> Result<BoxSubstrate> {
+        if let Some((plan, inner)) = Self::parse_fault_name(name, seed)? {
+            let inner_sub = self.create(inner, seed)?;
+            return Ok(Box::new(crate::fault::FaultSubstrate::new(inner_sub, plan)));
+        }
         (self.entry(name)?.factory)(seed)
+    }
+
+    /// Split a `fault:`/`fault[spec]:` prefixed name into its plan and the
+    /// inner backend name; `Ok(None)` for ordinary names.
+    fn parse_fault_name(name: &str, seed: u64) -> Result<Option<(crate::fault::FaultPlan, &str)>> {
+        let Some(rest) = name.strip_prefix("fault") else {
+            return Ok(None);
+        };
+        if let Some(inner) = rest.strip_prefix(':') {
+            return Ok(Some((crate::fault::FaultPlan::parse("", seed)?, inner)));
+        }
+        if let Some(rest) = rest.strip_prefix('[') {
+            if let Some((spec, inner)) = rest.split_once("]:") {
+                return Ok(Some((crate::fault::FaultPlan::parse(spec, seed)?, inner)));
+            }
+            return Err(PapiError::Substrate(format!(
+                "malformed fault substrate name '{name}' (expected fault[spec]:inner)"
+            )));
+        }
+        Ok(None)
     }
 
     /// Canonical names, in registration order.
@@ -129,9 +162,14 @@ impl SubstrateRegistry {
         self.entries.iter().map(|e| e.name.as_str()).collect()
     }
 
-    /// Is `name` (canonical or alias) registered?
+    /// Is `name` (canonical or alias) registered?  Fault-prefixed names are
+    /// resolvable when their inner name is.
     pub fn contains(&self, name: &str) -> bool {
-        self.entry(name).is_ok()
+        match Self::parse_fault_name(name, 0) {
+            Ok(Some((_, inner))) => self.contains(inner),
+            Ok(None) => self.entry(name).is_ok(),
+            Err(_) => false,
+        }
     }
 
     /// Describe every backend by probing a throwaway instance of each.
@@ -252,6 +290,35 @@ mod tests {
         );
         assert_eq!(reg.names().len(), 1);
         assert!(!reg.create("mine", 1).unwrap().groups().is_empty());
+    }
+
+    #[test]
+    fn fault_prefix_wraps_any_backend() {
+        let reg = SubstrateRegistry::with_builtin();
+        let sub = reg.create("fault:sim:x86", 7).unwrap();
+        assert_eq!(
+            sub.hw_info().model,
+            reg.create("sim:x86", 7).unwrap().hw_info().model
+        );
+        assert_eq!(sub.counter_width(), 64, "empty plan keeps native width");
+        let sub = reg.create("fault[bits=32,read=5]:sim:x86", 7).unwrap();
+        assert_eq!(sub.counter_width(), 32);
+        let sub = reg.create("fault[chaos]:sim:power3", 7).unwrap();
+        assert_eq!(sub.counter_width(), 32);
+        assert!(!sub.groups().is_empty(), "inner POWER3 groups visible");
+        assert!(reg.contains("fault:sim:x86"));
+        assert!(reg.contains("fault[chaos]:sim-alpha"));
+        assert!(!reg.contains("fault:sim:pdp11"));
+        assert!(!reg.contains("fault[oops:sim:x86"));
+        assert!(matches!(
+            reg.create("fault:sim:pdp11", 0),
+            Err(PapiError::Substrate(_))
+        ));
+        assert!(matches!(
+            reg.create("fault[read:sim:x86", 0),
+            Err(PapiError::Substrate(_))
+        ));
+        assert!(reg.create("fault[bogus=1]:sim:x86", 0).is_err());
     }
 
     #[test]

@@ -44,7 +44,13 @@ pub struct Papi<S: Substrate = SimSubstrate> {
     /// Reusable hot-path buffers (native counts, multiplex estimates,
     /// staged values, programming table): the zero-allocation read path.
     pub(crate) scratch: ReadScratch,
+    /// How many times a transient ([`PapiError::SubstrateTransient`])
+    /// substrate failure is retried before surfacing to the caller.
+    pub(crate) retry_budget: u32,
 }
+
+/// Default bound on transient-error retries per substrate operation.
+pub const DEFAULT_TRANSIENT_RETRY_BUDGET: u32 = 4;
 
 impl<S: Substrate> std::fmt::Debug for Papi<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -103,7 +109,21 @@ impl<S: Substrate> Papi<S> {
             alloc_model,
             alloc_memo: AllocCache::new(),
             scratch: ReadScratch::default(),
+            retry_budget: DEFAULT_TRANSIENT_RETRY_BUDGET,
         })
+    }
+
+    /// Bound the transient-error retry loop: a substrate operation that
+    /// keeps failing with [`PapiError::SubstrateTransient`] is reissued at
+    /// most `budget` times before the error surfaces to the caller
+    /// (`PAPI_EMISC`). Zero disables retrying entirely.
+    pub fn set_transient_retry_budget(&mut self, budget: u32) {
+        self.retry_budget = budget;
+    }
+
+    /// The configured transient-error retry budget.
+    pub fn transient_retry_budget(&self) -> u32 {
+        self.retry_budget
     }
 
     /// Attach a self-instrumentation context: from here on, API traffic,

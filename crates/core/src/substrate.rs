@@ -46,6 +46,18 @@ pub trait Substrate {
     /// Counter groups, non-empty on group-allocated platforms (POWER style).
     fn groups(&self) -> &[GroupDef];
 
+    /// Width, in bits, of the counter values this substrate's `read` path
+    /// returns.  64 (the default) means values never wrap in practice and
+    /// the portable layer reads them verbatim.  Anything narrower — the
+    /// paper's platforms ranged from 32-bit MIPS/UltraSPARC counters to
+    /// 40-bit Pentium MSRs — makes the portable layer run its wraparound
+    /// widening: raw readings are treated as values modulo `2^width` and
+    /// deltas are accumulated into full 64-bit counts, so API-visible
+    /// values never go backwards across a hardware wrap.
+    fn counter_width(&self) -> u32 {
+        64
+    }
+
     /// The hardware-dependent half of the PAPI-3 allocation split: how this
     /// platform's counter constraints translate into instances for the
     /// hardware-independent solver. The default derives a mask- or
@@ -159,6 +171,9 @@ impl<T: Substrate + ?Sized> Substrate for Box<T> {
     }
     fn groups(&self) -> &[GroupDef] {
         (**self).groups()
+    }
+    fn counter_width(&self) -> u32 {
+        (**self).counter_width()
     }
     fn alloc_model(&self) -> crate::alloc::AllocModel {
         (**self).alloc_model()
@@ -278,6 +293,10 @@ impl Substrate for SimSubstrate {
 
     fn groups(&self) -> &[GroupDef] {
         &self.machine.spec().groups
+    }
+
+    fn counter_width(&self) -> u32 {
+        self.machine.spec().counter_bits
     }
 
     fn load_program(&mut self, program: Program) -> Result<()> {

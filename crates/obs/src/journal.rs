@@ -122,6 +122,21 @@ pub enum JournalEvent {
         /// Slot index within the shard.
         slot: usize,
     },
+    /// A transient substrate error was absorbed and the operation retried.
+    TransientRetried {
+        /// Which portable-layer operation retried (`"read"`, `"start"`, ...).
+        op: &'static str,
+        /// Retry attempt number (1-based).
+        attempt: u32,
+    },
+    /// The retry budget was exhausted; the transient error surfaced to the
+    /// caller as `PAPI_EMISC`.
+    TransientGaveUp {
+        /// Which portable-layer operation gave up.
+        op: &'static str,
+        /// Total attempts made (initial try + retries).
+        attempts: u32,
+    },
 }
 
 impl JournalEvent {
@@ -143,6 +158,8 @@ impl JournalEvent {
             JournalEvent::AllocAttempt { .. } => "obs.alloc",
             JournalEvent::ThreadRegistered { .. } => "obs.thread_registered",
             JournalEvent::ThreadUnregistered { .. } => "obs.thread_unregistered",
+            JournalEvent::TransientRetried { .. } => "obs.transient_retried",
+            JournalEvent::TransientGaveUp { .. } => "obs.transient_gave_up",
         }
     }
 }
@@ -331,6 +348,14 @@ mod tests {
             },
             JournalEvent::ThreadRegistered { shard: 0, slot: 0 },
             JournalEvent::ThreadUnregistered { shard: 0, slot: 0 },
+            JournalEvent::TransientRetried {
+                op: "read",
+                attempt: 1,
+            },
+            JournalEvent::TransientGaveUp {
+                op: "read",
+                attempts: 4,
+            },
         ];
         let mut kinds: Vec<&str> = evs.iter().map(|e| e.kind()).collect();
         assert!(kinds.iter().all(|k| k.starts_with("obs.")));

@@ -81,6 +81,14 @@ pub enum Counter {
     /// Operations rejected because an EventSet id was tagged for a
     /// different thread's session (cross-thread misuse).
     CrossThreadDenied,
+    /// Transient substrate errors absorbed by the bounded retry loop.
+    FaultRetries,
+    /// Operations that exhausted the retry budget and surfaced a transient
+    /// error to the caller.
+    FaultGaveUp,
+    /// Hardware counter wraparounds detected (and widened) by the portable
+    /// layer on substrates with counters narrower than 64 bits.
+    FaultWraps,
 }
 
 /// All counters, in slot order.  `COUNTERS[c as usize] == c` for every `c`.
@@ -115,6 +123,9 @@ pub const COUNTERS: &[Counter] = &[
     Counter::ThreadsRegistered,
     Counter::ThreadsUnregistered,
     Counter::CrossThreadDenied,
+    Counter::FaultRetries,
+    Counter::FaultGaveUp,
+    Counter::FaultWraps,
 ];
 
 /// Number of registry slots.
@@ -134,6 +145,7 @@ impl Counter {
             JournalRecords | JournalDropped => "journal",
             CyclesInRead | CyclesInStartStop | CyclesInMpxRotate => "cycles",
             ThreadsRegistered | ThreadsUnregistered | CrossThreadDenied => "threads",
+            FaultRetries | FaultGaveUp | FaultWraps => "fault",
         }
     }
 
@@ -171,6 +183,9 @@ impl Counter {
             ThreadsRegistered => "registered",
             ThreadsUnregistered => "unregistered",
             CrossThreadDenied => "cross_thread_denied",
+            FaultRetries => "retries",
+            FaultGaveUp => "gave_up",
+            FaultWraps => "wraps",
         }
     }
 

@@ -190,7 +190,7 @@ pub struct Machine {
 impl Machine {
     /// Build a machine for the given platform with a deterministic seed.
     pub fn new(spec: PlatformSpec, seed: u64) -> Self {
-        let pmu = Pmu::new(spec.num_counters);
+        let pmu = Pmu::with_width(spec.num_counters, spec.counter_bits);
         let l1d = Cache::new(spec.mem.l1d);
         let l1i = Cache::new(spec.mem.l1i);
         let l2 = Cache::new(spec.mem.l2);

@@ -105,6 +105,15 @@ pub struct PlatformSpec {
     pub model: &'static str,
     pub clock_mhz: u64,
     pub num_counters: usize,
+    /// Width, in bits, of the values the counter interface hands back.
+    /// The paper-era hardware registers were narrow (32-bit MIPS R10000 and
+    /// UltraSPARC counters, 40-bit Pentium MSRs, 47-bit Itanium PMDs); the
+    /// kernel interfaces these specs model virtualize them to full 64-bit
+    /// software counts, so the built-in platforms all report 64 and never
+    /// wrap.  Narrow the width (see [`PlatformSpec::with_counter_bits`]) to
+    /// model raw-register access: the PMU then wraps counts modulo
+    /// `2^counter_bits` and the portable layer above must widen.
+    pub counter_bits: u32,
     pub pipeline: PipelineCfg,
     pub mem: MemCfg,
     pub events: Vec<NativeEventDesc>,
@@ -136,6 +145,17 @@ impl PlatformSpec {
     /// Nanoseconds for a cycle count at this platform's clock.
     pub fn cycles_to_ns(&self, cycles: u64) -> u64 {
         cycles * 1000 / self.clock_mhz
+    }
+
+    /// Return a copy of the spec with the counter register width narrowed
+    /// to `bits` (1..=64).  Used by fault-injection and conformance tests to
+    /// model raw hardware registers (32-bit R10000/UltraSPARC, 40-bit
+    /// Pentium, 47-bit Itanium) whose counts wrap and must be widened by
+    /// the portable layer.
+    pub fn with_counter_bits(mut self, bits: u32) -> Self {
+        assert!((1..=64).contains(&bits), "counter width out of range");
+        self.counter_bits = bits;
+        self
     }
 }
 
@@ -288,6 +308,7 @@ pub fn sim_x86() -> PlatformSpec {
         model: "Simulated P6-class (Linux kernel-patch interface)",
         clock_mhz: 1000,
         num_counters: 4,
+        counter_bits: 64,
         pipeline: PipelineCfg {
             kind: PipelineKind::OutOfOrder { window: 32 },
             mispredict_penalty: 10,
@@ -414,6 +435,7 @@ pub fn sim_alpha() -> PlatformSpec {
         model: "Simulated 21264/Tru64 (DCPI/DADD + ProfileMe)",
         clock_mhz: 833,
         num_counters: 2,
+        counter_bits: 64,
         pipeline: PipelineCfg {
             kind: PipelineKind::OutOfOrder { window: 80 },
             mispredict_penalty: 14,
@@ -601,6 +623,7 @@ pub fn sim_power3() -> PlatformSpec {
         model: "Simulated POWER3/AIX (pmtoolkit, group allocation)",
         clock_mhz: 375,
         num_counters: 8,
+        counter_bits: 64,
         pipeline: PipelineCfg {
             kind: PipelineKind::OutOfOrder { window: 32 },
             mispredict_penalty: 8,
@@ -750,6 +773,7 @@ pub fn sim_ia64() -> PlatformSpec {
         model: "Simulated Itanium (perfmon + EARs)",
         clock_mhz: 800,
         num_counters: 4,
+        counter_bits: 64,
         pipeline: PipelineCfg {
             kind: PipelineKind::InOrder,
             mispredict_penalty: 6,
@@ -863,6 +887,7 @@ pub fn sim_t3e() -> PlatformSpec {
         model: "Simulated T3E node (21164, register-level access)",
         clock_mhz: 450,
         num_counters: 3,
+        counter_bits: 64,
         pipeline: PipelineCfg {
             kind: PipelineKind::InOrder,
             mispredict_penalty: 5,
@@ -996,6 +1021,7 @@ pub fn sim_generic() -> PlatformSpec {
         model: "Simulated generic OoO core",
         clock_mhz: 1000,
         num_counters: 4,
+        counter_bits: 64,
         pipeline: PipelineCfg {
             kind: PipelineKind::OutOfOrder { window: 32 },
             mispredict_penalty: 10,
@@ -1139,6 +1165,7 @@ pub fn sim_ultra() -> PlatformSpec {
         model: "Simulated UltraSPARC-II/Solaris (libcpc)",
         clock_mhz: 400,
         num_counters: 2,
+        counter_bits: 64,
         pipeline: PipelineCfg {
             kind: PipelineKind::InOrder,
             mispredict_penalty: 4,
@@ -1282,6 +1309,7 @@ pub fn sim_mips() -> PlatformSpec {
         model: "Simulated R10000/IRIX (strict counter partition)",
         clock_mhz: 195,
         num_counters: 2,
+        counter_bits: 64,
         pipeline: PipelineCfg {
             kind: PipelineKind::OutOfOrder { window: 32 },
             mispredict_penalty: 7,

@@ -260,11 +260,24 @@ pub struct Pmu {
     /// against the epoch they were captured under (see
     /// [`Pmu::restore_context`]).
     epoch: u64,
+    /// Register width in bits (1..=64). Narrow registers wrap: counts are
+    /// kept modulo `2^bits`, like the paper-era 32-bit R10000/UltraSPARC
+    /// and 40-bit Pentium counters. 64 means never wraps.
+    bits: u32,
+    /// `2^bits - 1`, precomputed (`u64::MAX` for 64-bit registers).
+    mask: u64,
 }
 
 impl Pmu {
     pub fn new(num_counters: usize) -> Self {
+        Self::with_width(num_counters, 64)
+    }
+
+    /// A PMU whose counter registers are `bits` wide (1..=64). Counts wrap
+    /// modulo `2^bits`; software above must widen them.
+    pub fn with_width(num_counters: usize, bits: u32) -> Self {
         assert!(num_counters > 0 && num_counters <= 32);
+        assert!((1..=64).contains(&bits), "counter width out of range");
         Pmu {
             counters: vec![None; num_counters],
             counts: vec![0; num_counters],
@@ -273,6 +286,33 @@ impl Pmu {
             pending_overflow: 0,
             sampling: None,
             epoch: 0,
+            bits,
+            mask: if bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            },
+        }
+    }
+
+    /// Register width in bits.
+    pub fn counter_bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// `2^bits - 1`: the largest value a register can hold.
+    pub fn counter_mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// Test hook: set counter `idx`'s register to `v` (masked to the
+    /// register width) and re-base any armed overflow threshold on it.
+    /// Lets wraparound tests start a register near saturation without
+    /// simulating `2^32` events.
+    pub fn preload(&mut self, idx: usize, v: u64) {
+        self.counts[idx] = v & self.mask;
+        if let Some(o) = &mut self.overflow[idx] {
+            o.next = self.counts[idx] + o.threshold;
         }
     }
 
@@ -364,14 +404,25 @@ impl Pmu {
             }
             for &(k, mult) in &p.kinds {
                 if k == kind {
-                    self.counts[i] += n * mult as u64;
+                    // Overflow crossings are detected on the unwrapped sum,
+                    // then the register wraps to its width; any armed
+                    // threshold is re-based by the same amount so crossings
+                    // keep firing at the right counts across a wrap.
+                    let s = self.counts[i] + n * mult as u64;
                     if let Some(o) = &mut self.overflow[i] {
-                        if self.counts[i] >= o.next {
+                        if s >= o.next {
                             self.pending_overflow |= 1 << i;
-                            let past = self.counts[i] - o.next;
+                            let past = s - o.next;
                             o.next += o.threshold * (past / o.threshold + 1);
                         }
                     }
+                    let wrapped = s & self.mask;
+                    if wrapped != s {
+                        if let Some(o) = &mut self.overflow[i] {
+                            o.next = o.next.saturating_sub(s - wrapped);
+                        }
+                    }
+                    self.counts[i] = wrapped;
                 }
             }
         }
@@ -723,6 +774,51 @@ mod tests {
         let ctx2 = p.save_context();
         p.restore_context(&ctx2);
         assert_eq!(p.read(0), 9);
+    }
+
+    #[test]
+    fn narrow_registers_wrap_at_width() {
+        let mut p = Pmu::with_width(1, 8); // 8-bit register: wraps at 256
+        assert_eq!(p.counter_bits(), 8);
+        assert_eq!(p.counter_mask(), 255);
+        p.program(0, Some((&ev(vec![(EventKind::Loads, 1)]), Domain::ALL)));
+        p.start();
+        p.record(EventKind::Loads, 250, false);
+        assert_eq!(p.read(0), 250);
+        p.record(EventKind::Loads, 10, false); // 260 -> wraps to 4
+        assert_eq!(p.read(0), 4);
+    }
+
+    #[test]
+    fn preload_biases_register_toward_wrap() {
+        let mut p = Pmu::with_width(1, 32);
+        p.program(0, Some((&ev(vec![(EventKind::Loads, 1)]), Domain::ALL)));
+        p.start();
+        p.preload(0, (1u64 << 32) - 3);
+        p.record(EventKind::Loads, 5, false);
+        assert_eq!(p.read(0), 2); // crossed the 32-bit boundary
+    }
+
+    #[test]
+    fn overflow_keeps_firing_across_wrap() {
+        let mut p = Pmu::with_width(1, 8);
+        p.program(0, Some((&ev(vec![(EventKind::Cycles, 1)]), Domain::ALL)));
+        p.set_overflow(0, Some(100));
+        p.start();
+        p.preload(0, 250);
+        // Armed at 250: next crossing at 350 (unwrapped), i.e. 94 after wrap.
+        p.record(EventKind::Cycles, 50, false); // register now 300&255 = 44
+        assert_eq!(p.take_overflows(), 0);
+        p.record(EventKind::Cycles, 50, false); // unwrapped 350: fires
+        assert_eq!(p.take_overflows(), 1);
+        assert_eq!(p.read(0), 94);
+    }
+
+    #[test]
+    fn full_width_pmu_never_wraps() {
+        let p = Pmu::new(1);
+        assert_eq!(p.counter_bits(), 64);
+        assert_eq!(p.counter_mask(), u64::MAX);
     }
 
     #[test]

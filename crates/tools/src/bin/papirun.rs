@@ -23,6 +23,8 @@ fn usage() -> ! {
     eprintln!("       papirun --list-substrates");
     eprintln!();
     eprintln!("  --substrate NAME   pick the backend by registry name (sim:x86, perfctr, ...)");
+    eprintln!("                     prefix fault: / fault[spec]: to wrap any backend in the");
+    eprintln!("                     fault-injection decorator (e.g. fault[chaos]:sim:x86)");
     eprintln!("  --self-stats       append the library's internal papi-obs counters to the report");
     eprintln!("  --self-stats-json  print the internal counters as a flat JSON object instead");
     eprintln!("  --overflow E=N     install a counting overflow handler on event E every N counts");

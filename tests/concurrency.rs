@@ -8,7 +8,7 @@
 //! reproduce from the seed in the assert message).
 
 use papi_suite::papi::threads::{PapiThread, TaggedSetId, ThreadedPapi, NUM_SHARDS};
-use papi_suite::papi::{Papi, PapiError, Preset, SimSubstrate};
+use papi_suite::papi::{Papi, PapiError, Preset, SimSubstrate, Substrate};
 use papi_suite::workloads::{random_program, RandomCfg};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -28,7 +28,7 @@ fn sim_pool() -> Arc<ThreadedPapi<SimSubstrate>> {
 /// The seeded per-thread workload: interleaved run/read_into/accum/reset
 /// traffic on one EventSet, returning the total counts it observed. Fully
 /// deterministic in (`seed`, the session's machine) — the replay oracle.
-fn drive(token: &PapiThread<SimSubstrate>, seed: u64) -> Vec<i64> {
+fn drive<S: Substrate + Send>(token: &PapiThread<S>, seed: u64) -> Vec<i64> {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1CE);
     let set = token.create_eventset();
     token
@@ -257,4 +257,46 @@ fn tagged_ids_expose_their_shard_and_stay_in_range() {
     assert_eq!(n, 0);
     token.destroy_eventset(set).unwrap();
     pool.unregister_thread(token).unwrap();
+}
+
+#[test]
+fn fault_decorated_sessions_count_identically_under_concurrency() {
+    // Smoke for the fault-injection decorator under concurrency: each
+    // registered thread gets a `fault[chaos]:` wrapped private substrate
+    // (seeded narrow wrapped counters, transient failure bursts, delayed
+    // deliveries). The retry and widening machinery is per-session state,
+    // so concurrent faulted sessions must produce exactly the counts of a
+    // clean single-threaded replay.
+    let seeds = [3u64, 101, 2048, 77];
+    let pool = Arc::new(ThreadedPapi::new(0, |seed| {
+        let reg = papi_suite::tools::full_registry();
+        let mut p = Papi::init_from_registry(&reg, "fault[chaos]:sim:generic", seed)?;
+        p.substrate_mut()
+            .load_program(random_program(seed, RandomCfg::default()))?;
+        Ok(p)
+    }));
+    let mut joins = Vec::new();
+    for &seed in &seeds {
+        let pool = pool.clone();
+        joins.push(std::thread::spawn(move || {
+            let token = pool.register_thread_seeded(seed).unwrap();
+            let totals = drive(&token, seed);
+            pool.unregister_thread(token).unwrap();
+            totals
+        }));
+    }
+    let faulted: Vec<Vec<i64>> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+
+    // Clean replay oracle: same seeds, fault-free substrates, one thread.
+    let clean_pool = sim_pool();
+    for (i, &seed) in seeds.iter().enumerate() {
+        let token = clean_pool.register_thread_seeded(seed).unwrap();
+        let totals = drive(&token, seed);
+        clean_pool.unregister_thread(token).unwrap();
+        assert!(totals.iter().any(|&t| t > 0), "seed {seed} counted nothing");
+        assert_eq!(
+            totals, faulted[i],
+            "seed {seed}: the fault decorator leaked into concurrent counts"
+        );
+    }
 }

@@ -1,0 +1,276 @@
+//! Fault-injection integration tests: the portable layer's graceful
+//! degradation, end to end.
+//!
+//! Each test runs a workload on a clean substrate and again behind the
+//! `fault:` decorator ([`papi_suite::papi::FaultSubstrate`]) with a seeded
+//! plan — narrow wrapping counters preloaded near saturation, transient
+//! call failures in bursts, delayed overflow delivery — and asserts the
+//! API-visible behaviour is indistinguishable: counts identical (widening),
+//! overflow deliveries identical (deferred-exit queueing), retries bounded
+//! and accounted in papi-obs.
+
+use papi_suite::obs::{Counter as ObsCounter, Obs};
+use papi_suite::papi::{
+    AppExit, BoxSubstrate, Papi, Preset, Substrate, SubstrateRegistry,
+    DEFAULT_TRANSIENT_RETRY_BUDGET,
+};
+use papi_suite::tools::full_registry;
+use papi_suite::workloads::dense_fp;
+
+/// Preload value 1296 counts below the 32-bit wrap: any workload with more
+/// events than that crosses the wrap mid-run.
+const NEAR_WRAP: &str = "fault[bits=32,preload=4294966000]:";
+
+fn session(reg: &SubstrateRegistry, name: &str, seed: u64) -> Papi<BoxSubstrate> {
+    let mut papi = Papi::init_from_registry(reg, name, seed).unwrap();
+    papi.substrate_mut()
+        .load_program(dense_fp(2_000, 2, 1).program)
+        .unwrap();
+    papi
+}
+
+/// Events that resolve on every builtin platform for a 2-counter set.
+fn add_portable_events(papi: &mut Papi<BoxSubstrate>) -> usize {
+    let set = papi.create_eventset();
+    papi.add_event(set, Preset::TotIns.code()).unwrap();
+    for p in [Preset::FpOps, Preset::LdIns, Preset::TotCyc] {
+        if papi.query_event(p.code()) && papi.add_event(set, p.code()).is_ok() {
+            break;
+        }
+    }
+    set
+}
+
+fn run_counts(reg: &SubstrateRegistry, name: &str) -> Vec<i64> {
+    let mut papi = session(reg, name, 7);
+    let set = add_portable_events(&mut papi);
+    // Group-allocated platforms may not offer the event pair in one group;
+    // fall back to counting TotIns alone there.
+    let set = match papi.start(set) {
+        Ok(()) => set,
+        Err(_) => {
+            let solo = papi.create_eventset();
+            papi.add_event(solo, Preset::TotIns.code()).unwrap();
+            papi.start(solo).unwrap();
+            solo
+        }
+    };
+    papi.run_app().unwrap();
+    papi.stop(set).unwrap()
+}
+
+#[test]
+fn counts_survive_32bit_wraparound_on_every_substrate() {
+    // The counters wrap mid-run (preloaded 1296 counts below 2^32); the
+    // widening layer must hand back exactly the fault-free totals, on all
+    // eight simulated platforms and the perfctr emulation.
+    let reg = full_registry();
+    for name in reg.names() {
+        let clean = run_counts(&reg, name);
+        let wrapped = run_counts(&reg, &format!("{NEAR_WRAP}{name}"));
+        assert_eq!(
+            clean, wrapped,
+            "{name}: counts diverged across a 32-bit counter wrap"
+        );
+    }
+}
+
+#[test]
+fn accum_chunks_survive_wraparound() {
+    // Accumulating in chunks re-baselines the widening state on every
+    // reset; the chunked totals must still equal the straight-line run.
+    let reg = full_registry();
+    let clean = run_counts(&reg, "sim:x86");
+    let mut papi = session(&reg, &format!("{NEAR_WRAP}sim:x86"), 7);
+    let set = add_portable_events(&mut papi);
+    let n = papi.num_events(set).unwrap();
+    papi.start(set).unwrap();
+    let mut totals = vec![0i64; n];
+    loop {
+        let exit = papi.run_for(3_000).unwrap();
+        papi.accum(set, &mut totals).unwrap();
+        if matches!(exit, AppExit::Halted) {
+            break;
+        }
+    }
+    let tail = papi.stop(set).unwrap();
+    for (t, v) in totals.iter_mut().zip(tail) {
+        *t += v;
+    }
+    assert_eq!(clean, totals, "accumulated totals diverged across the wrap");
+}
+
+#[test]
+fn multiplexed_estimates_survive_wraparound() {
+    // Multiplex estimation scales raw partition readings by active time;
+    // the raw deltas feeding it must be widened too, or a wrap poisons the
+    // estimate catastrophically (not just by estimation error).
+    let estimates = |name: &str| -> Vec<i64> {
+        let reg = full_registry();
+        let mut papi = Papi::init_from_registry(&reg, name, 7).unwrap();
+        papi.substrate_mut()
+            .load_program(dense_fp(60_000, 3, 1).program)
+            .unwrap();
+        let set = papi.create_eventset();
+        for p in [Preset::TotIns, Preset::FpOps, Preset::LdIns, Preset::SrIns] {
+            papi.add_event(set, p.code()).unwrap();
+        }
+        papi.set_multiplex(set).unwrap();
+        papi.set_multiplex_period(set, 10_000).unwrap();
+        papi.start(set).unwrap();
+        papi.run_app().unwrap();
+        papi.stop(set).unwrap()
+    };
+    let clean = estimates("sim:x86");
+    let wrapped = estimates(&format!("{NEAR_WRAP}sim:x86"));
+    for (c, w) in clean.iter().zip(&wrapped) {
+        let diff = (c - w).abs() as f64;
+        assert!(
+            diff <= 2.0 + 0.25 * (*c.max(w) as f64),
+            "multiplexed estimate diverged across the wrap: clean {clean:?} wrapped {wrapped:?}"
+        );
+        assert!(*w >= 0, "wrapped run produced a negative estimate: {w}");
+    }
+}
+
+#[test]
+fn delayed_overflow_delivers_exactly_once_with_gapless_journal() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let fires_on = |name: &str| -> (u64, i64) {
+        let reg = full_registry();
+        let mut papi = session(&reg, name, 7);
+        let obs = Obs::new();
+        obs.enable_journal(8192);
+        papi.attach_obs(obs.clone());
+        let set = papi.create_eventset();
+        papi.add_event(set, Preset::TotIns.code()).unwrap();
+        let fires = Arc::new(AtomicU64::new(0));
+        let f = Arc::clone(&fires);
+        papi.overflow(
+            set,
+            Preset::TotIns.code(),
+            1_000,
+            Box::new(move |_| {
+                f.fetch_add(1, Ordering::Relaxed);
+            }),
+        )
+        .unwrap();
+        papi.start(set).unwrap();
+        papi.run_app().unwrap();
+        let v = papi.stop(set).unwrap();
+
+        // The self-observation journal must be gapless: consecutive
+        // sequence numbers, nothing dropped, even while overflow exits are
+        // being deferred and retries are being recorded.
+        assert_eq!(obs.journal_dropped(), 0);
+        let records = obs.journal_records();
+        assert!(!records.is_empty());
+        for pair in records.windows(2) {
+            assert_eq!(
+                pair[1].seq,
+                pair[0].seq + 1,
+                "journal sequence gap on {name}"
+            );
+        }
+        (fires.load(Ordering::Relaxed), v[0])
+    };
+
+    let (clean_fires, clean_total) = fires_on("sim:x86");
+    assert!(clean_fires > 5, "workload too small to overflow");
+    // Delay every overflow delivery by a seeded 150..300 cycles and jitter
+    // the multiplex timer; every crossing must still be delivered exactly
+    // once before stop returns.
+    let (late_fires, late_total) = fires_on("fault[ovfdelay=150,jitter=120]:sim:x86");
+    assert_eq!(clean_total, late_total);
+    assert_eq!(
+        clean_fires, late_fires,
+        "delayed delivery dropped or duplicated an overflow"
+    );
+}
+
+#[test]
+fn transient_read_failures_are_retried_and_accounted() {
+    let reg = full_registry();
+    let clean = run_counts(&reg, "sim:x86");
+
+    let mut papi = session(&reg, "fault[read=3,start=2,stop=2,burst=2]:sim:x86", 7);
+    let obs = Obs::new();
+    papi.attach_obs(obs.clone());
+    let set = add_portable_events(&mut papi);
+    papi.start(set).unwrap();
+    loop {
+        if matches!(papi.run_for(2_000).unwrap(), AppExit::Halted) {
+            break;
+        }
+        papi.read(set).unwrap();
+    }
+    let v = papi.stop(set).unwrap();
+    assert_eq!(clean, v, "retried reads changed the counts");
+    assert!(
+        obs.get(ObsCounter::FaultRetries) > 0,
+        "the fault schedule never tripped a retry"
+    );
+    assert_eq!(
+        obs.get(ObsCounter::FaultGaveUp),
+        0,
+        "bursts within the budget must never give up"
+    );
+}
+
+#[test]
+fn permanent_failure_gives_up_after_bounded_budget() {
+    // read period 1 = every read call fails: the retry loop must give up
+    // after exactly the configured budget and surface the transient error
+    // (PAPI_EMISC), with the give-up accounted in papi-obs.
+    let reg = full_registry();
+    let mut papi = session(&reg, "fault[read=1]:sim:x86", 7);
+    let obs = Obs::new();
+    papi.attach_obs(obs.clone());
+    let set = add_portable_events(&mut papi);
+    papi.start(set).unwrap();
+    let err = papi.read(set).unwrap_err();
+    assert!(err.is_transient(), "expected a transient error, got {err}");
+    assert_eq!(
+        obs.get(ObsCounter::FaultRetries),
+        DEFAULT_TRANSIENT_RETRY_BUDGET as u64
+    );
+    assert!(obs.get(ObsCounter::FaultGaveUp) >= 1);
+
+    // A zero budget disables retrying entirely.
+    let mut papi = session(&reg, "fault[read=1]:sim:x86", 7);
+    let obs = Obs::new();
+    papi.attach_obs(obs.clone());
+    papi.set_transient_retry_budget(0);
+    let set = add_portable_events(&mut papi);
+    papi.start(set).unwrap();
+    assert!(papi.read(set).is_err());
+    assert_eq!(obs.get(ObsCounter::FaultRetries), 0);
+    assert!(obs.get(ObsCounter::FaultGaveUp) >= 1);
+}
+
+#[test]
+fn chaos_schedule_is_fully_absorbed_end_to_end() {
+    // The kitchen-sink plan (seeded narrow counters, preload, transient
+    // bursts, delayed overflow, timer jitter) must be invisible in the
+    // final counts on several seeds.
+    let reg = full_registry();
+    for seed in [11, 12, 13] {
+        let run = |name: &str| -> Vec<i64> {
+            let mut papi = Papi::init_from_registry(&reg, name, seed).unwrap();
+            papi.substrate_mut()
+                .load_program(dense_fp(2_000, 2, 1).program)
+                .unwrap();
+            let set = add_portable_events(&mut papi);
+            papi.start(set).unwrap();
+            papi.run_app().unwrap();
+            papi.stop(set).unwrap()
+        };
+        assert_eq!(
+            run("sim:x86"),
+            run("fault[chaos]:sim:x86"),
+            "chaos seed {seed} leaked into the counts"
+        );
+    }
+}

@@ -269,3 +269,28 @@ fn papirun_self_stats_multiplexed_snapshot() {
     let rotations = snap.get("mpx", "rotations").unwrap();
     assert!(json.contains(&format!("\"mpx.rotations\": {rotations}")));
 }
+
+#[test]
+fn papirun_through_the_fault_decorator_matches_clean_counts() {
+    // `papirun --substrate fault[...]:NAME`: the registry wraps any backend
+    // in the fault-injection decorator; wrapped 32-bit counters, transient
+    // failure bursts and delayed deliveries must not change the reported
+    // instruction counts.
+    use papi_suite::tools::papirun::papirun_named;
+    let w = matmul(12);
+    let names = ["PAPI_TOT_CYC", "PAPI_TOT_INS"];
+    let opts = RunOptions {
+        seed: 4,
+        ..RunOptions::default()
+    };
+    let direct = papirun_with(&sim_x86(), &w, &names, &opts).unwrap();
+    for sub in [
+        "fault:sim:x86",
+        "fault[bits=32,preload=4294966000]:sim:x86",
+        "fault[chaos]:sim:x86",
+        "fault[chaos]:perfctr",
+    ] {
+        let rep = papirun_named(sub, &w, &names, &opts).unwrap();
+        assert_eq!(rep.rows[1], direct.rows[1], "{sub}");
+    }
+}
