@@ -1,0 +1,182 @@
+//! Fixed-ring time-series buckets with eviction-immune lifetime totals.
+//!
+//! Each series owns a ring of `windows` fixed-width time windows.  Virtual
+//! time `cycles` maps to window index `cycles / window_cycles`, which maps
+//! to ring slot `window % windows`.  The ring never grows: when a newer
+//! window claims a slot still holding an older non-empty window, the old
+//! window is *evicted* (counted, never silent); a frame older than the
+//! whole ring is *stale* and contributes to the lifetime total only.
+//!
+//! The lifetime total is updated on every applied delta regardless of
+//! window outcome, so aggregate reconciliation ("daemon total == replay
+//! total") is immune to eviction and staleness — those only limit how much
+//! *windowed* history a query can see, which is exactly the bounded-memory
+//! contract.
+
+/// What happened to a delta applied at some virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowOutcome {
+    /// Landed in a live window (possibly creating it in an empty slot).
+    Applied,
+    /// Landed in a new window after evicting an older non-empty one.
+    Evicted,
+    /// Older than the ring horizon; lifetime total only.
+    Stale,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct WindowSlot {
+    /// Window index this slot currently holds.
+    window: u64,
+    /// Accumulated value within the window.
+    value: u64,
+    /// Whether the slot holds a live window at all.
+    occupied: bool,
+}
+
+/// One series' windowed history plus its lifetime total.
+#[derive(Debug)]
+pub struct SeriesRing {
+    window_cycles: u64,
+    slots: Vec<WindowSlot>,
+    lifetime: u64,
+    /// Highest window index ever seen (the staleness horizon).
+    latest: u64,
+    any: bool,
+}
+
+impl SeriesRing {
+    /// A ring of `windows` windows, each `window_cycles` wide.
+    pub fn new(window_cycles: u64, windows: usize) -> Self {
+        SeriesRing {
+            window_cycles: window_cycles.max(1),
+            slots: vec![WindowSlot::default(); windows.max(1)],
+            lifetime: 0,
+            latest: 0,
+            any: false,
+        }
+    }
+
+    /// Window index for a virtual time.
+    #[inline]
+    pub fn window_of(&self, cycles: u64) -> u64 {
+        cycles / self.window_cycles
+    }
+
+    /// Apply a counter delta observed at `cycles`.  Never allocates.
+    #[inline]
+    pub fn apply(&mut self, cycles: u64, delta: u64) -> WindowOutcome {
+        self.lifetime = self.lifetime.wrapping_add(delta);
+        let w = self.window_of(cycles);
+        if self.any && w + (self.slots.len() as u64) <= self.latest {
+            return WindowOutcome::Stale;
+        }
+        if !self.any || w > self.latest {
+            self.latest = w;
+            self.any = true;
+        }
+        let n = self.slots.len() as u64;
+        let slot = &mut self.slots[(w % n) as usize];
+        if slot.occupied && slot.window == w {
+            slot.value = slot.value.wrapping_add(delta);
+            WindowOutcome::Applied
+        } else {
+            let evicted = slot.occupied && slot.value != 0;
+            slot.window = w;
+            slot.value = delta;
+            slot.occupied = true;
+            if evicted {
+                WindowOutcome::Evicted
+            } else {
+                WindowOutcome::Applied
+            }
+        }
+    }
+
+    /// Lifetime total of every applied delta (eviction-immune).
+    pub fn lifetime_total(&self) -> u64 {
+        self.lifetime
+    }
+
+    /// Sum over the live windows still in the ring.
+    pub fn windowed_total(&self) -> u64 {
+        self.slots
+            .iter()
+            .filter(|s| s.occupied)
+            .map(|s| s.value)
+            .sum()
+    }
+
+    /// Live `(window_start_cycles, value)` pairs, oldest first.
+    pub fn windows(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self
+            .slots
+            .iter()
+            .filter(|s| s.occupied)
+            .map(|s| (s.window * self.window_cycles, s.value))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Approximate heap + inline footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.slots.len() * std::mem::size_of::<WindowSlot>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_accumulate_within_a_window() {
+        let mut r = SeriesRing::new(100, 4);
+        assert_eq!(r.apply(10, 5), WindowOutcome::Applied);
+        assert_eq!(r.apply(90, 7), WindowOutcome::Applied);
+        assert_eq!(r.apply(150, 1), WindowOutcome::Applied);
+        assert_eq!(r.lifetime_total(), 13);
+        assert_eq!(r.windowed_total(), 13);
+        assert_eq!(r.windows(), vec![(0, 12), (100, 1)]);
+    }
+
+    #[test]
+    fn old_windows_are_evicted_not_grown() {
+        let mut r = SeriesRing::new(100, 2);
+        r.apply(0, 1); // window 0
+        r.apply(100, 2); // window 1
+                         // Window 2 reuses slot 0 and evicts window 0.
+        assert_eq!(r.apply(200, 4), WindowOutcome::Evicted);
+        assert_eq!(r.windows(), vec![(100, 2), (200, 4)]);
+        // Lifetime keeps the evicted value.
+        assert_eq!(r.lifetime_total(), 7);
+        assert_eq!(r.windowed_total(), 6);
+    }
+
+    #[test]
+    fn frames_older_than_the_ring_are_stale_but_counted() {
+        let mut r = SeriesRing::new(100, 2);
+        r.apply(500, 10); // window 5
+        assert_eq!(r.apply(0, 3), WindowOutcome::Stale);
+        assert_eq!(r.lifetime_total(), 13);
+        assert_eq!(r.windowed_total(), 10);
+        // A window inside the horizon (window 4) still applies.
+        assert_eq!(r.apply(400, 1), WindowOutcome::Applied);
+        assert_eq!(r.windows(), vec![(400, 1), (500, 10)]);
+    }
+
+    #[test]
+    fn reordered_deltas_commute() {
+        let mut a = SeriesRing::new(100, 8);
+        let mut b = SeriesRing::new(100, 8);
+        let frames = [(10u64, 1u64), (250, 2), (120, 4), (30, 8), (700, 16)];
+        for &(c, d) in &frames {
+            a.apply(c, d);
+        }
+        for &(c, d) in frames.iter().rev() {
+            b.apply(c, d);
+        }
+        assert_eq!(a.lifetime_total(), b.lifetime_total());
+        assert_eq!(a.windows(), b.windows());
+    }
+}

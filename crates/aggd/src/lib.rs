@@ -1,0 +1,76 @@
+//! papi-aggd: a multi-tenant counter aggregation daemon.
+//!
+//! The paper's end-state for hardware counters is not one process reading
+//! its own registers — it is a fleet: thousands of monitored sessions
+//! streaming counter deltas into a shared service that answers "what is
+//! tenant X's FP-op rate, and what does its read-latency tail look like?"
+//! This crate is that service, built on the suite's own observability
+//! primitives:
+//!
+//! * **Exactly-once ingestion** ([`tenant`]): every source stream carries
+//!   gapless sequence numbers; an IPsec-style anti-replay window detects
+//!   duplicates and reordering, so a retried frame is *never* applied
+//!   twice and a late frame is applied exactly once.  Counter deltas
+//!   commute, which is what makes out-of-order application sound.
+//! * **Bounded state** ([`bucket`]): per-series time buckets live in a
+//!   fixed ring of windows; lifetime totals are kept separately so window
+//!   eviction never corrupts aggregate reconciliation.  Per-tenant frame
+//!   quotas backpressure runaway sources.  Nothing is dropped silently:
+//!   every shed frame or evicted window increments an `aggd.*` counter in
+//!   the daemon's own [`papi_obs`] registry.
+//! * **Histograms**: latency distributions travel as sparse
+//!   `(bucket, count)` pairs and merge into per-series
+//!   [`papi_obs::LogHistogram`]s, so p50/p95/p99 are served without the
+//!   daemon ever seeing raw samples.
+//! * **Serving surface** ([`server`], [`proto`]): a length-prefixed wire
+//!   protocol over a local TCP socket carries both the ingest stream and
+//!   queries; scrapes reuse the [`papi_obs::export::exposition`] writer so
+//!   the output validates as Prometheus text exposition format.
+//!
+//! [`workload`] is the correctness harness: a seeded multi-tenant
+//! generator whose aggregate totals must reconcile exactly against a
+//! sequential replay, including under `fault[chaos]:` substrates.
+
+pub mod aggregator;
+pub mod bucket;
+pub mod proto;
+pub mod push;
+pub mod server;
+pub mod tenant;
+pub mod workload;
+
+pub use aggregator::{AggdConfig, AggdStats, Aggregator, ConnCtx, SeriesQuantiles, SeriesSum};
+pub use proto::{Frame, FrameBuf, ProtoError};
+pub use push::SnapshotPusher;
+pub use server::{AggdClient, AggdServer};
+pub use tenant::{IngestOutcome, Tenant};
+pub use workload::{reconcile, run_workload, ReconcileReport, WorkloadCfg, WorkloadReport};
+
+/// Extract `"key":<u64>` from a flat hand-rendered JSON object.
+///
+/// The vendored serde_json stub cannot parse offline, and every JSON
+/// document this crate emits is flat `{"key":uint,...}`, so a scan is a
+/// faithful round-trip reader for tests and CLI consumers.
+pub fn json_get_u64(doc: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = &doc[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json_get_u64;
+
+    #[test]
+    fn json_get_u64_reads_flat_documents() {
+        let doc = r#"{"a":1,"b.c":42,"d":0}"#;
+        assert_eq!(json_get_u64(doc, "a"), Some(1));
+        assert_eq!(json_get_u64(doc, "b.c"), Some(42));
+        assert_eq!(json_get_u64(doc, "d"), Some(0));
+        assert_eq!(json_get_u64(doc, "missing"), None);
+    }
+}

@@ -1,0 +1,465 @@
+//! Length-prefixed wire protocol for ingest and queries.
+//!
+//! Every message on the socket is `u32le length` followed by `length`
+//! payload bytes; the first payload byte is the opcode.  Ingest opcodes
+//! (`< 16`) are fire-and-forget so a pusher never blocks on the daemon;
+//! [`OP_FLUSH`] and the query opcodes (`>= 16`) are request/response and
+//! double as ordering barriers (the server processes each connection's
+//! messages in order).
+//!
+//! Decoding borrows from the receive buffer — [`Frame`] holds `&str` /
+//! iterator views, never owned copies — and encoding reuses one
+//! [`FrameBuf`], so a steady-state snapshot frame costs zero heap
+//! allocations on both ends of the socket.
+
+use std::fmt;
+
+/// Bind a connection-local tenant id to a tenant name (registers it).
+pub const OP_BIND_TENANT: u8 = 1;
+/// Bind a connection-local series id to a series name under a tenant.
+pub const OP_REG_SERIES: u8 = 2;
+/// Counter-delta frame for one source at one virtual time.
+pub const OP_SNAPSHOT: u8 = 3;
+/// Histogram bucket-delta frame for one series.
+pub const OP_HIST: u8 = 4;
+/// Declare a source stream finished (gapless check happens here).
+pub const OP_CLOSE_SOURCE: u8 = 5;
+/// Barrier: server acknowledges once everything before it is applied.
+pub const OP_FLUSH: u8 = 6;
+
+/// Query: windowed values for one (tenant, series).
+pub const OP_QUERY_SERIES: u8 = 16;
+/// Query: lifetime and windowed totals for one (tenant, series).
+pub const OP_QUERY_SUM: u8 = 17;
+/// Query: latency quantiles for one (tenant, series).
+pub const OP_QUERY_QUANTILES: u8 = 18;
+/// Query: full Prometheus text exposition scrape.
+pub const OP_SCRAPE: u8 = 19;
+/// Query: daemon self-metrics as flat JSON.
+pub const OP_STATS: u8 = 20;
+
+/// Response status: success.
+pub const STATUS_OK: u8 = 0;
+/// Response status: unknown tenant or series.
+pub const STATUS_NOT_FOUND: u8 = 1;
+/// Response status: malformed request.
+pub const STATUS_BAD_REQUEST: u8 = 2;
+
+/// A malformed wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(pub &'static str);
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Borrowed iterator over `(u16, u64)` pairs in a frame body.
+#[derive(Debug, Clone, Copy)]
+pub struct PairIter<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Iterator for PairIter<'a> {
+    type Item = (u16, u64);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u16, u64)> {
+        if self.buf.len() < 10 {
+            return None;
+        }
+        let k = u16::from_le_bytes([self.buf[0], self.buf[1]]);
+        let mut v = [0u8; 8];
+        v.copy_from_slice(&self.buf[2..10]);
+        self.buf = &self.buf[10..];
+        Some((k, u64::from_le_bytes(v)))
+    }
+}
+
+/// One decoded message, borrowing from the receive buffer.
+#[derive(Debug, Clone)]
+pub enum Frame<'a> {
+    /// [`OP_BIND_TENANT`]
+    BindTenant {
+        /// Connection-local tenant id being bound.
+        tid: u16,
+        /// Tenant name.
+        name: &'a str,
+    },
+    /// [`OP_REG_SERIES`]
+    RegSeries {
+        /// Bound tenant id.
+        tid: u16,
+        /// Connection-local series id being bound.
+        sid: u16,
+        /// Series name.
+        name: &'a str,
+    },
+    /// [`OP_SNAPSHOT`]
+    Snapshot {
+        /// Bound tenant id.
+        tid: u16,
+        /// Source stream id (unique per monitored session).
+        source: u64,
+        /// Gapless per-source sequence number (starts at 0).
+        seq: u64,
+        /// Virtual time of the frame (window assignment).
+        cycles: u64,
+        /// `(sid, delta)` pairs.
+        deltas: PairIter<'a>,
+    },
+    /// [`OP_HIST`]
+    Hist {
+        /// Bound tenant id.
+        tid: u16,
+        /// Bound series id the histogram belongs to.
+        sid: u16,
+        /// Source stream id.
+        source: u64,
+        /// Gapless per-source sequence number (shared with snapshots).
+        seq: u64,
+        /// Virtual time of the frame.
+        cycles: u64,
+        /// `(bucket, count)` pairs.
+        buckets: PairIter<'a>,
+    },
+    /// [`OP_CLOSE_SOURCE`]
+    CloseSource {
+        /// Bound tenant id.
+        tid: u16,
+        /// Source stream id.
+        source: u64,
+        /// Total unique frames the source claims to have sent.
+        frames_sent: u64,
+        /// Whether the source considers its stream complete.
+        complete: bool,
+    },
+    /// [`OP_FLUSH`]
+    Flush,
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        let (&v, rest) = self.buf.split_first().ok_or(ProtoError("truncated u8"))?;
+        self.buf = rest;
+        Ok(v)
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        if self.buf.len() < 2 {
+            return Err(ProtoError("truncated u16"));
+        }
+        let v = u16::from_le_bytes([self.buf[0], self.buf[1]]);
+        self.buf = &self.buf[2..];
+        Ok(v)
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        if self.buf.len() < 8 {
+            return Err(ProtoError("truncated u64"));
+        }
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.buf[..8]);
+        self.buf = &self.buf[8..];
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn str(&mut self) -> Result<&'a str, ProtoError> {
+        let len = self.u16()? as usize;
+        if self.buf.len() < len {
+            return Err(ProtoError("truncated string"));
+        }
+        let s = std::str::from_utf8(&self.buf[..len]).map_err(|_| ProtoError("invalid utf-8"))?;
+        self.buf = &self.buf[len..];
+        Ok(s)
+    }
+
+    fn pairs(&mut self) -> Result<PairIter<'a>, ProtoError> {
+        let n = self.u16()? as usize;
+        if self.buf.len() < n * 10 {
+            return Err(ProtoError("truncated pair list"));
+        }
+        let it = PairIter {
+            buf: &self.buf[..n * 10],
+        };
+        self.buf = &self.buf[n * 10..];
+        Ok(it)
+    }
+}
+
+/// Decode one ingest-side payload (the bytes after the length prefix).
+pub fn decode(payload: &[u8]) -> Result<Frame<'_>, ProtoError> {
+    let mut c = Cursor { buf: payload };
+    match c.u8()? {
+        OP_BIND_TENANT => Ok(Frame::BindTenant {
+            tid: c.u16()?,
+            name: c.str()?,
+        }),
+        OP_REG_SERIES => Ok(Frame::RegSeries {
+            tid: c.u16()?,
+            sid: c.u16()?,
+            name: c.str()?,
+        }),
+        OP_SNAPSHOT => Ok(Frame::Snapshot {
+            tid: c.u16()?,
+            source: c.u64()?,
+            seq: c.u64()?,
+            cycles: c.u64()?,
+            deltas: c.pairs()?,
+        }),
+        OP_HIST => Ok(Frame::Hist {
+            tid: c.u16()?,
+            sid: c.u16()?,
+            source: c.u64()?,
+            seq: c.u64()?,
+            cycles: c.u64()?,
+            buckets: c.pairs()?,
+        }),
+        OP_CLOSE_SOURCE => Ok(Frame::CloseSource {
+            tid: c.u16()?,
+            source: c.u64()?,
+            frames_sent: c.u64()?,
+            complete: c.u8()? != 0,
+        }),
+        OP_FLUSH => Ok(Frame::Flush),
+        _ => Err(ProtoError("unknown opcode")),
+    }
+}
+
+/// Reusable encoder: each method rebuilds the buffer in place (no
+/// steady-state allocation once the buffer has grown to working size) and
+/// returns the complete length-prefixed message ready to write.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+}
+
+impl FrameBuf {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        FrameBuf { buf: Vec::new() }
+    }
+
+    fn begin(&mut self, op: u8) {
+        self.buf.clear();
+        self.buf.extend_from_slice(&[0, 0, 0, 0]);
+        self.buf.push(op);
+    }
+
+    fn finish(&mut self) -> &[u8] {
+        let len = (self.buf.len() - 4) as u32;
+        self.buf[..4].copy_from_slice(&len.to_le_bytes());
+        &self.buf
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_str(&mut self, s: &str) {
+        self.put_u16(s.len() as u16);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Encode [`OP_BIND_TENANT`].
+    pub fn bind_tenant(&mut self, tid: u16, name: &str) -> &[u8] {
+        self.begin(OP_BIND_TENANT);
+        self.put_u16(tid);
+        self.put_str(name);
+        self.finish()
+    }
+
+    /// Encode [`OP_REG_SERIES`].
+    pub fn reg_series(&mut self, tid: u16, sid: u16, name: &str) -> &[u8] {
+        self.begin(OP_REG_SERIES);
+        self.put_u16(tid);
+        self.put_u16(sid);
+        self.put_str(name);
+        self.finish()
+    }
+
+    /// Encode [`OP_SNAPSHOT`].
+    pub fn snapshot(
+        &mut self,
+        tid: u16,
+        source: u64,
+        seq: u64,
+        cycles: u64,
+        deltas: &[(u16, u64)],
+    ) -> &[u8] {
+        self.begin(OP_SNAPSHOT);
+        self.put_u16(tid);
+        self.put_u64(source);
+        self.put_u64(seq);
+        self.put_u64(cycles);
+        self.put_u16(deltas.len() as u16);
+        for &(sid, d) in deltas {
+            self.put_u16(sid);
+            self.put_u64(d);
+        }
+        self.finish()
+    }
+
+    /// Encode [`OP_HIST`].
+    pub fn hist(
+        &mut self,
+        tid: u16,
+        sid: u16,
+        source: u64,
+        seq: u64,
+        cycles: u64,
+        buckets: &[(u16, u64)],
+    ) -> &[u8] {
+        self.begin(OP_HIST);
+        self.put_u16(tid);
+        self.put_u16(sid);
+        self.put_u64(source);
+        self.put_u64(seq);
+        self.put_u64(cycles);
+        self.put_u16(buckets.len() as u16);
+        for &(b, n) in buckets {
+            self.put_u16(b);
+            self.put_u64(n);
+        }
+        self.finish()
+    }
+
+    /// Encode [`OP_CLOSE_SOURCE`].
+    pub fn close_source(
+        &mut self,
+        tid: u16,
+        source: u64,
+        frames_sent: u64,
+        complete: bool,
+    ) -> &[u8] {
+        self.begin(OP_CLOSE_SOURCE);
+        self.put_u16(tid);
+        self.put_u64(source);
+        self.put_u64(frames_sent);
+        self.buf.push(complete as u8);
+        self.finish()
+    }
+
+    /// Encode [`OP_FLUSH`].
+    pub fn flush(&mut self) -> &[u8] {
+        self.begin(OP_FLUSH);
+        self.finish()
+    }
+
+    /// Encode [`OP_QUERY_SERIES`] / [`OP_QUERY_SUM`] / [`OP_QUERY_QUANTILES`].
+    pub fn query(&mut self, op: u8, tenant: &str, series: &str) -> &[u8] {
+        self.begin(op);
+        self.put_str(tenant);
+        self.put_str(series);
+        self.finish()
+    }
+
+    /// Encode a bare request ([`OP_SCRAPE`] / [`OP_STATS`]).
+    pub fn bare(&mut self, op: u8) -> &[u8] {
+        self.begin(op);
+        self.finish()
+    }
+}
+
+/// Decode a query request's `(tenant, series)` operands.
+pub fn decode_query(payload: &[u8]) -> Result<(u8, &str, &str), ProtoError> {
+    let mut c = Cursor { buf: payload };
+    let op = c.u8()?;
+    let tenant = c.str()?;
+    let series = c.str()?;
+    Ok((op, tenant, series))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_roundtrip_borrows() {
+        let mut fb = FrameBuf::new();
+        let msg = fb.snapshot(3, 77, 9, 12_345, &[(0, 10), (2, 500)]);
+        assert_eq!(
+            u32::from_le_bytes(msg[..4].try_into().unwrap()) as usize,
+            msg.len() - 4
+        );
+        match decode(&msg[4..]).unwrap() {
+            Frame::Snapshot {
+                tid,
+                source,
+                seq,
+                cycles,
+                deltas,
+            } => {
+                assert_eq!((tid, source, seq, cycles), (3, 77, 9, 12_345));
+                let pairs: Vec<_> = deltas.collect();
+                assert_eq!(pairs, vec![(0, 10), (2, 500)]);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_ops_roundtrip() {
+        let mut fb = FrameBuf::new();
+        let msg = fb.bind_tenant(1, "web").to_vec();
+        assert!(matches!(
+            decode(&msg[4..]).unwrap(),
+            Frame::BindTenant {
+                tid: 1,
+                name: "web"
+            }
+        ));
+        let msg = fb.reg_series(1, 4, "papi.tot_ins").to_vec();
+        assert!(matches!(
+            decode(&msg[4..]).unwrap(),
+            Frame::RegSeries {
+                tid: 1,
+                sid: 4,
+                name: "papi.tot_ins"
+            }
+        ));
+        let msg = fb.hist(1, 4, 9, 2, 100, &[(5, 3)]).to_vec();
+        match decode(&msg[4..]).unwrap() {
+            Frame::Hist { buckets, .. } => {
+                assert_eq!(buckets.collect::<Vec<_>>(), vec![(5, 3)]);
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+        let msg = fb.close_source(1, 9, 10, true).to_vec();
+        assert!(matches!(
+            decode(&msg[4..]).unwrap(),
+            Frame::CloseSource {
+                tid: 1,
+                source: 9,
+                frames_sent: 10,
+                complete: true
+            }
+        ));
+        let msg = fb.flush().to_vec();
+        assert!(matches!(decode(&msg[4..]).unwrap(), Frame::Flush));
+        let msg = fb.query(OP_QUERY_SUM, "t", "s").to_vec();
+        assert_eq!(decode_query(&msg[4..]).unwrap(), (OP_QUERY_SUM, "t", "s"));
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut fb = FrameBuf::new();
+        let msg = fb.snapshot(3, 77, 9, 12_345, &[(0, 10)]).to_vec();
+        for cut in 5..msg.len() {
+            assert!(decode(&msg[4..cut]).is_err(), "cut={cut}");
+        }
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[99]).is_err());
+    }
+}

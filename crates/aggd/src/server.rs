@@ -1,0 +1,433 @@
+//! Socket transport: a local TCP listener in front of the [`Aggregator`],
+//! and the matching client.
+//!
+//! Each connection gets its own OS thread and its own [`ConnCtx`] binding
+//! table.  Messages are processed strictly in arrival order per
+//! connection, which is what makes [`AggdClient::flush`] an ordering
+//! barrier: once the flush acks, every frame written before it has been
+//! applied.  Receive buffers are reused across messages, so the
+//! steady-state per-frame server cost is one read and one aggregator
+//! apply — no allocation.
+
+use crate::aggregator::{Aggregator, ConnCtx};
+use crate::proto::{self, FrameBuf};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running daemon: aggregator core + listener + connection threads.
+pub struct AggdServer {
+    agg: Arc<Aggregator>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl AggdServer {
+    /// Bind and start serving.  Use `"127.0.0.1:0"` for an ephemeral port
+    /// (read it back with [`AggdServer::local_addr`]).
+    pub fn bind(addr: &str, agg: Aggregator) -> io::Result<AggdServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let agg = Arc::new(agg);
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let agg = Arc::clone(&agg);
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let agg = Arc::clone(&agg);
+                    let stop = Arc::clone(&stop);
+                    let h = std::thread::spawn(move || serve_conn(stream, &agg, &stop));
+                    conns.lock().unwrap().push(h);
+                }
+            })
+        };
+        Ok(AggdServer {
+            agg,
+            addr: local,
+            stop,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The aggregator behind the socket (for in-process inspection).
+    pub fn aggregator(&self) -> &Arc<Aggregator> {
+        &self.agg
+    }
+
+    /// Stop accepting, drain connection threads, and shut down.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        if self.accept.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conns.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for AggdServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+enum ReadStatus {
+    /// Buffer filled completely.
+    Done,
+    /// Connection closed (or stop requested, or hard error): end the
+    /// connection.
+    Closed,
+}
+
+/// Fill `buf` completely, preserving partial progress across read
+/// timeouts (timeouts exist only to poll the stop flag — a mid-message
+/// timeout must never discard already-consumed bytes, or the stream
+/// mis-frames).
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> ReadStatus {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return ReadStatus::Closed,
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return ReadStatus::Closed;
+                }
+            }
+            Err(_) => return ReadStatus::Closed,
+        }
+    }
+    ReadStatus::Done
+}
+
+fn serve_conn(mut stream: TcpStream, agg: &Aggregator, stop: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut ctx = ConnCtx::new();
+    let mut payload: Vec<u8> = Vec::with_capacity(4096);
+    let mut resp: Vec<u8> = Vec::with_capacity(4096);
+    let mut header = [0u8; 4];
+    loop {
+        if let ReadStatus::Closed = read_full(&mut stream, &mut header, stop) {
+            break;
+        }
+        let len = u32::from_le_bytes(header) as usize;
+        payload.clear();
+        payload.resize(len, 0);
+        if let ReadStatus::Closed = read_full(&mut stream, &mut payload, stop) {
+            break;
+        }
+        let op = payload.first().copied().unwrap_or(0);
+        if op >= 16 {
+            resp.clear();
+            resp.extend_from_slice(&[0, 0, 0, 0]);
+            agg.serve_query(&payload, &mut resp);
+            let len = (resp.len() - 4) as u32;
+            resp[..4].copy_from_slice(&len.to_le_bytes());
+            if stream.write_all(&resp).is_err() {
+                break;
+            }
+        } else {
+            let _ = agg.ingest(&mut ctx, &payload);
+            if op == proto::OP_FLUSH {
+                resp.clear();
+                resp.extend_from_slice(&1u32.to_le_bytes());
+                resp.push(proto::STATUS_OK);
+                if stream.write_all(&resp).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Client side of the wire protocol: encodes with a reusable [`FrameBuf`]
+/// and reads length-prefixed responses.
+pub struct AggdClient {
+    stream: TcpStream,
+    fb: FrameBuf,
+    resp: Vec<u8>,
+}
+
+impl AggdClient {
+    /// Connect to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<AggdClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(AggdClient {
+            stream,
+            fb: FrameBuf::new(),
+            resp: Vec::new(),
+        })
+    }
+
+    /// Bind a connection-local tenant id.
+    pub fn bind_tenant(&mut self, tid: u16, name: &str) -> io::Result<()> {
+        let msg = self.fb.bind_tenant(tid, name);
+        self.stream.write_all(msg)
+    }
+
+    /// Bind a connection-local series id under a tenant.
+    pub fn reg_series(&mut self, tid: u16, sid: u16, name: &str) -> io::Result<()> {
+        let msg = self.fb.reg_series(tid, sid, name);
+        self.stream.write_all(msg)
+    }
+
+    /// Send one counter-delta frame (fire-and-forget).
+    pub fn snapshot(
+        &mut self,
+        tid: u16,
+        source: u64,
+        seq: u64,
+        cycles: u64,
+        deltas: &[(u16, u64)],
+    ) -> io::Result<()> {
+        let msg = self.fb.snapshot(tid, source, seq, cycles, deltas);
+        self.stream.write_all(msg)
+    }
+
+    /// Send one pre-encoded message verbatim (duplication/replay testing).
+    pub fn send_raw(&mut self, msg: &[u8]) -> io::Result<()> {
+        self.stream.write_all(msg)
+    }
+
+    /// Encode a snapshot frame without sending it (for later
+    /// [`AggdClient::send_raw`], e.g. to inject duplicates).
+    pub fn encode_snapshot(
+        &mut self,
+        tid: u16,
+        source: u64,
+        seq: u64,
+        cycles: u64,
+        deltas: &[(u16, u64)],
+    ) -> Vec<u8> {
+        self.fb.snapshot(tid, source, seq, cycles, deltas).to_vec()
+    }
+
+    /// Send one histogram frame (fire-and-forget).
+    pub fn hist(
+        &mut self,
+        tid: u16,
+        sid: u16,
+        source: u64,
+        seq: u64,
+        cycles: u64,
+        buckets: &[(u16, u64)],
+    ) -> io::Result<()> {
+        let msg = self.fb.hist(tid, sid, source, seq, cycles, buckets);
+        self.stream.write_all(msg)
+    }
+
+    /// Declare a source stream finished.
+    pub fn close_source(
+        &mut self,
+        tid: u16,
+        source: u64,
+        frames_sent: u64,
+        complete: bool,
+    ) -> io::Result<()> {
+        let msg = self.fb.close_source(tid, source, frames_sent, complete);
+        self.stream.write_all(msg)
+    }
+
+    fn request(&mut self) -> io::Result<&[u8]> {
+        let mut header = [0u8; 4];
+        self.stream.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header) as usize;
+        self.resp.clear();
+        self.resp.resize(len, 0);
+        self.stream.read_exact(&mut self.resp)?;
+        Ok(&self.resp)
+    }
+
+    /// Barrier: returns once every frame written before it is applied.
+    pub fn flush(&mut self) -> io::Result<()> {
+        let msg = self.fb.flush().to_vec();
+        self.stream.write_all(&msg)?;
+        let resp = self.request()?;
+        if resp.first() == Some(&proto::STATUS_OK) {
+            Ok(())
+        } else {
+            Err(io::Error::new(io::ErrorKind::InvalidData, "flush failed"))
+        }
+    }
+
+    /// Lifetime/windowed totals plus live windows for one series.
+    pub fn query_series(
+        &mut self,
+        tenant: &str,
+        series: &str,
+    ) -> io::Result<Option<crate::SeriesSum>> {
+        let msg = self
+            .fb
+            .query(proto::OP_QUERY_SERIES, tenant, series)
+            .to_vec();
+        self.stream.write_all(&msg)?;
+        let resp = self.request()?;
+        match resp.first() {
+            Some(&proto::STATUS_OK) => {
+                let u64at =
+                    |b: &[u8], at: usize| u64::from_le_bytes(b[at..at + 8].try_into().unwrap());
+                let lifetime = u64at(resp, 1);
+                let windowed = u64at(resp, 9);
+                let n = u32::from_le_bytes(resp[17..21].try_into().unwrap()) as usize;
+                let mut windows = Vec::with_capacity(n);
+                for i in 0..n {
+                    windows.push((u64at(resp, 21 + i * 16), u64at(resp, 29 + i * 16)));
+                }
+                Ok(Some(crate::SeriesSum {
+                    lifetime,
+                    windowed,
+                    windows,
+                }))
+            }
+            Some(&proto::STATUS_NOT_FOUND) => Ok(None),
+            _ => Err(io::Error::new(io::ErrorKind::InvalidData, "bad response")),
+        }
+    }
+
+    /// Latency quantiles for one series.
+    pub fn query_quantiles(
+        &mut self,
+        tenant: &str,
+        series: &str,
+    ) -> io::Result<Option<crate::SeriesQuantiles>> {
+        let msg = self
+            .fb
+            .query(proto::OP_QUERY_QUANTILES, tenant, series)
+            .to_vec();
+        self.stream.write_all(&msg)?;
+        let resp = self.request()?;
+        match resp.first() {
+            Some(&proto::STATUS_OK) => {
+                let u64at =
+                    |b: &[u8], at: usize| u64::from_le_bytes(b[at..at + 8].try_into().unwrap());
+                Ok(Some(crate::SeriesQuantiles {
+                    count: u64at(resp, 1),
+                    sum: u64at(resp, 9),
+                    max: u64at(resp, 17),
+                    p50: u64at(resp, 25),
+                    p95: u64at(resp, 33),
+                    p99: u64at(resp, 41),
+                }))
+            }
+            Some(&proto::STATUS_NOT_FOUND) => Ok(None),
+            _ => Err(io::Error::new(io::ErrorKind::InvalidData, "bad response")),
+        }
+    }
+
+    fn text_request(&mut self, op: u8) -> io::Result<String> {
+        let msg = self.fb.bare(op).to_vec();
+        self.stream.write_all(&msg)?;
+        let resp = self.request()?;
+        if resp.first() != Some(&proto::STATUS_OK) {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad response"));
+        }
+        String::from_utf8(resp[1..].to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 response"))
+    }
+
+    /// Full Prometheus scrape.
+    pub fn scrape(&mut self) -> io::Result<String> {
+        self.text_request(proto::OP_SCRAPE)
+    }
+
+    /// Daemon self-metrics as flat JSON.
+    pub fn stats_json(&mut self) -> io::Result<String> {
+        self.text_request(proto::OP_STATS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregator::AggdConfig;
+    use papi_obs::export::exposition;
+
+    #[test]
+    fn end_to_end_over_the_socket() {
+        let server =
+            AggdServer::bind("127.0.0.1:0", Aggregator::new(AggdConfig::default())).expect("bind");
+        let addr = server.local_addr();
+        let mut c = AggdClient::connect(addr).expect("connect");
+        c.bind_tenant(0, "web").unwrap();
+        c.reg_series(0, 0, "papi.tot_ins").unwrap();
+        c.reg_series(0, 1, "papi.fp_ops").unwrap();
+        for seq in 0..10u64 {
+            c.snapshot(0, 1, seq, seq * 1_000, &[(0, 10), (1, 2)])
+                .unwrap();
+        }
+        // A duplicate of the last frame: dropped exactly once.
+        c.snapshot(0, 1, 9, 9_000, &[(0, 10), (1, 2)]).unwrap();
+        c.hist(0, 0, 1, 10, 9_000, &[(8, 4)]).unwrap();
+        c.close_source(0, 1, 11, true).unwrap();
+        c.flush().unwrap();
+
+        let sum = c.query_series("web", "papi.tot_ins").unwrap().unwrap();
+        assert_eq!(sum.lifetime, 100);
+        assert_eq!(sum.windowed, 100);
+        assert!(!sum.windows.is_empty());
+        let q = c.query_quantiles("web", "papi.tot_ins").unwrap().unwrap();
+        assert_eq!(q.count, 4);
+        assert!(c.query_series("web", "absent").unwrap().is_none());
+
+        let text = c.scrape().unwrap();
+        exposition::validate(&text).unwrap_or_else(|e| panic!("invalid scrape: {e}"));
+        let stats = c.stats_json().unwrap();
+        assert_eq!(crate::json_get_u64(&stats, "aggd.frames_in"), Some(12));
+        assert_eq!(crate::json_get_u64(&stats, "aggd.dup_dropped"), Some(1));
+        assert_eq!(crate::json_get_u64(&stats, "aggd.sources_closed"), Some(1));
+        server.shutdown();
+    }
+
+    #[test]
+    fn two_connections_share_tenant_state() {
+        let server =
+            AggdServer::bind("127.0.0.1:0", Aggregator::new(AggdConfig::default())).expect("bind");
+        let addr = server.local_addr();
+        let mut a = AggdClient::connect(addr).unwrap();
+        let mut b = AggdClient::connect(addr).unwrap();
+        // Different connection-local ids, same tenant/series names.
+        a.bind_tenant(5, "t").unwrap();
+        a.reg_series(5, 9, "s").unwrap();
+        b.bind_tenant(0, "t").unwrap();
+        b.reg_series(0, 0, "s").unwrap();
+        a.snapshot(5, 100, 0, 10, &[(9, 7)]).unwrap();
+        b.snapshot(0, 200, 0, 10, &[(0, 5)]).unwrap();
+        a.flush().unwrap();
+        b.flush().unwrap();
+        let sum = a.query_series("t", "s").unwrap().unwrap();
+        assert_eq!(sum.lifetime, 12);
+        server.shutdown();
+    }
+}

@@ -176,6 +176,49 @@ fn read_into_and_accum_are_allocation_free_through_quiet_fault_decorator() {
 }
 
 #[test]
+fn aggd_frame_ingest_is_allocation_free_in_steady_state() {
+    // The aggregation daemon's decode+apply path shares the guarantee: once
+    // a source's anti-replay state and the tenant's series rings exist,
+    // ingesting a pre-encoded snapshot or histogram frame must not touch
+    // the heap (decode borrows, rings are fixed, stats are plain adds).
+    use papi_aggd::{AggdConfig, Aggregator, ConnCtx, FrameBuf};
+
+    let agg = Aggregator::new(AggdConfig::default());
+    let mut ctx = ConnCtx::new();
+    let mut fb = FrameBuf::new();
+    let bind = fb.bind_tenant(0, "zero-alloc").to_vec();
+    agg.ingest(&mut ctx, &bind[4..]).unwrap();
+    for sid in 0..4u16 {
+        let reg = fb.reg_series(0, sid, &format!("s{sid}")).to_vec();
+        agg.ingest(&mut ctx, &reg[4..]).unwrap();
+    }
+    let frames: Vec<Vec<u8>> = (0..200u64)
+        .map(|seq| {
+            if seq % 8 == 7 {
+                fb.hist(0, 0, 1, seq, seq * 300, &[(3, 2), (40, 1)])
+                    .to_vec()
+            } else {
+                let deltas = [(0u16, 3u64), (1, 5), ((seq % 4) as u16, 7)];
+                fb.snapshot(0, 1, seq, seq * 300, &deltas).to_vec()
+            }
+        })
+        .collect();
+    // Warm-up creates the source's anti-replay entry.
+    for msg in frames.iter().take(50) {
+        agg.ingest(&mut ctx, &msg[4..]).unwrap();
+    }
+    let ((), allocs) = count_in(|| {
+        for msg in frames.iter().skip(50) {
+            agg.ingest(&mut ctx, &msg[4..]).unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "aggd ingest allocated in steady state");
+    // The frames were applied, not silently shed.
+    let sum = agg.query_sum("zero-alloc", "s0").expect("series");
+    assert!(sum.lifetime > 0);
+}
+
+#[test]
 fn read_into_and_accum_stay_allocation_free_while_widening_wrapped_counters() {
     // Narrow (32-bit) wrapped counters engage the widening layer. Its
     // baseline/accumulator buffers are sized at start, so steady-state

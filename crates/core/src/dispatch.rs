@@ -392,7 +392,7 @@ impl<S: Substrate> Papi<S> {
                 Ok(()) => {
                     obs.inc(ObsCounter::Starts);
                     let now = self.sub.real_cycles();
-                    obs.add(
+                    obs.observe_cycles(
                         ObsCounter::CyclesInStartStop,
                         now.saturating_sub(begin_cycles),
                     );
@@ -681,7 +681,7 @@ impl<S: Substrate> Papi<S> {
             let now = self.sub.real_cycles();
             let cost_cycles = now.saturating_sub(begin_cycles);
             obs.inc(ObsCounter::Reads);
-            obs.add(ObsCounter::CyclesInRead, cost_cycles);
+            obs.observe_cycles(ObsCounter::CyclesInRead, cost_cycles);
             obs.record(now, || ObsEvent::Read {
                 set: id,
                 cost_cycles,
@@ -806,7 +806,7 @@ impl<S: Substrate> Papi<S> {
         if let Some(obs) = &self.obs {
             let now = self.sub.real_cycles();
             obs.inc(ObsCounter::Stops);
-            obs.add(
+            obs.observe_cycles(
                 ObsCounter::CyclesInStartStop,
                 now.saturating_sub(begin_cycles),
             );
@@ -1013,7 +1013,7 @@ impl<S: Substrate> Papi<S> {
             obs.inc(ObsCounter::MpxFlushes);
             obs.inc(ObsCounter::MpxProgramOps);
             obs.add(ObsCounter::CounterReads, self.scratch.live.len() as u64);
-            obs.add(ObsCounter::CyclesInMpxRotate, cost_cycles);
+            obs.observe_cycles(ObsCounter::CyclesInMpxRotate, cost_cycles);
             obs.record(now, || ObsEvent::MpxFlush {
                 partition: from_partition,
                 live_cycles: now.saturating_sub(switched_at),

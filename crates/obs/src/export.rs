@@ -1,11 +1,14 @@
 //! Snapshot and export formats for the internal registry.
 //!
-//! A [`Snapshot`] is an immutable copy of every registry counter at one
-//! instant.  Snapshots subtract ([`Snapshot::delta`]) so tools can report
-//! per-interval internal activity, and export as flat JSON (stable key
-//! order, hand-rendered so it has no serialization dependencies) or as
-//! Prometheus-style text exposition.
+//! A [`Snapshot`] is an immutable copy of every registry counter (plus the
+//! latency histograms) at one instant.  Snapshots subtract
+//! ([`Snapshot::delta`]) so tools can report per-interval internal
+//! activity, and export as flat JSON (stable key order, hand-rendered so it
+//! has no serialization dependencies) or as Prometheus text exposition via
+//! the [`exposition`] writer, which any layer above (the aggregation
+//! daemon's scrape surface included) reuses for scrape-clean output.
 
+use crate::histogram::HistSnapshot;
 use crate::registry::{Registry, COUNTERS};
 use serde::{Deserialize, Serialize};
 
@@ -13,7 +16,7 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CounterSample {
     /// Subsystem group (`eventset`, `mpx`, `overflow`, `alloc`, `journal`,
-    /// `cycles`).
+    /// `cycles`, `threads`, `fault`, `aggd`).
     pub subsystem: String,
     /// Counter name within the subsystem.
     pub name: String,
@@ -21,15 +24,54 @@ pub struct CounterSample {
     pub value: u64,
 }
 
+/// One exported latency histogram, reduced to its serving statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// Histogram name (`read_cycles`, `start_stop_cycles`, ...).
+    pub name: String,
+    /// Recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Median (bucket upper bound).
+    pub p50: u64,
+    /// 95th percentile (bucket upper bound).
+    pub p95: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+}
+
+impl HistogramSample {
+    /// Reduce a histogram snapshot to its serving statistics.
+    pub fn from_snapshot(name: &str, s: &HistSnapshot) -> Self {
+        HistogramSample {
+            name: name.to_string(),
+            count: s.count,
+            sum: s.sum,
+            max: s.max,
+            p50: s.quantile(0.50),
+            p95: s.quantile(0.95),
+            p99: s.quantile(0.99),
+        }
+    }
+}
+
 /// Immutable copy of the registry at one instant, in stable slot order.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Snapshot {
     /// Sampled counters, one per registry slot, in slot order.
     pub counters: Vec<CounterSample>,
+    /// Latency histograms with at least one recorded value (empty when the
+    /// snapshot was captured from a bare [`Registry`]).
+    #[serde(default)]
+    pub hists: Vec<HistogramSample>,
 }
 
 impl Snapshot {
-    /// Capture the current registry values.
+    /// Capture the current registry values (no histograms; use
+    /// [`crate::Obs::snapshot`] to include them).
     pub fn capture(registry: &Registry) -> Self {
         Snapshot {
             counters: COUNTERS
@@ -40,6 +82,7 @@ impl Snapshot {
                     value: registry.get(c),
                 })
                 .collect(),
+            hists: Vec::new(),
         }
     }
 
@@ -55,7 +98,8 @@ impl Snapshot {
     ///
     /// Counters present in only one snapshot are carried through unchanged
     /// (from `self`), so deltas stay meaningful across versions that add
-    /// counters.
+    /// counters.  Histograms are carried through from `self` (quantiles do
+    /// not subtract).
     pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
         Snapshot {
             counters: self
@@ -69,6 +113,7 @@ impl Snapshot {
                         .saturating_sub(earlier.get(&s.subsystem, &s.name).unwrap_or(0)),
                 })
                 .collect(),
+            hists: self.hists.clone(),
         }
     }
 
@@ -82,36 +127,71 @@ impl Snapshot {
     }
 
     /// Flat JSON object `{"subsystem.name": value, ...}` in stable slot
-    /// order.  Hand-rendered: keys contain only `[a-z_.]`, values are
-    /// unsigned integers, so no escaping is required.
+    /// order, followed by `"hist.<name>.<stat>"` entries for any captured
+    /// histograms.  Hand-rendered: keys contain only `[a-z_.0-9]`, values
+    /// are unsigned integers, so no escaping is required.
     pub fn to_json(&self) -> String {
+        let mut entries: Vec<(String, u64)> = self
+            .counters
+            .iter()
+            .map(|s| (format!("{}.{}", s.subsystem, s.name), s.value))
+            .collect();
+        for h in &self.hists {
+            entries.push((format!("hist.{}.count", h.name), h.count));
+            entries.push((format!("hist.{}.p50", h.name), h.p50));
+            entries.push((format!("hist.{}.p95", h.name), h.p95));
+            entries.push((format!("hist.{}.p99", h.name), h.p99));
+            entries.push((format!("hist.{}.max", h.name), h.max));
+        }
         let mut out = String::from("{\n");
-        for (i, s) in self.counters.iter().enumerate() {
-            let sep = if i + 1 == self.counters.len() {
-                ""
-            } else {
-                ","
-            };
-            out.push_str(&format!(
-                "  \"{}.{}\": {}{}\n",
-                s.subsystem, s.name, s.value, sep
-            ));
+        for (i, (k, v)) in entries.iter().enumerate() {
+            let sep = if i + 1 == entries.len() { "" } else { "," };
+            out.push_str(&format!("  \"{k}\": {v}{sep}\n"));
         }
         out.push('}');
         out
     }
 
-    /// Prometheus-style text exposition: one `# HELP`-less gauge line per
-    /// counter, named `papi_obs_<subsystem>_<name>`.
+    /// Prometheus text exposition: one metric family per subsystem with a
+    /// `counter` label per slot, plus a `summary` family for the latency
+    /// histograms.  Validates against [`exposition::validate`].
     pub fn to_prometheus(&self) -> String {
-        let mut out = String::new();
+        let mut w = exposition::Exposition::new();
+        let mut current = String::new();
         for s in &self.counters {
-            out.push_str(&format!(
-                "papi_obs_{}_{} {}\n",
-                s.subsystem, s.name, s.value
-            ));
+            if s.subsystem != current {
+                current = s.subsystem.clone();
+                w.family(
+                    &format!("papi_obs_{}", s.subsystem),
+                    &format!("papi-obs internal counters, subsystem {}", s.subsystem),
+                    "counter",
+                );
+            }
+            w.sample(
+                &format!("papi_obs_{}", s.subsystem),
+                &[("counter", &s.name)],
+                s.value,
+            );
         }
-        out
+        if !self.hists.is_empty() {
+            w.family(
+                "papi_obs_latency_cycles",
+                "Self-accounted per-call latency distribution (virtual cycles)",
+                "summary",
+            );
+            for h in &self.hists {
+                for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+                    w.sample(
+                        "papi_obs_latency_cycles",
+                        &[("op", &h.name), ("quantile", q)],
+                        v,
+                    );
+                }
+                w.sample("papi_obs_latency_cycles_sum", &[("op", &h.name)], h.sum);
+                w.sample("papi_obs_latency_cycles_count", &[("op", &h.name)], h.count);
+            }
+        }
+        w.finish()
     }
 
     /// Human-readable table grouped by subsystem; zero-valued counters are
@@ -132,7 +212,268 @@ impl Snapshot {
         if out.is_empty() {
             out.push_str("  (all counters zero)\n");
         }
+        for h in &self.hists {
+            if h.count == 0 && !show_zeros {
+                continue;
+            }
+            out.push_str(&format!(
+                "  hist {}: n={} p50={} p95={} p99={} max={}\n",
+                h.name, h.count, h.p50, h.p95, h.p99, h.max
+            ));
+        }
         out
+    }
+}
+
+/// Prometheus text-exposition writing and validation.
+///
+/// The format rules that matter for scrape-cleanliness (and that the old
+/// exporter broke for dotted or user-supplied names):
+///
+/// * metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*` — anything else (dots,
+///   dashes, spaces) must be sanitized to `_`;
+/// * label values may contain anything but `\`, `"` and newline must be
+///   escaped as `\\`, `\"` and `\n`;
+/// * every family gets `# HELP` and `# TYPE` lines before its samples, and
+///   a family is declared at most once per document.
+pub mod exposition {
+    use std::collections::HashSet;
+    use std::fmt::Write as _;
+
+    /// Sanitize a metric name to the exposition charset
+    /// (`[a-zA-Z_:][a-zA-Z0-9_:]*`); invalid characters become `_`.
+    pub fn sanitize_metric_name(name: &str) -> String {
+        let mut out = String::with_capacity(name.len());
+        for (i, c) in name.chars().enumerate() {
+            let ok =
+                c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+            out.push(if ok { c } else { '_' });
+        }
+        if out.is_empty() {
+            out.push('_');
+        }
+        out
+    }
+
+    /// Escape a label value: `\` → `\\`, `"` → `\"`, newline → `\n`.
+    pub fn escape_label_value(v: &str) -> String {
+        let mut out = String::with_capacity(v.len());
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Escape a HELP text: `\` → `\\`, newline → `\n`.
+    fn escape_help(v: &str) -> String {
+        let mut out = String::with_capacity(v.len());
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Incremental exposition-document writer.
+    ///
+    /// Call [`Exposition::family`] once per metric family (it emits the
+    /// `# HELP`/`# TYPE` pair), then [`Exposition::sample`] for each sample
+    /// line.  Names are sanitized and label values escaped on the way in,
+    /// so callers may pass raw tenant/series strings.
+    #[derive(Debug, Default)]
+    pub struct Exposition {
+        out: String,
+    }
+
+    impl Exposition {
+        /// An empty document.
+        pub fn new() -> Self {
+            Exposition { out: String::new() }
+        }
+
+        /// Declare a metric family: `# HELP` and `# TYPE` lines.
+        /// `kind` is one of `counter`, `gauge`, `summary`, `histogram`,
+        /// `untyped`.
+        pub fn family(&mut self, name: &str, help: &str, kind: &str) {
+            let name = sanitize_metric_name(name);
+            writeln!(self.out, "# HELP {name} {}", escape_help(help)).unwrap();
+            writeln!(self.out, "# TYPE {name} {kind}").unwrap();
+        }
+
+        /// Append one sample line with optional labels.
+        pub fn sample(
+            &mut self,
+            name: &str,
+            labels: &[(&str, &str)],
+            value: impl std::fmt::Display,
+        ) {
+            self.out.push_str(&sanitize_metric_name(name));
+            if !labels.is_empty() {
+                self.out.push('{');
+                for (i, (k, v)) in labels.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push(',');
+                    }
+                    write!(
+                        self.out,
+                        "{}=\"{}\"",
+                        sanitize_metric_name(k),
+                        escape_label_value(v)
+                    )
+                    .unwrap();
+                }
+                self.out.push('}');
+            }
+            writeln!(self.out, " {value}").unwrap();
+        }
+
+        /// The finished document.
+        pub fn finish(self) -> String {
+            self.out
+        }
+    }
+
+    fn valid_name(s: &str) -> bool {
+        !s.is_empty()
+            && s.chars().enumerate().all(|(i, c)| {
+                c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+            })
+    }
+
+    /// Check that `text` is a well-formed exposition document: every
+    /// sample's family was declared with `# HELP` + `# TYPE` before its
+    /// first sample, names are in charset, label values are well-quoted
+    /// with only valid escapes, values parse as numbers, and the document
+    /// ends with a newline.  Returns the offending line on failure.
+    pub fn validate(text: &str) -> Result<(), String> {
+        if text.is_empty() {
+            return Ok(());
+        }
+        if !text.ends_with('\n') {
+            return Err("document does not end with a newline".into());
+        }
+        let mut declared: HashSet<String> = HashSet::new();
+        let mut helped: HashSet<String> = HashSet::new();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap_or("");
+                if !valid_name(name) {
+                    return Err(format!("bad HELP name: {line}"));
+                }
+                if !helped.insert(name.to_string()) {
+                    return Err(format!("duplicate HELP for {name}"));
+                }
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                if !valid_name(name) {
+                    return Err(format!("bad TYPE name: {line}"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "summary" | "histogram" | "untyped"
+                ) {
+                    return Err(format!("bad TYPE kind: {line}"));
+                }
+                if !declared.insert(name.to_string()) {
+                    return Err(format!("duplicate TYPE for {name}"));
+                }
+                continue;
+            }
+            if line.starts_with('#') {
+                continue; // free-form comment
+            }
+            // Sample line: name[{labels}] value
+            let (name_labels, value) = match line.rsplit_once(' ') {
+                Some(p) => p,
+                None => return Err(format!("no value: {line}")),
+            };
+            if value.parse::<f64>().is_err() {
+                return Err(format!("bad value: {line}"));
+            }
+            let name = match name_labels.split_once('{') {
+                Some((n, rest)) => {
+                    let Some(labels) = rest.strip_suffix('}') else {
+                        return Err(format!("unterminated labels: {line}"));
+                    };
+                    validate_labels(labels).map_err(|e| format!("{e}: {line}"))?;
+                    n
+                }
+                None => name_labels,
+            };
+            if !valid_name(name) {
+                return Err(format!("bad metric name: {line}"));
+            }
+            // The family must have been declared: exact name, or the
+            // `_sum`/`_count`/`_bucket` suffixes of summary/histogram
+            // families.
+            let family_ok = declared.contains(name)
+                || ["_sum", "_count", "_bucket"].iter().any(|suf| {
+                    name.strip_suffix(suf)
+                        .is_some_and(|base| declared.contains(base))
+                });
+            if !family_ok {
+                return Err(format!("sample before # TYPE declaration: {line}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_labels(labels: &str) -> Result<(), String> {
+        // Parse k="v" pairs separated by commas, honouring escapes.
+        let mut chars = labels.chars().peekable();
+        loop {
+            let mut key = String::new();
+            for c in chars.by_ref() {
+                if c == '=' {
+                    break;
+                }
+                key.push(c);
+            }
+            if !valid_name(&key) {
+                return Err(format!("bad label name {key:?}"));
+            }
+            if chars.next() != Some('"') {
+                return Err("label value not quoted".into());
+            }
+            let mut closed = false;
+            while let Some(c) = chars.next() {
+                match c {
+                    '\\' => match chars.next() {
+                        Some('\\') | Some('"') | Some('n') => {}
+                        _ => return Err("bad escape in label value".into()),
+                    },
+                    '"' => {
+                        closed = true;
+                        break;
+                    }
+                    '\n' => return Err("raw newline in label value".into()),
+                    _ => {}
+                }
+            }
+            if !closed {
+                return Err("unterminated label value".into());
+            }
+            match chars.next() {
+                None => return Ok(()),
+                Some(',') => continue,
+                Some(c) => return Err(format!("unexpected {c:?} after label value")),
+            }
+        }
     }
 }
 
@@ -181,19 +522,71 @@ mod tests {
     }
 
     #[test]
-    fn prometheus_exposition_shape() {
+    fn json_appends_histogram_stats_when_present() {
         let r = sample_registry();
-        let text = Snapshot::capture(&r).to_prometheus();
-        assert!(text.contains("papi_obs_eventset_reads 7\n"));
-        assert!(text.contains("papi_obs_mpx_rotations 3\n"));
-        assert_eq!(text.lines().count(), crate::registry::NUM_COUNTERS);
-        for line in text.lines() {
-            let mut parts = line.split_whitespace();
-            let name = parts.next().unwrap();
-            assert!(name.starts_with("papi_obs_"));
-            parts.next().unwrap().parse::<u64>().unwrap();
-            assert!(parts.next().is_none());
+        let mut snap = Snapshot::capture(&r);
+        let h = crate::histogram::LogHistogram::new();
+        for v in [10u64, 100, 1000] {
+            h.record(v);
         }
+        snap.hists
+            .push(HistogramSample::from_snapshot("read_cycles", &h.snapshot()));
+        let json = snap.to_json();
+        assert!(json.contains("\"hist.read_cycles.count\": 3"));
+        assert!(json.contains("\"hist.read_cycles.p99\":"));
+        assert!(!json.replace(['\n', ' '], "").contains(",}"));
+    }
+
+    #[test]
+    fn prometheus_output_is_valid_exposition_format() {
+        let r = sample_registry();
+        let mut snap = Snapshot::capture(&r);
+        let h = crate::histogram::LogHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        snap.hists
+            .push(HistogramSample::from_snapshot("read_cycles", &h.snapshot()));
+        let text = snap.to_prometheus();
+        exposition::validate(&text).expect("exposition-format document");
+        // Families carry HELP/TYPE, samples carry the counter label.
+        assert!(text.contains("# TYPE papi_obs_eventset counter"));
+        assert!(text.contains("# HELP papi_obs_eventset "));
+        assert!(text.contains("papi_obs_eventset{counter=\"reads\"} 7"));
+        assert!(text.contains("papi_obs_mpx{counter=\"rotations\"} 3"));
+        // Histogram quantiles surface as a summary family.
+        assert!(text.contains("# TYPE papi_obs_latency_cycles summary"));
+        assert!(text.contains("papi_obs_latency_cycles{op=\"read_cycles\",quantile=\"0.5\"}"));
+        assert!(text.contains("papi_obs_latency_cycles_count{op=\"read_cycles\"} 100"));
+    }
+
+    #[test]
+    fn exposition_writer_sanitizes_and_escapes() {
+        let mut w = exposition::Exposition::new();
+        w.family("papi.aggd-frames", "dotted name", "counter");
+        w.sample("papi.aggd-frames", &[("tenant", "web\"fleet\"\nv2\\x")], 42);
+        let text = w.finish();
+        exposition::validate(&text).expect("sanitized document validates");
+        assert!(text.contains("papi_aggd_frames{tenant=\"web\\\"fleet\\\"\\nv2\\\\x\"} 42"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        // Sample without a TYPE declaration.
+        assert!(exposition::validate("foo 1\n").is_err());
+        // Dotted metric name.
+        assert!(exposition::validate("# HELP a.b x\n# TYPE a.b counter\na.b 1\n").is_err());
+        // Unescaped quote inside a label value.
+        let mut ok = exposition::Exposition::new();
+        ok.family("m", "h", "counter");
+        let good = ok.finish() + "m{l=\"a\"} 1\n";
+        assert!(exposition::validate(&good).is_ok());
+        let bad = good.replace("\"a\"", "\"a\"b\"");
+        assert!(exposition::validate(&bad).is_err());
+        // Missing trailing newline.
+        assert!(exposition::validate("# TYPE m counter\nm 1").is_err());
+        // Duplicate family declaration.
+        assert!(exposition::validate("# TYPE m counter\nm 1\n# TYPE m counter\nm 2\n").is_err());
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! HDR-style log-bucketed latency histograms.
+//!
+//! The paper bounds the library's per-call overhead with *mean* costs; a
+//! mean hides exactly the tail behaviour an aggregation service must
+//! surface (ScALPEL's "bounded overhead per monitored entity" is a tail
+//! bound, not an average).  [`LogHistogram`] records values into a fixed
+//! array of log-spaced buckets — each power of two is split into
+//! `2^SUB_BITS` linear sub-buckets, so the bucket boundary relative error
+//! is at most `2^-SUB_BITS` (25%) at any magnitude — and serves p50/p95/p99
+//! without storing samples.
+//!
+//! Recording is a pair of relaxed atomic adds into const-sized storage:
+//! lock-free, allocation-free, and shareable across threads, so the
+//! histogram can sit on the hot read path of every monitored session and
+//! inside every aggregation tenant without perturbing either.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-bucket bits per power of two (4 sub-buckets).
+pub const SUB_BITS: u32 = 2;
+const SUBS: u64 = 1 << SUB_BITS;
+
+/// Number of buckets needed to cover the full `u64` range.
+///
+/// Values below `2^SUB_BITS` get one exact bucket each (the partial group
+/// 0); every bit position from `SUB_BITS` to 63 contributes a group of
+/// `2^SUB_BITS` sub-buckets.
+pub const NUM_BUCKETS: usize = (SUBS + (64 - SUB_BITS as u64) * SUBS) as usize;
+
+/// Map a value to its bucket index.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUBS {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as u64;
+        let group = msb - SUB_BITS as u64 + 1;
+        let sub = (v >> (msb - SUB_BITS as u64)) & (SUBS - 1);
+        (group * SUBS + sub) as usize
+    }
+}
+
+/// Largest value that lands in bucket `idx` (the quantile representative:
+/// quantiles err toward *over*-reporting latency, never under).
+pub fn bucket_upper_bound(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUBS {
+        idx
+    } else {
+        let group = idx / SUBS;
+        let sub = idx % SUBS;
+        let msb = group + SUB_BITS as u64 - 1;
+        // Bucket holds [ (SUBS+sub) << (msb-SUB_BITS) , next ), inclusive
+        // top; the final bucket's bound is u64::MAX, so widen to u128.
+        let top = (((SUBS + sub + 1) as u128) << (msb - SUB_BITS as u64)) - 1;
+        top.min(u64::MAX as u128) as u64
+    }
+}
+
+/// Lock-free log-bucketed histogram over `u64` values.
+pub struct LogHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .field("max", &self.max.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value.  Two relaxed adds and a relaxed max — no locks,
+    /// no allocation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Merge a bucket-count delta produced by another histogram (the wire
+    /// ingestion path: histograms travel as sparse `(bucket, count)` pairs).
+    ///
+    /// `sum`/`max` cannot be reconstructed from buckets exactly, so the
+    /// merged sum uses each bucket's upper bound — consistent with the
+    /// quantile convention of erring upward.
+    #[inline]
+    pub fn merge_bucket(&self, idx: usize, n: u64) {
+        if idx >= NUM_BUCKETS || n == 0 {
+            return;
+        }
+        let bound = bucket_upper_bound(idx);
+        self.buckets[idx].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum
+            .fetch_add(bound.saturating_mul(n), Ordering::Relaxed);
+        self.max.fetch_max(bound, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Immutable copy of the current state.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every bucket to zero (test isolation; not atomic as a whole).
+    pub fn clear(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Immutable histogram state: bucket counts plus derived statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket counts (see [`bucket_index`]).
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (bucket-bound approximated after merges).
+    pub sum: u64,
+    /// Largest recorded value (bucket-bound approximated after merges).
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// Value at quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// containing the `ceil(q * count)`-th smallest sample.  Returns 0 for
+    /// an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        self.max
+    }
+
+    /// Sparse nonzero `(bucket, count)` pairs — the wire representation.
+    pub fn nonzero_buckets(&self) -> Vec<(u16, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n != 0)
+            .map(|(i, &n)| (i as u16, n))
+            .collect()
+    }
+
+    /// Bucket-count difference `self - earlier` (saturating per bucket),
+    /// for streaming incremental exports of a live histogram.
+    pub fn delta(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_bounds_are_consistent() {
+        // Every value maps into a bucket whose range contains it, and
+        // bucket upper bounds are strictly increasing.
+        let probes = [0u64, 1, 2, 3, 4, 5, 7, 8, 9, 100, 1000, 1 << 20, u64::MAX];
+        for &v in &probes {
+            let idx = bucket_index(v);
+            assert!(v <= bucket_upper_bound(idx), "v={v} idx={idx}");
+            if idx > 0 {
+                assert!(
+                    v > bucket_upper_bound(idx - 1),
+                    "v={v} below bucket {idx} floor"
+                );
+            }
+        }
+        for i in 1..NUM_BUCKETS {
+            assert!(bucket_upper_bound(i) > bucket_upper_bound(i - 1), "i={i}");
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..4u64 {
+            assert_eq!(bucket_upper_bound(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let h = LogHistogram::new();
+        // 100 samples: 50 at 10, 45 at 100, 5 at 10_000.
+        for _ in 0..50 {
+            h.record(10);
+        }
+        for _ in 0..45 {
+            h.record(100);
+        }
+        for _ in 0..5 {
+            h.record(10_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 10_000);
+        // Bucket relative error is <= 25%: p50 covers the bucket of 10.
+        let p50 = s.quantile(0.50);
+        assert!((10..=12).contains(&p50), "p50={p50}");
+        let p95 = s.quantile(0.95);
+        assert!((100..=127).contains(&p95), "p95={p95}");
+        let p99 = s.quantile(0.99);
+        assert!((10_000..=12_287).contains(&p99), "p99={p99}");
+    }
+
+    #[test]
+    fn merge_bucket_reproduces_recorded_counts() {
+        let a = LogHistogram::new();
+        for v in [3u64, 17, 17, 900, 1_000_000] {
+            a.record(v);
+        }
+        let b = LogHistogram::new();
+        for (idx, n) in a.snapshot().nonzero_buckets() {
+            b.merge_bucket(idx as usize, n);
+        }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        assert_eq!(sa.buckets, sb.buckets);
+        assert_eq!(sa.count, sb.count);
+        // Quantiles are bucket-resolved, so they agree exactly.
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(sa.quantile(q), sb.quantile(q));
+        }
+    }
+
+    #[test]
+    fn delta_subtracts_bucketwise() {
+        let h = LogHistogram::new();
+        h.record(5);
+        let early = h.snapshot();
+        h.record(5);
+        h.record(99);
+        let late = h.snapshot();
+        let d = late.delta(&early);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.buckets[bucket_index(5)], 1);
+        assert_eq!(d.buckets[bucket_index(99)], 1);
+    }
+
+    #[test]
+    fn concurrent_records_sum() {
+        let h = std::sync::Arc::new(LogHistogram::new());
+        let mut joins = Vec::new();
+        for t in 0..4u64 {
+            let h = h.clone();
+            joins.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    h.record(t * 1000 + i);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+    }
+}

@@ -137,6 +137,18 @@ pub enum JournalEvent {
         /// Total attempts made (initial try + retries).
         attempts: u32,
     },
+    /// A tenant registered into an aggregation daemon's tenant table.
+    TenantRegistered {
+        /// Tenant name.
+        tenant: String,
+    },
+    /// A tenant was evicted from an aggregation daemon's tenant table.
+    TenantEvicted {
+        /// Tenant name.
+        tenant: String,
+        /// Why it was evicted (`"capacity"`, `"explicit"`).
+        reason: &'static str,
+    },
 }
 
 impl JournalEvent {
@@ -160,6 +172,8 @@ impl JournalEvent {
             JournalEvent::ThreadUnregistered { .. } => "obs.thread_unregistered",
             JournalEvent::TransientRetried { .. } => "obs.transient_retried",
             JournalEvent::TransientGaveUp { .. } => "obs.transient_gave_up",
+            JournalEvent::TenantRegistered { .. } => "obs.tenant_registered",
+            JournalEvent::TenantEvicted { .. } => "obs.tenant_evicted",
         }
     }
 }
@@ -355,6 +369,13 @@ mod tests {
             JournalEvent::TransientGaveUp {
                 op: "read",
                 attempts: 4,
+            },
+            JournalEvent::TenantRegistered {
+                tenant: "t0".into(),
+            },
+            JournalEvent::TenantEvicted {
+                tenant: "t0".into(),
+                reason: "capacity",
             },
         ];
         let mut kinds: Vec<&str> = evs.iter().map(|e| e.kind()).collect();

@@ -33,15 +33,65 @@
 
 pub mod alloc_track;
 pub mod export;
+pub mod histogram;
 pub mod journal;
 pub mod registry;
 
-pub use export::{CounterSample, Snapshot};
+pub use export::{CounterSample, HistogramSample, Snapshot};
+pub use histogram::{HistSnapshot, LogHistogram};
 pub use journal::{Journal, JournalEvent, JournalRecord, DEFAULT_JOURNAL_CAPACITY};
 pub use registry::{Counter, Registry, Span, COUNTERS, NUM_COUNTERS};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Identifier for one of the built-in latency histograms.
+///
+/// Each histogram shadows one of the `cycles.*` self-accounting counters:
+/// the counter keeps the total, the histogram keeps the distribution
+/// (p50/p95/p99 of per-call latency), so tail behaviour is observable, not
+/// just means.  The discriminant doubles as the slot index in [`Obs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Hist {
+    /// Per-call `read`/`read_into` latency (virtual cycles).
+    ReadCycles,
+    /// Per-call `start`+`stop` latency (virtual cycles).
+    StartStopCycles,
+    /// Per-rotation multiplex switch latency (virtual cycles).
+    MpxRotateCycles,
+}
+
+/// All histograms, in slot order.
+pub const HISTS: &[Hist] = &[
+    Hist::ReadCycles,
+    Hist::StartStopCycles,
+    Hist::MpxRotateCycles,
+];
+
+/// Number of histogram slots.
+pub const NUM_HISTS: usize = HISTS.len();
+
+impl Hist {
+    /// Stable export name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::ReadCycles => "read_cycles",
+            Hist::StartStopCycles => "start_stop_cycles",
+            Hist::MpxRotateCycles => "mpx_rotate_cycles",
+        }
+    }
+
+    /// The histogram shadowing `counter`, if any.
+    pub fn for_counter(counter: Counter) -> Option<Hist> {
+        match counter {
+            Counter::CyclesInRead => Some(Hist::ReadCycles),
+            Counter::CyclesInStartStop => Some(Hist::StartStopCycles),
+            Counter::CyclesInMpxRotate => Some(Hist::MpxRotateCycles),
+            _ => None,
+        }
+    }
+}
 
 /// Shared, cloneable handle to one observability context.
 ///
@@ -52,6 +102,7 @@ pub type ObsHandle = Arc<Obs>;
 /// One observability context: a counter registry plus an optional journal.
 pub struct Obs {
     registry: Registry,
+    hists: [LogHistogram; NUM_HISTS],
     journal_on: AtomicBool,
     journal: Mutex<Journal>,
 }
@@ -69,6 +120,7 @@ impl Default for Obs {
     fn default() -> Self {
         Obs {
             registry: Registry::new(),
+            hists: std::array::from_fn(|_| LogHistogram::new()),
             journal_on: AtomicBool::new(false),
             journal: Mutex::new(Journal::new(DEFAULT_JOURNAL_CAPACITY)),
         }
@@ -102,6 +154,25 @@ impl Obs {
     #[inline]
     pub fn get(&self, c: Counter) -> u64 {
         self.registry.get(c)
+    }
+
+    /// Charge `v` cycles to counter `c` **and** record the value into the
+    /// latency histogram shadowing `c` (if one exists).  The core hot paths
+    /// use this for their per-call cost accounting so per-session
+    /// read/dispatch latency distributions feed the aggregation layer, not
+    /// just totals.  Both halves are relaxed atomics — no locks, no heap.
+    #[inline]
+    pub fn observe_cycles(&self, c: Counter, v: u64) {
+        self.registry.add(c, v);
+        if let Some(h) = Hist::for_counter(c) {
+            self.hists[h as usize].record(v);
+        }
+    }
+
+    /// The latency histogram for slot `h`.
+    #[inline]
+    pub fn hist(&self, h: Hist) -> &LogHistogram {
+        &self.hists[h as usize]
     }
 
     /// Enable journaling with the given ring capacity, replacing any
@@ -153,9 +224,18 @@ impl Obs {
         self.journal.lock().unwrap().dropped()
     }
 
-    /// Snapshot the registry.
+    /// Snapshot the registry, including any latency histograms that have
+    /// recorded at least one value.
     pub fn snapshot(&self) -> Snapshot {
-        Snapshot::capture(&self.registry)
+        let mut snap = Snapshot::capture(&self.registry);
+        for &h in HISTS {
+            let hs = self.hists[h as usize].snapshot();
+            if hs.count > 0 {
+                snap.hists
+                    .push(HistogramSample::from_snapshot(h.name(), &hs));
+            }
+        }
+        snap
     }
 
     /// Open a cycle span charging `target` at virtual time `now`.
@@ -213,6 +293,24 @@ mod tests {
         let s = obs.span(Counter::CyclesInMpxRotate, 1000);
         obs.end_span(s, 1750);
         assert_eq!(obs.get(Counter::CyclesInMpxRotate), 750);
+    }
+
+    #[test]
+    fn observe_cycles_feeds_counter_and_histogram() {
+        let obs = Obs::new();
+        for v in [100u64, 200, 300] {
+            obs.observe_cycles(Counter::CyclesInRead, v);
+        }
+        assert_eq!(obs.get(Counter::CyclesInRead), 600);
+        assert_eq!(obs.hist(Hist::ReadCycles).count(), 3);
+        // Non-latency counters have no histogram shadow.
+        obs.observe_cycles(Counter::Reads, 1);
+        assert_eq!(obs.get(Counter::Reads), 1);
+        let snap = obs.snapshot();
+        assert_eq!(snap.hists.len(), 1);
+        assert_eq!(snap.hists[0].name, "read_cycles");
+        assert_eq!(snap.hists[0].count, 3);
+        assert!(snap.hists[0].p99 >= 300 && snap.hists[0].max == 300);
     }
 
     #[test]

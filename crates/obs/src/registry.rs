@@ -89,6 +89,36 @@ pub enum Counter {
     /// Hardware counter wraparounds detected (and widened) by the portable
     /// layer on substrates with counters narrower than 64 bits.
     FaultWraps,
+    /// Snapshot/histogram frames presented to an aggregation daemon's
+    /// ingestion front end (every frame, applied or not).
+    AggdFramesIn,
+    /// Frames dropped because their sequence number was already applied
+    /// (or fell behind the anti-replay window) — exactly-once enforcement.
+    AggdDupDropped,
+    /// Frames that arrived out of sequence order but were still applied
+    /// exactly once (informational: reordering observed, not lost).
+    AggdOutOfOrder,
+    /// Frames dropped by per-tenant quota backpressure (never silently:
+    /// this counter is the accounting).
+    AggdDroppedFrames,
+    /// Non-empty time windows overwritten by ring rotation (oldest-window
+    /// eviction under the bounded-memory policy).
+    AggdEvictedWindows,
+    /// Frames whose window had already rotated out of the ring; applied to
+    /// lifetime totals only, excluded from windowed queries.
+    AggdStaleWindows,
+    /// Per-series deltas referencing a series id the tenant never
+    /// registered (skipped, counted).
+    AggdUnknownSeries,
+    /// Tenants registered into the aggregation table.
+    AggdTenantsRegistered,
+    /// Tenants evicted from the aggregation table (capacity or explicit).
+    AggdTenantsEvicted,
+    /// Sources (tenant x host x thread streams) closed by their session.
+    AggdSourcesClosed,
+    /// Sources closed *incomplete* (the session gave up mid-stream, e.g.
+    /// under fault injection) — explicitly reported, never silent.
+    AggdSourcesIncomplete,
 }
 
 /// All counters, in slot order.  `COUNTERS[c as usize] == c` for every `c`.
@@ -126,6 +156,17 @@ pub const COUNTERS: &[Counter] = &[
     Counter::FaultRetries,
     Counter::FaultGaveUp,
     Counter::FaultWraps,
+    Counter::AggdFramesIn,
+    Counter::AggdDupDropped,
+    Counter::AggdOutOfOrder,
+    Counter::AggdDroppedFrames,
+    Counter::AggdEvictedWindows,
+    Counter::AggdStaleWindows,
+    Counter::AggdUnknownSeries,
+    Counter::AggdTenantsRegistered,
+    Counter::AggdTenantsEvicted,
+    Counter::AggdSourcesClosed,
+    Counter::AggdSourcesIncomplete,
 ];
 
 /// Number of registry slots.
@@ -146,6 +187,17 @@ impl Counter {
             CyclesInRead | CyclesInStartStop | CyclesInMpxRotate => "cycles",
             ThreadsRegistered | ThreadsUnregistered | CrossThreadDenied => "threads",
             FaultRetries | FaultGaveUp | FaultWraps => "fault",
+            AggdFramesIn
+            | AggdDupDropped
+            | AggdOutOfOrder
+            | AggdDroppedFrames
+            | AggdEvictedWindows
+            | AggdStaleWindows
+            | AggdUnknownSeries
+            | AggdTenantsRegistered
+            | AggdTenantsEvicted
+            | AggdSourcesClosed
+            | AggdSourcesIncomplete => "aggd",
         }
     }
 
@@ -186,6 +238,17 @@ impl Counter {
             FaultRetries => "retries",
             FaultGaveUp => "gave_up",
             FaultWraps => "wraps",
+            AggdFramesIn => "frames_in",
+            AggdDupDropped => "dup_dropped",
+            AggdOutOfOrder => "out_of_order",
+            AggdDroppedFrames => "dropped_frames",
+            AggdEvictedWindows => "evicted_windows",
+            AggdStaleWindows => "stale_windows",
+            AggdUnknownSeries => "unknown_series",
+            AggdTenantsRegistered => "tenants_registered",
+            AggdTenantsEvicted => "tenants_evicted",
+            AggdSourcesClosed => "sources_closed",
+            AggdSourcesIncomplete => "sources_incomplete",
         }
     }
 

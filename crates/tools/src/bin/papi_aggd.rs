@@ -1,0 +1,161 @@
+//! `papi_aggd` — the multi-tenant counter aggregation daemon and its
+//! client-side query surface.
+//!
+//! ```text
+//! papi_aggd --listen ADDR [--window N] [--windows N] [--max-tenants N] [--quota N]
+//! papi_aggd --scrape ADDR                 # Prometheus text exposition
+//! papi_aggd --stats ADDR                  # daemon self-metrics as JSON
+//! papi_aggd --query ADDR TENANT SERIES    # one series: totals + quantiles
+//! papi_aggd --demo [SESSIONS]             # in-process workload + reconciliation
+//! ```
+//!
+//! `--listen` serves until killed; sessions connect via
+//! `papirun --push-aggd ADDR` or the [`papi_aggd::AggdClient`] API.
+//! `--demo` starts an ephemeral daemon, drives the seeded multi-tenant
+//! workload generator against it over real sockets, reconciles the served
+//! totals against what the generators pushed, and exits non-zero on any
+//! mismatch — the CLI form of the crate's conservation guarantee.
+
+use papi_aggd::{
+    reconcile, run_workload, AggdClient, AggdConfig, AggdServer, Aggregator, WorkloadCfg,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: papi_aggd --listen ADDR [--window CYC] [--windows N] [--max-tenants N] [--quota N]"
+    );
+    eprintln!("       papi_aggd --scrape ADDR");
+    eprintln!("       papi_aggd --stats ADDR");
+    eprintln!("       papi_aggd --query ADDR TENANT SERIES");
+    eprintln!("       papi_aggd --demo [SESSIONS]");
+    std::process::exit(2);
+}
+
+fn connect(addr: &str) -> AggdClient {
+    match AggdClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("papi_aggd: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("--listen") => {
+            let addr = args.get(1).map(|s| s.as_str()).unwrap_or_else(|| usage());
+            let mut cfg = AggdConfig::default();
+            let mut it = args.iter().skip(2);
+            while let Some(a) = it.next() {
+                let v = it.next().and_then(|v| v.parse::<u64>().ok());
+                match (a.as_str(), v) {
+                    ("--window", Some(v)) => cfg.window_cycles = v.max(1),
+                    ("--windows", Some(v)) => cfg.windows = (v as usize).max(1),
+                    ("--max-tenants", Some(v)) => cfg.max_tenants = (v as usize).max(1),
+                    ("--quota", Some(v)) => cfg.frames_per_window_quota = v as u32,
+                    _ => usage(),
+                }
+            }
+            let server = match AggdServer::bind(addr, Aggregator::new(cfg)) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("papi_aggd: cannot listen on {addr}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            println!("papi_aggd: listening on {}", server.local_addr());
+            println!(
+                "papi_aggd: push with `papirun --push-aggd {}`",
+                server.local_addr()
+            );
+            loop {
+                std::thread::park();
+            }
+        }
+        Some("--scrape") => {
+            let addr = args.get(1).map(|s| s.as_str()).unwrap_or_else(|| usage());
+            match connect(addr).scrape() {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    eprintln!("papi_aggd: scrape failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("--stats") => {
+            let addr = args.get(1).map(|s| s.as_str()).unwrap_or_else(|| usage());
+            match connect(addr).stats_json() {
+                Ok(doc) => println!("{doc}"),
+                Err(e) => {
+                    eprintln!("papi_aggd: stats failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("--query") => {
+            let (Some(addr), Some(tenant), Some(series)) = (args.get(1), args.get(2), args.get(3))
+            else {
+                usage()
+            };
+            let mut c = connect(addr);
+            match c.query_series(tenant, series) {
+                Ok(Some(sum)) => {
+                    println!("{tenant}/{series}:");
+                    println!("  lifetime total  {:>16}", sum.lifetime);
+                    println!("  windowed total  {:>16}", sum.windowed);
+                    for (start, v) in &sum.windows {
+                        println!("    window @{start:<12} {v:>12}");
+                    }
+                }
+                Ok(None) => {
+                    eprintln!("papi_aggd: no series {tenant}/{series}");
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("papi_aggd: query failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+            if let Ok(Some(q)) = c.query_quantiles(tenant, series) {
+                if q.count > 0 {
+                    println!(
+                        "  latency: n={} sum={} max={} p50={} p95={} p99={}",
+                        q.count, q.sum, q.max, q.p50, q.p95, q.p99
+                    );
+                }
+            }
+        }
+        Some("--demo") => {
+            let sessions = args
+                .get(1)
+                .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                .unwrap_or(64);
+            let server = AggdServer::bind("127.0.0.1:0", Aggregator::new(AggdConfig::default()))
+                .expect("bind demo daemon");
+            let cfg = WorkloadCfg {
+                sessions,
+                ..WorkloadCfg::default()
+            };
+            let report = run_workload(server.local_addr(), &cfg).expect("run workload");
+            let mut c = AggdClient::connect(server.local_addr()).expect("connect");
+            let rec = reconcile(&mut c, &report).expect("reconcile");
+            println!(
+                "demo: {} sessions, {} unique frames (+{} dups), {} series checked",
+                sessions, report.unique_frames, report.dups_injected, rec.checked
+            );
+            println!("{}", c.stats_json().expect("stats"));
+            if rec.exact() {
+                println!("reconciliation: exact");
+            } else {
+                for m in &rec.mismatches {
+                    eprintln!("MISMATCH: {m}");
+                }
+                std::process::exit(1);
+            }
+            server.shutdown();
+        }
+        _ => usage(),
+    }
+}

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! papirun [--platform NAME | --substrate NAME] [--workload NAME] [--seed N]
-//!         [--self-stats] [--self-stats-json] [--overflow EVENT=N] EVENT...
+//!         [--self-stats] [--self-stats-json] [--overflow EVENT=N]
+//!         [--push-aggd ADDR] [--push-tenant NAME] EVENT...
 //! papirun --list
 //! papirun --list-substrates
 //! ```
@@ -17,8 +18,9 @@ fn usage() -> ! {
         "usage: papirun [--platform NAME | --substrate NAME] [--workload NAME | --workload-file PROG.json]"
     );
     eprintln!(
-        "               [--seed N] [--self-stats] [--self-stats-json] [--overflow EVENT=THRESHOLD] EVENT..."
+        "               [--seed N] [--self-stats] [--self-stats-json] [--overflow EVENT=THRESHOLD]"
     );
+    eprintln!("               [--push-aggd ADDR] [--push-tenant NAME] EVENT...");
     eprintln!("       papirun --list");
     eprintln!("       papirun --list-substrates");
     eprintln!();
@@ -28,6 +30,8 @@ fn usage() -> ! {
     eprintln!("  --self-stats       append the library's internal papi-obs counters to the report");
     eprintln!("  --self-stats-json  print the internal counters as a flat JSON object instead");
     eprintln!("  --overflow E=N     install a counting overflow handler on event E every N counts");
+    eprintln!("  --push-aggd ADDR   stream live internal-stats snapshots to a papi-aggd daemon");
+    eprintln!("  --push-tenant T    tenant name for --push-aggd (default: papirun)");
     eprintln!();
     eprintln!(
         "platforms: {}",
@@ -68,6 +72,8 @@ fn main() {
     let mut self_stats = false;
     let mut self_stats_json = false;
     let mut overflow: Option<(String, u64)> = None;
+    let mut push_aggd: Option<String> = None;
+    let mut push_tenant = String::new();
     let mut events: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -83,6 +89,8 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--self-stats" => self_stats = true,
+            "--push-aggd" => push_aggd = Some(it.next().unwrap_or_else(|| usage())),
+            "--push-tenant" => push_tenant = it.next().unwrap_or_else(|| usage()),
             "--self-stats-json" => {
                 self_stats = true;
                 self_stats_json = true;
@@ -159,6 +167,8 @@ fn main() {
         seed,
         self_stats: self_stats || overflow.is_some(),
         overflow,
+        push_aggd,
+        push_tenant,
     };
     let result = match &substrate {
         Some(name) => papirun_named(name, &w, &names, &opts),

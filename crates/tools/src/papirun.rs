@@ -23,6 +23,13 @@ pub struct RunOptions {
     /// Install a (counting) overflow handler: `(event name, threshold)`.
     /// Implies the run cannot fall back to multiplexing.
     pub overflow: Option<(String, u64)>,
+    /// Stream live internal-stats snapshots to a papi-aggd daemon at this
+    /// address while the app runs (implies capturing obs state).  The
+    /// session registers under tenant [`RunOptions::push_tenant`] with a
+    /// source id derived from the seed.
+    pub push_aggd: Option<String>,
+    /// Tenant name for `--push-aggd` (empty means `"papirun"`).
+    pub push_tenant: String,
 }
 
 /// The collected run data.
@@ -138,7 +145,7 @@ fn run_loaded<S: Substrate>(
     event_names: &[&str],
     opts: &RunOptions,
 ) -> Result<RunReport> {
-    let obs = if opts.self_stats {
+    let obs = if opts.self_stats || opts.push_aggd.is_some() {
         let obs = papi_obs::Obs::new();
         papi.attach_obs(obs.clone());
         Some(obs)
@@ -166,8 +173,35 @@ fn run_loaded<S: Substrate>(
         }
         Err(e) => return Err(e),
     }
-    papi.run_app()?;
-    let values = papi.stop(set)?;
+    let values = if let Some(addr) = &opts.push_aggd {
+        // Stream incremental internal-stats snapshots while the app runs:
+        // chunked execution, one push per pause, gapless close at the end.
+        let tenant = if opts.push_tenant.is_empty() {
+            "papirun"
+        } else {
+            &opts.push_tenant
+        };
+        let io_err = |e: std::io::Error| PapiError::Substrate(format!("push-aggd: {e}"));
+        let mut pusher =
+            papi_aggd::SnapshotPusher::connect(addr.as_str(), tenant, opts.seed).map_err(io_err)?;
+        let live = obs.as_ref().expect("push-aggd implies obs");
+        loop {
+            let exit = papi.run_for(50_000)?;
+            let now = papi.substrate().real_cycles();
+            pusher.push(live, now).map_err(io_err)?;
+            if let papi_core::AppExit::Halted = exit {
+                break;
+            }
+        }
+        let values = papi.stop(set)?;
+        let now = papi.substrate().real_cycles();
+        pusher.push(live, now).map_err(io_err)?;
+        pusher.finish(true).map_err(io_err)?;
+        values
+    } else {
+        papi.run_app()?;
+        papi.stop(set)?
+    };
     Ok(RunReport {
         platform,
         workload: workload.name.to_string(),
@@ -179,7 +213,11 @@ fn run_loaded<S: Substrate>(
         real_us: papi.get_real_usec(),
         virt_us: papi.get_virt_usec(0)?,
         multiplexed,
-        self_stats: obs.map(|o| o.snapshot()),
+        self_stats: if opts.self_stats {
+            obs.map(|o| o.snapshot())
+        } else {
+            None
+        },
     })
 }
 
@@ -272,7 +310,7 @@ mod tests {
             &RunOptions {
                 seed: 1,
                 self_stats: true,
-                overflow: None,
+                ..RunOptions::default()
             },
         )
         .unwrap();
@@ -290,6 +328,51 @@ mod tests {
         let json = snap.to_json();
         assert!(json.contains("\"mpx.rotations\":"));
         assert!(!json.contains("\"mpx.rotations\": 0"));
+    }
+
+    #[test]
+    fn push_aggd_streams_session_stats_to_a_daemon() {
+        use papi_aggd::{AggdClient, AggdConfig, AggdServer, Aggregator};
+        let server =
+            AggdServer::bind("127.0.0.1:0", Aggregator::new(AggdConfig::default())).unwrap();
+        let rep = papirun_with(
+            &sim_x86(),
+            &dense_fp(200_000, 2, 1),
+            &[
+                "PAPI_FP_OPS",
+                "PAPI_FMA_INS",
+                "PAPI_FDV_INS",
+                "PAPI_TOT_INS",
+            ],
+            &RunOptions {
+                seed: 9,
+                push_aggd: Some(server.local_addr().to_string()),
+                push_tenant: "push-test".to_string(),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(rep.multiplexed);
+        // --push-aggd alone does not add the report section...
+        assert!(rep.self_stats.is_none());
+        // ...but the daemon saw the session: the multiplexed run rotated,
+        // and the gapless close certified the stream complete.
+        let mut c = AggdClient::connect(server.local_addr()).unwrap();
+        let rotations = c
+            .query_series("push-test", "mpx.rotations")
+            .unwrap()
+            .expect("mpx.rotations series");
+        assert!(rotations.lifetime > 0);
+        let doc = c.stats_json().unwrap();
+        assert_eq!(
+            papi_aggd::json_get_u64(&doc, "aggd.sources_closed"),
+            Some(1)
+        );
+        assert_eq!(
+            papi_aggd::json_get_u64(&doc, "aggd.sources_incomplete"),
+            Some(0)
+        );
+        server.shutdown();
     }
 
     #[test]
@@ -326,6 +409,7 @@ mod tests {
                 seed: 1,
                 self_stats: true,
                 overflow: Some(("PAPI_FMA_INS".to_string(), 5_000)),
+                ..RunOptions::default()
             },
         )
         .unwrap();

@@ -1,0 +1,345 @@
+//! Cross-crate integration suite for the aggregation daemon: conservation
+//! under adversarial delivery, concurrency, quotas, eviction, and the
+//! serving surface — all through the public crate APIs.
+//!
+//! The central property mirrors tests/concurrency.rs: never "nothing
+//! panicked", always *exact equality* against a deterministic replay.  A
+//! daemon that loses or double-applies even one frame fails these tests
+//! with the seed in the message.
+
+use papi_aggd::{
+    json_get_u64, reconcile, run_workload, AggdClient, AggdConfig, AggdServer, Aggregator, ConnCtx,
+    FrameBuf, WorkloadCfg,
+};
+use papi_obs::export::exposition;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+fn ingest(agg: &Aggregator, ctx: &mut ConnCtx, msg: &[u8]) {
+    agg.ingest(ctx, &msg[4..]).expect("well-formed frame");
+}
+
+/// Property: random duplication and bounded reordering leave every series
+/// bit-identical to an in-order replay of the unique frames — windowed
+/// buckets and histograms included, not just lifetime totals.
+#[test]
+fn random_dup_and_reorder_replay_is_bit_equal_to_in_order() {
+    for seed in [1u64, 7, 1234] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let tenants = ["alpha", "beta"];
+        let series = ["cyc", "ins", "lat"];
+        let mut fb = FrameBuf::new();
+
+        // Generate per-source unique frame streams (encoded bytes).
+        let mut streams: Vec<Vec<Vec<u8>>> = Vec::new();
+        for (t, _) in tenants.iter().enumerate() {
+            for source in 0..3u64 {
+                let mut stream = Vec::new();
+                let mut cycles = 0u64;
+                let frames = rng.gen_range(20..60);
+                for seq in 0..frames {
+                    cycles += rng.gen_range(100u64..4_000);
+                    if rng.gen_bool(0.2) {
+                        let buckets = [(rng.gen_range(0u16..40), rng.gen_range(1u64..5)), (50, 1)];
+                        stream.push(fb.hist(t as u16, 2, source, seq, cycles, &buckets).to_vec());
+                    } else {
+                        let deltas = [
+                            (0u16, rng.gen_range(1u64..100)),
+                            (1u16, rng.gen_range(1u64..100)),
+                        ];
+                        stream.push(fb.snapshot(t as u16, source, seq, cycles, &deltas).to_vec());
+                    }
+                }
+                streams.push(stream);
+            }
+        }
+
+        let build = |cfg: &AggdConfig| {
+            let agg = Aggregator::new(cfg.clone());
+            let mut ctx = ConnCtx::new();
+            let mut fb = FrameBuf::new();
+            for (t, name) in tenants.iter().enumerate() {
+                let msg = fb.bind_tenant(t as u16, name).to_vec();
+                ingest(&agg, &mut ctx, &msg);
+                for (s, sname) in series.iter().enumerate() {
+                    let msg = fb.reg_series(t as u16, s as u16, sname).to_vec();
+                    ingest(&agg, &mut ctx, &msg);
+                }
+            }
+            (agg, ctx)
+        };
+        let cfg = AggdConfig::default();
+
+        // Oracle: unique frames, in order.
+        let (oracle, mut octx) = build(&cfg);
+        for stream in &streams {
+            for msg in stream {
+                ingest(&oracle, &mut octx, msg);
+            }
+        }
+
+        // Subject: per-stream bounded shuffle (within the 64-frame replay
+        // window) plus random adjacent duplicates.
+        let (subject, mut sctx) = build(&cfg);
+        let mut delivery: Vec<&Vec<u8>> = Vec::new();
+        for stream in &streams {
+            let mut order: Vec<usize> = (0..stream.len()).collect();
+            for chunk in order.chunks_mut(24) {
+                chunk.shuffle(&mut rng);
+            }
+            for idx in order {
+                delivery.push(&stream[idx]);
+                if rng.gen_bool(0.3) {
+                    delivery.push(&stream[idx]);
+                }
+            }
+        }
+        for msg in delivery {
+            ingest(&subject, &mut sctx, msg);
+        }
+
+        for tname in &tenants {
+            for sname in &series {
+                let a = oracle.query_sum(tname, sname);
+                let b = subject.query_sum(tname, sname);
+                assert_eq!(a, b, "seed {seed}: {tname}/{sname} sums diverge");
+                let qa = oracle.query_quantiles(tname, sname);
+                let qb = subject.query_quantiles(tname, sname);
+                assert_eq!(qa, qb, "seed {seed}: {tname}/{sname} quantiles diverge");
+            }
+        }
+        // Every duplicate was seen and counted, none applied.
+        let st = subject.stats();
+        assert!(st.dup_dropped > 0, "seed {seed}: no dups were injected?");
+        assert_eq!(
+            st.frames_in,
+            st.applied() + st.dup_dropped + st.dropped_frames,
+            "seed {seed}: accounting identity broken"
+        );
+        assert_eq!(oracle.stats().applied(), st.applied(), "seed {seed}");
+    }
+}
+
+/// Four concurrent writers over real sockets, each a gapless source; close
+/// certifies every stream complete and the journal records tenant
+/// registration.
+#[test]
+fn gapless_sequences_under_four_concurrent_writers() {
+    let server = AggdServer::bind("127.0.0.1:0", Aggregator::new(AggdConfig::default())).unwrap();
+    let addr = server.local_addr();
+    let frames_per_writer = 500u64;
+    std::thread::scope(|scope| {
+        for w in 0..4u16 {
+            scope.spawn(move || {
+                let mut c = AggdClient::connect(addr).unwrap();
+                c.bind_tenant(0, "shared").unwrap();
+                c.reg_series(0, 0, "hits").unwrap();
+                for seq in 0..frames_per_writer {
+                    c.snapshot(0, u64::from(w), seq, seq * 1_000, &[(0, 1)])
+                        .unwrap();
+                }
+                c.close_source(0, u64::from(w), frames_per_writer, true)
+                    .unwrap();
+                c.flush().unwrap();
+            });
+        }
+    });
+    let mut c = AggdClient::connect(addr).unwrap();
+    let sum = c.query_series("shared", "hits").unwrap().expect("series");
+    assert_eq!(
+        sum.lifetime,
+        4 * frames_per_writer,
+        "lost or doubled frames"
+    );
+    let doc = c.stats_json().unwrap();
+    assert_eq!(
+        json_get_u64(&doc, "aggd.frames_in"),
+        Some(4 * frames_per_writer)
+    );
+    assert_eq!(json_get_u64(&doc, "aggd.dup_dropped"), Some(0));
+    assert_eq!(json_get_u64(&doc, "aggd.sources_closed"), Some(4));
+    assert_eq!(json_get_u64(&doc, "aggd.sources_incomplete"), Some(0));
+    // The daemon journaled the tenant registration.
+    let kinds: Vec<&'static str> = server
+        .aggregator()
+        .obs()
+        .journal_records()
+        .iter()
+        .map(|r| r.event.kind())
+        .collect();
+    assert!(
+        kinds.contains(&"obs.tenant_registered"),
+        "no registration journal event: {kinds:?}"
+    );
+    server.shutdown();
+}
+
+/// The acceptance-scale fleet: >= 1000 seeded sessions across >= 8 writer
+/// threads reconcile exactly, including a chaos cohort where gave-up
+/// sessions must surface as explicitly incomplete.
+#[test]
+fn thousand_session_fleet_reconciles_exactly_including_chaos() {
+    let server = AggdServer::bind("127.0.0.1:0", Aggregator::new(AggdConfig::default())).unwrap();
+    let synth = WorkloadCfg {
+        tenants: 12,
+        sessions: 1000,
+        threads: 8,
+        frames_per_session: 12,
+        series_per_tenant: 4,
+        seed: 99,
+        ..WorkloadCfg::default()
+    };
+    let report = run_workload(server.local_addr(), &synth).unwrap();
+    assert_eq!(report.completed_sessions, 1000);
+    let mut c = AggdClient::connect(server.local_addr()).unwrap();
+    let rec = reconcile(&mut c, &report).unwrap();
+    assert!(rec.exact(), "synthetic mismatches: {:#?}", rec.mismatches);
+    assert!(rec.stats.dup_dropped > 0 && rec.stats.out_of_order > 0);
+    server.shutdown();
+
+    // Chaos cohort on a fresh daemon: real fault[chaos]: sessions.
+    let server = AggdServer::bind("127.0.0.1:0", Aggregator::new(AggdConfig::default())).unwrap();
+    let chaos = WorkloadCfg {
+        tenants: 6,
+        sessions: 96,
+        threads: 8,
+        frames_per_session: 10,
+        seed: 5,
+        chaos: true,
+        ..WorkloadCfg::default()
+    };
+    let report = run_workload(server.local_addr(), &chaos).unwrap();
+    assert!(
+        report.incomplete_sessions > 0,
+        "chaos cohort should produce gave-up sessions"
+    );
+    assert_eq!(
+        report.completed_sessions + report.incomplete_sessions,
+        96,
+        "every chaos session accounted"
+    );
+    let mut c = AggdClient::connect(server.local_addr()).unwrap();
+    let rec = reconcile(&mut c, &report).unwrap();
+    assert!(rec.exact(), "chaos mismatches: {:#?}", rec.mismatches);
+    server.shutdown();
+}
+
+/// The Prometheus scrape validates as text exposition format and carries
+/// the pushed data; the JSON stats round-trip through the scan parser.
+#[test]
+fn scrape_validates_and_queries_roundtrip_over_the_wire() {
+    let server = AggdServer::bind("127.0.0.1:0", Aggregator::new(AggdConfig::default())).unwrap();
+    let mut c = AggdClient::connect(server.local_addr()).unwrap();
+    c.bind_tenant(0, "web \"prod\"\\1").unwrap(); // hostile label value
+    c.reg_series(0, 0, "papi.tot_cyc").unwrap();
+    for seq in 0..10u64 {
+        c.snapshot(0, 1, seq, seq * 2_000, &[(0, 100)]).unwrap();
+    }
+    c.hist(0, 0, 1, 10, 20_000, &[(10, 5), (80, 2)]).unwrap();
+    c.close_source(0, 1, 11, true).unwrap();
+    c.flush().unwrap();
+
+    let text = c.scrape().unwrap();
+    exposition::validate(&text).unwrap_or_else(|e| panic!("invalid exposition: {e}\n{text}"));
+    assert!(text.contains("papi_aggd_series_total"));
+    assert!(text.contains("papi_aggd_latency"));
+    // The hostile tenant name survives as an escaped label value.
+    assert!(text.contains("web \\\"prod\\\"\\\\1"), "{text}");
+
+    let sum = c
+        .query_series("web \"prod\"\\1", "papi.tot_cyc")
+        .unwrap()
+        .unwrap();
+    assert_eq!(sum.lifetime, 1_000);
+    assert_eq!(sum.windowed, 1_000, "all windows inside the default ring");
+    let q = c
+        .query_quantiles("web \"prod\"\\1", "papi.tot_cyc")
+        .unwrap()
+        .unwrap();
+    assert_eq!(q.count, 7);
+    let doc = c.stats_json().unwrap();
+    for key in [
+        "aggd.frames_in",
+        "aggd.dup_dropped",
+        "aggd.sources_closed",
+        "aggd.tenants_live",
+        "aggd.bytes_per_tenant",
+    ] {
+        assert!(json_get_u64(&doc, key).is_some(), "missing {key} in {doc}");
+    }
+    assert_eq!(json_get_u64(&doc, "aggd.frames_in"), Some(11));
+    server.shutdown();
+}
+
+/// Quota backpressure sheds whole frames, visibly: nothing silent, the
+/// accounting identity holds, and totals reflect exactly the admitted
+/// frames.
+#[test]
+fn quota_backpressure_sheds_frames_loudly_and_exactly() {
+    let cfg = AggdConfig {
+        frames_per_window_quota: 5,
+        ..AggdConfig::default()
+    };
+    let agg = Aggregator::new(cfg);
+    let mut ctx = ConnCtx::new();
+    let mut fb = FrameBuf::new();
+    let msg = fb.bind_tenant(0, "noisy").to_vec();
+    ingest(&agg, &mut ctx, &msg);
+    let msg = fb.reg_series(0, 0, "spam").to_vec();
+    ingest(&agg, &mut ctx, &msg);
+    // 50 frames into the same window: 5 admitted, 45 shed.
+    for seq in 0..50u64 {
+        let msg = fb.snapshot(0, 1, seq, 100, &[(0, 1)]).to_vec();
+        ingest(&agg, &mut ctx, &msg);
+    }
+    let st = agg.stats();
+    assert_eq!(st.frames_in, 50);
+    assert_eq!(st.dropped_frames, 45);
+    assert_eq!(st.applied(), 5);
+    assert_eq!(agg.query_sum("noisy", "spam").unwrap().lifetime, 5);
+    // Self-metrics surface the shedding in the scrape too.
+    let text = agg.scrape();
+    exposition::validate(&text).unwrap();
+    assert!(
+        text.contains("papi_aggd_self{counter=\"dropped_frames\"} 45"),
+        "{text}"
+    );
+}
+
+/// Tenant-table pressure evicts the least-recently-active tenant with a
+/// journal record, never silently.
+#[test]
+fn tenant_capacity_eviction_is_journaled() {
+    let cfg = AggdConfig {
+        max_tenants: 2,
+        ..AggdConfig::default()
+    };
+    let agg = Aggregator::new(cfg);
+    let mut ctx = ConnCtx::new();
+    let mut fb = FrameBuf::new();
+    for (t, name) in ["a", "b", "c"].iter().enumerate() {
+        let msg = fb.bind_tenant(t as u16, name).to_vec();
+        ingest(&agg, &mut ctx, &msg);
+        let msg = fb.reg_series(t as u16, 0, "x").to_vec();
+        ingest(&agg, &mut ctx, &msg);
+        let msg = fb.snapshot(t as u16, 0, 0, 100, &[(0, 1)]).to_vec();
+        ingest(&agg, &mut ctx, &msg);
+    }
+    let st = agg.stats();
+    assert_eq!(st.tenants_registered, 3);
+    assert_eq!(st.tenants_evicted, 1);
+    assert_eq!(st.tenants_live, 2);
+    let evictions: Vec<String> = agg
+        .obs()
+        .journal_records()
+        .iter()
+        .filter_map(|r| match &r.event {
+            papi_obs::JournalEvent::TenantEvicted { tenant, reason } => {
+                Some(format!("{tenant}:{reason}"))
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(evictions, vec!["a:capacity".to_string()]);
+}
