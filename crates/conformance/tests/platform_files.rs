@@ -1,0 +1,88 @@
+//! Conformance over the checked-in platform-model files: every
+//! `platforms/*.toml` must lint, load through the registry, and pass the
+//! full differential matrix (every check × every fault schedule). This is
+//! the acceptance gate for data-only platforms — sim-rv64 has no Rust
+//! constructor, so this suite is the only thing standing behind it.
+
+use papi_conformance::{fault_schedules, run_matrix};
+use papi_core::SubstrateRegistry;
+use std::path::PathBuf;
+
+fn platforms_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../platforms")
+}
+
+fn model_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(platforms_dir())
+        .expect("platforms/ directory exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn every_model_file_lints() {
+    let files = model_files();
+    assert!(
+        files.len() >= 9,
+        "expected the 8 builtins plus sim-rv64, found {files:?}"
+    );
+    for path in &files {
+        let spec =
+            simcpu::load_platform_file(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // A linted file is canonical: rendering and re-parsing is lossless.
+        let rendered = simcpu::render_platform(&spec);
+        let reparsed = simcpu::parse_platform(&rendered)
+            .unwrap_or_else(|e| panic!("{}: render does not re-parse: {e}", path.display()));
+        assert_eq!(reparsed, spec, "{} round-trip", path.display());
+    }
+}
+
+/// The tentpole acceptance test: a registry holding *only* file-loaded
+/// platforms (including the data-only sim-rv64) is green across the whole
+/// differential matrix — every check, every fault schedule.
+#[test]
+fn file_platforms_pass_full_conformance_matrix() {
+    let mut reg = SubstrateRegistry::new();
+    let names = reg
+        .register_platform_dir(&platforms_dir())
+        .expect("all checked-in model files load");
+    assert!(
+        names.iter().any(|n| n == "file:sim-rv64"),
+        "sim-rv64 missing from {names:?}"
+    );
+    assert_eq!(fault_schedules().len(), 3, "schedule coverage shrank");
+    let divs = run_matrix(&reg, &[0xDA7A_F11E]);
+    assert!(
+        divs.is_empty(),
+        "divergences:\n{}",
+        divs.iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Malformed files must fail loudly with a named check — a model file that
+/// cannot be validated never reaches the registry.
+#[test]
+fn malformed_file_fails_with_named_check_not_silently() {
+    let dir = std::env::temp_dir().join(format!("papi-conf-badfile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("sim-broken.toml");
+    let src = std::fs::read_to_string(platforms_dir().join("sim-rv64.toml")).unwrap();
+    // Corrupt the event table: counters beyond num_counters.
+    std::fs::write(&bad, src.replace("counters = [0]", "counters = [0, 99]")).unwrap();
+    let mut reg = SubstrateRegistry::new();
+    let err = reg.register_platform_file(&bad).unwrap_err();
+    let msg = format!("{err}");
+    assert!(
+        msg.contains("mask-beyond-counters") || msg.contains("bad-counter-spec"),
+        "expected a named check in: {msg}"
+    );
+    assert!(reg.names().is_empty(), "bad file must not register");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -93,7 +93,7 @@ pub use eventset::{EventSetId, SetState};
 pub use fault::{FaultPlan, FaultSubstrate};
 pub use preset::{is_preset_code, Mapping, Preset, PresetTable, PRESET_MASK};
 pub use profile::{Profil, ProfilConfig};
-pub use registry::{SubstrateFactory, SubstrateInfo, SubstrateRegistry};
+pub use registry::{Provenance, SubstrateFactory, SubstrateInfo, SubstrateRegistry};
 pub use session::{Papi, DEFAULT_TRANSIENT_RETRY_BUDGET};
 pub use substrate::{BoxSubstrate, HwInfo, SimSubstrate, Substrate};
 pub use threads::{PapiThread, TaggedSetId, ThreadedPapi, NUM_SHARDS};

@@ -19,6 +19,30 @@
 
 use crate::error::{PapiError, Result};
 use crate::substrate::{BoxSubstrate, SimSubstrate, Substrate};
+use simcpu::PlatformSpec;
+
+/// Where a registered backend's definition lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// A built-in platform parsed from an embedded `platforms/*.toml` file.
+    BuiltinData,
+    /// A backend implemented in Rust (perfctr emulation, test doubles).
+    Code,
+    /// A platform-model file loaded at runtime via
+    /// [`SubstrateRegistry::register_platform_file`] or a `file:` name.
+    DataFile,
+}
+
+impl Provenance {
+    /// Short label for listings (`papi_avail` provenance column).
+    pub fn label(self) -> &'static str {
+        match self {
+            Provenance::BuiltinData => "builtin-data",
+            Provenance::Code => "code",
+            Provenance::DataFile => "data-file",
+        }
+    }
+}
 
 /// One row of `papirun --list-substrates`: the registry's description of a
 /// backend, probed from a throwaway instance.
@@ -36,6 +60,8 @@ pub struct SubstrateInfo {
     pub groups: usize,
     /// Precise-sampling hardware present.
     pub sampling: bool,
+    /// Where the backend's definition lives.
+    pub provenance: Provenance,
 }
 
 /// Builds one substrate instance from a deterministic seed.
@@ -46,6 +72,10 @@ struct Entry {
     aliases: Vec<String>,
     description: String,
     factory: SubstrateFactory,
+    provenance: Provenance,
+    /// The platform model backing this entry, when there is one. `None` for
+    /// code backends like perfctr whose definition is not a `PlatformSpec`.
+    spec: Option<PlatformSpec>,
 }
 
 /// Name → substrate factory table.
@@ -72,17 +102,12 @@ impl SubstrateRegistry {
                 .unwrap_or_else(|| spec.name.to_string());
             let description = format!("{} {} (simulated)", spec.vendor, spec.model);
             let aliases = vec![spec.name.to_string()];
-            let spec_for_factory = spec.clone();
-            reg.register_with_aliases(
+            reg.register_spec(
                 &canonical,
                 &aliases,
                 &description,
-                Box::new(move |seed| {
-                    Ok(
-                        Box::new(SimSubstrate::for_platform(spec_for_factory.clone(), seed))
-                            as BoxSubstrate,
-                    )
-                }),
+                spec,
+                Provenance::BuiltinData,
             );
         }
         reg
@@ -102,20 +127,124 @@ impl SubstrateRegistry {
         factory: SubstrateFactory,
     ) {
         // Last registration of a name wins, like component overrides.
-        self.entries.retain(|e| e.name != name);
+        self.entries.retain(|e| !e.name.eq_ignore_ascii_case(name));
         self.entries.push(Entry {
             name: name.to_string(),
             aliases: aliases.to_vec(),
             description: description.to_string(),
             factory,
+            provenance: Provenance::Code,
+            spec: None,
         });
     }
 
+    /// Register a simulated platform backed by a known [`PlatformSpec`].
+    fn register_spec(
+        &mut self,
+        name: &str,
+        aliases: &[String],
+        description: &str,
+        spec: PlatformSpec,
+        provenance: Provenance,
+    ) {
+        let spec_for_factory = spec.clone();
+        self.register_with_aliases(
+            name,
+            aliases,
+            description,
+            Box::new(move |seed| {
+                Ok(
+                    Box::new(SimSubstrate::for_platform(spec_for_factory.clone(), seed))
+                        as BoxSubstrate,
+                )
+            }),
+        );
+        let entry = self.entries.last_mut().unwrap();
+        entry.provenance = provenance;
+        entry.spec = Some(spec);
+    }
+
+    /// Load a platform-model file and register it as a substrate.
+    ///
+    /// The file is parsed and validated *before* the registry is touched: a
+    /// malformed or semantics-violating file returns the parser's named
+    /// check and line number and leaves the registry exactly as it was. On
+    /// success the platform is registered under `file:<name>` (aliased to
+    /// its bare `[platform].name`) with [`Provenance::DataFile`], and gets
+    /// the full substrate treatment — allocation models, fault decoration,
+    /// conformance. Returns the canonical registered name.
+    pub fn register_platform_file(&mut self, path: &std::path::Path) -> Result<String> {
+        let spec = simcpu::load_platform_file(path)
+            .map_err(|e| PapiError::Substrate(format!("platform file {}: {e}", path.display())))?;
+        Ok(self.register_loaded_spec(spec))
+    }
+
+    /// Load every `*.toml` platform-model file in `dir`, atomically: all
+    /// files are parsed and validated first, and the registry is only
+    /// mutated if every one of them is valid. Returns the canonical names
+    /// registered, in filename order.
+    pub fn register_platform_dir(&mut self, dir: &std::path::Path) -> Result<Vec<String>> {
+        let mut paths: Vec<_> = std::fs::read_dir(dir)
+            .map_err(|e| PapiError::Substrate(format!("platform dir {}: {e}", dir.display())))?
+            .filter_map(|ent| ent.ok().map(|ent| ent.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+            .collect();
+        paths.sort();
+        let mut specs = Vec::with_capacity(paths.len());
+        for path in &paths {
+            specs.push(simcpu::load_platform_file(path).map_err(|e| {
+                PapiError::Substrate(format!("platform file {}: {e}", path.display()))
+            })?);
+        }
+        Ok(specs
+            .into_iter()
+            .map(|spec| self.register_loaded_spec(spec))
+            .collect())
+    }
+
+    fn register_loaded_spec(&mut self, spec: PlatformSpec) -> String {
+        let canonical = format!("file:{}", spec.name);
+        let description = format!("{} {} (platform file)", spec.vendor, spec.model);
+        let aliases = vec![spec.name.to_string()];
+        self.register_spec(
+            &canonical,
+            &aliases,
+            &description,
+            spec,
+            Provenance::DataFile,
+        );
+        canonical
+    }
+
+    /// Does `name` denote an on-the-fly platform-file load (`file:` followed
+    /// by something path-shaped rather than a registered platform name)?
+    fn file_path_name(name: &str) -> Option<&std::path::Path> {
+        let rest = name.strip_prefix("file:")?;
+        if rest.contains('/') || rest.ends_with(".toml") {
+            Some(std::path::Path::new(rest))
+        } else {
+            None
+        }
+    }
+
     fn entry(&self, name: &str) -> Result<&Entry> {
-        self.entries
-            .iter()
-            .find(|e| e.name == name || e.aliases.iter().any(|a| a == name))
-            .ok_or_else(|| PapiError::Substrate(format!("unknown substrate '{name}'")))
+        // Case-insensitive over canonical names and aliases — the one place
+        // in the workspace that resolves substrate/platform names. A query
+        // in colon form (`sim:rv64`) falls back to the dashed platform name
+        // (`sim-rv64`), so data-file platforms are reachable the same two
+        // ways the builtins are.
+        let hit = self.entries.iter().find(|e| {
+            e.name.eq_ignore_ascii_case(name)
+                || e.aliases.iter().any(|a| a.eq_ignore_ascii_case(name))
+        });
+        let hit = hit.or_else(|| {
+            let dashed = name.replace(':', "-");
+            self.entries.iter().find(|e| {
+                e.name.eq_ignore_ascii_case(&dashed)
+                    || e.aliases.iter().any(|a| a.eq_ignore_ascii_case(&dashed))
+            })
+        });
+        hit.ok_or_else(|| PapiError::Substrate(format!("unknown substrate '{name}'")))
     }
 
     /// Instantiate the backend registered under `name` (canonical or alias)
@@ -133,6 +262,15 @@ impl SubstrateRegistry {
         if let Some((plan, inner)) = Self::parse_fault_name(name, seed)? {
             let inner_sub = self.create(inner, seed)?;
             return Ok(Box::new(crate::fault::FaultSubstrate::new(inner_sub, plan)));
+        }
+        // `file:<path>` loads a platform-model file on the fly (no prior
+        // registration needed), so fault prefixes compose over it:
+        // `fault[chaos]:file:platforms/sim-rv64.toml`.
+        if let Some(path) = Self::file_path_name(name) {
+            let spec = simcpu::load_platform_file(path).map_err(|e| {
+                PapiError::Substrate(format!("platform file {}: {e}", path.display()))
+            })?;
+            return Ok(Box::new(SimSubstrate::for_platform(spec, seed)));
         }
         (self.entry(name)?.factory)(seed)
     }
@@ -157,6 +295,19 @@ impl SubstrateRegistry {
         Ok(None)
     }
 
+    /// Where the backend behind `name` is defined. Fault prefixes are
+    /// transparent (they decorate, not define); `file:<path>` names are
+    /// [`Provenance::DataFile`].
+    pub fn provenance(&self, name: &str) -> Result<Provenance> {
+        if let Some((_, inner)) = Self::parse_fault_name(name, 0)? {
+            return self.provenance(inner);
+        }
+        if Self::file_path_name(name).is_some() {
+            return Ok(Provenance::DataFile);
+        }
+        Ok(self.entry(name)?.provenance)
+    }
+
     /// Canonical names, in registration order.
     pub fn names(&self) -> Vec<&str> {
         self.entries.iter().map(|e| e.name.as_str()).collect()
@@ -167,9 +318,33 @@ impl SubstrateRegistry {
     pub fn contains(&self, name: &str) -> bool {
         match Self::parse_fault_name(name, 0) {
             Ok(Some((_, inner))) => self.contains(inner),
-            Ok(None) => self.entry(name).is_ok(),
+            Ok(None) => match Self::file_path_name(name) {
+                Some(path) => simcpu::load_platform_file(path).is_ok(),
+                None => self.entry(name).is_ok(),
+            },
             Err(_) => false,
         }
+    }
+
+    /// Resolve `name` to the [`PlatformSpec`] backing it, if any: fault
+    /// prefixes are stripped (they decorate the substrate, not the model),
+    /// `file:<path>` names are loaded from disk, and registered names —
+    /// builtin or data-file, canonical or alias, any case — return their
+    /// stored spec. Code backends (perfctr) have no spec and error.
+    pub fn platform_spec(&self, name: &str) -> Result<PlatformSpec> {
+        if let Some((_, inner)) = Self::parse_fault_name(name, 0)? {
+            return self.platform_spec(inner);
+        }
+        if let Some(path) = Self::file_path_name(name) {
+            return simcpu::load_platform_file(path).map_err(|e| {
+                PapiError::Substrate(format!("platform file {}: {e}", path.display()))
+            });
+        }
+        self.entry(name)?.spec.clone().ok_or_else(|| {
+            PapiError::Substrate(format!(
+                "substrate '{name}' is a code backend with no platform model"
+            ))
+        })
     }
 
     /// Describe every backend by probing a throwaway instance of each.
@@ -187,6 +362,7 @@ impl SubstrateRegistry {
                     counters: hw.num_counters,
                     groups: sub.groups().len(),
                     sampling: hw.precise_sampling,
+                    provenance: e.provenance,
                 })
             })
             .collect()
@@ -319,6 +495,141 @@ mod tests {
             Err(PapiError::Substrate(_))
         ));
         assert!(reg.create("fault[bogus=1]:sim:x86", 0).is_err());
+    }
+
+    fn rv64_path() -> std::path::PathBuf {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../platforms/sim-rv64.toml")
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_colon_dash_agnostic() {
+        let reg = SubstrateRegistry::with_builtin();
+        for name in ["SIM:X86", "Sim-X86", "sim:x86", "sim-x86", "SIM-POWER3"] {
+            assert!(reg.contains(name), "{name}");
+            reg.create(name, 0).unwrap();
+        }
+        // Every platform name round-trips through both the registry and
+        // simcpu's platform_by_name.
+        for spec in simcpu::platform::all_platforms() {
+            let suffix = spec.name.strip_prefix("sim-").unwrap();
+            for query in [
+                spec.name.to_string(),
+                spec.name.to_uppercase(),
+                format!("sim:{suffix}"),
+                format!("SIM:{}", suffix.to_uppercase()),
+            ] {
+                assert!(reg.contains(&query), "{query}");
+                assert_eq!(reg.platform_spec(&query).unwrap().name, spec.name);
+                assert_eq!(
+                    simcpu::platform_by_name(&query).unwrap().name,
+                    spec.name,
+                    "{query}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn register_platform_file_gets_full_substrate_treatment() {
+        let mut reg = SubstrateRegistry::with_builtin();
+        let canonical = reg.register_platform_file(&rv64_path()).unwrap();
+        assert_eq!(canonical, "file:sim-rv64");
+        assert!(reg.names().contains(&"file:sim-rv64"));
+        // Reachable by canonical name, bare alias, colon form, and
+        // case-insensitively.
+        for name in ["file:sim-rv64", "sim-rv64", "SIM-RV64", "sim:rv64"] {
+            let sub = reg.create(name, 7).unwrap();
+            assert_eq!(sub.num_counters(), 6, "{name}");
+        }
+        // Fault decoration composes like for any other backend.
+        let sub = reg.create("fault[bits=32]:sim-rv64", 7).unwrap();
+        assert_eq!(sub.counter_width(), 32);
+        // Provenance is reported in listings.
+        let infos = reg.list();
+        let rv = infos.iter().find(|i| i.name == "file:sim-rv64").unwrap();
+        assert_eq!(rv.provenance, Provenance::DataFile);
+        assert!(infos
+            .iter()
+            .filter(|i| i.name.starts_with("sim:"))
+            .all(|i| i.provenance == Provenance::BuiltinData));
+        // The spec is resolvable, including through a fault prefix.
+        assert_eq!(reg.platform_spec("sim-rv64").unwrap().num_counters, 6);
+        assert_eq!(
+            reg.platform_spec("fault[chaos]:file:sim-rv64")
+                .unwrap()
+                .name,
+            "sim-rv64"
+        );
+    }
+
+    #[test]
+    fn file_path_names_load_on_the_fly() {
+        let reg = SubstrateRegistry::with_builtin();
+        let name = format!("file:{}", rv64_path().display());
+        assert!(reg.contains(&name));
+        let sub = reg.create(&name, 7).unwrap();
+        assert_eq!(sub.num_counters(), 6);
+        // Fault prefixes compose over on-the-fly file loads.
+        let sub = reg.create(&format!("fault[bits=32]:{name}"), 7).unwrap();
+        assert_eq!(sub.counter_width(), 32);
+        // A missing file is a structured error, and contains() says no.
+        assert!(!reg.contains("file:no/such/platform.toml"));
+        assert!(matches!(
+            reg.create("file:no/such/platform.toml", 0),
+            Err(PapiError::Substrate(_))
+        ));
+    }
+
+    #[test]
+    fn bad_platform_file_leaves_registry_unchanged() {
+        let dir = std::env::temp_dir().join(format!("papi-registry-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.toml");
+        std::fs::write(&bad, "schema = 1\n[platform]\nname = \"oops\"\n").unwrap();
+        let mut reg = SubstrateRegistry::with_builtin();
+        let before = reg
+            .names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>();
+        let err = reg.register_platform_file(&bad).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("missing-key"), "named check in: {msg}");
+        assert_eq!(reg.names(), before, "failed load must not mutate registry");
+        // Directory registration is atomic: one bad file poisons the batch.
+        std::fs::copy(rv64_path(), dir.join("sim-rv64.toml")).unwrap();
+        let err = reg.register_platform_dir(&dir).unwrap_err();
+        assert!(format!("{err}").contains("bad.toml"));
+        assert_eq!(reg.names(), before, "atomic dir load");
+        // With the bad file gone the directory loads fine.
+        std::fs::remove_file(&bad).unwrap();
+        let names = reg.register_platform_dir(&dir).unwrap();
+        assert_eq!(names, vec!["file:sim-rv64".to_string()]);
+        assert!(reg.contains("sim-rv64"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn platform_spec_errors_on_code_backends() {
+        let mut reg = SubstrateRegistry::with_builtin();
+        reg.register(
+            "codeonly",
+            "no model behind this",
+            Box::new(|seed| {
+                Ok(Box::new(SimSubstrate::for_platform(
+                    simcpu::platform::sim_generic(),
+                    seed,
+                )) as BoxSubstrate)
+            }),
+        );
+        assert!(matches!(
+            reg.platform_spec("codeonly"),
+            Err(PapiError::Substrate(_))
+        ));
+        let infos = reg.list();
+        let code = infos.iter().find(|i| i.name == "codeonly").unwrap();
+        assert_eq!(code.provenance, Provenance::Code);
+        assert_eq!(code.provenance.label(), "code");
     }
 
     #[test]

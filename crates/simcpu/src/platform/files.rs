@@ -1,0 +1,47 @@
+//! The checked-in platform-model files, embedded at compile time.
+//!
+//! Each entry pairs a platform name with the full text of its
+//! `platforms/<name>.toml` model file. The parent module parses these once
+//! (see `builtin_specs`) to back the `sim_x86()`-style constructors; the
+//! files — not Rust code — are the authoritative definitions of the
+//! built-in platforms. `platforms/sim-rv64.toml` is deliberately *not*
+//! embedded: it ships as a data-only platform loaded at runtime through
+//! `SubstrateRegistry::register_platform_file`, proving the path a new
+//! platform takes with zero Rust changes.
+
+/// `(name, file text)` for every built-in platform, in the stable order
+/// `all_platforms()` has always used.
+pub const BUILTIN: &[(&str, &str)] = &[
+    (
+        "sim-x86",
+        include_str!("../../../../platforms/sim-x86.toml"),
+    ),
+    (
+        "sim-alpha",
+        include_str!("../../../../platforms/sim-alpha.toml"),
+    ),
+    (
+        "sim-power3",
+        include_str!("../../../../platforms/sim-power3.toml"),
+    ),
+    (
+        "sim-ia64",
+        include_str!("../../../../platforms/sim-ia64.toml"),
+    ),
+    (
+        "sim-t3e",
+        include_str!("../../../../platforms/sim-t3e.toml"),
+    ),
+    (
+        "sim-ultra",
+        include_str!("../../../../platforms/sim-ultra.toml"),
+    ),
+    (
+        "sim-mips",
+        include_str!("../../../../platforms/sim-mips.toml"),
+    ),
+    (
+        "sim-generic",
+        include_str!("../../../../platforms/sim-generic.toml"),
+    ),
+];

@@ -1,166 +1,17 @@
-//! Platform definitions: the simulated stand-ins for the machines the paper
-//! ran on.
+//! Test-only snapshot of the pre-refactor Rust platform constructors.
 //!
-//! Each [`PlatformSpec`] bundles a pipeline/memory timing model, a *native
-//! event* list with counter constraints (or POWER-style groups), and a cost
-//! model for the native counter interface — register reads on `sim-t3e`
-//! (Cray T3E), a kernel-patch syscall on `sim-x86` (Linux/x86), a vendor
-//! library on `sim-power3` (AIX pmtoolkit), a daemon-mediated interface plus
-//! ProfileMe sampling on `sim-alpha` (Tru64 DCPI/DADD), and EAR-capable
-//! perfmon on `sim-ia64` (Itanium). `sim-generic` is an unconstrained
-//! teaching platform.
-//!
-//! The differences between these specs are what make the portable layer
-//! above them (the `papi-core` crate) non-trivial, exactly as in the paper.
+//! These are the exact hardcoded constructors the `platforms/*.toml` data
+//! files were generated from. They exist solely so the golden differential
+//! tests can assert that every data-loaded platform is **bit-identical** to
+//! its original in-code definition — field for field, including derived
+//! group masks, counter widths and the cost model. Do not edit a platform
+//! here: edit its `platforms/*.toml` file (the loaders in the parent module
+//! are the live definitions) and, if the change is intentional, update this
+//! snapshot to match so the differential test keeps meaning something.
 
+use super::{CostModel, GroupDef, MemCfg, PipelineCfg, PipelineKind, PlatformSpec, NATIVE_MASK};
 use crate::cache::CacheCfg;
 use crate::pmu::{EventKind, NativeEventDesc};
-use serde::{Deserialize, Serialize};
-
-/// Execution model of the core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum PipelineKind {
-    /// Retires in program order; interrupts are (almost) precise.
-    InOrder,
-    /// Out-of-order with the given reorder window; overflow interrupts skid.
-    OutOfOrder { window: u32 },
-}
-
-/// Pipeline timing parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct PipelineCfg {
-    pub kind: PipelineKind,
-    /// Cycles lost on a branch misprediction.
-    pub mispredict_penalty: u32,
-    /// Extra cycles (beyond 1) of an FP divide.
-    pub div_latency: u32,
-    /// Percent of memory-stall cycles hidden by out-of-order overlap.
-    pub overlap_pct: u32,
-    /// Overflow-interrupt skid, in retired instructions: the PC delivered to
-    /// the handler is `skid` instructions *past* the event-causing one,
-    /// drawn uniformly from `[skid_min, skid_max]` per interrupt.
-    pub skid_min: u32,
-    pub skid_max: u32,
-}
-
-/// Memory hierarchy parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct MemCfg {
-    pub l1d: CacheCfg,
-    pub l1i: CacheCfg,
-    pub l2: CacheCfg,
-    pub dtlb_entries: usize,
-    pub itlb_entries: usize,
-    /// Extra cycles for an L1 miss that hits L2.
-    pub l2_lat: u32,
-    /// Extra cycles for an L2 miss (memory access).
-    pub mem_lat: u32,
-    /// Extra cycles for a TLB miss (page-table walk).
-    pub tlb_walk: u32,
-    /// Next-line hardware prefetch into L1D on a data miss.
-    pub prefetch_next_line: bool,
-    /// Flush the TLBs on every context switch (no ASIDs).
-    pub tlb_flush_on_switch: bool,
-}
-
-/// Cycle costs of the *native counter interface* on this platform — the
-/// source of all measurement overhead in the reproduction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct CostModel {
-    /// Reading one counter.
-    pub read_cycles: u64,
-    /// Starting or stopping the counters.
-    pub start_stop_cycles: u64,
-    /// Reprogramming the counter configuration (multiplex switch).
-    pub program_cycles: u64,
-    /// Delivering an overflow interrupt to a user handler.
-    pub interrupt_cycles: u64,
-    /// Draining one precise-sample record from the hardware buffer.
-    pub sample_drain_per_rec: u64,
-    /// Fielding a programmable timer tick.
-    pub timer_cycles: u64,
-    /// A thread context switch (scheduler).
-    pub ctx_switch_cycles: u64,
-    /// L1D lines evicted by each kernel crossing (cache pollution).
-    pub pollute_lines: u32,
-}
-
-/// POWER-style counter group: programming group `id` places `events[i]` on
-/// physical counter `i`. On group platforms an event selection is valid only
-/// if it fits inside a single group.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct GroupDef {
-    pub id: u32,
-    pub name: &'static str,
-    /// Native event codes, in counter order.
-    pub events: Vec<u32>,
-}
-
-/// Everything the machine and the portable layer need to know about a
-/// platform.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct PlatformSpec {
-    pub name: &'static str,
-    pub vendor: &'static str,
-    pub model: &'static str,
-    pub clock_mhz: u64,
-    pub num_counters: usize,
-    /// Width, in bits, of the values the counter interface hands back.
-    /// The paper-era hardware registers were narrow (32-bit MIPS R10000 and
-    /// UltraSPARC counters, 40-bit Pentium MSRs, 47-bit Itanium PMDs); the
-    /// kernel interfaces these specs model virtualize them to full 64-bit
-    /// software counts, so the built-in platforms all report 64 and never
-    /// wrap.  Narrow the width (see [`PlatformSpec::with_counter_bits`]) to
-    /// model raw-register access: the PMU then wraps counts modulo
-    /// `2^counter_bits` and the portable layer above must widen.
-    pub counter_bits: u32,
-    pub pipeline: PipelineCfg,
-    pub mem: MemCfg,
-    pub events: Vec<NativeEventDesc>,
-    /// Non-empty on group-allocated platforms.
-    pub groups: Vec<GroupDef>,
-    pub costs: CostModel,
-    /// ProfileMe / EAR-style precise sampling hardware present.
-    pub precise_sampling: bool,
-    /// Scheduler time slice.
-    pub quantum_cycles: u64,
-}
-
-impl PlatformSpec {
-    /// Look up a native event by code.
-    pub fn event_by_code(&self, code: u32) -> Option<&NativeEventDesc> {
-        self.events.iter().find(|e| e.code == code)
-    }
-
-    /// Look up a native event by vendor mnemonic.
-    pub fn event_by_name(&self, name: &str) -> Option<&NativeEventDesc> {
-        self.events.iter().find(|e| e.name == name)
-    }
-
-    /// True if counter allocation on this platform is group-based.
-    pub fn group_based(&self) -> bool {
-        !self.groups.is_empty()
-    }
-
-    /// Nanoseconds for a cycle count at this platform's clock.
-    pub fn cycles_to_ns(&self, cycles: u64) -> u64 {
-        cycles * 1000 / self.clock_mhz
-    }
-
-    /// Return a copy of the spec with the counter register width narrowed
-    /// to `bits` (1..=64).  Used by fault-injection and conformance tests to
-    /// model raw hardware registers (32-bit R10000/UltraSPARC, 40-bit
-    /// Pentium, 47-bit Itanium) whose counts wrap and must be widened by
-    /// the portable layer.
-    pub fn with_counter_bits(mut self, bits: u32) -> Self {
-        assert!((1..=64).contains(&bits), "counter width out of range");
-        self.counter_bits = bits;
-        self
-    }
-}
-
-/// Native-event code space mirrors PAPI's `PAPI_NATIVE_MASK`.
-pub const NATIVE_MASK: u32 = 0x4000_0000;
 
 fn ne(
     idx: u32,
@@ -1359,7 +1210,8 @@ pub fn sim_mips() -> PlatformSpec {
     }
 }
 
-/// Every platform, in a stable order.
+/// Every legacy platform, in the same stable order as
+/// [`super::all_platforms`].
 pub fn all_platforms() -> Vec<PlatformSpec> {
     vec![
         sim_x86(),
@@ -1373,185 +1225,94 @@ pub fn all_platforms() -> Vec<PlatformSpec> {
     ]
 }
 
-/// Look a platform up by its `name`.
-pub fn platform_by_name(name: &str) -> Option<PlatformSpec> {
-    all_platforms().into_iter().find(|p| p.name == name)
-}
-
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use super::super::platform_by_name;
+    use crate::platform::model::{parse_platform, render_platform};
 
+    /// The tentpole guarantee: every data-loaded built-in platform is
+    /// bit-identical to its pre-refactor Rust constructor — asserted field
+    /// by field (so a divergence names the field) and then whole-struct.
     #[test]
-    fn eight_platforms_unique_names() {
-        let ps = all_platforms();
-        assert_eq!(ps.len(), 8);
-        let mut names: Vec<_> = ps.iter().map(|p| p.name).collect();
-        names.sort_unstable();
-        names.dedup();
-        assert_eq!(names.len(), 8);
-    }
-
-    #[test]
-    fn mips_counters_strictly_partitioned() {
-        let p = sim_mips();
-        for e in &p.events {
-            assert!(
-                e.counter_mask == 0b01 || e.counter_mask == 0b10,
-                "{}: R10k events live on exactly one counter",
-                e.name
+    fn data_files_bit_identical_to_legacy_constructors() {
+        let legacy = super::all_platforms();
+        let loaded = crate::platform::all_platforms();
+        assert_eq!(legacy.len(), loaded.len(), "platform count");
+        for (l, p) in legacy.iter().zip(&loaded) {
+            assert_eq!(p.name, l.name, "stable order");
+            assert_eq!(p.vendor, l.vendor, "{}: vendor", l.name);
+            assert_eq!(p.model, l.model, "{}: model", l.name);
+            assert_eq!(p.clock_mhz, l.clock_mhz, "{}: clock_mhz", l.name);
+            assert_eq!(p.num_counters, l.num_counters, "{}: num_counters", l.name);
+            assert_eq!(p.counter_bits, l.counter_bits, "{}: counter_bits", l.name);
+            assert_eq!(p.pipeline, l.pipeline, "{}: pipeline", l.name);
+            assert_eq!(p.mem, l.mem, "{}: mem", l.name);
+            assert_eq!(p.costs, l.costs, "{}: costs", l.name);
+            assert_eq!(
+                p.precise_sampling, l.precise_sampling,
+                "{}: precise_sampling",
+                l.name
             );
-        }
-        // The joint TLB event counts both miss kinds.
-        let tlb = p.event_by_name("tlb_misses").unwrap();
-        assert_eq!(tlb.kinds.len(), 2);
-    }
-
-    #[test]
-    fn ultra_fp_pipes_fold_fma() {
-        let p = sim_ultra();
-        let fa = p.event_by_name("FA_pipe").unwrap();
-        let fm = p.event_by_name("FM_pipe").unwrap();
-        assert!(fa.kinds.contains(&(EventKind::FpFma, 1)));
-        assert!(fm.kinds.contains(&(EventKind::FpFma, 1)));
-    }
-
-    #[test]
-    fn lookup_by_name() {
-        assert!(platform_by_name("sim-x86").is_some());
-        assert!(platform_by_name("sim-power3").is_some());
-        assert!(platform_by_name("vax").is_none());
-    }
-
-    #[test]
-    fn event_codes_unique_within_platform() {
-        for p in all_platforms() {
-            let mut codes: Vec<u32> = p.events.iter().map(|e| e.code).collect();
-            let n = codes.len();
-            codes.sort_unstable();
-            codes.dedup();
-            assert_eq!(codes.len(), n, "{}: duplicate event codes", p.name);
-            let mut names: Vec<&str> = p.events.iter().map(|e| e.name).collect();
-            names.sort_unstable();
-            names.dedup();
-            assert_eq!(names.len(), n, "{}: duplicate event names", p.name);
-        }
-    }
-
-    #[test]
-    fn event_codes_have_native_bit() {
-        for p in all_platforms() {
-            for e in &p.events {
-                assert_ne!(e.code & NATIVE_MASK, 0, "{}:{}", p.name, e.name);
-            }
-        }
-    }
-
-    #[test]
-    fn counter_masks_valid() {
-        for p in all_platforms() {
-            let full = (1u32 << p.num_counters) - 1;
-            for e in &p.events {
-                assert_ne!(e.counter_mask, 0, "{}:{} unplaceable", p.name, e.name);
+            assert_eq!(
+                p.quantum_cycles, l.quantum_cycles,
+                "{}: quantum_cycles",
+                l.name
+            );
+            assert_eq!(p.events.len(), l.events.len(), "{}: event count", l.name);
+            for (pe, le) in p.events.iter().zip(&l.events) {
+                assert_eq!(pe.code, le.code, "{}: event order", l.name);
+                assert_eq!(pe.name, le.name, "{}:{}: name", l.name, le.name);
+                assert_eq!(pe.descr, le.descr, "{}:{}: descr", l.name, le.name);
+                assert_eq!(pe.kinds, le.kinds, "{}:{}: formula", l.name, le.name);
                 assert_eq!(
-                    e.counter_mask & !full,
-                    0,
-                    "{}:{} mask beyond counters",
-                    p.name,
-                    e.name
+                    pe.counter_mask, le.counter_mask,
+                    "{}:{}: counter mask",
+                    l.name, le.name
                 );
-                assert!(!e.kinds.is_empty(), "{}:{} counts nothing", p.name, e.name);
+                assert_eq!(pe.group, le.group, "{}:{}: group", l.name, le.name);
+            }
+            assert_eq!(p.groups, l.groups, "{}: group defs", l.name);
+            assert_eq!(p, l, "{}: whole spec", l.name);
+        }
+    }
+
+    /// Rendering a legacy constructor reproduces the checked-in file text
+    /// byte for byte — the files really are canonical renders of the
+    /// snapshot, not hand-drifted copies.
+    #[test]
+    fn checked_in_files_are_canonical_renders_of_legacy() {
+        for l in super::all_platforms() {
+            let (_, embedded) = crate::platform::files::BUILTIN
+                .iter()
+                .find(|(n, _)| *n == l.name)
+                .unwrap_or_else(|| panic!("{}: no embedded file", l.name));
+            assert_eq!(
+                *embedded,
+                render_platform(&l),
+                "{}: platforms/{}.toml is not the canonical render; \
+                 re-run `cargo run -p simcpu --example gen_platform_files`",
+                l.name,
+                l.name
+            );
+            let reparsed = parse_platform(embedded).unwrap();
+            assert_eq!(reparsed, l, "{}: reparse", l.name);
+        }
+    }
+
+    /// Every legacy platform name resolves through the new lookup, in both
+    /// dashed and colon spellings, case-insensitively.
+    #[test]
+    fn legacy_names_round_trip_through_lookup() {
+        for l in super::all_platforms() {
+            for query in [
+                l.name.to_string(),
+                l.name.to_uppercase(),
+                l.name.replacen('-', ":", 1),
+            ] {
+                let found =
+                    platform_by_name(&query).unwrap_or_else(|| panic!("{query}: lookup failed"));
+                assert_eq!(found.name, l.name);
             }
         }
-    }
-
-    #[test]
-    fn groups_fit_counters_and_reference_known_events() {
-        for p in all_platforms() {
-            for g in &p.groups {
-                assert!(
-                    g.events.len() <= p.num_counters,
-                    "{}: group {} too large",
-                    p.name,
-                    g.name
-                );
-                for code in &g.events {
-                    assert!(
-                        p.event_by_code(*code).is_some(),
-                        "{}: group {} references unknown code",
-                        p.name,
-                        g.name
-                    );
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn every_platform_counts_cycles_and_instructions() {
-        for p in all_platforms() {
-            let has = |k: EventKind| {
-                p.events
-                    .iter()
-                    .any(|e| e.kinds.iter().any(|(kk, _)| *kk == k))
-            };
-            assert!(has(EventKind::Cycles), "{}", p.name);
-            assert!(has(EventKind::Instructions), "{}", p.name);
-        }
-    }
-
-    #[test]
-    fn power3_fp_event_includes_converts() {
-        let p = sim_power3();
-        let fpu = p.event_by_name("PM_FPU_CMPL").unwrap();
-        assert!(
-            fpu.kinds.iter().any(|(k, _)| *k == EventKind::FpCvt),
-            "the POWER3 rounding-instruction quirk must be modelled"
-        );
-    }
-
-    #[test]
-    fn alpha_and_ia64_have_precise_sampling() {
-        assert!(sim_alpha().precise_sampling);
-        assert!(sim_ia64().precise_sampling);
-        assert!(!sim_x86().precise_sampling);
-        assert!(!sim_t3e().precise_sampling);
-    }
-
-    #[test]
-    fn t3e_reads_are_cheap_alpha_reads_are_expensive() {
-        assert!(sim_t3e().costs.read_cycles < 50);
-        assert!(sim_alpha().costs.read_cycles > 1000);
-    }
-
-    #[test]
-    fn in_order_platforms_have_tiny_skid() {
-        for p in all_platforms() {
-            if matches!(p.pipeline.kind, PipelineKind::InOrder) {
-                assert!(p.pipeline.skid_max <= 2, "{}", p.name);
-            } else {
-                assert!(p.pipeline.skid_max >= 8, "{}", p.name);
-            }
-            assert!(p.pipeline.skid_min <= p.pipeline.skid_max, "{}", p.name);
-        }
-    }
-
-    #[test]
-    fn cycles_to_ns() {
-        let p = sim_x86(); // 1000 MHz -> 1 cycle = 1 ns
-        assert_eq!(p.cycles_to_ns(1234), 1234);
-        let a = sim_alpha(); // 833 MHz -> 833 cycles = exactly 1000 ns
-        assert_eq!(a.cycles_to_ns(833), 1000);
-    }
-
-    #[test]
-    fn group_masks_derived_from_positions() {
-        let p = sim_power3();
-        // PM_CYC is position 0 in every group.
-        let cyc = p.event_by_name("PM_CYC").unwrap();
-        assert_eq!(cyc.counter_mask, 0b1);
-        // PM_INST_CMPL is position 1 in every group.
-        let inst = p.event_by_name("PM_INST_CMPL").unwrap();
-        assert_eq!(inst.counter_mask, 0b10);
     }
 }

@@ -1,0 +1,1518 @@
+//! Platform models as *data*: a declarative text format for
+//! [`PlatformSpec`], with a self-contained parser, a semantic validator and
+//! a canonical renderer.
+//!
+//! The paper's portability lesson is that the hardware-dependent layer
+//! should be a *substrate you swap*, not code you rewrite. This module takes
+//! the next step: the substrate description itself — native-event table,
+//! counter constraints and groups, derived-event formulas, counter widths,
+//! pipeline/memory cost model — is a versioned text file. The eight built-in
+//! platforms are such files (embedded via `include_str!`, see
+//! [`super::files`]); new platforms are data drops loaded at runtime through
+//! `SubstrateRegistry::register_platform_file`, with zero Rust changes.
+//!
+//! The format is a small **TOML subset**, parsed here with no external
+//! dependencies: `key = value` pairs under `[section]` / `[[array-section]]`
+//! headers; values are integers (decimal, `0x`, `0b`, `_` separators),
+//! booleans, double-quoted strings, single-line arrays and single-line
+//! inline tables; `#` starts a comment. Exactly the features the format
+//! needs, nothing more — so a malformed file fails with a *named check and a
+//! line number* ([`PlatformParseError`]), never a panic and never a silent
+//! partial load.
+//!
+//! See `SPEC.md` ("Platform-model files") for the grammar and the
+//! field-by-field semantics, and `DESIGN.md` ("Platforms as data") for the
+//! load path and the bit-identical-equivalence guarantee against the
+//! pre-refactor Rust constructors.
+
+use super::{CostModel, GroupDef, MemCfg, PipelineCfg, PipelineKind, PlatformSpec, NATIVE_MASK};
+use crate::cache::CacheCfg;
+use crate::pmu::{EventKind, NativeEventDesc};
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// Format version this parser understands (the file's required top-level
+/// `schema` key). Bump on incompatible grammar changes; the parser rejects
+/// files with any other version so old binaries fail loudly instead of
+/// misreading new files.
+pub const SCHEMA_VERSION: i64 = 1;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// A structured platform-file failure: which named check rejected the file,
+/// on which line (1-based; 0 when the error concerns the file as a whole),
+/// and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlatformParseError {
+    /// 1-based source line, 0 for whole-file errors.
+    pub line: usize,
+    /// Stable name of the check that failed (`"syntax"`,
+    /// `"unique-event-names"`, `"group-unknown-event"`, …).
+    pub check: &'static str,
+    /// Human-readable detail.
+    pub msg: String,
+}
+
+impl PlatformParseError {
+    fn new(line: usize, check: &'static str, msg: impl Into<String>) -> Self {
+        PlatformParseError {
+            line,
+            check,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for PlatformParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "[{}] {}", self.check, self.msg)
+        } else {
+            write!(f, "line {}: [{}] {}", self.line, self.check, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for PlatformParseError {}
+
+type PResult<T> = Result<T, PlatformParseError>;
+
+// ---------------------------------------------------------------------------
+// String interning
+// ---------------------------------------------------------------------------
+
+/// Intern a string, returning a `&'static str`.
+///
+/// [`PlatformSpec`] and [`NativeEventDesc`] carry `&'static str` metadata —
+/// the right type for descriptions that live as long as the platform does.
+/// Data-loaded platforms get their strings from this process-lifetime pool:
+/// each *unique* string is leaked exactly once, at load time, so repeated
+/// loads of the same file cost no memory and the hot path never touches an
+/// owned string.
+pub fn intern(s: &str) -> &'static str {
+    static POOL: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut pool = POOL.lock().unwrap();
+    if let Some(&hit) = pool.get(s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
+
+// ---------------------------------------------------------------------------
+// Event-kind names
+// ---------------------------------------------------------------------------
+
+/// The formula name of a machine signal (its `Debug` variant name:
+/// `Cycles`, `FpFma`, `DtlbMiss`, …).
+pub fn kind_name(k: EventKind) -> String {
+    format!("{k:?}")
+}
+
+/// Inverse of [`kind_name`].
+pub fn kind_by_name(s: &str) -> Option<EventKind> {
+    EventKind::ALL.iter().copied().find(|k| kind_name(*k) == s)
+}
+
+/// Parse a derived-event formula: `+`-joined terms of the form `Kind` or
+/// `N*Kind`, e.g. `"FpAdd + FpMul + 2*FpFma + FpDiv"`. Term order is
+/// preserved (the formula is data, not a set).
+pub fn parse_formula(src: &str, line: usize) -> PResult<Vec<(EventKind, u32)>> {
+    let mut out = Vec::new();
+    for term in src.split('+') {
+        let term = term.trim();
+        if term.is_empty() {
+            return Err(PlatformParseError::new(
+                line,
+                "bad-formula",
+                format!("empty term in formula '{src}'"),
+            ));
+        }
+        let (mult, kind) = match term.split_once('*') {
+            Some((m, k)) => {
+                let mult: u32 = m.trim().parse().map_err(|_| {
+                    PlatformParseError::new(
+                        line,
+                        "bad-formula",
+                        format!("bad multiplier '{}' in formula '{src}'", m.trim()),
+                    )
+                })?;
+                (mult, k.trim())
+            }
+            None => (1, term),
+        };
+        if mult == 0 {
+            return Err(PlatformParseError::new(
+                line,
+                "bad-formula",
+                format!("zero multiplier in formula '{src}'"),
+            ));
+        }
+        let k = kind_by_name(kind).ok_or_else(|| {
+            PlatformParseError::new(
+                line,
+                "bad-formula",
+                format!("unknown machine signal '{kind}' in formula '{src}'"),
+            )
+        })?;
+        out.push((k, mult));
+    }
+    Ok(out)
+}
+
+/// Render a kinds vector back into formula syntax.
+pub fn render_formula(kinds: &[(EventKind, u32)]) -> String {
+    kinds
+        .iter()
+        .map(|&(k, m)| {
+            if m == 1 {
+                kind_name(k)
+            } else {
+                format!("{m}*{}", kind_name(k))
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" + ")
+}
+
+// ---------------------------------------------------------------------------
+// TOML-subset document parser
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Int(i64),
+    Bool(bool),
+    Str(String),
+    List(Vec<Val>),
+    Table(Vec<Kv>),
+}
+
+impl Val {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Val::Int(_) => "integer",
+            Val::Bool(_) => "boolean",
+            Val::Str(_) => "string",
+            Val::List(_) => "array",
+            Val::Table(_) => "inline table",
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Kv {
+    key: String,
+    val: Val,
+    line: usize,
+}
+
+#[derive(Debug)]
+struct Section {
+    name: String,
+    /// `[[name]]` (array-of-tables) vs `[name]`.
+    array: bool,
+    line: usize,
+    kvs: Vec<Kv>,
+}
+
+/// Strip a `#` comment, respecting string literals.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escape = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escape => escape = true,
+            '"' if !escape => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => escape = false,
+        }
+    }
+    line
+}
+
+fn valid_key(k: &str) -> bool {
+    !k.is_empty()
+        && k.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// Split `s` on top-level commas (outside strings, `[]` and `{}`).
+fn split_top_level(s: &str, line: usize) -> PResult<Vec<&str>> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escape = false;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '\\' if in_str && !escape => {
+                escape = true;
+                continue;
+            }
+            '"' if !escape => in_str = !in_str,
+            '[' | '{' if !in_str => depth += 1,
+            ']' | '}' if !in_str => depth -= 1,
+            ',' if !in_str && depth == 0 => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        escape = false;
+    }
+    if in_str {
+        return Err(PlatformParseError::new(
+            line,
+            "syntax",
+            "unterminated string",
+        ));
+    }
+    if depth != 0 {
+        return Err(PlatformParseError::new(
+            line,
+            "syntax",
+            "unbalanced brackets",
+        ));
+    }
+    parts.push(&s[start..]);
+    Ok(parts)
+}
+
+fn parse_int(s: &str, line: usize) -> PResult<i64> {
+    let cleaned = s.replace('_', "");
+    let (neg, body) = match cleaned.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, cleaned.as_str()),
+    };
+    let parsed = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(bin) = body.strip_prefix("0b") {
+        i64::from_str_radix(bin, 2)
+    } else {
+        body.parse()
+    };
+    let v = parsed
+        .map_err(|_| PlatformParseError::new(line, "syntax", format!("not a value: '{s}'")))?;
+    Ok(if neg { -v } else { v })
+}
+
+fn parse_string(s: &str, line: usize) -> PResult<String> {
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| PlatformParseError::new(line, "syntax", format!("malformed string: {s}")))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut escape = false;
+    for c in inner.chars() {
+        if escape {
+            match c {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                other => {
+                    return Err(PlatformParseError::new(
+                        line,
+                        "syntax",
+                        format!("unsupported escape '\\{other}'"),
+                    ))
+                }
+            }
+            escape = false;
+        } else if c == '\\' {
+            escape = true;
+        } else if c == '"' {
+            return Err(PlatformParseError::new(
+                line,
+                "syntax",
+                format!("stray quote inside string: {s}"),
+            ));
+        } else {
+            out.push(c);
+        }
+    }
+    if escape {
+        return Err(PlatformParseError::new(
+            line,
+            "syntax",
+            "dangling escape at end of string",
+        ));
+    }
+    Ok(out)
+}
+
+fn parse_value(s: &str, line: usize) -> PResult<Val> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(PlatformParseError::new(line, "syntax", "missing value"));
+    }
+    if s.starts_with('"') {
+        return Ok(Val::Str(parse_string(s, line)?));
+    }
+    if s == "true" {
+        return Ok(Val::Bool(true));
+    }
+    if s == "false" {
+        return Ok(Val::Bool(false));
+    }
+    if let Some(body) = s.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| PlatformParseError::new(line, "syntax", "array missing closing ']'"))?;
+        let mut items = Vec::new();
+        if !body.trim().is_empty() {
+            for part in split_top_level(body, line)? {
+                items.push(parse_value(part, line)?);
+            }
+        }
+        return Ok(Val::List(items));
+    }
+    if let Some(body) = s.strip_prefix('{') {
+        let body = body.strip_suffix('}').ok_or_else(|| {
+            PlatformParseError::new(line, "syntax", "inline table missing closing '}'")
+        })?;
+        let mut kvs = Vec::new();
+        if !body.trim().is_empty() {
+            for part in split_top_level(body, line)? {
+                let (k, v) = part.split_once('=').ok_or_else(|| {
+                    PlatformParseError::new(
+                        line,
+                        "syntax",
+                        format!("inline table entry is not 'key = value': '{}'", part.trim()),
+                    )
+                })?;
+                let key = k.trim().to_string();
+                if !valid_key(&key) {
+                    return Err(PlatformParseError::new(
+                        line,
+                        "syntax",
+                        format!("bad key '{key}'"),
+                    ));
+                }
+                kvs.push(Kv {
+                    key,
+                    val: parse_value(v, line)?,
+                    line,
+                });
+            }
+        }
+        return Ok(Val::Table(kvs));
+    }
+    Ok(Val::Int(parse_int(s, line)?))
+}
+
+/// Parse a whole document into sections. The root (pre-header) section is
+/// named `""`.
+fn parse_doc(src: &str) -> PResult<Vec<Section>> {
+    let mut sections = vec![Section {
+        name: String::new(),
+        array: false,
+        line: 0,
+        kvs: Vec::new(),
+    }];
+    for (i, raw) in src.lines().enumerate() {
+        let lineno = i + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let name = rest.strip_suffix("]]").ok_or_else(|| {
+                PlatformParseError::new(lineno, "syntax", "malformed [[section]] header")
+            })?;
+            if !valid_key(name) {
+                return Err(PlatformParseError::new(
+                    lineno,
+                    "syntax",
+                    format!("bad section name '{name}'"),
+                ));
+            }
+            sections.push(Section {
+                name: name.to_string(),
+                array: true,
+                line: lineno,
+                kvs: Vec::new(),
+            });
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest.strip_suffix(']').ok_or_else(|| {
+                PlatformParseError::new(lineno, "syntax", "malformed [section] header")
+            })?;
+            if !valid_key(name) {
+                return Err(PlatformParseError::new(
+                    lineno,
+                    "syntax",
+                    format!("bad section name '{name}'"),
+                ));
+            }
+            sections.push(Section {
+                name: name.to_string(),
+                array: false,
+                line: lineno,
+                kvs: Vec::new(),
+            });
+            continue;
+        }
+        let (k, v) = line.split_once('=').ok_or_else(|| {
+            PlatformParseError::new(
+                lineno,
+                "syntax",
+                format!("expected 'key = value', got '{line}'"),
+            )
+        })?;
+        let key = k.trim().to_string();
+        if !valid_key(&key) {
+            return Err(PlatformParseError::new(
+                lineno,
+                "syntax",
+                format!("bad key '{key}'"),
+            ));
+        }
+        let val = parse_value(v, lineno)?;
+        let cur = sections.last_mut().unwrap();
+        if cur.kvs.iter().any(|e| e.key == key) {
+            return Err(PlatformParseError::new(
+                lineno,
+                "duplicate-key",
+                format!("key '{key}' already set in this section"),
+            ));
+        }
+        cur.kvs.push(Kv {
+            key,
+            val,
+            line: lineno,
+        });
+    }
+    Ok(sections)
+}
+
+// ---------------------------------------------------------------------------
+// Typed views over parsed sections
+// ---------------------------------------------------------------------------
+
+struct View<'a> {
+    what: String,
+    line: usize,
+    kvs: &'a [Kv],
+}
+
+impl<'a> View<'a> {
+    fn check_keys(&self, allowed: &[&str]) -> PResult<()> {
+        for kv in self.kvs {
+            if !allowed.contains(&kv.key.as_str()) {
+                return Err(PlatformParseError::new(
+                    kv.line,
+                    "unknown-key",
+                    format!(
+                        "unknown key '{}' in {} (allowed: {})",
+                        kv.key,
+                        self.what,
+                        allowed.join(", ")
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Option<&'a Kv> {
+        self.kvs.iter().find(|e| e.key == key)
+    }
+
+    fn req(&self, key: &str) -> PResult<&'a Kv> {
+        self.get(key).ok_or_else(|| {
+            PlatformParseError::new(
+                self.line,
+                "missing-key",
+                format!("{} is missing required key '{key}'", self.what),
+            )
+        })
+    }
+
+    fn int(&self, key: &str) -> PResult<i64> {
+        match &self.req(key)?.val {
+            Val::Int(v) => Ok(*v),
+            other => Err(self.type_err(key, "integer", other)),
+        }
+    }
+
+    fn type_err(&self, key: &str, want: &str, got: &Val) -> PlatformParseError {
+        let line = self.get(key).map(|kv| kv.line).unwrap_or(self.line);
+        PlatformParseError::new(
+            line,
+            "bad-value",
+            format!(
+                "{}.{key} must be a {want}, got {}",
+                self.what,
+                got.type_name()
+            ),
+        )
+    }
+
+    fn ranged(&self, key: &str, lo: i64, hi: i64) -> PResult<i64> {
+        let v = self.int(key)?;
+        if v < lo || v > hi {
+            return Err(PlatformParseError::new(
+                self.get(key).map(|kv| kv.line).unwrap_or(self.line),
+                "int-range",
+                format!("{}.{key} = {v} out of range {lo}..={hi}", self.what),
+            ));
+        }
+        Ok(v)
+    }
+
+    fn u32(&self, key: &str) -> PResult<u32> {
+        Ok(self.ranged(key, 0, u32::MAX as i64)? as u32)
+    }
+
+    fn u64(&self, key: &str) -> PResult<u64> {
+        Ok(self.ranged(key, 0, i64::MAX)? as u64)
+    }
+
+    fn usize(&self, key: &str) -> PResult<usize> {
+        Ok(self.ranged(key, 0, i64::MAX)? as usize)
+    }
+
+    fn str(&self, key: &str) -> PResult<&'a str> {
+        match &self.req(key)?.val {
+            Val::Str(s) => Ok(s),
+            other => Err(self.type_err(key, "string", other)),
+        }
+    }
+
+    fn opt_bool(&self, key: &str, default: bool) -> PResult<bool> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(kv) => match &kv.val {
+                Val::Bool(b) => Ok(*b),
+                other => Err(self.type_err(key, "boolean", other)),
+            },
+        }
+    }
+
+    fn table(&self, key: &str) -> PResult<View<'a>> {
+        let kv = self.req(key)?;
+        match &kv.val {
+            Val::Table(kvs) => Ok(View {
+                what: format!("{}.{key}", self.what),
+                line: kv.line,
+                kvs,
+            }),
+            other => Err(self.type_err(key, "inline table", other)),
+        }
+    }
+}
+
+fn view<'a>(s: &'a Section) -> View<'a> {
+    View {
+        what: if s.name.is_empty() {
+            "top level".to_string()
+        } else {
+            format!("[{}]", s.name)
+        },
+        line: s.line,
+        kvs: &s.kvs,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interpretation: sections -> PlatformSpec
+// ---------------------------------------------------------------------------
+
+const SECTION_NAMES: &[&str] = &["platform", "pipeline", "memory", "costs", "event", "group"];
+
+fn cache_cfg(v: &View) -> PResult<CacheCfg> {
+    v.check_keys(&["size", "line", "assoc"])?;
+    let cfg = CacheCfg {
+        size: v.u32("size")?,
+        line: v.u32("line")?,
+        assoc: v.u32("assoc")?,
+    };
+    if cfg.line == 0 || cfg.assoc == 0 || cfg.size == 0 {
+        return Err(PlatformParseError::new(
+            v.line,
+            "int-range",
+            format!("{}: size, line and assoc must all be nonzero", v.what),
+        ));
+    }
+    Ok(cfg)
+}
+
+/// Interpret an event's counter-placement keys into a bitmask.
+fn counter_mask(v: &View, num_counters: usize) -> PResult<Option<u32>> {
+    let full: u32 = (1u32 << num_counters) - 1;
+    match (v.get("counters"), v.get("mask")) {
+        (Some(_), Some(kv)) => Err(PlatformParseError::new(
+            kv.line,
+            "bad-counter-spec",
+            format!("{}: give either 'counters' or 'mask', not both", v.what),
+        )),
+        (None, None) => Ok(None),
+        (None, Some(kv)) => match &kv.val {
+            Val::Int(m) if *m > 0 && *m <= full as i64 => Ok(Some(*m as u32)),
+            Val::Int(m) => Err(PlatformParseError::new(
+                kv.line,
+                "mask-beyond-counters",
+                format!(
+                    "{}: mask {m:#b} invalid for {num_counters} counters (expect 1..={full:#b})",
+                    v.what
+                ),
+            )),
+            other => Err(v.type_err("mask", "integer", other)),
+        },
+        (Some(kv), None) => match &kv.val {
+            Val::Str(s) if s == "any" => Ok(Some(full)),
+            Val::Str(s) => Err(PlatformParseError::new(
+                kv.line,
+                "bad-counter-spec",
+                format!(
+                    "{}: counters = \"{s}\" (only \"any\" or an index array)",
+                    v.what
+                ),
+            )),
+            Val::List(items) => {
+                let mut mask = 0u32;
+                for it in items {
+                    let Val::Int(idx) = it else {
+                        return Err(PlatformParseError::new(
+                            kv.line,
+                            "bad-counter-spec",
+                            format!("{}: counters array must hold integers", v.what),
+                        ));
+                    };
+                    if *idx < 0 || *idx >= num_counters as i64 {
+                        return Err(PlatformParseError::new(
+                            kv.line,
+                            "mask-beyond-counters",
+                            format!(
+                                "{}: counter index {idx} out of range 0..{num_counters}",
+                                v.what
+                            ),
+                        ));
+                    }
+                    mask |= 1 << idx;
+                }
+                if mask == 0 {
+                    return Err(PlatformParseError::new(
+                        kv.line,
+                        "unplaceable-event",
+                        format!("{}: empty counters array", v.what),
+                    ));
+                }
+                Ok(Some(mask))
+            }
+            other => Err(v.type_err("counters", "array or \"any\"", other)),
+        },
+    }
+}
+
+/// Parse a platform-model document into a fully validated [`PlatformSpec`].
+///
+/// Every rejection carries a named check and a line number; a file that
+/// parses is guaranteed to satisfy the same structural invariants the
+/// built-in platforms are tested for (unique event names/codes, placeable
+/// events, groups that fit the counters and reference known events, cycle
+/// and instruction signals present, ordered skid window, …).
+pub fn parse_platform(src: &str) -> PResult<PlatformSpec> {
+    let sections = parse_doc(src)?;
+
+    // --- structural pass -------------------------------------------------
+    let mut platform = None;
+    let mut pipeline = None;
+    let mut memory = None;
+    let mut costs = None;
+    let mut events_secs = Vec::new();
+    let mut group_secs = Vec::new();
+    for s in &sections {
+        match s.name.as_str() {
+            "" => {}
+            "platform" | "pipeline" | "memory" | "costs" if s.array => {
+                return Err(PlatformParseError::new(
+                    s.line,
+                    "syntax",
+                    format!("[{}] is a single section, not [[{}]]", s.name, s.name),
+                ));
+            }
+            "event" | "group" if !s.array => {
+                return Err(PlatformParseError::new(
+                    s.line,
+                    "syntax",
+                    format!("[{}] must be an array section: [[{}]]", s.name, s.name),
+                ));
+            }
+            "platform" | "pipeline" | "memory" | "costs" => {
+                let slot = match s.name.as_str() {
+                    "platform" => &mut platform,
+                    "pipeline" => &mut pipeline,
+                    "memory" => &mut memory,
+                    _ => &mut costs,
+                };
+                if slot.is_some() {
+                    return Err(PlatformParseError::new(
+                        s.line,
+                        "duplicate-section",
+                        format!("[{}] given twice", s.name),
+                    ));
+                }
+                *slot = Some(s);
+            }
+            "event" => events_secs.push(s),
+            "group" => group_secs.push(s),
+            other => {
+                return Err(PlatformParseError::new(
+                    s.line,
+                    "unknown-section",
+                    format!(
+                        "unknown section [{other}] (known: {})",
+                        SECTION_NAMES.join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+
+    // --- schema version ---------------------------------------------------
+    let root = view(&sections[0]);
+    root.check_keys(&["schema"])?;
+    let schema = root.req("schema").map_err(|mut e| {
+        e.check = "schema-version";
+        e
+    })?;
+    match &schema.val {
+        Val::Int(v) if *v == SCHEMA_VERSION => {}
+        Val::Int(v) => {
+            return Err(PlatformParseError::new(
+                schema.line,
+                "schema-version",
+                format!("unsupported schema version {v} (this parser reads {SCHEMA_VERSION})"),
+            ))
+        }
+        other => return Err(root.type_err("schema", "integer", other)),
+    }
+
+    // --- [platform] -------------------------------------------------------
+    let missing = |name: &str| {
+        PlatformParseError::new(
+            0,
+            "missing-section",
+            format!("file has no [{name}] section"),
+        )
+    };
+    let p = view(platform.ok_or_else(|| missing("platform"))?);
+    p.check_keys(&[
+        "name",
+        "vendor",
+        "model",
+        "clock_mhz",
+        "counters",
+        "counter_bits",
+        "precise_sampling",
+        "quantum_cycles",
+    ])?;
+    let name = p.str("name")?;
+    if name.is_empty() {
+        return Err(PlatformParseError::new(
+            p.line,
+            "bad-value",
+            "[platform].name must be non-empty",
+        ));
+    }
+    let clock_mhz = p.u64("clock_mhz")?;
+    if clock_mhz == 0 {
+        return Err(PlatformParseError::new(
+            p.line,
+            "int-range",
+            "[platform].clock_mhz must be nonzero",
+        ));
+    }
+    let num_counters = p.ranged("counters", 1, 31)? as usize;
+    let counter_bits = match p.get("counter_bits") {
+        None => 64,
+        Some(_) => p.ranged("counter_bits", 1, 64)? as u32,
+    };
+
+    // --- [pipeline] -------------------------------------------------------
+    let pl = view(pipeline.ok_or_else(|| missing("pipeline"))?);
+    pl.check_keys(&[
+        "kind",
+        "window",
+        "mispredict_penalty",
+        "div_latency",
+        "overlap_pct",
+        "skid",
+    ])?;
+    let kind = match pl.str("kind")? {
+        "in-order" => {
+            if let Some(kv) = pl.get("window") {
+                return Err(PlatformParseError::new(
+                    kv.line,
+                    "bad-value",
+                    "[pipeline].window is only valid for kind = \"out-of-order\"",
+                ));
+            }
+            PipelineKind::InOrder
+        }
+        "out-of-order" => PipelineKind::OutOfOrder {
+            window: pl.u32("window")?,
+        },
+        other => {
+            return Err(PlatformParseError::new(
+                pl.line,
+                "bad-value",
+                format!("[pipeline].kind = \"{other}\" (want \"in-order\" or \"out-of-order\")"),
+            ))
+        }
+    };
+    let skid_kv = pl.req("skid")?;
+    let (skid_min, skid_max) = match &skid_kv.val {
+        Val::List(items) => match items.as_slice() {
+            [Val::Int(a), Val::Int(b)] if *a >= 0 && *b >= 0 && *b <= u32::MAX as i64 => {
+                (*a as u32, *b as u32)
+            }
+            _ => {
+                return Err(PlatformParseError::new(
+                    skid_kv.line,
+                    "bad-value",
+                    "[pipeline].skid must be [min, max] with non-negative integers",
+                ))
+            }
+        },
+        other => return Err(pl.type_err("skid", "array [min, max]", other)),
+    };
+    if skid_min > skid_max {
+        return Err(PlatformParseError::new(
+            skid_kv.line,
+            "skid-order",
+            format!("skid window reversed: [{skid_min}, {skid_max}]"),
+        ));
+    }
+    let pipeline = PipelineCfg {
+        kind,
+        mispredict_penalty: pl.u32("mispredict_penalty")?,
+        div_latency: pl.u32("div_latency")?,
+        overlap_pct: pl.ranged("overlap_pct", 0, 100)? as u32,
+        skid_min,
+        skid_max,
+    };
+
+    // --- [memory] ---------------------------------------------------------
+    let m = view(memory.ok_or_else(|| missing("memory"))?);
+    m.check_keys(&[
+        "l1d",
+        "l1i",
+        "l2",
+        "dtlb_entries",
+        "itlb_entries",
+        "l2_lat",
+        "mem_lat",
+        "tlb_walk",
+        "prefetch_next_line",
+        "tlb_flush_on_switch",
+    ])?;
+    let mem = MemCfg {
+        l1d: cache_cfg(&m.table("l1d")?)?,
+        l1i: cache_cfg(&m.table("l1i")?)?,
+        l2: cache_cfg(&m.table("l2")?)?,
+        dtlb_entries: m.usize("dtlb_entries")?,
+        itlb_entries: m.usize("itlb_entries")?,
+        l2_lat: m.u32("l2_lat")?,
+        mem_lat: m.u32("mem_lat")?,
+        tlb_walk: m.u32("tlb_walk")?,
+        prefetch_next_line: m.opt_bool("prefetch_next_line", false)?,
+        tlb_flush_on_switch: m.opt_bool("tlb_flush_on_switch", false)?,
+    };
+
+    // --- [costs] ----------------------------------------------------------
+    let c = view(costs.ok_or_else(|| missing("costs"))?);
+    c.check_keys(&[
+        "read",
+        "start_stop",
+        "program",
+        "interrupt",
+        "sample_drain_per_rec",
+        "timer",
+        "ctx_switch",
+        "pollute_lines",
+    ])?;
+    let costs = CostModel {
+        read_cycles: c.u64("read")?,
+        start_stop_cycles: c.u64("start_stop")?,
+        program_cycles: c.u64("program")?,
+        interrupt_cycles: c.u64("interrupt")?,
+        sample_drain_per_rec: c.u64("sample_drain_per_rec")?,
+        timer_cycles: c.u64("timer")?,
+        ctx_switch_cycles: c.u64("ctx_switch")?,
+        pollute_lines: c.u32("pollute_lines")?,
+    };
+
+    // --- [[event]] --------------------------------------------------------
+    if events_secs.is_empty() {
+        return Err(PlatformParseError::new(
+            0,
+            "empty-events",
+            "file defines no [[event]] entries",
+        ));
+    }
+    let group_based = !group_secs.is_empty();
+    let mut events: Vec<NativeEventDesc> = Vec::with_capacity(events_secs.len());
+    let mut event_lines = Vec::with_capacity(events_secs.len());
+    for s in &events_secs {
+        let e = view(s);
+        e.check_keys(&["code", "name", "descr", "counts", "counters", "mask"])?;
+        let idx = e.ranged("code", 0, (NATIVE_MASK - 1) as i64)? as u32;
+        let ename = e.str("name")?;
+        let descr = e.str("descr")?;
+        let kinds = parse_formula(e.str("counts")?, e.req("counts")?.line)?;
+        let mask = counter_mask(&e, num_counters)?;
+        if group_based && mask.is_some() {
+            return Err(PlatformParseError::new(
+                s.line,
+                "group-counters-conflict",
+                format!(
+                    "event '{ename}': counter placement is derived from [[group] ] tables on \
+                     group-allocated platforms; drop 'counters'/'mask'"
+                ),
+            ));
+        }
+        if !group_based && mask.is_none() {
+            return Err(PlatformParseError::new(
+                s.line,
+                "unplaceable-event",
+                format!("event '{ename}' has no 'counters' or 'mask' placement"),
+            ));
+        }
+        let code = NATIVE_MASK | idx;
+        if events.iter().any(|prev| prev.code == code) {
+            return Err(PlatformParseError::new(
+                s.line,
+                "unique-event-codes",
+                format!("duplicate event code {idx}"),
+            ));
+        }
+        if events.iter().any(|prev| prev.name == ename) {
+            return Err(PlatformParseError::new(
+                s.line,
+                "unique-event-names",
+                format!("duplicate event name '{ename}'"),
+            ));
+        }
+        events.push(NativeEventDesc {
+            code,
+            name: intern(ename),
+            descr: intern(descr),
+            kinds,
+            counter_mask: mask.unwrap_or(0),
+            group: None,
+        });
+        event_lines.push(s.line);
+    }
+
+    // --- [[group]] --------------------------------------------------------
+    let mut groups: Vec<GroupDef> = Vec::with_capacity(group_secs.len());
+    for s in &group_secs {
+        let g = view(s);
+        g.check_keys(&["id", "name", "events"])?;
+        let id = g.u32("id")?;
+        let gname = g.str("name")?;
+        let ev_kv = g.req("events")?;
+        let Val::List(items) = &ev_kv.val else {
+            return Err(g.type_err("events", "array of event names", &ev_kv.val));
+        };
+        if items.len() > num_counters {
+            return Err(PlatformParseError::new(
+                s.line,
+                "group-too-large",
+                format!(
+                    "group '{gname}' programs {} events onto {num_counters} counters",
+                    items.len()
+                ),
+            ));
+        }
+        let mut codes = Vec::with_capacity(items.len());
+        for it in items {
+            let Val::Str(member) = it else {
+                return Err(PlatformParseError::new(
+                    ev_kv.line,
+                    "bad-value",
+                    format!("group '{gname}': events array must hold event-name strings"),
+                ));
+            };
+            let ev = events.iter().find(|e| e.name == member).ok_or_else(|| {
+                PlatformParseError::new(
+                    ev_kv.line,
+                    "group-unknown-event",
+                    format!("group '{gname}' references unknown event '{member}'"),
+                )
+            })?;
+            codes.push(ev.code);
+        }
+        if groups.iter().any(|prev| prev.id == id) {
+            return Err(PlatformParseError::new(
+                s.line,
+                "duplicate-group-id",
+                format!("group id {id} already defined"),
+            ));
+        }
+        groups.push(GroupDef {
+            id,
+            name: intern(gname),
+            events: codes,
+        });
+    }
+
+    // Derive counter masks from group positions, exactly as the pre-refactor
+    // constructors did: an event may sit on counter i iff some group places
+    // it there; `group` records the last group that did (informational).
+    for g in &groups {
+        for (pos, code) in g.events.iter().enumerate() {
+            let e = events.iter_mut().find(|e| e.code == *code).unwrap();
+            e.counter_mask |= 1 << pos;
+            e.group = Some(g.id);
+        }
+    }
+
+    // --- whole-spec semantic checks --------------------------------------
+    let full: u32 = (1u32 << num_counters) - 1;
+    for (e, line) in events.iter().zip(&event_lines) {
+        if e.counter_mask == 0 {
+            return Err(PlatformParseError::new(
+                *line,
+                "unplaceable-event",
+                format!("event '{}' is placed on no counter by any group", e.name),
+            ));
+        }
+        if e.counter_mask & !full != 0 {
+            return Err(PlatformParseError::new(
+                *line,
+                "mask-beyond-counters",
+                format!(
+                    "event '{}' mask {:#b} names counters beyond the {} available",
+                    e.name, e.counter_mask, num_counters
+                ),
+            ));
+        }
+    }
+    let has_kind = |k: EventKind| {
+        events
+            .iter()
+            .any(|e| e.kinds.iter().any(|&(kk, _)| kk == k))
+    };
+    if !has_kind(EventKind::Cycles) {
+        return Err(PlatformParseError::new(
+            0,
+            "missing-cycles-event",
+            "no native event counts the Cycles signal",
+        ));
+    }
+    if !has_kind(EventKind::Instructions) {
+        return Err(PlatformParseError::new(
+            0,
+            "missing-instructions-event",
+            "no native event counts the Instructions signal",
+        ));
+    }
+
+    Ok(PlatformSpec {
+        name: intern(name),
+        vendor: intern(p.str("vendor")?),
+        model: intern(p.str("model")?),
+        clock_mhz,
+        num_counters,
+        counter_bits,
+        pipeline,
+        mem,
+        events,
+        groups,
+        costs,
+        precise_sampling: p.opt_bool("precise_sampling", false)?,
+        quantum_cycles: p.u64("quantum_cycles")?,
+    })
+}
+
+/// Load and parse a platform-model file from disk.
+pub fn load_platform_file(path: &std::path::Path) -> PResult<PlatformSpec> {
+    let src = std::fs::read_to_string(path).map_err(|e| {
+        PlatformParseError::new(0, "io", format!("cannot read {}: {e}", path.display()))
+    })?;
+    parse_platform(&src)
+}
+
+// ---------------------------------------------------------------------------
+// Canonical renderer
+// ---------------------------------------------------------------------------
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn render_mask(mask: u32, num_counters: usize) -> String {
+    let full: u32 = (1u32 << num_counters) - 1;
+    if mask == full {
+        "counters = \"any\"".to_string()
+    } else {
+        format!("mask = {:#b}", mask)
+    }
+}
+
+/// Render a spec in the canonical file format, such that
+/// `parse_platform(render_platform(&spec)) == spec` exactly.
+///
+/// This is how the eight built-in files were generated from the pre-refactor
+/// Rust constructors (see `examples/gen_platform_files.rs`), which is what
+/// makes the bit-identical differential test meaningful.
+pub fn render_platform(spec: &PlatformSpec) -> String {
+    use std::fmt::Write as _;
+    let mut o = String::with_capacity(4096);
+    let _ = writeln!(o, "# Platform model: {} — {}", spec.name, spec.model);
+    let _ = writeln!(
+        o,
+        "# Canonical form (see SPEC.md \"Platform-model files\"); regenerate with"
+    );
+    let _ = writeln!(o, "#   cargo run --example gen_platform_files");
+    let _ = writeln!(o, "schema = {SCHEMA_VERSION}");
+    let _ = writeln!(o);
+    let _ = writeln!(o, "[platform]");
+    let _ = writeln!(o, "name = {}", quote(spec.name));
+    let _ = writeln!(o, "vendor = {}", quote(spec.vendor));
+    let _ = writeln!(o, "model = {}", quote(spec.model));
+    let _ = writeln!(o, "clock_mhz = {}", spec.clock_mhz);
+    let _ = writeln!(o, "counters = {}", spec.num_counters);
+    let _ = writeln!(o, "counter_bits = {}", spec.counter_bits);
+    let _ = writeln!(o, "precise_sampling = {}", spec.precise_sampling);
+    let _ = writeln!(o, "quantum_cycles = {}", spec.quantum_cycles);
+    let _ = writeln!(o);
+    let _ = writeln!(o, "[pipeline]");
+    match spec.pipeline.kind {
+        PipelineKind::InOrder => {
+            let _ = writeln!(o, "kind = \"in-order\"");
+        }
+        PipelineKind::OutOfOrder { window } => {
+            let _ = writeln!(o, "kind = \"out-of-order\"");
+            let _ = writeln!(o, "window = {window}");
+        }
+    }
+    let _ = writeln!(
+        o,
+        "mispredict_penalty = {}",
+        spec.pipeline.mispredict_penalty
+    );
+    let _ = writeln!(o, "div_latency = {}", spec.pipeline.div_latency);
+    let _ = writeln!(o, "overlap_pct = {}", spec.pipeline.overlap_pct);
+    let _ = writeln!(
+        o,
+        "skid = [{}, {}]",
+        spec.pipeline.skid_min, spec.pipeline.skid_max
+    );
+    let _ = writeln!(o);
+    let _ = writeln!(o, "[memory]");
+    for (key, c) in [
+        ("l1d", &spec.mem.l1d),
+        ("l1i", &spec.mem.l1i),
+        ("l2", &spec.mem.l2),
+    ] {
+        let _ = writeln!(
+            o,
+            "{key} = {{ size = {}, line = {}, assoc = {} }}",
+            c.size, c.line, c.assoc
+        );
+    }
+    let _ = writeln!(o, "dtlb_entries = {}", spec.mem.dtlb_entries);
+    let _ = writeln!(o, "itlb_entries = {}", spec.mem.itlb_entries);
+    let _ = writeln!(o, "l2_lat = {}", spec.mem.l2_lat);
+    let _ = writeln!(o, "mem_lat = {}", spec.mem.mem_lat);
+    let _ = writeln!(o, "tlb_walk = {}", spec.mem.tlb_walk);
+    let _ = writeln!(o, "prefetch_next_line = {}", spec.mem.prefetch_next_line);
+    let _ = writeln!(o, "tlb_flush_on_switch = {}", spec.mem.tlb_flush_on_switch);
+    let _ = writeln!(o);
+    let _ = writeln!(o, "[costs]");
+    let _ = writeln!(o, "read = {}", spec.costs.read_cycles);
+    let _ = writeln!(o, "start_stop = {}", spec.costs.start_stop_cycles);
+    let _ = writeln!(o, "program = {}", spec.costs.program_cycles);
+    let _ = writeln!(o, "interrupt = {}", spec.costs.interrupt_cycles);
+    let _ = writeln!(
+        o,
+        "sample_drain_per_rec = {}",
+        spec.costs.sample_drain_per_rec
+    );
+    let _ = writeln!(o, "timer = {}", spec.costs.timer_cycles);
+    let _ = writeln!(o, "ctx_switch = {}", spec.costs.ctx_switch_cycles);
+    let _ = writeln!(o, "pollute_lines = {}", spec.costs.pollute_lines);
+    let group_based = !spec.groups.is_empty();
+    for e in &spec.events {
+        let _ = writeln!(o);
+        let _ = writeln!(o, "[[event]]");
+        let _ = writeln!(o, "code = {}", e.code & !NATIVE_MASK);
+        let _ = writeln!(o, "name = {}", quote(e.name));
+        let _ = writeln!(o, "descr = {}", quote(e.descr));
+        let _ = writeln!(o, "counts = {}", quote(&render_formula(&e.kinds)));
+        if !group_based {
+            let _ = writeln!(o, "{}", render_mask(e.counter_mask, spec.num_counters));
+        }
+    }
+    for g in &spec.groups {
+        let names: Vec<String> = g
+            .events
+            .iter()
+            .map(|code| {
+                quote(
+                    spec.event_by_code(*code)
+                        .map(|e| e.name)
+                        .unwrap_or("<unknown>"),
+                )
+            })
+            .collect();
+        let _ = writeln!(o);
+        let _ = writeln!(o, "[[group]]");
+        let _ = writeln!(o, "id = {}", g.id);
+        let _ = writeln!(o, "name = {}", quote(g.name));
+        let _ = writeln!(o, "events = [{}]", names.join(", "));
+    }
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::all_platforms;
+
+    #[test]
+    fn round_trip_every_builtin_platform() {
+        for spec in all_platforms() {
+            let text = render_platform(&spec);
+            let parsed = parse_platform(&text)
+                .unwrap_or_else(|e| panic!("{}: render does not re-parse: {e}", spec.name));
+            assert_eq!(parsed, spec, "{} round-trip", spec.name);
+        }
+    }
+
+    #[test]
+    fn formula_syntax() {
+        assert_eq!(
+            parse_formula("Cycles", 1).unwrap(),
+            vec![(EventKind::Cycles, 1)]
+        );
+        assert_eq!(
+            parse_formula("FpAdd + FpMul + 2*FpFma + FpDiv", 1).unwrap(),
+            vec![
+                (EventKind::FpAdd, 1),
+                (EventKind::FpMul, 1),
+                (EventKind::FpFma, 2),
+                (EventKind::FpDiv, 1)
+            ]
+        );
+        for bad in ["", "Cyc1es", "0*Cycles", "Cycles +", "x*Cycles"] {
+            let err = parse_formula(bad, 7).unwrap_err();
+            assert_eq!(err.check, "bad-formula", "{bad}");
+            assert_eq!(err.line, 7);
+        }
+        for k in EventKind::ALL {
+            assert_eq!(kind_by_name(&kind_name(k)), Some(k));
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers_and_named_checks() {
+        let base = render_platform(&crate::platform::sim_x86());
+        // Whole-file and targeted mutations, with the check we expect.
+        let cases: Vec<(String, &str)> = vec![
+            ("schema = 1\n".into(), "missing-section"),
+            (base.replace("schema = 1", "schema = 99"), "schema-version"),
+            (base.replace("schema = 1", "# no schema"), "schema-version"),
+            (base.replace("counters = 4", "counters = 0"), "int-range"),
+            (base.replace("name = \"sim-x86\"", ""), "missing-key"),
+            (
+                base.replace("[pipeline]", "[pipeline]\nbogus_key = 3"),
+                "unknown-key",
+            ),
+            (base.replace("[costs]", "[costz]"), "unknown-section"),
+            (
+                base.replace("skid = [8, 24]", "skid = [24, 8]"),
+                "skid-order",
+            ),
+            (
+                base.replace("counts = \"Cycles\"", "counts = \"Parsecs\""),
+                "bad-formula",
+            ),
+            (
+                base.replace("name = \"INST_RETIRED\"", "name = \"CPU_CLK_UNHALTED\""),
+                "unique-event-names",
+            ),
+            (
+                base.replace("code = 1\n", "code = 0\n"),
+                "unique-event-codes",
+            ),
+            (
+                base.replace("counters = \"any\"", "mask = 0b10000"),
+                "mask-beyond-counters",
+            ),
+            (
+                base.replace("clock_mhz = 1000", "clock_mhz = \"fast\""),
+                "bad-value",
+            ),
+            (base.replace(" = ", " ").to_string(), "syntax"),
+        ];
+        for (src, want_check) in cases {
+            let err = parse_platform(&src)
+                .expect_err(&format!("mutation for '{want_check}' unexpectedly parsed"));
+            assert_eq!(err.check, want_check, "got instead: {err}");
+        }
+        // Line numbers point at the offending line.
+        let src = base.replace("skid = [8, 24]", "skid = [24, 8]");
+        let err = parse_platform(&src).unwrap_err();
+        let lineno = src
+            .lines()
+            .position(|l| l.contains("skid = [24, 8]"))
+            .unwrap()
+            + 1;
+        assert_eq!(err.line, lineno);
+    }
+
+    #[test]
+    fn group_semantics_enforced() {
+        let p3 = render_platform(&crate::platform::sim_power3());
+        // A group referencing an unknown event fails by name.
+        let src = p3.replace("\"PM_CYC\",", "\"PM_NOPE\",");
+        assert_eq!(
+            parse_platform(&src).unwrap_err().check,
+            "group-unknown-event"
+        );
+        // An event with an explicit mask on a group platform is rejected.
+        let src = p3.replace("name = \"PM_CYC\"\n", "name = \"PM_CYC\"\nmask = 0b1\n");
+        assert_eq!(
+            parse_platform(&src).unwrap_err().check,
+            "group-counters-conflict"
+        );
+        // Oversized group.
+        let src = p3.replace("counters = 8", "counters = 4");
+        assert_eq!(parse_platform(&src).unwrap_err().check, "group-too-large");
+    }
+
+    #[test]
+    fn interning_returns_stable_pointers() {
+        let a = intern("platform-model-intern-test");
+        let b = intern("platform-model-intern-test");
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a, "platform-model-intern-test");
+    }
+
+    /// Robustness corpus: every mutation of every shipped platform file must
+    /// yield either a valid spec or a structured [`PlatformParseError`] with
+    /// a named check and an in-range line number — never a panic. The corpus
+    /// is seeded, so a failure reproduces with the printed (file, op, round).
+    #[test]
+    fn mutated_platform_files_never_panic() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+
+        // The eight embedded builtins plus the data-only sim-rv64 file.
+        let rv64 = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../platforms/sim-rv64.toml"
+        ))
+        .expect("platforms/sim-rv64.toml readable");
+        let mut corpus: Vec<(&str, String)> = crate::platform::files::BUILTIN
+            .iter()
+            .map(|&(name, text)| (name, text.to_string()))
+            .collect();
+        corpus.push(("sim-rv64", rv64));
+
+        let mut rng = SmallRng::seed_from_u64(0x00D1_CE5E_ED00_7001);
+        let known_checks = |c: &str| !c.is_empty() && c.chars().all(|ch| ch.is_ascii_graphic());
+        for (name, text) in &corpus {
+            for round in 0..60u32 {
+                let op = rng.gen_range(0..5u8);
+                let mutated = mutate(text, op, &mut rng);
+                let label = format!("{name} op={op} round={round}");
+                let got = std::panic::catch_unwind(|| parse_platform(&mutated));
+                let Ok(result) = got else {
+                    panic!("parser panicked on mutated input ({label})");
+                };
+                if let Err(e) = result {
+                    assert!(known_checks(e.check), "unnamed check for {label}: {e:?}");
+                    let lines = mutated.lines().count();
+                    assert!(
+                        e.line <= lines + 1,
+                        "line {} out of range ({} lines) for {label}",
+                        e.line,
+                        lines
+                    );
+                    // Display stays structured: "line N: [check] ..."
+                    let shown = format!("{e}");
+                    assert!(
+                        shown.contains(&format!("[{}]", e.check)),
+                        "display lost the check name for {label}: {shown}"
+                    );
+                }
+            }
+        }
+
+        fn mutate(text: &str, op: u8, rng: &mut SmallRng) -> String {
+            let lines: Vec<&str> = text.lines().collect();
+            match op {
+                // Truncate at an arbitrary char boundary (torn write).
+                0 => {
+                    let cut = rng.gen_range(0..=text.len());
+                    let cut = (cut..=text.len())
+                        .find(|&i| text.is_char_boundary(i))
+                        .unwrap();
+                    text[..cut].to_string()
+                }
+                // Delete one line.
+                1 => {
+                    let victim = rng.gen_range(0..lines.len());
+                    lines
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != victim)
+                        .map(|(_, l)| *l)
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                }
+                // Corrupt one character.
+                2 => {
+                    let mut bytes = text.as_bytes().to_vec();
+                    let i = rng.gen_range(0..bytes.len());
+                    bytes[i] = rng.gen_range(b' '..=b'~');
+                    String::from_utf8_lossy(&bytes).into_owned()
+                }
+                // Duplicate one line (duplicate keys/sections/events).
+                3 => {
+                    let victim = rng.gen_range(0..lines.len());
+                    let mut out: Vec<&str> = Vec::with_capacity(lines.len() + 1);
+                    for (i, l) in lines.iter().enumerate() {
+                        out.push(l);
+                        if i == victim {
+                            out.push(l);
+                        }
+                    }
+                    out.join("\n")
+                }
+                // Insert a garbage line at a random spot.
+                _ => {
+                    let garbage: String = (0..rng.gen_range(1..40usize))
+                        .map(|_| rng.gen_range(b' '..=b'~') as char)
+                        .collect();
+                    let at = rng.gen_range(0..=lines.len());
+                    let mut out: Vec<&str> = lines.clone();
+                    out.insert(at, &garbage);
+                    out.join("\n")
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Rendering for `papi_avail` — preset availability and mapping details,
+//! resolved through the [`SubstrateRegistry`] so data-file platforms and
+//! fault-prefixed names get the same treatment as builtins.
+
+use papi_core::{Papi, Preset, PresetTable, Result, SubstrateRegistry};
+use std::fmt::Write as _;
+
+/// The `papi_avail` report for one substrate: platform header with
+/// provenance, the preset table with mapping terms, and the native-event
+/// list with counter constraints.
+pub fn render_avail(reg: &SubstrateRegistry, name: &str) -> Result<String> {
+    let papi = Papi::init_from_registry(reg, name, 0)?;
+    let provenance = reg.provenance(name)?;
+    let hw = papi.hw_info();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Platform: {} ({} MHz, {} counters{}{})",
+        hw.model,
+        hw.mhz,
+        hw.num_counters,
+        if hw.group_based {
+            ", group-allocated"
+        } else {
+            ""
+        },
+        if hw.precise_sampling {
+            ", precise sampling"
+        } else {
+            ""
+        }
+    )
+    .unwrap();
+    writeln!(out, "Provenance: {}", provenance.label()).unwrap();
+    writeln!(
+        out,
+        "\n{:<14} {:<6} {:<13} {:<40} mapping",
+        "preset", "avail", "kind", "description"
+    )
+    .unwrap();
+    for &p in Preset::ALL {
+        match papi.preset_table().mapping(p.code()) {
+            None => writeln!(
+                out,
+                "{:<14} {:<6} {:<13} {:<40} -",
+                p.name(),
+                "no",
+                "-",
+                p.descr()
+            )
+            .unwrap(),
+            Some(m) => {
+                let terms: Vec<String> = m
+                    .terms
+                    .iter()
+                    .map(|&(c, k)| {
+                        let n = papi.event_code_to_name(c).unwrap_or_default();
+                        if k == 1 {
+                            n
+                        } else if k == -1 {
+                            format!("-{n}")
+                        } else {
+                            format!("{k}*{n}")
+                        }
+                    })
+                    .collect();
+                writeln!(
+                    out,
+                    "{:<14} {:<6} {:<13} {:<40} {}",
+                    p.name(),
+                    "yes",
+                    m.kind(),
+                    p.descr(),
+                    terms.join(" + ")
+                )
+                .unwrap();
+            }
+        }
+    }
+    writeln!(out, "\nNative events:").unwrap();
+    for e in papi.native_events() {
+        writeln!(
+            out,
+            "  {:<24} counters {:#06b}  {}",
+            e.name, e.counter_mask, e.descr
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+/// The `papi_avail --matrix` table: preset availability across every
+/// spec-backed substrate in the registry (code backends without a platform
+/// model are skipped). `D` direct, `+` derived, `i` inexact, `.` missing.
+pub fn render_avail_matrix(reg: &SubstrateRegistry) -> String {
+    let mut cols: Vec<(String, PresetTable)> = Vec::new();
+    for info in reg.list() {
+        let Ok(spec) = reg.platform_spec(&info.name) else {
+            continue;
+        };
+        let short = info
+            .name
+            .trim_start_matches("sim:")
+            .trim_start_matches("file:sim-")
+            .trim_start_matches("file:")
+            .to_string();
+        cols.push((
+            short,
+            PresetTable::build(&spec.events, spec.num_counters, &spec.groups),
+        ));
+    }
+    let mut out = String::new();
+    write!(out, "{:<14}", "preset").unwrap();
+    for (name, _) in &cols {
+        write!(out, " {name:>8}").unwrap();
+    }
+    writeln!(out).unwrap();
+    for &pr in Preset::ALL {
+        write!(out, "{:<14}", pr.name()).unwrap();
+        for (_, t) in &cols {
+            let c = match t.mapping(pr.code()) {
+                None => '.',
+                Some(m) if m.inexact => 'i',
+                Some(m) if m.terms.len() == 1 => 'D',
+                Some(_) => '+',
+            };
+            write!(out, " {c:>8}").unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    out
+}

@@ -2,118 +2,53 @@
 //! platform (the PAPI distribution's classic `papi_avail` utility).
 //!
 //! ```text
-//! papi_avail [--platform NAME]
-//! papi_avail --matrix        # availability matrix across all platforms
+//! papi_avail [--platform NAME]           # builtin, alias, file:NAME, fault:NAME
+//! papi_avail --platform-file PATH        # load a platform-model file first
+//! papi_avail --matrix                    # availability matrix across platforms
 //! ```
+//!
+//! The report header carries a provenance line (builtin-data / data-file /
+//! code) saying where the platform's definition lives.
 
-use papi_core::{Papi, Preset, PresetTable, SimSubstrate};
-use simcpu::{all_platforms, platform_by_name, Machine};
+use papi_tools::{full_registry, render_avail, render_avail_matrix};
 
-fn one_platform(name: &str) {
-    let Some(spec) = platform_by_name(name) else {
-        eprintln!("papi_avail: unknown platform {name}");
-        std::process::exit(2);
-    };
-    let papi = Papi::init(SimSubstrate::new(Machine::new(spec, 0))).unwrap();
-    let hw = papi.hw_info();
-    println!(
-        "Platform: {} ({} MHz, {} counters{}{})",
-        hw.model,
-        hw.mhz,
-        hw.num_counters,
-        if hw.group_based {
-            ", group-allocated"
-        } else {
-            ""
-        },
-        if hw.precise_sampling {
-            ", precise sampling"
-        } else {
-            ""
-        }
-    );
-    println!(
-        "\n{:<14} {:<6} {:<13} {:<40} mapping",
-        "preset", "avail", "kind", "description"
-    );
-    for &p in Preset::ALL {
-        match papi.preset_table().mapping(p.code()) {
-            None => println!(
-                "{:<14} {:<6} {:<13} {:<40} -",
-                p.name(),
-                "no",
-                "-",
-                p.descr()
-            ),
-            Some(m) => {
-                let terms: Vec<String> = m
-                    .terms
-                    .iter()
-                    .map(|&(c, k)| {
-                        let n = papi.event_code_to_name(c).unwrap_or_default();
-                        if k == 1 {
-                            n
-                        } else if k == -1 {
-                            format!("-{n}")
-                        } else {
-                            format!("{k}*{n}")
-                        }
-                    })
-                    .collect();
-                println!(
-                    "{:<14} {:<6} {:<13} {:<40} {}",
-                    p.name(),
-                    "yes",
-                    m.kind(),
-                    p.descr(),
-                    terms.join(" + ")
-                );
-            }
-        }
-    }
-    println!("\nNative events:");
-    for e in papi.native_events() {
-        println!(
-            "  {:<24} counters {:#06b}  {}",
-            e.name, e.counter_mask, e.descr
-        );
-    }
-}
-
-fn matrix() {
-    let platforms = all_platforms();
-    print!("{:<14}", "preset");
-    for p in &platforms {
-        print!(" {:>8}", p.name.trim_start_matches("sim-"));
-    }
-    println!();
-    let tables: Vec<PresetTable> = platforms
-        .iter()
-        .map(|p| PresetTable::build(&p.events, p.num_counters, &p.groups))
-        .collect();
-    for &pr in Preset::ALL {
-        print!("{:<14}", pr.name());
-        for t in &tables {
-            let c = match t.mapping(pr.code()) {
-                None => '.',
-                Some(m) if m.inexact => 'i',
-                Some(m) if m.terms.len() == 1 => 'D',
-                Some(_) => '+',
-            };
-            print!(" {c:>8}");
-        }
-        println!();
-    }
+fn usage() -> ! {
+    eprintln!("usage: papi_avail [--platform NAME | --platform-file PATH | --matrix]");
+    eprintln!();
+    eprintln!("  --platform NAME       registry name, platform alias (any case),");
+    eprintln!("                        file:PATH, or fault-prefixed name");
+    eprintln!("  --platform-file PATH  load a platform-model file, then report on it");
+    eprintln!("  --matrix              preset availability across all platforms");
+    std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(|s| s.as_str()) {
-        Some("--matrix") => matrix(),
-        Some("--platform") => one_platform(args.get(1).map(|s| s.as_str()).unwrap_or("")),
-        None => one_platform("sim-generic"),
-        _ => {
-            eprintln!("usage: papi_avail [--platform NAME | --matrix]");
+    let mut reg = full_registry();
+    let name = match args.first().map(|s| s.as_str()) {
+        Some("--matrix") => {
+            print!("{}", render_avail_matrix(&reg));
+            return;
+        }
+        Some("--platform") => args.get(1).cloned().unwrap_or_else(|| usage()),
+        Some("--platform-file") => {
+            let path = args.get(1).cloned().unwrap_or_else(|| usage());
+            match reg.register_platform_file(std::path::Path::new(&path)) {
+                Ok(canonical) => canonical,
+                Err(e) => {
+                    eprintln!("papi_avail: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Some("--help" | "-h") => usage(),
+        None => "sim-generic".to_string(),
+        Some(_) => usage(),
+    };
+    match render_avail(&reg, &name) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("papi_avail: {e}");
             std::process::exit(2);
         }
     }

@@ -2,12 +2,12 @@
 //! measured counts (the utility behind the paper's §4 accuracy runs).
 //!
 //! ```text
-//! papi_calibrate [--platform NAME] [--seed N]
+//! papi_calibrate [--platform NAME] [--platform-file PATH] [--seed N]
 //! ```
 
 use papi_tools::calibrate::{calibrate_all_parallel, render_report};
 use papi_workloads::calibration_suite;
-use simcpu::{all_platforms, platform_by_name};
+use simcpu::all_platforms;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -16,19 +16,26 @@ fn main() {
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--platform" => {
-                let name = it.next().unwrap_or_default();
-                match platform_by_name(&name) {
-                    Some(p) => platforms = vec![p],
-                    None => {
-                        eprintln!("papi_calibrate: unknown platform {name}");
+            "--platform" | "--platform-file" => {
+                let arg = it.next().unwrap_or_default();
+                let name = if a == "--platform-file" {
+                    format!("file:{arg}")
+                } else {
+                    arg
+                };
+                match papi_tools::resolve_platform(&name) {
+                    Ok(p) => platforms = vec![p],
+                    Err(e) => {
+                        eprintln!("papi_calibrate: {e}");
                         std::process::exit(2);
                     }
                 }
             }
             "--seed" => seed = it.next().and_then(|s| s.parse().ok()).unwrap_or(7),
             _ => {
-                eprintln!("usage: papi_calibrate [--platform NAME] [--seed N]");
+                eprintln!(
+                    "usage: papi_calibrate [--platform NAME | --platform-file PATH] [--seed N]"
+                );
                 std::process::exit(2);
             }
         }

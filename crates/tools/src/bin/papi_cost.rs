@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! papi_cost [--platform NAME]        # one platform (static dispatch)
+//! papi_cost --platform-file PATH     # a platform loaded from a model file
 //! papi_cost --substrate NAME         # any registry backend (sim:x86, perfctr, ...)
 //! papi_cost --all                    # table across every platform
 //! papi_cost --self-check [NAME]      # cross-check vs papi-obs self-accounting
@@ -16,7 +17,7 @@
 //! over-cover) the real hot paths.
 
 use papi_core::{Papi, Preset, SimSubstrate, Substrate};
-use simcpu::{all_platforms, platform_by_name, Machine, PlatformSpec};
+use simcpu::{all_platforms, Machine, PlatformSpec};
 
 // Count host heap traffic so `--self-check` can report allocations per
 // steady-state read alongside the cycle cross-check.
@@ -266,10 +267,10 @@ fn main() {
             "memo hit"
         );
         let specs: Vec<PlatformSpec> = match args.get(1) {
-            Some(name) => match platform_by_name(name) {
-                Some(p) => vec![p],
-                None => {
-                    eprintln!("papi_cost: unknown platform {name}");
+            Some(name) => match papi_tools::resolve_platform(name) {
+                Ok(p) => vec![p],
+                Err(e) => {
+                    eprintln!("papi_cost: {e}");
                     std::process::exit(2);
                 }
             },
@@ -304,10 +305,20 @@ fn main() {
         }
         Some("--platform") => {
             let name = args.get(1).map(|s| s.as_str()).unwrap_or("");
-            match platform_by_name(name) {
-                Some(p) => row(p),
-                None => {
-                    eprintln!("papi_cost: unknown platform {name}");
+            match papi_tools::resolve_platform(name) {
+                Ok(p) => row(p),
+                Err(e) => {
+                    eprintln!("papi_cost: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Some("--platform-file") => {
+            let path = args.get(1).map(|s| s.as_str()).unwrap_or("");
+            match papi_tools::resolve_platform(&format!("file:{path}")) {
+                Ok(p) => row(p),
+                Err(e) => {
+                    eprintln!("papi_cost: {e}");
                     std::process::exit(2);
                 }
             }
@@ -317,7 +328,9 @@ fn main() {
             row_named(name);
         }
         _ => {
-            eprintln!("usage: papi_cost [--platform NAME | --substrate NAME | --all]");
+            eprintln!(
+                "usage: papi_cost [--platform NAME | --platform-file PATH | --substrate NAME | --all]"
+            );
             std::process::exit(2);
         }
     }

@@ -9,14 +9,13 @@
 //! papirun --list-substrates
 //! ```
 
-use papi_tools::papirun::{papirun_named, papirun_with, RunOptions};
+use papi_tools::papirun::{papirun_in, papirun_with, RunOptions};
 use papi_workloads as workloads;
-use simcpu::{all_platforms, platform_by_name};
+use simcpu::all_platforms;
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: papirun [--platform NAME | --substrate NAME] [--workload NAME | --workload-file PROG.json]"
-    );
+    eprintln!("usage: papirun [--platform NAME | --substrate NAME | --platform-file PATH]");
+    eprintln!("               [--workload NAME | --workload-file PROG.json]");
     eprintln!(
         "               [--seed N] [--self-stats] [--self-stats-json] [--overflow EVENT=THRESHOLD]"
     );
@@ -26,7 +25,9 @@ fn usage() -> ! {
     eprintln!();
     eprintln!("  --substrate NAME   pick the backend by registry name (sim:x86, perfctr, ...)");
     eprintln!("                     prefix fault: / fault[spec]: to wrap any backend in the");
-    eprintln!("                     fault-injection decorator (e.g. fault[chaos]:sim:x86)");
+    eprintln!("                     fault-injection decorator (e.g. fault[chaos]:sim:x86);");
+    eprintln!("                     file:PATH loads a platform-model file on the fly");
+    eprintln!("  --platform-file P  load a platform-model file and run on it");
     eprintln!("  --self-stats       append the library's internal papi-obs counters to the report");
     eprintln!("  --self-stats-json  print the internal counters as a flat JSON object instead");
     eprintln!("  --overflow E=N     install a counting overflow handler on event E every N counts");
@@ -66,6 +67,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut platform = "sim-generic".to_string();
     let mut substrate: Option<String> = None;
+    let mut platform_file: Option<String> = None;
     let mut workload = "matmul".to_string();
     let mut workload_file: Option<String> = None;
     let mut seed = 42u64;
@@ -80,6 +82,7 @@ fn main() {
         match a.as_str() {
             "--platform" => platform = it.next().unwrap_or_else(|| usage()),
             "--substrate" => substrate = Some(it.next().unwrap_or_else(|| usage())),
+            "--platform-file" => platform_file = Some(it.next().unwrap_or_else(|| usage())),
             "--workload" => workload = it.next().unwrap_or_else(|| usage()),
             "--workload-file" => workload_file = Some(it.next().unwrap_or_else(|| usage())),
             "--seed" => {
@@ -170,14 +173,30 @@ fn main() {
         push_aggd,
         push_tenant,
     };
-    let result = match &substrate {
-        Some(name) => papirun_named(name, &w, &names, &opts),
-        None => {
-            let Some(spec) = platform_by_name(&platform) else {
-                eprintln!("papirun: unknown platform {platform}");
-                usage();
-            };
-            papirun_with(&spec, &w, &names, &opts)
+    let mut reg = papi_tools::full_registry();
+    let result = match (&platform_file, &substrate) {
+        (Some(path), _) => {
+            // Load the model file into the registry, then run through the
+            // same by-name path as --substrate (full substrate treatment).
+            match reg.register_platform_file(std::path::Path::new(path)) {
+                Ok(canonical) => papirun_in(&reg, &canonical, &w, &names, &opts),
+                Err(e) => {
+                    eprintln!("papirun: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        (None, Some(name)) => papirun_in(&reg, name, &w, &names, &opts),
+        (None, None) => {
+            // --platform resolves through the registry too: case-insensitive,
+            // alias-aware, file:PATH-capable — one resolution path for all.
+            match reg.platform_spec(&platform) {
+                Ok(spec) => papirun_with(&spec, &w, &names, &opts),
+                Err(_) => {
+                    eprintln!("papirun: unknown platform {platform}");
+                    usage();
+                }
+            }
         }
     };
     match result {

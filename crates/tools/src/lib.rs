@@ -17,22 +17,25 @@
 //! * [`tracer`] — interval event timelines for Vampir/TAU-style trace
 //!   correlation (§3), with JSON export and timeline merging.
 
+pub mod avail;
 pub mod calibrate;
 pub mod dynaprof;
 pub mod papirun;
 pub mod perfometer;
 pub mod tracer;
 
+pub use avail::{render_avail, render_avail_matrix};
 pub use calibrate::{
     calibrate_all, calibrate_all_parallel, calibrate_workload, render_report, CalRow,
 };
 pub use dynaprof::{Dynaprof, DynaprofReport, FuncProfile, ProbeMetric};
 pub use papirun::papirun as run_papirun;
-pub use papirun::{papirun_named, papirun_with, RunOptions, RunReport};
+pub use papirun::{papirun_in, papirun_named, papirun_with, RunOptions, RunReport};
 pub use perfometer::{Perfometer, TracePoint};
 pub use tracer::{IntervalRecord, Timeline, Tracer};
 
 use papi_core::SubstrateRegistry;
+use simcpu::PlatformSpec;
 
 /// Every backend the tools know how to open: the built-in simulated
 /// platforms (`sim:x86` ... `sim:generic`) plus the perfctr kernel-patch
@@ -43,25 +46,36 @@ pub fn full_registry() -> SubstrateRegistry {
     reg
 }
 
+/// Resolve a `--platform` argument to its [`PlatformSpec`] through the
+/// registry — the single name-resolution path for every tool. Accepts
+/// canonical names, aliases, either colon or dash spelling, any case,
+/// `file:<path>` platform-file loads, and fault-prefixed names (the prefix
+/// is stripped; it decorates substrates, not models).
+pub fn resolve_platform(name: &str) -> papi_core::Result<PlatformSpec> {
+    full_registry().platform_spec(name)
+}
+
 /// The table `papirun --list-substrates` prints: one row per registered
-/// backend with its counter count, group count and sampling support.
+/// backend with its counter count, group count, sampling support and
+/// definition provenance (builtin-data / data-file / code).
 pub fn render_substrate_list(reg: &SubstrateRegistry) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     writeln!(
         out,
-        "{:<14} {:>8} {:>7} {:>9}  description",
-        "name", "counters", "groups", "sampling"
+        "{:<16} {:>8} {:>7} {:>9} {:>13}  description",
+        "name", "counters", "groups", "sampling", "provenance"
     )
     .unwrap();
     for info in reg.list() {
         writeln!(
             out,
-            "{:<14} {:>8} {:>7} {:>9}  {}",
+            "{:<16} {:>8} {:>7} {:>9} {:>13}  {}",
             info.name,
             info.counters,
             info.groups,
             if info.sampling { "yes" } else { "no" },
+            info.provenance.label(),
             info.description,
         )
         .unwrap();

@@ -123,8 +123,25 @@ pub fn papirun_named(
     event_names: &[&str],
     opts: &RunOptions,
 ) -> Result<RunReport> {
-    let reg = crate::full_registry();
-    let mut papi = Papi::init_from_registry(&reg, substrate, opts.seed)?;
+    papirun_in(
+        &crate::full_registry(),
+        substrate,
+        workload,
+        event_names,
+        opts,
+    )
+}
+
+/// [`papirun_named`] against a caller-supplied registry — the path
+/// `papirun --platform-file` takes after registering the loaded model.
+pub fn papirun_in(
+    reg: &papi_core::SubstrateRegistry,
+    substrate: &str,
+    workload: &Workload,
+    event_names: &[&str],
+    opts: &RunOptions,
+) -> Result<RunReport> {
+    let mut papi = Papi::init_from_registry(reg, substrate, opts.seed)?;
     papi.substrate_mut()
         .load_program(workload.program.clone())?;
     run_loaded(

@@ -270,6 +270,91 @@ fn papirun_self_stats_multiplexed_snapshot() {
     assert!(json.contains(&format!("\"mpx.rotations\": {rotations}")));
 }
 
+fn rv64_file() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("platforms/sim-rv64.toml")
+}
+
+#[test]
+fn papi_avail_reports_provenance_for_builtin_and_file_platforms() {
+    use papi_suite::tools::render_avail;
+    let mut reg = papi_suite::tools::full_registry();
+    // Builtin: data embedded in the crate, so provenance is builtin-data.
+    let report = render_avail(&reg, "sim:generic").unwrap();
+    assert!(report.contains("Provenance: builtin-data"), "{report}");
+    assert!(report.contains("PAPI_TOT_CYC"), "{report}");
+    assert!(report.contains("Native events:"), "{report}");
+    // The name path is registry-resolved: alias, any case, either spelling.
+    for alias in ["SIM:GENERIC", "sim-generic", "Sim-Generic"] {
+        assert_eq!(render_avail(&reg, alias).unwrap(), report, "{alias}");
+    }
+    // A runtime-loaded model file reports data-file provenance, and its
+    // aggregate FP event makes PAPI_FP_OPS a direct mapping.
+    let canonical = reg.register_platform_file(&rv64_file()).unwrap();
+    assert_eq!(canonical, "file:sim-rv64");
+    let report = render_avail(&reg, &canonical).unwrap();
+    assert!(report.contains("Provenance: data-file"), "{report}");
+    assert!(report.contains("HPM_FP_FLOPS"), "{report}");
+    let fp_ops = report
+        .lines()
+        .find(|l| l.starts_with("PAPI_FP_OPS"))
+        .unwrap();
+    assert!(fp_ops.contains("HPM_FP_FLOPS"), "{fp_ops}");
+    // The bare name aliases to the same report.
+    assert_eq!(render_avail(&reg, "sim-rv64").unwrap(), report);
+}
+
+#[test]
+fn papi_avail_matrix_spans_builtin_and_file_platforms() {
+    use papi_suite::tools::render_avail_matrix;
+    let mut reg = papi_suite::tools::full_registry();
+    reg.register_platform_file(&rv64_file()).unwrap();
+    let matrix = render_avail_matrix(&reg);
+    let header = matrix.lines().next().unwrap();
+    for col in ["x86", "power3", "generic", "rv64"] {
+        assert!(header.contains(col), "missing {col} in: {header}");
+    }
+    // Every preset appears as a row, cells drawn from the D/+/i/. alphabet.
+    let rows: Vec<&str> = matrix.lines().skip(1).collect();
+    assert_eq!(rows.len(), papi_suite::papi::Preset::ALL.len());
+    assert!(rows.iter().any(|r| r.starts_with("PAPI_FP_OPS")));
+}
+
+#[test]
+fn papirun_platform_file_end_to_end() {
+    // The CLI's --platform-file path, via the same lib call the binary
+    // makes: load the data-only rv64 model, run matmul, and get exact
+    // counts from presets mapped purely out of the file's event table.
+    use papi_suite::tools::papirun_in;
+    let mut reg = papi_suite::tools::full_registry();
+    let canonical = reg.register_platform_file(&rv64_file()).unwrap();
+    let names = ["PAPI_TOT_CYC", "PAPI_TOT_INS", "PAPI_FP_OPS"];
+    let opts = RunOptions {
+        seed: 4,
+        ..RunOptions::default()
+    };
+    let rep = papirun_in(&reg, &canonical, &matmul(12), &names, &opts).unwrap();
+    // matmul(12): n^3 FMAs, two flops each.
+    assert_eq!(rep.rows[2].1, 2 * 12i64.pow(3), "{:?}", rep.rows);
+    assert!(rep.rows[0].1 > 0 && rep.rows[1].1 > 0);
+    // Fault decoration composes over file platforms: same counts.
+    let faulted = papirun_in(
+        &reg,
+        &format!("fault[bits=32]:{canonical}"),
+        &matmul(12),
+        &names,
+        &opts,
+    )
+    .unwrap();
+    assert_eq!(faulted.rows[2], rep.rows[2]);
+    // And the listing carries the provenance column for it.
+    let listing = papi_suite::tools::render_substrate_list(&reg);
+    let row = listing
+        .lines()
+        .find(|l| l.starts_with("file:sim-rv64"))
+        .unwrap();
+    assert!(row.contains("data-file"), "{row}");
+}
+
 #[test]
 fn papirun_through_the_fault_decorator_matches_clean_counts() {
     // `papirun --substrate fault[...]:NAME`: the registry wraps any backend
