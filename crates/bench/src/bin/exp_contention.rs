@@ -3,22 +3,28 @@
 //!
 //! The paper's thread story (and ScALPEL's lesson) is that monitoring
 //! stays lightweight at scale only if per-thread counter state avoids
-//! shared locks on the hot path. This harness proves our sharded session
-//! table delivers that: N threads register into one `ThreadedPapi`, each
+//! shared locks on the hot path. This harness proves our lock-free read
+//! path delivers that: N threads register into one `ThreadedPapi`, each
 //! gets its own substrate context and a started 4-event set, and each
-//! hammers `read_into` on its own session.
+//! hammers `read_into` on its own session — one uncontended sequence-stamp
+//! compare-exchange per read, no OS mutex anywhere.
 //!
-//! Two measurements per configuration (1 thread and 4 threads):
+//! The sweep covers 1/2/4/8 threads (the knee a 1t/4t pair would hide).
+//! Three measurements per configuration:
 //!
-//! * **Virtual-time throughput** (the acceptance metric): every read has a
-//!   deterministic virtual cost on its own machine, so aggregate
-//!   throughput — total reads divided by the *slowest* thread's virtual
-//!   cycles — is host-independent and scales with thread count if and
-//!   only if no shared state serializes the threads. Asserted >= 3x at 4
-//!   threads vs 1.
-//! * **Host wall-clock** ns/op, reported informationally (CI containers
-//!   may have a single core, where wall-clock parallel speedup is
-//!   physically unavailable; the virtual metric is immune to that).
+//! * **Virtual-time throughput** (the scaling acceptance metric): every
+//!   read has a deterministic virtual cost on its own machine, so
+//!   aggregate throughput — total reads divided by the *slowest* thread's
+//!   virtual cycles — is host-independent and scales with thread count if
+//!   and only if no shared state serializes the threads. Asserted >= 3x at
+//!   4 threads vs 1.
+//! * **Per-thread CPU time** ns/op (the contention acceptance metric,
+//!   recorded in BENCH_hotpath.json): each thread's on-CPU nanoseconds
+//!   divided by its reads. Unlike wall-clock, this does not inflate when a
+//!   single-core CI host time-slices the workers — it charges exactly the
+//!   cycles each thread burned, which is what a shared lock (spinning or
+//!   parking) would increase. Asserted: 4t within 1.5x of 1t.
+//! * **Host wall-clock** ns/op, reported informationally.
 //!
 //! Each thread also asserts the per-thread zero-allocation guarantee:
 //! steady-state `read_into` performs 0 heap allocations *on that thread*
@@ -28,12 +34,13 @@
 //! exp_contention [--iters N] [--substrate NAME]
 //! ```
 //!
-//! `--iters 1` is the CI smoke mode: both configurations run, the scaling
+//! `--iters 1` is the CI smoke mode: all configurations run, the scaling
 //! and zero-allocation assertions still fire (both are deterministic),
 //! but timings are not recorded.
 
 use papi_bench::banner;
 use papi_bench::bench_json::{merge_into, BenchRecord};
+use papi_bench::thread_cpu_ns;
 use papi_core::{Papi, Preset, Substrate, SubstrateRegistry, ThreadedPapi};
 use papi_obs::alloc_track::count_in;
 use papi_workloads::dense_fp;
@@ -42,9 +49,15 @@ use std::time::Instant;
 
 const EVENTS: [Preset; 4] = [Preset::TotCyc, Preset::TotIns, Preset::LdIns, Preset::SrIns];
 
+/// The swept thread counts. 4t/1t is the recorded scaling ratio.
+const SWEEP: [usize; 4] = [1, 2, 4, 8];
+
 struct ThreadSample {
     virt_cycles: u64,
     host_ns: u64,
+    /// On-CPU nanoseconds burned by the read loop (None where the host
+    /// offers no per-thread CPU clock).
+    cpu_ns: Option<u64>,
     allocs: u64,
 }
 
@@ -60,8 +73,8 @@ fn pool(substrate: &str) -> Arc<ThreadedPapi<papi_core::BoxSubstrate>> {
 }
 
 /// One registered thread's read loop: warm, then `iters` steady-state
-/// `read_into` calls, counting this thread's heap traffic and virtual
-/// cycles.
+/// `read_into` calls, counting this thread's heap traffic, CPU time and
+/// virtual cycles.
 fn worker(
     pool: &Arc<ThreadedPapi<papi_core::BoxSubstrate>>,
     seed: u64,
@@ -78,6 +91,7 @@ fn worker(
         token.read_into(set, &mut out).unwrap();
     }
     let v0 = token.with(|p| p.get_real_cyc());
+    let cpu0 = thread_cpu_ns();
     let t0 = Instant::now();
     let ((), allocs) = count_in(|| {
         for _ in 0..iters {
@@ -85,6 +99,10 @@ fn worker(
         }
     });
     let host_ns = t0.elapsed().as_nanos() as u64;
+    let cpu_ns = match (cpu0, thread_cpu_ns()) {
+        (Some(a), Some(b)) => Some(b.saturating_sub(a)),
+        _ => None,
+    };
     let virt_cycles = token.with(|p| p.get_real_cyc()) - v0;
     std::hint::black_box(out[0]);
     token.stop(set).unwrap();
@@ -93,15 +111,22 @@ fn worker(
     ThreadSample {
         virt_cycles,
         host_ns,
+        cpu_ns,
         allocs,
     }
 }
 
 struct Config {
+    threads: usize,
     /// Aggregate reads per million virtual cycles: total reads over the
     /// slowest thread's cycles (threads run on independent machines, so
     /// the slowest clock is the configuration's virtual makespan).
     virt_throughput: f64,
+    /// Mean on-CPU nanoseconds per read across all threads; falls back to
+    /// wall-clock where no per-thread CPU clock exists.
+    cpu_ns_per_op: f64,
+    /// Whether `cpu_ns_per_op` is a true CPU-time figure.
+    cpu_clock: bool,
     host_ns_per_op: f64,
 }
 
@@ -124,8 +149,17 @@ fn run_config(substrate: &str, threads: usize, iters: u64) -> Config {
     let total_reads = iters * threads as u64;
     let makespan = samples.iter().map(|s| s.virt_cycles).max().unwrap();
     let host_total_ns: u64 = samples.iter().map(|s| s.host_ns).sum();
+    let cpu_clock = samples.iter().all(|s| s.cpu_ns.is_some());
+    let cpu_total_ns: u64 = if cpu_clock {
+        samples.iter().map(|s| s.cpu_ns.unwrap()).sum()
+    } else {
+        host_total_ns
+    };
     Config {
+        threads,
         virt_throughput: total_reads as f64 / makespan as f64 * 1e6,
+        cpu_ns_per_op: cpu_total_ns as f64 / total_reads as f64,
+        cpu_clock,
         host_ns_per_op: host_total_ns as f64 / total_reads as f64,
     }
 }
@@ -147,50 +181,76 @@ fn main() {
     }
     banner(
         "E-contention",
-        "sharded per-thread sessions: read_into throughput scales with thread count",
+        "lock-free per-thread sessions: read_into scales with thread count",
     );
     println!("reads per thread : {iters}");
-    println!("events           : 4 (TotCyc TotIns LdIns SrIns, non-multiplexed)\n");
+    println!("events           : 4 (TotCyc TotIns LdIns SrIns, non-multiplexed)");
+    println!("thread sweep     : {SWEEP:?}\n");
 
-    let one = run_config(&substrate, 1, iters);
-    let four = run_config(&substrate, 4, iters);
-    let scaling = four.virt_throughput / one.virt_throughput;
+    let configs: Vec<Config> = SWEEP
+        .iter()
+        .map(|&n| run_config(&substrate, n, iters))
+        .collect();
 
+    for c in &configs {
+        println!(
+            "  {} thread{}  {:>10.1} reads/Mcycle (virtual)  {:>8.1} ns/op (cpu{})  {:>8.1} ns/op (wall)",
+            c.threads,
+            if c.threads == 1 { " " } else { "s" },
+            c.virt_throughput,
+            c.cpu_ns_per_op,
+            if c.cpu_clock { "" } else { ", wall fallback" },
+            c.host_ns_per_op,
+        );
+    }
+
+    let one = &configs[0];
+    let four = configs.iter().find(|c| c.threads == 4).unwrap();
+    let virt_scaling = four.virt_throughput / one.virt_throughput;
+    let cpu_ratio = four.cpu_ns_per_op / one.cpu_ns_per_op;
+
+    println!("\naggregate virtual scaling 1 -> 4 threads: {virt_scaling:.2}x");
+    println!("per-op CPU cost 4t / 1t: {cpu_ratio:.2}x (target <= 1.5x)");
     println!(
-        "  1 thread   {:>10.1} reads/Mcycle (virtual)  {:>8.1} ns/op (host, per-thread)",
-        one.virt_throughput, one.host_ns_per_op
-    );
-    println!(
-        "  4 threads  {:>10.1} reads/Mcycle (virtual)  {:>8.1} ns/op (host, per-thread)",
-        four.virt_throughput, four.host_ns_per_op
-    );
-    println!("\naggregate virtual scaling 1 -> 4 threads: {scaling:.2}x");
-    println!(
-        "acceptance (>=3x, 0 allocs/thread): {}",
-        if scaling >= 3.0 { "PASS" } else { "FAIL" }
+        "acceptance (>=3x virtual, <=1.5x cpu, 0 allocs/thread): {}",
+        if virt_scaling >= 3.0 && (!four.cpu_clock || cpu_ratio <= 1.5) {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     assert!(
-        scaling >= 3.0,
-        "4-thread aggregate read_into throughput scaled only {scaling:.2}x"
+        virt_scaling >= 3.0,
+        "4-thread aggregate read_into throughput scaled only {virt_scaling:.2}x"
     );
+    // The contention assertion needs a real per-thread CPU clock: on hosts
+    // without one, the wall-clock fallback conflates time-slicing with
+    // contention and would fail spuriously on single-core machines.
+    if one.cpu_clock && four.cpu_clock && iters > 1 {
+        assert!(
+            cpu_ratio <= 1.5,
+            "4-thread read_into burned {cpu_ratio:.2}x the 1-thread CPU per op (limit 1.5x)"
+        );
+    }
 
     if iters > 1 {
-        let records = vec![
-            BenchRecord {
-                bench: "contention_read_into_1t".to_string(),
+        let mut records: Vec<BenchRecord> = configs
+            .iter()
+            .map(|c| BenchRecord {
+                bench: format!("contention_read_into_{}t", c.threads),
                 substrate: substrate.clone(),
                 iters,
-                ns_per_op: one.host_ns_per_op,
+                ns_per_op: c.cpu_ns_per_op,
                 allocs_per_op: 0.0,
-            },
-            BenchRecord {
-                bench: "contention_read_into_4t".to_string(),
-                substrate: substrate.clone(),
-                iters,
-                ns_per_op: four.host_ns_per_op,
-                allocs_per_op: 0.0,
-            },
-        ];
+            })
+            .collect();
+        records.push(BenchRecord {
+            bench: "scaling_4t_over_1t".to_string(),
+            substrate: substrate.clone(),
+            iters,
+            ns_per_op: cpu_ratio,
+            allocs_per_op: 0.0,
+        });
         let path = papi_bench::bench_json::default_path();
         merge_into(&path, &records).expect("write BENCH_hotpath.json");
         println!("recorded {} records -> {}", records.len(), path.display());

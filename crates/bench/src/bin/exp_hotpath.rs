@@ -36,57 +36,76 @@ use std::time::Instant;
 /// the set runs non-multiplexed (the steady-state case the guarantee names).
 const EVENTS: [Preset; 4] = [Preset::TotCyc, Preset::TotIns, Preset::LdIns, Preset::SrIns];
 
+/// Repetitions per measured cell; the *minimum* ns/op across repetitions
+/// is reported. Preemption, host-clock steal and cache disturbance only
+/// ever inflate a repetition, never deflate it, so on a noisy
+/// (virtualized, time-sliced) host the minimum is the estimator that
+/// converges to the true per-op cost. Allocation counts are summed over
+/// all repetitions — the zero-allocation guarantee must hold in every
+/// one of them, not just the fastest.
+const REPS: usize = 5;
+
 struct Sample {
     ns_per_op: f64,
     allocs_per_op: f64,
 }
 
+fn best_of<F: FnMut() -> u64>(iters: u64, mut rep: F) -> Sample {
+    let mut best = f64::MAX;
+    let mut total_allocs = 0u64;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let allocs = rep();
+        let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(ns);
+        total_allocs += allocs;
+    }
+    Sample {
+        ns_per_op: best,
+        allocs_per_op: total_allocs as f64 / (iters * REPS as u64) as f64,
+    }
+}
+
 fn time_read<S: Substrate>(papi: &mut Papi<S>, set: usize, iters: u64) -> Sample {
     let mut sink = 0i64;
-    let t0 = Instant::now();
-    let ((), allocs) = count_in(|| {
-        for _ in 0..iters {
-            sink = sink.wrapping_add(papi.read(set).unwrap()[0]);
-        }
+    let sample = best_of(iters, || {
+        let ((), allocs) = count_in(|| {
+            for _ in 0..iters {
+                sink = sink.wrapping_add(papi.read(set).unwrap()[0]);
+            }
+        });
+        allocs
     });
-    let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
     std::hint::black_box(sink);
-    Sample {
-        ns_per_op: ns,
-        allocs_per_op: allocs as f64 / iters as f64,
-    }
+    sample
 }
 
 fn time_read_into<S: Substrate>(papi: &mut Papi<S>, set: usize, iters: u64) -> Sample {
     let mut out = [0i64; EVENTS.len()];
-    let t0 = Instant::now();
-    let ((), allocs) = count_in(|| {
-        for _ in 0..iters {
-            papi.read_into(set, &mut out).unwrap();
-        }
+    let sample = best_of(iters, || {
+        let ((), allocs) = count_in(|| {
+            for _ in 0..iters {
+                papi.read_into(set, &mut out).unwrap();
+            }
+        });
+        allocs
     });
-    let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
     std::hint::black_box(out[0]);
-    Sample {
-        ns_per_op: ns,
-        allocs_per_op: allocs as f64 / iters as f64,
-    }
+    sample
 }
 
 fn time_accum<S: Substrate>(papi: &mut Papi<S>, set: usize, iters: u64) -> Sample {
     let mut acc = [0i64; EVENTS.len()];
-    let t0 = Instant::now();
-    let ((), allocs) = count_in(|| {
-        for _ in 0..iters {
-            papi.accum(set, &mut acc).unwrap();
-        }
+    let sample = best_of(iters, || {
+        let ((), allocs) = count_in(|| {
+            for _ in 0..iters {
+                papi.accum(set, &mut acc).unwrap();
+            }
+        });
+        allocs
     });
-    let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
     std::hint::black_box(acc[0]);
-    Sample {
-        ns_per_op: ns,
-        allocs_per_op: allocs as f64 / iters as f64,
-    }
+    sample
 }
 
 fn prepared<S: Substrate>(papi: &mut Papi<S>) -> usize {

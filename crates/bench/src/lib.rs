@@ -51,6 +51,31 @@ pub fn pct(x: f64) -> String {
     format!("{:.2}%", x * 100.0)
 }
 
+/// Best-effort CPU time consumed by the calling thread so far, in
+/// nanoseconds (Linux: the on-CPU field of `/proc/thread-self/schedstat`).
+/// Returns `None` where the interface is unavailable; callers fall back to
+/// wall-clock.
+///
+/// Why this exists: contention benchmarks must distinguish "the read path
+/// serialized on a shared lock" from "the host has fewer cores than worker
+/// threads". Wall-clock per-op time inflates with time-slicing on a
+/// single-core CI box even for perfectly independent threads; per-thread
+/// CPU time does not — it charges each thread only for cycles it actually
+/// burned, which is exactly the lock-free claim under test.
+///
+/// The scheduler updates the on-CPU account lazily (on ticks and context
+/// switches), so a yield is issued first to force the calling thread
+/// through the scheduler and make the reading current.
+pub fn thread_cpu_ns() -> Option<u64> {
+    std::thread::yield_now();
+    std::fs::read_to_string("/proc/thread-self/schedstat")
+        .ok()?
+        .split_whitespace()
+        .next()?
+        .parse()
+        .ok()
+}
+
 /// The machine-readable perf trajectory: experiment binaries append their
 /// measurements to `BENCH_hotpath.json` at the repo root, merging by
 /// `(bench, substrate)` so re-runs update records in place and the committed

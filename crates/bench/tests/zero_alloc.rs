@@ -104,7 +104,8 @@ fn read_into_and_accum_are_allocation_free_per_registered_thread() {
             let token = pool.register_thread().unwrap();
             token.with(|papi| assert_steady_state_alloc_free(papi, &format!("thread-{t}")));
             // And through the tagged-id token API itself: the tag check is
-            // arithmetic, the session mutex is uncontended — no heap.
+            // arithmetic, the session cell is one uncontended sequence-stamp
+            // compare-exchange, the publish is atomic stores — no heap.
             let set = token.create_eventset();
             for ev in EVENTS {
                 token.add_event(set, ev.code()).unwrap();
@@ -129,6 +130,72 @@ fn read_into_and_accum_are_allocation_free_per_registered_thread() {
     for j in joins {
         j.join().unwrap();
     }
+}
+
+#[test]
+fn observer_snapshots_are_allocation_free_on_both_sides() {
+    // The lock-free observer path: the owner's read_into publishes into the
+    // seqlock area (atomic stores, no heap), and a cross-thread
+    // snapshot_counts copies it out into a stack CountSnapshot — neither
+    // side may allocate, and the observer must never block on (or slow
+    // down) the owner.
+    use papi_core::{SubstrateRegistry, ThreadedPapi};
+    use std::sync::Arc;
+
+    let reg = Arc::new(SubstrateRegistry::with_builtin());
+    let program = dense_fp(10, 1, 0).program;
+    let pool = Arc::new(ThreadedPapi::new(1, move |seed| {
+        let mut papi = papi_core::Papi::init_from_registry(&reg, "sim:x86", seed)?;
+        papi.substrate_mut().load_program(program.clone())?;
+        Ok(papi)
+    }));
+    let (id_tx, id_rx) = std::sync::mpsc::channel();
+    let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+    let owner = {
+        let pool = pool.clone();
+        std::thread::spawn(move || {
+            let token = pool.register_thread().unwrap();
+            let set = token.create_eventset();
+            for ev in EVENTS {
+                token.add_event(set, ev.code()).unwrap();
+            }
+            token.start(set).unwrap();
+            let mut out = [0i64; 4];
+            for _ in 0..10 {
+                token.read_into(set, &mut out).unwrap();
+            }
+            id_tx.send(set).unwrap();
+            // Keep publishing while the observer thread measures.
+            let ((), allocs) = count_in(|| {
+                while done_rx.try_recv().is_err() {
+                    token.read_into(set, &mut out).unwrap();
+                }
+            });
+            assert_eq!(allocs, 0, "owner publish path allocated");
+            std::hint::black_box(out[0]);
+            token.stop(set).unwrap();
+            token.destroy_eventset(set).unwrap();
+            pool.unregister_thread(token).unwrap();
+        })
+    };
+    let set = id_rx.recv().unwrap();
+    // Warm: first snapshot may race the very first publish.
+    let mut got = 0u64;
+    while pool.snapshot_counts(set).is_err() {
+        std::thread::yield_now();
+    }
+    let ((), allocs) = count_in(|| {
+        for _ in 0..100 {
+            if let Ok(s) = pool.snapshot_counts(set) {
+                std::hint::black_box(s.values[0]);
+                got += 1;
+            }
+        }
+    });
+    assert_eq!(allocs, 0, "observer snapshot path allocated");
+    assert!(got > 0, "observer never saw a published snapshot");
+    done_tx.send(()).unwrap();
+    owner.join().unwrap();
 }
 
 #[test]

@@ -69,6 +69,13 @@ static SESSION: Mutex<Option<Papi<BoxSubstrate>>> = Mutex::new(None);
 // the platform name selected at init (new registered threads get their own
 // substrate of the same platform), the sharded per-thread session table,
 // and the user-supplied thread-id function.
+//
+// The POOL mutex guards only this *handle slot* (swapped on init/shutdown).
+// A registered thread's C calls never take it: they route through the
+// thread-local TOKEN below, whose session lives behind papi-core's
+// sequence-stamped cell — one uncontended compare-exchange per call, no OS
+// mutex, so N registered C threads count without serializing on each
+// other.
 static PLATFORM: Mutex<Option<String>> = Mutex::new(None);
 static POOL: Mutex<Option<Arc<ThreadedPapi<BoxSubstrate>>>> = Mutex::new(None);
 static THREAD_ID_FN: Mutex<Option<extern "C" fn() -> c_ulong>> = Mutex::new(None);

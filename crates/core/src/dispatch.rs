@@ -57,19 +57,31 @@ pub(crate) enum RunMode {
 }
 
 /// The precomputed read route of a started EventSet: resolved native codes
-/// and the derived-event term table, flattened into two contiguous arrays.
+/// and the derived-event term table, flattened into structure-of-arrays
+/// form — native indices and coefficients in separate contiguous vectors.
 ///
 /// Built once by `start()` and owned by the runtime for the set's whole run,
 /// so the steady-state read path walks cache-friendly slices and never
 /// clones or rebuilds per call (the paper's §4: the cost of counting must
 /// stay near the hardware floor for per-call instrumentation to be viable).
+/// The SoA layout lets [`ReadPlan::apply`] run as tight loops over
+/// homogeneous slices the compiler can autovectorize, instead of a per-term
+/// tuple walk; the common no-derived-events case collapses to a widening
+/// cast-copy.
 pub(crate) struct ReadPlan {
     /// Unique native codes in use.
     pub(crate) natives: Vec<u32>,
-    /// Flattened `(native index, coefficient)` terms for all events.
-    term_data: Vec<(u32, i64)>,
-    /// Event `i`'s terms are `term_data[term_bounds[i]..term_bounds[i+1]]`.
+    /// Flattened native index of every term, all events concatenated.
+    term_native: Vec<u32>,
+    /// Coefficient of every term, parallel to `term_native`.
+    term_coeff: Vec<i64>,
+    /// Event `i`'s terms are the `term_bounds[i]..term_bounds[i+1]` range
+    /// of the two term arrays.
     term_bounds: Vec<u32>,
+    /// True when every event is exactly `1 * natives[event]` — no derived
+    /// events, no shared natives. The dominant layout for preset sets; the
+    /// delta application is then a straight cast-copy of the counts.
+    identity: bool,
 }
 
 impl ReadPlan {
@@ -78,9 +90,42 @@ impl ReadPlan {
         self.term_bounds.len() - 1
     }
 
-    /// Event `ev`'s `(native index, coefficient)` terms.
-    pub(crate) fn terms(&self, ev: usize) -> &[(u32, i64)] {
-        &self.term_data[self.term_bounds[ev] as usize..self.term_bounds[ev + 1] as usize]
+    /// The native index of event `ev`'s first term (the counter overflow
+    /// registrations arm on).
+    pub(crate) fn first_native(&self, ev: usize) -> u32 {
+        self.term_native[self.term_bounds[ev] as usize]
+    }
+
+    /// Fold native `counts` through the term table into per-event values.
+    ///
+    /// The hot half of every read: identity plans take the vectorizable
+    /// cast-copy lane; general plans run the SoA dot-product per event, a
+    /// contiguous multiply-accumulate over `term_coeff`/`term_native`
+    /// slices with no tuple destructuring in the inner loop.
+    pub(crate) fn apply(&self, counts: &[u64], out: &mut [i64]) -> Result<()> {
+        let n = self.n_events();
+        if out.len() != n {
+            return Err(PapiError::Inval("value buffer length mismatch"));
+        }
+        if self.identity {
+            // counts.len() == n by construction of identity plans.
+            for (slot, &c) in out.iter_mut().zip(counts.iter()) {
+                *slot = c as i64;
+            }
+            return Ok(());
+        }
+        for (ev, slot) in out.iter_mut().enumerate() {
+            let lo = self.term_bounds[ev] as usize;
+            let hi = self.term_bounds[ev + 1] as usize;
+            let idxs = &self.term_native[lo..hi];
+            let coeffs = &self.term_coeff[lo..hi];
+            let mut acc = 0i64;
+            for (&i, &c) in idxs.iter().zip(coeffs.iter()) {
+                acc += c * counts[i as usize] as i64;
+            }
+            *slot = acc;
+        }
+        Ok(())
     }
 }
 
@@ -320,7 +365,8 @@ impl<S: Substrate> Papi<S> {
             return Err(PapiError::Inval("EventSet is empty"));
         }
         let mut natives: Vec<u32> = Vec::new();
-        let mut term_data: Vec<(u32, i64)> = Vec::new();
+        let mut term_native: Vec<u32> = Vec::new();
+        let mut term_coeff: Vec<i64> = Vec::new();
         let mut term_bounds: Vec<u32> = Vec::with_capacity(s.events.len() + 1);
         term_bounds.push(0);
         for &code in &s.events {
@@ -333,14 +379,26 @@ impl<S: Substrate> Papi<S> {
                         natives.len() - 1
                     }
                 };
-                term_data.push((idx as u32, coeff));
+                term_native.push(idx as u32);
+                term_coeff.push(coeff);
             }
-            term_bounds.push(term_data.len() as u32);
+            term_bounds.push(term_native.len() as u32);
         }
+        // Identity plan: event i is exactly 1 * natives[i]. Then delta
+        // application is a cast-copy and the apply loop vectorizes.
+        let identity = term_native.len() == s.events.len()
+            && natives.len() == s.events.len()
+            && term_coeff.iter().all(|&c| c == 1)
+            && term_native
+                .iter()
+                .enumerate()
+                .all(|(i, &t)| t as usize == i);
         Ok(ReadPlan {
             natives,
-            term_data,
+            term_native,
+            term_coeff,
             term_bounds,
+            identity,
         })
     }
 
@@ -474,7 +532,7 @@ impl<S: Substrate> Papi<S> {
                             .position(|&e| e == reg.code)
                             .ok_or(PapiError::NoEvnt(reg.code))?
                     };
-                    let (nidx, _) = plan.terms(ev_pos)[0];
+                    let nidx = plan.first_native(ev_pos);
                     let ctr = assign[nidx as usize];
                     self.sub.set_overflow(ctr, Some(reg.threshold))?;
                     routes.push((ctr, reg.code, reg.route));
@@ -648,19 +706,7 @@ impl<S: Substrate> Papi<S> {
     /// Fold `self.scratch.counts` through the plan's term table into `out`.
     fn values_into(&self, out: &mut [i64]) -> Result<()> {
         let run = self.running.as_ref().ok_or(PapiError::NotRun)?;
-        if out.len() != run.plan.n_events() {
-            return Err(PapiError::Inval("value buffer length mismatch"));
-        }
-        let counts = &self.scratch.counts;
-        for (ev, slot) in out.iter_mut().enumerate() {
-            *slot = run
-                .plan
-                .terms(ev)
-                .iter()
-                .map(|&(i, c)| c * counts[i as usize] as i64)
-                .sum();
-        }
-        Ok(())
+        run.plan.apply(&self.scratch.counts, out)
     }
 
     /// `PAPI_read` into a caller-owned buffer: current values (the set keeps
@@ -669,7 +715,39 @@ impl<S: Substrate> Papi<S> {
     /// This is the allocation-free form of [`Papi::read`] — on a started,
     /// non-multiplexed set the steady-state call performs **zero heap
     /// allocations** (asserted by papi-bench's counting-allocator test).
+    ///
+    /// The dominant configuration (direct mode, no observability, no
+    /// attach, full-width counters) takes a dedicated fast path: the
+    /// session fields are destructured once into disjoint borrows, so the
+    /// cached plan, assignment and scratch are each derived exactly once
+    /// per call — one batch kernel crossing, then the vectorized
+    /// [`ReadPlan::apply`]. This is what closed the boxed-vs-static gap:
+    /// the boxed-substrate path previously re-derived the `running` record
+    /// (and with it the plan pointer) three times per read, which the
+    /// optimizer could not fold across virtual-dispatch boundaries.
+    /// Transient-fault retries still compose — the retry loop wraps only
+    /// the substrate crossing, never the plan application.
     pub fn read_into(&mut self, id: EventSetId, out: &mut [i64]) -> Result<()> {
+        if self.obs.is_none() {
+            let Papi {
+                sub,
+                running,
+                scratch,
+                retry_budget,
+                ..
+            } = self;
+            if let Some(run) = running.as_mut() {
+                if run.set == id && run.attached.is_none() && run.widen.is_none() {
+                    if let RunMode::Direct { assign } = &run.mode {
+                        retry_transient(&None, 0, *retry_budget, "read", || {
+                            scratch.counts.clear();
+                            sub.read_batch(assign, &mut scratch.counts)
+                        })?;
+                        return run.plan.apply(&scratch.counts, out);
+                    }
+                }
+            }
+        }
         match &self.running {
             Some(r) if r.set == id => {}
             _ => return Err(PapiError::NotRun),

@@ -6,6 +6,13 @@
 //! solves counter allocation and programs the hardware. Version-3 semantics
 //! apply: only one EventSet may run at a time (overlapping EventSets were
 //! removed "to reduce memory usage and runtime overhead").
+//!
+//! All data here is stopped-state configuration: it is only mutated inside
+//! the owning session's exclusive phase (the [`crate::SeqCell`] odd
+//! sequence stamp when the session lives in a
+//! [`crate::threads::ThreadedPapi`] table), so the lock-free read path
+//! never observes a half-edited set — the started snapshot lives in the
+//! runtime's `ReadPlan`, not here.
 
 use simcpu::{Domain, ThreadId};
 

@@ -25,6 +25,16 @@
 //! integer arithmetic on pre-seeded state, injected errors are
 //! [`PapiError::SubstrateTransient`] carrying `&'static str`, and the
 //! deferred-interrupt slot is a plain `Option`.
+//!
+//! Composition with the lock-free read path: the portable layer's
+//! transient-retry loop (`retry_transient`) runs entirely *inside* the
+//! owning session's exclusive sequence phase, while a seqlock snapshot
+//! retry ([`crate::PublishedCounts`]) happens entirely *outside* it, on
+//! the observer's thread. The two retry loops therefore never interleave
+//! on shared state: an injected read failure reissues the substrate
+//! crossing without republishing, and observers simply keep the previous
+//! published snapshot until a read succeeds — a faulted read can never
+//! tear or roll back what observers see.
 
 use crate::error::{PapiError, Result};
 use crate::substrate::{HwInfo, Substrate};

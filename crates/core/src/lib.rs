@@ -76,6 +76,7 @@ pub mod preset;
 pub mod profile;
 pub mod registry;
 pub mod sampling;
+pub mod seqlock;
 pub mod substrate;
 pub mod testutil;
 pub mod threads;
@@ -94,6 +95,7 @@ pub use fault::{FaultPlan, FaultSubstrate};
 pub use preset::{is_preset_code, Mapping, Preset, PresetTable, PRESET_MASK};
 pub use profile::{Profil, ProfilConfig};
 pub use registry::{Provenance, SubstrateFactory, SubstrateInfo, SubstrateRegistry};
+pub use seqlock::{CountSnapshot, PublishedCounts, SeqCell, MAX_PUBLISHED_EVENTS};
 pub use session::{Papi, DEFAULT_TRANSIENT_RETRY_BUDGET};
 pub use substrate::{BoxSubstrate, HwInfo, SimSubstrate, Substrate};
 pub use threads::{PapiThread, TaggedSetId, ThreadedPapi, NUM_SHARDS};

@@ -24,29 +24,33 @@ use simcpu::{Granularity, SampleConfig, SampleRecord, ThreadId};
 /// the default); sessions built through [`Papi::init_named`] hold a
 /// [`BoxSubstrate`] selected from the [`SubstrateRegistry`] at runtime.
 pub struct Papi<S: Substrate = SimSubstrate> {
+    // The first four fields are the complete working set of the fast-path
+    // `read_into` (dispatch.rs destructures them into disjoint borrows):
+    // keeping them adjacent keeps the steady-state read inside the
+    // struct's leading cache lines.
     pub(crate) sub: S,
-    pub(crate) presets: PresetTable,
-    pub(crate) sets: Vec<Option<EventSetData>>,
     pub(crate) running: Option<Running>,
-    pub(crate) handlers: Vec<OvfHandler>,
-    pub(crate) profils: Vec<Profil>,
-    pub(crate) sampling_cfg: Option<SampleConfig>,
-    pub(crate) sampling_buf: Vec<SampleRecord>,
-    pub(crate) hl: Option<highlevel::HlState>,
-    /// Self-instrumentation sink. `None` (the default) disables the layer:
-    /// every hook is a cheap `Option` check and no state is kept.
-    pub(crate) obs: Option<papi_obs::ObsHandle>,
-    /// The substrate's allocation-translation model, materialized once at
-    /// init so start/partition paths never rebuild it per call.
-    pub(crate) alloc_model: AllocModel,
-    /// Memoized allocator solutions keyed by native-code signature.
-    pub(crate) alloc_memo: AllocCache,
     /// Reusable hot-path buffers (native counts, multiplex estimates,
     /// staged values, programming table): the zero-allocation read path.
     pub(crate) scratch: ReadScratch,
     /// How many times a transient ([`PapiError::SubstrateTransient`])
     /// substrate failure is retried before surfacing to the caller.
     pub(crate) retry_budget: u32,
+    /// Self-instrumentation sink. `None` (the default) disables the layer:
+    /// every hook is a cheap `Option` check and no state is kept.
+    pub(crate) obs: Option<papi_obs::ObsHandle>,
+    pub(crate) presets: PresetTable,
+    pub(crate) sets: Vec<Option<EventSetData>>,
+    pub(crate) handlers: Vec<OvfHandler>,
+    pub(crate) profils: Vec<Profil>,
+    pub(crate) sampling_cfg: Option<SampleConfig>,
+    pub(crate) sampling_buf: Vec<SampleRecord>,
+    pub(crate) hl: Option<highlevel::HlState>,
+    /// The substrate's allocation-translation model, materialized once at
+    /// init so start/partition paths never rebuild it per call.
+    pub(crate) alloc_model: AllocModel,
+    /// Memoized allocator solutions keyed by native-code signature.
+    pub(crate) alloc_memo: AllocCache,
 }
 
 /// Default bound on transient-error retries per substrate operation.

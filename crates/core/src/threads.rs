@@ -1,5 +1,5 @@
-//! Thread-scalable counting: a sharded session table with per-thread
-//! EventSets.
+//! Thread-scalable counting: a read-mostly session table with per-thread
+//! EventSets and a lock-free steady-state read path.
 //!
 //! The paper's low-level interface is explicitly built for threaded
 //! runtimes: "PAPI supports measurements per-thread" via
@@ -8,10 +8,10 @@
 //! module is that model's portable-layer half:
 //!
 //! * [`ThreadedPapi`] is the shareable library handle (`Arc<ThreadedPapi>`
-//!   is usable from N threads). It holds a fixed array of [`NUM_SHARDS`]
-//!   shards; each shard owns a slot table of registered per-thread
-//!   sessions, so id lookups touch only the owning shard and registration
-//!   traffic on one shard never contends with another.
+//!   is usable from N threads). It publishes an RCU-style slot table:
+//!   readers follow one atomic pointer load to the current table, while
+//!   register/unregister clone-and-publish a replacement under a cold-path
+//!   mutex. No lock is ever taken to *find* a session.
 //! * [`ThreadedPapi::register_thread`] mirrors `PAPI_register_thread`:
 //!   the calling OS thread receives a [`PapiThread`] token wrapping a
 //!   complete private [`Papi`] session — its **own substrate context** —
@@ -22,30 +22,42 @@
 //!   `threads.cross_thread_denied` when observability is attached), never
 //!   a panic or a silent read of foreign counters.
 //!
-//! ## Hot path
+//! ## Hot path (lock-free)
 //!
-//! A [`PapiThread`] caches the `Arc` of its own session cell, so
-//! `start`/`read_into`/`accum`/`stop` take exactly one uncontended
-//! per-thread mutex — no shared table lock, no allocation (the PR 3
-//! zero-allocation read path is preserved per thread). The shared
-//! structures ([`ThreadedPapi::by_thread`] map, shard slot tables) are
-//! touched only by cold registration/unregistration and by explicit
-//! cross-shard lookups.
+//! A [`PapiThread`] caches the `Arc` of its own session cell. The cell is
+//! a [`SeqCell`], not a mutex: `start`/`read_into`/`accum`/`stop` enter
+//! the cell's odd sequence phase with a single uncontended
+//! compare-exchange and leave it with a single store — no OS mutex, no
+//! parking, no poisoning. Observers on *other* threads never touch that
+//! word at all: every successful `read_into` also publishes its values
+//! into the cell's [`PublishedCounts`] seqlock area, which
+//! [`ThreadedPapi::snapshot_counts`] reads wait-free from any thread
+//! (spin-retrying torn copies, never blocking the owner). Reprogramming
+//! operations (`start`/`reset`/`stop`/`accum`) bump the published
+//! *generation*, so an observer can always tell "the counters restarted"
+//! from "the counters advanced" and can never see a mix of two
+//! programming epochs.
 //!
-//! Overflow dispatch is safe under concurrency for the same reason: each
-//! session's handlers and `profil` histograms live inside that session's
-//! mutex, so a handler only ever runs on the thread driving its own
-//! session.
+//! See DESIGN.md "Memory model of the read path" for the full invariant
+//! list (who writes each stamp, why torn derived-event terms are
+//! unobservable, and how this orders against papi-obs journal sequence
+//! numbers).
+//!
+//! Overflow dispatch is safe under concurrency for the same reason as
+//! before: each session's handlers and `profil` histograms live inside
+//! that session's exclusive phase, so a handler only ever runs on the
+//! thread driving its own session.
 
 use crate::error::{PapiError, Result};
 use crate::eventset::{EventSetId, SetState};
 use crate::registry::SubstrateRegistry;
+use crate::seqlock::{CountSnapshot, PublishedCounts, SeqCell};
 use crate::session::Papi;
 use crate::substrate::{BoxSubstrate, Substrate};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::ThreadId as OsThreadId;
 
@@ -112,34 +124,93 @@ impl TaggedSetId {
     }
 }
 
-/// One registered thread's session cell. The mutex is per-thread and
-/// therefore uncontended in correct use; it exists so the owning token is
-/// `Send` and so cross-shard lookups stay memory-safe even under misuse.
+/// One registered thread's session cell.
+///
+/// `session` holds the private [`Papi`] behind a [`SeqCell`]: exclusive
+/// access is one uncontended compare-exchange for the owning token (and a
+/// spin for the rare cross-thread inspector). `Option` so unregistration
+/// can move the session out while stale RCU tables still reference the
+/// cell shell — a vacated cell answers [`PapiError::NoEvst`], never
+/// dangles.
+///
+/// `published` is the seqlock snapshot area observers read without ever
+/// touching the exclusive word; `generation` stamps which programming
+/// epoch the published values belong to.
 struct ThreadCell<S: Substrate + Send> {
-    session: Mutex<Papi<S>>,
+    session: SeqCell<Option<Papi<S>>>,
+    published: PublishedCounts,
+    generation: AtomicU64,
 }
 
-struct Shard<S: Substrate + Send> {
-    slots: Mutex<Vec<Option<Arc<ThreadCell<S>>>>>,
+/// The RCU-published slot table: registration traffic replaces the whole
+/// table (clone-and-publish), readers follow one atomic pointer. Shards
+/// exist for the [`TaggedSetId`] tag space, not for locking — the table
+/// has no locks at all.
+struct SlotTable<S: Substrate + Send> {
+    shards: [Vec<Option<Arc<ThreadCell<S>>>>; NUM_SHARDS],
+}
+
+impl<S: Substrate + Send> SlotTable<S> {
+    fn empty() -> Self {
+        SlotTable {
+            shards: std::array::from_fn(|_| Vec::new()),
+        }
+    }
+
+    /// A structural clone (the `Arc` slot entries are refcount bumps).
+    fn clone_shards(&self) -> Self {
+        SlotTable {
+            shards: std::array::from_fn(|i| self.shards[i].clone()),
+        }
+    }
+
+    fn cell(&self, shard: usize, slot: usize) -> Option<&Arc<ThreadCell<S>>> {
+        self.shards.get(shard)?.get(slot)?.as_ref()
+    }
 }
 
 type SessionFactory<S> = Box<dyn Fn(u64) -> Result<Papi<S>> + Send + Sync>;
 
-/// The thread-shareable library handle: a sharded table of per-thread
-/// [`Papi`] sessions plus the factory that builds each registered
-/// thread's private substrate context.
+/// The thread-shareable library handle: an RCU-published table of
+/// per-thread [`Papi`] sessions plus the factory that builds each
+/// registered thread's private substrate context.
 ///
 /// `ThreadedPapi` is `Send + Sync`; wrap it in an `Arc` and clone the
 /// handle into every thread that should count.
 pub struct ThreadedPapi<S: Substrate + Send = BoxSubstrate> {
-    shards: [Shard<S>; NUM_SHARDS],
-    /// OS-thread → (shard, slot) of its registered session. Cold-path
-    /// only: consulted at register/unregister time to reject double
-    /// registration, never on the counting hot path.
-    by_thread: Mutex<HashMap<OsThreadId, (usize, usize)>>,
+    /// The current slot table. Readers load this pointer (Acquire) and
+    /// index it; writers swap in a freshly built table under `reg`.
+    ///
+    /// Safety invariant: every pointer ever stored here remains valid for
+    /// the lifetime of `self` — superseded tables move to `retired`
+    /// instead of being freed, so a reader holding `&self` can never
+    /// observe a dangling table (the RCU grace period is the handle's
+    /// lifetime; registration is cold and tables are small).
+    table: AtomicPtr<SlotTable<S>>,
+    /// Superseded tables, kept alive until drop (see `table`). The `Box`
+    /// is load-bearing, not indirection for its own sake: lock-free
+    /// readers may still hold references into a superseded table, so it
+    /// must keep the exact heap address the `AtomicPtr` once pointed at —
+    /// a `Vec<SlotTable>` would relocate it on push.
+    #[allow(clippy::vec_box)]
+    retired: Mutex<Vec<Box<SlotTable<S>>>>,
+    /// Registration state and the writer lock for `table`: OS-thread →
+    /// (shard, slot) of its registered session. Cold-path only — never on
+    /// the counting or snapshot hot paths.
+    reg: Mutex<HashMap<OsThreadId, (usize, usize)>>,
     factory: SessionFactory<S>,
     next_seed: AtomicU64,
     obs: Option<papi_obs::ObsHandle>,
+}
+
+impl<S: Substrate + Send> Drop for ThreadedPapi<S> {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` proves no readers remain; the published
+        // table was allocated by Box::into_raw in `publish_table`/`new`.
+        let cur = self.table.load(Ordering::Acquire);
+        drop(unsafe { Box::from_raw(cur) });
+        // `retired` drops its boxes normally.
+    }
 }
 
 impl<S: Substrate + Send> ThreadedPapi<S> {
@@ -151,10 +222,9 @@ impl<S: Substrate + Send> ThreadedPapi<S> {
         factory: impl Fn(u64) -> Result<Papi<S>> + Send + Sync + 'static,
     ) -> Self {
         ThreadedPapi {
-            shards: std::array::from_fn(|_| Shard {
-                slots: Mutex::new(Vec::new()),
-            }),
-            by_thread: Mutex::new(HashMap::new()),
+            table: AtomicPtr::new(Box::into_raw(Box::new(SlotTable::empty()))),
+            retired: Mutex::new(Vec::new()),
+            reg: Mutex::new(HashMap::new()),
             factory: Box::new(factory),
             next_seed: AtomicU64::new(base_seed),
             obs: None,
@@ -175,15 +245,38 @@ impl<S: Substrate + Send> ThreadedPapi<S> {
 
     /// Number of currently registered threads.
     pub fn registered_threads(&self) -> usize {
-        self.by_thread.lock().unwrap().len()
+        self.reg.lock().unwrap().len()
     }
 
     /// Whether the calling OS thread is currently registered.
     pub fn is_registered(&self) -> bool {
-        self.by_thread
+        self.reg
             .lock()
             .unwrap()
             .contains_key(&std::thread::current().id())
+    }
+
+    /// The currently published slot table.
+    #[inline]
+    fn current(&self) -> &SlotTable<S> {
+        // SAFETY: pointers published to `table` stay alive until `self`
+        // drops (superseded tables are retired, not freed), and the
+        // returned borrow is tied to `&self`.
+        unsafe { &*self.table.load(Ordering::Acquire) }
+    }
+
+    /// Swap `new` in as the published table; the superseded table is
+    /// retired (kept alive) so in-flight readers stay valid. Callers must
+    /// hold the `reg` lock — it is the writer lock for the table.
+    fn publish_table(&self, new: SlotTable<S>) {
+        let fresh = Box::into_raw(Box::new(new));
+        let old = self.table.swap(fresh, Ordering::AcqRel);
+        // SAFETY: `old` came from Box::into_raw and is no longer
+        // published; boxing it into `retired` defers the free to drop.
+        self.retired
+            .lock()
+            .unwrap()
+            .push(unsafe { Box::from_raw(old) });
     }
 
     fn shard_of(tid: OsThreadId) -> usize {
@@ -208,9 +301,10 @@ impl<S: Substrate + Send> ThreadedPapi<S> {
     /// [`PapiError::Cnflct`] without building a session.
     pub fn register_thread_seeded(self: &Arc<Self>, seed: u64) -> Result<PapiThread<S>> {
         let tid = std::thread::current().id();
-        // Hold the thread map for the whole (cold) registration so
-        // check-then-insert is atomic.
-        let mut map = self.by_thread.lock().unwrap();
+        // Hold the registration map for the whole (cold) registration so
+        // check-then-insert is atomic; it doubles as the table writer
+        // lock.
+        let mut map = self.reg.lock().unwrap();
         if map.contains_key(&tid) {
             return Err(PapiError::Cnflct);
         }
@@ -221,9 +315,13 @@ impl<S: Substrate + Send> ThreadedPapi<S> {
         let now = session.get_real_cyc();
         let shard_i = Self::shard_of(tid);
         let cell = Arc::new(ThreadCell {
-            session: Mutex::new(session),
+            session: SeqCell::new(Some(session)),
+            published: PublishedCounts::default(),
+            generation: AtomicU64::new(0),
         });
-        let mut slots = self.shards[shard_i].slots.lock().unwrap();
+        // Clone-and-publish: the new table differs only in one slot.
+        let mut next = self.current().clone_shards();
+        let slots = &mut next.shards[shard_i];
         let slot_i = match slots.iter().position(Option::is_none) {
             Some(i) => {
                 slots[i] = Some(cell.clone());
@@ -234,7 +332,7 @@ impl<S: Substrate + Send> ThreadedPapi<S> {
                 slots.len() - 1
             }
         };
-        drop(slots);
+        self.publish_table(next);
         map.insert(tid, (shard_i, slot_i));
         drop(map);
         if let Some(obs) = &self.obs {
@@ -265,19 +363,29 @@ impl<S: Substrate + Send> ThreadedPapi<S> {
         &self,
         token: PapiThread<S>,
     ) -> std::result::Result<Papi<S>, (PapiThread<S>, PapiError)> {
-        let live = {
-            let session = token.cell.session.lock().unwrap();
-            session.sets.iter().any(Option::is_some)
-        };
-        if live {
-            return Err((
-                token,
-                PapiError::Inval("thread still owns live EventSets; destroy them first"),
-            ));
+        {
+            let guard = token.cell.session.lock();
+            match guard.as_ref() {
+                Some(session) if session.sets.iter().any(Option::is_some) => {
+                    drop(guard);
+                    return Err((
+                        token,
+                        PapiError::Inval("thread still owns live EventSets; destroy them first"),
+                    ));
+                }
+                Some(_) => {}
+                None => {
+                    drop(guard);
+                    return Err((
+                        token,
+                        PapiError::Inval("token's session was already unregistered"),
+                    ));
+                }
+            }
         }
-        let mut slots = self.shards[token.shard].slots.lock().unwrap();
-        match slots.get(token.slot) {
-            Some(Some(cell)) if Arc::ptr_eq(cell, &token.cell) => {}
+        let mut map = self.reg.lock().unwrap();
+        match self.current().cell(token.shard, token.slot) {
+            Some(cell) if Arc::ptr_eq(cell, &token.cell) => {}
             _ => {
                 return Err((
                     token,
@@ -285,18 +393,23 @@ impl<S: Substrate + Send> ThreadedPapi<S> {
                 ));
             }
         }
-        let cell = slots[token.slot].take().expect("slot checked occupied");
-        drop(slots);
-        self.by_thread.lock().unwrap().remove(&token.tid);
+        // Vacate the slot in a fresh table; stale tables keep the cell
+        // shell alive, but the session itself moves out below.
+        let mut next = self.current().clone_shards();
+        next.shards[token.shard][token.slot] = None;
+        self.publish_table(next);
+        map.remove(&token.tid);
+        drop(map);
+        token.cell.published.clear();
+        let session = token
+            .cell
+            .session
+            .lock()
+            .take()
+            .expect("liveness was checked above under the same cell");
         let obs = token.obs.clone();
         let (shard_i, slot_i) = (token.shard, token.slot);
         drop(token);
-        let session = Arc::try_unwrap(cell)
-            .ok()
-            .expect("token and slot held the only references")
-            .session
-            .into_inner()
-            .unwrap();
         if let Some(obs) = &obs {
             obs.inc(papi_obs::Counter::ThreadsUnregistered);
             let now = session.get_real_cyc();
@@ -309,13 +422,14 @@ impl<S: Substrate + Send> ThreadedPapi<S> {
     }
 
     /// Run `f` against the session owning `id`, from any thread. The
-    /// lookup locks only `id`'s shard (and then the session itself);
-    /// other shards are untouched. Fails with [`PapiError::NoEvst`] when
-    /// the slot is vacant.
+    /// lookup is lock-free (one atomic table load); entering the session
+    /// spins on its sequence stamp until the owner is quiescent. Fails
+    /// with [`PapiError::NoEvst`] when the slot is vacant.
     ///
-    /// This is the cross-shard escape hatch (inspection, third-party
-    /// reads); threads counting on their own session should go through
-    /// their [`PapiThread`] token, which skips the shard lookup entirely.
+    /// This is the cross-thread escape hatch (inspection, third-party
+    /// mutation); it *excludes* the owner while `f` runs. Pure observers
+    /// should prefer [`ThreadedPapi::snapshot_counts`], which never
+    /// disturbs the owner at all.
     pub fn with_session_of<R>(
         &self,
         id: TaggedSetId,
@@ -324,25 +438,49 @@ impl<S: Substrate + Send> ThreadedPapi<S> {
         if id.shard() >= NUM_SHARDS {
             return Err(PapiError::Inval("tagged id has an out-of-range shard"));
         }
-        let slots = self.shards[id.shard()].slots.lock().unwrap();
-        let cell = slots
-            .get(id.slot())
-            .and_then(Option::as_ref)
-            .ok_or(PapiError::NoEvst(id.local()))?
-            .clone();
-        drop(slots);
-        let mut session = cell.session.lock().unwrap();
-        Ok(f(&mut session))
+        let cell = self
+            .current()
+            .cell(id.shard(), id.slot())
+            .ok_or(PapiError::NoEvst(id.local()))?;
+        let mut guard = cell.session.lock();
+        let session = guard.as_mut().ok_or(PapiError::NoEvst(id.local()))?;
+        Ok(f(session))
+    }
+
+    /// Wait-free observation of the latest counter values the owning
+    /// thread published for `id`'s session: one atomic table load plus a
+    /// seqlock snapshot copy. Never blocks the owner and is never blocked
+    /// *by* the owner — a torn copy (owner mid-publish) retries the copy,
+    /// not the session.
+    ///
+    /// The snapshot's `generation` changes whenever the owner reprograms
+    /// (`start`/`reset`/`accum`/`stop`), so values from two programming
+    /// epochs can never be compared as if continuous. Within one
+    /// generation, successive snapshots are monotone non-decreasing for
+    /// monotone events.
+    ///
+    /// Fails with [`PapiError::NoEvst`] for a vacant slot and
+    /// [`PapiError::NotRun`] when the owner has not published since the
+    /// last reprogram (e.g. the set is stopped).
+    pub fn snapshot_counts(&self, id: TaggedSetId) -> Result<CountSnapshot> {
+        if id.shard() >= NUM_SHARDS {
+            return Err(PapiError::Inval("tagged id has an out-of-range shard"));
+        }
+        let cell = self
+            .current()
+            .cell(id.shard(), id.slot())
+            .ok_or(PapiError::NoEvst(id.local()))?;
+        cell.published.snapshot().ok_or(PapiError::NotRun)
     }
 }
 
 /// A registered thread's handle to its own private session.
 ///
 /// Obtained from [`ThreadedPapi::register_thread`]; the token caches the
-/// session cell, so every operation is tag-check + one uncontended mutex.
-/// All EventSet ids it hands out are [`TaggedSetId`]s; passing an id
-/// minted by another thread's token is rejected with
-/// [`PapiError::Inval`].
+/// session cell, so every operation is tag-check + one uncontended
+/// sequence-stamp compare-exchange (no OS mutex anywhere). All EventSet
+/// ids it hands out are [`TaggedSetId`]s; passing an id minted by another
+/// thread's token is rejected with [`PapiError::Inval`].
 pub struct PapiThread<S: Substrate + Send> {
     cell: Arc<ThreadCell<S>>,
     shard: usize,
@@ -399,52 +537,76 @@ impl<S: Substrate + Send> PapiThread<S> {
         }
     }
 
+    /// Enter the session's exclusive phase and run `f`. One uncontended
+    /// compare-exchange on the owner path.
+    #[inline]
+    fn session<R>(&self, f: impl FnOnce(&mut Papi<S>) -> R) -> R {
+        let mut guard = self.cell.session.lock();
+        let papi = guard
+            .as_mut()
+            .expect("a live token's cell always holds its session");
+        f(papi)
+    }
+
+    /// Advance the published programming generation (the counters were
+    /// rebased or reprogrammed) and empty the publication area.
+    fn republish_epoch(&self) {
+        self.cell.generation.fetch_add(1, Ordering::Relaxed);
+        self.cell.published.clear();
+    }
+
     /// Full access to the underlying session, for the parts of the API
     /// not mirrored here (sampling, profil, timers, substrate access).
     /// EventSet ids inside the closure are session-local.
+    ///
+    /// Conservatively bumps the published generation: the closure may
+    /// have reprogrammed or rebased counters, and observers must never
+    /// interpret post-closure values as continuous with pre-closure ones.
     pub fn with<R>(&self, f: impl FnOnce(&mut Papi<S>) -> R) -> R {
-        f(&mut self.cell.session.lock().unwrap())
+        let r = self.session(f);
+        self.cell.generation.fetch_add(1, Ordering::Relaxed);
+        r
     }
 
     /// `PAPI_create_eventset`, returning a thread-tagged id.
     pub fn create_eventset(&self) -> TaggedSetId {
-        self.tag(self.cell.session.lock().unwrap().create_eventset())
+        self.tag(self.session(|p| p.create_eventset()))
     }
 
     /// `PAPI_destroy_eventset`.
     pub fn destroy_eventset(&self, id: TaggedSetId) -> Result<()> {
         let local = self.check(id)?;
-        self.cell.session.lock().unwrap().destroy_eventset(local)
+        self.session(|p| p.destroy_eventset(local))
     }
 
     /// `PAPI_add_event`.
     pub fn add_event(&self, id: TaggedSetId, code: u32) -> Result<()> {
         let local = self.check(id)?;
-        self.cell.session.lock().unwrap().add_event(local, code)
+        self.session(|p| p.add_event(local, code))
     }
 
     /// `PAPI_add_events`.
     pub fn add_events(&self, id: TaggedSetId, codes: &[u32]) -> Result<()> {
         let local = self.check(id)?;
-        self.cell.session.lock().unwrap().add_events(local, codes)
+        self.session(|p| p.add_events(local, codes))
     }
 
     /// `PAPI_remove_event`.
     pub fn remove_event(&self, id: TaggedSetId, code: u32) -> Result<()> {
         let local = self.check(id)?;
-        self.cell.session.lock().unwrap().remove_event(local, code)
+        self.session(|p| p.remove_event(local, code))
     }
 
     /// `PAPI_num_events`.
     pub fn num_events(&self, id: TaggedSetId) -> Result<usize> {
         let local = self.check(id)?;
-        self.cell.session.lock().unwrap().num_events(local)
+        self.session(|p| p.num_events(local))
     }
 
     /// `PAPI_state`.
     pub fn state(&self, id: TaggedSetId) -> Result<SetState> {
         let local = self.check(id)?;
-        self.cell.session.lock().unwrap().state(local)
+        self.session(|p| p.state(local))
     }
 
     /// `PAPI_set_multiplex` (the multiplex timer is per-session, hence
@@ -452,57 +614,85 @@ impl<S: Substrate + Send> PapiThread<S> {
     /// hardware).
     pub fn set_multiplex(&self, id: TaggedSetId) -> Result<()> {
         let local = self.check(id)?;
-        self.cell.session.lock().unwrap().set_multiplex(local)
+        self.session(|p| p.set_multiplex(local))
     }
 
-    /// `PAPI_start`.
+    /// `PAPI_start`. Opens a fresh published generation: observers see
+    /// the restart as a generation bump, never as counts going backwards.
     pub fn start(&self, id: TaggedSetId) -> Result<()> {
         let local = self.check(id)?;
-        self.cell.session.lock().unwrap().start(local)
+        let r = self.session(|p| p.start(local));
+        if r.is_ok() {
+            self.republish_epoch();
+        }
+        r
     }
 
-    /// `PAPI_read` into a caller buffer — the per-thread zero-allocation
-    /// hot path: tag check (arithmetic), one uncontended mutex, then the
-    /// cached read plan.
+    /// `PAPI_read` into a caller buffer — the per-thread lock-free hot
+    /// path: tag check (arithmetic), one uncontended sequence-stamp
+    /// compare-exchange, the vectorized cached read plan, then a seqlock
+    /// publication of the fresh values for wait-free observers.
     pub fn read_into(&self, id: TaggedSetId, out: &mut [i64]) -> Result<()> {
         let local = self.check(id)?;
-        self.cell.session.lock().unwrap().read_into(local, out)
+        self.session(|p| p.read_into(local, out))?;
+        self.cell
+            .published
+            .publish(self.cell.generation.load(Ordering::Relaxed), out);
+        Ok(())
     }
 
     /// `PAPI_read`, allocating the result vector.
     pub fn read(&self, id: TaggedSetId) -> Result<Vec<i64>> {
         let local = self.check(id)?;
-        self.cell.session.lock().unwrap().read(local)
+        let values = self.session(|p| p.read(local))?;
+        self.cell
+            .published
+            .publish(self.cell.generation.load(Ordering::Relaxed), &values);
+        Ok(values)
     }
 
-    /// `PAPI_accum`.
+    /// `PAPI_accum`. Resets the counters, so the published generation
+    /// advances.
     pub fn accum(&self, id: TaggedSetId, values: &mut [i64]) -> Result<()> {
         let local = self.check(id)?;
-        self.cell.session.lock().unwrap().accum(local, values)
+        let r = self.session(|p| p.accum(local, values));
+        if r.is_ok() {
+            self.republish_epoch();
+        }
+        r
     }
 
-    /// `PAPI_reset`.
+    /// `PAPI_reset`. Advances the published generation.
     pub fn reset(&self, id: TaggedSetId) -> Result<()> {
         let local = self.check(id)?;
-        self.cell.session.lock().unwrap().reset(local)
+        let r = self.session(|p| p.reset(local));
+        if r.is_ok() {
+            self.republish_epoch();
+        }
+        r
     }
 
-    /// `PAPI_stop`.
+    /// `PAPI_stop`. Advances the published generation and empties the
+    /// publication area (there is no running counter state to observe).
     pub fn stop(&self, id: TaggedSetId) -> Result<Vec<i64>> {
         let local = self.check(id)?;
-        self.cell.session.lock().unwrap().stop(local)
+        let r = self.session(|p| p.stop(local));
+        if r.is_ok() {
+            self.republish_epoch();
+        }
+        r
     }
 
     /// Run this thread's application to completion (see
     /// [`Papi::run_app`]).
     pub fn run_app(&self) -> Result<()> {
-        self.cell.session.lock().unwrap().run_app()
+        self.session(|p| p.run_app())
     }
 
     /// Run this thread's application for `budget` cycles (see
     /// [`Papi::run_for`]).
     pub fn run_for(&self, budget: u64) -> Result<crate::dispatch::AppExit> {
-        self.cell.session.lock().unwrap().run_for(budget)
+        self.session(|p| p.run_for(budget))
     }
 }
 
@@ -690,5 +880,93 @@ mod tests {
         // A vacant slot is a NoEvst error, not a panic.
         let vacant = TaggedSetId::new(set.shard(), set.slot() + 1, 0);
         assert!(pool.with_session_of(vacant, |_| ()).is_err());
+    }
+
+    #[test]
+    fn snapshot_counts_sees_published_reads_and_generations() {
+        let pool = pool();
+        let token = pool.register_thread().unwrap();
+        let set = token.create_eventset();
+        token.add_event(set, Preset::TotIns.code()).unwrap();
+        // Nothing published before the first read.
+        assert!(matches!(pool.snapshot_counts(set), Err(PapiError::NotRun)));
+        token.start(set).unwrap();
+        token.run_for(10_000).unwrap();
+        let mut out = [0i64; 1];
+        token.read_into(set, &mut out).unwrap();
+        let s1 = pool.snapshot_counts(set).unwrap();
+        assert_eq!(s1.len, 1);
+        assert_eq!(s1.values[0], out[0]);
+        // More work: same generation, monotone values.
+        token.run_for(10_000).unwrap();
+        token.read_into(set, &mut out).unwrap();
+        let s2 = pool.snapshot_counts(set).unwrap();
+        assert_eq!(s2.generation, s1.generation);
+        assert!(s2.values[0] >= s1.values[0]);
+        // Reset opens a new generation and empties the publication until
+        // the next read.
+        token.reset(set).unwrap();
+        assert!(matches!(pool.snapshot_counts(set), Err(PapiError::NotRun)));
+        token.read_into(set, &mut out).unwrap();
+        let s3 = pool.snapshot_counts(set).unwrap();
+        assert!(s3.generation > s2.generation);
+        token.stop(set).unwrap();
+        assert!(matches!(pool.snapshot_counts(set), Err(PapiError::NotRun)));
+        token.destroy_eventset(set).unwrap();
+        pool.unregister_thread(token).unwrap();
+        // Vacated slot: NoEvst, not NotRun.
+        assert!(matches!(
+            pool.snapshot_counts(set),
+            Err(PapiError::NoEvst(_))
+        ));
+    }
+
+    #[test]
+    fn rcu_table_survives_register_unregister_churn() {
+        // Readers traverse the table while other threads register and
+        // unregister; every load must see a coherent table (no dangling
+        // slots, no partially built shards).
+        let pool = pool();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader = {
+            let pool = pool.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut looked = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for shard in 0..NUM_SHARDS {
+                        let id = TaggedSetId::new(shard, 0, 0);
+                        // Any answer is fine; the point is no panic/UB.
+                        let _ = pool.snapshot_counts(id);
+                        looked += 1;
+                    }
+                }
+                looked
+            })
+        };
+        let mut churners = Vec::new();
+        for t in 0..4u64 {
+            let pool = pool.clone();
+            churners.push(std::thread::spawn(move || {
+                for round in 0..10 {
+                    let token = pool.register_thread_seeded(t * 31 + round).unwrap();
+                    let set = token.create_eventset();
+                    token.add_event(set, Preset::TotIns.code()).unwrap();
+                    token.start(set).unwrap();
+                    token.run_for(5_000).unwrap();
+                    let mut out = [0i64; 1];
+                    token.read_into(set, &mut out).unwrap();
+                    token.stop(set).unwrap();
+                    token.destroy_eventset(set).unwrap();
+                    pool.unregister_thread(token).unwrap();
+                }
+            }));
+        }
+        for c in churners {
+            c.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        assert!(reader.join().unwrap() > 0);
+        assert_eq!(pool.registered_threads(), 0);
     }
 }

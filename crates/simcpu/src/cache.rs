@@ -26,12 +26,22 @@ impl CacheCfg {
 }
 
 /// One cache level. Tags are full addresses shifted by the line bits.
+///
+/// Storage is a single flat tag array (`assoc` slots per set, MRU first)
+/// plus a per-set occupancy byte, instead of one heap `Vec` per set: the
+/// model sits on the measured hot path (every simulated kernel crossing
+/// pollutes the L1), so a `pollute` must not chase one heap pointer per
+/// evicted line. Popping the LRU way is a decrement of `len[set]`; the tag
+/// slots beyond `len[set]` are dead storage and never read.
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheCfg,
     line_shift: u32,
-    /// `sets[s]` holds up to `assoc` tags, most-recently-used first.
-    sets: Vec<Vec<u64>>,
+    assoc: usize,
+    /// Set `s` occupies `tags[s*assoc ..][..len[s]]`, most-recently-used
+    /// first.
+    tags: Vec<u64>,
+    len: Vec<u8>,
     accesses: u64,
     misses: u64,
 }
@@ -48,10 +58,13 @@ impl Cache {
         );
         let n = cfg.sets();
         assert!(n.is_power_of_two(), "set count must be a power of two");
+        assert!(cfg.assoc <= u8::MAX as u32, "associativity exceeds 255");
         Cache {
             cfg,
             line_shift: cfg.line.trailing_zeros(),
-            sets: vec![Vec::with_capacity(cfg.assoc as usize); n],
+            assoc: cfg.assoc as usize,
+            tags: vec![0; n * cfg.assoc as usize],
+            len: vec![0; n],
             accesses: 0,
             misses: 0,
         }
@@ -63,8 +76,29 @@ impl Cache {
 
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
         let tag = addr >> self.line_shift;
-        let set = (tag as usize) & (self.sets.len() - 1);
+        let set = (tag as usize) & (self.len.len() - 1);
         (set, tag)
+    }
+
+    /// Look up `tag` in set `si` and make it the MRU way; on a miss,
+    /// insert it (evicting the LRU way when the set is full). Returns
+    /// whether it was a hit. Shared by `access` and `install`, which
+    /// differ only in statistics.
+    fn touch(&mut self, si: usize, tag: u64) -> bool {
+        let n = self.len[si] as usize;
+        let set = &mut self.tags[si * self.assoc..][..self.assoc];
+        if let Some(pos) = set[..n].iter().position(|&t| t == tag) {
+            set[..=pos].rotate_right(1); // move to MRU
+            true
+        } else {
+            // Insert at MRU, shifting the rest down; the LRU way falls off
+            // the end when the set is full.
+            let keep = n.min(self.assoc - 1);
+            set.copy_within(..keep, 1);
+            set[0] = tag;
+            self.len[si] = (keep + 1) as u8;
+            false
+        }
     }
 
     /// Access `addr`; returns `true` on a hit. Misses allocate (both loads
@@ -72,54 +106,43 @@ impl Cache {
     pub fn access(&mut self, addr: u64) -> bool {
         self.accesses += 1;
         let (si, tag) = self.set_and_tag(addr);
-        let set = &mut self.sets[si];
-        if let Some(pos) = set.iter().position(|&t| t == tag) {
-            // move to MRU
-            let t = set.remove(pos);
-            set.insert(0, t);
-            true
-        } else {
+        let hit = self.touch(si, tag);
+        if !hit {
             self.misses += 1;
-            if set.len() == self.cfg.assoc as usize {
-                set.pop(); // evict LRU
-            }
-            set.insert(0, tag);
-            false
         }
+        hit
     }
 
     /// Install a line without touching access/miss statistics — the path a
     /// hardware prefetcher uses.
     pub fn install(&mut self, addr: u64) {
         let (si, tag) = self.set_and_tag(addr);
-        let set = &mut self.sets[si];
-        if let Some(pos) = set.iter().position(|&t| t == tag) {
-            let t = set.remove(pos);
-            set.insert(0, t);
-        } else {
-            if set.len() == self.cfg.assoc as usize {
-                set.pop();
-            }
-            set.insert(0, tag);
-        }
+        self.touch(si, tag);
     }
 
     /// Probe without updating state or statistics (used by tests/tools).
     pub fn probe(&self, addr: u64) -> bool {
         let (si, tag) = self.set_and_tag(addr);
-        self.sets[si].contains(&tag)
+        self.tags[si * self.assoc..][..self.len[si] as usize].contains(&tag)
     }
 
     /// Evict up to `n` lines pseudo-randomly — the cache footprint of a
-    /// kernel crossing (counter-read syscall, interrupt handler).
+    /// kernel crossing (counter-read syscall, interrupt handler). Evicting
+    /// a set's LRU way is one saturating decrement of its occupancy byte,
+    /// so the whole sweep touches only the `len` array.
     pub fn pollute(&mut self, n: u32, seed: u64) {
-        let mut s = seed | 1;
+        // Counter-indexed multiply-shift hash rather than an iterated LCG:
+        // each target set is a pure function of (seed, i), so the host CPU
+        // can overlap the iterations instead of serializing on one
+        // multiply-dependent state word, and one multiply per line is
+        // enough mixing to scatter evictions. Still deterministic per seed.
+        let len = &mut self.len[..];
+        let mask = len.len() - 1;
+        let mut x = seed | 1;
         for _ in 0..n {
-            s = s
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            let si = (s >> 33) as usize & (self.sets.len() - 1);
-            self.sets[si].pop();
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let si = (x.wrapping_mul(0xBF58_476D_1CE4_E5B9) >> 33) as usize & mask;
+            len[si] = len[si].saturating_sub(1);
         }
     }
 
@@ -135,14 +158,12 @@ impl Cache {
 
     /// Number of resident lines (for tests).
     pub fn resident(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.len.iter().map(|&l| l as usize).sum()
     }
 
     /// Drop all lines and statistics.
     pub fn reset(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
-        }
+        self.len.fill(0);
         self.accesses = 0;
         self.misses = 0;
     }

@@ -266,6 +266,11 @@ pub struct Pmu {
     bits: u32,
     /// `2^bits - 1`, precomputed (`u64::MAX` for 64-bit registers).
     mask: u64,
+    /// Flat dispatch table: one `(kind, counter, mult, domain)` entry per
+    /// signal of every programmed counter, rebuilt by [`Pmu::program`].
+    /// [`Pmu::record`] scans this contiguous list instead of the per-slot
+    /// `kinds` vectors.
+    incr: Vec<(EventKind, u32, u32, Domain)>,
 }
 
 impl Pmu {
@@ -292,6 +297,7 @@ impl Pmu {
             } else {
                 (1u64 << bits) - 1
             },
+            incr: Vec::new(),
         }
     }
 
@@ -336,8 +342,20 @@ impl Pmu {
         if let Some(o) = &mut self.overflow[idx] {
             o.next = o.threshold;
         }
+        self.rebuild_incr();
         // Any saved per-thread context now describes different events.
         self.epoch += 1;
+    }
+
+    /// Rebuild the flat `record` dispatch table from the programmed slots.
+    fn rebuild_incr(&mut self) {
+        self.incr.clear();
+        for (i, slot) in self.counters.iter().enumerate() {
+            let Some(p) = slot else { continue };
+            for &(k, mult) in &p.kinds {
+                self.incr.push((k, i as u32, mult, p.domain));
+            }
+        }
     }
 
     /// Current programming epoch (bumped by every [`Pmu::program`] call).
@@ -393,38 +411,48 @@ impl Pmu {
     }
 
     /// Record `n` occurrences of `kind` in the given privilege mode.
+    ///
+    /// Dispatches through the flat [`Pmu::incr`] table (rebuilt by
+    /// `program()`) instead of scanning every counter's heap-allocated
+    /// `kinds` list: `record` runs on every simulated instruction batch
+    /// *and* every costed kernel crossing, so the per-call constant is
+    /// what bounds the whole simulator's hot loop.
     pub fn record(&mut self, kind: EventKind, n: u64, kernel_mode: bool) {
         if !self.running || n == 0 {
             return;
         }
-        for (i, slot) in self.counters.iter().enumerate() {
-            let Some(p) = slot else { continue };
-            if !p.domain.matches(kernel_mode) {
+        let Pmu {
+            incr,
+            counts,
+            overflow,
+            pending_overflow,
+            mask,
+            ..
+        } = self;
+        for &(k, i, mult, d) in incr.iter() {
+            if k != kind || !d.matches(kernel_mode) {
                 continue;
             }
-            for &(k, mult) in &p.kinds {
-                if k == kind {
-                    // Overflow crossings are detected on the unwrapped sum,
-                    // then the register wraps to its width; any armed
-                    // threshold is re-based by the same amount so crossings
-                    // keep firing at the right counts across a wrap.
-                    let s = self.counts[i] + n * mult as u64;
-                    if let Some(o) = &mut self.overflow[i] {
-                        if s >= o.next {
-                            self.pending_overflow |= 1 << i;
-                            let past = s - o.next;
-                            o.next += o.threshold * (past / o.threshold + 1);
-                        }
-                    }
-                    let wrapped = s & self.mask;
-                    if wrapped != s {
-                        if let Some(o) = &mut self.overflow[i] {
-                            o.next = o.next.saturating_sub(s - wrapped);
-                        }
-                    }
-                    self.counts[i] = wrapped;
+            let i = i as usize;
+            // Overflow crossings are detected on the unwrapped sum,
+            // then the register wraps to its width; any armed
+            // threshold is re-based by the same amount so crossings
+            // keep firing at the right counts across a wrap.
+            let s = counts[i] + n * mult as u64;
+            if let Some(o) = &mut overflow[i] {
+                if s >= o.next {
+                    *pending_overflow |= 1 << i;
+                    let past = s - o.next;
+                    o.next += o.threshold * (past / o.threshold + 1);
                 }
             }
+            let wrapped = s & *mask;
+            if wrapped != s {
+                if let Some(o) = &mut overflow[i] {
+                    o.next = o.next.saturating_sub(s - wrapped);
+                }
+            }
+            counts[i] = wrapped;
         }
     }
 

@@ -251,6 +251,95 @@ fn self_check_aggd() -> bool {
     allocs == 0
 }
 
+/// Best-effort per-thread CPU time in nanoseconds (Linux schedstat; the
+/// yield forces the scheduler to bring the account current). Duplicated
+/// from papi-bench's helper — papi-tools sits below papi-bench in the
+/// dependency graph, so it cannot import it.
+fn thread_cpu_ns() -> Option<u64> {
+    std::thread::yield_now();
+    std::fs::read_to_string("/proc/thread-self/schedstat")
+        .ok()?
+        .split_whitespace()
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// Contention row: per-thread CPU cost of the token `read_into` path at 1
+/// vs 4 registered threads, and the 4t/1t scaling ratio. The lock-free
+/// read-path guarantee is that the ratio stays within 1.5x — each thread
+/// burns the same CPU per read no matter how many peers are counting.
+/// CPU time (not wall-clock) is compared, so a single-core host's
+/// time-slicing does not read as contention.
+fn self_check_contention() -> bool {
+    use papi_core::{SubstrateRegistry, ThreadedPapi};
+    use std::sync::Arc;
+
+    fn cpu_ns_per_op(threads: usize, iters: u64) -> (f64, bool) {
+        let reg = Arc::new(SubstrateRegistry::with_builtin());
+        let program = papi_workloads::dense_fp(10, 1, 0).program;
+        let pool = Arc::new(ThreadedPapi::new(1, move |seed| {
+            let mut p = Papi::init_from_registry(&reg, "sim:x86", seed)?;
+            p.substrate_mut().load_program(program.clone())?;
+            Ok(p)
+        }));
+        let mut joins = Vec::new();
+        for t in 0..threads {
+            let pool = pool.clone();
+            joins.push(std::thread::spawn(move || {
+                let token = pool.register_thread_seeded(t as u64 + 1).unwrap();
+                let set = token.create_eventset();
+                token.add_event(set, Preset::TotCyc.code()).unwrap();
+                token.start(set).unwrap();
+                let mut out = [0i64; 1];
+                for _ in 0..16 {
+                    token.read_into(set, &mut out).unwrap();
+                }
+                let cpu0 = thread_cpu_ns();
+                let t0 = std::time::Instant::now();
+                for _ in 0..iters {
+                    token.read_into(set, &mut out).unwrap();
+                }
+                let wall = t0.elapsed().as_nanos() as u64;
+                let cpu = match (cpu0, thread_cpu_ns()) {
+                    (Some(a), Some(b)) => Some(b.saturating_sub(a)),
+                    _ => None,
+                };
+                std::hint::black_box(out[0]);
+                token.stop(set).unwrap();
+                token.destroy_eventset(set).unwrap();
+                pool.unregister_thread(token).unwrap();
+                (cpu, wall)
+            }));
+        }
+        let samples: Vec<(Option<u64>, u64)> =
+            joins.into_iter().map(|j| j.join().unwrap()).collect();
+        let cpu_clock = samples.iter().all(|(c, _)| c.is_some());
+        let total: u64 = samples
+            .iter()
+            .map(|&(c, w)| if cpu_clock { c.unwrap() } else { w })
+            .sum();
+        (total as f64 / (iters * threads as u64) as f64, cpu_clock)
+    }
+
+    let iters = 50_000u64;
+    let (one, clock1) = cpu_ns_per_op(1, iters);
+    let (four, clock4) = cpu_ns_per_op(4, iters);
+    let ratio = four / one;
+    let cpu_clock = clock1 && clock4;
+    println!(
+        "{:<12} {:>14.1} {:>14.1} {:>9.2}x {:>10}",
+        "contention",
+        one,
+        four,
+        ratio,
+        if cpu_clock { "cpu" } else { "wall" }
+    );
+    // Without a per-thread CPU clock the wall-clock ratio conflates
+    // time-slicing with contention, so only the CPU-time figure gates.
+    !cpu_clock || ratio <= 1.5
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(|s| s.as_str()) == Some("--self-check") {
@@ -285,12 +374,18 @@ fn main() {
             "", "frames/sec", "bytes/tenant", "allocs/frame"
         );
         ok &= self_check_aggd();
+        println!(
+            "\n{:<12} {:>14} {:>14} {:>10} {:>10}",
+            "", "1t ns/op", "4t ns/op", "scaling", "clock"
+        );
+        ok &= self_check_contention();
         if !ok {
             eprintln!("papi_cost: self-accounting diverges from measured costs");
             std::process::exit(1);
         }
         println!("\nself-accounted cycles agree with measured micro-costs;");
-        println!("steady-state reads and aggd frame ingest are allocation-free");
+        println!("steady-state reads and aggd frame ingest are allocation-free;");
+        println!("4-thread reads stay within 1.5x of single-thread CPU cost");
         return;
     }
     println!(

@@ -8,11 +8,12 @@
 //! reproduce from the seed in the assert message).
 
 use papi_suite::papi::threads::{PapiThread, TaggedSetId, ThreadedPapi, NUM_SHARDS};
-use papi_suite::papi::{Papi, PapiError, Preset, SimSubstrate, Substrate};
+use papi_suite::papi::{CountSnapshot, Papi, PapiError, Preset, SimSubstrate, Substrate};
 use papi_suite::workloads::{random_program, RandomCfg};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use simcpu::{platform, Machine};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A pool whose registered threads each get a private generic machine
@@ -257,6 +258,166 @@ fn tagged_ids_expose_their_shard_and_stay_in_range() {
     assert_eq!(n, 0);
     token.destroy_eventset(set).unwrap();
     pool.unregister_thread(token).unwrap();
+}
+
+/// Seeded-interleaving torture for the lock-free read path: one writer
+/// thread drives its session through start/read/reset/stop churn (every
+/// reprogramming op opens a new published generation) while reader threads
+/// hammer the wait-free `snapshot_counts` observer API and assert the
+/// seqlock invariants on every copy they obtain:
+///
+/// * the snapshot length always matches the set (never a half-published
+///   area),
+/// * generations never go backwards (only the owner bumps them),
+/// * within one generation, every event's value is monotone non-decreasing
+///   — a torn copy mixing pre-reset (large) and post-reset (small) values,
+///   or values from two different publishes, would break this ordering in
+///   one direction or the other.
+///
+/// The writer also asserts its own `read_into` results are monotone within
+/// an epoch, so both ends of the seqlock are checked. The writer keeps
+/// churning until the readers have demonstrably observed enough snapshots
+/// (single-core hosts may schedule the readers rarely), bounded by a round
+/// cap so a broken observer path fails instead of hanging.
+fn seqlock_torture(substrate: &'static str) {
+    let pool = Arc::new(ThreadedPapi::new(0, move |seed| {
+        let reg = papi_suite::tools::full_registry();
+        let mut p = Papi::init_from_registry(&reg, substrate, seed)?;
+        p.substrate_mut()
+            .load_program(random_program(seed, RandomCfg::default()))?;
+        Ok(p)
+    }));
+    let done = Arc::new(AtomicBool::new(false));
+    let seen = Arc::new(AtomicU64::new(0));
+    let ready = Arc::new(AtomicU64::new(0));
+    let (id_tx, id_rx) = std::sync::mpsc::channel::<TaggedSetId>();
+
+    let writer = {
+        let pool = pool.clone();
+        let seen = seen.clone();
+        let ready = ready.clone();
+        std::thread::spawn(move || {
+            let token = pool.register_thread_seeded(7).unwrap();
+            let set = token.create_eventset();
+            token
+                .add_events(set, &[Preset::TotIns.code(), Preset::TotCyc.code()])
+                .unwrap();
+            id_tx.send(set).unwrap();
+            // Don't start churning until both readers are polling — on a
+            // single-core host the writer could otherwise finish every
+            // round inside its first timeslice.
+            while ready.load(Ordering::Relaxed) < 2 {
+                std::thread::yield_now();
+            }
+            let mut rounds = 0u64;
+            while rounds < 20 || (seen.load(Ordering::Relaxed) < 50 && rounds < 20_000) {
+                rounds += 1;
+                token.start(set).unwrap();
+                let mut prev = [i64::MIN; 2];
+                for step in 0..5u64 {
+                    token.run_for(2_000).unwrap();
+                    let mut out = [0i64; 2];
+                    token.read_into(set, &mut out).unwrap();
+                    assert!(
+                        out.iter().zip(prev.iter()).all(|(o, p)| o >= p),
+                        "substrate {substrate}: owner read went backwards within an epoch \
+                         ({out:?} after {prev:?})"
+                    );
+                    prev = out;
+                    // Yield while the publication area holds fresh values,
+                    // so observers on a single-core host poll non-empty
+                    // windows, then occasionally open a new generation.
+                    std::thread::yield_now();
+                    if (rounds + step).is_multiple_of(3) {
+                        token.reset(set).unwrap();
+                        prev = [i64::MIN; 2];
+                    }
+                }
+                token.stop(set).unwrap();
+            }
+            token.destroy_eventset(set).unwrap();
+            pool.unregister_thread(token).unwrap();
+        })
+    };
+
+    let set = id_rx.recv().unwrap();
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let pool = pool.clone();
+            let done = done.clone();
+            let seen = seen.clone();
+            let ready = ready.clone();
+            std::thread::spawn(move || {
+                ready.fetch_add(1, Ordering::Relaxed);
+                let mut last: Option<CountSnapshot> = None;
+                while !done.load(Ordering::Relaxed) {
+                    // Errors are legitimate states (stopped, reset-not-yet
+                    // republished, unregistered at the end); invariants
+                    // apply to every successful snapshot.
+                    if let Ok(s) = pool.snapshot_counts(set) {
+                        assert_eq!(s.len, 2, "substrate {substrate}: half-published snapshot");
+                        assert!(
+                            s.values[..2].iter().all(|&v| v >= 0),
+                            "substrate {substrate}: negative count in snapshot (torn read)"
+                        );
+                        if let Some(l) = &last {
+                            assert!(
+                                s.generation >= l.generation,
+                                "substrate {substrate}: generation went backwards"
+                            );
+                            if s.generation == l.generation {
+                                for i in 0..2 {
+                                    assert!(
+                                        s.values[i] >= l.values[i],
+                                        "substrate {substrate}: event {i} regressed \
+                                         {} -> {} within generation {} \
+                                         (torn or mixed-generation snapshot)",
+                                        l.values[i],
+                                        s.values[i],
+                                        s.generation
+                                    );
+                                }
+                            }
+                        }
+                        last = Some(s);
+                        seen.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    writer.join().unwrap();
+    done.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+    assert!(
+        seen.load(Ordering::Relaxed) > 0,
+        "substrate {substrate}: observers never obtained a snapshot"
+    );
+    assert_eq!(pool.registered_threads(), 0);
+}
+
+#[test]
+fn seqlock_torture_clean_substrate() {
+    seqlock_torture("sim:x86");
+}
+
+#[test]
+fn seqlock_torture_chaos_faults() {
+    // Transient failure bursts + delayed interrupts: the retry loop runs
+    // inside the owner's exclusive phase, so injected read failures must
+    // never surface as torn or regressing observer snapshots.
+    seqlock_torture("fault[chaos]:sim:x86");
+}
+
+#[test]
+fn seqlock_torture_narrow_counters() {
+    // 32-bit wrapped counters: the widening layer rebuilds full-width
+    // monotone values before publication, so observers must see monotone
+    // counts even while the raw registers wrap.
+    seqlock_torture("fault[bits=32]:sim:x86");
 }
 
 #[test]
