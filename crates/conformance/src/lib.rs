@@ -25,11 +25,19 @@
 //! nonconforming substrate (its batch reads glitch a huge additive offset
 //! on and off) that a healthy harness must catch with a *named* check
 //! failure — see `tests/matrix.rs`.
+//!
+//! The [`validation`] module is the suite's second axis: where the
+//! differential matrix proves faulted and clean runs *agree*, the
+//! validation checks prove the counts are *right* — every graded cell of
+//! the `papi_validate` accuracy matrix defended against the golden
+//! baseline, with the same named-check reporting.
 
 use papi_core::{BoxSubstrate, Papi, PapiError, Preset, Substrate, SubstrateRegistry};
 use simcpu::Program;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+pub mod validation;
 
 /// How a check's observables compare between the clean and faulted runs.
 #[derive(Debug, Clone, Copy, PartialEq)]

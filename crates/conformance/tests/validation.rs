@@ -1,0 +1,116 @@
+//! The validation-check matrix: graded accuracy cells defended against the
+//! golden baseline (`results/validation_matrix.json`), plus the harness
+//! self-test — a substrate with glitching reads must produce grade
+//! regressions that name the check and carry full cell coordinates and
+//! baseline line numbers.
+
+use papi_conformance::register_broken;
+use papi_conformance::validation::{
+    run_validation_checks, validation_substrates, GradeDivergence, REFERENCE_SUBSTRATE,
+    VALIDATION_CHECKS,
+};
+use papi_core::SubstrateRegistry;
+use papi_tools::full_registry;
+use papi_tools::validate::{render_matrix_json, run_matrix, ValidateConfig};
+use std::path::Path;
+use std::sync::Arc;
+
+fn repo_path(rel: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+fn fail_report(divs: &[GradeDivergence]) -> String {
+    divs.iter()
+        .map(|d| format!("  {d}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn registry_with_rv64() -> SubstrateRegistry {
+    let mut reg = full_registry();
+    reg.register_platform_file(&repo_path("platforms/sim-rv64.toml"))
+        .expect("platforms/sim-rv64.toml must load");
+    reg
+}
+
+/// The headline check: grade the conformance substrate list and defend
+/// every cell against the committed golden matrix. Any finding here is
+/// either a real accuracy regression or a stale baseline (regenerate with
+/// `papi_validate --json --platform-file platforms/sim-rv64.toml`).
+#[test]
+fn validation_matrix_is_green_against_golden_baseline() {
+    let reg = Arc::new(registry_with_rv64());
+    let baseline = std::fs::read_to_string(repo_path("results/validation_matrix.json"))
+        .expect("golden baseline results/validation_matrix.json must exist");
+    let cfg = ValidateConfig::new(validation_substrates());
+    let divs = run_validation_checks(&reg, &cfg, &baseline);
+    assert!(
+        divs.is_empty(),
+        "validation findings:\n{}",
+        fail_report(&divs)
+    );
+}
+
+/// Self-test: plant a substrate whose reads glitch, hand the checks a
+/// golden baseline recording the grades its clean inner substrate earns,
+/// and require the harness to fail `grade-regression-vs-baseline` with
+/// full cell coordinates and the defended baseline line.
+#[test]
+fn broken_substrate_fails_the_named_grade_regression_check() {
+    let mut reg = full_registry();
+    register_broken(&mut reg);
+    let reg = Arc::new(reg);
+
+    // `broken` wraps sim:generic, so the reference platform's own matrix —
+    // relabelled — is exactly the baseline a conforming `broken` would
+    // have to reproduce.
+    let clean = run_matrix(
+        &reg,
+        &ValidateConfig::new(vec![REFERENCE_SUBSTRATE.to_string()]),
+    );
+    let golden = render_matrix_json(&clean).replace(
+        &format!("\"substrate\":\"{REFERENCE_SUBSTRATE}\""),
+        "\"substrate\":\"broken\"",
+    );
+
+    let cfg = ValidateConfig::new(vec!["broken".to_string()]);
+    let divs = run_validation_checks(&reg, &cfg, &golden);
+
+    let regressions: Vec<_> = divs
+        .iter()
+        .filter(|d| d.check == "grade-regression-vs-baseline")
+        .collect();
+    assert!(
+        !regressions.is_empty(),
+        "the glitching substrate earned no grade regressions; findings:\n{}",
+        fail_report(&divs)
+    );
+    for r in &regressions {
+        let parts: Vec<&str> = r.cell.split('/').collect();
+        assert_eq!(parts.len(), 4, "cell coordinates incomplete: {}", r.cell);
+        assert_eq!(parts[0], "broken");
+        assert!(
+            r.baseline_line.is_some(),
+            "regression lacks a baseline line number: {r}"
+        );
+    }
+}
+
+/// The check table and substrate list stay in the shape the reports and
+/// CI logs key on.
+#[test]
+fn validation_substrates_cover_every_accuracy_regime() {
+    let subs = validation_substrates();
+    assert!(subs.contains(&REFERENCE_SUBSTRATE.to_string()));
+    assert!(subs.iter().any(|s| s.starts_with("file:")));
+    assert!(subs.iter().any(|s| s.starts_with("fault[")));
+    assert!(VALIDATION_CHECKS.len() >= 5);
+    // Every listed substrate resolves through the registry (with the
+    // platform file loaded).
+    let reg = registry_with_rv64();
+    for s in &subs {
+        assert!(reg.contains(s), "substrate '{s}' does not resolve");
+    }
+}

@@ -9,6 +9,7 @@
 //! with the library's own `inexact` mapping flag.
 
 use papi_core::{Papi, Preset, SimSubstrate};
+use papi_workloads::grading::{self, Grade};
 use papi_workloads::Workload;
 use simcpu::{Machine, PlatformSpec};
 use std::fmt::Write as _;
@@ -26,22 +27,23 @@ pub struct CalRow {
 }
 
 impl CalRow {
-    /// Relative error of the measurement.
+    /// Relative error of the measurement (the shared grading arithmetic —
+    /// see `papi_workloads::grading`).
     pub fn rel_error(&self) -> f64 {
-        if self.expected == 0 {
-            if self.measured == 0 {
-                0.0
-            } else {
-                f64::INFINITY
-            }
-        } else {
-            (self.measured - self.expected) as f64 / self.expected as f64
-        }
+        grading::rel_error(self.expected, self.measured)
+    }
+
+    /// The row's accuracy grade at zero tolerance: calibration is the
+    /// strict consumer of the shared grading module (`papi_validate` is
+    /// the tolerant one), so the two tools cannot score the same
+    /// measurement differently.
+    pub fn grade(&self) -> Grade {
+        grading::grade(self.expected, self.measured, 0.0)
     }
 
     /// A measurement "passes" calibration when it matches exactly.
     pub fn pass(&self) -> bool {
-        self.measured == self.expected
+        self.grade() == Grade::Exact
     }
 }
 

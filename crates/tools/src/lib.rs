@@ -14,6 +14,9 @@
 //!   falling back to explicit multiplexing when events conflict.
 //! * [`calibrate`] — compare measured counts against analytic expectations,
 //!   surfacing per-platform event-semantics differences.
+//! * [`validate`] — the ground-truth validation harness: grade every
+//!   (substrate, mode, workload, preset) cell against closed-form oracles
+//!   and diff the matrix against a golden baseline.
 //! * [`tracer`] — interval event timelines for Vampir/TAU-style trace
 //!   correlation (§3), with JSON export and timeline merging.
 
@@ -23,6 +26,7 @@ pub mod dynaprof;
 pub mod papirun;
 pub mod perfometer;
 pub mod tracer;
+pub mod validate;
 
 pub use avail::{render_avail, render_avail_matrix};
 pub use calibrate::{
@@ -33,6 +37,11 @@ pub use papirun::papirun as run_papirun;
 pub use papirun::{papirun_in, papirun_named, papirun_with, RunOptions, RunReport};
 pub use perfometer::{Perfometer, TracePoint};
 pub use tracer::{IntervalRecord, Timeline, Tracer};
+pub use validate::{
+    default_substrates, diff_against_baseline, diff_against_parsed, parse_matrix_json,
+    render_matrix, render_matrix_json, run_matrix, BaselineDiff, Cell, Mode, ParsedCell,
+    Regression, ValidateConfig, VALIDATION_PRESETS,
+};
 
 use papi_core::SubstrateRegistry;
 use simcpu::PlatformSpec;

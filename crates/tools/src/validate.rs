@@ -1,0 +1,839 @@
+//! The `papi_validate` harness: ground-truth event validation with a
+//! graded accuracy matrix.
+//!
+//! Where [`crate::calibrate`] answers "does this preset count exactly what
+//! the formula says" for a handful of workloads, validation sweeps the full
+//! cross product
+//!
+//! > substrate (every registered backend, including data-file platforms
+//! > and `fault[*]` decorators) × counting mode (direct / multiplexed /
+//! > threaded) × validation workload × preset
+//!
+//! and grades every cell with the shared [`grading`] vocabulary: **exact**,
+//! **within(ε)**, **deviates(ratio)** or **unsupported**. Each workload
+//! comes from [`papi_workloads::validation_suite`], so every cell's
+//! expectation is a closed-form function of the kernel's seeding
+//! parameters, with the derivation recorded as the cell's provenance
+//! (Röhl et al.'s validation methodology, PAPERS.md).
+//!
+//! The matrix serializes to a line-per-cell JSON document
+//! ([`render_matrix_json`]) that is checked into `results/` as a golden
+//! baseline: [`diff_against_baseline`] compares a fresh run against it and
+//! reports every cell whose grade got *worse* (by [`Grade::rank`]) with
+//! the baseline line number — an accuracy regression is a named,
+//! line-numbered CI failure, not a silent drift.
+//!
+//! Modes:
+//!
+//! * **direct** — one preset per session, hardware counting, tolerance 0:
+//!   a conforming substrate must be bit-exact.
+//! * **mpx** — all presets in one software-multiplexed set; counts are
+//!   scheduling estimates, graded against [`ValidateConfig::mpx_tolerance`]
+//!   (estimation error is expected; *bias* beyond the band is not).
+//! * **thread** — per-preset sessions inside registered
+//!   [`ThreadedPapi`] threads, tolerance 0: thread-private counting must
+//!   agree with the single-threaded truth exactly.
+
+use crate::calibrate::expected_preset_value;
+use papi_core::{Papi, Preset, Substrate, SubstrateRegistry, ThreadedPapi};
+use papi_workloads::grading::{self, Grade};
+use papi_workloads::{validation_suite, Workload};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// The presets the validator grades: every instruction-class preset whose
+/// formula is fully covered by the validation suite's exact oracles.
+/// Cache/TLB/cycle presets are hardware-structure estimates and belong to
+/// calibration tolerances, not ground-truth validation.
+pub const VALIDATION_PRESETS: &[Preset] = &[
+    Preset::TotIns,
+    Preset::IntIns,
+    Preset::FpIns,
+    Preset::FpOps,
+    Preset::FmaIns,
+    Preset::FdvIns,
+    Preset::LdIns,
+    Preset::SrIns,
+    Preset::LstIns,
+    Preset::BrIns,
+    Preset::BrTkn,
+    Preset::BrNtk,
+];
+
+/// Default relative tolerance for multiplexed estimates.
+pub const DEFAULT_MPX_TOLERANCE: f64 = 0.25;
+
+/// Default multiplex switching period (cycles): much shorter than the
+/// library default (100k cycles) so every validation workload (~17k-50k
+/// instructions) still yields several slices per partition of the
+/// 12-preset rotated set, but long enough that each slice accumulates a
+/// statistically useful count. A period sweep over the full matrix puts
+/// the deviating-cell minimum at 5k cycles: below ~4k the 2-counter
+/// platforms leave partitions with sub-slice coverage (estimates swing
+/// 0x-3x of truth), above ~8k short workloads stop covering every
+/// partition before halt.
+pub const DEFAULT_MPX_PERIOD: u64 = 5_000;
+
+/// Default absolute error floor (counts) for multiplexed estimates — see
+/// [`grading::grade_with_floor`]. Sized to the per-slice count a
+/// validation workload accumulates within one switching period.
+pub const DEFAULT_MPX_FLOOR: f64 = 512.0;
+
+/// How a cell was measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// One preset per session, hardware counting.
+    Direct,
+    /// All presets in one software-multiplexed set.
+    Mpx,
+    /// Per-preset sessions inside registered threads.
+    Thread,
+}
+
+impl Mode {
+    pub const ALL: &'static [Mode] = &[Mode::Direct, Mode::Mpx, Mode::Thread];
+
+    /// Stable label used in the JSON matrix.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mode::Direct => "direct",
+            Mode::Mpx => "mpx",
+            Mode::Thread => "thread",
+        }
+    }
+
+    /// The grading band of this mode under `cfg`: `(relative tolerance,
+    /// absolute floor)`. Direct and threaded counting must be bit-exact;
+    /// multiplexed estimates get the configured band.
+    fn band(&self, cfg: &ValidateConfig) -> (f64, f64) {
+        match self {
+            Mode::Mpx => (cfg.mpx_tolerance, cfg.mpx_floor),
+            _ => (0.0, 0.0),
+        }
+    }
+}
+
+/// One graded cell of the accuracy matrix.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    pub substrate: String,
+    pub mode: Mode,
+    pub workload: &'static str,
+    pub preset: Preset,
+    /// Analytic expectation from the workload oracle.
+    pub expected: i64,
+    /// Measured value; `None` when the cell is unsupported.
+    pub measured: Option<i64>,
+    pub grade: Grade,
+    /// Closed-form provenance: the preset formula expanded into the
+    /// kernel-parameter derivations of its terms.
+    pub derivation: String,
+}
+
+impl Cell {
+    /// `substrate/mode/workload/preset` — the coordinate every report and
+    /// regression message uses.
+    pub fn coord(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            self.substrate,
+            self.mode.label(),
+            self.workload,
+            self.preset.name()
+        )
+    }
+}
+
+/// Validator configuration.
+#[derive(Debug, Clone)]
+pub struct ValidateConfig {
+    /// Substrate names to grade (resolved through the registry; may be
+    /// fault-decorated or `file:` names).
+    pub substrates: Vec<String>,
+    pub seed: u64,
+    pub mpx_tolerance: f64,
+    pub mpx_period: u64,
+    /// Absolute error floor (counts) for multiplexed grading.
+    pub mpx_floor: f64,
+    /// Worker threads for the `thread` mode.
+    pub threads: usize,
+}
+
+impl ValidateConfig {
+    pub fn new(substrates: Vec<String>) -> ValidateConfig {
+        ValidateConfig {
+            substrates,
+            seed: 7,
+            mpx_tolerance: DEFAULT_MPX_TOLERANCE,
+            mpx_period: DEFAULT_MPX_PERIOD,
+            mpx_floor: DEFAULT_MPX_FLOOR,
+            threads: 2,
+        }
+    }
+}
+
+/// The default substrate list: every canonical registered backend plus one
+/// fault schedule of each family (pass-through glitching and structured
+/// read/start/stop faults), so the matrix always grades at least one
+/// decorated substrate.
+pub fn default_substrates(reg: &SubstrateRegistry) -> Vec<String> {
+    let mut names: Vec<String> = reg.names().iter().map(|s| s.to_string()).collect();
+    names.push("fault[chaos]:sim:x86".to_string());
+    names.push("fault[read=3,start=2,stop=2,burst=2]:sim:generic".to_string());
+    names
+}
+
+/// Expand `preset`'s formula into the workload's recorded derivations:
+/// `FpAdd+FpMul+FpFma+FpDiv` becomes e.g.
+/// `iters*fadds + iters*fmuls + iters*fmas + 0`.
+fn preset_derivation(w: &Workload, preset: Preset) -> String {
+    let mut out = String::new();
+    for (i, &(kind, coeff)) in preset.formula().iter().enumerate() {
+        let term = w.expected.derivation(kind).unwrap_or("oracle");
+        if i > 0 {
+            out.push_str(if coeff < 0 { " - " } else { " + " });
+        } else if coeff < 0 {
+            out.push('-');
+        }
+        let mag = coeff.abs();
+        if mag != 1 {
+            let _ = write!(out, "{mag}*");
+        }
+        let _ = write!(out, "({term})");
+    }
+    out
+}
+
+/// Measure one preset in its own dedicated session. `None` = unsupported
+/// (substrate refused construction, the event, or the counting run).
+fn measure_direct(
+    reg: &SubstrateRegistry,
+    name: &str,
+    w: &Workload,
+    preset: Preset,
+    seed: u64,
+) -> Option<i64> {
+    let mut papi = Papi::init_from_registry(reg, name, seed).ok()?;
+    if !papi.query_event(preset.code()) {
+        return None;
+    }
+    let set = papi.create_eventset();
+    papi.add_event(set, preset.code()).ok()?;
+    // Load only once the measurement is definitely proceeding: every
+    // `load_program` spawns a fresh simulated thread, so an early-exit
+    // path that loaded eagerly would leave a pending execution behind.
+    papi.substrate_mut().load_program(w.program.clone()).ok()?;
+    papi.start(set).ok()?;
+    papi.run_app().ok()?;
+    papi.stop(set).ok().map(|v| v[0])
+}
+
+/// Measure every validation preset in one multiplexed set. Presets the
+/// substrate rejects come back `None`; a failed run marks all `None`.
+fn measure_mpx(
+    reg: &SubstrateRegistry,
+    name: &str,
+    w: &Workload,
+    seed: u64,
+    period: u64,
+) -> Vec<(Preset, Option<i64>)> {
+    let unsupported = || VALIDATION_PRESETS.iter().map(|&p| (p, None)).collect();
+    let Ok(mut papi) = Papi::init_from_registry(reg, name, seed) else {
+        return unsupported();
+    };
+    let set = papi.create_eventset();
+    if papi.set_multiplex(set).is_err() || papi.set_multiplex_period(set, period).is_err() {
+        return unsupported();
+    }
+    // Track which presets made it into the set; `stop` values follow the
+    // set's event order, i.e. the order of successful adds.
+    let mut added = Vec::new();
+    let mut out: Vec<(Preset, Option<i64>)> = Vec::new();
+    for &preset in VALIDATION_PRESETS {
+        if papi.query_event(preset.code()) && papi.add_event(set, preset.code()).is_ok() {
+            added.push(preset);
+        } else {
+            out.push((preset, None));
+        }
+    }
+    if added.is_empty()
+        || papi
+            .substrate_mut()
+            .load_program(w.program.clone())
+            .is_err()
+        || papi.start(set).is_err()
+        || papi.run_app().is_err()
+    {
+        return unsupported();
+    }
+    match papi.stop(set) {
+        Ok(values) => {
+            for (i, &preset) in added.iter().enumerate() {
+                out.push((preset, Some(values[i])));
+            }
+        }
+        Err(_) => {
+            for &preset in &added {
+                out.push((preset, None));
+            }
+        }
+    }
+    out
+}
+
+/// Measure every validation preset inside registered threads: presets are
+/// split round-robin over `threads` workers, each owning a thread-private
+/// session (seeded `seed + worker`, so fault schedules stay deterministic
+/// regardless of interleaving). Within a worker the program is reloaded
+/// and re-run per preset, mirroring the direct mode's one-preset-per-run
+/// discipline.
+fn measure_threaded(
+    reg: &Arc<SubstrateRegistry>,
+    name: &str,
+    w: &Workload,
+    seed: u64,
+    threads: usize,
+) -> Vec<(Preset, Option<i64>)> {
+    let threads = threads.max(1);
+    let name_owned = name.to_string();
+    let table = {
+        let reg = Arc::clone(reg);
+        Arc::new(ThreadedPapi::new(seed, move |s| {
+            Papi::init_from_registry(&reg, &name_owned, s)
+        }))
+    };
+    let mut out: Vec<(Preset, Option<i64>)> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let table = Arc::clone(&table);
+                scope.spawn(move |_| {
+                    let mut mine = Vec::new();
+                    let token = match table.register_thread_seeded(seed + worker as u64) {
+                        Ok(t) => t,
+                        Err(_) => {
+                            for (i, &preset) in VALIDATION_PRESETS.iter().enumerate() {
+                                if i % threads == worker {
+                                    mine.push((preset, None));
+                                }
+                            }
+                            return mine;
+                        }
+                    };
+                    for (i, &preset) in VALIDATION_PRESETS.iter().enumerate() {
+                        if i % threads != worker {
+                            continue;
+                        }
+                        let measured = token.with(|papi| -> Option<i64> {
+                            if !papi.query_event(preset.code()) {
+                                return None;
+                            }
+                            let set = papi.create_eventset();
+                            let r = (|| {
+                                papi.add_event(set, preset.code()).ok()?;
+                                // Load last: each load spawns one program
+                                // execution, so it must be paired 1:1 with
+                                // the run_app below (see measure_direct).
+                                papi.substrate_mut().load_program(w.program.clone()).ok()?;
+                                papi.start(set).ok()?;
+                                papi.run_app().ok()?;
+                                papi.stop(set).ok().map(|v| v[0])
+                            })();
+                            let _ = papi.destroy_eventset(set);
+                            r
+                        });
+                        mine.push((preset, measured));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("validation worker"));
+        }
+    })
+    .expect("validation scope");
+    out
+}
+
+/// Run the full accuracy matrix for `cfg` against `reg`.
+///
+/// Every (substrate, mode, workload, preset) combination yields exactly
+/// one [`Cell`], in deterministic order (substrate-major, then mode,
+/// workload, preset), so two runs with the same configuration produce
+/// byte-identical matrices.
+pub fn run_matrix(reg: &Arc<SubstrateRegistry>, cfg: &ValidateConfig) -> Vec<Cell> {
+    let suite = validation_suite();
+    let mut cells = Vec::new();
+    for name in &cfg.substrates {
+        for &mode in Mode::ALL {
+            for w in &suite {
+                let measured: Vec<(Preset, Option<i64>)> = match mode {
+                    Mode::Direct => VALIDATION_PRESETS
+                        .iter()
+                        .map(|&p| (p, measure_direct(reg, name, w, p, cfg.seed)))
+                        .collect(),
+                    Mode::Mpx => measure_mpx(reg, name, w, cfg.seed, cfg.mpx_period),
+                    Mode::Thread => measure_threaded(reg, name, w, cfg.seed, cfg.threads),
+                };
+                for &preset in VALIDATION_PRESETS {
+                    let Some(expected) = expected_preset_value(w, preset) else {
+                        continue; // suite oracles are complete; defensive
+                    };
+                    let m = measured
+                        .iter()
+                        .find(|(p, _)| *p == preset)
+                        .and_then(|&(_, m)| m);
+                    let (tol, floor) = mode.band(cfg);
+                    let grade = match m {
+                        Some(v) => grading::grade_with_floor(expected, v, tol, floor),
+                        None => Grade::Unsupported,
+                    };
+                    cells.push(Cell {
+                        substrate: name.clone(),
+                        mode,
+                        workload: w.name,
+                        preset,
+                        expected,
+                        measured: m,
+                        grade,
+                        derivation: preset_derivation(w, preset),
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize the matrix as line-per-cell JSON (hand-rolled: the scoring
+/// must not depend on an optional serializer, and one cell per line is
+/// what makes baseline diffs line-addressable).
+pub fn render_matrix_json(cells: &[Cell]) -> String {
+    let mut out = String::from("{\"matrix\":[\n");
+    for (i, c) in cells.iter().enumerate() {
+        let measured = match c.measured {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        };
+        let _ = write!(
+            out,
+            "{{\"substrate\":\"{}\",\"mode\":\"{}\",\"workload\":\"{}\",\"preset\":\"{}\",\"expected\":{},\"measured\":{},\"grade\":\"{}\",\"detail\":\"{}\",\"derivation\":\"{}\"}}",
+            json_escape(&c.substrate),
+            c.mode.label(),
+            json_escape(c.workload),
+            c.preset.name(),
+            c.expected,
+            measured,
+            c.grade.label(),
+            json_escape(&c.grade.to_string()),
+            json_escape(&c.derivation),
+        );
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// One cell parsed back from a matrix JSON document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedCell {
+    /// 1-based line number in the source document.
+    pub line: usize,
+    pub substrate: String,
+    pub mode: String,
+    pub workload: String,
+    pub preset: String,
+    pub grade: String,
+}
+
+impl ParsedCell {
+    pub fn coord(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            self.substrate, self.mode, self.workload, self.preset
+        )
+    }
+
+    /// Severity rank of the recorded grade label (see [`Grade::rank`]).
+    pub fn rank(&self) -> u8 {
+        match self.grade.as_str() {
+            "exact" => 0,
+            "within" => 1,
+            "deviates" => 2,
+            _ => 3,
+        }
+    }
+}
+
+fn extract_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Parse a matrix JSON document (as produced by [`render_matrix_json`])
+/// back into its cells, with line numbers. Tolerates unknown fields;
+/// ignores lines that are not cell objects.
+pub fn parse_matrix_json(text: &str) -> Vec<ParsedCell> {
+    let mut cells = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let (Some(substrate), Some(mode), Some(workload), Some(preset), Some(grade)) = (
+            extract_str(line, "substrate"),
+            extract_str(line, "mode"),
+            extract_str(line, "workload"),
+            extract_str(line, "preset"),
+            extract_str(line, "grade"),
+        ) else {
+            continue;
+        };
+        cells.push(ParsedCell {
+            line: i + 1,
+            substrate: substrate.to_string(),
+            mode: mode.to_string(),
+            workload: workload.to_string(),
+            preset: preset.to_string(),
+            grade: grade.to_string(),
+        });
+    }
+    cells
+}
+
+/// One baseline comparison finding.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// `substrate/mode/workload/preset`.
+    pub cell: String,
+    /// Line in the baseline document that recorded the old grade.
+    pub baseline_line: usize,
+    pub baseline_grade: String,
+    /// The fresh grade; `"missing"` when the cell vanished entirely.
+    pub current_grade: String,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} -> {} (baseline line {})",
+            self.cell, self.baseline_grade, self.current_grade, self.baseline_line
+        )
+    }
+}
+
+/// Result of diffing a fresh matrix against a golden baseline.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineDiff {
+    /// Cells whose grade got worse, or disappeared. Any entry here is a
+    /// CI failure.
+    pub regressions: Vec<Regression>,
+    /// Cells whose grade got better (the baseline should be refreshed).
+    pub improvements: Vec<Regression>,
+    /// Cells present now but absent from the baseline.
+    pub added: Vec<String>,
+}
+
+impl BaselineDiff {
+    pub fn is_regression_free(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compare `current` against the baseline JSON text: a cell regresses when
+/// its grade rank got worse ([`Grade::rank`]) or it vanished. Grades
+/// merely *moving within* a rank (a different `within` error) are not
+/// regressions — accuracy class is the contract, not the exact estimate.
+pub fn diff_against_baseline(current: &[Cell], baseline_text: &str) -> BaselineDiff {
+    diff_against_parsed(current, &parse_matrix_json(baseline_text))
+}
+
+/// [`diff_against_baseline`] against already-parsed baseline cells. Callers
+/// grading a *subset* of the golden matrix (the conformance suite runs a
+/// trimmed substrate list) filter the parsed cells first — the retained
+/// cells keep their original line numbers, so findings still point into
+/// the golden file.
+pub fn diff_against_parsed(current: &[Cell], baseline: &[ParsedCell]) -> BaselineDiff {
+    let mut diff = BaselineDiff::default();
+    for b in baseline {
+        let now = current.iter().find(|c| {
+            c.substrate == b.substrate
+                && c.mode.label() == b.mode
+                && c.workload == b.workload
+                && c.preset.name() == b.preset
+        });
+        match now {
+            None => diff.regressions.push(Regression {
+                cell: b.coord(),
+                baseline_line: b.line,
+                baseline_grade: b.grade.clone(),
+                current_grade: "missing".to_string(),
+            }),
+            Some(c) => {
+                let (now_rank, now_label) = (c.grade.rank(), c.grade.label());
+                if now_rank > b.rank() {
+                    diff.regressions.push(Regression {
+                        cell: b.coord(),
+                        baseline_line: b.line,
+                        baseline_grade: b.grade.clone(),
+                        current_grade: now_label.to_string(),
+                    });
+                } else if now_rank < b.rank() {
+                    diff.improvements.push(Regression {
+                        cell: b.coord(),
+                        baseline_line: b.line,
+                        baseline_grade: b.grade.clone(),
+                        current_grade: now_label.to_string(),
+                    });
+                }
+            }
+        }
+    }
+    for c in current {
+        let known = baseline.iter().any(|b| {
+            c.substrate == b.substrate
+                && c.mode.label() == b.mode
+                && c.workload == b.workload
+                && c.preset.name() == b.preset
+        });
+        if !known {
+            diff.added.push(c.coord());
+        }
+    }
+    diff
+}
+
+/// Per-(substrate, mode) grade tallies plus a listing of every cell that
+/// deviates or is unsupported — the text report of `papi_validate`.
+pub fn render_matrix(cells: &[Cell]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "papi_validate accuracy matrix: {} cells", cells.len());
+    let _ = writeln!(
+        out,
+        "{:<44} {:>7} {:>7} {:>9} {:>12}",
+        "substrate/mode", "exact", "within", "deviates", "unsupported"
+    );
+    let mut groups: Vec<(String, [usize; 4])> = Vec::new();
+    for c in cells {
+        let key = format!("{}/{}", c.substrate, c.mode.label());
+        let idx = c.grade.rank() as usize;
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, counts)) => counts[idx] += 1,
+            None => {
+                let mut counts = [0usize; 4];
+                counts[idx] += 1;
+                groups.push((key, counts));
+            }
+        }
+    }
+    for (key, n) in &groups {
+        let _ = writeln!(
+            out,
+            "{:<44} {:>7} {:>7} {:>9} {:>12}",
+            key, n[0], n[1], n[2], n[3]
+        );
+    }
+    let worst: Vec<&Cell> = cells.iter().filter(|c| c.grade.rank() >= 2).collect();
+    if !worst.is_empty() {
+        let _ = writeln!(out, "\ncells deviating or unsupported:");
+        for c in worst {
+            let measured = c
+                .measured
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            let _ = writeln!(
+                out,
+                "  {:<60} expected {:>12} measured {:>12}  {}  [{}]",
+                c.coord(),
+                c.expected,
+                measured,
+                c.grade,
+                c.derivation
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Matrices are deterministic, so tests share one run per substrate.
+    fn one_substrate_matrix(name: &str) -> Vec<Cell> {
+        use std::collections::HashMap;
+        use std::sync::Mutex;
+        static CACHE: Mutex<Option<HashMap<String, Vec<Cell>>>> = Mutex::new(None);
+        let mut guard = CACHE.lock().unwrap();
+        let cache = guard.get_or_insert_with(HashMap::new);
+        cache
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                let reg = Arc::new(crate::full_registry());
+                run_matrix(&reg, &ValidateConfig::new(vec![name.to_string()]))
+            })
+            .clone()
+    }
+
+    #[test]
+    fn generic_direct_cells_are_all_exact() {
+        let cells = one_substrate_matrix("sim:generic");
+        let suite_len = validation_suite().len();
+        assert_eq!(cells.len(), 3 * suite_len * VALIDATION_PRESETS.len());
+        for c in cells.iter().filter(|c| c.mode == Mode::Direct) {
+            assert_eq!(
+                c.grade,
+                Grade::Exact,
+                "{}: expected {} measured {:?}",
+                c.coord(),
+                c.expected,
+                c.measured
+            );
+        }
+    }
+
+    #[test]
+    fn thread_mode_agrees_with_direct_on_clean_substrates() {
+        let cells = one_substrate_matrix("sim:x86");
+        for c in cells.iter().filter(|c| c.mode == Mode::Thread) {
+            let direct = cells
+                .iter()
+                .find(|d| {
+                    d.mode == Mode::Direct && d.workload == c.workload && d.preset == c.preset
+                })
+                .unwrap();
+            assert_eq!(
+                c.measured,
+                direct.measured,
+                "{}: thread/direct disagree",
+                c.coord()
+            );
+        }
+    }
+
+    #[test]
+    fn mpx_mode_stays_within_tolerance_on_generic() {
+        let cells = one_substrate_matrix("sim:generic");
+        for c in cells.iter().filter(|c| c.mode == Mode::Mpx) {
+            assert!(
+                c.grade.rank() <= 1,
+                "{}: mpx estimate out of band: expected {} measured {:?} ({})",
+                c.coord(),
+                c.expected,
+                c.measured,
+                c.grade
+            );
+        }
+    }
+
+    #[test]
+    fn quirk_platform_deviates_where_calibrate_says_so() {
+        // POWER3's FP_INS counts converts: the convert_mix workload must
+        // grade `deviates` on the direct cell, quantifying the quirk.
+        let cells = one_substrate_matrix("sim:power3");
+        let c = cells
+            .iter()
+            .find(|c| {
+                c.mode == Mode::Direct && c.workload == "convert_mix" && c.preset == Preset::FpIns
+            })
+            .unwrap();
+        match c.grade {
+            Grade::Deviates { ratio } => assert!(ratio > 1.0, "overcount, got {ratio}"),
+            ref g => panic!("expected deviates, got {g}"),
+        }
+    }
+
+    #[test]
+    fn derivations_expand_the_preset_formula() {
+        let suite = validation_suite();
+        let w = suite.iter().find(|w| w.name == "inst_mix").unwrap();
+        let d = preset_derivation(w, Preset::FpIns);
+        assert!(d.contains("iters*fadds"), "{d}");
+        let d = preset_derivation(w, Preset::BrNtk);
+        assert!(d.contains(" - "), "BrNtk subtracts: {d}");
+    }
+
+    #[test]
+    fn json_round_trips_and_is_line_per_cell() {
+        let cells = one_substrate_matrix("sim:generic");
+        let json = render_matrix_json(&cells);
+        let parsed = parse_matrix_json(&json);
+        assert_eq!(parsed.len(), cells.len());
+        for (p, c) in parsed.iter().zip(&cells) {
+            assert_eq!(p.coord(), c.coord());
+            assert_eq!(p.grade, c.grade.label());
+        }
+        // Line-addressable: first cell on line 2 (after the opening line).
+        assert_eq!(parsed[0].line, 2);
+    }
+
+    #[test]
+    fn baseline_diff_flags_regressions_with_line_numbers() {
+        let cells = one_substrate_matrix("sim:generic");
+        let baseline = render_matrix_json(&cells);
+        let clean = diff_against_baseline(&cells, &baseline);
+        assert!(clean.is_regression_free());
+        assert!(clean.improvements.is_empty());
+        assert!(clean.added.is_empty());
+
+        // Worsen one cell: exact -> deviates must be flagged with the
+        // baseline's line number for that cell.
+        let mut worse = cells.clone();
+        worse[5].grade = Grade::Deviates { ratio: 2.0 };
+        let diff = diff_against_baseline(&worse, &baseline);
+        assert_eq!(diff.regressions.len(), 1);
+        let r = &diff.regressions[0];
+        assert_eq!(r.cell, cells[5].coord());
+        assert_eq!(r.baseline_line, 2 + 5);
+        assert_eq!(r.baseline_grade, "exact");
+        assert_eq!(r.current_grade, "deviates");
+
+        // A vanished cell is also a regression.
+        let missing: Vec<Cell> = cells[1..].to_vec();
+        let diff = diff_against_baseline(&missing, &baseline);
+        assert_eq!(diff.regressions.len(), 1);
+        assert_eq!(diff.regressions[0].current_grade, "missing");
+
+        // An improved cell is reported but not a regression.
+        let mut base_worse = cells.clone();
+        base_worse[3].grade = Grade::Within { err: 0.01 };
+        let baseline2 = render_matrix_json(&base_worse);
+        let diff = diff_against_baseline(&cells, &baseline2);
+        assert!(diff.is_regression_free());
+        assert_eq!(diff.improvements.len(), 1);
+    }
+
+    #[test]
+    fn fault_decorated_substrate_yields_graded_cells() {
+        let cells = one_substrate_matrix("fault[read=3,start=2,stop=2,burst=2]:sim:generic");
+        assert!(!cells.is_empty());
+        // Every cell got a grade; the schedule must leave at least one
+        // cell non-exact (the faults have to bite somewhere).
+        assert!(cells.iter().any(|c| c.grade.rank() > 0));
+    }
+
+    #[test]
+    fn render_matrix_tallies_and_lists_worst_cells() {
+        let cells = one_substrate_matrix("sim:power3");
+        let text = render_matrix(&cells);
+        assert!(text.contains("sim:power3/direct"));
+        assert!(text.contains("deviating or unsupported"));
+        assert!(text.contains("convert_mix/PAPI_FP_INS"));
+    }
+}

@@ -4,7 +4,17 @@
 //! event counts are known analytically. Each workload carries a list of
 //! exact expectations and a list of approximate ones (hardware-structure
 //! dependent counts like cache misses, with a tolerance).
+//!
+//! Tolerance semantics are shared with the grading module: an approximate
+//! expectation `(kind, want, tol)` accepts `|measured - want| <=`
+//! [`crate::grading::tolerance_band`]`(want, tol)` — relative band
+//! `tol * want` for a nonzero expectation, and `tol` itself as an
+//! *absolute* count budget when `want == 0` (a purely relative band around
+//! zero would degenerate to exact-match and silently make the tolerance
+//! dead weight). Both bands are inclusive. A zero expectation that truly
+//! means "exactly zero" belongs in `exact`, not `approx`.
 
+use crate::grading;
 use simcpu::EventKind;
 
 /// Expected event counts for one workload.
@@ -12,9 +22,13 @@ use simcpu::EventKind;
 pub struct Expected {
     /// Counts that must match exactly.
     pub exact: Vec<(EventKind, u64)>,
-    /// Counts with a relative tolerance (`|measured - expected| <= tol *
-    /// expected`).
+    /// Counts with a tolerance: `|measured - want| <=`
+    /// [`grading::tolerance_band`]`(want, tol)`, inclusive.
     pub approx: Vec<(EventKind, u64, f64)>,
+    /// Human-readable derivations: how each expectation follows from the
+    /// kernel's seeding parameters (`"n^3"` for matmul FMAs, ...). Surfaced
+    /// by `papi_validate` as the provenance of every graded cell.
+    pub derivations: Vec<(EventKind, &'static str)>,
 }
 
 impl Expected {
@@ -28,9 +42,34 @@ impl Expected {
         self
     }
 
+    /// Record the closed-form derivation of the most recent expectation for
+    /// `kind` (exact or approximate) in terms of the kernel's parameters.
+    pub fn derived(mut self, kind: EventKind, formula: &'static str) -> Self {
+        self.derivations.retain(|(k, _)| *k != kind);
+        self.derivations.push((kind, formula));
+        self
+    }
+
+    /// The recorded derivation for `kind`, if any.
+    pub fn derivation(&self, kind: EventKind) -> Option<&'static str> {
+        self.derivations
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|&(_, f)| f)
+    }
+
     /// The exact expectation for `kind`, if recorded.
     pub fn get_exact(&self, kind: EventKind) -> Option<u64> {
         self.exact.iter().find(|(k, _)| *k == kind).map(|&(_, c)| c)
+    }
+
+    /// The approximate expectation for `kind`, if recorded:
+    /// `(want, tolerance)`.
+    pub fn get_approx(&self, kind: EventKind) -> Option<(u64, f64)> {
+        self.approx
+            .iter()
+            .find(|(k, _, _)| *k == kind)
+            .map(|&(_, c, t)| (c, t))
     }
 
     /// True if the oracle has any expectation (exact or approximate) for
@@ -40,14 +79,16 @@ impl Expected {
     }
 
     /// Check a measured count against the oracle. Returns `None` if the
-    /// oracle has no expectation for `kind`, else whether it matched.
+    /// oracle has no expectation for `kind`, else whether it matched. An
+    /// exact expectation takes precedence over an approximate one for the
+    /// same kind.
     pub fn check(&self, kind: EventKind, measured: u64) -> Option<bool> {
         if let Some(want) = self.get_exact(kind) {
             return Some(measured == want);
         }
-        if let Some(&(_, want, tol)) = self.approx.iter().find(|(k, _, _)| *k == kind) {
+        if let Some((want, tol)) = self.get_approx(kind) {
             let err = (measured as f64 - want as f64).abs();
-            return Some(err <= tol * want as f64);
+            return Some(err <= grading::tolerance_band(want, tol));
         }
         None
     }
@@ -72,5 +113,38 @@ mod tests {
         assert_eq!(e.check(EventKind::L1DMiss, 1049), Some(true));
         assert_eq!(e.check(EventKind::L1DMiss, 1051), Some(false));
         assert_eq!(e.check(EventKind::L1DMiss, 951), Some(true));
+        // The band is inclusive at exactly tol * want.
+        assert_eq!(e.check(EventKind::L1DMiss, 1050), Some(true));
+        assert_eq!(e.check(EventKind::L1DMiss, 950), Some(true));
+    }
+
+    #[test]
+    fn zero_want_approx_uses_absolute_budget() {
+        // tol doubles as an absolute count budget around a zero
+        // expectation instead of collapsing to exact-match.
+        let e = Expected::default().approx(EventKind::L1DMiss, 0, 8.0);
+        assert_eq!(e.check(EventKind::L1DMiss, 0), Some(true));
+        assert_eq!(e.check(EventKind::L1DMiss, 8), Some(true)); // inclusive
+        assert_eq!(e.check(EventKind::L1DMiss, 9), Some(false));
+    }
+
+    #[test]
+    fn exact_beats_approx_for_the_same_kind() {
+        let e = Expected::default()
+            .exact(EventKind::Loads, 100)
+            .approx(EventKind::Loads, 100, 0.5);
+        // Were the approx band consulted, 120 would pass (band 50).
+        assert_eq!(e.check(EventKind::Loads, 120), Some(false));
+        assert_eq!(e.check(EventKind::Loads, 100), Some(true));
+    }
+
+    #[test]
+    fn derivations_recorded_and_overridable() {
+        let e = Expected::default()
+            .exact(EventKind::FpFma, 8)
+            .derived(EventKind::FpFma, "n^3")
+            .derived(EventKind::FpFma, "n*n*n");
+        assert_eq!(e.derivation(EventKind::FpFma), Some("n*n*n"));
+        assert_eq!(e.derivation(EventKind::Loads), None);
     }
 }

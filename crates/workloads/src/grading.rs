@@ -1,0 +1,222 @@
+//! Accuracy grading: the one scoring vocabulary shared by every consumer
+//! of an analytic oracle.
+//!
+//! Röhl et al. (PAPERS.md) grade each (platform, event) pair by running a
+//! benchmark whose true count is known in closed form and comparing the
+//! measured value against it. This module is that comparison, factored out
+//! so `papi_calibrate` (pass/fail + relative error) and `papi_validate`
+//! (the full graded accuracy matrix) cannot drift apart: both call
+//! [`grade`] / [`rel_error`] and merely render the result differently.
+//!
+//! Semantics (SPEC.md §13):
+//!
+//! * **exact** — `measured == expected`, bit for bit. The only grade an
+//!   exact preset mapping is allowed to earn on a conforming substrate.
+//! * **within(ε)** — not exact, but `|measured - expected| <= ε·expected`
+//!   (inclusive). For a zero expectation ε has nothing to scale, so the
+//!   band is the absolute floor `ε` itself — see [`tolerance_band`].
+//! * **deviates(ratio)** — outside the band; `ratio = measured/expected`
+//!   (infinite when `expected == 0`). Carries the magnitude so anecdotes
+//!   like the POWER3 +33 % convert overcount stay quantified.
+//! * **unsupported** — the platform cannot measure the event at all (not
+//!   produced by [`grade`]; graders emit it when event setup fails).
+
+/// Accuracy grade of one measurement against its analytic expectation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Grade {
+    /// Measured equals expected exactly.
+    Exact,
+    /// Within the tolerance band; carries the relative error.
+    Within { err: f64 },
+    /// Outside the band; carries `measured / expected`.
+    Deviates { ratio: f64 },
+    /// The platform cannot measure the event (mapping missing, allocation
+    /// impossible, or the mode refused).
+    Unsupported,
+}
+
+impl Grade {
+    /// Stable machine-readable label (`exact` / `within` / `deviates` /
+    /// `unsupported`) — the vocabulary of the baseline matrix files.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Grade::Exact => "exact",
+            Grade::Within { .. } => "within",
+            Grade::Deviates { .. } => "deviates",
+            Grade::Unsupported => "unsupported",
+        }
+    }
+
+    /// Severity rank: lower is better. `unsupported` ranks worst — an
+    /// event disappearing from a platform is a regression, not a pass.
+    pub fn rank(&self) -> u8 {
+        match self {
+            Grade::Exact => 0,
+            Grade::Within { .. } => 1,
+            Grade::Deviates { .. } => 2,
+            Grade::Unsupported => 3,
+        }
+    }
+
+    /// True when `self` is a worse grade than `baseline`.
+    pub fn regressed_from(&self, baseline: &Grade) -> bool {
+        self.rank() > baseline.rank()
+    }
+}
+
+impl std::fmt::Display for Grade {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Grade::Exact => write!(f, "exact"),
+            Grade::Within { err } => write!(f, "within({:+.2}%)", err * 100.0),
+            Grade::Deviates { ratio } => write!(f, "deviates({ratio:.3}x)"),
+            Grade::Unsupported => write!(f, "unsupported"),
+        }
+    }
+}
+
+/// Signed relative error `(measured - expected) / expected`; `0` when both
+/// are zero, `+inf` when only the expectation is zero.
+pub fn rel_error(expected: i64, measured: i64) -> f64 {
+    if expected == 0 {
+        if measured == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (measured - expected) as f64 / expected as f64
+    }
+}
+
+/// The absolute error band a tolerance `tol` grants an expectation `want`:
+/// `tol * want`, with `tol` itself as the absolute floor when `want == 0`
+/// (a relative band around zero would otherwise collapse to exact-match,
+/// making the tolerance dead weight — the degenerate case `papi_validate`
+/// exists to keep honest).
+pub fn tolerance_band(want: u64, tol: f64) -> f64 {
+    if want == 0 {
+        tol
+    } else {
+        tol * want as f64
+    }
+}
+
+/// Grade `measured` against `expected` under relative tolerance `tol`
+/// (inclusive). `tol = 0` grades strictly exact-or-deviates.
+pub fn grade(expected: i64, measured: i64, tol: f64) -> Grade {
+    grade_with_floor(expected, measured, tol, 0.0)
+}
+
+/// [`grade`] with an absolute error floor: the accepted band is
+/// `max(tolerance_band(expected, tol), floor)`, inclusive.
+///
+/// Multiplexed estimates carry absolute error proportional to run length
+/// and slice count, not to the expectation — a derived preset like
+/// `PAPI_BR_NTK` can have expectation 1 on a workload retiring 180k
+/// branches, where any purely relative band is meaningless. The floor is
+/// the estimator's absolute error budget for such cells.
+pub fn grade_with_floor(expected: i64, measured: i64, tol: f64, floor: f64) -> Grade {
+    if measured == expected {
+        return Grade::Exact;
+    }
+    let err = rel_error(expected, measured);
+    let band = tolerance_band(expected.unsigned_abs(), tol).max(floor);
+    if (measured - expected).abs() as f64 <= band {
+        Grade::Within { err }
+    } else {
+        let ratio = if expected == 0 {
+            f64::INFINITY
+        } else {
+            measured as f64 / expected as f64
+        };
+        Grade::Deviates { ratio }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_wins_regardless_of_tolerance() {
+        assert_eq!(grade(100, 100, 0.0), Grade::Exact);
+        assert_eq!(grade(100, 100, 0.5), Grade::Exact);
+        assert_eq!(grade(0, 0, 0.0), Grade::Exact);
+    }
+
+    #[test]
+    fn band_is_inclusive() {
+        // 5% of 1000 = 50: 1050 is within, 1051 deviates.
+        assert!(matches!(grade(1000, 1050, 0.05), Grade::Within { .. }));
+        assert!(matches!(grade(1000, 1051, 0.05), Grade::Deviates { .. }));
+        assert!(matches!(grade(1000, 950, 0.05), Grade::Within { .. }));
+        assert!(matches!(grade(1000, 949, 0.05), Grade::Deviates { .. }));
+    }
+
+    #[test]
+    fn zero_expectation_uses_absolute_floor() {
+        // tol acts as an absolute count budget around zero.
+        assert!(matches!(grade(0, 2, 3.0), Grade::Within { .. }));
+        assert!(matches!(grade(0, 4, 3.0), Grade::Deviates { .. }));
+        // And with no budget, any count deviates (infinite ratio).
+        match grade(0, 1, 0.0) {
+            Grade::Deviates { ratio } => assert!(ratio.is_infinite()),
+            g => panic!("expected deviates, got {g:?}"),
+        }
+    }
+
+    #[test]
+    fn floor_widens_but_never_narrows_the_band() {
+        // Relative band 5% of 10 = 0.5; floor 3 admits |err| <= 3.
+        assert!(matches!(
+            grade_with_floor(10, 13, 0.05, 3.0),
+            Grade::Within { .. }
+        ));
+        assert!(matches!(
+            grade_with_floor(10, 14, 0.05, 3.0),
+            Grade::Deviates { .. }
+        ));
+        // A floor below the relative band changes nothing.
+        assert!(matches!(
+            grade_with_floor(1000, 1050, 0.05, 1.0),
+            Grade::Within { .. }
+        ));
+        assert!(matches!(
+            grade_with_floor(1000, 1051, 0.05, 1.0),
+            Grade::Deviates { .. }
+        ));
+        // Zero floor degrades to plain grade().
+        assert_eq!(grade_with_floor(100, 100, 0.0, 0.0), grade(100, 100, 0.0));
+    }
+
+    #[test]
+    fn deviates_carries_the_ratio() {
+        match grade(15_000, 20_000, 0.0) {
+            Grade::Deviates { ratio } => assert!((ratio - 4.0 / 3.0).abs() < 1e-12),
+            g => panic!("expected deviates, got {g:?}"),
+        }
+    }
+
+    #[test]
+    fn rel_error_matches_manual() {
+        assert_eq!(rel_error(100, 133), 0.33);
+        assert_eq!(rel_error(0, 0), 0.0);
+        assert!(rel_error(0, 5).is_infinite());
+        assert_eq!(rel_error(200, 100), -0.5);
+    }
+
+    #[test]
+    fn rank_orders_grades() {
+        let g = [
+            Grade::Exact,
+            Grade::Within { err: 0.1 },
+            Grade::Deviates { ratio: 2.0 },
+            Grade::Unsupported,
+        ];
+        for w in g.windows(2) {
+            assert!(w[1].regressed_from(&w[0]));
+            assert!(!w[0].regressed_from(&w[1]));
+        }
+    }
+}

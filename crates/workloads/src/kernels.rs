@@ -477,6 +477,225 @@ pub fn page_toucher(pages: u32) -> Workload {
     }
 }
 
+/// Röhl-style instruction-mix kernel: a loop whose body retires an exact,
+/// parameter-controlled blend of FP adds, multiplies, FMAs and integer ops.
+/// Every instruction class the validation presets aggregate is derivable in
+/// closed form from `(iters, fadds, fmuls, fmas, ints)` — the ground-truth
+/// benchmark for instruction-counting events.
+pub fn inst_mix(iters: u32, fadds: usize, fmuls: usize, fmas: usize, ints: usize) -> Workload {
+    assert!(iters >= 2);
+    let mut bld = ProgramBuilder::new();
+    bld.func("inst_mix", |f| {
+        f.loop_(iters, |f| {
+            f.fadd(fadds);
+            f.fmul(fmuls);
+            f.ffma(fmas);
+            f.int(ints);
+        });
+    });
+    let it = iters as u64;
+    let body = (fadds + fmuls + fmas + ints) as u64;
+    let expected = Expected::default()
+        .exact(EventKind::FpAdd, it * fadds as u64)
+        .derived(EventKind::FpAdd, "iters*fadds")
+        .exact(EventKind::FpMul, it * fmuls as u64)
+        .derived(EventKind::FpMul, "iters*fmuls")
+        .exact(EventKind::FpFma, it * fmas as u64)
+        .derived(EventKind::FpFma, "iters*fmas")
+        .exact(EventKind::FpDiv, 0)
+        .derived(EventKind::FpDiv, "0 (no divides emitted)")
+        .exact(EventKind::FpCvt, 0)
+        .derived(EventKind::FpCvt, "0 (no converts emitted)")
+        .exact(EventKind::IntOps, it * ints as u64)
+        .derived(EventKind::IntOps, "iters*ints")
+        .exact(EventKind::Loads, 0)
+        .derived(EventKind::Loads, "0 (register-only kernel)")
+        .exact(EventKind::Stores, 0)
+        .derived(EventKind::Stores, "0 (register-only kernel)")
+        .exact(EventKind::Branches, it)
+        .derived(EventKind::Branches, "iters (one back-edge per iteration)")
+        .exact(EventKind::BranchTaken, it - 1)
+        .derived(
+            EventKind::BranchTaken,
+            "iters-1 (back-edge falls through once)",
+        )
+        .exact(EventKind::Instructions, it * (body + 1) + 2)
+        .derived(
+            EventKind::Instructions,
+            "iters*(fadds+fmuls+fmas+ints+1) + call + ret",
+        );
+    Workload {
+        name: "inst_mix",
+        program: bld.build("inst_mix"),
+        expected,
+    }
+}
+
+/// Deterministic branch-pattern kernel: a skip-branch taken on every `k`-th
+/// execution guards an integer op, inside a counted loop. Taken/not-taken
+/// totals are exact integer arithmetic on `(iters, k)` — the ground truth
+/// for branch events, with no RNG involved.
+pub fn branch_every(iters: u32, k: u32) -> Workload {
+    assert!(iters >= 2 && k >= 1);
+    let mut bld = ProgramBuilder::new();
+    bld.func("branch_every", |f| {
+        f.loop_(iters, |f| {
+            f.skip_if(BranchPat::Every { k }, |f| {
+                f.int(1);
+            });
+            f.fadd(1);
+        });
+    });
+    let it = iters as u64;
+    let taken = it / k as u64; // skip-branch taken on executions k, 2k, ...
+    let expected = Expected::default()
+        .exact(EventKind::FpAdd, it)
+        .derived(EventKind::FpAdd, "iters (one add per iteration)")
+        .exact(EventKind::FpMul, 0)
+        .derived(EventKind::FpMul, "0")
+        .exact(EventKind::FpFma, 0)
+        .derived(EventKind::FpFma, "0")
+        .exact(EventKind::FpDiv, 0)
+        .derived(EventKind::FpDiv, "0")
+        .exact(EventKind::IntOps, it - taken)
+        .derived(
+            EventKind::IntOps,
+            "iters - floor(iters/k) (body skipped when taken)",
+        )
+        .exact(EventKind::Loads, 0)
+        .derived(EventKind::Loads, "0")
+        .exact(EventKind::Stores, 0)
+        .derived(EventKind::Stores, "0")
+        .exact(EventKind::Branches, 2 * it)
+        .derived(EventKind::Branches, "2*iters (skip-branch + back-edge)")
+        .exact(EventKind::BranchTaken, taken + it - 1)
+        .derived(
+            EventKind::BranchTaken,
+            "floor(iters/k) skips + iters-1 back-edges",
+        )
+        .exact(EventKind::Instructions, 3 * it + (it - taken) + 2)
+        .derived(
+            EventKind::Instructions,
+            "iters*(branch+add+back-edge) + executed-ints + call + ret",
+        );
+    Workload {
+        name: "branch_every",
+        program: bld.build("branch_every"),
+        expected,
+    }
+}
+
+/// Data-volume kernel: `passes` strided sweeps (configurable `stride`) over
+/// a `bytes`-sized source and destination. Access counts — and therefore
+/// the data volume `2 * accesses * stride` — are exact in the seeding
+/// parameters; the miss count follows from `stride` vs the line size.
+pub fn strided_stream(bytes: u64, stride: u64, passes: u32) -> Workload {
+    assert!(stride >= 8 && bytes.is_multiple_of(stride) && passes >= 1);
+    let iters = (bytes / stride) * passes as u64;
+    assert!((2..=u32::MAX as u64).contains(&iters));
+    let src = DATA_BASE;
+    let dst = DATA_BASE + bytes;
+    let mut bld = ProgramBuilder::new();
+    bld.func("strided_stream", |f| {
+        f.loop_(iters as u32, |f| {
+            f.load(AddrGen::Stride {
+                base: src,
+                stride,
+                len: bytes,
+            });
+            f.store(AddrGen::Stride {
+                base: dst,
+                stride,
+                len: bytes,
+            });
+        });
+    });
+    let mut expected = Expected::default()
+        .exact(EventKind::FpAdd, 0)
+        .derived(EventKind::FpAdd, "0 (pure memory kernel)")
+        .exact(EventKind::FpMul, 0)
+        .derived(EventKind::FpMul, "0")
+        .exact(EventKind::FpFma, 0)
+        .derived(EventKind::FpFma, "0")
+        .exact(EventKind::FpDiv, 0)
+        .derived(EventKind::FpDiv, "0")
+        .exact(EventKind::IntOps, 0)
+        .derived(EventKind::IntOps, "0")
+        .exact(EventKind::Loads, iters)
+        .derived(
+            EventKind::Loads,
+            "passes*bytes/stride (one per strided step)",
+        )
+        .exact(EventKind::Stores, iters)
+        .derived(EventKind::Stores, "passes*bytes/stride")
+        .exact(EventKind::Branches, iters)
+        .derived(EventKind::Branches, "one back-edge per step")
+        .exact(EventKind::BranchTaken, iters - 1)
+        .derived(EventKind::BranchTaken, "back-edge falls through once")
+        .exact(EventKind::Instructions, 3 * iters + 2)
+        .derived(EventKind::Instructions, "3 per step + call + ret");
+    if stride >= 64 {
+        // Line-granular accesses: every access opens a new line once the
+        // arrays exceed the caches.
+        expected = expected
+            .approx(EventKind::L1DMiss, 2 * iters, 0.05)
+            .derived(
+                EventKind::L1DMiss,
+                "~2*steps (every line-granular access misses)",
+            );
+    }
+    Workload {
+        name: "strided_stream",
+        program: bld.build("strided_stream"),
+        expected,
+    }
+}
+
+/// Pointer-chase kernel with a *complete* instruction oracle (unlike
+/// [`pointer_chase`], which only pins the memory side): dependent
+/// line-granular loads plus one integer op per step. The locality-free
+/// memory kernel of the validation suite.
+pub fn chase_sum(bytes: u64, steps: u32) -> Workload {
+    assert!(bytes >= 4096 && steps >= 2);
+    let mut bld = ProgramBuilder::new();
+    bld.func("chase_sum", |f| {
+        f.loop_(steps, |f| {
+            f.load(AddrGen::Chase {
+                base: DATA_BASE,
+                len: bytes,
+            });
+            f.int(1);
+        });
+    });
+    let s = steps as u64;
+    let expected = Expected::default()
+        .exact(EventKind::FpAdd, 0)
+        .derived(EventKind::FpAdd, "0 (no FP in the chase)")
+        .exact(EventKind::FpMul, 0)
+        .derived(EventKind::FpMul, "0")
+        .exact(EventKind::FpFma, 0)
+        .derived(EventKind::FpFma, "0")
+        .exact(EventKind::FpDiv, 0)
+        .derived(EventKind::FpDiv, "0")
+        .exact(EventKind::IntOps, s)
+        .derived(EventKind::IntOps, "steps (one pointer update per step)")
+        .exact(EventKind::Loads, s)
+        .derived(EventKind::Loads, "steps (one dependent load per step)")
+        .exact(EventKind::Stores, 0)
+        .derived(EventKind::Stores, "0")
+        .exact(EventKind::Branches, s)
+        .derived(EventKind::Branches, "one back-edge per step")
+        .exact(EventKind::BranchTaken, s - 1)
+        .derived(EventKind::BranchTaken, "back-edge falls through once")
+        .exact(EventKind::Instructions, 3 * s + 2)
+        .derived(EventKind::Instructions, "3 per step + call + ret");
+    Workload {
+        name: "chase_sum",
+        program: bld.build("chase_sum"),
+        expected,
+    }
+}
+
 /// All named calibration workloads at a small default size.
 pub fn calibration_suite() -> Vec<Workload> {
     vec![
@@ -511,10 +730,11 @@ mod tests {
         }
         for &(kind, want, tol) in &w.expected.approx {
             let got = truth.total(kind);
-            let err = (got as f64 - want as f64).abs() / want as f64;
+            let err = (got as f64 - want as f64).abs();
+            let band = crate::grading::tolerance_band(want, tol);
             assert!(
-                err <= tol,
-                "{}: {:?} got {got} want {want} (err {err})",
+                err <= band,
+                "{}: {:?} got {got} want {want} (err {err}, band {band})",
                 w.name,
                 kind
             );
@@ -525,6 +745,34 @@ mod tests {
     fn matmul_oracle_matches_simulation() {
         check_all(&matmul(8));
         check_all(&matmul(12));
+    }
+
+    #[test]
+    fn inst_mix_oracle_matches() {
+        check_all(&inst_mix(500, 2, 1, 1, 1));
+        check_all(&inst_mix(100, 0, 3, 0, 2));
+        // Degenerate mix: loop overhead only.
+        check_all(&inst_mix(64, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn branch_every_oracle_matches() {
+        check_all(&branch_every(600, 4));
+        check_all(&branch_every(1000, 1)); // always taken
+        check_all(&branch_every(100, 1000)); // never taken
+        check_all(&branch_every(999, 7)); // iters not a multiple of k
+    }
+
+    #[test]
+    fn strided_stream_oracle_matches() {
+        check_all(&strided_stream(1 << 12, 8, 2));
+        check_all(&strided_stream(1 << 17, 64, 1)); // line-granular: miss oracle
+    }
+
+    #[test]
+    fn chase_sum_oracle_matches() {
+        check_all(&chase_sum(1 << 13, 500));
+        check_all(&chase_sum(1 << 16, 100));
     }
 
     #[test]

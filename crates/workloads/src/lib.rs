@@ -11,6 +11,11 @@
 //! * [`kernels::dense_fp`], [`kernels::convert_mix`] — calibration kernels
 //!   (the latter exposes the POWER3 rounding-instruction quirk),
 //! * [`kernels::tight_calls`] — the instrumentation-overhead worst case,
+//! * [`kernels::inst_mix`], [`kernels::branch_every`],
+//!   [`kernels::strided_stream`], [`kernels::chase_sum`] — the validation
+//!   kernels ([`validation::validation_suite`]): complete closed-form
+//!   oracles over every instruction-class event, graded by `papi_validate`
+//!   with the [`grading`] vocabulary,
 //! * [`kernels::phased`] — multi-phase program for real-time monitoring,
 //! * [`kernels::page_toucher`] — memory-utilization extension exerciser,
 //! * [`random::random_program`] — seeded random programs for stress tests,
@@ -18,14 +23,19 @@
 //!   BSP ring) for the §3 parallel-tools scenarios.
 
 pub mod expected;
+pub mod grading;
 pub mod kernels;
 pub mod parallel;
 pub mod random;
+pub mod validation;
 
 pub use expected::Expected;
+pub use grading::Grade;
 pub use kernels::{
-    blocked_matmul, branchy, calibration_suite, cg_like, convert_mix, dense_fp, matmul,
-    page_toucher, phased, pointer_chase, stream_copy, tight_calls, Workload, DATA_BASE,
+    blocked_matmul, branch_every, branchy, calibration_suite, cg_like, chase_sum, convert_mix,
+    dense_fp, inst_mix, matmul, page_toucher, phased, pointer_chase, stream_copy, strided_stream,
+    tight_calls, Workload, DATA_BASE,
 };
 pub use parallel::{bsp_ring, master_worker, pingpong, ParallelWorkload};
 pub use random::{random_program, RandomCfg};
+pub use validation::{validation_suite, VALIDATION_KINDS};

@@ -1,0 +1,176 @@
+//! The event-validation suite: workloads with *complete* closed-form
+//! oracles over the instruction-class events.
+//!
+//! Where [`crate::kernels::calibration_suite`] feeds `papi_calibrate` (one
+//! preset per row, coverage allowed to be partial), the validation suite is
+//! built for the full accuracy matrix of `papi_validate`: every member pins
+//! **every** kind in [`VALIDATION_KINDS`], so each (platform, event,
+//! workload) cell of the matrix has a ground-truth value and no cell is
+//! vacuously green. The kernels follow Röhl et al.'s validation taxonomy
+//! (PAPERS.md): an instruction-mix kernel, a deterministic branch-pattern
+//! kernel, a data-volume kernel and a pointer chase, plus the three
+//! calibration kernels (dense FP, convert mix, matmul) with their oracles
+//! locally extended to full coverage.
+//!
+//! Sizes are chosen so every member retires ~17k-50k instructions: large
+//! enough that a multiplexed event set (12 presets on 2-4 counters) gets
+//! dozens of scheduling slices to estimate from at the validator's short
+//! switching period, small enough that the whole matrix runs in seconds.
+
+use crate::kernels::{
+    branch_every, chase_sum, convert_mix, dense_fp, inst_mix, matmul, strided_stream, Workload,
+};
+use simcpu::EventKind;
+
+/// The event kinds every validation workload must pin exactly. These are
+/// precisely the kinds appearing in the formulas of the instruction-class
+/// presets `papi_validate` grades (PAPI_TOT_INS ... PAPI_BR_NTK); cache,
+/// TLB and cycle events are hardware-structure dependent and belong to the
+/// calibration tolerances, not the exact validation matrix.
+pub const VALIDATION_KINDS: &[EventKind] = &[
+    EventKind::FpAdd,
+    EventKind::FpMul,
+    EventKind::FpFma,
+    EventKind::FpDiv,
+    EventKind::IntOps,
+    EventKind::Loads,
+    EventKind::Stores,
+    EventKind::Branches,
+    EventKind::BranchTaken,
+    EventKind::Instructions,
+];
+
+/// The validation workloads, each with a complete oracle over
+/// [`VALIDATION_KINDS`] and a recorded derivation per kind.
+///
+/// The calibration kernels are extended *here*, not in their constructors:
+/// `papi_calibrate`'s coverage (and the E4 accuracy envelope locked in
+/// `tests/accuracy.rs`) must not change underneath it.
+pub fn validation_suite() -> Vec<Workload> {
+    let mut suite = vec![
+        inst_mix(8_000, 2, 1, 1, 1),
+        branch_every(12_000, 4),
+        strided_stream(1 << 15, 8, 2),
+        chase_sum(1 << 14, 8_000),
+    ];
+
+    // matmul(16): n^3 = 4096. Covers everything but IntOps.
+    let mut w = matmul(16);
+    w.expected = w
+        .expected
+        .exact(EventKind::IntOps, 0)
+        .derived(
+            EventKind::IntOps,
+            "0 (index arithmetic folded into codegen)",
+        )
+        .derived(EventKind::FpFma, "n^3")
+        .derived(EventKind::FpAdd, "0")
+        .derived(EventKind::FpMul, "0")
+        .derived(EventKind::FpDiv, "0")
+        .derived(EventKind::Loads, "2*n^3 (a[i][k], b[k][j])")
+        .derived(EventKind::Stores, "n^2 (c[i][j])")
+        .derived(EventKind::Branches, "n^3+n^2+n back-edges")
+        .derived(EventKind::BranchTaken, "n^3-1")
+        .derived(EventKind::Instructions, "4*n^3 + 2*n^2 + n + 2");
+    suite.push(w);
+
+    // dense_fp(iters, fmas, adds): pure FP, no taken-branch entry upstream.
+    let iters: u64 = 8_000;
+    let mut w = dense_fp(iters as u32, 3, 2);
+    w.expected = w
+        .expected
+        .exact(EventKind::IntOps, 0)
+        .derived(EventKind::IntOps, "0 (pure FP kernel)")
+        .exact(EventKind::BranchTaken, iters - 1)
+        .derived(
+            EventKind::BranchTaken,
+            "iters-1 (back-edge falls through once)",
+        )
+        .derived(EventKind::FpFma, "iters*fmas")
+        .derived(EventKind::FpAdd, "iters*adds")
+        .derived(EventKind::FpMul, "0")
+        .derived(EventKind::FpDiv, "0")
+        .derived(EventKind::Loads, "0")
+        .derived(EventKind::Stores, "0")
+        .derived(EventKind::Branches, "iters (one back-edge per iteration)")
+        .derived(EventKind::Instructions, "iters*(fmas+adds+1) + call + ret");
+    suite.push(w);
+
+    // convert_mix(iters, adds, cvts): the POWER3-quirk exerciser.
+    let iters: u64 = 6_000;
+    let mut w = convert_mix(iters as u32, 3, 1);
+    w.expected = w
+        .expected
+        .exact(EventKind::IntOps, 0)
+        .derived(EventKind::IntOps, "0 (pure FP kernel)")
+        .exact(EventKind::BranchTaken, iters - 1)
+        .derived(
+            EventKind::BranchTaken,
+            "iters-1 (back-edge falls through once)",
+        )
+        .derived(EventKind::FpAdd, "iters*adds")
+        .derived(
+            EventKind::FpCvt,
+            "iters*cvts (quirk platforms fold into FP_INS)",
+        )
+        .derived(EventKind::FpMul, "0")
+        .derived(EventKind::FpFma, "0")
+        .derived(EventKind::FpDiv, "0")
+        .derived(EventKind::Loads, "0")
+        .derived(EventKind::Stores, "0")
+        .derived(EventKind::Branches, "iters (one back-edge per iteration)")
+        .derived(EventKind::Instructions, "iters*(adds+cvts+1) + call + ret");
+    suite.push(w);
+
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcpu::platform::sim_generic;
+    use simcpu::Machine;
+
+    #[test]
+    fn every_member_fully_covers_the_validation_kinds() {
+        for w in validation_suite() {
+            for &kind in VALIDATION_KINDS {
+                assert!(
+                    w.expected.get_exact(kind).is_some(),
+                    "{}: no exact oracle for {:?}",
+                    w.name,
+                    kind
+                );
+                assert!(
+                    w.expected.derivation(kind).is_some(),
+                    "{}: no derivation recorded for {:?}",
+                    w.name,
+                    kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn suite_oracles_match_ground_truth() {
+        for w in validation_suite() {
+            let mut m = Machine::new(sim_generic(), 7);
+            m.enable_truth();
+            m.load(w.program.clone());
+            m.run_to_halt();
+            let truth = m.truth().unwrap();
+            for &kind in VALIDATION_KINDS {
+                let want = w.expected.get_exact(kind).unwrap();
+                assert_eq!(truth.total(kind), want, "{}: {:?}", w.name, kind);
+            }
+        }
+    }
+
+    #[test]
+    fn suite_names_are_unique() {
+        let mut names: Vec<&str> = validation_suite().iter().map(|w| w.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), validation_suite().len());
+    }
+}

@@ -476,3 +476,52 @@ fn calibration_stays_inside_the_recorded_experiment_envelope() {
     assert_eq!(anecdote.expected, 15_000);
     assert_eq!(anecdote.measured, 20_000);
 }
+
+/// `papi_calibrate` and `papi_validate` score through the one shared
+/// grading module, proven over the whole recorded E4 envelope: every one
+/// of the 235 rows passes `CalRow::pass` exactly when `grading::grade`
+/// says `exact` (and `grade_with_floor` at zero floor — the validator's
+/// direct-mode call — agrees), and each of the 8 recorded discrepancies
+/// grades `deviates` carrying the ratio `1 + rel_error`. If either tool
+/// ever grew its own comparison arithmetic again, some row here would
+/// disagree.
+#[test]
+fn calibrate_scoring_is_the_shared_grading_module() {
+    use papi_suite::tools::calibrate_all;
+    use papi_suite::workloads::grading::{self, Grade};
+
+    let rows = calibrate_all(&simcpu::all_platforms(), &calibration_suite(), 9);
+    assert_eq!(rows.len(), 235, "calibration sweep changed shape");
+
+    let mut deviating = 0;
+    for r in &rows {
+        let g = grading::grade(r.expected, r.measured, 0.0);
+        let coord = format!("{}/{}/{}", r.platform, r.workload, r.preset.name());
+        assert_eq!(
+            r.grade().label(),
+            g.label(),
+            "{coord}: CalRow::grade drifted"
+        );
+        assert_eq!(
+            r.pass(),
+            g == Grade::Exact,
+            "{coord}: pass() and grade() disagree"
+        );
+        let v = grading::grade_with_floor(r.expected, r.measured, 0.0, 0.0);
+        assert_eq!(
+            g.label(),
+            v.label(),
+            "{coord}: validator's grading entry point disagrees"
+        );
+        if let Grade::Deviates { ratio } = g {
+            deviating += 1;
+            if r.expected > 0 {
+                assert!(
+                    (ratio - (1.0 + r.rel_error())).abs() < 1e-9,
+                    "{coord}: deviates ratio {ratio} inconsistent with rel_error"
+                );
+            }
+        }
+    }
+    assert_eq!(deviating, 8, "discrepancy count drifted from the E4 record");
+}

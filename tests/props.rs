@@ -813,3 +813,143 @@ fn end_to_end_determinism() {
         assert_eq!(run(), run(), "seed {seed}");
     }
 }
+
+// --- oracle (Expected) and grading properties ------------------------------
+
+const ORACLE_KINDS: &[EventKind] = &[
+    EventKind::FpAdd,
+    EventKind::FpFma,
+    EventKind::IntOps,
+    EventKind::Loads,
+    EventKind::Stores,
+    EventKind::Branches,
+    EventKind::Instructions,
+    EventKind::L1DMiss,
+];
+
+/// `check` answers exactly for the kinds the oracle `covers`, and for no
+/// others — a random mix of exact and approximate entries never makes the
+/// two disagree.
+#[test]
+fn expected_check_answers_iff_covered() {
+    let mut rng = SmallRng::seed_from_u64(0x2001);
+    for _case in 0..64 {
+        let mut e = papi_suite::workloads::Expected::default();
+        let picks = rng.gen_range(0..ORACLE_KINDS.len());
+        for _ in 0..picks {
+            let kind = ORACLE_KINDS[rng.gen_range(0..ORACLE_KINDS.len())];
+            let want = rng.gen_range(0u64..10_000);
+            if rng.gen_bool(0.5) {
+                e = e.exact(kind, want);
+            } else {
+                e = e.approx(kind, want, rng.gen_range(0.0..0.5));
+            }
+        }
+        for &kind in ORACLE_KINDS {
+            let measured = rng.gen_range(0u64..10_000);
+            assert_eq!(
+                e.check(kind, measured).is_some(),
+                e.covers(kind),
+                "kind {kind:?}"
+            );
+        }
+    }
+}
+
+/// An exact entry always shadows an approximate one for the same kind: no
+/// matter how generous the approx tolerance, only the exact value passes.
+#[test]
+fn expected_exact_shadows_approx() {
+    let mut rng = SmallRng::seed_from_u64(0x2002);
+    for _case in 0..64 {
+        let want = rng.gen_range(10u64..100_000);
+        let tol = rng.gen_range(0.5..4.0);
+        let e = papi_suite::workloads::Expected::default()
+            .exact(EventKind::Loads, want)
+            .approx(EventKind::Loads, want, tol);
+        // A miss kept strictly inside the approx band: only exact's shadow
+        // can reject it.
+        let off = want + rng.gen_range(1u64..=(tol * want as f64).floor() as u64);
+        assert_eq!(e.check(EventKind::Loads, want), Some(true));
+        assert_eq!(
+            e.check(EventKind::Loads, off),
+            Some(false),
+            "want {want} off {off}"
+        );
+    }
+}
+
+/// The approximate tolerance band is inclusive and symmetric, and a zero
+/// expectation grants the absolute budget `tol` instead of collapsing to
+/// exact-match (the degenerate case `papi_validate` exists to keep honest).
+#[test]
+fn expected_approx_band_inclusive_symmetric() {
+    let mut rng = SmallRng::seed_from_u64(0x2003);
+    for _case in 0..96 {
+        let want = if rng.gen_bool(0.2) {
+            0
+        } else {
+            rng.gen_range(1u64..50_000)
+        };
+        let tol = rng.gen_range(0.0..0.6);
+        let e = papi_suite::workloads::Expected::default().approx(EventKind::L1DMiss, want, tol);
+        let band = papi_suite::workloads::grading::tolerance_band(want, tol);
+        let inside = band.floor() as u64;
+        assert_eq!(
+            e.check(EventKind::L1DMiss, want + inside),
+            Some(true),
+            "want {want} tol {tol} band {band}"
+        );
+        if want >= inside {
+            assert_eq!(e.check(EventKind::L1DMiss, want - inside), Some(true));
+        }
+        let outside = band.floor() as u64 + 1;
+        assert_eq!(
+            e.check(EventKind::L1DMiss, want + outside),
+            Some(false),
+            "want {want} tol {tol} band {band}"
+        );
+    }
+}
+
+/// `Expected::check` on an approximate entry and `grading::grade` are the
+/// same predicate: check passes exactly when the grade ranks within-or-
+/// better. The two modules must not drift — `papi_calibrate` scores with
+/// one, `papi_validate` with the other.
+#[test]
+fn expected_check_agrees_with_grading() {
+    let mut rng = SmallRng::seed_from_u64(0x2004);
+    for _case in 0..128 {
+        let want = rng.gen_range(0u64..20_000);
+        let tol = rng.gen_range(0.0..0.5);
+        let measured = rng.gen_range(0u64..25_000);
+        let e = papi_suite::workloads::Expected::default().approx(EventKind::FpFma, want, tol);
+        let passed = e.check(EventKind::FpFma, measured).unwrap();
+        let g = papi_suite::workloads::grading::grade(want as i64, measured as i64, tol);
+        assert_eq!(
+            passed,
+            g.rank() <= 1,
+            "want {want} measured {measured} tol {tol}: check {passed} vs grade {g}"
+        );
+    }
+}
+
+/// Widening the absolute floor never worsens a grade, and a floor below
+/// the relative band never changes it.
+#[test]
+fn grade_floor_is_monotone() {
+    let mut rng = SmallRng::seed_from_u64(0x2005);
+    for _case in 0..128 {
+        let want = rng.gen_range(0i64..20_000);
+        let tol = rng.gen_range(0.0..0.3);
+        let measured = rng.gen_range(0i64..25_000);
+        let lo = rng.gen_range(0.0..500.0);
+        let hi = lo + rng.gen_range(0.0..2_000.0);
+        let g_lo = papi_suite::workloads::grading::grade_with_floor(want, measured, tol, lo);
+        let g_hi = papi_suite::workloads::grading::grade_with_floor(want, measured, tol, hi);
+        assert!(
+            g_hi.rank() <= g_lo.rank(),
+            "want {want} measured {measured} tol {tol} floors {lo}/{hi}: {g_lo} -> {g_hi}"
+        );
+    }
+}

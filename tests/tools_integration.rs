@@ -379,3 +379,79 @@ fn papirun_through_the_fault_decorator_matches_clean_counts() {
         assert_eq!(rep.rows[1], direct.rows[1], "{sub}");
     }
 }
+
+#[test]
+fn papi_validate_end_to_end_with_platform_file_and_faults() {
+    // The `papi_validate` pipeline as the binary drives it: register the
+    // data-only rv64 model, grade it plus a fault-decorated substrate
+    // across all three modes, round-trip the line-per-cell JSON, and prove
+    // a doctored baseline turns into line-numbered grade regressions.
+    use papi_suite::tools::validate::{
+        diff_against_baseline, parse_matrix_json, render_matrix, render_matrix_json, run_matrix,
+        ValidateConfig, VALIDATION_PRESETS,
+    };
+    use std::sync::Arc;
+
+    let mut reg = papi_suite::tools::full_registry();
+    reg.register_platform_file(&rv64_file()).unwrap();
+    let reg = Arc::new(reg);
+
+    let subs = vec![
+        "file:sim-rv64".to_string(),
+        "fault[chaos]:sim:x86".to_string(),
+    ];
+    let cfg = ValidateConfig::new(subs.clone());
+    let cells = run_matrix(&reg, &cfg);
+
+    // Every (substrate, mode, workload, preset) combination is graded.
+    let suite_len = papi_suite::workloads::validation_suite().len();
+    assert_eq!(
+        cells.len(),
+        subs.len() * 3 * suite_len * VALIDATION_PRESETS.len()
+    );
+    // The data-file model has full event coverage: direct cells all exact.
+    assert!(cells
+        .iter()
+        .filter(|c| c.substrate == "file:sim-rv64" && c.mode.label() == "direct")
+        .all(|c| c.grade.label() == "exact"));
+
+    // JSON round-trip: one line per cell, parsed back loss-free.
+    let json = render_matrix_json(&cells);
+    let parsed = parse_matrix_json(&json);
+    assert_eq!(parsed.len(), cells.len());
+    for (p, c) in parsed.iter().zip(&cells) {
+        assert_eq!(p.coord(), c.coord());
+        assert_eq!(p.grade, c.grade.label());
+    }
+
+    // Self-diff is clean; a baseline doctored to claim every multiplexed
+    // `within` cell was `exact` yields regressions whose baseline line
+    // numbers point at the doctored cells.
+    assert!(diff_against_baseline(&cells, &json).is_regression_free());
+    let doctored = json.replace("\"grade\":\"within\"", "\"grade\":\"exact\"");
+    let diff = diff_against_baseline(&cells, &doctored);
+    assert!(!diff.is_regression_free(), "no within cells to doctor?");
+    for r in &diff.regressions {
+        assert_eq!(r.baseline_grade, "exact");
+        assert_eq!(r.current_grade, "within");
+        let line = doctored.lines().nth(r.baseline_line - 1).unwrap();
+        let preset = r.cell.rsplit('/').next().unwrap();
+        assert!(
+            line.contains(preset),
+            "baseline line {} does not record cell {}",
+            r.baseline_line,
+            r.cell
+        );
+    }
+
+    // The text report tallies every graded substrate/mode pair.
+    let report = render_matrix(&cells);
+    for sub in &subs {
+        for mode in ["direct", "mpx", "thread"] {
+            assert!(
+                report.contains(&format!("{sub}/{mode}")),
+                "report missing {sub}/{mode}"
+            );
+        }
+    }
+}
