@@ -7,7 +7,10 @@
 //! path delivers that: N threads register into one `ThreadedPapi`, each
 //! gets its own substrate context and a started 4-event set, and each
 //! hammers `read_into` on its own session — one uncontended sequence-stamp
-//! compare-exchange per read, no OS mutex anywhere.
+//! compare-exchange per read, no OS mutex anywhere.  The worker protocol
+//! (barrier start, seeded machines, per-thread CPU clock, counting
+//! allocator) lives in `papi_bench::matrix::runner`; this binary declares
+//! the sweep and applies the acceptances.
 //!
 //! The sweep covers 1/2/4/8 threads (the knee a 1t/4t pair would hide).
 //! Three measurements per configuration:
@@ -26,9 +29,10 @@
 //!   parking) would increase. Asserted: 4t within 1.5x of 1t.
 //! * **Host wall-clock** ns/op, reported informationally.
 //!
-//! Each thread also asserts the per-thread zero-allocation guarantee:
-//! steady-state `read_into` performs 0 heap allocations *on that thread*
-//! (the counting allocator's bookkeeping is thread-local).
+//! The matrix runner also asserts the per-thread zero-allocation
+//! guarantee: steady-state `read_into` performs 0 heap allocations summed
+//! across every worker (the counting allocator's bookkeeping is
+//! thread-local, so a single allocation on any thread shows up).
 //!
 //! ```text
 //! exp_contention [--iters N] [--substrate NAME]
@@ -38,147 +42,19 @@
 //! and zero-allocation assertions still fire (both are deterministic),
 //! but timings are not recorded.
 
-use papi_bench::banner;
 use papi_bench::bench_json::{merge_into, BenchRecord};
-use papi_bench::thread_cpu_ns;
-use papi_core::{Papi, Preset, Substrate, SubstrateRegistry, ThreadedPapi};
-use papi_obs::alloc_track::count_in;
-use papi_workloads::dense_fp;
-use std::sync::Arc;
-use std::time::Instant;
-
-const EVENTS: [Preset; 4] = [Preset::TotCyc, Preset::TotIns, Preset::LdIns, Preset::SrIns];
+use papi_bench::matrix::{run_matrix, CellSpec, Op, RunOptions};
+use papi_bench::{banner, exp_args};
 
 /// The swept thread counts. 4t/1t is the recorded scaling ratio.
 const SWEEP: [usize; 4] = [1, 2, 4, 8];
 
-struct ThreadSample {
-    virt_cycles: u64,
-    host_ns: u64,
-    /// On-CPU nanoseconds burned by the read loop (None where the host
-    /// offers no per-thread CPU clock).
-    cpu_ns: Option<u64>,
-    allocs: u64,
-}
-
-fn pool(substrate: &str) -> Arc<ThreadedPapi<papi_core::BoxSubstrate>> {
-    let name = substrate.to_string();
-    let reg = Arc::new(SubstrateRegistry::with_builtin());
-    let program = dense_fp(10, 1, 0).program;
-    Arc::new(ThreadedPapi::new(1, move |seed| {
-        let mut papi = Papi::init_from_registry(&reg, &name, seed)?;
-        papi.substrate_mut().load_program(program.clone())?;
-        Ok(papi)
-    }))
-}
-
-/// One registered thread's read loop: warm, then `iters` steady-state
-/// `read_into` calls, counting this thread's heap traffic, CPU time and
-/// virtual cycles.
-fn worker(
-    pool: &Arc<ThreadedPapi<papi_core::BoxSubstrate>>,
-    seed: u64,
-    iters: u64,
-) -> ThreadSample {
-    let token = pool.register_thread_seeded(seed).expect("register");
-    let set = token.create_eventset();
-    for ev in EVENTS {
-        token.add_event(set, ev.code()).unwrap();
-    }
-    token.start(set).unwrap();
-    let mut out = [0i64; EVENTS.len()];
-    for _ in 0..10 {
-        token.read_into(set, &mut out).unwrap();
-    }
-    let v0 = token.with(|p| p.get_real_cyc());
-    let cpu0 = thread_cpu_ns();
-    let t0 = Instant::now();
-    let ((), allocs) = count_in(|| {
-        for _ in 0..iters {
-            token.read_into(set, &mut out).unwrap();
-        }
-    });
-    let host_ns = t0.elapsed().as_nanos() as u64;
-    let cpu_ns = match (cpu0, thread_cpu_ns()) {
-        (Some(a), Some(b)) => Some(b.saturating_sub(a)),
-        _ => None,
-    };
-    let virt_cycles = token.with(|p| p.get_real_cyc()) - v0;
-    std::hint::black_box(out[0]);
-    token.stop(set).unwrap();
-    token.destroy_eventset(set).unwrap();
-    pool.unregister_thread(token).expect("unregister");
-    ThreadSample {
-        virt_cycles,
-        host_ns,
-        cpu_ns,
-        allocs,
-    }
-}
-
-struct Config {
-    threads: usize,
-    /// Aggregate reads per million virtual cycles: total reads over the
-    /// slowest thread's cycles (threads run on independent machines, so
-    /// the slowest clock is the configuration's virtual makespan).
-    virt_throughput: f64,
-    /// Mean on-CPU nanoseconds per read across all threads; falls back to
-    /// wall-clock where no per-thread CPU clock exists.
-    cpu_ns_per_op: f64,
-    /// Whether `cpu_ns_per_op` is a true CPU-time figure.
-    cpu_clock: bool,
-    host_ns_per_op: f64,
-}
-
-fn run_config(substrate: &str, threads: usize, iters: u64) -> Config {
-    let pool = pool(substrate);
-    let mut joins = Vec::new();
-    for t in 0..threads {
-        let pool = pool.clone();
-        joins.push(std::thread::spawn(move || {
-            worker(&pool, t as u64 + 1, iters)
-        }));
-    }
-    let samples: Vec<ThreadSample> = joins.into_iter().map(|j| j.join().unwrap()).collect();
-    for (t, s) in samples.iter().enumerate() {
-        assert_eq!(
-            s.allocs, 0,
-            "thread {t}/{threads}: steady-state read_into allocated"
-        );
-    }
-    let total_reads = iters * threads as u64;
-    let makespan = samples.iter().map(|s| s.virt_cycles).max().unwrap();
-    let host_total_ns: u64 = samples.iter().map(|s| s.host_ns).sum();
-    let cpu_clock = samples.iter().all(|s| s.cpu_ns.is_some());
-    let cpu_total_ns: u64 = if cpu_clock {
-        samples.iter().map(|s| s.cpu_ns.unwrap()).sum()
-    } else {
-        host_total_ns
-    };
-    Config {
-        threads,
-        virt_throughput: total_reads as f64 / makespan as f64 * 1e6,
-        cpu_ns_per_op: cpu_total_ns as f64 / total_reads as f64,
-        cpu_clock,
-        host_ns_per_op: host_total_ns as f64 / total_reads as f64,
-    }
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut iters = 200_000u64;
-    let mut substrate = "sim:x86".to_string();
-    let mut it = args.into_iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--iters" => iters = it.next().and_then(|s| s.parse().ok()).expect("--iters N"),
-            "--substrate" => substrate = it.next().expect("--substrate NAME"),
-            _ => {
-                eprintln!("usage: exp_contention [--iters N] [--substrate NAME]");
-                std::process::exit(2);
-            }
-        }
-    }
+    let (iters, substrate) = exp_args(
+        "exp_contention [--iters N] [--substrate NAME]",
+        200_000,
+        "sim:x86",
+    );
     banner(
         "E-contention",
         "lock-free per-thread sessions: read_into scales with thread count",
@@ -187,25 +63,51 @@ fn main() {
     println!("events           : 4 (TotCyc TotIns LdIns SrIns, non-multiplexed)");
     println!("thread sweep     : {SWEEP:?}\n");
 
-    let configs: Vec<Config> = SWEEP
+    // Seed 1 with the default stride gives thread t machine seed t+1 —
+    // the same seeds the bespoke harness used.
+    let specs: Vec<CellSpec> = SWEEP
         .iter()
-        .map(|&n| run_config(&substrate, n, iters))
+        .map(|&threads| CellSpec {
+            bench: "contention_read_into".to_string(),
+            op: Op::ReadInto,
+            substrate: substrate.clone(),
+            threads,
+            events: 4,
+            mpx: false,
+            seed: 1,
+            warmup: 10,
+            iters,
+            reps: 1,
+            mpx_period: 5000,
+            gate_ratio: 1.5,
+        })
         .collect();
+    let configs = run_matrix(&specs, &RunOptions::default());
 
     for c in &configs {
+        assert!(
+            c.supported,
+            "{}: substrate refused the cell",
+            c.spec.coord()
+        );
+        assert_eq!(
+            c.allocs_per_op, 0.0,
+            "{} threads: steady-state read_into allocated",
+            c.spec.threads
+        );
         println!(
             "  {} thread{}  {:>10.1} reads/Mcycle (virtual)  {:>8.1} ns/op (cpu{})  {:>8.1} ns/op (wall)",
-            c.threads,
-            if c.threads == 1 { " " } else { "s" },
+            c.spec.threads,
+            if c.spec.threads == 1 { " " } else { "s" },
             c.virt_throughput,
             c.cpu_ns_per_op,
             if c.cpu_clock { "" } else { ", wall fallback" },
-            c.host_ns_per_op,
+            c.ns_per_op,
         );
     }
 
     let one = &configs[0];
-    let four = configs.iter().find(|c| c.threads == 4).unwrap();
+    let four = configs.iter().find(|c| c.spec.threads == 4).unwrap();
     let virt_scaling = four.virt_throughput / one.virt_throughput;
     let cpu_ratio = four.cpu_ns_per_op / one.cpu_ns_per_op;
 
@@ -237,7 +139,7 @@ fn main() {
         let mut records: Vec<BenchRecord> = configs
             .iter()
             .map(|c| BenchRecord {
-                bench: format!("contention_read_into_{}t", c.threads),
+                bench: format!("contention_read_into_{}t", c.spec.threads),
                 substrate: substrate.clone(),
                 iters,
                 ns_per_op: c.cpu_ns_per_op,

@@ -4,8 +4,10 @@
 //! `Box<dyn Substrate>` (selected by `--substrate NAME`); sessions embedded
 //! in user code keep static dispatch. This harness measures what the boxed
 //! indirection costs on the two hottest calls, `read` and `accum`, by
-//! timing identical loops over a monomorphized `Papi<SimSubstrate>` and a
-//! registry-created `Papi<BoxSubstrate>` on the same platform.
+//! running identical matrix cells over a monomorphized `Papi<SimSubstrate>`
+//! (`sim:x86/static`) and a registry-created `Papi<BoxSubstrate>` on the
+//! same platform.  All timing lives in `papi_bench::matrix::runner`; this
+//! binary only declares the four cells and compares the deltas.
 //!
 //! Acceptance (ISSUE 2): boxed `read` within 5% of static.
 //!
@@ -17,79 +19,58 @@
 //! without asserting on timing noise.
 
 use papi_bench::bench_json::{merge_into, BenchRecord};
-use papi_bench::{banner, papi_named, papi_on};
-use papi_core::{Papi, Preset, Substrate};
-use papi_workloads::dense_fp;
-use simcpu::platform::sim_x86;
-use std::time::Instant;
+use papi_bench::matrix::{run_matrix, CellSpec, Op, RunOptions};
+use papi_bench::{banner, exp_args};
 
-fn time_read<S: Substrate>(papi: &mut Papi<S>, set: usize, iters: u64) -> (f64, f64) {
-    let mut sink = 0i64;
-    let t0 = Instant::now();
-    let ((), allocs) = papi_obs::alloc_track::count_in(|| {
-        for _ in 0..iters {
-            sink = sink.wrapping_add(papi.read(set).unwrap()[0]);
-        }
-    });
-    let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
-    std::hint::black_box(sink);
-    (ns, allocs as f64 / iters as f64)
-}
-
-fn time_accum<S: Substrate>(papi: &mut Papi<S>, set: usize, iters: u64) -> (f64, f64) {
-    let mut acc = [0i64; 1];
-    let t0 = Instant::now();
-    let ((), allocs) = papi_obs::alloc_track::count_in(|| {
-        for _ in 0..iters {
-            papi.accum(set, &mut acc).unwrap();
-        }
-    });
-    let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
-    std::hint::black_box(acc[0]);
-    (ns, allocs as f64 / iters as f64)
-}
-
-fn prepared<S: Substrate>(papi: &mut Papi<S>) -> usize {
-    let set = papi.create_eventset();
-    papi.add_event(set, Preset::TotCyc.code()).unwrap();
-    papi.start(set).unwrap();
-    set
+fn spec(bench: &str, op: Op, flavor: &str, iters: u64) -> CellSpec {
+    CellSpec {
+        bench: bench.to_string(),
+        op,
+        substrate: flavor.to_string(),
+        threads: 1,
+        events: 1,
+        mpx: false,
+        seed: 1,
+        warmup: (iters / 10).max(1),
+        iters,
+        reps: 1,
+        mpx_period: 5000,
+        gate_ratio: 1.5,
+    }
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut iters = 1_000_000u64;
-    let mut substrate = "sim:x86".to_string();
-    let mut it = args.into_iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--iters" => iters = it.next().and_then(|s| s.parse().ok()).expect("--iters N"),
-            "--substrate" => substrate = it.next().expect("--substrate NAME"),
-            _ => {
-                eprintln!("usage: exp_dispatch [--iters N] [--substrate NAME]");
-                std::process::exit(2);
-            }
-        }
-    }
+    let (iters, substrate) = exp_args(
+        "exp_dispatch [--iters N] [--substrate NAME]",
+        1_000_000,
+        "sim:x86",
+    );
     banner(
         "E-dispatch",
         "static Papi<SimSubstrate> vs registry Box<dyn Substrate>: read/accum call cost",
     );
 
-    let mut stat = papi_on(sim_x86(), dense_fp(10, 1, 0).program, 1);
-    let set_s = prepared(&mut stat);
-    let mut boxed = papi_named(&substrate, dense_fp(10, 1, 0).program, 1);
-    let set_b = prepared(&mut boxed);
-
-    // Warm both paths before timing (page-in, branch predictors).
-    let warm = (iters / 10).max(1);
-    time_read(&mut stat, set_s, warm);
-    time_read(&mut boxed, set_b, warm);
-
-    let (read_s, read_s_allocs) = time_read(&mut stat, set_s, iters);
-    let (read_b, read_b_allocs) = time_read(&mut boxed, set_b, iters);
-    let (accum_s, accum_s_allocs) = time_accum(&mut stat, set_s, iters);
-    let (accum_b, accum_b_allocs) = time_accum(&mut boxed, set_b, iters);
+    let boxed_flavor = format!("{substrate}/boxed");
+    let specs = [
+        spec("read_1ev", Op::Read, "sim:x86/static", iters),
+        spec("read_1ev", Op::Read, &boxed_flavor, iters),
+        spec("accum_1ev", Op::Accum, "sim:x86/static", iters),
+        spec("accum_1ev", Op::Accum, &boxed_flavor, iters),
+    ];
+    let results = run_matrix(&specs, &RunOptions::default());
+    for r in &results {
+        assert!(
+            r.supported,
+            "{}: substrate refused the cell",
+            r.spec.coord()
+        );
+    }
+    let (read_s, read_b, accum_s, accum_b) = (
+        results[0].ns_per_op,
+        results[1].ns_per_op,
+        results[2].ns_per_op,
+        results[3].ns_per_op,
+    );
 
     let delta = |s: f64, b: f64| (b - s) / s * 100.0;
     println!("iters per loop : {iters}");
@@ -112,21 +93,17 @@ fn main() {
             }
         );
         // Feed the shared perf trajectory (1-event counterparts of the
-        // records exp_hotpath region writes for 4-event sets).
-        let rec = |bench: &str, flavor: &str, ns: f64, allocs: f64| BenchRecord {
-            bench: bench.to_string(),
-            substrate: flavor.to_string(),
-            iters,
-            ns_per_op: ns,
-            allocs_per_op: allocs,
-        };
-        let boxed_flavor = format!("{substrate}/boxed");
-        let records = [
-            rec("read_1ev", "sim:x86/static", read_s, read_s_allocs),
-            rec("read_1ev", &boxed_flavor, read_b, read_b_allocs),
-            rec("accum_1ev", "sim:x86/static", accum_s, accum_s_allocs),
-            rec("accum_1ev", &boxed_flavor, accum_b, accum_b_allocs),
-        ];
+        // records exp_hotpath writes for 4-event sets).
+        let records: Vec<BenchRecord> = results
+            .iter()
+            .map(|r| BenchRecord {
+                bench: r.spec.bench.clone(),
+                substrate: r.spec.substrate.clone(),
+                iters,
+                ns_per_op: r.ns_per_op,
+                allocs_per_op: r.allocs_per_op,
+            })
+            .collect();
         let path = papi_bench::bench_json::default_path();
         merge_into(&path, &records).expect("write BENCH_hotpath.json");
         println!("recorded {} records -> {}", records.len(), path.display());

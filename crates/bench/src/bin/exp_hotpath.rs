@@ -9,6 +9,10 @@
 //! registry-created `Papi<BoxSubstrate>`, reporting ns/op and *allocations
 //! per op* from the counting global allocator installed by `papi_bench`.
 //!
+//! The measurement protocol (best-of-5 reps, warmup, counting allocator)
+//! lives in `papi_bench::matrix::runner` — this binary only declares its
+//! six cells and maps the results onto the legacy trajectory records.
+//!
 //! Acceptance (ISSUE 3): `read_into` performs 0 heap allocations per
 //! steady-state call (asserted here and in `tests/zero_alloc.rs`) and beats
 //! the PR-2 boxed `read` baseline by >= 25% ns/op.
@@ -25,171 +29,37 @@
 //! zero-allocation assertion still runs, but timings are not recorded.
 
 use papi_bench::bench_json::{merge_into, BenchRecord};
-use papi_bench::{banner, papi_named, papi_on};
-use papi_core::{Papi, Preset, Substrate};
-use papi_obs::alloc_track::count_in;
-use papi_workloads::dense_fp;
-use simcpu::platform::sim_x86;
-use std::time::Instant;
+use papi_bench::matrix::{run_matrix, CellSpec, Op, RunOptions};
+use papi_bench::{banner, exp_args};
 
-/// The 4-event working set: all four fit the sim-x86 counters at once, so
-/// the set runs non-multiplexed (the steady-state case the guarantee names).
-const EVENTS: [Preset; 4] = [Preset::TotCyc, Preset::TotIns, Preset::LdIns, Preset::SrIns];
-
-/// Repetitions per measured cell; the *minimum* ns/op across repetitions
-/// is reported. Preemption, host-clock steal and cache disturbance only
-/// ever inflate a repetition, never deflate it, so on a noisy
-/// (virtualized, time-sliced) host the minimum is the estimator that
-/// converges to the true per-op cost. Allocation counts are summed over
-/// all repetitions — the zero-allocation guarantee must hold in every
-/// one of them, not just the fastest.
-const REPS: usize = 5;
-
-struct Sample {
-    ns_per_op: f64,
-    allocs_per_op: f64,
-}
-
-fn best_of<F: FnMut() -> u64>(iters: u64, mut rep: F) -> Sample {
-    let mut best = f64::MAX;
-    let mut total_allocs = 0u64;
-    for _ in 0..REPS {
-        let t0 = Instant::now();
-        let allocs = rep();
-        let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
-        best = best.min(ns);
-        total_allocs += allocs;
+fn spec(bench: &str, op: Op, flavor: &str, iters: u64) -> CellSpec {
+    CellSpec {
+        bench: bench.to_string(),
+        op,
+        substrate: flavor.to_string(),
+        threads: 1,
+        events: 4,
+        mpx: false,
+        seed: 1,
+        // Warm: page-in, branch predictors, and — the point of this PR —
+        // the per-session scratch buffers, which reach capacity on the
+        // first call.
+        warmup: (iters / 10).max(8),
+        iters,
+        // Best-of-5: preemption and host-clock steal only ever inflate a
+        // repetition, so the minimum converges to the true per-op cost.
+        reps: 5,
+        mpx_period: 5000,
+        gate_ratio: 1.5,
     }
-    Sample {
-        ns_per_op: best,
-        allocs_per_op: total_allocs as f64 / (iters * REPS as u64) as f64,
-    }
-}
-
-fn time_read<S: Substrate>(papi: &mut Papi<S>, set: usize, iters: u64) -> Sample {
-    let mut sink = 0i64;
-    let sample = best_of(iters, || {
-        let ((), allocs) = count_in(|| {
-            for _ in 0..iters {
-                sink = sink.wrapping_add(papi.read(set).unwrap()[0]);
-            }
-        });
-        allocs
-    });
-    std::hint::black_box(sink);
-    sample
-}
-
-fn time_read_into<S: Substrate>(papi: &mut Papi<S>, set: usize, iters: u64) -> Sample {
-    let mut out = [0i64; EVENTS.len()];
-    let sample = best_of(iters, || {
-        let ((), allocs) = count_in(|| {
-            for _ in 0..iters {
-                papi.read_into(set, &mut out).unwrap();
-            }
-        });
-        allocs
-    });
-    std::hint::black_box(out[0]);
-    sample
-}
-
-fn time_accum<S: Substrate>(papi: &mut Papi<S>, set: usize, iters: u64) -> Sample {
-    let mut acc = [0i64; EVENTS.len()];
-    let sample = best_of(iters, || {
-        let ((), allocs) = count_in(|| {
-            for _ in 0..iters {
-                papi.accum(set, &mut acc).unwrap();
-            }
-        });
-        allocs
-    });
-    std::hint::black_box(acc[0]);
-    sample
-}
-
-fn prepared<S: Substrate>(papi: &mut Papi<S>) -> usize {
-    let set = papi.create_eventset();
-    for ev in EVENTS {
-        papi.add_event(set, ev.code()).unwrap();
-    }
-    papi.start(set).unwrap();
-    set
-}
-
-fn run_flavor<S: Substrate>(
-    papi: &mut Papi<S>,
-    flavor: &str,
-    iters: u64,
-    records: &mut Vec<BenchRecord>,
-) -> f64 {
-    let set = prepared(papi);
-    // Warm: page-in, branch predictors, and — the point of this PR — the
-    // per-session scratch buffers, which reach capacity on the first call.
-    let warm = (iters / 10).max(8);
-    time_read_into(papi, set, warm);
-    time_read(papi, set, warm);
-    time_accum(papi, set, warm);
-
-    let read = time_read(papi, set, iters);
-    let read_into = time_read_into(papi, set, iters);
-    let accum = time_accum(papi, set, iters);
-
-    println!(
-        "  {flavor:<18} read      {:>8.1} ns/op  {:>6.2} allocs/op",
-        read.ns_per_op, read.allocs_per_op
-    );
-    println!(
-        "  {flavor:<18} read_into {:>8.1} ns/op  {:>6.2} allocs/op",
-        read_into.ns_per_op, read_into.allocs_per_op
-    );
-    println!(
-        "  {flavor:<18} accum     {:>8.1} ns/op  {:>6.2} allocs/op",
-        accum.ns_per_op, accum.allocs_per_op
-    );
-
-    assert!(
-        read_into.allocs_per_op == 0.0,
-        "steady-state read_into allocated ({} allocs/op on {flavor})",
-        read_into.allocs_per_op
-    );
-    assert!(
-        accum.allocs_per_op == 0.0,
-        "steady-state accum allocated ({} allocs/op on {flavor})",
-        accum.allocs_per_op
-    );
-
-    for (bench, s) in [
-        ("read_4ev", &read),
-        ("read_into_4ev", &read_into),
-        ("accum_4ev", &accum),
-    ] {
-        records.push(BenchRecord {
-            bench: bench.to_string(),
-            substrate: flavor.to_string(),
-            iters,
-            ns_per_op: s.ns_per_op,
-            allocs_per_op: s.allocs_per_op,
-        });
-    }
-    read_into.ns_per_op
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut iters = 1_000_000u64;
-    let mut substrate = "sim:x86".to_string();
-    let mut it = args.into_iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--iters" => iters = it.next().and_then(|s| s.parse().ok()).expect("--iters N"),
-            "--substrate" => substrate = it.next().expect("--substrate NAME"),
-            _ => {
-                eprintln!("usage: exp_hotpath [--iters N] [--substrate NAME]");
-                std::process::exit(2);
-            }
-        }
-    }
+    let (iters, substrate) = exp_args(
+        "exp_hotpath [--iters N] [--substrate NAME]",
+        1_000_000,
+        "sim:x86",
+    );
     banner(
         "E-hotpath",
         "zero-allocation steady-state reads: cached plan + scratch reuse, ns/op and allocs/op",
@@ -197,13 +67,57 @@ fn main() {
     println!("iters per loop : {iters}");
     println!("events         : 4 (TotCyc TotIns LdIns SrIns, non-multiplexed)\n");
 
-    let mut records = Vec::new();
-
-    let mut stat = papi_on(sim_x86(), dense_fp(10, 1, 0).program, 1);
-    run_flavor(&mut stat, "sim:x86/static", iters, &mut records);
-    let mut boxed = papi_named(&substrate, dense_fp(10, 1, 0).program, 1);
     let boxed_flavor = format!("{substrate}/boxed");
-    let read_into_boxed = run_flavor(&mut boxed, &boxed_flavor, iters, &mut records);
+    let benches = [
+        ("read_4ev", Op::Read, "read"),
+        ("read_into_4ev", Op::ReadInto, "read_into"),
+        ("accum_4ev", Op::Accum, "accum"),
+    ];
+    let mut specs = Vec::new();
+    for flavor in ["sim:x86/static", boxed_flavor.as_str()] {
+        for (bench, op, _) in &benches {
+            specs.push(spec(bench, *op, flavor, iters));
+        }
+    }
+
+    let results = run_matrix(&specs, &RunOptions::default());
+
+    let mut records = Vec::new();
+    let mut read_into_boxed = f64::MAX;
+    for r in &results {
+        assert!(
+            r.supported,
+            "{}: substrate refused the cell",
+            r.spec.coord()
+        );
+        let label = benches
+            .iter()
+            .find(|(b, _, _)| *b == r.spec.bench)
+            .map(|(_, _, l)| *l)
+            .unwrap();
+        println!(
+            "  {:<18} {label:<9} {:>8.1} ns/op  {:>6.2} allocs/op",
+            r.spec.substrate, r.ns_per_op, r.allocs_per_op
+        );
+        if r.spec.op.zero_alloc() {
+            assert!(
+                r.allocs_per_op == 0.0,
+                "steady-state {label} allocated ({} allocs/op on {})",
+                r.allocs_per_op,
+                r.spec.substrate
+            );
+        }
+        if r.spec.op == Op::ReadInto && r.spec.substrate == boxed_flavor {
+            read_into_boxed = r.ns_per_op;
+        }
+        records.push(BenchRecord {
+            bench: r.spec.bench.clone(),
+            substrate: r.spec.substrate.clone(),
+            iters,
+            ns_per_op: r.ns_per_op,
+            allocs_per_op: r.allocs_per_op,
+        });
+    }
 
     // PR-2 baseline for the acceptance ratio lives in the committed
     // trajectory file (bench read_4ev_pr2_baseline); compare against it.

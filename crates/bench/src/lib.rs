@@ -7,6 +7,8 @@
 use papi_core::{BoxSubstrate, Papi, SimSubstrate, Substrate};
 use simcpu::{Machine, PlatformSpec, Program};
 
+pub mod matrix;
+
 /// Every papi-bench binary, test and criterion bench counts heap traffic, so
 /// the zero-allocation hot-path guarantee is asserted (not assumed) wherever
 /// it is measured.
@@ -37,6 +39,27 @@ pub fn baseline_cycles(spec: PlatformSpec, program: Program, seed: u64) -> u64 {
     m.load(program);
     m.run_to_halt();
     m.cycles()
+}
+
+/// The `--iters N` / `--substrate NAME` argument convention shared by
+/// every experiment binary (the one piece of plumbing they still own;
+/// everything else goes through `matrix::run_matrix`).  Exits with usage
+/// on anything unrecognized.
+pub fn exp_args(usage: &str, default_iters: u64, default_substrate: &str) -> (u64, String) {
+    let mut iters = default_iters;
+    let mut substrate = default_substrate.to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--iters" => iters = it.next().and_then(|s| s.parse().ok()).expect("--iters N"),
+            "--substrate" => substrate = it.next().expect("--substrate NAME"),
+            _ => {
+                eprintln!("usage: {usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    (iters, substrate)
 }
 
 /// Print an experiment banner.
@@ -103,7 +126,10 @@ pub mod bench_json {
     }
 
     impl BenchRecord {
-        fn to_json(&self) -> String {
+        /// Render the record as its one-line JSON object — the exact byte
+        /// format of `BENCH_hotpath.json` lines (fixed field order and
+        /// precision, so `parse ∘ to_json = id` on committed records).
+        pub fn to_json(&self) -> String {
             format!(
                 "{{\"bench\": \"{}\", \"substrate\": \"{}\", \"iters\": {}, \
                  \"ns_per_op\": {:.1}, \"allocs_per_op\": {:.2}}}",
@@ -119,11 +145,53 @@ pub mod bench_json {
         Some(line[start..end].to_string())
     }
 
+    fn num_field(line: &str, name: &str) -> Option<f64> {
+        let pat = format!("\"{name}\": ");
+        let start = line.find(&pat)? + pat.len();
+        let rest = &line[start..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+
     fn key_of_line(line: &str) -> Option<(String, String)> {
         Some((
             string_field(line, "bench")?,
             string_field(line, "substrate")?,
         ))
+    }
+
+    /// Parse one record line (the inverse of [`BenchRecord::to_json`]).
+    pub fn parse_record(line: &str) -> Option<BenchRecord> {
+        Some(BenchRecord {
+            bench: string_field(line, "bench")?,
+            substrate: string_field(line, "substrate")?,
+            iters: num_field(line, "iters")? as u64,
+            ns_per_op: num_field(line, "ns_per_op")?,
+            allocs_per_op: num_field(line, "allocs_per_op")?,
+        })
+    }
+
+    /// Parse a whole trajectory document; non-record lines are skipped.
+    pub fn parse(text: &str) -> Vec<BenchRecord> {
+        text.lines().filter_map(parse_record).collect()
+    }
+
+    /// Render records as the trajectory-file array (two-space indent, one
+    /// record per line, trailing commas except on the last).
+    pub fn render(records: &[BenchRecord]) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in records.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(&r.to_json());
+            if i + 1 < records.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
     }
 
     /// Default trajectory file at the repo root.
@@ -132,8 +200,11 @@ pub mod bench_json {
     }
 
     /// Merge `records` into the JSON array at `path`: existing records with
-    /// the same `(bench, substrate)` are replaced, everything else is kept,
-    /// new records are appended.
+    /// the same `(bench, substrate)` are replaced byte-for-byte in place,
+    /// everything else is kept, new records are appended — then the whole
+    /// array is written back **sorted by `(bench, substrate)`**, so the
+    /// committed file is key-stable and re-runs produce reviewable diffs
+    /// regardless of which experiment wrote last.
     pub fn merge_into(path: &Path, records: &[BenchRecord]) -> std::io::Result<()> {
         let mut lines: Vec<String> = Vec::new();
         if let Ok(existing) = fs::read_to_string(path) {
@@ -150,6 +221,7 @@ pub mod bench_json {
             lines.retain(|l| key_of_line(l) != key);
             lines.push(r.to_json());
         }
+        lines.sort_by_key(|l| key_of_line(l));
         let mut out = String::from("[\n");
         for (i, l) in lines.iter().enumerate() {
             out.push_str("  ");
@@ -195,6 +267,53 @@ pub mod bench_json {
             assert!(body.contains("\"ns_per_op\": 20.0"));
             assert!(body.contains("\"bench\": \"accum\""));
             let _ = fs::remove_file(&path);
+        }
+
+        #[test]
+        fn merge_is_key_stable_and_sorted() {
+            let dir = std::env::temp_dir().join("papi_bench_json_sort_test");
+            fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("sorted.json");
+            let _ = fs::remove_file(&path);
+
+            // Written in scrambled order, twice, with an update in between.
+            merge_into(&path, &[rec("zz", "b", 1.0), rec("aa", "x", 2.0)]).unwrap();
+            merge_into(&path, &[rec("mm", "a", 3.0), rec("aa", "x", 4.0)]).unwrap();
+
+            let parsed = parse(&fs::read_to_string(&path).unwrap());
+            let keys: Vec<(String, String)> = parsed
+                .iter()
+                .map(|r| (r.bench.clone(), r.substrate.clone()))
+                .collect();
+            let mut sorted = keys.clone();
+            sorted.sort();
+            assert_eq!(keys, sorted, "records must be sorted by (bench, substrate)");
+            assert_eq!(parsed.len(), 3);
+            assert_eq!(
+                parsed.iter().find(|r| r.bench == "aa").unwrap().ns_per_op,
+                4.0
+            );
+            let _ = fs::remove_file(&path);
+        }
+
+        #[test]
+        fn parse_render_round_trip() {
+            // parse ∘ render = id on records, and render ∘ parse = id on
+            // documents whose values are already at rendered precision.
+            let records = vec![
+                rec("accum_4ev", "sim:x86/static", 43.7),
+                rec("read_1ev", "sim:x86/boxed", 101.5),
+                BenchRecord {
+                    bench: "contention_read_into_4t".into(),
+                    substrate: "sim:x86".into(),
+                    iters: 200_000,
+                    ns_per_op: 55.4,
+                    allocs_per_op: 0.25,
+                },
+            ];
+            let doc = render(&records);
+            assert_eq!(parse(&doc), records);
+            assert_eq!(render(&parse(&doc)), doc);
         }
     }
 }

@@ -1,0 +1,1018 @@
+//! Declarative benchmark-matrix configuration (`benches/matrix.toml`).
+//!
+//! A TOML-subset parser in the mold of `simcpu`'s platform-model loader:
+//! self-contained (no external dependency), and every rejection is a
+//! *named check* with a line number, so a broken matrix file reads like a
+//! lint report instead of a panic.  The grammar is documented in SPEC.md
+//! §14; the shape is
+//!
+//! ```toml
+//! schema = 1
+//! [matrix]            # run-wide knobs (seed, warmup, iters, reps, ...)
+//! [gate]              # regression-gate thresholds
+//! [axes]              # default axis values inherited by every bench
+//! [[bench]]           # one benchmark; may override any axis or knob
+//! name = "read_into"
+//! op = "read_into"
+//! ```
+//!
+//! [`MatrixConfig::expand`] unrolls the benches into the full
+//! `substrate × fault × threads × events × mpx` cell list in declaration
+//! order, composing fault schedules into `fault[SPEC]:NAME` substrate
+//! labels exactly as the registry spells them.
+
+use std::fmt;
+
+/// The one schema version this parser accepts.
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// Presets a cell's event axis draws from, in slot order: an `events = N`
+/// axis value means the first `N` of these.  All four fit every shipped
+/// platform's counters at once, so `mpx = false` cells run non-multiplexed.
+pub const CELL_EVENTS: [papi_core::Preset; 4] = [
+    papi_core::Preset::TotCyc,
+    papi_core::Preset::TotIns,
+    papi_core::Preset::LdIns,
+    papi_core::Preset::SrIns,
+];
+
+/// A named, line-addressed configuration rejection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixParseError {
+    /// 1-based line number (`lines + 1` for end-of-file checks).
+    pub line: usize,
+    /// Stable machine-readable check name (ascii, no spaces).
+    pub check: &'static str,
+    /// Human-readable detail.
+    pub msg: String,
+}
+
+impl MatrixParseError {
+    fn new(line: usize, check: &'static str, msg: impl Into<String>) -> Self {
+        MatrixParseError {
+            line,
+            check,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for MatrixParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: [{}] {}", self.line, self.check, self.msg)
+    }
+}
+
+impl std::error::Error for MatrixParseError {}
+
+/// The measured operation of a benchmark cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `read_into` — caller buffer, the zero-allocation steady-state path.
+    ReadInto,
+    /// `read` — allocating return vector (the allocation cost is the point).
+    Read,
+    /// `accum` — read-and-add into a caller accumulator, zero-allocation.
+    Accum,
+}
+
+impl Op {
+    /// Parse the `op = "..."` spelling.
+    pub fn parse(s: &str) -> Option<Op> {
+        match s {
+            "read_into" => Some(Op::ReadInto),
+            "read" => Some(Op::Read),
+            "accum" => Some(Op::Accum),
+            _ => None,
+        }
+    }
+
+    /// The config-file spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::ReadInto => "read_into",
+            Op::Read => "read",
+            Op::Accum => "accum",
+        }
+    }
+
+    /// Whether the zero-allocation steady-state guarantee applies to this
+    /// operation (`read` intentionally allocates its return vector).
+    pub fn zero_alloc(self) -> bool {
+        !matches!(self, Op::Read)
+    }
+}
+
+/// How a cell's substrate label dispatches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dispatch<'a> {
+    /// Monomorphized `Papi<SimSubstrate>` (label suffix `/static`).
+    Static,
+    /// Registry-created `Papi<BoxSubstrate>`; carries the registry name
+    /// (the label minus any `/boxed` suffix).
+    Registry(&'a str),
+}
+
+/// Resolve a substrate label's dispatch flavor.  `NAME/static` is the
+/// monomorphized session, `NAME/boxed` and bare `NAME` both go through the
+/// registry (`/boxed` is the legacy trajectory-file spelling).
+pub fn dispatch_of(label: &str) -> Dispatch<'_> {
+    if label.ends_with("/static") {
+        Dispatch::Static
+    } else if let Some(base) = label.strip_suffix("/boxed") {
+        Dispatch::Registry(base)
+    } else {
+        Dispatch::Registry(label)
+    }
+}
+
+/// Compose a fault schedule into a substrate label the way the registry
+/// spells decorated names (`fault[SPEC]:NAME`), keeping any `/boxed`
+/// dispatch suffix outside the decoration.
+pub fn compose_fault(substrate: &str, fault: &str) -> String {
+    if fault == "none" {
+        substrate.to_string()
+    } else if let Some(base) = substrate.strip_suffix("/boxed") {
+        format!("fault[{fault}]:{base}/boxed")
+    } else {
+        format!("fault[{fault}]:{substrate}")
+    }
+}
+
+/// One fully resolved benchmark cell: every knob the runner needs, no
+/// config context required.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSpec {
+    /// Benchmark name (the `(bench, substrate)` record key's first half).
+    pub bench: String,
+    /// Measured operation.
+    pub op: Op,
+    /// Effective substrate label, fault-composed (`fault[chaos]:sim:x86`),
+    /// possibly dispatch-suffixed (`sim:x86/static`).
+    pub substrate: String,
+    /// Worker threads hammering the op concurrently (barrier-started).
+    pub threads: usize,
+    /// Events in the set (first N of [`CELL_EVENTS`]).
+    pub events: usize,
+    /// Whether the set runs multiplexed.
+    pub mpx: bool,
+    /// Base RNG seed for the cell (thread t gets `seed + t·stride`).
+    pub seed: u64,
+    /// Warmup ops per thread before the barrier.
+    pub warmup: u64,
+    /// Measured ops per repetition per thread.
+    pub iters: u64,
+    /// Repetitions; wall ns/op reports the minimum (best-of) repetition.
+    pub reps: u32,
+    /// Multiplex rotation period in virtual cycles (mpx cells only).
+    pub mpx_period: u64,
+    /// Regression-gate threshold: a cell fails the baseline diff when
+    /// `current_vcyc / baseline_vcyc > gate_ratio`.
+    pub gate_ratio: f64,
+}
+
+impl CellSpec {
+    /// Canonical cell coordinate, also the baseline-diff identity:
+    /// `bench/substrate/Nt/Mev/{dir|mpx}`.
+    pub fn coord(&self) -> String {
+        format!(
+            "{}/{}/{}t/{}ev/{}",
+            self.bench,
+            self.substrate,
+            self.threads,
+            self.events,
+            if self.mpx { "mpx" } else { "dir" }
+        )
+    }
+
+    /// The configuration half of the coordinate (everything but bench and
+    /// substrate) — the axis PP efficiencies are folded over.
+    pub fn config_key(&self) -> String {
+        format!(
+            "{}t/{}ev/{}",
+            self.threads,
+            self.events,
+            if self.mpx { "mpx" } else { "dir" }
+        )
+    }
+}
+
+/// One benchmark definition with all axes resolved (bench overrides
+/// applied over the `[axes]` defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDef {
+    pub name: String,
+    pub op: Op,
+    pub substrates: Vec<String>,
+    pub threads: Vec<usize>,
+    pub events: Vec<usize>,
+    pub mpx: Vec<bool>,
+    pub faults: Vec<String>,
+    pub iters: Option<u64>,
+    pub warmup: Option<u64>,
+    pub reps: Option<u32>,
+    pub gate_ratio: Option<f64>,
+}
+
+/// A parsed, validated matrix configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixConfig {
+    pub seed: u64,
+    pub warmup: u64,
+    pub iters: u64,
+    pub reps: u32,
+    pub mpx_period: u64,
+    pub gate_ratio: f64,
+    pub benches: Vec<BenchDef>,
+}
+
+impl MatrixConfig {
+    /// Parse a matrix file.  Every failure names a check and a line.
+    pub fn parse(text: &str) -> Result<MatrixConfig, MatrixParseError> {
+        Parser::new(text).run()
+    }
+
+    /// Unroll the benches into the full cell list, in declaration order:
+    /// bench-major, then substrate, fault, threads, events, mpx.
+    pub fn expand(&self) -> Vec<CellSpec> {
+        let mut cells = Vec::new();
+        for b in &self.benches {
+            for sub in &b.substrates {
+                for fault in &b.faults {
+                    for &threads in &b.threads {
+                        for &events in &b.events {
+                            for &mpx in &b.mpx {
+                                cells.push(CellSpec {
+                                    bench: b.name.clone(),
+                                    op: b.op,
+                                    substrate: compose_fault(sub, fault),
+                                    threads,
+                                    events,
+                                    mpx,
+                                    seed: self.seed,
+                                    warmup: b.warmup.unwrap_or(self.warmup),
+                                    iters: b.iters.unwrap_or(self.iters),
+                                    reps: b.reps.unwrap_or(self.reps),
+                                    mpx_period: self.mpx_period,
+                                    gate_ratio: b.gate_ratio.unwrap_or(self.gate_ratio),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser internals
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Str(String),
+    Arr(Vec<Val>),
+}
+
+impl Val {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Val::Int(_) => "integer",
+            Val::Float(_) => "float",
+            Val::Bool(_) => "bool",
+            Val::Str(_) => "string",
+            Val::Arr(_) => "array",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Root,
+    Matrix,
+    Gate,
+    Axes,
+    Bench,
+}
+
+impl Section {
+    fn name(self) -> &'static str {
+        match self {
+            Section::Root => "(top level)",
+            Section::Matrix => "matrix",
+            Section::Gate => "gate",
+            Section::Axes => "axes",
+            Section::Bench => "bench",
+        }
+    }
+}
+
+/// Raw `[[bench]]` table before axis-default resolution.
+#[derive(Debug, Default)]
+struct RawBench {
+    line: usize,
+    name: Option<String>,
+    op: Option<Op>,
+    substrates: Option<Vec<String>>,
+    threads: Option<Vec<usize>>,
+    events: Option<Vec<usize>>,
+    mpx: Option<Vec<bool>>,
+    faults: Option<Vec<String>>,
+    iters: Option<u64>,
+    warmup: Option<u64>,
+    reps: Option<u32>,
+    gate_ratio: Option<f64>,
+}
+
+#[derive(Debug, Default)]
+struct RawAxes {
+    substrates: Option<Vec<String>>,
+    threads: Option<Vec<usize>>,
+    events: Option<Vec<usize>>,
+    mpx: Option<Vec<bool>>,
+    faults: Option<Vec<String>>,
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    section: Section,
+    seen: Vec<String>,
+    schema: Option<i64>,
+    seed: u64,
+    warmup: u64,
+    iters: u64,
+    reps: u32,
+    mpx_period: u64,
+    gate_ratio: f64,
+    axes: RawAxes,
+    benches: Vec<RawBench>,
+}
+
+type PResult<T> = Result<T, MatrixParseError>;
+
+fn err<T>(line: usize, check: &'static str, msg: impl Into<String>) -> PResult<T> {
+    Err(MatrixParseError::new(line, check, msg))
+}
+
+/// Strip a `#` comment that is not inside a double-quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_scalar(tok: &str, line: usize) -> PResult<Val> {
+    let tok = tok.trim();
+    match tok {
+        "true" => return Ok(Val::Bool(true)),
+        "false" => return Ok(Val::Bool(false)),
+        "" => return err(line, "syntax", "missing value"),
+        _ => {}
+    }
+    if let Some(rest) = tok.strip_prefix('"') {
+        let Some(end) = rest.find('"') else {
+            return err(line, "syntax", "unterminated string");
+        };
+        if !rest[end + 1..].trim().is_empty() {
+            return err(line, "syntax", "trailing characters after string");
+        }
+        return Ok(Val::Str(rest[..end].to_string()));
+    }
+    if let Ok(i) = tok.parse::<i64>() {
+        return Ok(Val::Int(i));
+    }
+    // Floats must look numeric: `f64::parse` would happily accept "inf"
+    // and "NaN", which no knob wants.
+    if tok
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_digit() || c == '-')
+    {
+        if let Ok(f) = tok.parse::<f64>() {
+            if f.is_finite() {
+                return Ok(Val::Float(f));
+            }
+        }
+    }
+    err(line, "syntax", format!("unparseable value `{tok}`"))
+}
+
+fn parse_value(tok: &str, line: usize) -> PResult<Val> {
+    let tok = tok.trim();
+    let Some(inner) = tok.strip_prefix('[') else {
+        return parse_scalar(tok, line);
+    };
+    let Some(inner) = inner.strip_suffix(']') else {
+        return err(line, "syntax", "unterminated array");
+    };
+    if inner.contains('[') {
+        return err(line, "syntax", "nested arrays are not part of the grammar");
+    }
+    let mut items = Vec::new();
+    let mut start = 0usize;
+    let mut in_str = false;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                items.push(&inner[start..i]);
+                start = i + c.len_utf8();
+            }
+            _ => {}
+        }
+    }
+    if in_str {
+        return err(line, "syntax", "unterminated string in array");
+    }
+    items.push(&inner[start..]);
+    let mut out = Vec::new();
+    for item in items {
+        if item.trim().is_empty() && out.is_empty() && items_len_is_one(inner) {
+            // `[]` — an explicitly empty array; range checks reject it
+            // later with a more specific check name.
+            continue;
+        }
+        out.push(parse_scalar(item, line)?);
+    }
+    Ok(Val::Arr(out))
+}
+
+fn items_len_is_one(inner: &str) -> bool {
+    !inner.contains(',')
+}
+
+fn as_u64(v: &Val, key: &str, line: usize) -> PResult<u64> {
+    match v {
+        Val::Int(i) if *i >= 0 => Ok(*i as u64),
+        Val::Int(_) => err(line, "range", format!("`{key}` must be non-negative")),
+        other => err(
+            line,
+            "type",
+            format!("`{key}` wants an integer, got {}", other.type_name()),
+        ),
+    }
+}
+
+fn as_pos_u64(v: &Val, key: &str, line: usize) -> PResult<u64> {
+    let n = as_u64(v, key, line)?;
+    if n == 0 {
+        return err(line, "range", format!("`{key}` must be positive"));
+    }
+    Ok(n)
+}
+
+fn as_ratio(v: &Val, key: &str, line: usize) -> PResult<f64> {
+    let f = match v {
+        Val::Float(f) => *f,
+        Val::Int(i) => *i as f64,
+        other => {
+            return err(
+                line,
+                "type",
+                format!("`{key}` wants a number, got {}", other.type_name()),
+            )
+        }
+    };
+    if !(f > 1.0 && f.is_finite()) {
+        return err(
+            line,
+            "range",
+            format!("`{key}` must be a finite ratio > 1.0 (got {f})"),
+        );
+    }
+    Ok(f)
+}
+
+fn as_str_arr(v: &Val, key: &str, line: usize) -> PResult<Vec<String>> {
+    let Val::Arr(items) = v else {
+        return err(
+            line,
+            "type",
+            format!("`{key}` wants an array of strings, got {}", v.type_name()),
+        );
+    };
+    let mut out = Vec::new();
+    for item in items {
+        let Val::Str(s) = item else {
+            return err(
+                line,
+                "type",
+                format!("`{key}` wants strings, got {}", item.type_name()),
+            );
+        };
+        out.push(s.clone());
+    }
+    if out.is_empty() {
+        return err(line, "axis-empty", format!("`{key}` axis is empty"));
+    }
+    Ok(out)
+}
+
+fn as_usize_arr(v: &Val, key: &str, line: usize, max: usize) -> PResult<Vec<usize>> {
+    let Val::Arr(items) = v else {
+        return err(
+            line,
+            "type",
+            format!("`{key}` wants an array of integers, got {}", v.type_name()),
+        );
+    };
+    let mut out = Vec::new();
+    for item in items {
+        let n = as_u64(item, key, line)? as usize;
+        if n == 0 || n > max {
+            return err(
+                line,
+                "range",
+                format!("`{key}` values must be in 1..={max}"),
+            );
+        }
+        out.push(n);
+    }
+    if out.is_empty() {
+        return err(line, "axis-empty", format!("`{key}` axis is empty"));
+    }
+    Ok(out)
+}
+
+fn as_bool_arr(v: &Val, key: &str, line: usize) -> PResult<Vec<bool>> {
+    let Val::Arr(items) = v else {
+        return err(
+            line,
+            "type",
+            format!("`{key}` wants an array of bools, got {}", v.type_name()),
+        );
+    };
+    let mut out = Vec::new();
+    for item in items {
+        let Val::Bool(b) = item else {
+            return err(
+                line,
+                "type",
+                format!("`{key}` wants bools, got {}", item.type_name()),
+            );
+        };
+        out.push(*b);
+    }
+    if out.is_empty() {
+        return err(line, "axis-empty", format!("`{key}` axis is empty"));
+    }
+    Ok(out)
+}
+
+fn check_substrates(subs: &[String], line: usize) -> PResult<()> {
+    for s in subs {
+        if s.is_empty() {
+            return err(line, "substrate", "empty substrate name");
+        }
+        if s.ends_with("/static") && s != "sim:x86/static" {
+            return err(
+                line,
+                "substrate",
+                format!("`{s}`: only sim:x86/static has a monomorphized session"),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn check_faults(faults: &[String], line: usize) -> PResult<()> {
+    for f in faults {
+        if f.is_empty() {
+            return err(line, "fault", "empty fault schedule name");
+        }
+        if !f
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '=' || c == ',')
+        {
+            return err(line, "fault", format!("`{f}`: bad fault schedule spelling"));
+        }
+    }
+    Ok(())
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            text,
+            section: Section::Root,
+            seen: Vec::new(),
+            schema: None,
+            seed: 42,
+            warmup: 64,
+            iters: 2048,
+            reps: 1,
+            mpx_period: 5000,
+            gate_ratio: 1.5,
+            axes: RawAxes::default(),
+            benches: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> PResult<MatrixConfig> {
+        let mut n_lines = 0usize;
+        let lines: Vec<&str> = self.text.lines().collect();
+        for (i, raw) in lines.iter().enumerate() {
+            n_lines = i + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                self.enter_section(line, n_lines)?;
+            } else {
+                self.key_val(line, n_lines)?;
+            }
+        }
+        self.finish(n_lines + 1)
+    }
+
+    fn enter_section(&mut self, line: &str, no: usize) -> PResult<()> {
+        self.seen.clear();
+        if line == "[[bench]]" {
+            self.section = Section::Bench;
+            self.benches.push(RawBench {
+                line: no,
+                ..RawBench::default()
+            });
+            return Ok(());
+        }
+        if line.starts_with("[[") {
+            return err(
+                no,
+                "section",
+                format!("`{line}`: only [[bench]] is an array of tables"),
+            );
+        }
+        let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) else {
+            return err(no, "syntax", format!("malformed section header `{line}`"));
+        };
+        self.section = match name {
+            "matrix" => Section::Matrix,
+            "gate" => Section::Gate,
+            "axes" => Section::Axes,
+            "bench" => {
+                return err(no, "section", "[bench] must be written [[bench]]");
+            }
+            other => return err(no, "section", format!("unknown section `[{other}]`")),
+        };
+        Ok(())
+    }
+
+    fn key_val(&mut self, line: &str, no: usize) -> PResult<()> {
+        let Some((key, val)) = line.split_once('=') else {
+            return err(
+                no,
+                "syntax",
+                format!("expected `key = value`, got `{line}`"),
+            );
+        };
+        let key = key.trim();
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_lowercase() || c == '_') {
+            return err(no, "syntax", format!("bad key `{key}`"));
+        }
+        if self.seen.iter().any(|k| k == key) {
+            return err(
+                no,
+                "key",
+                format!("duplicate key `{key}` in {}", self.section.name()),
+            );
+        }
+        self.seen.push(key.to_string());
+        let v = parse_value(val, no)?;
+        match self.section {
+            Section::Root => self.root_key(key, &v, no),
+            Section::Matrix => self.matrix_key(key, &v, no),
+            Section::Gate => self.gate_key(key, &v, no),
+            Section::Axes => self.axes_key(key, &v, no),
+            Section::Bench => self.bench_key(key, &v, no),
+        }
+    }
+
+    fn root_key(&mut self, key: &str, v: &Val, no: usize) -> PResult<()> {
+        match key {
+            "schema" => {
+                let Val::Int(i) = v else {
+                    return err(no, "schema", "`schema` must be an integer");
+                };
+                if *i != SCHEMA_VERSION {
+                    return err(
+                        no,
+                        "schema",
+                        format!("unsupported schema {i} (this parser reads {SCHEMA_VERSION})"),
+                    );
+                }
+                self.schema = Some(*i);
+                Ok(())
+            }
+            other => err(no, "key", format!("unknown top-level key `{other}`")),
+        }
+    }
+
+    fn matrix_key(&mut self, key: &str, v: &Val, no: usize) -> PResult<()> {
+        match key {
+            "seed" => self.seed = as_u64(v, key, no)?,
+            "warmup" => self.warmup = as_u64(v, key, no)?,
+            "iters" => self.iters = as_pos_u64(v, key, no)?,
+            "reps" => {
+                let r = as_pos_u64(v, key, no)?;
+                if r > 1000 {
+                    return err(no, "range", "`reps` must be in 1..=1000");
+                }
+                self.reps = r as u32;
+            }
+            "mpx_period" => self.mpx_period = as_pos_u64(v, key, no)?,
+            other => return err(no, "key", format!("unknown [matrix] key `{other}`")),
+        }
+        Ok(())
+    }
+
+    fn gate_key(&mut self, key: &str, v: &Val, no: usize) -> PResult<()> {
+        match key {
+            "max_ratio" => self.gate_ratio = as_ratio(v, key, no)?,
+            other => return err(no, "key", format!("unknown [gate] key `{other}`")),
+        }
+        Ok(())
+    }
+
+    fn axes_key(&mut self, key: &str, v: &Val, no: usize) -> PResult<()> {
+        match key {
+            "substrates" => {
+                let subs = as_str_arr(v, key, no)?;
+                check_substrates(&subs, no)?;
+                self.axes.substrates = Some(subs);
+            }
+            "threads" => self.axes.threads = Some(as_usize_arr(v, key, no, 64)?),
+            "events" => self.axes.events = Some(as_usize_arr(v, key, no, CELL_EVENTS.len())?),
+            "mpx" => self.axes.mpx = Some(as_bool_arr(v, key, no)?),
+            "faults" => {
+                let faults = as_str_arr(v, key, no)?;
+                check_faults(&faults, no)?;
+                self.axes.faults = Some(faults);
+            }
+            other => return err(no, "key", format!("unknown [axes] key `{other}`")),
+        }
+        Ok(())
+    }
+
+    fn bench_key(&mut self, key: &str, v: &Val, no: usize) -> PResult<()> {
+        let b = self.benches.last_mut().expect("in a [[bench]] section");
+        match key {
+            "name" => {
+                let Val::Str(s) = v else {
+                    return err(no, "type", "`name` wants a string");
+                };
+                if s.is_empty()
+                    || !s
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+                {
+                    return err(no, "bench-name", format!("bad bench name `{s}`"));
+                }
+                b.name = Some(s.clone());
+            }
+            "op" => {
+                let Val::Str(s) = v else {
+                    return err(no, "type", "`op` wants a string");
+                };
+                let Some(op) = Op::parse(s) else {
+                    return err(
+                        no,
+                        "op",
+                        format!("unknown op `{s}` (read_into | read | accum)"),
+                    );
+                };
+                b.op = Some(op);
+            }
+            "substrates" => {
+                let subs = as_str_arr(v, key, no)?;
+                check_substrates(&subs, no)?;
+                b.substrates = Some(subs);
+            }
+            "threads" => b.threads = Some(as_usize_arr(v, key, no, 64)?),
+            "events" => b.events = Some(as_usize_arr(v, key, no, CELL_EVENTS.len())?),
+            "mpx" => b.mpx = Some(as_bool_arr(v, key, no)?),
+            "faults" => {
+                let faults = as_str_arr(v, key, no)?;
+                check_faults(&faults, no)?;
+                b.faults = Some(faults);
+            }
+            "iters" => b.iters = Some(as_pos_u64(v, key, no)?),
+            "warmup" => b.warmup = Some(as_u64(v, key, no)?),
+            "reps" => {
+                let r = as_pos_u64(v, key, no)?;
+                if r > 1000 {
+                    return err(no, "range", "`reps` must be in 1..=1000");
+                }
+                b.reps = Some(r as u32);
+            }
+            "max_ratio" => b.gate_ratio = Some(as_ratio(v, key, no)?),
+            other => return err(no, "key", format!("unknown [[bench]] key `{other}`")),
+        }
+        Ok(())
+    }
+
+    fn finish(self, eof_line: usize) -> PResult<MatrixConfig> {
+        if self.schema.is_none() {
+            return err(eof_line, "schema", "missing `schema = 1`");
+        }
+        if self.benches.is_empty() {
+            return err(eof_line, "no-benches", "no [[bench]] sections");
+        }
+        let d_subs = self
+            .axes
+            .substrates
+            .unwrap_or_else(|| vec!["sim:x86".to_string()]);
+        let d_threads = self.axes.threads.unwrap_or_else(|| vec![1]);
+        let d_events = self.axes.events.unwrap_or_else(|| vec![4]);
+        let d_mpx = self.axes.mpx.unwrap_or_else(|| vec![false]);
+        let d_faults = self.axes.faults.unwrap_or_else(|| vec!["none".to_string()]);
+
+        let mut benches = Vec::new();
+        let mut names: Vec<&str> = Vec::new();
+        for raw in &self.benches {
+            let Some(name) = raw.name.as_deref() else {
+                return err(raw.line, "bench-name", "[[bench]] is missing `name`");
+            };
+            if names.contains(&name) {
+                return err(raw.line, "bench-name", format!("duplicate bench `{name}`"));
+            }
+            names.push(name);
+            let Some(op) = raw.op else {
+                return err(raw.line, "op", format!("bench `{name}` is missing `op`"));
+            };
+            let substrates = raw.substrates.clone().unwrap_or_else(|| d_subs.clone());
+            let faults = raw.faults.clone().unwrap_or_else(|| d_faults.clone());
+            if faults.iter().any(|f| f != "none")
+                && substrates.iter().any(|s| s.ends_with("/static"))
+            {
+                return err(
+                    raw.line,
+                    "fault",
+                    format!("bench `{name}`: fault schedules cannot decorate /static substrates"),
+                );
+            }
+            benches.push(BenchDef {
+                name: name.to_string(),
+                op,
+                substrates,
+                threads: raw.threads.clone().unwrap_or_else(|| d_threads.clone()),
+                events: raw.events.clone().unwrap_or_else(|| d_events.clone()),
+                mpx: raw.mpx.clone().unwrap_or_else(|| d_mpx.clone()),
+                faults,
+                iters: raw.iters,
+                warmup: raw.warmup,
+                reps: raw.reps,
+                gate_ratio: raw.gate_ratio,
+            });
+        }
+        Ok(MatrixConfig {
+            seed: self.seed,
+            warmup: self.warmup,
+            iters: self.iters,
+            reps: self.reps,
+            mpx_period: self.mpx_period,
+            gate_ratio: self.gate_ratio,
+            benches,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = "schema = 1\n[[bench]]\nname = \"read\"\nop = \"read\"\n";
+
+    #[test]
+    fn minimal_config_parses_with_defaults() {
+        let cfg = MatrixConfig::parse(MINIMAL).unwrap();
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.gate_ratio, 1.5);
+        assert_eq!(cfg.benches.len(), 1);
+        let cells = cfg.expand();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].coord(), "read/sim:x86/1t/4ev/dir");
+    }
+
+    #[test]
+    fn expansion_is_bench_major_and_complete() {
+        let cfg = MatrixConfig::parse(
+            "schema = 1\n\
+             [axes]\n\
+             substrates = [\"sim:x86\", \"sim:generic\"]\n\
+             threads = [1, 4]\n\
+             events = [1, 4]\n\
+             mpx = [false, true]\n\
+             faults = [\"none\", \"chaos\"]\n\
+             [[bench]]\nname = \"a\"\nop = \"read_into\"\n\
+             [[bench]]\nname = \"b\"\nop = \"accum\"\nthreads = [2]\n",
+        )
+        .unwrap();
+        let cells = cfg.expand();
+        // bench a: full axes (2^5); bench b: threads overridden to one value.
+        assert_eq!(cells.len(), 2 * 2 * 2 * 2 * 2 + 2 * 2 * 2 * 2);
+        assert!(cells[0].coord().starts_with("a/sim:x86/"));
+        assert!(cells
+            .iter()
+            .any(|c| c.substrate == "fault[chaos]:sim:generic"));
+        assert!(cells
+            .iter()
+            .filter(|c| c.bench == "b")
+            .all(|c| c.threads == 2));
+    }
+
+    #[test]
+    fn errors_name_check_and_line() {
+        for (text, check, line) in [
+            ("schema = 2\n", "schema", 1),
+            ("[[bench]]\nname = \"a\"\nop = \"read\"\n", "schema", 4),
+            ("schema = 1\n", "no-benches", 2),
+            ("schema = 1\n[nope]\n", "section", 2),
+            ("schema = 1\n[matrix]\nbogus = 1\n", "key", 3),
+            ("schema = 1\n[matrix]\niters = 0\n", "range", 3),
+            ("schema = 1\n[matrix]\niters = \"many\"\n", "type", 3),
+            ("schema = 1\n[gate]\nmax_ratio = 1.0\n", "range", 3),
+            ("schema = 1\n[axes]\nthreads = []\n", "axis-empty", 3),
+            ("schema = 1\n[axes]\nthreads = [0]\n", "range", 3),
+            ("schema = 1\n[[bench]]\nop = \"read\"\n", "bench-name", 2),
+            ("schema = 1\n[[bench]]\nname = \"a\"\n", "op", 2),
+            (
+                "schema = 1\n[[bench]]\nname = \"a\"\nop = \"frob\"\n",
+                "op",
+                4,
+            ),
+            (
+                "schema = 1\n[[bench]]\nname = \"a\"\nname = \"b\"\n",
+                "key",
+                4,
+            ),
+            ("schema = 1\nwat\n", "syntax", 2),
+            (
+                "schema = 1\n[axes]\nsubstrates = [\"sim:ultra/static\"]\n",
+                "substrate",
+                3,
+            ),
+            (
+                "schema = 1\n[[bench]]\nname = \"a\"\nop = \"read\"\n\
+                 substrates = [\"sim:x86/static\"]\nfaults = [\"chaos\"]\n",
+                "fault",
+                2,
+            ),
+        ] {
+            let e = MatrixConfig::parse(text).unwrap_err();
+            assert_eq!(e.check, check, "for {text:?}: {e}");
+            assert_eq!(e.line, line, "for {text:?}: {e}");
+            assert!(e.to_string().contains(&format!("[{check}]")));
+        }
+    }
+
+    #[test]
+    fn comments_and_strings_interact_correctly() {
+        // Trailing comments are stripped everywhere, including after values.
+        let cfg = MatrixConfig::parse(
+            "schema = 1 # the version\n\
+             [[bench]] # a bench\n\
+             name = \"ok\" # trailing comment\n\
+             op = \"read\"\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.benches[0].name, "ok");
+
+        // A `#` inside a quoted string is NOT a comment: the full string
+        // reaches name validation (rejected there, by the bench-name check
+        // — not mangled into an unterminated string beforehand).
+        let e = MatrixConfig::parse(
+            "schema = 1\n\
+             [[bench]]\n\
+             name = \"a#b\"\n\
+             op = \"read\"\n",
+        )
+        .unwrap_err();
+        assert_eq!(e.check, "bench-name");
+        assert!(e.msg.contains("a#b"), "string survived intact: {}", e.msg);
+    }
+
+    #[test]
+    fn dispatch_and_fault_composition() {
+        assert_eq!(dispatch_of("sim:x86/static"), Dispatch::Static);
+        assert_eq!(dispatch_of("sim:x86/boxed"), Dispatch::Registry("sim:x86"));
+        assert_eq!(dispatch_of("sim:x86"), Dispatch::Registry("sim:x86"));
+        assert_eq!(compose_fault("sim:x86", "none"), "sim:x86");
+        assert_eq!(compose_fault("sim:x86", "chaos"), "fault[chaos]:sim:x86");
+        assert_eq!(
+            compose_fault("sim:x86/boxed", "chaos"),
+            "fault[chaos]:sim:x86/boxed"
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Pennycook performance-portability scoring.
+//!
+//! Pennycook, Sewall & Lee (PAPERS.md, "A Metric for Performance
+//! Portability") define
+//!
+//! ```text
+//!                         |H|
+//! PP(a, p, H) = ───────────────────────     if a is supported ∀ i ∈ H,
+//!                Σ_{i ∈ H} 1 / e_i(a, p)    else 0
+//! ```
+//!
+//! the harmonic mean of an application's efficiency over every platform
+//! in the set — with the hard rule that one unsupported platform zeroes
+//! the score (a portability metric must not reward dropping the platform
+//! you are slow on).
+//!
+//! Mapping onto this matrix: the *application* is a benchmark, the
+//! *platform set* H is every substrate label the matrix exercises
+//! (including `file:` platforms and `fault[*]` decorations — a fault
+//! schedule is a different platform as far as delivered performance is
+//! concerned), and *application efficiency* for one (substrate, config)
+//! cell is `best vcyc/op across substrates ÷ this substrate's vcyc/op`
+//! (virtual cycles make this exact and host-independent).  A substrate's
+//! efficiency is the harmonic mean over the bench's configs; PP is the
+//! harmonic mean of those over substrates.
+
+use super::runner::CellResult;
+
+/// Harmonic mean of a set of efficiencies, with the Pennycook
+/// unsupported rule: an empty set, or any entry `<= 0` (the encoding of
+/// "unsupported"), scores 0.
+pub fn harmonic_pp(effs: &[f64]) -> f64 {
+    // NaN efficiencies count as unsupported, hence the explicit check
+    // rather than `!(e > 0.0)`.
+    if effs.is_empty() || effs.iter().any(|&e| e.is_nan() || e <= 0.0) {
+        return 0.0;
+    }
+    effs.len() as f64 / effs.iter().map(|e| 1.0 / e).sum::<f64>()
+}
+
+/// One substrate's aggregate efficiency for a benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubstrateEff {
+    pub substrate: String,
+    /// Harmonic-mean application efficiency over the bench's configs in
+    /// (0, 1]; 0 when any cell was unsupported.
+    pub eff: f64,
+}
+
+/// A benchmark's performance-portability score across the substrate set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchScore {
+    pub bench: String,
+    /// PP(bench, matrix config, substrate set) in [0, 1].
+    pub pp: f64,
+    /// Per-substrate efficiencies the score is the harmonic mean of.
+    pub substrates: Vec<SubstrateEff>,
+}
+
+fn push_unique(v: &mut Vec<String>, s: &str) {
+    if !v.iter().any(|x| x == s) {
+        v.push(s.to_string());
+    }
+}
+
+/// Score every benchmark in the matrix.  Cells are grouped by bench in
+/// first-appearance order; within a bench, H is the set of substrate
+/// labels and the configs are the `(threads, events, mpx)` tuples.
+pub fn score_matrix(cells: &[CellResult]) -> Vec<BenchScore> {
+    let mut benches: Vec<String> = Vec::new();
+    for c in cells {
+        push_unique(&mut benches, &c.spec.bench);
+    }
+    benches
+        .iter()
+        .map(|bench| {
+            let bc: Vec<&CellResult> = cells.iter().filter(|c| &c.spec.bench == bench).collect();
+            let mut subs: Vec<String> = Vec::new();
+            let mut configs: Vec<String> = Vec::new();
+            for c in &bc {
+                push_unique(&mut subs, &c.spec.substrate);
+                push_unique(&mut configs, &c.spec.config_key());
+            }
+            // Best (lowest) vcyc/op per config across substrates.
+            let best: Vec<f64> = configs
+                .iter()
+                .map(|cfg| {
+                    bc.iter()
+                        .filter(|c| c.supported && &c.spec.config_key() == cfg)
+                        .map(|c| c.vcyc_per_op)
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let substrates: Vec<SubstrateEff> = subs
+                .iter()
+                .map(|sub| {
+                    let effs: Vec<f64> = configs
+                        .iter()
+                        .zip(&best)
+                        .filter(|(_, b)| b.is_finite() && **b > 0.0)
+                        .map(|(cfg, b)| {
+                            bc.iter()
+                                .find(|c| &c.spec.substrate == sub && &c.spec.config_key() == cfg)
+                                .filter(|c| c.supported && c.vcyc_per_op > 0.0)
+                                .map_or(0.0, |c| b / c.vcyc_per_op)
+                        })
+                        .collect();
+                    SubstrateEff {
+                        substrate: sub.clone(),
+                        eff: harmonic_pp(&effs),
+                    }
+                })
+                .collect();
+            let effs: Vec<f64> = substrates.iter().map(|s| s.eff).collect();
+            BenchScore {
+                bench: bench.clone(),
+                pp: harmonic_pp(&effs),
+                substrates,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_mean_matches_hand_computed_fixtures() {
+        // Pennycook's own shape: two platforms at e = 1.0 and e = 0.5
+        // give 2 / (1/1 + 1/0.5) = 2/3, not the arithmetic 0.75.
+        assert!((harmonic_pp(&[1.0, 0.5]) - 2.0 / 3.0).abs() < 1e-12);
+        // Identical efficiencies are a fixed point.
+        assert!((harmonic_pp(&[0.8, 0.8, 0.8]) - 0.8).abs() < 1e-12);
+        // 1/(mean of reciprocals): [1, 1/2, 1/4] -> 3/7.
+        assert!((harmonic_pp(&[1.0, 0.5, 0.25]) - 3.0 / 7.0).abs() < 1e-12);
+        // Single platform: the score is that platform's efficiency.
+        assert!((harmonic_pp(&[0.42]) - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsupported_platform_zeroes_the_score() {
+        assert_eq!(harmonic_pp(&[]), 0.0);
+        assert_eq!(harmonic_pp(&[1.0, 0.0]), 0.0);
+        assert_eq!(harmonic_pp(&[1.0, -1.0]), 0.0);
+        assert_eq!(harmonic_pp(&[1.0, f64::NAN]), 0.0);
+    }
+
+    #[test]
+    fn harmonic_is_dominated_by_the_worst_platform() {
+        // The harmonic mean sits below the arithmetic mean and is pulled
+        // hard toward the minimum — the property that makes it the right
+        // aggregate for "portable means fast *everywhere*".
+        let pp = harmonic_pp(&[1.0, 1.0, 0.1]);
+        assert!(pp < 0.26, "pp = {pp}");
+        assert!(pp > 0.1);
+    }
+}

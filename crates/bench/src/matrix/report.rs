@@ -1,0 +1,319 @@
+//! Scored-matrix reports: line-per-cell JSON, line-addressed baseline
+//! diffing, and the text render — the same document discipline as
+//! `papi_validate`'s accuracy matrix (one cell per line is what makes a
+//! baseline regression *nameable by line number* in CI output).
+
+use std::fmt;
+
+use papi_tools::validate::{extract_str, json_escape};
+
+use super::pp::BenchScore;
+use super::runner::CellResult;
+
+/// Schema tag written into the report header line.
+pub const REPORT_SCHEMA: u32 = 1;
+
+/// Serialize cells + scores as line-per-cell JSON.  Line 1 is the
+/// header, so the first cell sits on line 2 — the line numbers baseline
+/// diffs report.
+pub fn render_matrix_json(cells: &[CellResult], scores: &[BenchScore]) -> String {
+    let mut out = format!("{{\"schema\": {REPORT_SCHEMA}, \"matrix\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "{{\"bench\":\"{}\",\"substrate\":\"{}\",\"threads\":{},\"events\":{},\
+             \"mpx\":\"{}\",\"supported\":{},\"iters\":{},\"reps\":{},\
+             \"vcyc_per_op\":{:.4},\"ns_per_op\":{:.1},\"cpu_ns_per_op\":{:.1},\
+             \"cpu_clock\":{},\"allocs_per_op\":{:.2},\"spread_vcyc\":{},\
+             \"reads\":{},\"mpx_rotations\":{},\"fault_retries\":{}}}{}\n",
+            json_escape(&c.spec.bench),
+            json_escape(&c.spec.substrate),
+            c.spec.threads,
+            c.spec.events,
+            if c.spec.mpx { "mpx" } else { "dir" },
+            c.supported,
+            c.spec.iters,
+            c.spec.reps,
+            c.vcyc_per_op,
+            c.ns_per_op,
+            c.cpu_ns_per_op,
+            c.cpu_clock,
+            c.allocs_per_op,
+            c.barrier_spread_vcyc,
+            c.obs_reads,
+            c.obs_mpx_rotations,
+            c.obs_fault_retries,
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("], \"scores\": [\n");
+    for (i, s) in scores.iter().enumerate() {
+        let subs: Vec<String> = s
+            .substrates
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"substrate\":\"{}\",\"eff\":{:.4}}}",
+                    json_escape(&e.substrate),
+                    e.eff
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "{{\"bench\":\"{}\",\"pp\":{:.4},\"substrates\":[{}]}}{}\n",
+            json_escape(&s.bench),
+            s.pp,
+            subs.join(","),
+            if i + 1 < scores.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// One cell parsed back out of a report document, with its line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedMatrixCell {
+    /// 1-based line in the document.
+    pub line: usize,
+    pub bench: String,
+    pub substrate: String,
+    pub threads: usize,
+    pub events: usize,
+    pub mpx: bool,
+    pub supported: bool,
+    pub vcyc_per_op: f64,
+}
+
+impl ParsedMatrixCell {
+    /// The same coordinate [`super::config::CellSpec::coord`] produces.
+    pub fn coord(&self) -> String {
+        format!(
+            "{}/{}/{}t/{}ev/{}",
+            self.bench,
+            self.substrate,
+            self.threads,
+            self.events,
+            if self.mpx { "mpx" } else { "dir" }
+        )
+    }
+}
+
+fn extract_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn extract_f64(line: &str, key: &str) -> Option<f64> {
+    extract_raw(line, key)?.parse().ok()
+}
+
+fn extract_usize(line: &str, key: &str) -> Option<usize> {
+    extract_raw(line, key)?.parse().ok()
+}
+
+fn extract_bool(line: &str, key: &str) -> Option<bool> {
+    match extract_raw(line, key)? {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+/// Parse a report document (as produced by [`render_matrix_json`]) back
+/// into its cells with line numbers.  Tolerates unknown fields; lines
+/// that are not cell objects (header, scores, footer) are skipped.
+pub fn parse_matrix_json(text: &str) -> Vec<ParsedMatrixCell> {
+    let mut cells = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let (Some(bench), Some(substrate), Some(mpx)) = (
+            extract_str(line, "bench"),
+            extract_str(line, "substrate"),
+            extract_str(line, "mpx"),
+        ) else {
+            continue;
+        };
+        let (Some(threads), Some(events), Some(supported), Some(vcyc_per_op)) = (
+            extract_usize(line, "threads"),
+            extract_usize(line, "events"),
+            extract_bool(line, "supported"),
+            extract_f64(line, "vcyc_per_op"),
+        ) else {
+            continue;
+        };
+        cells.push(ParsedMatrixCell {
+            line: i + 1,
+            bench: bench.to_string(),
+            substrate: substrate.to_string(),
+            threads,
+            events,
+            mpx: mpx == "mpx",
+            supported,
+            vcyc_per_op,
+        });
+    }
+    cells
+}
+
+/// One cell that got worse than the baseline allows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixRegression {
+    /// Cell coordinate (`bench/substrate/Nt/Mev/{dir|mpx}`).
+    pub cell: String,
+    /// Line of the cell in the baseline document.
+    pub baseline_line: usize,
+    /// What happened (`vcyc/op 43.7 -> 95.0 (2.17x > limit 1.50x)`,
+    /// `supported -> unsupported`, `missing from current run`).
+    pub detail: String,
+}
+
+impl fmt::Display for MatrixRegression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} (baseline line {})",
+            self.cell, self.detail, self.baseline_line
+        )
+    }
+}
+
+/// Outcome of diffing a fresh run against a baseline document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MatrixDiff {
+    /// Cells worse than the per-cell gate allows — CI failures.
+    pub regressions: Vec<MatrixRegression>,
+    /// Cells faster than the gate's reciprocal (stale baseline hints).
+    pub improvements: Vec<String>,
+    /// Cells present now but absent from the baseline.
+    pub added: Vec<String>,
+}
+
+impl MatrixDiff {
+    /// True when nothing regressed.
+    pub fn clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Diff `current` against a baseline report document.  A cell regresses
+/// when `current_vcyc / baseline_vcyc` exceeds its spec's `gate_ratio`,
+/// when it turned unsupported, or when it vanished; virtual cycles make
+/// the comparison deterministic, so the gate is not flaky.
+pub fn diff_against_baseline(current: &[CellResult], baseline: &str) -> MatrixDiff {
+    diff_against_parsed(current, &parse_matrix_json(baseline))
+}
+
+/// [`diff_against_baseline`] over already-parsed baseline cells.
+pub fn diff_against_parsed(current: &[CellResult], baseline: &[ParsedMatrixCell]) -> MatrixDiff {
+    let mut diff = MatrixDiff::default();
+    for b in baseline {
+        let coord = b.coord();
+        let Some(c) = current.iter().find(|c| c.spec.coord() == coord) else {
+            diff.regressions.push(MatrixRegression {
+                cell: coord,
+                baseline_line: b.line,
+                detail: "missing from current run".to_string(),
+            });
+            continue;
+        };
+        if b.supported && !c.supported {
+            diff.regressions.push(MatrixRegression {
+                cell: coord,
+                baseline_line: b.line,
+                detail: "supported -> unsupported".to_string(),
+            });
+            continue;
+        }
+        if !b.supported {
+            if c.supported {
+                diff.improvements
+                    .push(format!("{coord}: unsupported -> supported"));
+            }
+            continue;
+        }
+        if b.vcyc_per_op <= 0.0 {
+            continue;
+        }
+        let ratio = c.vcyc_per_op / b.vcyc_per_op;
+        let limit = c.spec.gate_ratio;
+        if ratio > limit {
+            diff.regressions.push(MatrixRegression {
+                cell: coord,
+                baseline_line: b.line,
+                detail: format!(
+                    "vcyc/op {:.4} -> {:.4} ({ratio:.2}x > limit {limit:.2}x)",
+                    b.vcyc_per_op, c.vcyc_per_op
+                ),
+            });
+        } else if ratio < 1.0 / limit {
+            diff.improvements.push(format!(
+                "{coord}: vcyc/op {:.4} -> {:.4} ({ratio:.2}x) — refresh the baseline",
+                b.vcyc_per_op, c.vcyc_per_op
+            ));
+        }
+    }
+    for c in current {
+        let coord = c.spec.coord();
+        if !baseline.iter().any(|b| b.coord() == coord) {
+            diff.added.push(coord);
+        }
+    }
+    diff
+}
+
+/// Human-readable matrix render: one line per cell plus the PP table —
+/// the `papi_validate` report format applied to performance.
+pub fn render_report(cells: &[CellResult], scores: &[BenchScore]) -> String {
+    let n_sub = {
+        let mut subs: Vec<&str> = cells.iter().map(|c| c.spec.substrate.as_str()).collect();
+        subs.sort_unstable();
+        subs.dedup();
+        subs.len()
+    };
+    let unsupported = cells.iter().filter(|c| !c.supported).count();
+    let mut out = format!(
+        "benchmark matrix: {} cells / {} benches / {} substrates ({} unsupported)\n",
+        cells.len(),
+        scores.len(),
+        n_sub,
+        unsupported
+    );
+    out.push_str(&format!(
+        "{:<56} {:>12} {:>10} {:>11} {:>10} {:>8} {:>8} {:>8}\n",
+        "cell", "vcyc/op", "ns/op", "cpu-ns/op", "allocs/op", "spread", "mpx-rot", "retries"
+    ));
+    for c in cells {
+        if c.supported {
+            out.push_str(&format!(
+                "{:<56} {:>12.4} {:>10.1} {:>11.1} {:>10.2} {:>8} {:>8} {:>8}\n",
+                c.spec.coord(),
+                c.vcyc_per_op,
+                c.ns_per_op,
+                c.cpu_ns_per_op,
+                c.allocs_per_op,
+                c.barrier_spread_vcyc,
+                c.obs_mpx_rotations,
+                c.obs_fault_retries
+            ));
+        } else {
+            out.push_str(&format!("{:<56} unsupported\n", c.spec.coord()));
+        }
+    }
+    out.push_str("\nperformance portability (Pennycook harmonic mean over substrates):\n");
+    for s in scores {
+        let effs: Vec<String> = s
+            .substrates
+            .iter()
+            .map(|e| format!("{}={:.3}", e.substrate, e.eff))
+            .collect();
+        out.push_str(&format!(
+            "  {:<24} PP {:.3}   {}\n",
+            s.bench,
+            s.pp,
+            effs.join("  ")
+        ));
+    }
+    out
+}

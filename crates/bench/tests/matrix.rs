@@ -1,0 +1,392 @@
+//! Matrix-runner correctness: seeded determinism, baseline regression
+//! naming, barrier-start synchrony, config-corpus robustness, and the
+//! report round trips the regression gate depends on.
+//!
+//! Everything here runs tiny cell sizes — the properties under test
+//! (determinism, line addressing, spread, parser structure) are exact, so
+//! they hold at 64 iters as firmly as at a million.
+
+use papi_bench::bench_json;
+use papi_bench::matrix::{
+    diff_against_parsed, parse_matrix_json, render_matrix_json, run_cell, run_matrix, score_matrix,
+    CellResult, CellSpec, MatrixConfig, Op, RunOptions,
+};
+use papi_obs::{Counter, Obs};
+
+/// A small but representative config: two benches, two substrates, a
+/// fault schedule, single- and multi-thread cells, direct and mpx modes.
+const SMALL_CONFIG: &str = r#"
+schema = 1
+
+[matrix]
+seed = 7
+warmup = 16
+iters = 64
+reps = 2
+
+[gate]
+max_ratio = 1.5
+
+[axes]
+substrates = ["sim:x86", "sim:generic"]
+threads = [1, 4]
+events = [1, 4]
+mpx = [false, true]
+faults = ["none"]
+
+[[bench]]
+name = "read_into"
+op = "read_into"
+faults = ["none", "chaos"]
+
+[[bench]]
+name = "accum"
+op = "accum"
+threads = [1]
+mpx = [false]
+"#;
+
+fn small_results() -> Vec<CellResult> {
+    let cfg = MatrixConfig::parse(SMALL_CONFIG).expect("small config parses");
+    run_matrix(&cfg.expand(), &RunOptions::default())
+}
+
+fn one_spec(substrate: &str, threads: usize, seed: u64) -> CellSpec {
+    CellSpec {
+        bench: "spread".to_string(),
+        op: Op::ReadInto,
+        substrate: substrate.to_string(),
+        threads,
+        events: 4,
+        mpx: false,
+        seed,
+        warmup: 16,
+        iters: 64,
+        reps: 1,
+        mpx_period: 5000,
+        gate_ratio: 1.5,
+    }
+}
+
+/// Same config + seed => the same cell set with bit-identical
+/// deterministic fields (virtual cycles, allocations, spread, support,
+/// fault retries). Only host timings may differ between runs.
+#[test]
+fn seeded_runs_are_deterministic() {
+    let a = small_results();
+    let b = small_results();
+    assert_eq!(a.len(), b.len());
+    assert!(!a.is_empty());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.spec, y.spec);
+        assert_eq!(x.supported, y.supported, "{}", x.spec.coord());
+        assert_eq!(x.vcyc_per_op, y.vcyc_per_op, "{}", x.spec.coord());
+        assert_eq!(x.allocs_per_op, y.allocs_per_op, "{}", x.spec.coord());
+        assert_eq!(
+            x.barrier_spread_vcyc,
+            y.barrier_spread_vcyc,
+            "{}",
+            x.spec.coord()
+        );
+        assert_eq!(x.virt_throughput, y.virt_throughput, "{}", x.spec.coord());
+        assert_eq!(x.obs_reads, y.obs_reads, "{}", x.spec.coord());
+        assert_eq!(
+            x.obs_fault_retries,
+            y.obs_fault_retries,
+            "{}",
+            x.spec.coord()
+        );
+    }
+    // And the PP scores, which derive only from deterministic fields.
+    let (sa, sb) = (score_matrix(&a), score_matrix(&b));
+    assert_eq!(sa.len(), sb.len());
+    for (x, y) in sa.iter().zip(&sb) {
+        assert_eq!(x.bench, y.bench);
+        assert_eq!(x.pp, y.pp);
+    }
+}
+
+/// Planted regression: doctor one baseline cell to half its virtual cost
+/// and the diff must fail naming exactly that cell *and* the line it
+/// occupies in the baseline document.
+#[test]
+fn planted_regression_names_cell_and_baseline_line() {
+    let results = small_results();
+    let doc = render_matrix_json(&results, &score_matrix(&results));
+    let mut baseline = parse_matrix_json(&doc);
+    assert_eq!(
+        baseline.len(),
+        results.len(),
+        "every cell parses back out of the report"
+    );
+    // Header on line 1, so cell i sits on line i + 2.
+    for (i, b) in baseline.iter().enumerate() {
+        assert_eq!(b.line, i + 2, "cell line addressing");
+    }
+
+    // Self-diff is clean: nothing regressed against our own report.
+    let self_diff = diff_against_parsed(&results, &baseline);
+    assert!(
+        self_diff.clean(),
+        "self-diff regressed: {:?}",
+        self_diff.regressions
+    );
+    assert!(self_diff.added.is_empty());
+
+    // Plant: pretend the 5th cell used to be twice as fast.
+    let victim = 4.min(baseline.len() - 1);
+    baseline[victim].vcyc_per_op /= 2.0;
+    let coord = baseline[victim].coord();
+    let line = baseline[victim].line;
+
+    let diff = diff_against_parsed(&results, &baseline);
+    assert_eq!(diff.regressions.len(), 1, "exactly the planted cell fails");
+    let r = &diff.regressions[0];
+    assert_eq!(r.cell, coord);
+    assert_eq!(r.baseline_line, line);
+    assert!(
+        r.detail.contains("2.00x"),
+        "detail carries the ratio: {}",
+        r.detail
+    );
+    let shown = format!("{r}");
+    assert!(shown.contains(&coord), "display names the cell: {shown}");
+    assert!(
+        shown.contains(&format!("baseline line {line}")),
+        "display names the baseline line: {shown}"
+    );
+}
+
+/// A baseline cell the current run no longer produces is a regression
+/// (coverage shrank); a current cell the baseline lacks is only reported
+/// as added.
+#[test]
+fn missing_and_added_cells_are_classified() {
+    let results = small_results();
+    let doc = render_matrix_json(&results, &score_matrix(&results));
+    let baseline = parse_matrix_json(&doc);
+
+    let truncated: Vec<CellResult> = results[1..].to_vec();
+    let diff = diff_against_parsed(&truncated, &baseline);
+    assert_eq!(diff.regressions.len(), 1);
+    assert_eq!(diff.regressions[0].cell, results[0].spec.coord());
+    assert_eq!(diff.regressions[0].baseline_line, 2);
+    assert!(diff.regressions[0].detail.contains("missing"));
+
+    let shrunk_baseline = &baseline[1..];
+    let diff = diff_against_parsed(&results, shrunk_baseline);
+    assert!(diff.clean());
+    assert_eq!(diff.added, vec![results[0].spec.coord()]);
+}
+
+/// A cell that turned unsupported regresses; one that turned supported is
+/// an improvement, never a failure.
+#[test]
+fn support_transitions_are_gated_asymmetrically() {
+    let results = small_results();
+    let doc = render_matrix_json(&results, &score_matrix(&results));
+
+    let mut dead = results.clone();
+    dead[0] = CellResult {
+        supported: false,
+        vcyc_per_op: 0.0,
+        ..dead[0].clone()
+    };
+    let diff = diff_against_parsed(&dead, &parse_matrix_json(&doc));
+    assert_eq!(diff.regressions.len(), 1);
+    assert!(diff.regressions[0].detail.contains("unsupported"));
+
+    let mut baseline = parse_matrix_json(&doc);
+    baseline[0].supported = false;
+    let diff = diff_against_parsed(&results, &baseline);
+    assert!(diff.clean());
+    assert!(diff.improvements.iter().any(|i| i.contains("supported")));
+}
+
+/// Barrier-start synchrony: with seed stride 0 every worker runs a
+/// bit-identical machine, so the post-barrier start timestamps must agree
+/// to within one measurement quantum (one op's virtual cost) — on 2, 4
+/// and 8 threads, clean and under chaos fault injection.
+#[test]
+fn barrier_start_spread_below_one_quantum() {
+    let opts = RunOptions {
+        obs: None,
+        seed_stride: 0,
+        progress: false,
+    };
+    for substrate in ["sim:x86", "fault[chaos]:sim:x86"] {
+        for threads in [2usize, 4, 8] {
+            let r = run_cell(&one_spec(substrate, threads, 7), &opts);
+            assert!(r.supported, "{substrate}/{threads}t refused");
+            let quantum = r.vcyc_per_op;
+            assert!(quantum > 0.0);
+            assert!(
+                (r.barrier_spread_vcyc as f64) < quantum,
+                "{substrate}/{threads}t: start spread {} vcyc >= one op quantum {quantum}",
+                r.barrier_spread_vcyc
+            );
+        }
+    }
+}
+
+/// The matrix runner's own observability: cells run / unsupported /
+/// threads launched flow into the attached obs context.
+#[test]
+fn matrix_obs_counters_flow() {
+    let obs = Obs::new();
+    let opts = RunOptions {
+        obs: Some(obs.clone()),
+        seed_stride: 1,
+        progress: false,
+    };
+    let specs = vec![
+        one_spec("sim:x86", 1, 7),
+        one_spec("sim:x86", 4, 7),
+        one_spec("no-such-substrate", 2, 7),
+    ];
+    let results = run_matrix(&specs, &opts);
+    assert!(results[0].supported && results[1].supported);
+    assert!(
+        !results[2].supported,
+        "registry miss must be unsupported, not a panic"
+    );
+    assert_eq!(obs.get(Counter::MatrixCellsRun), 2);
+    assert_eq!(obs.get(Counter::MatrixCellsUnsupported), 1);
+    assert_eq!(obs.get(Counter::MatrixThreadsLaunched), 1 + 4 + 2);
+}
+
+/// Robustness corpus: every mutation of the shipped matrix config must
+/// yield either a valid config or a structured [`MatrixParseError`] with a
+/// named check and an in-range line number — never a panic. Seeded, so a
+/// failure reproduces with the printed (op, round).
+#[test]
+fn mutated_matrix_config_never_panics() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    let shipped = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../benches/matrix.toml"
+    ))
+    .expect("benches/matrix.toml readable");
+    // The shipped file itself must parse before we start breaking it.
+    MatrixConfig::parse(&shipped).expect("shipped matrix.toml parses");
+
+    let mut rng = SmallRng::seed_from_u64(0x00AB_5EED_BE9C_4001);
+    let named = |c: &str| !c.is_empty() && c.chars().all(|ch| ch.is_ascii_graphic());
+    for round in 0..300u32 {
+        let op = rng.gen_range(0..5u8);
+        let mutated = mutate(&shipped, op, &mut rng);
+        let label = format!("op={op} round={round}");
+        let got = std::panic::catch_unwind(|| MatrixConfig::parse(&mutated));
+        let Ok(result) = got else {
+            panic!("matrix parser panicked on mutated input ({label})");
+        };
+        if let Err(e) = result {
+            assert!(named(e.check), "unnamed check for {label}: {e:?}");
+            let lines = mutated.lines().count();
+            assert!(
+                e.line <= lines + 1,
+                "line {} out of range ({lines} lines) for {label}",
+                e.line
+            );
+            let shown = format!("{e}");
+            assert!(
+                shown.contains(&format!("[{}]", e.check)),
+                "display lost the check name for {label}: {shown}"
+            );
+        }
+    }
+
+    fn mutate(text: &str, op: u8, rng: &mut SmallRng) -> String {
+        let lines: Vec<&str> = text.lines().collect();
+        match op {
+            // Truncate at an arbitrary char boundary (torn write).
+            0 => {
+                let cut = rng.gen_range(0..=text.len());
+                let cut = (cut..=text.len())
+                    .find(|&i| text.is_char_boundary(i))
+                    .unwrap();
+                text[..cut].to_string()
+            }
+            // Delete one line.
+            1 => {
+                let victim = rng.gen_range(0..lines.len());
+                lines
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != victim)
+                    .map(|(_, l)| *l)
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            }
+            // Corrupt one character.
+            2 => {
+                let mut bytes = text.as_bytes().to_vec();
+                let i = rng.gen_range(0..bytes.len());
+                bytes[i] = rng.gen_range(b' '..=b'~');
+                String::from_utf8_lossy(&bytes).into_owned()
+            }
+            // Duplicate one line (duplicate keys/sections).
+            3 => {
+                let victim = rng.gen_range(0..lines.len());
+                let mut out: Vec<&str> = Vec::with_capacity(lines.len() + 1);
+                for (i, l) in lines.iter().enumerate() {
+                    out.push(l);
+                    if i == victim {
+                        out.push(l);
+                    }
+                }
+                out.join("\n")
+            }
+            // Insert a garbage line at a random spot.
+            _ => {
+                let garbage: String = (0..rng.gen_range(1..40usize))
+                    .map(|_| rng.gen_range(b' '..=b'~') as char)
+                    .collect();
+                let at = rng.gen_range(0..=lines.len());
+                let mut out: Vec<&str> = lines.clone();
+                out.insert(at, &garbage);
+                out.join("\n")
+            }
+        }
+    }
+}
+
+/// The matrix report round-trips: every rendered cell parses back with
+/// the coordinate and virtual cost it was rendered from.
+#[test]
+fn matrix_report_round_trips() {
+    let results = small_results();
+    let doc = render_matrix_json(&results, &score_matrix(&results));
+    let parsed = parse_matrix_json(&doc);
+    assert_eq!(parsed.len(), results.len());
+    for (p, r) in parsed.iter().zip(&results) {
+        assert_eq!(p.coord(), r.spec.coord());
+        assert_eq!(p.supported, r.supported);
+        // vcyc is rendered at 4 decimals; parse must recover that value.
+        assert!((p.vcyc_per_op - r.vcyc_per_op).abs() < 1e-4);
+    }
+}
+
+/// The committed perf trajectory is in canonical form: sorted by
+/// `(bench, substrate)` and byte-stable under `parse ∘ render`.
+#[test]
+fn committed_trajectory_is_canonical() {
+    let path = bench_json::default_path();
+    let text = std::fs::read_to_string(&path).expect("BENCH_hotpath.json readable");
+    let records = bench_json::parse(&text);
+    assert!(records.len() >= 20, "trajectory unexpectedly small");
+    let keys: Vec<(String, String)> = records
+        .iter()
+        .map(|r| (r.bench.clone(), r.substrate.clone()))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "committed trajectory must be key-sorted");
+    assert_eq!(
+        bench_json::render(&records),
+        text,
+        "committed trajectory must be in render-canonical form"
+    );
+}

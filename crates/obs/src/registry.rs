@@ -119,6 +119,13 @@ pub enum Counter {
     /// Sources closed *incomplete* (the session gave up mid-stream, e.g.
     /// under fault injection) — explicitly reported, never silent.
     AggdSourcesIncomplete,
+    /// Benchmark-matrix cells executed to completion (supported).
+    MatrixCellsRun,
+    /// Benchmark-matrix cells whose setup the substrate refused
+    /// (contributes zero to the performance-portability score).
+    MatrixCellsUnsupported,
+    /// Worker threads launched by the benchmark-matrix runner.
+    MatrixThreadsLaunched,
 }
 
 /// All counters, in slot order.  `COUNTERS[c as usize] == c` for every `c`.
@@ -167,6 +174,9 @@ pub const COUNTERS: &[Counter] = &[
     Counter::AggdTenantsEvicted,
     Counter::AggdSourcesClosed,
     Counter::AggdSourcesIncomplete,
+    Counter::MatrixCellsRun,
+    Counter::MatrixCellsUnsupported,
+    Counter::MatrixThreadsLaunched,
 ];
 
 /// Number of registry slots.
@@ -198,6 +208,7 @@ impl Counter {
             | AggdTenantsEvicted
             | AggdSourcesClosed
             | AggdSourcesIncomplete => "aggd",
+            MatrixCellsRun | MatrixCellsUnsupported | MatrixThreadsLaunched => "matrix",
         }
     }
 
@@ -249,6 +260,9 @@ impl Counter {
             AggdTenantsEvicted => "tenants_evicted",
             AggdSourcesClosed => "sources_closed",
             AggdSourcesIncomplete => "sources_incomplete",
+            MatrixCellsRun => "cells_run",
+            MatrixCellsUnsupported => "cells_unsupported",
+            MatrixThreadsLaunched => "threads_launched",
         }
     }
 

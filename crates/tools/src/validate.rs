@@ -406,7 +406,9 @@ pub fn run_matrix(reg: &Arc<SubstrateRegistry>, cfg: &ValidateConfig) -> Vec<Cel
     cells
 }
 
-fn json_escape(s: &str) -> String {
+/// Escape a string for embedding in a hand-rolled JSON document (shared
+/// by the validation matrix and the benchmark-matrix report writers).
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -482,7 +484,10 @@ impl ParsedCell {
     }
 }
 
-fn extract_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+/// Extract the value of a `"key":"value"` string field from one line of a
+/// hand-rolled JSON document (the inverse of [`json_escape`] for the
+/// escape-free field values these matrices emit).
+pub fn extract_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\":\"");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];

@@ -953,3 +953,59 @@ fn grade_floor_is_monotone() {
         );
     }
 }
+
+/// Pennycook's PP is monotone in any single cell's efficiency: raising
+/// one efficiency (all others held fixed) never lowers the score — at
+/// the flat level and through the two-level fold the benchmark matrix
+/// uses (harmonic over configs per substrate, then harmonic over
+/// substrates). An unsupported cell (eff <= 0) zeroes the whole score.
+#[test]
+fn pp_is_monotone_in_single_cell_efficiency() {
+    use papi_bench::matrix::harmonic_pp;
+
+    let mut rng = SmallRng::seed_from_u64(0x2006);
+    for case in 0..256 {
+        let n = rng.gen_range(1..8usize);
+        let mut effs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.01..1.0f64)).collect();
+        let before = harmonic_pp(&effs);
+        let i = rng.gen_range(0..n);
+        let bumped = (effs[i] + rng.gen_range(0.0..1.0f64)).min(1.0);
+        assert!(bumped >= effs[i]);
+        effs[i] = bumped;
+        let after = harmonic_pp(&effs);
+        assert!(
+            after >= before - 1e-12,
+            "case {case}: raising eff[{i}] dropped PP {before} -> {after} ({effs:?})"
+        );
+
+        // Two-level fold: substrate scores are themselves harmonic means
+        // of per-config efficiencies; bumping one config cell must not
+        // lower the final PP either.
+        let subs = rng.gen_range(1..5usize);
+        let cfgs = rng.gen_range(1..5usize);
+        let mut matrix: Vec<Vec<f64>> = (0..subs)
+            .map(|_| (0..cfgs).map(|_| rng.gen_range(0.01..1.0f64)).collect())
+            .collect();
+        let fold = |m: &[Vec<f64>]| {
+            let per_sub: Vec<f64> = m.iter().map(|c| harmonic_pp(c)).collect();
+            harmonic_pp(&per_sub)
+        };
+        let before = fold(&matrix);
+        let (s, c) = (rng.gen_range(0..subs), rng.gen_range(0..cfgs));
+        matrix[s][c] = (matrix[s][c] + rng.gen_range(0.0..1.0f64)).min(1.0);
+        let after = fold(&matrix);
+        assert!(
+            after >= before - 1e-12,
+            "case {case}: raising cell [{s}][{c}] dropped PP {before} -> {after}"
+        );
+
+        // Killing any one cell (unsupported => eff 0) zeroes its
+        // substrate score and with it the whole PP.
+        matrix[s][c] = 0.0;
+        assert_eq!(
+            fold(&matrix),
+            0.0,
+            "case {case}: unsupported cell must zero PP"
+        );
+    }
+}
